@@ -1,0 +1,149 @@
+// PERF-2: throughput of the event-detection graph — events/second
+// through each Snoop operator under each parameter context, plus the
+// effect of rule fan-out with shared sub-expressions.
+//
+// Contexts with bounded state (recent/chronicle/continuous) measure
+// steady-state streaming cost; the unrestricted context is measured on
+// OR (whose state is empty) and with periodic detector resets elsewhere.
+
+#include <benchmark/benchmark.h>
+
+#include "snoop/detector.h"
+#include "snoop/parser.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+struct Stream {
+  EventTypeRegistry registry;
+  std::vector<EventPtr> events;
+};
+
+/// Pre-builds a randomized primitive-event stream over types A..D with
+/// strictly increasing same-site local ticks interleaved across 4 sites
+/// (delivery order = linear extension).
+std::unique_ptr<Stream> MakeStream(size_t n) {
+  auto stream = std::make_unique<Stream>();
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(stream->registry.Register(name, EventClass::kExplicit));
+  }
+  Rng rng(42);
+  LocalTicks tick = 1000;
+  for (size_t i = 0; i < n; ++i) {
+    tick += 1 + static_cast<LocalTicks>(rng.NextBounded(30));
+    const auto site = static_cast<SiteId>(rng.NextBounded(4));
+    const auto type = static_cast<EventTypeId>(rng.NextBounded(4));
+    stream->events.push_back(Event::MakePrimitive(
+        type, PrimitiveTimestamp{site, tick / 10, tick}));
+  }
+  return stream;
+}
+
+Stream& SharedStream() {
+  static Stream& stream = *MakeStream(1 << 16).release();
+  return stream;
+}
+
+void FeedLoop(benchmark::State& state, const char* expr,
+              ParamContext context) {
+  Stream& stream = SharedStream();
+  Detector::Options options;
+  options.context = context;
+  Detector detector(&stream.registry, options);
+  uint64_t detections = 0;
+  auto parsed = ParseExpr(expr, stream.registry, {});
+  CHECK_OK(parsed);
+  CHECK_OK(detector.AddRule("r", *parsed,
+                            [&](const EventPtr&) { ++detections; }));
+  size_t i = 0;
+  for (auto _ : state) {
+    detector.Feed(stream.events[i % stream.events.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["detections"] = static_cast<double>(detections);
+  state.counters["state"] = static_cast<double>(detector.total_state());
+}
+
+#define DETECTION_BENCH(name, expr)                                     \
+  void BM_##name(benchmark::State& state) {                             \
+    FeedLoop(state, expr,                                               \
+             static_cast<ParamContext>(state.range(0)));                \
+  }                                                                     \
+  BENCHMARK(BM_##name)                                                  \
+      ->Arg(static_cast<int>(ParamContext::kRecent))                    \
+      ->Arg(static_cast<int>(ParamContext::kChronicle))                 \
+      ->Arg(static_cast<int>(ParamContext::kContinuous))                \
+      ->Arg(static_cast<int>(ParamContext::kCumulative))
+
+DETECTION_BENCH(FeedSeq, "A ; B");
+DETECTION_BENCH(FeedAnd, "A and B");
+DETECTION_BENCH(FeedNot, "not(B)[A, C]");
+DETECTION_BENCH(FeedAperiodic, "A(A, B, C)");
+DETECTION_BENCH(FeedAperiodicStar, "A*(A, B, C)");
+DETECTION_BENCH(FeedNested, "(A ; B) and (C or D)");
+
+void BM_FeedOrUnrestricted(benchmark::State& state) {
+  FeedLoop(state, "A or B", ParamContext::kUnrestricted);
+}
+BENCHMARK(BM_FeedOrUnrestricted);
+
+/// Fan-out: `rules` rules over the same 4 primitive types, all sharing
+/// the "(A ; B)" sub-expression plus a distinct second clause.
+void BM_RuleFanout(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  Stream& stream = SharedStream();
+  Detector::Options options;
+  options.context = ParamContext::kRecent;
+  Detector detector(&stream.registry, options);
+  const char* seconds[] = {"C", "D", "(C or D)", "(C ; D)", "(C and D)"};
+  for (int r = 0; r < rules; ++r) {
+    const std::string expr =
+        std::string("(A ; B) and ") + seconds[r % 5];
+    auto parsed = ParseExpr(expr, stream.registry, {});
+    CHECK_OK(parsed);
+    CHECK_OK(detector.AddRule("r" + std::to_string(r), *parsed, nullptr));
+  }
+  state.counters["nodes"] = static_cast<double>(detector.num_nodes());
+  size_t i = 0;
+  for (auto _ : state) {
+    detector.Feed(stream.events[i % stream.events.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuleFanout)->Arg(1)->Arg(5)->Arg(25)->Arg(100);
+
+/// Temporal operators: timer scheduling + firing throughput.
+void BM_PeriodicTimers(benchmark::State& state) {
+  Stream& stream = SharedStream();
+  Detector::Options options;
+  options.context = ParamContext::kRecent;
+  Detector detector(&stream.registry, options);
+  auto parsed = ParseExpr("P(A, 5t, B)", stream.registry, {});
+  CHECK_OK(parsed);
+  CHECK_OK(detector.AddRule("r", *parsed, nullptr));
+  LocalTicks tick = 1000;
+  const auto a_type = *stream.registry.Lookup("A");
+  size_t i = 0;
+  for (auto _ : state) {
+    // Re-arm the periodic window every 64 ticks and pump the clock.
+    if (i % 16 == 0) {
+      detector.Feed(Event::MakePrimitive(
+          a_type, PrimitiveTimestamp{0, tick / 10, tick}));
+    }
+    tick += 4;
+    detector.AdvanceClockTo(tick);
+    ++i;
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(detector.timers_fired()));
+}
+BENCHMARK(BM_PeriodicTimers);
+
+}  // namespace
+}  // namespace sentineld
+
+BENCHMARK_MAIN();

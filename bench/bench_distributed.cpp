@@ -1,0 +1,363 @@
+// PERF-3: macro experiments on the simulated distributed deployment —
+// the system-level consequences of the paper's semantics:
+//
+//   (a) scaling: detection latency and throughput vs site count;
+//   (b) granularity: how the g_g / Pi ratio changes the fraction of
+//       concurrent (unorderable) event pairs and hence how many SEQ
+//       detections the conservative semantics admit;
+//   (c) stability window: the completeness/latency trade-off of the
+//       sequencer (late arrivals + missed detections vs latency).
+//
+// Each table is deterministic (fixed seeds).
+
+#include <iostream>
+
+#include "dist/hierarchical.h"
+#include "dist/runtime.h"
+#include "snoop/reference_detector.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace sentineld;
+
+namespace {
+
+std::vector<PlannedEvent> Workload(uint32_t sites, size_t n,
+                                   int64_t mean_gap_ns, uint64_t seed) {
+  WorkloadConfig config;
+  config.num_sites = sites;
+  config.num_types = 4;
+  config.num_events = n;
+  config.mean_interarrival_ns = mean_gap_ns;
+  Rng rng(seed);
+  return GenerateWorkload(config, rng);
+}
+
+void RegisterTypes(EventTypeRegistry& registry) {
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+}
+
+struct RunResult {
+  RuntimeStats stats;
+  size_t oracle_detections = 0;
+  size_t detections = 0;
+};
+
+/// Runs `expr` over a fresh deployment; compares with the declarative
+/// oracle when `compare_oracle` (requires the unrestricted context).
+RunResult RunOnce(RuntimeConfig config, const char* expr, size_t n_events,
+                  int64_t mean_gap_ns, bool compare_oracle = true) {
+  EventTypeRegistry registry;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  CHECK_OK(runtime);
+  RegisterTypes(registry);
+  CHECK_OK((*runtime)->AddRuleText("r", expr));
+  CHECK_OK((*runtime)->InjectPlan(
+      Workload(config.num_sites, n_events, mean_gap_ns, config.seed)));
+  RunResult result;
+  result.stats = (*runtime)->Run();
+  result.detections = (*runtime)->detections().size();
+
+  if (compare_oracle) {
+    ReferenceDetector oracle(&registry);
+    auto parsed = ParseExpr(expr, registry, {});
+    CHECK_OK(parsed);
+    auto expected =
+        oracle.Evaluate(*parsed, (*runtime)->injected_history());
+    CHECK_OK(expected);
+    result.oracle_detections = expected->size();
+  }
+  return result;
+}
+
+void SweepSites() {
+  TablePrinter table(
+      "\n(a) scaling with site count — rule 'A ; B', 800 events, "
+      "25ms mean gap:");
+  table.SetHeader({"sites", "detections", "oracle", "latency p50 ms",
+                   "latency p99 ms", "messages", "late"});
+  for (uint32_t sites : {2u, 4u, 8u, 16u, 32u}) {
+    RuntimeConfig config;
+    config.num_sites = sites;
+    config.seed = 100 + sites;
+    const RunResult r = RunOnce(config, "A ; B", 800, 25'000'000);
+    table.AddRow({std::to_string(sites), std::to_string(r.detections),
+                  std::to_string(r.oracle_detections),
+                  FormatDouble(r.stats.detection_latency_ms.Percentile(50), 1),
+                  FormatDouble(r.stats.detection_latency_ms.Percentile(99), 1),
+                  std::to_string(r.stats.network_messages),
+                  std::to_string(r.stats.sequencer_late_arrivals)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepGranularity() {
+  TablePrinter table(
+      "\n(b) global granularity g_g (Pi fixed at 9ms) — rule 'A ; B', "
+      "800 events, 30ms mean gap:\n    larger g_g => more concurrent "
+      "pairs => fewer sequence detections (conservative semantics)");
+  table.SetHeader({"g_g ms", "g_g/Pi", "concurrent pairs %", "detections",
+                   "oracle"});
+  for (int64_t gg_ms : {10, 20, 50, 100, 200, 500}) {
+    RuntimeConfig config;
+    config.num_sites = 6;
+    config.seed = 777;
+    config.timebase.local_granularity_ns = 10'000'000;
+    config.timebase.global_granularity_ns = gg_ms * 1'000'000;
+    config.timebase.precision_ns = 9'000'000;  // 9ms < every g_g here
+    config.sync.residual_bound_ns = 400'000;
+    config.sync.max_drift_ppm = 50;
+
+    EventTypeRegistry registry;
+    auto runtime = DistributedRuntime::Create(config, &registry);
+    CHECK_OK(runtime);
+    RegisterTypes(registry);
+    CHECK_OK((*runtime)->AddRuleText("r", "A ; B"));
+    CHECK_OK((*runtime)->InjectPlan(
+        Workload(config.num_sites, 800, 30'000'000, 4242)));
+    const RuntimeStats stats = (*runtime)->Run();
+
+    // Concurrency rate over all injected pairs.
+    const auto& history = (*runtime)->injected_history();
+    long long concurrent = 0, pairs = 0;
+    for (size_t i = 0; i < history.size(); ++i) {
+      for (size_t j = i + 1; j < history.size(); ++j) {
+        ++pairs;
+        if (Concurrent(history[i]->timestamp(), history[j]->timestamp())) {
+          ++concurrent;
+        }
+      }
+    }
+    ReferenceDetector oracle(&registry);
+    auto parsed = ParseExpr("A ; B", registry, {});
+    CHECK_OK(parsed);
+    auto expected = oracle.Evaluate(*parsed, history);
+    CHECK_OK(expected);
+
+    table.AddRow(
+        {std::to_string(gg_ms),
+         FormatDouble(static_cast<double>(gg_ms) / 9.0, 1),
+         FormatDouble(100.0 * concurrent / static_cast<double>(pairs), 2),
+         std::to_string(stats.detections),
+         std::to_string(expected->size())});
+  }
+  table.Print(std::cout);
+}
+
+void SweepWindow() {
+  TablePrinter table(
+      "\n(c) sequencer stability window — fine-grained time base "
+      "(g=1ms, g_g=10ms, Pi=8ms),\n    heavy network jitter (20ms mean): "
+      "small windows cut latency but stragglers\n    arrive after their "
+      "deadline and detections are lost. NOTE: with the default\n    "
+      "coarse g_g=100ms the 2g_g margin alone absorbs any realistic "
+      "network skew and\n    recall stays 100% at every window — see "
+      "EXPERIMENTS.md.");
+  table.SetHeader({"window ticks", "late arrivals", "detections", "oracle",
+                   "recall %", "latency p50 ms"});
+  for (int64_t window : {1, 10, 25, 50, 100, 0 /* auto */}) {
+    RuntimeConfig config;
+    config.num_sites = 6;
+    config.seed = 2025;
+    config.stability_window_ticks = window;
+    config.timebase.local_granularity_ns = 1'000'000;    // 1ms ticks
+    config.timebase.global_granularity_ns = 10'000'000;  // g_g = 10ms
+    config.timebase.precision_ns = 8'000'000;            // Pi = 8ms
+    config.sync.residual_bound_ns = 300'000;
+    config.sync.max_drift_ppm = 100;
+    config.network.base_latency_ns = 2'000'000;
+    config.network.jitter_mean_ns = 20'000'000;
+    config.heartbeat_ns = 5'000'000;  // 5ms pump for fine windows
+    const RunResult r = RunOnce(config, "A ; B", 800, 8'000'000);
+    const double recall =
+        r.oracle_detections == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(r.detections) /
+                  static_cast<double>(r.oracle_detections);
+    table.AddRow(
+        {window == 0 ? StrCat("auto (", config.EffectiveWindowTicks(), ")")
+                     : std::to_string(window),
+         std::to_string(r.stats.sequencer_late_arrivals),
+         std::to_string(r.detections), std::to_string(r.oracle_detections),
+         FormatDouble(recall, 1),
+         FormatDouble(r.stats.detection_latency_ms.Percentile(50), 1)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepRate() {
+  TablePrinter table(
+      "\n(d) event rate — rule '(A ; B) and (C or D)' in the RECENT "
+      "context, 6 sites,\n    1000 events (bounded state; the "
+      "unrestricted cross-product is measured in (a)):");
+  table.SetHeader({"mean gap ms", "detections", "latency p50 ms", "late"});
+  for (int64_t gap_ms : {100, 50, 20, 10, 5}) {
+    RuntimeConfig config;
+    config.num_sites = 6;
+    config.seed = 31415;
+    config.context = ParamContext::kRecent;
+    const RunResult r =
+        RunOnce(config, "(A ; B) and (C or D)", 1000, gap_ms * 1'000'000,
+                /*compare_oracle=*/false);
+    table.AddRow({std::to_string(gap_ms), std::to_string(r.detections),
+                  FormatDouble(r.stats.detection_latency_ms.Percentile(50), 1),
+                  std::to_string(r.stats.sequencer_late_arrivals)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepPlacement() {
+  TablePrinter table(
+      "\n(e) operator placement — rule '(A ; B) ; C' (chronicle context), "
+      "6 sites, 600 events:\n    placing (A ; B) at the site producing "
+      "A/B diverts their raw streams from the\n    root; only the "
+      "selective sub-composite (multi-element timestamps!) travels on.\n"
+      "    NOTE: root INGRESS drops; total wire bytes can rise, because a "
+      "forwarded\n    sub-composite re-ships its constituents "
+      "(provenance travels with the event).");
+  table.SetHeader({"deployment", "root events fed", "total messages",
+                   "wire KiB", "detections", "latency p50 ms"});
+
+  WorkloadConfig wconfig;
+  wconfig.num_sites = 6;
+  wconfig.num_types = 4;
+  wconfig.num_events = 600;
+  wconfig.mean_interarrival_ns = 25'000'000;
+
+  RuntimeConfig config;
+  config.num_sites = 6;
+  config.seed = 606;
+  config.context = ParamContext::kChronicle;
+
+  {
+    EventTypeRegistry registry;
+    auto flat = DistributedRuntime::Create(config, &registry);
+    CHECK_OK(flat);
+    RegisterTypes(registry);
+    CHECK_OK((*flat)->AddRuleText("r", "(A ; B) ; C"));
+    Rng rng(99);
+    CHECK_OK((*flat)->InjectPlan(GenerateWorkload(wconfig, rng)));
+    const RuntimeStats stats = (*flat)->Run();
+    table.AddRow({"flat (all events to root)",
+                  std::to_string((*flat)->detector().events_fed()),
+                  std::to_string(stats.network_messages),
+                  FormatDouble(stats.network_bytes / 1024.0, 1),
+                  std::to_string(stats.detections),
+                  FormatDouble(stats.detection_latency_ms.Percentile(50), 1)});
+  }
+  {
+    EventTypeRegistry registry;
+    auto placed = HierarchicalRuntime::Create(config, &registry);
+    CHECK_OK(placed);
+    RegisterTypes(registry);
+    auto expr = ParseExpr("(A ; B) ; C", registry, {});
+    CHECK_OK(expr);
+    std::vector<PlacementSpec> placements{{{0}, 2}};
+    CHECK_OK((*placed)->AddRule("r", *expr, placements));
+    Rng rng(99);
+    CHECK_OK((*placed)->InjectPlan(GenerateWorkload(wconfig, rng)));
+    const RuntimeStats stats = (*placed)->Run();
+    uint64_t root_fed = 0;
+    for (const auto& station : (*placed)->stations()) {
+      if (station.site == 0) root_fed = station.events_fed;
+    }
+    table.AddRow({"hierarchical ((A ; B) at site 2)",
+                  std::to_string(root_fed),
+                  std::to_string(stats.network_messages),
+                  FormatDouble(stats.network_bytes / 1024.0, 1),
+                  std::to_string(stats.detections),
+                  FormatDouble(stats.detection_latency_ms.Percentile(50), 1)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepClockFailure() {
+  TablePrinter table(
+      "\n(f) clock-synchronization failure — the paper's soundness "
+      "condition g_g > Pi violated\n    (sync once/minute, drift swept; "
+      "claimed Pi stays 99ms, g_g = 100ms). False\n    orderings are "
+      "happen-before stamps contradicting real time; false sequences "
+      "are\n    'A ; B' detections whose constituents really occurred "
+      "in the opposite order.");
+  table.SetHeader({"drift ppm", "realized skew ms", "false orderings %",
+                   "false sequences", "detections"});
+  for (double drift : {100.0, 2'000.0, 10'000.0, 40'000.0}) {
+    RuntimeConfig config;
+    config.num_sites = 6;
+    config.seed = 424242;
+    config.sync.sync_interval_ns = 60'000'000'000;
+    config.sync.max_drift_ppm = drift;
+    config.sync.enforce_precision = false;
+
+    EventTypeRegistry registry;
+    auto runtime = DistributedRuntime::Create(config, &registry);
+    CHECK_OK(runtime);
+    RegisterTypes(registry);
+    CHECK_OK((*runtime)->AddRuleText("r", "A ; B"));
+    Rng rng(7);
+    WorkloadConfig wconfig;
+    wconfig.num_sites = 6;
+    wconfig.num_types = 4;
+    wconfig.num_events = 600;
+    wconfig.mean_interarrival_ns = 60'000'000;
+    wconfig.start = 20'000'000'000;  // deep into the drift window
+    CHECK_OK((*runtime)->InjectPlan(GenerateWorkload(wconfig, rng)));
+    const RuntimeStats stats = (*runtime)->Run();
+
+    // True-time bookkeeping over the injected history.
+    const auto& history = (*runtime)->injected_history();
+    std::unordered_map<const Event*, size_t> order;
+    for (size_t i = 0; i < history.size(); ++i) {
+      order[history[i].get()] = i;  // injection order = true-time order
+    }
+    long long false_orderings = 0, ordered_pairs = 0;
+    for (size_t i = 0; i < history.size(); ++i) {
+      for (size_t j = 0; j < history.size(); ++j) {
+        if (HappensBefore(history[i]->timestamp().stamps()[0],
+                          history[j]->timestamp().stamps()[0])) {
+          ++ordered_pairs;
+          if (i > j) ++false_orderings;
+        }
+      }
+    }
+    long long false_sequences = 0;
+    for (const EventPtr& detection : (*runtime)->detections()) {
+      const auto& a = detection->constituents()[0];
+      const auto& b = detection->constituents()[1];
+      if (order[a.get()] > order[b.get()]) ++false_sequences;
+    }
+    // Realized skew right in the middle of the workload.
+    const double skew_ms = 0.0;  // reported via false orderings instead
+    (void)skew_ms;
+    table.AddRow(
+        {FormatDouble(drift, 0),
+         FormatDouble(drift * 1e-6 * 60'000.0, 1),  // worst-case ms/minute
+         ordered_pairs == 0
+             ? "0"
+             : FormatDouble(100.0 * false_orderings /
+                                static_cast<double>(ordered_pairs),
+                            2) +
+                   "%",
+         std::to_string(false_sequences),
+         std::to_string(stats.detections)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "PERF-3: distributed deployment experiments "
+               "(simulated sites/clocks/network)\n";
+  SweepSites();
+  SweepGranularity();
+  SweepWindow();
+  SweepRate();
+  SweepPlacement();
+  SweepClockFailure();
+  std::cout << "\ndone.\n";
+  return 0;
+}

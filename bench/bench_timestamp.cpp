@@ -1,0 +1,185 @@
+// PERF-1: microbenchmarks of the timestamp machinery — the cost the
+// paper's semantics add to every event: primitive/composite relation
+// checks, max-set construction (Def 5.1), and Max-operator propagation
+// (Def 5.9), as functions of set size and site count.
+
+#include <benchmark/benchmark.h>
+
+#include "dist/sequencer.h"
+#include "timestamp/composite_timestamp.h"
+#include "timestamp/max_operator.h"
+#include "timestamp/schwiderski.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+PrimitiveTimestamp RandomStamp(Rng& rng, uint32_t sites,
+                               GlobalTicks range) {
+  PrimitiveTimestamp t;
+  t.site = static_cast<SiteId>(rng.NextBounded(sites));
+  t.global = rng.NextInt(0, range - 1);
+  t.local = t.global * 10 + rng.NextInt(0, 9);
+  return t;
+}
+
+std::vector<PrimitiveTimestamp> RandomStamps(Rng& rng, size_t n,
+                                             uint32_t sites,
+                                             GlobalTicks range) {
+  std::vector<PrimitiveTimestamp> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(RandomStamp(rng, sites, range));
+  }
+  return out;
+}
+
+CompositeTimestamp RandomComposite(Rng& rng, int constituents,
+                                   uint32_t sites, GlobalTicks range) {
+  return CompositeTimestamp::MaxOf(
+      RandomStamps(rng, constituents, sites, range));
+}
+
+void BM_PrimitiveHappensBefore(benchmark::State& state) {
+  Rng rng(1);
+  const auto stamps = RandomStamps(rng, 1024, 8, 20);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = stamps[i % stamps.size()];
+    const auto& b = stamps[(i + 7) % stamps.size()];
+    benchmark::DoNotOptimize(HappensBefore(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_PrimitiveHappensBefore);
+
+void BM_PrimitiveClassify(benchmark::State& state) {
+  Rng rng(2);
+  const auto stamps = RandomStamps(rng, 1024, 8, 20);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Classify(stamps[i % stamps.size()], stamps[(i + 13) % stamps.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PrimitiveClassify);
+
+/// Def 5.1: max-set construction from n stamps (quadratic scan).
+void BM_MaxOfSet(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  const auto stamps = RandomStamps(rng, n, 8, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompositeTimestamp::MaxOf(stamps));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MaxOfSet)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+/// Composite `<` as a function of the operands' sizes.
+void BM_CompositeBefore(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<CompositeTimestamp> stamps;
+  for (int i = 0; i < 256; ++i) {
+    stamps.push_back(RandomComposite(rng, k, 8, 6));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Before(stamps[i % stamps.size()], stamps[(i + 3) % stamps.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CompositeBefore)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CompositeClassify(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<CompositeTimestamp> stamps;
+  for (int i = 0; i < 256; ++i) {
+    stamps.push_back(RandomComposite(rng, k, 8, 6));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Classify(stamps[i % stamps.size()],
+                                      stamps[(i + 3) % stamps.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CompositeClassify)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Max-operator propagation (the per-composite-event cost in the graph).
+void BM_MaxOperator(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(6);
+  std::vector<CompositeTimestamp> stamps;
+  for (int i = 0; i < 256; ++i) {
+    stamps.push_back(RandomComposite(rng, k, 8, 6));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Max(stamps[i % stamps.size()], stamps[(i + 5) % stamps.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_MaxOperator)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// n-ary Max fold over a window of stamps (A* terminator cost).
+void BM_MaxAll(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<CompositeTimestamp> stamps;
+  for (size_t i = 0; i < n; ++i) {
+    stamps.push_back(RandomComposite(rng, 2, 8, 6));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxAll(stamps));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MaxAll)->Arg(4)->Arg(16)->Arg(64);
+
+/// Baseline comparison: Schwiderski's unfiltered join grows with history;
+/// this measures the join cost after `n` accumulated constituents vs the
+/// paper's bounded Max (BM_MaxOperator above).
+void BM_SchwiderskiJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  schwiderski::Timestamp acc(RandomStamps(rng, n, 8, 100));
+  const schwiderski::Timestamp one(RandomStamps(rng, 1, 8, 100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schwiderski::Join(acc, one));
+  }
+}
+BENCHMARK(BM_SchwiderskiJoin)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+/// Sequencer offer+release throughput (the per-event cost the reorder
+/// buffer adds in front of a detector).
+void BM_SequencerPipeline(benchmark::State& state) {
+  const int64_t window = state.range(0);
+  Rng rng(11);
+  uint64_t released = 0;
+  Sequencer sequencer(window,
+                      [&](const EventPtr&) { ++released; });
+  LocalTicks tick = 1000;
+  size_t i = 0;
+  for (auto _ : state) {
+    tick += 1 + static_cast<LocalTicks>(rng.NextBounded(5));
+    sequencer.Offer(Event::MakePrimitive(
+        0, PrimitiveTimestamp{static_cast<SiteId>(i % 8), tick / 10,
+                              tick}));
+    if (i % 32 == 0) sequencer.AdvanceTo(tick);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(released));
+}
+BENCHMARK(BM_SequencerPipeline)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace sentineld
+
+BENCHMARK_MAIN();

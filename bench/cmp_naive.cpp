@@ -1,0 +1,113 @@
+// CMP-NAIVE: why not just compare timestamps? The paper's core
+// motivation, quantified. Under perfectly Pi-synchronized clocks we
+// stamp events at known true times and compare three orderings:
+//
+//   naive total order  — compare local ticks directly (ignore Pi)
+//   2g_g order (paper) — Def 4.7: cross-site needs a full tick of slack
+//   true time          — the simulation's ground truth
+//
+// The naive order is totally comparable but fabricates happen-before
+// relations inside the Pi window; the paper's order never contradicts
+// true time but declines to order the ~ band. The table sweeps the mean
+// inter-event gap to show where each effect bites.
+
+#include <iostream>
+
+#include "timebase/clock_fleet.h"
+#include "timestamp/naive.h"
+#include "timestamp/primitive_timestamp.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace sentineld;
+
+int main() {
+  std::cout << "CMP-NAIVE: naive total order vs the paper's 2g_g order, "
+               "sound clocks (Pi = 99ms, g_g = 100ms)\n";
+
+  TablePrinter table(
+      "\nper-pair outcomes over 500 events, 6 sites (percent of all "
+      "ordered-in-true-time pairs):");
+  table.SetHeader({"mean gap ms", "naive ordered %", "naive FALSE %",
+                   "2g_g ordered %", "2g_g false %", "2g_g concurrent %"});
+
+  int failures = 0;
+  for (int64_t gap_ms : {400, 150, 60, 25, 10}) {
+    TimebaseConfig config;
+    SyncPolicy policy;
+    Rng rng(1000 + gap_ms);
+    auto fleet = ClockFleet::Create(6, config, policy, rng);
+    if (!fleet.ok()) {
+      std::cerr << fleet.status() << "\n";
+      return 1;
+    }
+
+    struct Obs {
+      TrueTimeNs when;
+      PrimitiveTimestamp stamp;
+    };
+    std::vector<Obs> observations;
+    TrueTimeNs t = 1'000'000'000;
+    for (int i = 0; i < 500; ++i) {
+      t += static_cast<TrueTimeNs>(
+          rng.NextExponential(static_cast<double>(gap_ms) * 1e6));
+      const SiteId site = static_cast<SiteId>(rng.NextBounded(6));
+      observations.push_back({t, fleet->Stamp(site, t, rng)});
+    }
+
+    long long pairs = 0;
+    long long naive_ordered = 0, naive_false = 0;
+    long long gg_ordered = 0, gg_false = 0, gg_concurrent = 0;
+    for (size_t i = 0; i < observations.size(); ++i) {
+      for (size_t j = i + 1; j < observations.size(); ++j) {
+        // i precedes j in true time (generation order; strictly, almost
+        // surely, since exponential gaps are > 0).
+        ++pairs;
+        const auto& early = observations[i];
+        const auto& late = observations[j];
+        if (naive::HappensBefore(early.stamp, late.stamp)) {
+          ++naive_ordered;
+        } else if (naive::HappensBefore(late.stamp, early.stamp)) {
+          ++naive_ordered;
+          ++naive_false;  // asserted the inverted order
+        }
+        if (HappensBefore(early.stamp, late.stamp)) {
+          ++gg_ordered;
+        } else if (HappensBefore(late.stamp, early.stamp)) {
+          ++gg_ordered;
+          ++gg_false;
+        } else {
+          ++gg_concurrent;
+        }
+      }
+    }
+    auto pct = [&](long long n) {
+      return FormatDouble(100.0 * static_cast<double>(n) /
+                              static_cast<double>(pairs),
+                          3) +
+             "%";
+    };
+    table.AddRow({std::to_string(gap_ms), pct(naive_ordered),
+                  pct(naive_false), pct(gg_ordered), pct(gg_false),
+                  pct(gg_concurrent)});
+    if (gg_false != 0) {
+      ++failures;
+      std::cout << "FAIL: the 2g_g order contradicted true time\n";
+    }
+    if (gap_ms <= 25 && naive_false == 0) {
+      ++failures;
+      std::cout << "FAIL: expected naive false orderings at gap "
+                << gap_ms << "ms\n";
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout <<
+      "\nreading: the naive order is 100% comparable at every rate but "
+      "fabricates\norderings once events pack inside the Pi window; the "
+      "2g_g order never\ncontradicts true time — it spends the same window "
+      "on explicit concurrency.\n";
+  std::cout << "\nRESULT: " << (failures == 0 ? "PASS" : "FAIL") << "\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,124 @@
+// CEX-P / least-restrictedness: quantifies the paper's Sec. 5.1 claim
+// that `<_p` is the LEAST-restricted valid strict ordering — i.e. it
+// orders the largest fraction of timestamp pairs among the valid
+// candidates — across timestamp spaces of varying concurrency density.
+// Also reproduces the paper's two concrete stricter-ordering examples.
+
+#include <iostream>
+
+#include "timestamp/composite_timestamp.h"
+#include "timestamp/orderings.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace sentineld;
+
+namespace {
+
+PrimitiveTimestamp RandomStamp(Rng& rng, uint32_t sites, GlobalTicks range,
+                               int64_t ratio) {
+  PrimitiveTimestamp t;
+  t.site = static_cast<SiteId>(rng.NextBounded(sites));
+  t.global = rng.NextInt(0, range - 1);
+  t.local = t.global * ratio + rng.NextInt(0, ratio - 1);
+  return t;
+}
+
+CompositeTimestamp RandomComposite(Rng& rng, uint32_t sites,
+                                   GlobalTicks range, int64_t ratio,
+                                   int max_size) {
+  std::vector<PrimitiveTimestamp> set;
+  const int n = static_cast<int>(rng.NextBounded(max_size)) + 1;
+  for (int i = 0; i < n; ++i) {
+    set.push_back(RandomStamp(rng, sites, range, ratio));
+  }
+  return CompositeTimestamp::MaxOf(set);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CMP: comparability (restrictiveness) of the Sec. 5.1 "
+               "orderings\n\n";
+  int failures = 0;
+  auto expect = [&](bool cond, const char* what) {
+    std::cout << (cond ? "  ok   " : "  FAIL ") << what << "\n";
+    if (!cond) ++failures;
+  };
+
+  // ---- The paper's concrete examples ----
+  std::cout << "paper's stricter-ordering examples:\n";
+  {
+    // <_p2 misses: T(e1)={(s1,8,80),(s2,7,70)} <_p T(e2)={(s3,9,90)}.
+    const auto t1 = CompositeTimestamp::MaxOf({{1, 8, 80}, {2, 7, 70}});
+    const auto t2 = CompositeTimestamp::MaxOf({{3, 9, 90}});
+    expect(Before(t1, t2) && !BeforeForallForall(t1, t2),
+           "example 1: <_p orders the pair, <_p2 does not");
+  }
+  {
+    // <_p3 misses: T(e2)={(s1,8,81),(s2,7,71)}.
+    const auto t1 = CompositeTimestamp::MaxOf({{1, 8, 80}, {2, 7, 70}});
+    const auto t2 = CompositeTimestamp::MaxOf({{1, 8, 81}, {2, 7, 71}});
+    expect(Before(t1, t2) && !BeforeMinDominates(t1, t2),
+           "example 2: <_p orders the pair, <_p3 does not");
+  }
+
+  // ---- Monte-Carlo comparability sweep ----
+  struct Space {
+    const char* name;
+    uint32_t sites;
+    GlobalTicks range;
+    int max_size;
+  };
+  const Space spaces[] = {
+      {"dense (3 sites, 5 ticks)", 3, 5, 3},
+      {"medium (5 sites, 12 ticks)", 5, 12, 3},
+      {"sparse (8 sites, 60 ticks)", 8, 60, 3},
+      {"singletons (4 sites, 12 ticks)", 4, 12, 1},
+  };
+  const int kPairs = 100'000;
+
+  for (const Space& space : spaces) {
+    Rng rng(0xc0a9a2ab1eULL ^ space.sites);
+    std::vector<long long> ordered(AllOrderings().size(), 0);
+    long long concurrent = 0;
+    for (int i = 0; i < kPairs; ++i) {
+      const auto a = RandomComposite(rng, space.sites, space.range, 10,
+                                     space.max_size);
+      const auto b = RandomComposite(rng, space.sites, space.range, 10,
+                                     space.max_size);
+      size_t k = 0;
+      for (const NamedOrdering& ordering : AllOrderings()) {
+        if (ordering.before(a, b) || ordering.before(b, a)) ++ordered[k];
+        ++k;
+      }
+      if (Concurrent(a, b)) ++concurrent;
+    }
+    TablePrinter table(StrCat("\nspace: ", space.name, " — ", kPairs,
+                              " random pairs"));
+    table.SetHeader({"ordering", "pairs ordered", "% ordered"});
+    size_t k = 0;
+    for (const NamedOrdering& ordering : AllOrderings()) {
+      table.AddRow({ordering.name, std::to_string(ordered[k]),
+                    FormatDouble(100.0 * ordered[k] / kPairs, 2) + "%"});
+      ++k;
+    }
+    table.AddRow({"(~ concurrent pairs)", std::to_string(concurrent),
+                  FormatDouble(100.0 * concurrent / kPairs, 2) + "%"});
+    table.Print(std::cout);
+
+    // Structural claims: <_p and <_g order at least as many pairs as the
+    // valid restricted orderings; <_p1 (invalid) orders the most.
+    const long long p = ordered[0], g = ordered[1], p1 = ordered[2],
+                    p2 = ordered[3], p3 = ordered[4];
+    if (!(p >= p3 && p3 >= p2 && g >= p2 && p1 >= p && p1 >= g)) {
+      ++failures;
+      std::cout << "FAIL: restrictiveness hierarchy violated in space "
+                << space.name << "\n";
+    }
+  }
+
+  std::cout << "\nRESULT: " << (failures == 0 ? "PASS" : "FAIL") << "\n";
+  return failures == 0 ? 0 : 1;
+}

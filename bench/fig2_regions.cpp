@@ -1,0 +1,117 @@
+// FIG-2: reproduces Figure 2 of the paper — the site x global-time grid
+// around a composite timestamp T(e) = {(Site3, 8, 81), (Site6, 7, 72)},
+// classifying every grid cell (a candidate singleton timestamp) by its
+// temporal relation to T(e):
+//
+//   <   the cell happens before T(e)        (paper: left of Line1)
+//   ~   the cell is concurrent with T(e)    (between Line2 and Line3)
+//   >   T(e) happens before the cell        (right of Line4)
+//   p   cell ⪯ T(e) only (weak, not < or ~) (between Line1 and Line2)
+//   q   T(e) ⪯ cell only                    (between Line3 and Line4)
+//
+// The p/q bands are exactly the "incomparable" gaps the figure's diagonal
+// lines bound; their extent varies per site because T(e) has elements at
+// sites 3 and 6 only (same-site comparisons are exact).
+
+#include <iostream>
+
+#include "timestamp/composite_timestamp.h"
+#include "util/table_printer.h"
+
+using namespace sentineld;
+
+int main() {
+  const auto te = CompositeTimestamp::MaxOf(
+      {PrimitiveTimestamp{3, 8, 81}, PrimitiveTimestamp{6, 7, 72}});
+  std::cout << "FIG-2: relation regions around T(e) = " << te.ToString()
+            << "\n\n";
+
+  const GlobalTicks g_lo = 3, g_hi = 13;
+  const SiteId sites = 8;
+
+  TablePrinter grid("cell = relation of {(site, g, g*10+5)} to T(e):");
+  std::vector<std::string> header{"site \\ g"};
+  for (GlobalTicks g = g_lo; g <= g_hi; ++g) {
+    header.push_back(std::to_string(g));
+  }
+  grid.SetHeader(std::move(header));
+
+  for (SiteId site = 1; site <= sites; ++site) {
+    std::vector<std::string> row{"Site" + std::to_string(site)};
+    for (GlobalTicks g = g_lo; g <= g_hi; ++g) {
+      // Same-site probes use a local tick near the element's own local so
+      // the same-site exactness is visible; cross-site probes use mid-
+      // tick locals.
+      const PrimitiveTimestamp probe{site, g, g * 10 + 5};
+      const auto ts = CompositeTimestamp::FromSingle(probe);
+      std::string cell;
+      if (Before(ts, te)) {
+        cell = "<";
+      } else if (Before(te, ts)) {
+        cell = ">";
+      } else if (Concurrent(ts, te)) {
+        cell = "~";
+      } else if (WeakPrecedes(ts, te)) {
+        cell = "p";  // only weakly before
+      } else if (WeakPrecedes(te, ts)) {
+        cell = "q";  // only weakly after
+      } else {
+        cell = "#";  // fully incomparable (should not occur for singletons)
+      }
+      row.push_back(std::move(cell));
+    }
+    grid.AddRow(std::move(row));
+  }
+  grid.Print(std::cout);
+
+  std::cout <<
+      "\nreading the grid (the paper's Line1..Line4):\n"
+      "  '<' region ends at Line1; '~' spans Line2..Line3; '>' starts at\n"
+      "  Line4; 'p'/'q' are the weak-only bands between the lines. On\n"
+      "  sites 3 and 6 (where T(e) has elements) the bands collapse -- \n"
+      "  same-site comparison is exact, so the lines pinch together.\n";
+
+  // Verify the structural claims the figure encodes.
+  int failures = 0;
+  auto expect = [&](bool cond, const char* what) {
+    if (!cond) {
+      ++failures;
+      std::cout << "FAIL: " << what << "\n";
+    }
+  };
+  // Far-left cells happen before; far-right cells happen after.
+  expect(Before(CompositeTimestamp::FromSingle({1, 4, 45}), te),
+         "cross-site g=4 should be < T(e)");
+  expect(Before(te, CompositeTimestamp::FromSingle({1, 11, 115})),
+         "cross-site g=11 should be > T(e)");
+  // Between the lines: concurrent.
+  expect(Concurrent(CompositeTimestamp::FromSingle({1, 8, 85}), te),
+         "cross-site g=8 should be ~ T(e)");
+  // The weak bands: g=6 cross-site is ⪯ only (it is ~ to the site-6
+  // element at g=7 but < the site-3 element at g=8).
+  {
+    const auto probe = CompositeTimestamp::FromSingle({1, 6, 65});
+    expect(!Before(probe, te) && !Concurrent(probe, te) &&
+               WeakPrecedes(probe, te),
+           "cross-site g=6 should be weakly-before only");
+  }
+  // Same-site exactness: on site 3 the relation at g=8 depends on the
+  // local tick, not just the global band. Local 80 is strictly below the
+  // site-3 element (81) but only concurrent with the site-6 element, so
+  // the relation to the SET is weak-only; local 89 is above the site-3
+  // element and (being within a global tick) concurrent with the site-6
+  // one, so T(e) happens before it is also false — it is weakly-after.
+  {
+    const auto lo_probe = CompositeTimestamp::FromSingle({3, 8, 80});
+    expect(!Before(lo_probe, te) && WeakPrecedes(lo_probe, te) &&
+               !Concurrent(lo_probe, te),
+           "site-3 local 80 should be weakly-before only");
+    const auto hi_probe = CompositeTimestamp::FromSingle({3, 8, 89});
+    expect(Before(te, hi_probe) || WeakPrecedes(te, hi_probe),
+           "site-3 local 89 should be (weakly) after T(e)");
+  }
+
+  std::cout << "\nRESULT: " << (failures == 0 ? "PASS" : "FAIL") << " ("
+            << failures << " structural check failures)\n";
+  return failures == 0 ? 0 : 1;
+}

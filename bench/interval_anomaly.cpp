@@ -1,0 +1,119 @@
+// INT-ANOM: quantifies the detection-time anomaly of point-based
+// composite semantics (the classic critique of Snoop-style occurrence
+// stamps, which the paper inherits: a composite occurrence is reduced to
+// its Max, so "B ; (A ; C)" can fire although the A inside the second
+// operand occurred BEFORE the B). The interval-based policy — occurrence
+// spans [minima, maxima] of its constituents, eligibility = end-before-
+// start — eliminates the anomaly at the cost of stricter matching.
+//
+// Random workloads; an emitted "B ; (A ; C)" occurrence is ANOMALOUS when
+// its A constituent happens-before its B constituent.
+
+#include <iostream>
+
+#include "snoop/detector.h"
+#include "snoop/parser.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace sentineld;
+
+namespace {
+
+struct Tally {
+  long long detections = 0;
+  long long anomalous = 0;
+};
+
+Tally RunPolicy(IntervalPolicy policy, uint64_t seed, int rounds,
+                int history_len, GlobalTicks global_range) {
+  EventTypeRegistry registry;
+  for (const char* name : {"A", "B", "C"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  auto expr = ParseExpr("B ; (A ; C)", registry, {});
+  CHECK_OK(expr);
+
+  Rng rng(seed);
+  Tally tally;
+  for (int round = 0; round < rounds; ++round) {
+    Detector::Options options;
+    options.context = ParamContext::kUnrestricted;
+    options.interval_policy = policy;
+    Detector detector(&registry, options);
+    CHECK_OK(detector.AddRule("rule", *expr, [&](const EventPtr& e) {
+      ++tally.detections;
+      // constituents: {B, (A ; C)}; the nested pair is {A, C}.
+      const EventPtr& b = e->constituents()[0];
+      const EventPtr& a = e->constituents()[1]->constituents()[0];
+      if (Before(a->timestamp(), b->timestamp())) ++tally.anomalous;
+    }));
+
+    // Random single-site-per-event history in tick order.
+    std::vector<std::pair<LocalTicks, EventTypeId>> plan;
+    for (int i = 0; i < history_len; ++i) {
+      plan.emplace_back(rng.NextInt(0, global_range * 10 - 1),
+                        static_cast<EventTypeId>(rng.NextBounded(3)));
+    }
+    std::sort(plan.begin(), plan.end());
+    for (const auto& [tick, type] : plan) {
+      detector.Feed(Event::MakePrimitive(
+          type, PrimitiveTimestamp{
+                    static_cast<SiteId>(rng.NextBounded(3)) /*site*/,
+                    tick / 10, tick}));
+    }
+  }
+  return tally;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "INT-ANOM: the detection-time anomaly, point-based vs "
+               "interval-based eligibility\n"
+               "rule: B ; (A ; C)   anomaly: the matched A happens-before "
+               "the matched B\n";
+
+  TablePrinter table("\n2000 random histories per row, 3 sites:");
+  table.SetHeader({"history len", "span (global ticks)", "policy",
+                   "detections", "anomalous", "anomaly %"});
+  int failures = 0;
+  for (const auto& [len, range] : std::vector<std::pair<int, GlobalTicks>>{
+           {8, 12}, {12, 20}, {20, 40}}) {
+    for (IntervalPolicy policy :
+         {IntervalPolicy::kPointBased, IntervalPolicy::kIntervalBased}) {
+      const Tally tally = RunPolicy(policy, 77, 2000, len, range);
+      const double pct =
+          tally.detections == 0
+              ? 0
+              : 100.0 * static_cast<double>(tally.anomalous) /
+                    static_cast<double>(tally.detections);
+      table.AddRow({std::to_string(len), std::to_string(range),
+                    IntervalPolicyToString(policy),
+                    std::to_string(tally.detections),
+                    std::to_string(tally.anomalous),
+                    FormatDouble(pct, 2) + "%"});
+      if (policy == IntervalPolicy::kIntervalBased &&
+          tally.anomalous != 0) {
+        ++failures;
+        std::cout << "FAIL: interval policy produced anomalies\n";
+      }
+      if (policy == IntervalPolicy::kPointBased &&
+          tally.anomalous == 0) {
+        ++failures;
+        std::cout << "FAIL: expected point-based anomalies at len " << len
+                  << "\n";
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout <<
+      "\nreading: point-based semantics (the paper's) misorder a visible "
+      "fraction of\nnested sequences; the interval extension rejects "
+      "exactly those, detecting a\nsubset whose constituents are truly "
+      "ordered end-to-start.\n";
+  std::cout << "\nRESULT: " << (failures == 0 ? "PASS" : "FAIL") << "\n";
+  return failures == 0 ? 0 : 1;
+}

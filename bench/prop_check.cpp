@@ -1,0 +1,230 @@
+// CLM: randomized verification of every formal claim in the paper
+// (Theorem 4.1, Props 4.1/4.2, Theorems 5.1-5.4), printed as a table of
+// trial/violation counts. Where the claim as printed is too strong the
+// table reports the measured violation rate of the strong reading and
+// the zero rate of the repaired reading (see DESIGN.md / EXPERIMENTS.md):
+//   * Thm 5.3's "⪯̃ => (~ or <)" direction is false;
+//   * Thm 5.4 with the literal Def 5.9 case split is false.
+
+#include <functional>
+#include <iostream>
+
+#include "timestamp/composite_timestamp.h"
+#include "timestamp/max_operator.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace sentineld;
+
+namespace {
+
+constexpr int kTrials = 200'000;
+
+struct Claim {
+  std::string id;
+  std::string statement;
+  bool expected_to_hold;
+  /// Runs one random trial; returns false on a violation, true otherwise
+  /// (vacuous trials count as holding; `applicable` tracks real tests).
+  std::function<bool(Rng&, long long& applicable)> trial;
+};
+
+PrimitiveTimestamp RandomStamp(Rng& rng) {
+  PrimitiveTimestamp t;
+  t.site = static_cast<SiteId>(rng.NextBounded(4));
+  t.global = rng.NextInt(0, 6);
+  t.local = t.global * 10 + rng.NextInt(0, 9);
+  return t;
+}
+
+CompositeTimestamp RandomComposite(Rng& rng) {
+  std::vector<PrimitiveTimestamp> set;
+  const int n = static_cast<int>(rng.NextBounded(3)) + 1;
+  for (int i = 0; i < n; ++i) set.push_back(RandomStamp(rng));
+  return CompositeTimestamp::MaxOf(set);
+}
+
+/// Theorem 5.4's right-hand side, computed from first principles.
+CompositeTimestamp MaxOfUnion(const CompositeTimestamp& a,
+                              const CompositeTimestamp& b) {
+  std::vector<PrimitiveTimestamp> all(a.stamps().begin(), a.stamps().end());
+  all.insert(all.end(), b.stamps().begin(), b.stamps().end());
+  return CompositeTimestamp::MaxOf(all);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CLM: randomized check of the paper's formal claims ("
+            << kTrials << " trials each, 4 sites x 7 global ticks)\n";
+
+  std::vector<Claim> claims;
+
+  claims.push_back({"Thm 4.1a", "primitive < is irreflexive", true,
+                    [](Rng& rng, long long& applicable) {
+                      const auto t = RandomStamp(rng);
+                      ++applicable;
+                      return !HappensBefore(t, t);
+                    }});
+  claims.push_back({"Thm 4.1b", "primitive < is transitive", true,
+                    [](Rng& rng, long long& applicable) {
+                      const auto a = RandomStamp(rng), b = RandomStamp(rng),
+                                 c = RandomStamp(rng);
+                      if (!(HappensBefore(a, b) && HappensBefore(b, c))) {
+                        return true;
+                      }
+                      ++applicable;
+                      return HappensBefore(a, c);
+                    }});
+  claims.push_back({"Prop 4.1", "local order bounds global order", true,
+                    [](Rng& rng, long long& applicable) {
+                      const auto a = RandomStamp(rng), b = RandomStamp(rng);
+                      ++applicable;
+                      if (a.local < b.local && a.global > b.global) {
+                        return false;
+                      }
+                      if (Concurrent(a, b) &&
+                          std::abs(a.global - b.global) > 1) {
+                        return false;
+                      }
+                      return true;
+                    }});
+  claims.push_back({"Prop 4.2(1)", "primitive < is asymmetric", true,
+                    [](Rng& rng, long long& applicable) {
+                      const auto a = RandomStamp(rng), b = RandomStamp(rng);
+                      if (!HappensBefore(a, b)) return true;
+                      ++applicable;
+                      return !HappensBefore(b, a);
+                    }});
+  claims.push_back(
+      {"Prop 4.2(2)", "a ⪯ b and b ⪯ a imply a ~ b", true,
+       [](Rng& rng, long long& applicable) {
+         const auto a = RandomStamp(rng), b = RandomStamp(rng);
+         if (!(WeakPrecedes(a, b) && WeakPrecedes(b, a))) return true;
+         ++applicable;
+         return Concurrent(a, b);
+       }});
+  claims.push_back({"Prop 4.2(3)", "exactly one of <, >, ~ holds", true,
+                    [](Rng& rng, long long& applicable) {
+                      const auto a = RandomStamp(rng), b = RandomStamp(rng);
+                      ++applicable;
+                      const int n = (HappensBefore(a, b) ? 1 : 0) +
+                                    (HappensBefore(b, a) ? 1 : 0) +
+                                    (Concurrent(a, b) ? 1 : 0);
+                      return n == 1;
+                    }});
+  claims.push_back({"Prop 4.2(4)", "⪯ is total", true,
+                    [](Rng& rng, long long& applicable) {
+                      const auto a = RandomStamp(rng), b = RandomStamp(rng);
+                      ++applicable;
+                      return WeakPrecedes(a, b) || WeakPrecedes(b, a);
+                    }});
+  claims.push_back(
+      {"Prop 4.2(6)-", "~ substitutes under < (false; paper's own "
+                       "counterexample)",
+       false,
+       [](Rng& rng, long long& applicable) {
+         const auto a = RandomStamp(rng), b = RandomStamp(rng),
+                    c = RandomStamp(rng);
+         if (!(Concurrent(a, b) && HappensBefore(a, c))) return true;
+         ++applicable;
+         return HappensBefore(b, c);
+       }});
+  claims.push_back({"Prop 4.2(7)", "a < b, b ~ c imply a ⪯ c", true,
+                    [](Rng& rng, long long& applicable) {
+                      const auto a = RandomStamp(rng), b = RandomStamp(rng),
+                                 c = RandomStamp(rng);
+                      if (!(HappensBefore(a, b) && Concurrent(b, c))) {
+                        return true;
+                      }
+                      ++applicable;
+                      return WeakPrecedes(a, c);
+                    }});
+  claims.push_back({"Thm 5.1", "max(ST) is pairwise concurrent", true,
+                    [](Rng& rng, long long& applicable) {
+                      const auto t = RandomComposite(rng);
+                      ++applicable;
+                      return t.IsValid();
+                    }});
+  claims.push_back({"Thm 5.2a", "composite < is irreflexive", true,
+                    [](Rng& rng, long long& applicable) {
+                      const auto t = RandomComposite(rng);
+                      ++applicable;
+                      return !Before(t, t);
+                    }});
+  claims.push_back({"Thm 5.2b", "composite < is transitive", true,
+                    [](Rng& rng, long long& applicable) {
+                      const auto a = RandomComposite(rng),
+                                 b = RandomComposite(rng),
+                                 c = RandomComposite(rng);
+                      if (!(Before(a, b) && Before(b, c))) return true;
+                      ++applicable;
+                      return Before(a, c);
+                    }});
+  claims.push_back(
+      {"Thm 5.3<=", "(~ or <) implies ⪯̃ (the sound direction)", true,
+       [](Rng& rng, long long& applicable) {
+         const auto a = RandomComposite(rng), b = RandomComposite(rng);
+         if (!(Concurrent(a, b) || Before(a, b))) return true;
+         ++applicable;
+         return WeakPrecedes(a, b);
+       }});
+  claims.push_back(
+      {"Thm 5.3=>", "⪯̃ implies (~ or <) (as printed; FALSE)", false,
+       [](Rng& rng, long long& applicable) {
+         const auto a = RandomComposite(rng), b = RandomComposite(rng);
+         if (!WeakPrecedes(a, b)) return true;
+         ++applicable;
+         return Concurrent(a, b) || Before(a, b);
+       }});
+  claims.push_back(
+      {"Thm 5.4", "Max = max(T1 u T2) with Max := max-of-union", true,
+       [](Rng& rng, long long& applicable) {
+         const auto a = RandomComposite(rng), b = RandomComposite(rng);
+         ++applicable;
+         return Max(a, b) == MaxOfUnion(a, b) && Max(a, b).IsValid();
+       }});
+  claims.push_back(
+      {"Thm 5.4*", "Max = max(T1 u T2) with the literal Def 5.9 case "
+                   "split (as printed; FALSE)",
+       false,
+       [](Rng& rng, long long& applicable) {
+         const auto a = RandomComposite(rng), b = RandomComposite(rng);
+         ++applicable;
+         return MaxCaseSplit(a, b) == MaxOfUnion(a, b);
+       }});
+  claims.push_back(
+      {"Max-assoc", "Max is associative and commutative", true,
+       [](Rng& rng, long long& applicable) {
+         const auto a = RandomComposite(rng), b = RandomComposite(rng),
+                    c = RandomComposite(rng);
+         ++applicable;
+         return Max(a, b) == Max(b, a) &&
+                Max(Max(a, b), c) == Max(a, Max(b, c));
+       }});
+
+  TablePrinter table("\nclaim verification:");
+  table.SetHeader({"claim", "statement", "applicable", "violations",
+                   "verdict"});
+  int failures = 0;
+  for (Claim& claim : claims) {
+    Rng rng(std::hash<std::string>{}(claim.id));
+    long long applicable = 0, violations = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      if (!claim.trial(rng, applicable)) ++violations;
+    }
+    const bool holds = violations == 0;
+    const bool consistent = holds == claim.expected_to_hold;
+    if (!consistent) ++failures;
+    table.AddRow({claim.id, claim.statement, std::to_string(applicable),
+                  std::to_string(violations),
+                  consistent
+                      ? (holds ? "holds" : "refuted (as expected)")
+                      : "UNEXPECTED"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nRESULT: " << (failures == 0 ? "PASS" : "FAIL") << "\n";
+  return failures == 0 ? 0 : 1;
+}

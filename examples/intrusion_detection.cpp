@@ -1,0 +1,128 @@
+// Distributed intrusion detection: correlating security events from a
+// fleet of hosts whose clocks are only approximately synchronized —
+// exactly the setting where the paper's composite timestamps matter,
+// because "failed logins on host A, then privilege escalation on host B"
+// is only meaningful under a sound cross-site happen-before.
+//
+// Sites: 6 hosts. Primitive events:
+//   login_fail  — failed authentication
+//   login_ok    — successful authentication
+//   priv_esc    — privilege escalation
+//   fw_alert    — firewall anomaly alert
+//   scrub       — periodic security scrub marker (terminates windows)
+//
+// Rules (different Snoop operators, all on composite timestamps):
+//   brute-force   : A(login_fail, login_fail, login_ok) in continuous
+//                   context — every further failure inside a window
+//                   opened by a failure and closed by a success.
+//   breach        : (login_fail ; priv_esc) — escalation strictly after a
+//                   failed login, across any pair of hosts.
+//   stealth       : not(fw_alert)[priv_esc, scrub] — an escalation that
+//                   reaches the scrub with NO firewall alert in between.
+//   incident-file : A*(priv_esc, login_fail, scrub) — the cumulative
+//                   report of every failure between an escalation and the
+//                   scrub.
+//
+// Build & run:   ./build/examples/intrusion_detection
+
+#include <iostream>
+
+#include "core/sentinel.h"
+#include "event/generator.h"
+#include "util/random.h"
+
+using namespace sentineld;
+
+int main() {
+  RuntimeConfig config;
+  config.num_sites = 6;
+  config.seed = 1337;
+  config.context = ParamContext::kContinuous;
+  config.network.base_latency_ns = 5'000'000;
+  config.network.jitter_mean_ns = 2'000'000;
+
+  auto sentinel = DistributedSentinel::Create(config);
+  if (!sentinel.ok()) {
+    std::cerr << sentinel.status() << "\n";
+    return 1;
+  }
+  EventTypeRegistry& registry = (*sentinel)->registry();
+  auto fail = registry.Register("login_fail", EventClass::kAbstract);
+  auto ok = registry.Register("login_ok", EventClass::kAbstract);
+  auto esc = registry.Register("priv_esc", EventClass::kAbstract);
+  auto alert = registry.Register("fw_alert", EventClass::kAbstract);
+  auto scrub = registry.Register("scrub", EventClass::kTemporal);
+  if (!fail.ok() || !ok.ok() || !esc.ok() || !alert.ok() || !scrub.ok()) {
+    std::cerr << "type registration failed\n";
+    return 1;
+  }
+
+  uint64_t brute = 0, breach = 0, stealth = 0, incidents = 0;
+  size_t largest_incident = 0;
+  auto add_rule = [&](const char* name, const char* expr, auto&& action) {
+    RuleSpec spec;
+    spec.name = name;
+    spec.event_expr = expr;
+    spec.context = ParamContext::kContinuous;
+    spec.action = action;
+    auto r = (*sentinel)->DefineRule(std::move(spec));
+    if (!r.ok()) {
+      std::cerr << "rule " << name << ": " << r.status() << "\n";
+      std::exit(1);
+    }
+  };
+  add_rule("brute-force", "A(login_fail, login_fail, login_ok)",
+           [&](const EventPtr&) { ++brute; });
+  add_rule("breach", "login_fail ; priv_esc",
+           [&](const EventPtr&) { ++breach; });
+  add_rule("stealth", "not(fw_alert)[priv_esc, scrub]",
+           [&](const EventPtr&) { ++stealth; });
+  add_rule("incident-file", "A*(priv_esc, login_fail, scrub)",
+           [&](const EventPtr& e) {
+             ++incidents;
+             largest_incident =
+                 std::max(largest_incident, e->constituents().size());
+           });
+
+  // Synthetic attack trace: a burst of failures on hosts 1 and 2, a
+  // success, an escalation on host 3, background noise, and periodic
+  // scrubs. Times in seconds.
+  auto at = [](double s) { return static_cast<TrueTimeNs>(s * 1e9); };
+  std::vector<PlannedEvent> plan;
+  // Brute-force burst on hosts 1-2 (every 400ms).
+  for (int i = 0; i < 8; ++i) {
+    plan.push_back({at(1.0 + 0.4 * i), static_cast<SiteId>(1 + i % 2),
+                    *fail, {{"user", AttributeValue(std::string("root"))}}});
+  }
+  plan.push_back({at(4.6), 1, *ok, {}});   // attacker gets in
+  plan.push_back({at(5.2), 3, *esc, {}});  // escalates on another host
+  // More failures post-escalation (lateral movement).
+  for (int i = 0; i < 4; ++i) {
+    plan.push_back({at(5.8 + 0.5 * i), static_cast<SiteId>(4 + i % 2),
+                    *fail, {}});
+  }
+  plan.push_back({at(9.0), 0, *scrub, {}});  // periodic scrub
+  // A second, alerted escalation.
+  plan.push_back({at(10.0), 2, *esc, {}});
+  plan.push_back({at(10.8), 0, *alert, {}});
+  plan.push_back({at(12.0), 0, *scrub, {}});
+
+  auto stats = (*sentinel)->Run(plan);
+  if (!stats.ok()) {
+    std::cerr << stats.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "--- intrusion detection summary ---\n";
+  std::cout << "events injected        : " << stats->events_injected << "\n";
+  std::cout << "brute-force signals    : " << brute << "\n";
+  std::cout << "breach detections      : " << breach << "\n";
+  std::cout << "stealth escalations    : " << stealth << "\n";
+  std::cout << "incident files         : " << incidents
+            << " (largest " << largest_incident << " constituents)\n";
+  std::cout << "detection latency (ms) : "
+            << stats->detection_latency_ms.Summary() << "\n";
+  std::cout << "late arrivals          : " << stats->sequencer_late_arrivals
+            << "\n";
+  return 0;
+}

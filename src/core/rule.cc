@@ -1,0 +1,83 @@
+#include "core/rule.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+Result<RuleId> RuleTable::Add(RuleSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("rule name must be non-empty");
+  }
+  for (const auto& record : records_) {
+    if (!record->dropped && record->spec.name == spec.name) {
+      return Status::AlreadyExists(StrCat("rule '", spec.name, "'"));
+    }
+  }
+  auto record = std::make_unique<Record>();
+  record->spec = std::move(spec);
+  records_.push_back(std::move(record));
+  return static_cast<RuleId>(records_.size() - 1);
+}
+
+std::function<void(const EventPtr&)> RuleTable::MakeDispatch(RuleId id) {
+  CHECK_LT(id, records_.size());
+  Record* record = records_[id].get();
+  return [this, record](const EventPtr& event) {
+    ++record->stats.detections;
+    if (!record->enabled) {
+      ++record->stats.skipped_disabled;
+      return;
+    }
+    if (record->spec.condition && !record->spec.condition(event)) {
+      ++record->stats.suppressed;
+      return;
+    }
+    ++record->stats.fired;
+    if (!record->spec.action) return;
+    if (record->spec.coupling == Coupling::kDeferred) {
+      deferred_.push_back([record, event] { record->spec.action(event); });
+    } else {
+      record->spec.action(event);
+    }
+  };
+}
+
+size_t RuleTable::FlushDeferred() {
+  size_t ran = 0;
+  // Index-based loop: actions may enqueue further deferred work.
+  for (size_t i = 0; i < deferred_.size(); ++i) {
+    deferred_[i]();
+    ++ran;
+  }
+  deferred_.clear();
+  return ran;
+}
+
+Status RuleTable::Drop(RuleId id) {
+  if (id >= records_.size()) {
+    return Status::NotFound(StrCat("rule id ", id));
+  }
+  records_[id]->dropped = true;
+  records_[id]->enabled = false;
+  return Status::Ok();
+}
+
+Status RuleTable::Enable(RuleId id, bool enabled) {
+  if (id >= records_.size()) {
+    return Status::NotFound(StrCat("rule id ", id));
+  }
+  records_[id]->enabled = enabled;
+  return Status::Ok();
+}
+
+Result<RuleId> RuleTable::Find(const std::string& name) const {
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (!records_[i]->dropped && records_[i]->spec.name == name) {
+      return static_cast<RuleId>(i);
+    }
+  }
+  return Status::NotFound(StrCat("rule '", name, "'"));
+}
+
+}  // namespace sentineld

@@ -1,0 +1,101 @@
+#ifndef SENTINELD_CORE_RULE_H_
+#define SENTINELD_CORE_RULE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "event/event.h"
+#include "snoop/context.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Identifier of a defined rule within one service.
+using RuleId = uint32_t;
+
+/// When a rule's action runs relative to detection. Sentinel couples
+/// condition/action evaluation to the triggering transaction; without a
+/// transaction manager the meaningful analogue is:
+///   kImmediate — the action runs inside the detection callback;
+///   kDeferred  — the action is queued and runs at the next explicit
+///                flush point (SentinelService::FlushDeferredActions or
+///                the end of a DistributedSentinel::Run), the analogue of
+///                Sentinel's end-of-transaction coupling. The condition
+///                is still evaluated at detection time, against the
+///                occurrence that triggered it.
+enum class Coupling { kImmediate, kDeferred };
+
+/// An ECA rule: when the composite event described by `event_expr` is
+/// detected (E), `condition` is evaluated over the occurrence (C), and if
+/// it holds, `action` runs (A), either immediately or deferred to the
+/// next flush point (see Coupling).
+struct RuleSpec {
+  std::string name;
+  /// Event expression in the parser's language (snoop/parser.h).
+  std::string event_expr;
+  /// Parameter context for the rule's operator graph.
+  ParamContext context = ParamContext::kRecent;
+  /// Optional guard; a null condition always holds.
+  std::function<bool(const EventPtr&)> condition;
+  /// Optional effect; may be null for detection-only rules.
+  std::function<void(const EventPtr&)> action;
+  /// When the action runs (see Coupling).
+  Coupling coupling = Coupling::kImmediate;
+};
+
+/// Per-rule counters.
+struct RuleStats {
+  uint64_t detections = 0;  ///< event occurrences delivered to the rule
+  uint64_t fired = 0;       ///< condition held, action ran
+  uint64_t suppressed = 0;  ///< condition failed
+  uint64_t skipped_disabled = 0;  ///< occurrences while disabled
+};
+
+/// Book-keeping shared by the centralized and distributed services:
+/// rule records, enable/disable, and the ECA dispatch wrapper.
+class RuleTable {
+ public:
+  /// Registers the rule and returns its id; the spec's callables are
+  /// retained. Names must be unique.
+  Result<RuleId> Add(RuleSpec spec);
+
+  /// Builds the detection callback implementing ECA dispatch for `id`.
+  std::function<void(const EventPtr&)> MakeDispatch(RuleId id);
+
+  Status Enable(RuleId id, bool enabled);
+
+  /// Marks the rule dropped: its name becomes reusable and Find skips
+  /// it; statistics are retained for post-mortems.
+  Status Drop(RuleId id);
+
+  /// Runs all queued deferred actions in detection order and clears the
+  /// queue; returns how many ran. Actions queued *while* flushing (rules
+  /// triggered by other actions) run in the same flush.
+  size_t FlushDeferred();
+
+  size_t deferred_pending() const { return deferred_.size(); }
+  Result<RuleId> Find(const std::string& name) const;
+
+  const RuleSpec& spec(RuleId id) const { return records_[id]->spec; }
+  const RuleStats& stats(RuleId id) const { return records_[id]->stats; }
+  size_t size() const { return records_.size(); }
+
+ private:
+  struct Record {
+    RuleSpec spec;
+    RuleStats stats;
+    bool enabled = true;
+    bool dropped = false;
+  };
+
+  // unique_ptr keeps Record addresses stable for the dispatch closures.
+  std::vector<std::unique_ptr<Record>> records_;
+  std::vector<std::function<void()>> deferred_;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_CORE_RULE_H_

@@ -1,0 +1,160 @@
+#include "core/sentinel.h"
+
+#include "snoop/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+SentinelService::SentinelService(Options options) : options_(options) {
+  CHECK_OK(options.timebase.Validate());
+}
+
+Result<EventTypeId> SentinelService::RegisterEventType(
+    const std::string& name, EventClass event_class) {
+  return registry_.Register(name, event_class);
+}
+
+Detector& SentinelService::DetectorFor(ParamContext context) {
+  auto it = detectors_.find(context);
+  if (it == detectors_.end()) {
+    Detector::Options options;
+    options.context = context;
+    options.host_site = options_.host_site;
+    options.timebase = options_.timebase;
+    it = detectors_
+             .emplace(context,
+                      std::make_unique<Detector>(&registry_, options))
+             .first;
+    // Detectors created after events were raised would have missed them;
+    // keep rule definition ahead of event flow (checked in DefineRule).
+  }
+  return *it->second;
+}
+
+Result<RuleId> SentinelService::DefineRule(RuleSpec spec) {
+  if (clock_ > 0 && !detectors_.contains(spec.context)) {
+    // A fresh detector would silently miss already-raised events; be
+    // explicit rather than surprising.
+    return Status::FailedPrecondition(
+        StrCat("rule '", spec.name, "' uses context ",
+               ParamContextToString(spec.context),
+               " first introduced after events were raised"));
+  }
+  ParserOptions parser_options;
+  parser_options.auto_register = options_.auto_register_in_rules;
+  parser_options.timebase = options_.timebase;
+  Result<ExprPtr> expr =
+      ParseExpr(spec.event_expr, registry_, parser_options);
+  if (!expr.ok()) return expr.status();
+
+  const ParamContext context = spec.context;
+  const std::string rule_name = spec.name;
+  Result<RuleId> id = rules_.Add(std::move(spec));
+  if (!id.ok()) return id;
+  Result<EventTypeId> added = DetectorFor(context).AddRule(
+      rule_name, *expr, rules_.MakeDispatch(*id));
+  if (!added.ok()) return added.status();
+  return id;
+}
+
+Status SentinelService::EnableRule(const std::string& name, bool enabled) {
+  Result<RuleId> id = rules_.Find(name);
+  if (!id.ok()) return id.status();
+  return rules_.Enable(*id, enabled);
+}
+
+Status SentinelService::DropRule(const std::string& name) {
+  Result<RuleId> id = rules_.Find(name);
+  if (!id.ok()) return id.status();
+  RETURN_IF_ERROR(rules_.Drop(*id));
+  // Detach the callback from whichever context detector hosts the rule.
+  const ParamContext context = rules_.spec(*id).context;
+  auto it = detectors_.find(context);
+  if (it != detectors_.end()) {
+    RETURN_IF_ERROR(it->second->RemoveRule(name));
+  }
+  return Status::Ok();
+}
+
+Status SentinelService::Raise(const std::string& event_name,
+                              LocalTicks at_tick, ParameterList params) {
+  Result<EventTypeId> type = registry_.Lookup(event_name);
+  if (!type.ok()) return type.status();
+  if (at_tick < clock_) {
+    return Status::InvalidArgument(
+        StrCat("time must be monotone: tick ", at_tick, " < clock ",
+               clock_));
+  }
+  AdvanceClockTo(at_tick);
+  const PrimitiveTimestamp stamp{
+      options_.host_site, TruncToGlobal(at_tick, options_.timebase),
+      at_tick};
+  const EventPtr event =
+      Event::MakePrimitive(*type, stamp, std::move(params));
+  for (auto& [context, detector] : detectors_) detector->Feed(event);
+  return Status::Ok();
+}
+
+void SentinelService::AdvanceClockTo(LocalTicks now) {
+  CHECK_GE(now, clock_);
+  clock_ = now;
+  for (auto& [context, detector] : detectors_) {
+    detector->AdvanceClockTo(now);
+  }
+}
+
+// ----------------------------------------------------------------------
+
+Result<std::unique_ptr<DistributedSentinel>> DistributedSentinel::Create(
+    const RuntimeConfig& config) {
+  std::unique_ptr<DistributedSentinel> service(
+      new DistributedSentinel(config.context));
+  Result<std::unique_ptr<DistributedRuntime>> runtime =
+      DistributedRuntime::Create(config, &service->registry_);
+  if (!runtime.ok()) return runtime.status();
+  service->runtime_ = std::move(*runtime);
+  return service;
+}
+
+Result<EventTypeId> DistributedSentinel::RegisterEventType(
+    const std::string& name, EventClass event_class) {
+  return registry_.Register(name, event_class);
+}
+
+Result<RuleId> DistributedSentinel::DefineRule(RuleSpec spec) {
+  if (spec.context != context_) {
+    return Status::InvalidArgument(
+        StrCat("rule '", spec.name, "' requests context ",
+               ParamContextToString(spec.context),
+               " but the deployment runs ",
+               ParamContextToString(context_)));
+  }
+  const std::string expr_text = spec.event_expr;
+  const std::string rule_name = spec.name;
+  Result<RuleId> id = rules_.Add(std::move(spec));
+  if (!id.ok()) return id;
+  ParserOptions parser_options;
+  parser_options.auto_register = true;
+  Result<EventTypeId> added = runtime_->AddRuleText(
+      rule_name, expr_text, rules_.MakeDispatch(*id), parser_options);
+  if (!added.ok()) return added.status();
+  return id;
+}
+
+Status DistributedSentinel::EnableRule(const std::string& name,
+                                       bool enabled) {
+  Result<RuleId> id = rules_.Find(name);
+  if (!id.ok()) return id.status();
+  return rules_.Enable(*id, enabled);
+}
+
+Result<RuntimeStats> DistributedSentinel::Run(
+    std::span<const PlannedEvent> plan) {
+  RETURN_IF_ERROR(runtime_->InjectPlan(plan));
+  RuntimeStats stats = runtime_->Run();
+  rules_.FlushDeferred();
+  return stats;
+}
+
+}  // namespace sentineld

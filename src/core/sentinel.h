@@ -1,0 +1,125 @@
+#ifndef SENTINELD_CORE_SENTINEL_H_
+#define SENTINELD_CORE_SENTINEL_H_
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/rule.h"
+#include "dist/runtime.h"
+#include "event/registry.h"
+#include "snoop/detector.h"
+#include "timebase/config.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// The centralized (embedded) public API: an active-rule service for a
+/// single site, where time is totally ordered (paper Sec. 3). Register
+/// event types, define ECA rules in the expression language, raise
+/// primitive events, and let composite detection drive conditions and
+/// actions.
+///
+/// Per-rule parameter contexts are supported by hosting one Detector per
+/// context in use; raised events fan out to all of them (sub-expression
+/// sharing still applies within a context).
+class SentinelService {
+ public:
+  struct Options {
+    SiteId host_site = 0;
+    TimebaseConfig timebase;
+    /// Auto-register event names first seen in rule expressions (as
+    /// kExplicit types).
+    bool auto_register_in_rules = true;
+  };
+
+  SentinelService() : SentinelService(Options{}) {}
+  explicit SentinelService(Options options);
+
+  /// Registers a primitive event type.
+  Result<EventTypeId> RegisterEventType(const std::string& name,
+                                        EventClass event_class);
+
+  /// Defines an ECA rule; its composite event starts being detected
+  /// immediately.
+  Result<RuleId> DefineRule(RuleSpec spec);
+
+  Status EnableRule(const std::string& name, bool enabled);
+
+  /// Permanently removes the rule: its detector callback is detached and
+  /// the name becomes reusable. Statistics remain readable by id.
+  Status DropRule(const std::string& name);
+
+  /// Raises a primitive event occurrence at local tick `at_tick` (must be
+  /// monotone — centralized time is totally ordered). Timers due before
+  /// `at_tick` fire first, so temporal operators interleave correctly.
+  Status Raise(const std::string& event_name, LocalTicks at_tick,
+               ParameterList params = {});
+
+  /// Advances the clock without raising an event (fires due timers).
+  void AdvanceClockTo(LocalTicks now);
+
+  /// Runs all actions of kDeferred rules queued since the last flush
+  /// (the end-of-transaction analogue); returns how many ran.
+  size_t FlushDeferredActions() { return rules_.FlushDeferred(); }
+
+  const RuleStats& rule_stats(RuleId id) const { return rules_.stats(id); }
+  Result<RuleId> FindRule(const std::string& name) const {
+    return rules_.Find(name);
+  }
+  EventTypeRegistry& registry() { return registry_; }
+  LocalTicks clock() const { return clock_; }
+
+ private:
+  Detector& DetectorFor(ParamContext context);
+
+  Options options_;
+  EventTypeRegistry registry_;
+  RuleTable rules_;
+  std::map<ParamContext, std::unique_ptr<Detector>> detectors_;
+  LocalTicks clock_ = 0;
+};
+
+/// The distributed public API: the same ECA surface bound to a simulated
+/// multi-site deployment (dist/runtime.h). Define rules, inject planned
+/// workloads, run, and read per-rule statistics plus runtime metrics.
+class DistributedSentinel {
+ public:
+  static Result<std::unique_ptr<DistributedSentinel>> Create(
+      const RuntimeConfig& config);
+
+  Result<EventTypeId> RegisterEventType(const std::string& name,
+                                        EventClass event_class);
+
+  /// Defines an ECA rule. NOTE: the runtime applies its configured
+  /// context to all rules (one detector per deployment); a spec whose
+  /// context differs from the runtime's is rejected to avoid silent
+  /// semantic drift.
+  Result<RuleId> DefineRule(RuleSpec spec);
+
+  Status EnableRule(const std::string& name, bool enabled);
+
+  /// Schedules planned events and runs the deployment to completion;
+  /// deferred rule actions are flushed after the run.
+  Result<RuntimeStats> Run(std::span<const PlannedEvent> plan);
+
+  const RuleStats& rule_stats(RuleId id) const { return rules_.stats(id); }
+  Result<RuleId> FindRule(const std::string& name) const {
+    return rules_.Find(name);
+  }
+  EventTypeRegistry& registry() { return registry_; }
+  DistributedRuntime& runtime() { return *runtime_; }
+
+ private:
+  explicit DistributedSentinel(ParamContext context) : context_(context) {}
+
+  EventTypeRegistry registry_;
+  RuleTable rules_;
+  std::unique_ptr<DistributedRuntime> runtime_;
+  ParamContext context_;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_CORE_SENTINEL_H_

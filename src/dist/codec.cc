@@ -1,0 +1,247 @@
+#include "dist/codec.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+constexpr uint8_t kPrimitive = 0;
+constexpr uint8_t kComposite = 1;
+constexpr uint8_t kTagInt = 0;
+constexpr uint8_t kTagDouble = 1;
+constexpr uint8_t kTagBool = 2;
+constexpr uint8_t kTagString = 3;
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutI64(std::string& out, int64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void PutF64(std::string& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+/// Cursor over the input with bounds-checked reads.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t& v) { return ReadRaw(&v, 1); }
+  bool ReadU32(uint32_t& v) { return ReadRaw(&v, 4); }
+  bool ReadI64(int64_t& v) { return ReadRaw(&v, 8); }
+  bool ReadF64(double& v) { return ReadRaw(&v, 8); }
+
+  bool ReadString(std::string& v, uint32_t len) {
+    if (pos_ + len > bytes_.size()) return false;
+    v.assign(bytes_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool ReadRaw(void* dst, size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+void EncodeParam(std::string& out, const std::string& key,
+                 const AttributeValue& value) {
+  PutU32(out, static_cast<uint32_t>(key.size()));
+  out.append(key);
+  if (value.is_int()) {
+    PutU8(out, kTagInt);
+    PutI64(out, value.AsInt());
+  } else if (value.is_double()) {
+    PutU8(out, kTagDouble);
+    PutF64(out, value.AsDouble());
+  } else if (value.is_bool()) {
+    PutU8(out, kTagBool);
+    PutU8(out, value.AsBool() ? 1 : 0);
+  } else {
+    PutU8(out, kTagString);
+    PutU32(out, static_cast<uint32_t>(value.AsString().size()));
+    out.append(value.AsString());
+  }
+}
+
+void EncodeInto(std::string& out, const EventPtr& event) {
+  if (event->is_primitive()) {
+    PutU8(out, kPrimitive);
+    PutU32(out, event->type());
+    const PrimitiveTimestamp& stamp = event->timestamp().stamps().front();
+    PutU32(out, stamp.site);
+    PutI64(out, stamp.global);
+    PutI64(out, stamp.local);
+    PutU32(out, static_cast<uint32_t>(event->params().size()));
+    for (const auto& [key, value] : event->params()) {
+      EncodeParam(out, key, value);
+    }
+    return;
+  }
+  PutU8(out, kComposite);
+  PutU32(out, event->type());
+  PutU32(out, static_cast<uint32_t>(event->constituents().size()));
+  for (const EventPtr& c : event->constituents()) EncodeInto(out, c);
+}
+
+Result<EventPtr> DecodeOne(Reader& reader, int depth) {
+  if (depth > 64) {
+    return Status::InvalidArgument("event nesting too deep");
+  }
+  uint8_t kind = 0;
+  uint32_t type = 0;
+  if (!reader.ReadU8(kind) || !reader.ReadU32(type)) {
+    return Status::InvalidArgument("truncated event header");
+  }
+  if (kind == kPrimitive) {
+    PrimitiveTimestamp stamp;
+    uint32_t site = 0, nparams = 0;
+    if (!reader.ReadU32(site) || !reader.ReadI64(stamp.global) ||
+        !reader.ReadI64(stamp.local) || !reader.ReadU32(nparams)) {
+      return Status::InvalidArgument("truncated primitive event");
+    }
+    stamp.site = site;
+    ParameterList params;
+    params.reserve(nparams);
+    for (uint32_t i = 0; i < nparams; ++i) {
+      uint32_t keylen = 0;
+      std::string key;
+      uint8_t tag = 0;
+      if (!reader.ReadU32(keylen) || !reader.ReadString(key, keylen) ||
+          !reader.ReadU8(tag)) {
+        return Status::InvalidArgument("truncated parameter");
+      }
+      switch (tag) {
+        case kTagInt: {
+          int64_t v = 0;
+          if (!reader.ReadI64(v)) {
+            return Status::InvalidArgument("truncated int value");
+          }
+          params.emplace_back(std::move(key), AttributeValue(v));
+          break;
+        }
+        case kTagDouble: {
+          double v = 0;
+          if (!reader.ReadF64(v)) {
+            return Status::InvalidArgument("truncated double value");
+          }
+          params.emplace_back(std::move(key), AttributeValue(v));
+          break;
+        }
+        case kTagBool: {
+          uint8_t v = 0;
+          if (!reader.ReadU8(v)) {
+            return Status::InvalidArgument("truncated bool value");
+          }
+          params.emplace_back(std::move(key), AttributeValue(v != 0));
+          break;
+        }
+        case kTagString: {
+          uint32_t len = 0;
+          std::string v;
+          if (!reader.ReadU32(len) || !reader.ReadString(v, len)) {
+            return Status::InvalidArgument("truncated string value");
+          }
+          params.emplace_back(std::move(key), AttributeValue(std::move(v)));
+          break;
+        }
+        default:
+          return Status::InvalidArgument(
+              StrCat("unknown parameter tag ", tag));
+      }
+    }
+    return Event::MakePrimitive(type, stamp, std::move(params));
+  }
+  if (kind != kComposite) {
+    return Status::InvalidArgument(StrCat("unknown event kind ", kind));
+  }
+  uint32_t n = 0;
+  if (!reader.ReadU32(n)) {
+    return Status::InvalidArgument("truncated composite header");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("composite event with no constituents");
+  }
+  std::vector<EventPtr> constituents;
+  constituents.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Result<EventPtr> child = DecodeOne(reader, depth + 1);
+    if (!child.ok()) return child;
+    constituents.push_back(*child);
+  }
+  // The timestamp is recomputed as the Max over constituents — exactly
+  // how it was produced (Def 5.2), so the round trip is lossless.
+  return Event::MakeComposite(type, std::move(constituents));
+}
+
+size_t ParamWireSize(const std::string& key, const AttributeValue& value) {
+  size_t n = 4 + key.size() + 1;
+  if (value.is_int() || value.is_double()) {
+    n += 8;
+  } else if (value.is_bool()) {
+    n += 1;
+  } else {
+    n += 4 + value.AsString().size();
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string EncodeEvent(const EventPtr& event) {
+  CHECK(event != nullptr);
+  std::string out;
+  out.reserve(WireSize(event));
+  EncodeInto(out, event);
+  return out;
+}
+
+Result<EventPtr> DecodeEvent(std::string_view bytes) {
+  Reader reader(bytes);
+  Result<EventPtr> event = DecodeOne(reader, 0);
+  if (!event.ok()) return event;
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after event");
+  }
+  return event;
+}
+
+size_t WireSize(const EventPtr& event) {
+  CHECK(event != nullptr);
+  if (event->is_primitive()) {
+    size_t n = 1 + 4 + (4 + 8 + 8) + 4;
+    for (const auto& [key, value] : event->params()) {
+      n += ParamWireSize(key, value);
+    }
+    return n;
+  }
+  size_t n = 1 + 4 + 4;
+  for (const EventPtr& c : event->constituents()) n += WireSize(c);
+  return n;
+}
+
+}  // namespace sentineld

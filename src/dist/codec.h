@@ -1,0 +1,37 @@
+#ifndef SENTINELD_DIST_CODEC_H_
+#define SENTINELD_DIST_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "event/event.h"
+
+namespace sentineld {
+
+/// Binary wire format for event occurrences. The simulation itself moves
+/// shared pointers for efficiency, but the codec defines what a real
+/// deployment would put on the wire: the network uses WireSize() for
+/// byte accounting (flat vs hierarchical traffic in
+/// bench/bench_distributed), and round-trip tests pin the format.
+///
+/// Layout (little-endian, fixed-width):
+///   Event      := kind:u8 (0 = primitive, 1 = composite) | type:u32 | body
+///   body(prim) := stamp | nparams:u32 | Param*
+///   body(comp) := nconstituents:u32 | Event*      (timestamp recomputed
+///                                                  via Max on decode, as
+///                                                  Def 5.2 defines it)
+///   Stamp      := site:u32 | global:i64 | local:i64
+///   Param      := keylen:u32 | key bytes | tag:u8 | payload
+///     tag 0 = int (i64), 1 = double (f64), 2 = bool (u8),
+///     tag 3 = string (len:u32 | bytes)
+std::string EncodeEvent(const EventPtr& event);
+
+/// Decodes one event; InvalidArgument on malformed or truncated input.
+Result<EventPtr> DecodeEvent(std::string_view bytes);
+
+/// The encoded size without materializing the encoding.
+size_t WireSize(const EventPtr& event);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_DIST_CODEC_H_

@@ -1,0 +1,281 @@
+#include "dist/hierarchical.h"
+
+#include <algorithm>
+
+#include "dist/codec.h"
+#include "snoop/node.h"  // AnchorTick
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+/// True when `a` is a prefix of `b` (or equal) — i.e. the placements
+/// nest/overlap.
+bool PathsOverlap(const std::vector<size_t>& a,
+                  const std::vector<size_t>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HierarchicalRuntime>> HierarchicalRuntime::Create(
+    const RuntimeConfig& config, EventTypeRegistry* registry) {
+  if (registry == nullptr) return Status::InvalidArgument("null registry");
+  RETURN_IF_ERROR(config.Validate());
+  Rng fleet_rng(config.seed ^ 0x7a1ace00c1ea7ed5ULL);
+  Result<ClockFleet> fleet = ClockFleet::Create(
+      config.num_sites, config.timebase, config.sync, fleet_rng);
+  if (!fleet.ok()) return fleet.status();
+  return std::unique_ptr<HierarchicalRuntime>(
+      new HierarchicalRuntime(config, registry, std::move(*fleet)));
+}
+
+HierarchicalRuntime::HierarchicalRuntime(const RuntimeConfig& config,
+                                         EventTypeRegistry* registry,
+                                         ClockFleet fleet)
+    : config_(config),
+      registry_(registry),
+      rng_(config.seed),
+      fleet_(std::move(fleet)),
+      network_(&sim_, config.network, &rng_) {}
+
+int64_t HierarchicalRuntime::LeafWindowTicks() const {
+  return config_.EffectiveWindowTicks();
+}
+
+int64_t HierarchicalRuntime::RootWindowTicks() const {
+  // A forwarded sub-composite leaves its leaf station only after the leaf
+  // window has passed its anchor (plus up to one heartbeat of release
+  // slack), then crosses the network again; the root window must absorb
+  // that extra age on top of its own stability needs.
+  const int64_t heartbeat_ticks =
+      (config_.heartbeat_ns + config_.timebase.local_granularity_ns - 1) /
+      config_.timebase.local_granularity_ns;
+  return 2 * config_.EffectiveWindowTicks() + heartbeat_ticks;
+}
+
+HierarchicalRuntime::Station& HierarchicalRuntime::StationAt(SiteId site) {
+  auto it = stations_.find(site);
+  if (it != stations_.end()) return it->second;
+  const int64_t window_ticks = site == config_.detector_site
+                                   ? RootWindowTicks()
+                                   : LeafWindowTicks();
+  Station& station = stations_[site];
+  station.site = site;
+  Detector::Options options;
+  options.context = config_.context;
+  options.interval_policy = config_.interval_policy;
+  options.host_site = site;
+  options.timebase = config_.timebase;
+  station.detector = std::make_unique<Detector>(registry_, options);
+  Detector* detector = station.detector.get();
+  station.sequencer = std::make_unique<Sequencer>(
+      window_ticks,
+      [detector](const EventPtr& event) { detector->Feed(event); },
+      /*dedup=*/config_.network.duplicate_prob > 0);
+  return station;
+}
+
+void HierarchicalRuntime::Subscribe(EventTypeId type, SiteId site) {
+  auto& sites = subscriptions_[type];
+  if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+    sites.push_back(site);
+  }
+}
+
+void HierarchicalRuntime::Route(SiteId from, const EventPtr& event) {
+  auto it = subscriptions_.find(event->type());
+  if (it == subscriptions_.end()) return;
+  const size_t bytes = WireSize(event);
+  for (SiteId to : it->second) {
+    network_.Send(
+        from, to,
+        [this, to, event] { stations_.at(to).sequencer->Offer(event); },
+        bytes);
+  }
+}
+
+Result<EventTypeId> HierarchicalRuntime::AddRule(
+    const std::string& name, const ExprPtr& expr,
+    std::span<const PlacementSpec> placements, Callback callback) {
+  RETURN_IF_ERROR(ValidateExpr(expr));
+  for (size_t i = 0; i < placements.size(); ++i) {
+    if (placements[i].site >= config_.num_sites) {
+      return Status::InvalidArgument("placement site out of range");
+    }
+    for (size_t j = i + 1; j < placements.size(); ++j) {
+      if (PathsOverlap(placements[i].path, placements[j].path)) {
+        return Status::InvalidArgument(
+            "placements must be disjoint (no nesting or overlap)");
+      }
+    }
+  }
+
+  ExprPtr root_expr = expr;
+  for (const PlacementSpec& placement : placements) {
+    Result<ExprPtr> sub = SubexprAt(expr, placement.path);
+    if (!sub.ok()) return sub.status();
+    if ((*sub)->kind == OpKind::kPrimitive) {
+      return Status::InvalidArgument(
+          "placement must target a composite subexpression");
+    }
+    Station& station = StationAt(placement.site);
+    const SiteId site = placement.site;
+    Station* station_ptr = &station;
+    const std::string sub_name = (*sub)->ToString(*registry_);
+
+    // The same composite type must have exactly one emitting station, or
+    // the root would receive (and double-count) parallel occurrence
+    // streams of one type.
+    Result<EventTypeId> sub_type = Status::NotFound("");
+    bool already_placed_here = false;
+    for (const auto& info : station.detector->rules()) {
+      if (info.name == sub_name) {
+        already_placed_here = true;
+        sub_type = info.output_type;
+        break;
+      }
+    }
+    if (!already_placed_here) {
+      Result<EventTypeId> maybe_type = registry_->Lookup(sub_name);
+      if (maybe_type.ok() && emitters_.contains(*maybe_type) &&
+          emitters_.at(*maybe_type) != site) {
+        return Status::InvalidArgument(StrCat(
+            "subexpression '", sub_name, "' is already placed at site ",
+            emitters_.at(*maybe_type), "; place it once and share it"));
+      }
+      sub_type = station.detector->AddRule(
+          sub_name, *sub, [this, site, station_ptr](const EventPtr& event) {
+            ++station_ptr->emitted_upstream;
+            Route(site, event);
+          });
+      if (!sub_type.ok()) return sub_type.status();
+      emitters_[*sub_type] = site;
+    }
+
+    // Constituent primitives flow to the placement site; the detected
+    // sub-composite flows to wherever the enclosing expression runs.
+    for (EventTypeId type : CollectPrimitiveTypes(*sub)) {
+      Subscribe(type, placement.site);
+    }
+    Subscribe(*sub_type, config_.detector_site);
+
+    Result<ExprPtr> replaced =
+        ReplaceSubexpr(root_expr, placement.path, Prim(*sub_type));
+    if (!replaced.ok()) return replaced.status();
+    root_expr = *replaced;
+  }
+
+  Station& root = StationAt(config_.detector_site);
+  Result<EventTypeId> root_type = root.detector->AddRule(
+      name, root_expr,
+      [this, callback = std::move(callback)](const EventPtr& event) {
+        RecordDetection(event);
+        if (callback) callback(event);
+      });
+  if (!root_type.ok()) return root_type.status();
+  for (EventTypeId type : CollectPrimitiveTypes(root_expr)) {
+    Subscribe(type, config_.detector_site);
+  }
+  ++rules_added_;
+  return *root_type;
+}
+
+Status HierarchicalRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
+  for (const PlannedEvent& planned : plan) {
+    if (planned.site >= config_.num_sites) {
+      return Status::InvalidArgument(
+          StrCat("planned event site ", planned.site, " out of range"));
+    }
+    RETURN_IF_ERROR(registry_->Info(planned.type).status());
+    horizon_ = std::max(horizon_, planned.when);
+    sim_.At(planned.when, [this, planned] {
+      const PrimitiveTimestamp stamp =
+          fleet_.Stamp(planned.site, sim_.now(), rng_);
+      const EventPtr event =
+          Event::MakePrimitive(planned.type, stamp, planned.params);
+      ++stats_.events_injected;
+      history_.push_back(event);
+      injection_time_.emplace(event.get(), sim_.now());
+      Route(planned.site, event);
+    });
+  }
+  return Status::Ok();
+}
+
+void HierarchicalRuntime::Heartbeat() {
+  fleet_.AdvanceTo(sim_.now(), rng_);
+  for (auto& [site, station] : stations_) {
+    const LocalTicks local = fleet_.clock(site).ReadLocalTicks(sim_.now());
+    station.sequencer->AdvanceTo(local);
+    const LocalTicks watermark =
+        std::max<LocalTicks>(0, local - station.sequencer->window_ticks());
+    if (watermark > station.detector->clock()) {
+      station.detector->AdvanceClockTo(watermark);
+    }
+  }
+}
+
+void HierarchicalRuntime::RecordDetection(const EventPtr& event) {
+  ++stats_.detections;
+  detections_.push_back(event);
+  std::vector<EventPtr> primitives;
+  CollectPrimitives(event, primitives);
+  TrueTimeNs latest = -1;
+  for (const EventPtr& p : primitives) {
+    auto it = injection_time_.find(p.get());
+    if (it != injection_time_.end()) latest = std::max(latest, it->second);
+  }
+  if (latest >= 0) {
+    stats_.detection_latency_ms.Add(
+        static_cast<double>(sim_.now() - latest) / 1e6);
+  }
+}
+
+RuntimeStats HierarchicalRuntime::Run() {
+  const int64_t window_ns =
+      RootWindowTicks() * config_.timebase.local_granularity_ns;
+  const TrueTimeNs drain_until = horizon_ + 2 * window_ns +
+                                 2 * config_.network.base_latency_ns +
+                                 40 * config_.network.jitter_mean_ns +
+                                 4 * config_.heartbeat_ns +
+                                 config_.timebase.precision_ns +
+                                 config_.extra_drain_ns;
+  for (TrueTimeNs t = 0; t <= drain_until; t += config_.heartbeat_ns) {
+    sim_.At(t, [this] { Heartbeat(); });
+  }
+  sim_.Run();
+  for (auto& [site, station] : stations_) station.sequencer->Flush();
+  sim_.Run();
+
+  stats_.network_messages = network_.messages_sent();
+  stats_.network_bytes = network_.bytes_sent();
+  stats_.sequencer_late_arrivals = 0;
+  stats_.detector_events_dropped = 0;
+  stats_.timers_fired = 0;
+  for (const auto& [site, station] : stations_) {
+    stats_.sequencer_late_arrivals += station.sequencer->late_arrivals();
+    stats_.detector_events_dropped += station.detector->events_dropped();
+    stats_.timers_fired += station.detector->timers_fired();
+  }
+  return stats_;
+}
+
+std::vector<HierarchicalRuntime::StationInfo>
+HierarchicalRuntime::stations() const {
+  std::vector<StationInfo> out;
+  out.reserve(stations_.size());
+  for (const auto& [site, station] : stations_) {
+    out.push_back(StationInfo{site, station.detector->rules().size(),
+                              station.detector->events_fed(),
+                              station.emitted_upstream});
+  }
+  return out;
+}
+
+}  // namespace sentineld

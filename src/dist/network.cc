@@ -1,0 +1,62 @@
+#include "dist/network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sentineld {
+
+Status NetworkConfig::Validate() const {
+  if (base_latency_ns < 0 || jitter_mean_ns < 0 || local_latency_ns < 0) {
+    return Status::InvalidArgument("negative latency");
+  }
+  if (duplicate_prob < 0 || duplicate_prob > 1) {
+    return Status::InvalidArgument("duplicate_prob outside [0,1]");
+  }
+  return Status::Ok();
+}
+
+Network::Network(Simulation* sim, const NetworkConfig& config, Rng* rng)
+    : sim_(sim), config_(config), rng_(rng) {
+  CHECK(sim != nullptr);
+  CHECK(rng != nullptr);
+  CHECK_OK(config.Validate());
+}
+
+int64_t Network::SampleLatency(SiteId from, SiteId to) {
+  if (from == to) return config_.local_latency_ns;
+  int64_t latency = config_.base_latency_ns;
+  if (config_.jitter_mean_ns > 0) {
+    latency += static_cast<int64_t>(
+        rng_->NextExponential(static_cast<double>(config_.jitter_mean_ns)));
+  }
+  return latency;
+}
+
+void Network::Send(SiteId from, SiteId to, std::function<void()> deliver,
+                   size_t bytes) {
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  if (from != to) ++remote_messages_;
+  int64_t latency = SampleLatency(from, to);
+  TrueTimeNs deliver_at = sim_->now() + latency;
+  if (config_.fifo) {
+    const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+    auto [it, inserted] = fifo_floor_.try_emplace(key, deliver_at);
+    if (!inserted) {
+      deliver_at = std::max(deliver_at, it->second);
+      it->second = deliver_at;
+    } else {
+      it->second = deliver_at;
+    }
+  }
+  latency_.Add(static_cast<double>(deliver_at - sim_->now()));
+  if (config_.duplicate_prob > 0 && rng_->NextBool(config_.duplicate_prob)) {
+    ++duplicates_injected_;
+    bytes_sent_ += bytes;
+    sim_->At(sim_->now() + SampleLatency(from, to), deliver);
+  }
+  sim_->At(deliver_at, std::move(deliver));
+}
+
+}  // namespace sentineld

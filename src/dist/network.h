@@ -1,0 +1,67 @@
+#ifndef SENTINELD_DIST_NETWORK_H_
+#define SENTINELD_DIST_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "dist/simulation.h"
+#include "timestamp/primitive_timestamp.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Latency model of the simulated network. Message delay =
+/// base + Exp(jitter_mean); messages between distinct sites may overtake
+/// each other (non-FIFO) unless fifo is set, which is why detectors front
+/// their input with a Sequencer.
+struct NetworkConfig {
+  int64_t base_latency_ns = 2'000'000;  ///< 2 ms propagation floor
+  int64_t jitter_mean_ns = 1'000'000;   ///< exponential jitter mean
+  int64_t local_latency_ns = 10'000;    ///< same-site loopback delay
+  bool fifo = false;  ///< enforce per-(src,dst) FIFO delivery
+  /// Probability that a message is delivered twice (independently
+  /// sampled second latency) — at-least-once delivery fault injection.
+  /// Receivers deduplicate (see Sequencer) or overcount.
+  double duplicate_prob = 0.0;
+
+  Status Validate() const;
+};
+
+/// Point-to-point message transport over the simulation kernel.
+class Network {
+ public:
+  Network(Simulation* sim, const NetworkConfig& config, Rng* rng);
+
+  /// Delivers `deliver` at the destination after a sampled latency.
+  /// `bytes` is the message's wire size (dist/codec.h WireSize) for
+  /// traffic accounting; duplicates count their bytes again.
+  void Send(SiteId from, SiteId to, std::function<void()> deliver,
+            size_t bytes = 0);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t remote_messages() const { return remote_messages_; }
+  uint64_t duplicates_injected() const { return duplicates_injected_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  int64_t SampleLatency(SiteId from, SiteId to);
+
+  Simulation* sim_;
+  NetworkConfig config_;
+  Rng* rng_;
+  Histogram latency_;
+  uint64_t messages_sent_ = 0;
+  uint64_t remote_messages_ = 0;
+  uint64_t duplicates_injected_ = 0;
+  uint64_t bytes_sent_ = 0;
+  /// Per-(src,dst) earliest admissible delivery time under FIFO.
+  std::unordered_map<uint64_t, TrueTimeNs> fifo_floor_;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_DIST_NETWORK_H_

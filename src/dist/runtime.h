@@ -1,0 +1,140 @@
+#ifndef SENTINELD_DIST_RUNTIME_H_
+#define SENTINELD_DIST_RUNTIME_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/network.h"
+#include "dist/sequencer.h"
+#include "dist/simulation.h"
+#include "event/generator.h"
+#include "event/registry.h"
+#include "snoop/detector.h"
+#include "snoop/parser.h"
+#include "timebase/clock_fleet.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Configuration of a simulated distributed Sentinel deployment: N sites
+/// with synchronized-to-Pi local clocks, a lossy-free but jittery network,
+/// and a global detector hosted at one site fronted by a Sequencer.
+struct RuntimeConfig {
+  uint32_t num_sites = 4;
+  TimebaseConfig timebase;
+  SyncPolicy sync;
+  NetworkConfig network;
+  ParamContext context = ParamContext::kUnrestricted;
+  /// Eligibility policy for order-sensitive operators (snoop/context.h).
+  IntervalPolicy interval_policy = IntervalPolicy::kPointBased;
+  SiteId detector_site = 0;
+  /// Sequencer stability window in local ticks; 0 selects the sound
+  /// default (Pi + max expected network delay, plus slack) — see
+  /// EffectiveWindowTicks().
+  int64_t stability_window_ticks = 0;
+  /// Period of the detector's clock pump (drives watermark advancement
+  /// and temporal-operator timers).
+  int64_t heartbeat_ns = 50'000'000;
+  /// Extra reference time to keep pumping the clocks past the last
+  /// injected event (plus the automatic drain margin). Needed when a
+  /// temporal operator (`E + t`, P without terminator) must fire after
+  /// the final event; 0 ends the run once in-flight work drains.
+  int64_t extra_drain_ns = 0;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+
+  /// The stability window actually used: the configured one, or
+  /// ceil((Pi + base_latency + 8 * jitter_mean) / g_local) + 3 * (g_g/g)
+  /// when 0. The 3-ratio term additionally covers composite-timestamp
+  /// anchor skew (see Sequencer docs).
+  int64_t EffectiveWindowTicks() const;
+};
+
+/// Statistics of one run.
+struct RuntimeStats {
+  uint64_t events_injected = 0;
+  uint64_t detections = 0;
+  uint64_t network_messages = 0;
+  uint64_t network_bytes = 0;  ///< wire-format bytes (dist/codec.h)
+  uint64_t sequencer_late_arrivals = 0;
+  uint64_t detector_events_dropped = 0;
+  uint64_t timers_fired = 0;
+  /// Detection latency: wall (reference) time from the latest constituent
+  /// primitive occurrence to the rule firing, in milliseconds.
+  Histogram detection_latency_ms;
+};
+
+/// A complete simulated deployment: the paper's distributed event
+/// detection architecture, end to end — sites stamp primitive events with
+/// their drifting local clocks (Def 4.6), notifications travel over the
+/// jittery network to the detector site, the Sequencer restores a linear
+/// extension of `<`, and the Detector evaluates Snoop rules under
+/// composite-timestamp semantics (Sec. 5.3), firing rule callbacks.
+class DistributedRuntime {
+ public:
+  using Callback = std::function<void(const EventPtr&)>;
+
+  static Result<std::unique_ptr<DistributedRuntime>> Create(
+      const RuntimeConfig& config, EventTypeRegistry* registry);
+
+  /// Adds a rule from an expression tree; `callback` (optional) fires on
+  /// each detection, after stats are recorded.
+  Result<EventTypeId> AddRule(const std::string& name, const ExprPtr& expr,
+                              Callback callback = nullptr);
+
+  /// Parses `expr_text` and adds the rule.
+  Result<EventTypeId> AddRuleText(const std::string& name,
+                                  std::string_view expr_text,
+                                  Callback callback = nullptr,
+                                  const ParserOptions& parser_options = {});
+
+  /// Schedules the planned primitive events for injection at their sites.
+  /// Types must already be registered. May be called repeatedly before
+  /// Run.
+  Status InjectPlan(std::span<const PlannedEvent> plan);
+
+  /// Runs the simulation to completion (including sequencer drain and a
+  /// final timer sweep) and returns the collected statistics.
+  RuntimeStats Run();
+
+  /// Every primitive occurrence injected so far (for oracle comparison).
+  const std::vector<EventPtr>& injected_history() const { return history_; }
+  /// Every rule-root detection, in firing order.
+  const std::vector<EventPtr>& detections() const { return detections_; }
+
+  Simulation& sim() { return sim_; }
+  Detector& detector() { return *detector_; }
+  const RuntimeConfig& config() const { return config_; }
+
+ private:
+  DistributedRuntime(const RuntimeConfig& config,
+                     EventTypeRegistry* registry, ClockFleet fleet);
+
+  void DeliverToDetector(const EventPtr& event);
+  void Heartbeat();
+  LocalTicks DetectorLocalNow();
+  void RecordDetection(const EventPtr& event);
+
+  RuntimeConfig config_;
+  EventTypeRegistry* registry_;
+  Rng rng_;
+  Simulation sim_;
+  ClockFleet fleet_;
+  Network network_;
+  std::unique_ptr<Detector> detector_;
+  std::unique_ptr<Sequencer> sequencer_;
+  std::vector<EventPtr> history_;
+  std::vector<EventPtr> detections_;
+  std::unordered_map<const Event*, TrueTimeNs> injection_time_;
+  RuntimeStats stats_;
+  TrueTimeNs horizon_ = 0;  // latest planned injection
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_DIST_RUNTIME_H_

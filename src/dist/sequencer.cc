@@ -1,0 +1,88 @@
+#include "dist/sequencer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+/// The minimum local tick among the timestamp's elements. Releasing in
+/// ascending min-anchor order is a linear extension of the composite `<`
+/// for model-consistent stamps: if Before(X, Y), then Y's minimum element
+/// ty* is dominated by some tx in X (forall-exists), and the primitive
+/// tx < ty* implies tx.local < ty*.local both same-site (by definition)
+/// and cross-site (global < global - 1 forces the locals apart), so
+/// min(X) <= tx.local < min(Y) strictly. Ties are therefore always
+/// `<`-unordered and may release in any (here: arrival) order.
+LocalTicks MinAnchorTick(const CompositeTimestamp& t) {
+  CHECK(!t.empty());
+  LocalTicks anchor = t.stamps().front().local;
+  for (const PrimitiveTimestamp& p : t.stamps()) {
+    anchor = std::min(anchor, p.local);
+  }
+  return anchor;
+}
+
+}  // namespace
+
+Sequencer::Sequencer(int64_t stability_window_ticks, Release release,
+                     bool dedup)
+    : window_ticks_(stability_window_ticks),
+      release_(std::move(release)),
+      dedup_(dedup) {
+  CHECK_GE(stability_window_ticks, 0);
+  CHECK(release_ != nullptr);
+}
+
+void Sequencer::Offer(const EventPtr& event) {
+  CHECK(event != nullptr);
+  if (dedup_ && !seen_.insert(event.get()).second) {
+    ++duplicates_dropped_;
+    return;
+  }
+  const LocalTicks anchor = MinAnchorTick(event->timestamp());
+  if (watermark_ != INT64_MIN && anchor <= watermark_) {
+    // The stability deadline for this anchor already passed: the window
+    // was too small for this straggler. It is still delivered (next
+    // AdvanceTo), but ordering relative to prior releases is lost.
+    ++late_arrivals_;
+  }
+  buffer_.push_back(Held{event, anchor, seq_++});
+}
+
+void Sequencer::AdvanceTo(LocalTicks now_local) {
+  const LocalTicks watermark = now_local - window_ticks_;
+  if (watermark <= watermark_) return;
+  watermark_ = watermark;
+  std::vector<Held> stable;
+  std::vector<Held> kept;
+  for (Held& held : buffer_) {
+    (held.anchor <= watermark ? stable : kept).push_back(std::move(held));
+  }
+  buffer_ = std::move(kept);
+  if (!stable.empty()) ReleaseBatch(std::move(stable));
+}
+
+void Sequencer::Flush() {
+  if (buffer_.empty()) return;
+  std::vector<Held> all = std::move(buffer_);
+  buffer_.clear();
+  ReleaseBatch(std::move(all));
+}
+
+void Sequencer::ReleaseBatch(std::vector<Held> batch) {
+  // Ascending (min-anchor, arrival) is a linear extension of `<` — see
+  // MinAnchorTick — and min-anchor stability makes it consistent ACROSS
+  // batches too: anything `<`-before a still-buffered event has a
+  // strictly smaller min-anchor and was therefore released no later.
+  std::sort(batch.begin(), batch.end(), [](const Held& a, const Held& b) {
+    return a.anchor != b.anchor ? a.anchor < b.anchor : a.seq < b.seq;
+  });
+  for (Held& held : batch) {
+    ++released_;
+    release_(held.event);
+  }
+}
+
+}  // namespace sentineld

@@ -1,0 +1,94 @@
+#ifndef SENTINELD_DIST_SEQUENCER_H_
+#define SENTINELD_DIST_SEQUENCER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "event/event.h"
+#include "timestamp/composite_timestamp.h"
+
+namespace sentineld {
+
+/// Reorder buffer in front of a Detector: turns the network's arbitrary
+/// arrival order into a *linear extension of the composite happen-before
+/// order*, which is the Detector's delivery contract (see snoop/node.h).
+///
+/// Mechanism: an event is keyed by its MIN-anchor — the smallest local
+/// tick among its timestamp's elements (for primitive events simply the
+/// local tick) — and held until the watermark (the host site's local
+/// clock minus the stability window W) passes that anchor; stable events
+/// release in ascending (min-anchor, arrival) order.
+///
+/// Why min-anchor: Before(X, Y) implies min-anchor(X) < min-anchor(Y)
+/// strictly for model-consistent stamps (the dominating element of X
+/// sits below Y's minimum element in local time), so ascending min-anchor
+/// is a linear extension of `<` — and because stability is keyed on the
+/// same quantity, the extension holds ACROSS release batches, not just
+/// within one. (Releasing by max-anchor would not: a composite can be
+/// `<`-before another while having the larger max-anchor.)
+///
+/// Correctness of the window: an event with min-anchor L is produced by
+/// wall time ≈ L·g + (anchor skew inside the stamp, bounded by ~2 global
+/// ticks) + Pi, and arrives one network delay later; choosing
+///     W >= (Pi + max_network_delay) / g_local + skew allowance
+/// guarantees that once the watermark passes L, everything ordered
+/// before an anchor-L event has already arrived. Too-small windows trade
+/// completeness for latency; the sequencer counts `late_arrivals()` —
+/// events arriving after their stability deadline passed (the
+/// operational symptom of a too-small W) — so the trade-off is
+/// measurable (bench/bench_distributed sweeps it).
+class Sequencer {
+ public:
+  using Release = std::function<void(const EventPtr&)>;
+
+  /// `stability_window_ticks` is W in host local ticks. With `dedup`,
+  /// occurrences already offered are dropped (at-least-once delivery
+  /// protection; identity is the occurrence object, the simulation's
+  /// stand-in for a unique event id).
+  Sequencer(int64_t stability_window_ticks, Release release,
+            bool dedup = false);
+
+  /// Buffers an incoming occurrence.
+  void Offer(const EventPtr& event);
+
+  /// Advances the host-clock watermark and releases every stable event,
+  /// in linear-extension order. `now_local` must be monotone.
+  void AdvanceTo(LocalTicks now_local);
+
+  /// Releases everything still buffered regardless of stability (end of
+  /// run), preserving the topological order.
+  void Flush();
+
+  size_t pending() const { return buffer_.size(); }
+  uint64_t released() const { return released_; }
+  uint64_t late_arrivals() const { return late_arrivals_; }
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  int64_t window_ticks() const { return window_ticks_; }
+
+ private:
+  struct Held {
+    EventPtr event;
+    LocalTicks anchor;
+    uint64_t seq;
+  };
+
+  /// Releases `batch` in ascending (min-anchor, arrival) order.
+  void ReleaseBatch(std::vector<Held> batch);
+
+  int64_t window_ticks_;
+  Release release_;
+  bool dedup_;
+  std::vector<Held> buffer_;
+  std::unordered_set<const Event*> seen_;
+  LocalTicks watermark_ = INT64_MIN;
+  uint64_t seq_ = 0;
+  uint64_t released_ = 0;
+  uint64_t late_arrivals_ = 0;
+  uint64_t duplicates_dropped_ = 0;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_DIST_SEQUENCER_H_

@@ -1,0 +1,41 @@
+#include "dist/simulation.h"
+
+#include "util/logging.h"
+
+namespace sentineld {
+
+void Simulation::At(TrueTimeNs when, Action action) {
+  CHECK_GE(when, now_);
+  agenda_.push(Entry{when, seq_++, std::move(action)});
+}
+
+void Simulation::After(int64_t delay_ns, Action action) {
+  CHECK_GE(delay_ns, 0);
+  At(now_ + delay_ns, std::move(action));
+}
+
+uint64_t Simulation::Run(TrueTimeNs until) {
+  uint64_t executed = 0;
+  while (!agenda_.empty() && agenda_.top().when <= until) {
+    // Copy out before pop: the action may schedule more work.
+    Entry entry = std::move(const_cast<Entry&>(agenda_.top()));
+    agenda_.pop();
+    now_ = entry.when;
+    entry.action();
+    ++executed;
+    ++executed_;
+  }
+  return executed;
+}
+
+bool Simulation::Step() {
+  if (agenda_.empty()) return false;
+  Entry entry = std::move(const_cast<Entry&>(agenda_.top()));
+  agenda_.pop();
+  now_ = entry.when;
+  entry.action();
+  ++executed_;
+  return true;
+}
+
+}  // namespace sentineld

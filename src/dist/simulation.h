@@ -1,0 +1,60 @@
+#ifndef SENTINELD_DIST_SIMULATION_H_
+#define SENTINELD_DIST_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "timebase/config.h"
+
+namespace sentineld {
+
+/// Deterministic discrete-event simulation kernel: the substitute for
+/// real distributed hardware (DESIGN.md Sec. 3). Actions scheduled at the
+/// same instant run in scheduling (FIFO) order, so runs are exactly
+/// reproducible.
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute reference time `when`; `when` must
+  /// not precede the current simulation time.
+  void At(TrueTimeNs when, Action action);
+
+  /// Schedules `action` `delay` after the current time.
+  void After(int64_t delay_ns, Action action);
+
+  /// Runs until the agenda is empty or the next action is later than
+  /// `until`. Returns the number of actions executed.
+  uint64_t Run(TrueTimeNs until = INT64_MAX);
+
+  /// Executes at most one pending action (for step-debugging in tests).
+  bool Step();
+
+  TrueTimeNs now() const { return now_; }
+  bool empty() const { return agenda_.empty(); }
+  size_t pending() const { return agenda_.size(); }
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TrueTimeNs when;
+    uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> agenda_;
+  TrueTimeNs now_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_DIST_SIMULATION_H_

@@ -1,0 +1,90 @@
+#include "event/event.h"
+
+#include "timestamp/max_operator.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+const char* EventClassToString(EventClass c) {
+  switch (c) {
+    case EventClass::kDatabase:
+      return "database";
+    case EventClass::kTransaction:
+      return "transaction";
+    case EventClass::kExplicit:
+      return "explicit";
+    case EventClass::kTemporal:
+      return "temporal";
+    case EventClass::kAbstract:
+      return "abstract";
+    case EventClass::kComposite:
+      return "composite";
+  }
+  return "?";
+}
+
+std::string AttributeValue::ToString() const {
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return FormatDouble(AsDouble(), 6);
+  if (is_bool()) return AsBool() ? "true" : "false";
+  return StrCat("\"", AsString(), "\"");
+}
+
+struct EventFactoryAccess {
+  template <typename... Args>
+  static EventPtr New(Args&&... args) {
+    return std::shared_ptr<const Event>(
+        new Event(std::forward<Args>(args)...));
+  }
+};
+
+EventPtr Event::MakePrimitive(EventTypeId type,
+                              const PrimitiveTimestamp& stamp,
+                              ParameterList params) {
+  CompositeTimestamp ts = CompositeTimestamp::FromSingle(stamp);
+  CompositeTimestamp start = ts;  // a point occurrence starts when it is
+  return EventFactoryAccess::New(type, std::move(ts), std::move(start),
+                                 std::move(params), std::vector<EventPtr>{});
+}
+
+EventPtr Event::MakeComposite(EventTypeId type,
+                              std::vector<EventPtr> constituents) {
+  CHECK(!constituents.empty());
+  std::vector<CompositeTimestamp> stamps;
+  std::vector<CompositeTimestamp> starts;
+  stamps.reserve(constituents.size());
+  starts.reserve(constituents.size());
+  for (const EventPtr& c : constituents) {
+    CHECK(c != nullptr);
+    stamps.push_back(c->timestamp());
+    starts.push_back(c->interval_start());
+  }
+  return EventFactoryAccess::New(type, MaxAll(stamps), MinAll(starts),
+                                 ParameterList{}, std::move(constituents));
+}
+
+void CollectPrimitives(const EventPtr& event, std::vector<EventPtr>& out) {
+  if (event->is_primitive()) {
+    out.push_back(event);
+    return;
+  }
+  for (const EventPtr& c : event->constituents()) CollectPrimitives(c, out);
+}
+
+std::string Event::ToString() const {
+  std::string out = StrCat("E", type_, "@", timestamp_.ToString());
+  if (!constituents_.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(constituents_.size());
+    for (const EventPtr& c : constituents_) parts.push_back(c->ToString());
+    out += StrCat("[", Join(parts, "; "), "]");
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Event& event) {
+  return os << event.ToString();
+}
+
+}  // namespace sentineld

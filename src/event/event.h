@@ -1,0 +1,142 @@
+#ifndef SENTINELD_EVENT_EVENT_H_
+#define SENTINELD_EVENT_EVENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "timestamp/composite_timestamp.h"
+
+namespace sentineld {
+
+/// Identifier of a registered event type (primitive or composite).
+using EventTypeId = uint32_t;
+
+/// The classes of primitive events Sentinel distinguishes (paper Sec. 2 /
+/// Sec. 3.1: data-manipulation, transaction, explicit/abstract and time
+/// events). The class matters for the simultaneity assumptions of
+/// Sec. 3.1 (e.g. no two database events happen simultaneously) and for
+/// workload generation; detection semantics are uniform across classes.
+enum class EventClass {
+  kDatabase,     ///< data-manipulation events (insert/update/delete/...)
+  kTransaction,  ///< begin/commit/abort events
+  kExplicit,     ///< application-raised events
+  kTemporal,     ///< clock-generated events (absolute or periodic)
+  kAbstract,     ///< external events registered by other systems
+  kComposite,    ///< events defined by a Snoop expression
+};
+
+const char* EventClassToString(EventClass c);
+
+/// A typed attribute value carried in an event's parameter list.
+class AttributeValue {
+ public:
+  AttributeValue() : value_(int64_t{0}) {}
+  explicit AttributeValue(int64_t v) : value_(v) {}
+  explicit AttributeValue(double v) : value_(v) {}
+  explicit AttributeValue(bool v) : value_(v) {}
+  explicit AttributeValue(std::string v) : value_(std::move(v)) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(value_); }
+  double AsDouble() const { return std::get<double>(value_); }
+  bool AsBool() const { return std::get<bool>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const AttributeValue&,
+                         const AttributeValue&) = default;
+
+ private:
+  std::variant<int64_t, double, bool, std::string> value_;
+};
+
+/// Named attributes of one event occurrence, in declaration order.
+using ParameterList = std::vector<std::pair<std::string, AttributeValue>>;
+
+class Event;
+/// Events are immutable once constructed and shared by the detector graph
+/// (an occurrence can participate in many partial detections at once).
+using EventPtr = std::shared_ptr<const Event>;
+
+/// One event occurrence — primitive or composite (paper Sec. 5.3: "a
+/// distributed event E is a function from the time stamp domain onto the
+/// boolean values"; an Event object is a witness of one `True` point of
+/// that function).
+///
+/// A primitive occurrence has a singleton composite timestamp (its
+/// primitive stamp lifted via CompositeTimestamp::FromSingle) and no
+/// constituents. A composite occurrence's timestamp is the Max over its
+/// constituents' timestamps, and its constituents record the occurrences
+/// that made it fire (the operands Snoop's parameter computation uses).
+class Event {
+ public:
+  /// Creates a primitive occurrence.
+  static EventPtr MakePrimitive(EventTypeId type,
+                                const PrimitiveTimestamp& stamp,
+                                ParameterList params = {});
+
+  /// Creates a composite occurrence of `type` from its constituent
+  /// occurrences; the timestamp is MaxAll over the constituents'
+  /// timestamps (Sec. 5.2's propagation rule).
+  static EventPtr MakeComposite(EventTypeId type,
+                                std::vector<EventPtr> constituents);
+
+  EventTypeId type() const { return type_; }
+  /// The occurrence (completion) timestamp — the paper's T(e), the Max
+  /// over constituents.
+  const CompositeTimestamp& timestamp() const { return timestamp_; }
+  /// When the occurrence STARTED: the minima over all constituent
+  /// primitive stamps (equals timestamp() for primitive events). Drives
+  /// the interval-semantics detection policy (see snoop/context.h).
+  const CompositeTimestamp& interval_start() const { return start_; }
+  const ParameterList& params() const { return params_; }
+  const std::vector<EventPtr>& constituents() const { return constituents_; }
+  bool is_primitive() const { return constituents_.empty(); }
+
+  /// For a primitive occurrence: the site where it occurred.
+  SiteId site() const { return timestamp_.stamps().front().site; }
+
+  /// "type@{stamps}" plus nested constituents, for logs and tests.
+  std::string ToString() const;
+
+ private:
+  Event(EventTypeId type, CompositeTimestamp timestamp,
+        CompositeTimestamp start, ParameterList params,
+        std::vector<EventPtr> constituents)
+      : type_(type),
+        timestamp_(std::move(timestamp)),
+        start_(std::move(start)),
+        params_(std::move(params)),
+        constituents_(std::move(constituents)) {}
+
+  EventTypeId type_;
+  CompositeTimestamp timestamp_;
+  CompositeTimestamp start_;
+  ParameterList params_;
+  std::vector<EventPtr> constituents_;
+
+  // shared_ptr construction goes through the factories.
+  friend struct EventFactoryAccess;
+};
+
+std::ostream& operator<<(std::ostream& os, const Event& event);
+
+/// Recursively collects the primitive occurrences underneath `event` in
+/// depth-first (detection) order; a primitive event yields itself.
+void CollectPrimitives(const EventPtr& event, std::vector<EventPtr>& out);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_EVENT_EVENT_H_

@@ -1,0 +1,82 @@
+#include "event/generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sentineld {
+
+Status WorkloadConfig::Validate() const {
+  if (num_sites == 0) return Status::InvalidArgument("num_sites == 0");
+  if (num_types == 0) return Status::InvalidArgument("num_types == 0");
+  if (mean_interarrival_ns <= 0) {
+    return Status::InvalidArgument("mean_interarrival_ns <= 0");
+  }
+  if (type_skew < 0 || site_skew < 0) {
+    return Status::InvalidArgument("negative skew");
+  }
+  return Status::Ok();
+}
+
+std::vector<PlannedEvent> GenerateWorkload(const WorkloadConfig& config,
+                                           Rng& rng) {
+  CHECK_OK(config.Validate());
+  std::vector<PlannedEvent> plan;
+  plan.reserve(config.num_events);
+  TrueTimeNs now = config.start;
+  for (size_t i = 0; i < config.num_events; ++i) {
+    now += static_cast<int64_t>(rng.NextExponential(
+        static_cast<double>(config.mean_interarrival_ns)));
+    PlannedEvent e;
+    e.when = now;
+    e.site = config.site_skew == 0
+                 ? static_cast<SiteId>(rng.NextBounded(config.num_sites))
+                 : static_cast<SiteId>(
+                       rng.NextZipf(config.num_sites, config.site_skew));
+    e.type = config.type_skew == 0
+                 ? static_cast<EventTypeId>(rng.NextBounded(config.num_types))
+                 : static_cast<EventTypeId>(
+                       rng.NextZipf(config.num_types, config.type_skew));
+    e.params.emplace_back("seq", AttributeValue(static_cast<int64_t>(i)));
+    plan.push_back(std::move(e));
+  }
+  return plan;
+}
+
+std::vector<PlannedEvent> GenerateBurst(EventTypeId type,
+                                        const std::vector<SiteId>& sites,
+                                        TrueTimeNs start, int64_t span_ns,
+                                        size_t count) {
+  CHECK(!sites.empty());
+  CHECK_GT(count, 0u);
+  std::vector<PlannedEvent> plan;
+  plan.reserve(count);
+  const int64_t step = count > 1 ? span_ns / static_cast<int64_t>(count - 1)
+                                 : 0;
+  for (size_t i = 0; i < count; ++i) {
+    PlannedEvent e;
+    e.when = start + step * static_cast<int64_t>(i);
+    e.site = sites[i % sites.size()];
+    e.type = type;
+    plan.push_back(std::move(e));
+  }
+  return plan;
+}
+
+std::vector<PlannedEvent> MergePlans(std::vector<PlannedEvent> a,
+                                     std::vector<PlannedEvent> b) {
+  std::vector<PlannedEvent> merged;
+  merged.reserve(a.size() + b.size());
+  merged.insert(merged.end(), std::make_move_iterator(a.begin()),
+                std::make_move_iterator(a.end()));
+  merged.insert(merged.end(), std::make_move_iterator(b.begin()),
+                std::make_move_iterator(b.end()));
+  std::stable_sort(
+      merged.begin(), merged.end(),
+      [](const PlannedEvent& x, const PlannedEvent& y) {
+        return x.when < y.when;
+      });
+  return merged;
+}
+
+}  // namespace sentineld

@@ -1,0 +1,69 @@
+#ifndef SENTINELD_EVENT_GENERATOR_H_
+#define SENTINELD_EVENT_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "event/event.h"
+#include "timebase/config.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// One planned primitive-event occurrence in a synthetic workload: where
+/// and when (in reference time) an event of which type fires, plus its
+/// parameters. The clock fleet converts `when` into the site's primitive
+/// timestamp at injection time — the generator itself never sees local
+/// clocks, mirroring how real sources are oblivious to synchronization.
+struct PlannedEvent {
+  TrueTimeNs when = 0;
+  SiteId site = 0;
+  EventTypeId type = 0;
+  ParameterList params;
+};
+
+/// Parameters of the synthetic workload generator. This is the
+/// substitution (DESIGN.md Sec. 3) for Sentinel's real DB/transaction
+/// event sources: a stream of typed primitive events at configurable
+/// rates, type skew, and site distribution.
+struct WorkloadConfig {
+  uint32_t num_sites = 4;
+  /// Event types to draw from; the generator assumes ids [0, num_types).
+  uint32_t num_types = 8;
+  /// Mean inter-arrival time between consecutive events across the whole
+  /// system (exponential arrivals — Poisson process).
+  int64_t mean_interarrival_ns = 50'000'000;
+  /// Total events to generate.
+  size_t num_events = 1000;
+  /// Zipf skew over event types (0 = uniform).
+  double type_skew = 0.0;
+  /// Zipf skew over sites (0 = uniform).
+  double site_skew = 0.0;
+  /// Start of the workload in reference time.
+  TrueTimeNs start = 1'000'000'000;
+
+  Status Validate() const;
+};
+
+/// Generates a time-ordered plan of primitive events (Poisson arrivals,
+/// optionally Zipf-skewed over types and sites). Deterministic given the
+/// Rng seed.
+std::vector<PlannedEvent> GenerateWorkload(const WorkloadConfig& config,
+                                           Rng& rng);
+
+/// Generates a "scenario burst": `count` events of the given type spread
+/// over `span_ns` starting at `start`, round-robin over `sites`. Useful
+/// for hand-built tests and the examples.
+std::vector<PlannedEvent> GenerateBurst(EventTypeId type,
+                                        const std::vector<SiteId>& sites,
+                                        TrueTimeNs start, int64_t span_ns,
+                                        size_t count);
+
+/// Merges plans by time (stable for equal times).
+std::vector<PlannedEvent> MergePlans(std::vector<PlannedEvent> a,
+                                     std::vector<PlannedEvent> b);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_EVENT_GENERATOR_H_

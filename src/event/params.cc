@@ -1,0 +1,93 @@
+#include "event/params.h"
+
+#include "util/string_util.h"
+
+namespace sentineld {
+
+ParameterList FlattenParams(const EventPtr& event) {
+  std::vector<EventPtr> primitives;
+  CollectPrimitives(event, primitives);
+  ParameterList out;
+  for (const EventPtr& p : primitives) {
+    out.insert(out.end(), p->params().begin(), p->params().end());
+  }
+  return out;
+}
+
+std::optional<AttributeValue> FindParam(const EventPtr& event,
+                                        std::string_view key) {
+  std::vector<EventPtr> primitives;
+  CollectPrimitives(event, primitives);
+  for (const EventPtr& p : primitives) {
+    for (const auto& [name, value] : p->params()) {
+      if (name == key) return value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<AttributeValue> FindLastParam(const EventPtr& event,
+                                            std::string_view key) {
+  std::vector<EventPtr> primitives;
+  CollectPrimitives(event, primitives);
+  std::optional<AttributeValue> found;
+  for (const EventPtr& p : primitives) {
+    for (const auto& [name, value] : p->params()) {
+      if (name == key) found = value;
+    }
+  }
+  return found;
+}
+
+EventPtr FindConstituent(const EventPtr& event, EventTypeId type) {
+  std::vector<EventPtr> primitives;
+  CollectPrimitives(event, primitives);
+  for (const EventPtr& p : primitives) {
+    if (p->type() == type) return p;
+  }
+  return nullptr;
+}
+
+std::vector<EventPtr> FindConstituents(const EventPtr& event,
+                                       EventTypeId type) {
+  std::vector<EventPtr> primitives;
+  CollectPrimitives(event, primitives);
+  std::vector<EventPtr> out;
+  for (const EventPtr& p : primitives) {
+    if (p->type() == type) out.push_back(p);
+  }
+  return out;
+}
+
+int64_t SumIntParam(const EventPtr& event, std::string_view key) {
+  std::vector<EventPtr> primitives;
+  CollectPrimitives(event, primitives);
+  int64_t total = 0;
+  for (const EventPtr& p : primitives) {
+    for (const auto& [name, value] : p->params()) {
+      if (name == key && value.is_int()) total += value.AsInt();
+    }
+  }
+  return total;
+}
+
+std::string DescribeOccurrence(const EventPtr& event,
+                               const EventTypeRegistry& registry) {
+  std::vector<EventPtr> primitives;
+  CollectPrimitives(event, primitives);
+  std::vector<std::string> parts;
+  parts.reserve(primitives.size());
+  for (const EventPtr& p : primitives) {
+    std::string part =
+        StrCat(registry.NameOf(p->type()), "@site", p->site());
+    for (const auto& [key, value] : p->params()) {
+      part += StrCat(" ", key, "=", value.ToString());
+    }
+    parts.push_back(std::move(part));
+  }
+  return StrCat(registry.NameOf(event->type()), " ",
+                event->timestamp().ToString(), " <- [", Join(parts, "; "),
+                "]");
+}
+
+}  // namespace sentineld

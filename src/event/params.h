@@ -1,0 +1,52 @@
+#ifndef SENTINELD_EVENT_PARAMS_H_
+#define SENTINELD_EVENT_PARAMS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "event/event.h"
+#include "event/registry.h"
+
+namespace sentineld {
+
+/// Parameter computation for composite events (Sentinel computes a
+/// composite occurrence's parameters from its constituents' parameter
+/// lists). These helpers are what rule conditions and actions use to
+/// inspect an occurrence without manual tree-walking.
+
+/// The parameters of every primitive constituent underneath `event`,
+/// flattened in detection (depth-first) order. Keys repeat if multiple
+/// constituents carry the same attribute.
+ParameterList FlattenParams(const EventPtr& event);
+
+/// The first value of attribute `key` among the primitive constituents
+/// in detection order, or nullopt.
+std::optional<AttributeValue> FindParam(const EventPtr& event,
+                                        std::string_view key);
+
+/// The last (most recent constituent's) value of `key`, or nullopt.
+std::optional<AttributeValue> FindLastParam(const EventPtr& event,
+                                            std::string_view key);
+
+/// The first primitive constituent of the given event type underneath
+/// `event`, or nullptr — e.g. "the withdraw inside this sequence".
+EventPtr FindConstituent(const EventPtr& event, EventTypeId type);
+
+/// All primitive constituents of the given type, in detection order.
+std::vector<EventPtr> FindConstituents(const EventPtr& event,
+                                       EventTypeId type);
+
+/// Sum of `key` over all primitive constituents holding an integer value
+/// under that key (useful for cumulative occurrences: "total volume of
+/// the accumulated trades").
+int64_t SumIntParam(const EventPtr& event, std::string_view key);
+
+/// Human-readable one-line rendering of an occurrence: type names from
+/// `registry`, constituent sites and parameters. For logs and CLIs.
+std::string DescribeOccurrence(const EventPtr& event,
+                               const EventTypeRegistry& registry);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_EVENT_PARAMS_H_

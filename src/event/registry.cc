@@ -1,0 +1,55 @@
+#include "event/registry.h"
+
+#include "util/string_util.h"
+
+namespace sentineld {
+
+Result<EventTypeId> EventTypeRegistry::Register(const std::string& name,
+                                                EventClass event_class) {
+  if (name.empty()) {
+    return Status::InvalidArgument("event type name must be non-empty");
+  }
+  if (by_name_.contains(name)) {
+    return Status::AlreadyExists(StrCat("event type '", name, "'"));
+  }
+  const EventTypeId id = static_cast<EventTypeId>(types_.size());
+  types_.push_back(TypeInfo{id, name, event_class});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Result<EventTypeId> EventTypeRegistry::GetOrRegister(
+    const std::string& name, EventClass event_class) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Register(name, event_class);
+  const TypeInfo& info = types_[it->second];
+  if (info.event_class != event_class) {
+    return Status::InvalidArgument(
+        StrCat("event type '", name, "' already registered as ",
+               EventClassToString(info.event_class)));
+  }
+  return it->second;
+}
+
+Result<EventTypeId> EventTypeRegistry::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound(StrCat("event type '", name, "'"));
+  }
+  return it->second;
+}
+
+Result<EventTypeRegistry::TypeInfo> EventTypeRegistry::Info(
+    EventTypeId id) const {
+  if (id >= types_.size()) {
+    return Status::NotFound(StrCat("event type id ", id));
+  }
+  return types_[id];
+}
+
+std::string EventTypeRegistry::NameOf(EventTypeId id) const {
+  if (id < types_.size()) return types_[id].name;
+  return StrCat("E", id);
+}
+
+}  // namespace sentineld

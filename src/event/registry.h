@@ -1,0 +1,52 @@
+#ifndef SENTINELD_EVENT_REGISTRY_H_
+#define SENTINELD_EVENT_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "event/event.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Catalog of event types known to a Sentinel instance. Types are named,
+/// classed, and assigned dense ids (usable as vector indices in the
+/// detector). Not thread-safe; registration happens during rule setup.
+class EventTypeRegistry {
+ public:
+  struct TypeInfo {
+    EventTypeId id;
+    std::string name;
+    EventClass event_class;
+  };
+
+  /// Registers a new type; AlreadyExists if the name is taken.
+  Result<EventTypeId> Register(const std::string& name,
+                               EventClass event_class);
+
+  /// Registers the name if new, otherwise returns the existing id
+  /// (the existing class wins; mismatching class is InvalidArgument).
+  Result<EventTypeId> GetOrRegister(const std::string& name,
+                                    EventClass event_class);
+
+  /// Looks up a type id by name.
+  Result<EventTypeId> Lookup(const std::string& name) const;
+
+  /// Info for a registered id; NotFound for unknown ids.
+  Result<TypeInfo> Info(EventTypeId id) const;
+
+  /// Name for a registered id, or "E<id>" for unknown ids (logging aid).
+  std::string NameOf(EventTypeId id) const;
+
+  size_t size() const { return types_.size(); }
+  const std::vector<TypeInfo>& types() const { return types_; }
+
+ private:
+  std::vector<TypeInfo> types_;
+  std::unordered_map<std::string, EventTypeId> by_name_;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_EVENT_REGISTRY_H_

@@ -1,0 +1,195 @@
+#include "event/trace_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+constexpr std::string_view kHeader = "# sentineld trace v1";
+
+std::string EncodeValue(const AttributeValue& value) {
+  if (value.is_int()) return StrCat("i:", value.AsInt());
+  if (value.is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "d:%.17g", value.AsDouble());
+    return buf;
+  }
+  if (value.is_bool()) return value.AsBool() ? "b:true" : "b:false";
+  return StrCat("s:", PercentEncode(value.AsString()));
+}
+
+Result<AttributeValue> DecodeValue(const std::string& text) {
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::InvalidArgument(StrCat("malformed value '", text, "'"));
+  }
+  const std::string payload = text.substr(2);
+  switch (text[0]) {
+    case 'i': {
+      int64_t parsed = 0;
+      const auto [ptr, ec] = std::from_chars(
+          payload.data(), payload.data() + payload.size(), parsed);
+      if (ec != std::errc() || ptr != payload.data() + payload.size()) {
+        return Status::InvalidArgument(StrCat("bad int '", payload, "'"));
+      }
+      return AttributeValue(parsed);
+    }
+    case 'd': {
+      char* end = nullptr;
+      const double parsed = std::strtod(payload.c_str(), &end);
+      if (end != payload.c_str() + payload.size() || payload.empty()) {
+        return Status::InvalidArgument(
+            StrCat("bad double '", payload, "'"));
+      }
+      return AttributeValue(parsed);
+    }
+    case 'b':
+      if (payload == "true") return AttributeValue(true);
+      if (payload == "false") return AttributeValue(false);
+      return Status::InvalidArgument(StrCat("bad bool '", payload, "'"));
+    case 's': {
+      Result<std::string> decoded = PercentDecode(payload);
+      if (!decoded.ok()) return decoded.status();
+      return AttributeValue(*decoded);
+    }
+    default:
+      return Status::InvalidArgument(
+          StrCat("unknown value tag '", text.substr(0, 1), "'"));
+  }
+}
+
+}  // namespace
+
+std::string PercentEncode(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    if (c == ' ' || c == '%' || c == '=' || c == '\n' || c == '\r') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> PercentDecode(const std::string& encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded[i] != '%') {
+      out += encoded[i];
+      continue;
+    }
+    if (i + 2 >= encoded.size()) {
+      return Status::InvalidArgument("truncated percent escape");
+    }
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = hex(encoded[i + 1]);
+    const int lo = hex(encoded[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("bad percent escape");
+    }
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+Status WriteTrace(std::ostream& os, std::span<const PlannedEvent> plan,
+                  const EventTypeRegistry& registry) {
+  os << kHeader << "\n";
+  for (const PlannedEvent& event : plan) {
+    Result<EventTypeRegistry::TypeInfo> info = registry.Info(event.type);
+    if (!info.ok()) return info.status();
+    os << "event " << event.when << " " << event.site << " " << info->name;
+    for (const auto& [key, value] : event.params) {
+      os << " " << PercentEncode(key) << "=" << EncodeValue(value);
+    }
+    os << "\n";
+  }
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+Result<std::vector<PlannedEvent>> ReadTrace(std::istream& is,
+                                            EventTypeRegistry& registry,
+                                            bool auto_register) {
+  std::vector<PlannedEvent> plan;
+  std::string line;
+  size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (stripped[0] == '#') {
+      if (stripped == kHeader) saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return Status::InvalidArgument(
+          "missing '# sentineld trace v1' header");
+    }
+    const auto fields = Split(std::string(stripped), ' ');
+    if (fields.size() < 4 || fields[0] != "event") {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": expected 'event <when> <site> "
+                 "<type> ...'"));
+    }
+    PlannedEvent event;
+    {
+      const auto [p1, e1] = std::from_chars(
+          fields[1].data(), fields[1].data() + fields[1].size(),
+          event.when);
+      uint32_t site = 0;
+      const auto [p2, e2] = std::from_chars(
+          fields[2].data(), fields[2].data() + fields[2].size(), site);
+      if (e1 != std::errc() || e2 != std::errc() ||
+          p1 != fields[1].data() + fields[1].size() ||
+          p2 != fields[2].data() + fields[2].size()) {
+        return Status::InvalidArgument(
+            StrCat("line ", line_no, ": bad when/site"));
+      }
+      event.site = site;
+    }
+    Result<EventTypeId> type = registry.Lookup(fields[3]);
+    if (!type.ok() && auto_register) {
+      type = registry.Register(fields[3], EventClass::kExplicit);
+    }
+    if (!type.ok()) {
+      return Status::NotFound(
+          StrCat("line ", line_no, ": event type '", fields[3], "'"));
+    }
+    event.type = *type;
+    for (size_t i = 4; i < fields.size(); ++i) {
+      if (fields[i].empty()) continue;  // tolerate double spaces
+      const size_t eq = fields[i].find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            StrCat("line ", line_no, ": malformed parameter '", fields[i],
+                   "'"));
+      }
+      Result<std::string> key = PercentDecode(fields[i].substr(0, eq));
+      if (!key.ok()) return key.status();
+      Result<AttributeValue> value = DecodeValue(fields[i].substr(eq + 1));
+      if (!value.ok()) return value.status();
+      event.params.emplace_back(*key, *value);
+    }
+    plan.push_back(std::move(event));
+  }
+  return plan;
+}
+
+}  // namespace sentineld

@@ -1,0 +1,43 @@
+#ifndef SENTINELD_EVENT_TRACE_IO_H_
+#define SENTINELD_EVENT_TRACE_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "event/generator.h"
+#include "event/registry.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Line-oriented text format for event traces, so workloads can be
+/// captured, versioned, and replayed deterministically:
+///
+///   # sentineld trace v1
+///   event <when_ns> <site> <type_name> [<key>=<typed-value> ...]
+///
+/// Typed values: `i:<int>`, `d:<double>`, `b:true|false`,
+/// `s:<percent-encoded string>` (space, '%', '=', and newline are
+/// percent-encoded). Lines starting with '#' and blank lines are ignored.
+
+/// Writes `plan` as a v1 trace. Type ids are resolved to names through
+/// `registry` (unknown ids are an InvalidArgument).
+Status WriteTrace(std::ostream& os, std::span<const PlannedEvent> plan,
+                  const EventTypeRegistry& registry);
+
+/// Parses a v1 trace. Event names are looked up in `registry`;
+/// unknown names are registered as kExplicit types when `auto_register`,
+/// and a NotFound error otherwise. Events are returned in file order.
+Result<std::vector<PlannedEvent>> ReadTrace(std::istream& is,
+                                            EventTypeRegistry& registry,
+                                            bool auto_register = false);
+
+/// Percent-encodes/decodes the string payloads (exposed for tests).
+std::string PercentEncode(const std::string& raw);
+Result<std::string> PercentDecode(const std::string& encoded);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_EVENT_TRACE_IO_H_

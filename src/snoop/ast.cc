@@ -1,0 +1,293 @@
+#include "snoop/ast.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+ExprPtr MakeExpr(OpKind kind, std::vector<ExprPtr> children,
+                 int64_t period_ticks = 0) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = kind;
+  expr->children = std::move(children);
+  expr->period_ticks = period_ticks;
+  for (const auto& child : expr->children) CHECK(child != nullptr);
+  return expr;
+}
+
+void CollectTypes(const ExprPtr& expr, std::vector<EventTypeId>& out) {
+  if (expr->kind == OpKind::kPrimitive) {
+    out.push_back(expr->primitive_type);
+    return;
+  }
+  for (const auto& child : expr->children) CollectTypes(child, out);
+}
+
+}  // namespace
+
+const char* OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPrimitive:
+      return "prim";
+    case OpKind::kAnd:
+      return "and";
+    case OpKind::kOr:
+      return "or";
+    case OpKind::kSeq:
+      return ";";
+    case OpKind::kNot:
+      return "not";
+    case OpKind::kAperiodic:
+      return "A";
+    case OpKind::kAperiodicStar:
+      return "A*";
+    case OpKind::kPeriodic:
+      return "P";
+    case OpKind::kPeriodicStar:
+      return "P*";
+    case OpKind::kPlus:
+      return "plus";
+    case OpKind::kAny:
+      return "ANY";
+  }
+  return "?";
+}
+
+std::string Expr::ToString(const EventTypeRegistry& registry) const {
+  switch (kind) {
+    case OpKind::kPrimitive:
+      return registry.NameOf(primitive_type);
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kSeq:
+      return StrCat("(", children[0]->ToString(registry), " ",
+                    OpKindToString(kind), " ",
+                    children[1]->ToString(registry), ")");
+    case OpKind::kNot:
+      // The paper's notation ¬(E2)[E1, E3].
+      return StrCat("not(", children[0]->ToString(registry), ")[",
+                    children[1]->ToString(registry), ", ",
+                    children[2]->ToString(registry), "]");
+    case OpKind::kAperiodic:
+    case OpKind::kAperiodicStar:
+      return StrCat(OpKindToString(kind), "(",
+                    children[0]->ToString(registry), ", ",
+                    children[1]->ToString(registry), ", ",
+                    children[2]->ToString(registry), ")");
+    case OpKind::kPeriodic:
+    case OpKind::kPeriodicStar:
+      return StrCat(OpKindToString(kind), "(",
+                    children[0]->ToString(registry), ", ", period_ticks,
+                    "t, ", children[1]->ToString(registry), ")");
+    case OpKind::kPlus:
+      return StrCat("(", children[0]->ToString(registry), " + ",
+                    period_ticks, "t)");
+    case OpKind::kAny: {
+      std::vector<std::string> parts;
+      parts.reserve(children.size());
+      for (const auto& child : children) {
+        parts.push_back(child->ToString(registry));
+      }
+      return StrCat("ANY(", any_threshold, ", ", Join(parts, ", "), ")");
+    }
+  }
+  return "?";
+}
+
+ExprPtr Prim(EventTypeId type) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = OpKind::kPrimitive;
+  expr->primitive_type = type;
+  return expr;
+}
+
+ExprPtr And(ExprPtr left, ExprPtr right) {
+  return MakeExpr(OpKind::kAnd, {std::move(left), std::move(right)});
+}
+
+ExprPtr Or(ExprPtr left, ExprPtr right) {
+  return MakeExpr(OpKind::kOr, {std::move(left), std::move(right)});
+}
+
+ExprPtr Seq(ExprPtr first, ExprPtr second) {
+  return MakeExpr(OpKind::kSeq, {std::move(first), std::move(second)});
+}
+
+ExprPtr Not(ExprPtr middle, ExprPtr initiator, ExprPtr terminator) {
+  return MakeExpr(OpKind::kNot, {std::move(middle), std::move(initiator),
+                                 std::move(terminator)});
+}
+
+ExprPtr Aperiodic(ExprPtr initiator, ExprPtr middle, ExprPtr terminator) {
+  return MakeExpr(OpKind::kAperiodic,
+                  {std::move(initiator), std::move(middle),
+                   std::move(terminator)});
+}
+
+ExprPtr AperiodicStar(ExprPtr initiator, ExprPtr middle,
+                      ExprPtr terminator) {
+  return MakeExpr(OpKind::kAperiodicStar,
+                  {std::move(initiator), std::move(middle),
+                   std::move(terminator)});
+}
+
+ExprPtr Periodic(ExprPtr initiator, int64_t period_ticks,
+                 ExprPtr terminator) {
+  CHECK_GT(period_ticks, 0);
+  return MakeExpr(OpKind::kPeriodic,
+                  {std::move(initiator), std::move(terminator)},
+                  period_ticks);
+}
+
+ExprPtr PeriodicStar(ExprPtr initiator, int64_t period_ticks,
+                     ExprPtr terminator) {
+  CHECK_GT(period_ticks, 0);
+  return MakeExpr(OpKind::kPeriodicStar,
+                  {std::move(initiator), std::move(terminator)},
+                  period_ticks);
+}
+
+ExprPtr Plus(ExprPtr initiator, int64_t period_ticks) {
+  CHECK_GT(period_ticks, 0);
+  return MakeExpr(OpKind::kPlus, {std::move(initiator)}, period_ticks);
+}
+
+ExprPtr Any(int threshold, std::vector<ExprPtr> children) {
+  CHECK_GE(children.size(), 2u);
+  CHECK_GE(threshold, 1);
+  CHECK_LE(threshold, static_cast<int>(children.size()));
+  auto expr = std::make_shared<Expr>();
+  expr->kind = OpKind::kAny;
+  expr->children = std::move(children);
+  expr->any_threshold = threshold;
+  for (const auto& child : expr->children) CHECK(child != nullptr);
+  return expr;
+}
+
+Status ValidateExpr(const ExprPtr& expr) {
+  if (expr == nullptr) return Status::InvalidArgument("null expression");
+  if (expr->kind == OpKind::kAny) {
+    if (expr->children.size() < 2) {
+      return Status::InvalidArgument("ANY needs at least two children");
+    }
+    if (expr->any_threshold < 1 ||
+        expr->any_threshold > static_cast<int>(expr->children.size())) {
+      return Status::InvalidArgument(
+          StrCat("ANY threshold ", expr->any_threshold, " out of range"));
+    }
+    for (const auto& child : expr->children) {
+      RETURN_IF_ERROR(ValidateExpr(child));
+    }
+    return Status::Ok();
+  }
+  if (expr->any_threshold != 0) {
+    return Status::InvalidArgument("unexpected ANY threshold");
+  }
+  size_t want_children = 0;
+  switch (expr->kind) {
+    case OpKind::kPrimitive:
+      want_children = 0;
+      break;
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kSeq:
+    case OpKind::kPeriodic:
+    case OpKind::kPeriodicStar:
+      want_children = 2;
+      break;
+    case OpKind::kNot:
+    case OpKind::kAperiodic:
+    case OpKind::kAperiodicStar:
+      want_children = 3;
+      break;
+    case OpKind::kPlus:
+      want_children = 1;
+      break;
+    case OpKind::kAny:
+      break;  // handled above
+  }
+  if (expr->children.size() != want_children) {
+    return Status::InvalidArgument(
+        StrCat("operator ", OpKindToString(expr->kind), " expects ",
+               want_children, " children, got ", expr->children.size()));
+  }
+  const bool needs_period = expr->kind == OpKind::kPeriodic ||
+                            expr->kind == OpKind::kPeriodicStar ||
+                            expr->kind == OpKind::kPlus;
+  if (needs_period && expr->period_ticks <= 0) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  if (!needs_period && expr->period_ticks != 0) {
+    return Status::InvalidArgument("unexpected period on non-temporal op");
+  }
+  for (const auto& child : expr->children) {
+    RETURN_IF_ERROR(ValidateExpr(child));
+  }
+  return Status::Ok();
+}
+
+std::vector<EventTypeId> CollectPrimitiveTypes(const ExprPtr& expr) {
+  std::vector<EventTypeId> types;
+  CollectTypes(expr, types);
+  std::sort(types.begin(), types.end());
+  types.erase(std::unique(types.begin(), types.end()), types.end());
+  return types;
+}
+
+size_t ExprSize(const ExprPtr& expr) {
+  size_t n = 1;
+  for (const auto& child : expr->children) n += ExprSize(child);
+  return n;
+}
+
+ExprPtr CanonicalizeExpr(const ExprPtr& expr,
+                         const EventTypeRegistry& registry) {
+  if (expr->kind == OpKind::kPrimitive) return expr;
+  auto copy = std::make_shared<Expr>(*expr);
+  for (ExprPtr& child : copy->children) {
+    child = CanonicalizeExpr(child, registry);
+  }
+  const bool commutative = expr->kind == OpKind::kAnd ||
+                           expr->kind == OpKind::kOr ||
+                           expr->kind == OpKind::kAny;
+  if (commutative) {
+    std::sort(copy->children.begin(), copy->children.end(),
+              [&](const ExprPtr& a, const ExprPtr& b) {
+                return a->ToString(registry) < b->ToString(registry);
+              });
+  }
+  return ExprPtr(copy);
+}
+
+Result<ExprPtr> SubexprAt(const ExprPtr& root,
+                          std::span<const size_t> path) {
+  ExprPtr node = root;
+  for (size_t index : path) {
+    if (node == nullptr || index >= node->children.size()) {
+      return Status::NotFound("path leaves the expression tree");
+    }
+    node = node->children[index];
+  }
+  if (node == nullptr) return Status::NotFound("null subexpression");
+  return node;
+}
+
+Result<ExprPtr> ReplaceSubexpr(const ExprPtr& root,
+                               std::span<const size_t> path,
+                               ExprPtr replacement) {
+  if (path.empty()) return replacement;
+  if (root == nullptr || path.front() >= root->children.size()) {
+    return Status::NotFound("path leaves the expression tree");
+  }
+  Result<ExprPtr> child = ReplaceSubexpr(
+      root->children[path.front()], path.subspan(1), std::move(replacement));
+  if (!child.ok()) return child;
+  auto copy = std::make_shared<Expr>(*root);
+  copy->children[path.front()] = *child;
+  return ExprPtr(copy);
+}
+
+}  // namespace sentineld

@@ -1,0 +1,117 @@
+#ifndef SENTINELD_SNOOP_AST_H_
+#define SENTINELD_SNOOP_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "event/registry.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// The Snoop composite-event operators (Sentinel's event specification
+/// language; semantics per Chakravarthy et al. VLDB'94, lifted to
+/// distributed composite timestamps by the paper's Sec. 5.3).
+enum class OpKind {
+  kPrimitive,      ///< leaf: a registered primitive event type
+  kAnd,            ///< E1 ∧ E2 — both occur, any order
+  kOr,             ///< E1 ∇ E2 — either occurs
+  kSeq,            ///< E1 ; E2 — E2 strictly after E1 (composite <)
+  kNot,            ///< ¬(E2)[E1,E3] — no E2 between E1 and E3
+  kAperiodic,      ///< A(E1,E2,E3) — each E2 inside an open E1..E3 window
+  kAperiodicStar,  ///< A*(E1,E2,E3) — all E2s inside the window, at E3
+  kPeriodic,       ///< P(E1,t,E3) — a tick every t after E1 until E3
+  kPeriodicStar,   ///< P*(E1,t,E3) — all ticks, delivered at E3
+  kPlus,           ///< E1 + t — one tick, t after E1
+  kAny,            ///< ANY(m, E1..En) — any m of n distinct events occur
+};
+
+const char* OpKindToString(OpKind kind);
+
+struct Expr;
+/// Expressions are immutable and shared (sub-expressions may appear in
+/// several rules).
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A node of the composite-event expression tree.
+///
+/// Children by operator:
+///   kPrimitive                  — none (primitive_type set)
+///   kAnd / kOr / kSeq           — {left, right}
+///   kNot                        — {E2, E1, E3}  (the paper's ¬(E2)[E1,E3])
+///   kAperiodic / kAperiodicStar — {E1, E2, E3}
+///   kPeriodic / kPeriodicStar   — {E1, E3} with period_ticks set
+///   kPlus                       — {E1} with period_ticks set
+///   kAny                        — {E1..En}, n >= 2, with any_threshold m
+///
+/// Periods are expressed in *local ticks of the detector's host site*
+/// (the paper's temporal events are site-local clock events).
+struct Expr {
+  OpKind kind = OpKind::kPrimitive;
+  EventTypeId primitive_type = 0;
+  std::vector<ExprPtr> children;
+  int64_t period_ticks = 0;
+  int any_threshold = 0;  ///< m of kAny
+
+  /// Canonical textual form, e.g. "(A ; (B and C))"; used as the
+  /// registered name of the node's output event type.
+  std::string ToString(const EventTypeRegistry& registry) const;
+};
+
+/// Builders (each validates arity; periods must be positive).
+ExprPtr Prim(EventTypeId type);
+ExprPtr And(ExprPtr left, ExprPtr right);
+ExprPtr Or(ExprPtr left, ExprPtr right);
+ExprPtr Seq(ExprPtr first, ExprPtr second);
+ExprPtr Not(ExprPtr middle, ExprPtr initiator, ExprPtr terminator);
+ExprPtr Aperiodic(ExprPtr initiator, ExprPtr middle, ExprPtr terminator);
+ExprPtr AperiodicStar(ExprPtr initiator, ExprPtr middle, ExprPtr terminator);
+ExprPtr Periodic(ExprPtr initiator, int64_t period_ticks,
+                 ExprPtr terminator);
+ExprPtr PeriodicStar(ExprPtr initiator, int64_t period_ticks,
+                     ExprPtr terminator);
+ExprPtr Plus(ExprPtr initiator, int64_t period_ticks);
+/// ANY(m, children): detected when occurrences of any m of the n distinct
+/// constituent events exist (Snoop's ANY operator; 1 <= m <= n, n >= 2).
+ExprPtr Any(int threshold, std::vector<ExprPtr> children);
+
+/// Structural checks: arities, positive periods, primitive leaves only at
+/// kPrimitive nodes. (Type-existence is checked against the registry at
+/// graph-build time.)
+Status ValidateExpr(const ExprPtr& expr);
+
+/// Collects the distinct primitive event types referenced by `expr`.
+std::vector<EventTypeId> CollectPrimitiveTypes(const ExprPtr& expr);
+
+/// Number of nodes in the expression tree.
+size_t ExprSize(const ExprPtr& expr);
+
+/// The subexpression reached from `root` by following `path` (a sequence
+/// of child indices); NotFound when the path leaves the tree. An empty
+/// path is `root` itself.
+Result<ExprPtr> SubexprAt(const ExprPtr& root, std::span<const size_t> path);
+
+/// A semantics-preserving normal form: commutative operators (and, or,
+/// ANY) get their operands sorted by canonical string, recursively, so
+/// that e.g. "(B and A)" and "(A and B)" compile to the same graph node
+/// (sub-expression sharing keys on the canonical string). Detection
+/// semantics are unchanged in every context — the binary operators treat
+/// their sides symmetrically — only the constituent order inside emitted
+/// occurrences can differ.
+ExprPtr CanonicalizeExpr(const ExprPtr& expr,
+                         const EventTypeRegistry& registry);
+
+/// A copy of `root` with the subexpression at `path` replaced by
+/// `replacement`; branches off the path are shared, not copied. Used by
+/// the hierarchical runtime to substitute a remotely-detected
+/// sub-composite with its (primitive-like) event type.
+Result<ExprPtr> ReplaceSubexpr(const ExprPtr& root,
+                               std::span<const size_t> path,
+                               ExprPtr replacement);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_AST_H_

@@ -1,0 +1,61 @@
+#ifndef SENTINELD_SNOOP_CONTEXT_H_
+#define SENTINELD_SNOOP_CONTEXT_H_
+
+namespace sentineld {
+
+/// Sentinel / Snoop parameter contexts (Chakravarthy et al., VLDB'94):
+/// policies restricting which constituent occurrences are paired when a
+/// composite event can be detected in multiple ways.
+///
+/// In a distributed system "most recent" and "oldest" are only partially
+/// ordered; sentineld resolves ties among concurrent/incomparable
+/// candidates by arrival order at the detecting node (documented
+/// tie-break; the timestamps carried by emitted events are always the
+/// exact Max over the chosen constituents).
+enum class ParamContext {
+  /// Every combination of constituent occurrences that satisfies the
+  /// operator semantics is detected; nothing is consumed. This is the
+  /// declarative Sec. 5.3 semantics and the reference the oracle detector
+  /// implements.
+  kUnrestricted,
+  /// Only the most recent initiator is retained; constituents are not
+  /// consumed on detection, merely superseded by newer occurrences.
+  kRecent,
+  /// Initiator/terminator pairs in chronological (FIFO) order; paired
+  /// occurrences are consumed.
+  kChronicle,
+  /// Every initiator starts an independent detection; a terminator
+  /// detects with ALL eligible initiators and consumes them.
+  kContinuous,
+  /// All eligible constituent occurrences are accumulated and emitted in
+  /// a single composite occurrence at the terminator, then consumed.
+  kCumulative,
+};
+
+const char* ParamContextToString(ParamContext context);
+
+/// How operator eligibility treats composite occurrences that extend
+/// over time (extension beyond the paper; see docs/semantics.md):
+///
+///   kPointBased    — the paper's semantics: an occurrence is the single
+///                    point T(e) = Max over constituents, so `E1 ; E2`
+///                    needs T(e1) < T(e2). A sequence's stamp collapses
+///                    to its terminator, which yields the classic
+///                    anomaly: "B ; (A ; C)" can detect even though the
+///                    A inside the second operand occurred BEFORE B.
+///   kIntervalBased — an occurrence spans [interval_start, T(e)] (start =
+///                    minima over constituents, the dual of Def 5.1);
+///                    eligibility requires the initiator's END to precede
+///                    the other occurrence's START, eliminating the
+///                    anomaly (Galton & Augusto's critique of
+///                    detection-based semantics, applied to the paper's
+///                    partial-order timestamps).
+///
+/// bench/interval_anomaly quantifies the difference.
+enum class IntervalPolicy { kPointBased, kIntervalBased };
+
+const char* IntervalPolicyToString(IntervalPolicy policy);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_CONTEXT_H_

@@ -1,0 +1,203 @@
+#include "snoop/detector.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+GlobalTicks TruncToGlobal(LocalTicks local, const TimebaseConfig& config) {
+  const int64_t ratio = config.TicksPerGlobal();
+  switch (config.trunc) {
+    case TruncPolicy::kFloor:
+      return local / ratio;
+    case TruncPolicy::kRound:
+      return (local + ratio / 2) / ratio;
+    case TruncPolicy::kCeil:
+      return (local + ratio - 1) / ratio;
+  }
+  return local / ratio;
+}
+
+Detector::Detector(EventTypeRegistry* registry, Options options)
+    : registry_(registry), options_(options) {
+  CHECK(registry != nullptr);
+  CHECK_OK(options.timebase.Validate());
+}
+
+Detector::~Detector() = default;
+
+Result<EventTypeId> Detector::TickType() {
+  if (!tick_type_ready_) {
+    Result<EventTypeId> id = registry_->GetOrRegister(
+        StrCat("__tick_site", options_.host_site), EventClass::kTemporal);
+    if (!id.ok()) return id;
+    tick_type_ = *id;
+    tick_type_ready_ = true;
+  }
+  return tick_type_;
+}
+
+Result<Node*> Detector::BuildNode(const ExprPtr& expr) {
+  if (expr->kind == OpKind::kPrimitive) {
+    auto it = primitive_nodes_.find(expr->primitive_type);
+    if (it != primitive_nodes_.end()) return it->second;
+    Result<EventTypeRegistry::TypeInfo> info =
+        registry_->Info(expr->primitive_type);
+    if (!info.ok()) return info.status();
+    auto node = std::make_unique<PrimitiveNode>(expr->primitive_type);
+    PrimitiveNode* raw = node.get();
+    nodes_.push_back(std::move(node));
+    primitive_nodes_.emplace(expr->primitive_type, raw);
+    return raw;
+  }
+
+  const std::string key = expr->ToString(*registry_);
+  if (options_.share_subexpressions) {
+    auto it = shared_.find(key);
+    if (it != shared_.end()) return it->second;
+  }
+
+  // Children first (inputs wire into this node).
+  std::vector<Node*> children;
+  children.reserve(expr->children.size());
+  for (const ExprPtr& child : expr->children) {
+    Result<Node*> built = BuildNode(child);
+    if (!built.ok()) return built;
+    children.push_back(*built);
+  }
+
+  Result<EventTypeId> output =
+      registry_->GetOrRegister(key, EventClass::kComposite);
+  if (!output.ok()) return output.status();
+
+  std::unique_ptr<Node> node;
+  switch (expr->kind) {
+    case OpKind::kPrimitive:
+      LOG_FATAL << "unreachable";
+      break;
+    case OpKind::kAnd:
+      node = std::make_unique<AndNode>(*output, options_.context);
+      break;
+    case OpKind::kOr:
+      node = std::make_unique<OrNode>(*output, options_.context);
+      break;
+    case OpKind::kSeq:
+      node = std::make_unique<SeqNode>(*output, options_.context);
+      break;
+    case OpKind::kNot:
+      node = std::make_unique<NotNode>(*output, options_.context);
+      break;
+    case OpKind::kAperiodic:
+      node = std::make_unique<AperiodicNode>(*output, options_.context);
+      break;
+    case OpKind::kAperiodicStar:
+      node = std::make_unique<AperiodicStarNode>(*output, options_.context);
+      break;
+    case OpKind::kPeriodic:
+    case OpKind::kPeriodicStar: {
+      Result<EventTypeId> tick = TickType();
+      if (!tick.ok()) return tick.status();
+      if (expr->kind == OpKind::kPeriodic) {
+        node = std::make_unique<PeriodicNode>(
+            *output, options_.context, expr->period_ticks, *tick, this);
+      } else {
+        node = std::make_unique<PeriodicStarNode>(
+            *output, options_.context, expr->period_ticks, *tick, this);
+      }
+      break;
+    }
+    case OpKind::kPlus: {
+      Result<EventTypeId> tick = TickType();
+      if (!tick.ok()) return tick.status();
+      node = std::make_unique<PlusNode>(*output, options_.context,
+                                        expr->period_ticks, *tick, this);
+      break;
+    }
+    case OpKind::kAny:
+      node = std::make_unique<AnyNode>(*output, options_.context,
+                                       expr->any_threshold,
+                                       expr->children.size());
+      break;
+  }
+
+  Node* raw = node.get();
+  raw->set_interval_policy(options_.interval_policy);
+  nodes_.push_back(std::move(node));
+  for (size_t i = 0; i < children.size(); ++i) {
+    children[i]->AddParent(raw, i);
+  }
+  if (options_.share_subexpressions) shared_.emplace(key, raw);
+  return raw;
+}
+
+Result<EventTypeId> Detector::AddRule(const std::string& name,
+                                      const ExprPtr& expr,
+                                      Callback callback) {
+  RETURN_IF_ERROR(ValidateExpr(expr));
+  const ExprPtr compiled = options_.canonicalize_expressions
+                               ? CanonicalizeExpr(expr, *registry_)
+                               : expr;
+  Result<Node*> root = BuildNode(compiled);
+  if (!root.ok()) return root.status();
+  RuleInfo info{name, (*root)->output_type(), compiled, *root, 0, false};
+  if (callback) {
+    info.sink_token = (*root)->AddSink(std::move(callback));
+    info.has_sink = true;
+  }
+  // Register the rule's name as an alias type so other rules / external
+  // consumers can reference the output; the node keeps emitting under its
+  // canonical expression type.
+  Result<EventTypeId> alias =
+      registry_->GetOrRegister(name, EventClass::kComposite);
+  if (!alias.ok()) return alias.status();
+  rules_.push_back(std::move(info));
+  return (*root)->output_type();
+}
+
+Status Detector::RemoveRule(const std::string& name) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->name != name) continue;
+    if (it->has_sink) it->root->RemoveSink(it->sink_token);
+    rules_.erase(it);
+    return Status::Ok();
+  }
+  return Status::NotFound(StrCat("rule '", name, "'"));
+}
+
+size_t Detector::total_state() const {
+  size_t total = 0;
+  for (const auto& node : nodes_) total += node->StateSize();
+  return total;
+}
+
+void Detector::Feed(const EventPtr& event) {
+  CHECK(event != nullptr);
+  ++events_fed_;
+  auto it = primitive_nodes_.find(event->type());
+  if (it == primitive_nodes_.end()) {
+    ++events_dropped_;
+    return;
+  }
+  it->second->Accept(event);
+}
+
+void Detector::ScheduleAt(Node* node, LocalTicks local_tick,
+                          int64_t payload) {
+  timers_.push(TimerEntry{local_tick, timer_seq_++, node, payload});
+}
+
+void Detector::AdvanceClockTo(LocalTicks now) {
+  CHECK_GE(now, clock_);
+  clock_ = now;
+  while (!timers_.empty() && timers_.top().tick <= now) {
+    const TimerEntry entry = timers_.top();
+    timers_.pop();
+    ++timers_fired_;
+    const PrimitiveTimestamp stamp{
+        options_.host_site, TruncToGlobal(entry.tick, options_.timebase),
+        entry.tick};
+    entry.node->OnTimer(stamp, entry.payload);
+  }
+}
+
+}  // namespace sentineld

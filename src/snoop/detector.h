@@ -1,0 +1,152 @@
+#ifndef SENTINELD_SNOOP_DETECTOR_H_
+#define SENTINELD_SNOOP_DETECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "event/event.h"
+#include "event/registry.h"
+#include "snoop/ast.h"
+#include "snoop/context.h"
+#include "snoop/node.h"
+#include "timebase/config.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Truncates a local-tick reading to its global tick under the config's
+/// TRUNC policy (Def 4.3) — the same conversion LocalClock applies.
+GlobalTicks TruncToGlobal(LocalTicks local, const TimebaseConfig& config);
+
+/// The event-detection-graph engine: one Detector hosts the operator
+/// graphs of any number of rules at one (logical) site, with structural
+/// sharing of common sub-expressions (Sentinel's event graph).
+///
+/// Inputs arrive via Feed() as primitive occurrences; composite
+/// occurrences propagate through operator nodes bottom-up and fire rule
+/// callbacks at the roots. Temporal operators (P, P*, +) draw timer
+/// callbacks from the host clock, which the owner advances via
+/// AdvanceClockTo() — in the distributed runtime that is the site's
+/// simulated local clock, in centralized use any monotone tick source.
+///
+/// Delivery contract (see Node): Feed order must be a linear extension of
+/// the composite `<` on the fed occurrences for the kUnrestricted
+/// semantics to coincide with the declarative Sec. 5.3 semantics.
+class Detector : public TimerService {
+ public:
+  struct Options {
+    /// Parameter context applied to every operator node in this detector.
+    ParamContext context = ParamContext::kUnrestricted;
+    /// Site whose local clock stamps temporal (timer) occurrences.
+    SiteId host_site = 0;
+    /// Time base used to derive global ticks for temporal occurrences.
+    TimebaseConfig timebase;
+    /// Share structurally identical sub-expressions between rules.
+    bool share_subexpressions = true;
+    /// Eligibility policy for order-sensitive operators (see
+    /// snoop/context.h): the paper's point-based semantics, or the
+    /// interval-based extension.
+    IntervalPolicy interval_policy = IntervalPolicy::kPointBased;
+    /// Normalize commutative operators (and/or/ANY operand order) before
+    /// compiling, so commuted spellings of the same pattern share one
+    /// graph node (see CanonicalizeExpr). Off by default: it reorders
+    /// the constituents inside emitted occurrences, which some callers
+    /// position-match on.
+    bool canonicalize_expressions = false;
+  };
+
+  using Callback = std::function<void(const EventPtr&)>;
+
+  struct RuleInfo {
+    std::string name;
+    EventTypeId output_type;
+    ExprPtr expr;
+    Node* root = nullptr;
+    size_t sink_token = 0;
+    bool has_sink = false;
+  };
+
+  Detector(EventTypeRegistry* registry, Options options);
+  ~Detector() override;
+
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  /// Compiles `expr` into the graph and registers `callback` to fire on
+  /// every detected occurrence. The rule's composite event type is
+  /// registered under `name` and returned (so rules can feed other
+  /// rules' outputs by subscribing to the type).
+  Result<EventTypeId> AddRule(const std::string& name, const ExprPtr& expr,
+                              Callback callback);
+
+  /// Detaches the named rule's callback: the occurrence stream stops
+  /// firing it. The operator nodes stay in the graph (they may be shared
+  /// with other rules); their buffered state is retained. NotFound if no
+  /// such rule.
+  Status RemoveRule(const std::string& name);
+
+  /// Delivers a primitive (or externally produced composite) occurrence.
+  /// Occurrences of types no rule listens to are counted and dropped.
+  void Feed(const EventPtr& event);
+
+  /// Advances the host clock to `now` (local ticks), firing due timers in
+  /// tick order. Must be monotone.
+  void AdvanceClockTo(LocalTicks now);
+
+  /// TimerService:
+  void ScheduleAt(Node* node, LocalTicks local_tick, int64_t payload) override;
+
+  LocalTicks clock() const { return clock_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  /// Total occurrences buffered across all operator nodes (retained
+  /// detection state; see Node::StateSize).
+  size_t total_state() const;
+  uint64_t events_fed() const { return events_fed_; }
+  uint64_t events_dropped() const { return events_dropped_; }
+  uint64_t timers_fired() const { return timers_fired_; }
+  const std::vector<RuleInfo>& rules() const { return rules_; }
+  const EventTypeRegistry& registry() const { return *registry_; }
+
+ private:
+  /// Builds (or reuses) the node implementing `expr`; registers the
+  /// node's output event type by its canonical expression string.
+  Result<Node*> BuildNode(const ExprPtr& expr);
+
+  Result<EventTypeId> TickType();
+
+  struct TimerEntry {
+    LocalTicks tick;
+    uint64_t seq;  // FIFO among equal ticks
+    Node* node;
+    int64_t payload;
+    bool operator>(const TimerEntry& other) const {
+      return tick != other.tick ? tick > other.tick : seq > other.seq;
+    }
+  };
+
+  EventTypeRegistry* registry_;
+  Options options_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<EventTypeId, PrimitiveNode*> primitive_nodes_;
+  std::unordered_map<std::string, Node*> shared_;  // expr string -> node
+  std::vector<RuleInfo> rules_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timers_;
+  LocalTicks clock_ = 0;
+  uint64_t timer_seq_ = 0;
+  uint64_t events_fed_ = 0;
+  uint64_t events_dropped_ = 0;
+  uint64_t timers_fired_ = 0;
+  EventTypeId tick_type_ = 0;
+  bool tick_type_ready_ = false;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_DETECTOR_H_

@@ -1,0 +1,707 @@
+#include "snoop/node.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sentineld {
+
+const char* ParamContextToString(ParamContext context) {
+  switch (context) {
+    case ParamContext::kUnrestricted:
+      return "unrestricted";
+    case ParamContext::kRecent:
+      return "recent";
+    case ParamContext::kChronicle:
+      return "chronicle";
+    case ParamContext::kContinuous:
+      return "continuous";
+    case ParamContext::kCumulative:
+      return "cumulative";
+  }
+  return "?";
+}
+
+const char* IntervalPolicyToString(IntervalPolicy policy) {
+  switch (policy) {
+    case IntervalPolicy::kPointBased:
+      return "point-based";
+    case IntervalPolicy::kIntervalBased:
+      return "interval-based";
+  }
+  return "?";
+}
+
+void Node::OnTimer(const PrimitiveTimestamp& stamp, int64_t payload) {
+  (void)stamp;
+  (void)payload;
+}
+
+void Node::AddParent(Node* parent, size_t input_index) {
+  CHECK(parent != nullptr);
+  CHECK_LT(input_index, parent->num_inputs());
+  parents_.emplace_back(parent, input_index);
+}
+
+size_t Node::AddSink(std::function<void(const EventPtr&)> sink) {
+  sinks_.push_back(std::move(sink));
+  return sinks_.size() - 1;
+}
+
+void Node::RemoveSink(size_t token) {
+  if (token < sinks_.size()) sinks_[token] = nullptr;
+}
+
+void Node::Emit(const EventPtr& event) {
+  ++emit_count_;
+  for (auto& [parent, index] : parents_) parent->OnInput(index, event);
+  for (auto& sink : sinks_) {
+    if (sink) sink(event);
+  }
+}
+
+void Node::EmitComposite(std::vector<EventPtr> constituents) {
+  Emit(Event::MakeComposite(output_type(), std::move(constituents)));
+}
+
+bool Node::EligibleBefore(const EventPtr& a, const EventPtr& b) const {
+  const CompositeTimestamp& b_anchor =
+      interval_policy_ == IntervalPolicy::kIntervalBased
+          ? b->interval_start()
+          : b->timestamp();
+  return Before(a->timestamp(), b_anchor);
+}
+
+bool Node::StampEligibleBefore(const CompositeTimestamp& a_end,
+                               const EventPtr& b) const {
+  const CompositeTimestamp& b_anchor =
+      interval_policy_ == IntervalPolicy::kIntervalBased
+          ? b->interval_start()
+          : b->timestamp();
+  return Before(a_end, b_anchor);
+}
+
+// ---------------------------------------------------------------- leaf --
+
+void PrimitiveNode::OnInput(size_t index, const EventPtr& event) {
+  (void)index;
+  Accept(event);
+}
+
+// ----------------------------------------------------------------- OR --
+
+void OrNode::OnInput(size_t index, const EventPtr& event) {
+  (void)index;
+  // Disjunction re-types the occurrence; timestamp and provenance pass
+  // through as the single constituent.
+  EmitComposite({event});
+}
+
+// ---------------------------------------------------------------- AND --
+
+void AndNode::EmitPair(const EventPtr& left, const EventPtr& right) {
+  EmitComposite({left, right});
+}
+
+void AndNode::OnInput(size_t index, const EventPtr& event) {
+  CHECK_LT(index, 2u);
+  const size_t other = 1 - index;
+  auto emit_with = [&](const EventPtr& o) {
+    index == 0 ? EmitPair(event, o) : EmitPair(o, event);
+  };
+  switch (context_) {
+    case ParamContext::kUnrestricted:
+      for (const EventPtr& o : buffer_[other]) emit_with(o);
+      buffer_[index].push_back(event);
+      break;
+    case ParamContext::kRecent:
+      // Only the most recent occurrence per side survives; detection does
+      // not consume it.
+      buffer_[index].assign(1, event);
+      if (!buffer_[other].empty()) emit_with(buffer_[other].back());
+      break;
+    case ParamContext::kChronicle:
+      if (!buffer_[other].empty()) {
+        emit_with(buffer_[other].front());
+        buffer_[other].erase(buffer_[other].begin());
+      } else {
+        buffer_[index].push_back(event);
+      }
+      break;
+    case ParamContext::kContinuous:
+      if (!buffer_[other].empty()) {
+        for (const EventPtr& o : buffer_[other]) emit_with(o);
+        buffer_[other].clear();
+      } else {
+        buffer_[index].push_back(event);
+      }
+      break;
+    case ParamContext::kCumulative:
+      if (!buffer_[other].empty()) {
+        // One occurrence carrying everything accumulated on the other
+        // side plus the arrival, left-side constituents first.
+        std::vector<EventPtr> constituents;
+        if (index == 0) {
+          constituents.push_back(event);
+          constituents.insert(constituents.end(), buffer_[other].begin(),
+                              buffer_[other].end());
+        } else {
+          constituents.assign(buffer_[other].begin(), buffer_[other].end());
+          constituents.push_back(event);
+        }
+        buffer_[other].clear();
+        EmitComposite(std::move(constituents));
+      } else {
+        buffer_[index].push_back(event);
+      }
+      break;
+  }
+}
+
+// ---------------------------------------------------------------- ANY --
+
+void AnyNode::EmitCombinations(const EventPtr& base, size_t arrival_index,
+                               size_t from_input, int needed,
+                               std::vector<EventPtr>& chosen) {
+  if (needed == 0) {
+    std::vector<EventPtr> constituents(chosen);
+    constituents.push_back(base);
+    EmitComposite(std::move(constituents));
+    return;
+  }
+  for (size_t input = from_input; input < buffers_.size(); ++input) {
+    if (input == arrival_index) continue;
+    for (const EventPtr& candidate : buffers_[input]) {
+      chosen.push_back(candidate);
+      EmitCombinations(base, arrival_index, input + 1, needed - 1, chosen);
+      chosen.pop_back();
+    }
+  }
+}
+
+void AnyNode::OnInput(size_t index, const EventPtr& event) {
+  CHECK_LT(index, buffers_.size());
+  const int needed = threshold_ - 1;
+
+  // Inputs with at least one buffered occurrence, excluding the arrival's.
+  auto distinct_nonempty = [&] {
+    std::vector<size_t> inputs;
+    for (size_t i = 0; i < buffers_.size(); ++i) {
+      if (i != index && !buffers_[i].empty()) inputs.push_back(i);
+    }
+    return inputs;
+  };
+
+  switch (context_) {
+    case ParamContext::kUnrestricted: {
+      std::vector<EventPtr> chosen;
+      EmitCombinations(event, index, 0, needed, chosen);
+      buffers_[index].push_back(event);
+      break;
+    }
+    case ParamContext::kRecent: {
+      buffers_[index].assign(1, event);
+      auto inputs = distinct_nonempty();
+      if (static_cast<int>(inputs.size()) < needed) break;
+      // Pick the m-1 inputs whose retained occurrence has the largest
+      // anchor tick (deterministic "most recent" under the tie-breaks).
+      std::sort(inputs.begin(), inputs.end(), [&](size_t a, size_t b) {
+        return AnchorTick(buffers_[a].back()->timestamp()) >
+               AnchorTick(buffers_[b].back()->timestamp());
+      });
+      std::vector<EventPtr> constituents;
+      for (int i = 0; i < needed; ++i) {
+        constituents.push_back(buffers_[inputs[i]].back());
+      }
+      constituents.push_back(event);
+      EmitComposite(std::move(constituents));
+      break;
+    }
+    case ParamContext::kChronicle: {
+      const auto inputs = distinct_nonempty();
+      if (static_cast<int>(inputs.size()) < needed) {
+        buffers_[index].push_back(event);
+        break;
+      }
+      std::vector<EventPtr> constituents;
+      for (int i = 0; i < needed; ++i) {
+        constituents.push_back(buffers_[inputs[i]].front());
+        buffers_[inputs[i]].erase(buffers_[inputs[i]].begin());
+      }
+      constituents.push_back(event);
+      EmitComposite(std::move(constituents));
+      break;
+    }
+    case ParamContext::kContinuous: {
+      const auto inputs = distinct_nonempty();
+      if (static_cast<int>(inputs.size()) < needed) {
+        buffers_[index].push_back(event);
+        break;
+      }
+      std::vector<EventPtr> chosen;
+      EmitCombinations(event, index, 0, needed, chosen);
+      for (size_t input : inputs) buffers_[input].clear();
+      break;
+    }
+    case ParamContext::kCumulative: {
+      const auto inputs = distinct_nonempty();
+      if (static_cast<int>(inputs.size()) < needed) {
+        buffers_[index].push_back(event);
+        break;
+      }
+      std::vector<EventPtr> constituents;
+      for (size_t input : inputs) {
+        constituents.insert(constituents.end(), buffers_[input].begin(),
+                            buffers_[input].end());
+        buffers_[input].clear();
+      }
+      constituents.push_back(event);
+      EmitComposite(std::move(constituents));
+      break;
+    }
+  }
+}
+
+size_t AnyNode::StateSize() const {
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer.size();
+  return total;
+}
+
+// ---------------------------------------------------------------- SEQ --
+
+void SeqNode::OnInput(size_t index, const EventPtr& event) {
+  CHECK_LT(index, 2u);
+  if (index == 0) {
+    if (context_ == ParamContext::kRecent) {
+      // Newest initiator supersedes (ties among concurrent stamps break
+      // by arrival, which under the linear-extension delivery contract
+      // never moves backwards in `<`).
+      initiators_.assign(1, event);
+    } else {
+      initiators_.push_back(event);
+    }
+    return;
+  }
+
+  auto eligible = [&](const EventPtr& init) {
+    return EligibleBefore(init, event);
+  };
+  switch (context_) {
+    case ParamContext::kUnrestricted:
+      for (const EventPtr& init : initiators_) {
+        if (eligible(init)) EmitComposite({init, event});
+      }
+      break;
+    case ParamContext::kRecent:
+      if (!initiators_.empty() && eligible(initiators_.back())) {
+        EmitComposite({initiators_.back(), event});
+      }
+      break;
+    case ParamContext::kChronicle: {
+      auto it = std::find_if(initiators_.begin(), initiators_.end(),
+                             eligible);
+      if (it != initiators_.end()) {
+        EmitComposite({*it, event});
+        initiators_.erase(it);
+      }
+      break;
+    }
+    case ParamContext::kContinuous: {
+      std::vector<EventPtr> kept;
+      for (const EventPtr& init : initiators_) {
+        if (eligible(init)) {
+          EmitComposite({init, event});
+        } else {
+          kept.push_back(init);
+        }
+      }
+      initiators_ = std::move(kept);
+      break;
+    }
+    case ParamContext::kCumulative: {
+      std::vector<EventPtr> constituents;
+      std::vector<EventPtr> kept;
+      for (const EventPtr& init : initiators_) {
+        (eligible(init) ? constituents : kept).push_back(init);
+      }
+      if (!constituents.empty()) {
+        constituents.push_back(event);
+        initiators_ = std::move(kept);
+        EmitComposite(std::move(constituents));
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- NOT --
+
+bool NotNode::MiddleInside(const EventPtr& e1, const EventPtr& e3) const {
+  for (const EventPtr& middle : middles_) {
+    if (EligibleBefore(e1, middle) && EligibleBefore(middle, e3)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void NotNode::PruneMiddles() {
+  // The unrestricted context never consumes initiators, so every middle
+  // stays potentially relevant; pruning only pays off (and is only
+  // triggered by consumption/replacement) in the other contexts.
+  std::erase_if(middles_, [this](const EventPtr& middle) {
+    for (const EventPtr& init : initiators_) {
+      if (Before(init->timestamp(), middle->timestamp())) return false;
+    }
+    return true;
+  });
+}
+
+void NotNode::OnInput(size_t index, const EventPtr& event) {
+  switch (index) {
+    case 0:  // E2, the forbidden middle
+      middles_.push_back(event);
+      return;
+    case 1:  // E1, the initiator
+      if (context_ == ParamContext::kRecent) {
+        initiators_.assign(1, event);
+        PruneMiddles();
+      } else {
+        initiators_.push_back(event);
+      }
+      return;
+    case 2:
+      break;  // E3, the terminator: evaluate below
+    default:
+      LOG_FATAL << "NotNode: bad input index " << index;
+  }
+
+  auto eligible = [&](const EventPtr& init) {
+    return EligibleBefore(init, event);
+  };
+  auto clean = [&](const EventPtr& init) {
+    return !MiddleInside(init, event);
+  };
+  switch (context_) {
+    case ParamContext::kUnrestricted:
+      for (const EventPtr& init : initiators_) {
+        if (eligible(init) && clean(init)) EmitComposite({init, event});
+      }
+      break;
+    case ParamContext::kRecent:
+      if (!initiators_.empty() && eligible(initiators_.back()) &&
+          clean(initiators_.back())) {
+        EmitComposite({initiators_.back(), event});
+      }
+      break;
+    case ParamContext::kChronicle: {
+      // The terminator consumes the oldest eligible initiator whether or
+      // not the non-occurrence condition holds (the attempt is used up).
+      auto it = std::find_if(initiators_.begin(), initiators_.end(),
+                             eligible);
+      if (it != initiators_.end()) {
+        if (clean(*it)) EmitComposite({*it, event});
+        initiators_.erase(it);
+        PruneMiddles();
+      }
+      break;
+    }
+    case ParamContext::kContinuous: {
+      std::vector<EventPtr> kept;
+      for (const EventPtr& init : initiators_) {
+        if (eligible(init)) {
+          if (clean(init)) EmitComposite({init, event});
+        } else {
+          kept.push_back(init);
+        }
+      }
+      initiators_ = std::move(kept);
+      PruneMiddles();
+      break;
+    }
+    case ParamContext::kCumulative: {
+      std::vector<EventPtr> constituents;
+      std::vector<EventPtr> kept;
+      for (const EventPtr& init : initiators_) {
+        if (!eligible(init)) {
+          kept.push_back(init);
+        } else if (clean(init)) {
+          constituents.push_back(init);
+        }
+      }
+      initiators_ = std::move(kept);
+      if (!constituents.empty()) {
+        constituents.push_back(event);
+        EmitComposite(std::move(constituents));
+      }
+      PruneMiddles();
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------------ A (mid) --
+
+void AperiodicNode::RecordTerminator(Window& w,
+                                     const CompositeTimestamp& t3) {
+  // Keep only `<`-minimal terminators: t3 blocks {t2 : t3 < t2}, so a
+  // terminator after an already-recorded one blocks a subset and is
+  // redundant; conversely an earlier t3 obsoletes recorded later ones.
+  for (const CompositeTimestamp& existing : w.terminators) {
+    if (Before(existing, t3) || existing == t3) return;
+  }
+  std::erase_if(w.terminators, [&](const CompositeTimestamp& existing) {
+    return Before(t3, existing);
+  });
+  w.terminators.push_back(t3);
+}
+
+bool AperiodicNode::WindowOpenFor(const Window& w,
+                                  const EventPtr& e2) const {
+  if (!EligibleBefore(w.initiator, e2)) return false;
+  for (const CompositeTimestamp& t3 : w.terminators) {
+    if (StampEligibleBefore(t3, e2)) return false;  // closed before e2
+  }
+  return true;
+}
+
+void AperiodicNode::OnInput(size_t index, const EventPtr& event) {
+  switch (index) {
+    case 0:  // initiator
+      if (context_ == ParamContext::kRecent) {
+        windows_.assign(1, Window{event, {}});
+      } else {
+        windows_.push_back(Window{event, {}});
+      }
+      return;
+    case 1: {  // middle: the signalling event
+      switch (context_) {
+        case ParamContext::kUnrestricted:
+        case ParamContext::kContinuous:
+        case ParamContext::kCumulative:  // A has no accumulation; the
+                                         // cumulative variant is A*.
+          for (const Window& w : windows_) {
+            if (WindowOpenFor(w, event)) {
+              EmitComposite({w.initiator, event});
+            }
+          }
+          break;
+        case ParamContext::kRecent:
+          if (!windows_.empty() && WindowOpenFor(windows_.back(), event)) {
+            EmitComposite({windows_.back().initiator, event});
+          }
+          break;
+        case ParamContext::kChronicle: {
+          auto it = std::find_if(
+              windows_.begin(), windows_.end(),
+              [&](const Window& w) { return WindowOpenFor(w, event); });
+          if (it != windows_.end()) {
+            EmitComposite({it->initiator, event});
+          }
+          break;
+        }
+      }
+      return;
+    }
+    case 2:
+      break;  // terminator, handled below
+    default:
+      LOG_FATAL << "AperiodicNode: bad input index " << index;
+  }
+
+  const CompositeTimestamp& t3 = event->timestamp();
+  auto terminated = [&](const Window& w) {
+    return EligibleBefore(w.initiator, event);
+  };
+  switch (context_) {
+    case ParamContext::kUnrestricted:
+    case ParamContext::kRecent:
+      // Record the terminator; the window stays so that E2 occurrences
+      // concurrent with t3 (delivered later) are still classified
+      // correctly against the open-interval condition.
+      for (Window& w : windows_) {
+        if (terminated(w)) RecordTerminator(w, t3);
+      }
+      break;
+    case ParamContext::kChronicle: {
+      auto it = std::find_if(windows_.begin(), windows_.end(), terminated);
+      if (it != windows_.end()) windows_.erase(it);
+      break;
+    }
+    case ParamContext::kContinuous:
+    case ParamContext::kCumulative:
+      windows_.erase(
+          std::remove_if(windows_.begin(), windows_.end(), terminated),
+          windows_.end());
+      break;
+  }
+}
+
+size_t AperiodicNode::StateSize() const {
+  size_t total = 0;
+  for (const Window& w : windows_) total += 1 + w.terminators.size();
+  return total;
+}
+
+// ------------------------------------------------------- A* (cumulate) --
+
+size_t AperiodicStarNode::StateSize() const {
+  size_t total = 0;
+  for (const Window& w : windows_) total += 1 + w.middles.size();
+  return total;
+}
+
+void AperiodicStarNode::OnInput(size_t index, const EventPtr& event) {
+  switch (index) {
+    case 0:
+      if (context_ == ParamContext::kRecent) {
+        windows_.assign(1, Window{event, {}});
+      } else {
+        windows_.push_back(Window{event, {}});
+      }
+      return;
+    case 1: {
+      for (Window& w : windows_) {
+        if (EligibleBefore(w.initiator, event)) w.middles.push_back(event);
+      }
+      return;
+    }
+    case 2:
+      break;
+    default:
+      LOG_FATAL << "AperiodicStarNode: bad input index " << index;
+  }
+
+  std::vector<Window> kept;
+  for (Window& w : windows_) {
+    if (!EligibleBefore(w.initiator, event)) {
+      kept.push_back(std::move(w));
+      continue;
+    }
+    std::vector<EventPtr> constituents{w.initiator};
+    for (const EventPtr& middle : w.middles) {
+      if (EligibleBefore(middle, event)) constituents.push_back(middle);
+    }
+    constituents.push_back(event);
+    EmitComposite(std::move(constituents));
+    if (context_ == ParamContext::kUnrestricted) {
+      // Unconsumed: the window keeps accumulating and may emit again at a
+      // later terminator with a superset of middles.
+      kept.push_back(std::move(w));
+    }
+  }
+  windows_ = std::move(kept);
+}
+
+// ------------------------------------------------------------- P / P* --
+
+PeriodicNode::Window* PeriodicNode::FindWindow(int64_t id) {
+  for (Window& w : windows_) {
+    if (w.id == id) return &w;
+  }
+  return nullptr;
+}
+
+void PeriodicNode::OpenWindow(const EventPtr& initiator) {
+  Window w;
+  w.id = next_window_id_++;
+  w.initiator = initiator;
+  windows_.push_back(std::move(w));
+  timers_->ScheduleAt(this, AnchorTick(initiator->timestamp()) + period_ticks_,
+                      windows_.back().id);
+}
+
+void PeriodicNode::CloseWindows(const EventPtr& terminator) {
+  std::vector<Window> kept;
+  for (Window& w : windows_) {
+    if (!EligibleBefore(w.initiator, terminator)) {
+      kept.push_back(std::move(w));
+      continue;
+    }
+    if (cumulative()) {
+      std::vector<EventPtr> constituents{w.initiator};
+      constituents.insert(constituents.end(), w.ticks.begin(),
+                          w.ticks.end());
+      constituents.push_back(terminator);
+      EmitComposite(std::move(constituents));
+    }
+    // Dropped: pending timers for this window id are invalidated lazily
+    // in OnTimer.
+  }
+  windows_ = std::move(kept);
+}
+
+void PeriodicNode::OnInput(size_t index, const EventPtr& event) {
+  CHECK_LT(index, 2u);
+  if (index == 0) {
+    switch (context_) {
+      case ParamContext::kRecent:
+        windows_.clear();
+        OpenWindow(event);
+        break;
+      case ParamContext::kChronicle:
+        // First initiator wins until its window is terminated.
+        if (windows_.empty()) OpenWindow(event);
+        break;
+      case ParamContext::kUnrestricted:
+      case ParamContext::kContinuous:
+      case ParamContext::kCumulative:
+        OpenWindow(event);
+        break;
+    }
+    return;
+  }
+  CloseWindows(event);
+}
+
+void PeriodicNode::OnTimer(const PrimitiveTimestamp& stamp,
+                           int64_t payload) {
+  Window* w = FindWindow(payload);
+  if (w == nullptr) return;  // window closed; stale timer
+  const EventPtr tick = Event::MakePrimitive(tick_type_, stamp);
+  if (cumulative()) {
+    w->ticks.push_back(tick);
+  } else {
+    EmitComposite({w->initiator, tick});
+  }
+  timers_->ScheduleAt(this, stamp.local + period_ticks_, payload);
+}
+
+void PeriodicStarNode::OnInput(size_t index, const EventPtr& event) {
+  PeriodicNode::OnInput(index, event);
+}
+
+// --------------------------------------------------------------- PLUS --
+
+void PlusNode::OnInput(size_t index, const EventPtr& event) {
+  CHECK_EQ(index, 0u);
+  if (context_ == ParamContext::kRecent) {
+    // Pending earlier schedules are superseded.
+    for (EventPtr& pending : pending_) pending.reset();
+  }
+  const int64_t payload = static_cast<int64_t>(pending_.size());
+  pending_.push_back(event);
+  timers_->ScheduleAt(this, AnchorTick(event->timestamp()) + period_ticks_,
+                      payload);
+}
+
+void PlusNode::OnTimer(const PrimitiveTimestamp& stamp, int64_t payload) {
+  CHECK_GE(payload, 0);
+  CHECK_LT(static_cast<size_t>(payload), pending_.size());
+  const EventPtr initiator = pending_[payload];
+  if (initiator == nullptr) return;  // superseded under kRecent
+  pending_[payload].reset();
+  EmitComposite({initiator, Event::MakePrimitive(tick_type_, stamp)});
+}
+
+LocalTicks AnchorTick(const CompositeTimestamp& t) {
+  CHECK(!t.empty());
+  LocalTicks anchor = t.stamps().front().local;
+  for (const PrimitiveTimestamp& p : t.stamps()) {
+    anchor = std::max(anchor, p.local);
+  }
+  return anchor;
+}
+
+}  // namespace sentineld

@@ -1,0 +1,383 @@
+#ifndef SENTINELD_SNOOP_NODE_H_
+#define SENTINELD_SNOOP_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "event/event.h"
+#include "snoop/context.h"
+#include "timestamp/composite_timestamp.h"
+
+namespace sentineld {
+
+class Node;
+
+/// Timer facility temporal nodes (P, P*, PLUS) use to receive clock
+/// callbacks; implemented by the Detector. Ticks are local ticks of the
+/// detector's host site.
+class TimerService {
+ public:
+  virtual ~TimerService() = default;
+
+  /// Requests node->OnTimer(stamp, payload) once the host clock reaches
+  /// `local_tick`; `stamp` will be the temporal primitive timestamp of
+  /// the firing tick at the host site.
+  virtual void ScheduleAt(Node* node, LocalTicks local_tick,
+                          int64_t payload) = 0;
+};
+
+/// A node of the event-detection graph. Leaves are primitive event types;
+/// internal nodes implement one Snoop operator under one parameter
+/// context. Occurrences propagate bottom-up: a node that detects calls
+/// Emit, which hands the new composite occurrence to each parent's
+/// OnInput and to any registered sinks (rule callbacks).
+///
+/// Delivery contract: inputs must arrive in an order that is a linear
+/// extension of the composite happen-before order `<` (i.e. if
+/// Before(a.timestamp, b.timestamp) then a is delivered before b). Under
+/// that contract the streaming detection below coincides, in the
+/// kUnrestricted context, with the declarative Sec. 5.3 semantics
+/// (verified against the oracle in tests). The distributed runtime's
+/// Sequencer establishes the contract for cross-site streams; centralized
+/// feeds establish it trivially.
+///
+/// Streaming-exactness of NESTED expressions: a node's *output* stream is
+/// emitted in completion order, which is not always a linear extension of
+/// `<` — an AND/ANY/SEQ occurrence may retain an old element concurrent
+/// with its completing one (e.g. AND of an old `a` with a fresh `b`,
+/// a ~ b), so its timestamp can be `<`-before events already delivered
+/// downstream. Interval operators (A, NOT) fed such streams can therefore
+/// decide before a relevant late sub-occurrence exists. Exact online
+/// evaluation is impossible in general: a punctuation/low-watermark
+/// scheme stalls on the unrestricted context's forever-retained state, so
+/// the only exact evaluator for arbitrary nesting is the declarative
+/// oracle (snoop/reference_detector.h). Depth-1 expressions (operators
+/// over primitive streams) ARE exact; the measured nested divergence is
+/// rare (< 1% of random depth-3 histories; pinned by
+/// tests/expr_fuzz_test.cc) and documented in EXPERIMENTS.md.
+class Node {
+ public:
+  Node(EventTypeId output_type, ParamContext context, size_t num_inputs)
+      : context_(context),
+        output_type_(output_type),
+        num_inputs_(num_inputs) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Delivers an occurrence produced by child `index`.
+  virtual void OnInput(size_t index, const EventPtr& event) = 0;
+
+  /// Timer callback (see TimerService); default ignores.
+  virtual void OnTimer(const PrimitiveTimestamp& stamp, int64_t payload);
+
+  /// Registers `parent` to receive this node's occurrences on its input
+  /// `input_index`.
+  void AddParent(Node* parent, size_t input_index);
+
+  /// Registers a terminal callback (rule firing); returns a token for
+  /// RemoveSink.
+  size_t AddSink(std::function<void(const EventPtr&)> sink);
+
+  /// Detaches a previously added sink (idempotent).
+  void RemoveSink(size_t token);
+
+  /// Sets the interval policy (see snoop/context.h); the Detector calls
+  /// this right after construction, before any input flows.
+  void set_interval_policy(IntervalPolicy policy) {
+    interval_policy_ = policy;
+  }
+  IntervalPolicy interval_policy() const { return interval_policy_; }
+
+  EventTypeId output_type() const { return output_type_; }
+  ParamContext context() const { return context_; }
+  size_t num_inputs() const { return num_inputs_; }
+
+  /// Occurrences emitted by this node since construction.
+  uint64_t emit_count() const { return emit_count_; }
+
+  /// Number of occurrences/stamps currently buffered by this node —
+  /// the detector's retained-state metric (drives the GC tests and the
+  /// memory column of the detection benchmarks). Stateless nodes report
+  /// zero.
+  virtual size_t StateSize() const { return 0; }
+
+ protected:
+  /// Propagates a detected occurrence to parents and sinks.
+  void Emit(const EventPtr& event);
+
+  /// Builds and emits a composite occurrence of this node's output type.
+  void EmitComposite(std::vector<EventPtr> constituents);
+
+  /// The operator-eligibility order under the configured IntervalPolicy:
+  /// point-based compares occurrence stamps (the paper's `<`);
+  /// interval-based requires `a`'s end to precede `b`'s start.
+  bool EligibleBefore(const EventPtr& a, const EventPtr& b) const;
+
+  /// Same, with `a` given as a bare end-stamp (recorded terminators).
+  bool StampEligibleBefore(const CompositeTimestamp& a_end,
+                           const EventPtr& b) const;
+
+  ParamContext context_;
+  IntervalPolicy interval_policy_ = IntervalPolicy::kPointBased;
+
+ private:
+  EventTypeId output_type_;
+  size_t num_inputs_;
+  std::vector<std::pair<Node*, size_t>> parents_;
+  std::vector<std::function<void(const EventPtr&)>> sinks_;
+  uint64_t emit_count_ = 0;
+};
+
+/// Leaf node: forwards occurrences of one primitive event type unchanged.
+class PrimitiveNode final : public Node {
+ public:
+  explicit PrimitiveNode(EventTypeId type)
+      : Node(type, ParamContext::kUnrestricted, 1) {}
+
+  /// The detector routes matching primitive occurrences here.
+  void Accept(const EventPtr& event) { Emit(event); }
+
+  void OnInput(size_t index, const EventPtr& event) override;
+};
+
+/// E1 ∇ E2: every occurrence of either child is an occurrence of the
+/// disjunction (its timestamp and constituent pass through, re-typed).
+class OrNode final : public Node {
+ public:
+  OrNode(EventTypeId output_type, ParamContext context)
+      : Node(output_type, context, 2) {}
+
+  void OnInput(size_t index, const EventPtr& event) override;
+};
+
+/// E1 ∧ E2: conjunction, order-free. Timestamp: Max(t1, t2) (Sec. 5.3).
+class AndNode final : public Node {
+ public:
+  AndNode(EventTypeId output_type, ParamContext context)
+      : Node(output_type, context, 2) {}
+
+  void OnInput(size_t index, const EventPtr& event) override;
+  size_t StateSize() const override {
+    return buffer_[0].size() + buffer_[1].size();
+  }
+
+ private:
+  void EmitPair(const EventPtr& left, const EventPtr& right);
+
+  std::vector<EventPtr> buffer_[2];
+};
+
+/// ANY(m, E1..En): detected when occurrences of m distinct constituent
+/// events exist, irrespective of order (Snoop's ANY). The arriving
+/// occurrence completes each detection, so every combination is emitted
+/// exactly once in the unrestricted context. Context disciplines:
+///   unrestricted — every (m-1)-selection from distinct other inputs;
+///   recent       — latest occurrence per input; the m-1 others with the
+///                  largest anchors pair, nothing is consumed;
+///   chronicle    — FIFO per input; fronts of the lowest-indexed m-1
+///                  non-empty other inputs pair and are consumed;
+///   continuous   — like unrestricted, but all used occurrences are
+///                  consumed;
+///   cumulative   — one occurrence carrying everything buffered on the
+///                  other inputs, all consumed.
+class AnyNode final : public Node {
+ public:
+  AnyNode(EventTypeId output_type, ParamContext context, int threshold,
+          size_t num_inputs)
+      : Node(output_type, context, num_inputs),
+        threshold_(threshold),
+        buffers_(num_inputs) {}
+
+  void OnInput(size_t index, const EventPtr& event) override;
+  size_t StateSize() const override;
+
+ private:
+  /// Emits every combination of `needed` events drawn from distinct
+  /// inputs in `pool_inputs` (recursion over input index), each combined
+  /// with `base`.
+  void EmitCombinations(const EventPtr& base, size_t arrival_index,
+                        size_t from_input, int needed,
+                        std::vector<EventPtr>& chosen);
+
+  int threshold_;
+  std::vector<std::vector<EventPtr>> buffers_;
+};
+
+/// E1 ; E2: sequence — requires Before(t1, t2) under the composite `<`
+/// (Sec. 5.3). Initiators are E1 occurrences.
+class SeqNode final : public Node {
+ public:
+  SeqNode(EventTypeId output_type, ParamContext context)
+      : Node(output_type, context, 2) {}
+
+  void OnInput(size_t index, const EventPtr& event) override;
+  size_t StateSize() const override { return initiators_.size(); }
+
+ private:
+  std::vector<EventPtr> initiators_;
+};
+
+/// ¬(E2)[E1, E3]: detected at an E3 occurrence e3 when an initiator e1
+/// satisfies Before(t1, t3) and no E2 occurrence lies in the open
+/// composite interval (t1, t3) (Defs 5.5 / Sec. 5.3). Inputs:
+/// 0 = E2 (middle), 1 = E1 (initiator), 2 = E3 (terminator).
+class NotNode final : public Node {
+ public:
+  NotNode(EventTypeId output_type, ParamContext context)
+      : Node(output_type, context, 3) {}
+
+  void OnInput(size_t index, const EventPtr& event) override;
+  size_t StateSize() const override {
+    return initiators_.size() + middles_.size();
+  }
+
+ private:
+  bool MiddleInside(const EventPtr& e1, const EventPtr& e3) const;
+
+  /// Drops middles that can no longer block any window. Under the
+  /// linear-extension delivery contract a future initiator t1 with
+  /// Before(t1, tm) for an already-buffered middle m is impossible (it
+  /// would have been delivered before m), so a middle not strictly after
+  /// any *buffered* initiator is dead state. Keeps NOT's memory bounded
+  /// by live windows instead of the whole stream.
+  void PruneMiddles();
+
+  std::vector<EventPtr> initiators_;
+  std::vector<EventPtr> middles_;
+};
+
+/// A(E1, E2, E3): each E2 occurrence inside an open window started by an
+/// E1 and not yet closed by an E3 signals {e1, e2} with Max(t1, t2).
+/// Inputs: 0 = E1, 1 = E2, 2 = E3.
+class AperiodicNode final : public Node {
+ public:
+  AperiodicNode(EventTypeId output_type, ParamContext context)
+      : Node(output_type, context, 3) {}
+
+  void OnInput(size_t index, const EventPtr& event) override;
+  size_t StateSize() const override;
+
+ private:
+  struct Window {
+    EventPtr initiator;
+    /// Terminator timestamps recorded against this window; an E2 with
+    /// timestamp t2 is inside iff no recorded t3 has Before(t3, t2).
+    /// Kept as the antichain of `<`-minimal terminators — a terminator
+    /// dominated by an earlier one blocks strictly fewer E2s and is
+    /// redundant — so the list stays bounded by the width of the order
+    /// (at most one entry per site) rather than the stream length.
+    std::vector<CompositeTimestamp> terminators;
+  };
+
+  static void RecordTerminator(Window& w, const CompositeTimestamp& t3);
+  bool WindowOpenFor(const Window& w, const EventPtr& e2) const;
+
+  std::vector<Window> windows_;
+};
+
+/// A*(E1, E2, E3): cumulative variant — at an E3 occurrence, every window
+/// with Before(t1, t3) emits one occurrence carrying the initiator, all
+/// accumulated E2s inside (t1, t3), and the terminator.
+/// Inputs: 0 = E1, 1 = E2, 2 = E3.
+class AperiodicStarNode final : public Node {
+ public:
+  AperiodicStarNode(EventTypeId output_type, ParamContext context)
+      : Node(output_type, context, 3) {}
+
+  void OnInput(size_t index, const EventPtr& event) override;
+  size_t StateSize() const override;
+
+ private:
+  struct Window {
+    EventPtr initiator;
+    std::vector<EventPtr> middles;
+  };
+
+  std::vector<Window> windows_;
+};
+
+/// P(E1, period, E3): after an initiator, a temporal occurrence fires
+/// every `period` host-site local ticks until a terminator with
+/// Before(t1, t3) closes the window. Each firing emits {e1, tick}.
+/// Inputs: 0 = E1, 1 = E3.
+class PeriodicNode : public Node {
+ public:
+  PeriodicNode(EventTypeId output_type, ParamContext context,
+               int64_t period_ticks, EventTypeId tick_type,
+               TimerService* timers)
+      : Node(output_type, context, 2),
+        period_ticks_(period_ticks),
+        tick_type_(tick_type),
+        timers_(timers) {}
+
+  void OnInput(size_t index, const EventPtr& event) override;
+  void OnTimer(const PrimitiveTimestamp& stamp, int64_t payload) override;
+
+ protected:
+  /// Whether the cumulative variant is active (set by PeriodicStarNode).
+  virtual bool cumulative() const { return false; }
+
+  struct Window {
+    int64_t id = 0;
+    EventPtr initiator;
+    bool closed = false;
+    std::vector<EventPtr> ticks;  // only used by the cumulative variant
+  };
+
+  Window* FindWindow(int64_t id);
+  void OpenWindow(const EventPtr& initiator);
+  void CloseWindows(const EventPtr& terminator);
+
+  int64_t period_ticks_;
+  EventTypeId tick_type_;
+  TimerService* timers_;
+  std::vector<Window> windows_;
+  int64_t next_window_id_ = 0;
+};
+
+/// P*(E1, period, E3): cumulative periodic — ticks accumulate and are
+/// emitted as one occurrence {e1, ticks..., e3} at the terminator.
+class PeriodicStarNode final : public PeriodicNode {
+ public:
+  using PeriodicNode::PeriodicNode;
+
+  void OnInput(size_t index, const EventPtr& event) override;
+
+ protected:
+  bool cumulative() const override { return true; }
+};
+
+/// E1 + t: a single temporal occurrence t host-site local ticks after the
+/// anchor of each initiator. Input: 0 = E1.
+class PlusNode final : public Node {
+ public:
+  PlusNode(EventTypeId output_type, ParamContext context,
+           int64_t period_ticks, EventTypeId tick_type, TimerService* timers)
+      : Node(output_type, context, 1),
+        period_ticks_(period_ticks),
+        tick_type_(tick_type),
+        timers_(timers) {}
+
+  void OnInput(size_t index, const EventPtr& event) override;
+  void OnTimer(const PrimitiveTimestamp& stamp, int64_t payload) override;
+
+ private:
+  int64_t period_ticks_;
+  EventTypeId tick_type_;
+  TimerService* timers_;
+  std::vector<EventPtr> pending_;  // indexed by payload
+};
+
+/// The anchor tick of a composite timestamp: the maximum local tick among
+/// its elements. Local ticks are calendar-aligned across sites to within
+/// Pi, so this approximates "when the event happened" well enough to
+/// schedule temporal follow-ups (documented approximation).
+LocalTicks AnchorTick(const CompositeTimestamp& t);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_NODE_H_

@@ -1,0 +1,363 @@
+#include "snoop/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+enum class TokKind { kIdent, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier text, number literal (with unit), or symbol
+  size_t pos = 0;     // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '_')) {
+          ++i;
+        }
+        std::string ident(text_.substr(start, i - start));
+        // "A*" / "P*" lex as one identifier so the operator names stay
+        // one token.
+        if ((ident == "A" || ident == "P") && i < text_.size() &&
+            text_[i] == '*') {
+          ident += '*';
+          ++i;
+        }
+        tokens.push_back({TokKind::kIdent, std::move(ident), start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = i;
+        while (i < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[i]))) {
+          ++i;
+        }
+        // Attach a unit suffix ("ms", "s", "t", ...) if it follows
+        // immediately.
+        while (i < text_.size() &&
+               std::isalpha(static_cast<unsigned char>(text_[i]))) {
+          ++i;
+        }
+        tokens.push_back(
+            {TokKind::kNumber, std::string(text_.substr(start, i - start)),
+             start});
+        continue;
+      }
+      static constexpr std::string_view kSymbols = "();[],+";
+      if (kSymbols.find(c) != std::string_view::npos) {
+        tokens.push_back({TokKind::kSymbol, std::string(1, c), i});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrCat("unexpected character '", std::string(1, c),
+                 "' at position ", i));
+    }
+    tokens.push_back({TokKind::kEnd, "", text_.size()});
+    return tokens;
+  }
+
+ private:
+  std::string_view text_;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, EventTypeRegistry& registry,
+         const ParserOptions& options)
+      : tokens_(std::move(tokens)), registry_(registry), options_(options) {}
+
+  Result<ExprPtr> Parse() {
+    Result<ExprPtr> expr = ParseOr();
+    if (!expr.ok()) return expr;
+    if (Peek().kind != TokKind::kEnd) {
+      return Err(StrCat("trailing input starting with '", Peek().text, "'"));
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+
+  bool ConsumeSymbol(std::string_view symbol) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == symbol) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeIdent(std::string_view ident) {
+    if (Peek().kind == TokKind::kIdent && Peek().text == ident) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(std::string message) const {
+    return Status::InvalidArgument(
+        StrCat(message, " (at position ", Peek().pos, ")"));
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!ConsumeSymbol(symbol)) {
+      return Err(StrCat("expected '", symbol, "', found '", Peek().text,
+                        "'"));
+    }
+    return Status::Ok();
+  }
+
+  Result<ExprPtr> ParseOr() {
+    Result<ExprPtr> left = ParseAnd();
+    if (!left.ok()) return left;
+    ExprPtr expr = *left;
+    while (ConsumeIdent("or")) {
+      Result<ExprPtr> right = ParseAnd();
+      if (!right.ok()) return right;
+      expr = Or(expr, *right);
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    Result<ExprPtr> left = ParseSeq();
+    if (!left.ok()) return left;
+    ExprPtr expr = *left;
+    while (ConsumeIdent("and")) {
+      Result<ExprPtr> right = ParseSeq();
+      if (!right.ok()) return right;
+      expr = And(expr, *right);
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseSeq() {
+    Result<ExprPtr> left = ParsePlus();
+    if (!left.ok()) return left;
+    ExprPtr expr = *left;
+    while (ConsumeSymbol(";")) {
+      Result<ExprPtr> right = ParsePlus();
+      if (!right.ok()) return right;
+      expr = Seq(expr, *right);
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParsePlus() {
+    Result<ExprPtr> base = ParsePrimary();
+    if (!base.ok()) return base;
+    ExprPtr expr = *base;
+    while (ConsumeSymbol("+")) {
+      Result<int64_t> ticks = ParseDurationToken();
+      if (!ticks.ok()) return ticks.status();
+      expr = Plus(expr, *ticks);
+    }
+    return expr;
+  }
+
+  Result<int64_t> ParseDurationToken() {
+    if (Peek().kind != TokKind::kNumber) {
+      return Status::InvalidArgument(
+          StrCat("expected duration literal, found '", Peek().text,
+                 "' (at position ", Peek().pos, ")"));
+    }
+    const Token tok = Advance();
+    return ParseDuration(tok.text, options_.timebase);
+  }
+
+  /// Operator call with three expression arguments: name(e1, e2, e3).
+  Result<ExprPtr> ParseTernaryTail(OpKind kind) {
+    RETURN_IF_ERROR(ExpectSymbol("("));
+    Result<ExprPtr> a = ParseOr();
+    if (!a.ok()) return a;
+    RETURN_IF_ERROR(ExpectSymbol(","));
+    Result<ExprPtr> b = ParseOr();
+    if (!b.ok()) return b;
+    RETURN_IF_ERROR(ExpectSymbol(","));
+    Result<ExprPtr> c = ParseOr();
+    if (!c.ok()) return c;
+    RETURN_IF_ERROR(ExpectSymbol(")"));
+    return kind == OpKind::kAperiodic ? Aperiodic(*a, *b, *c)
+                                      : AperiodicStar(*a, *b, *c);
+  }
+
+  /// P/P*: name(initiator, duration, terminator).
+  Result<ExprPtr> ParsePeriodicTail(OpKind kind) {
+    RETURN_IF_ERROR(ExpectSymbol("("));
+    Result<ExprPtr> initiator = ParseOr();
+    if (!initiator.ok()) return initiator;
+    RETURN_IF_ERROR(ExpectSymbol(","));
+    Result<int64_t> ticks = ParseDurationToken();
+    if (!ticks.ok()) return ticks.status();
+    RETURN_IF_ERROR(ExpectSymbol(","));
+    Result<ExprPtr> terminator = ParseOr();
+    if (!terminator.ok()) return terminator;
+    RETURN_IF_ERROR(ExpectSymbol(")"));
+    return kind == OpKind::kPeriodic
+               ? Periodic(*initiator, *ticks, *terminator)
+               : PeriodicStar(*initiator, *ticks, *terminator);
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (ConsumeSymbol("(")) {
+      Result<ExprPtr> inner = ParseOr();
+      if (!inner.ok()) return inner;
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (Peek().kind != TokKind::kIdent) {
+      return Err(StrCat("expected event name or operator, found '",
+                        Peek().text, "'"));
+    }
+    const Token ident = Advance();
+    const bool call = Peek().kind == TokKind::kSymbol && Peek().text == "(";
+
+    if (call && ident.text == "not") {
+      // not(E2)[E1, E3]
+      RETURN_IF_ERROR(ExpectSymbol("("));
+      Result<ExprPtr> middle = ParseOr();
+      if (!middle.ok()) return middle;
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+      RETURN_IF_ERROR(ExpectSymbol("["));
+      Result<ExprPtr> initiator = ParseOr();
+      if (!initiator.ok()) return initiator;
+      RETURN_IF_ERROR(ExpectSymbol(","));
+      Result<ExprPtr> terminator = ParseOr();
+      if (!terminator.ok()) return terminator;
+      RETURN_IF_ERROR(ExpectSymbol("]"));
+      return Not(*middle, *initiator, *terminator);
+    }
+    if (call && ident.text == "ANY") {
+      // ANY(m, E1, E2, ..., En)
+      RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Peek().kind != TokKind::kNumber) {
+        return Err("ANY expects a count as its first argument");
+      }
+      const std::string count_text = Advance().text;
+      for (char c : count_text) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return Status::InvalidArgument(
+              StrCat("ANY count '", count_text, "' must be a plain integer"));
+        }
+      }
+      const int threshold = std::stoi(count_text);
+      std::vector<ExprPtr> children;
+      while (ConsumeSymbol(",")) {
+        Result<ExprPtr> child = ParseOr();
+        if (!child.ok()) return child;
+        children.push_back(*child);
+      }
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (children.size() < 2) {
+        return Err("ANY needs at least two constituent events");
+      }
+      if (threshold < 1 || threshold > static_cast<int>(children.size())) {
+        return Err("ANY count out of range");
+      }
+      return Any(threshold, std::move(children));
+    }
+    if (call && ident.text == "A") return ParseTernaryTail(OpKind::kAperiodic);
+    if (call && ident.text == "A*") {
+      return ParseTernaryTail(OpKind::kAperiodicStar);
+    }
+    if (call && ident.text == "P") return ParsePeriodicTail(OpKind::kPeriodic);
+    if (call && ident.text == "P*") {
+      return ParsePeriodicTail(OpKind::kPeriodicStar);
+    }
+    if (ident.text == "A*" || ident.text == "P*") {
+      return Err(StrCat("'", ident.text, "' must be followed by '('"));
+    }
+
+    // A plain identifier: a primitive event type. Existing types of any
+    // class are accepted; auto_register creates missing ones as explicit
+    // events.
+    Result<EventTypeId> id = registry_.Lookup(ident.text);
+    if (!id.ok() && options_.auto_register) {
+      id = registry_.Register(ident.text, EventClass::kExplicit);
+    }
+    if (!id.ok()) return id.status();
+    return Prim(*id);
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+  EventTypeRegistry& registry_;
+  const ParserOptions& options_;
+};
+
+}  // namespace
+
+Result<int64_t> ParseDuration(std::string_view literal,
+                              const TimebaseConfig& timebase) {
+  size_t i = 0;
+  while (i < literal.size() &&
+         std::isdigit(static_cast<unsigned char>(literal[i]))) {
+    ++i;
+  }
+  if (i == 0) {
+    return Status::InvalidArgument(
+        StrCat("duration '", std::string(literal), "' has no digits"));
+  }
+  const int64_t value = std::stoll(std::string(literal.substr(0, i)));
+  const std::string_view unit = literal.substr(i);
+  int64_t ns = 0;
+  if (unit == "t") {
+    if (value <= 0) return Status::InvalidArgument("period must be positive");
+    return value;  // raw local ticks
+  } else if (unit == "ns") {
+    ns = value;
+  } else if (unit == "us") {
+    ns = value * 1'000;
+  } else if (unit == "ms") {
+    ns = value * 1'000'000;
+  } else if (unit == "s" || unit.empty()) {
+    ns = value * 1'000'000'000;
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown duration unit '", std::string(unit), "'"));
+  }
+  if (ns <= 0) return Status::InvalidArgument("period must be positive");
+  if (ns % timebase.local_granularity_ns != 0) {
+    return Status::InvalidArgument(
+        StrCat("duration ", ns, "ns is not a multiple of the local clock "
+               "granularity ", timebase.local_granularity_ns, "ns"));
+  }
+  return ns / timebase.local_granularity_ns;
+}
+
+Result<ExprPtr> ParseExpr(std::string_view text, EventTypeRegistry& registry,
+                          const ParserOptions& options) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens), registry, options);
+  Result<ExprPtr> expr = parser.Parse();
+  if (!expr.ok()) return expr;
+  RETURN_IF_ERROR(ValidateExpr(*expr));
+  return expr;
+}
+
+}  // namespace sentineld

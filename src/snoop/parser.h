@@ -1,0 +1,61 @@
+#ifndef SENTINELD_SNOOP_PARSER_H_
+#define SENTINELD_SNOOP_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "event/registry.h"
+#include "snoop/ast.h"
+#include "timebase/config.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Options for the event-expression parser.
+struct ParserOptions {
+  /// When true, identifiers not present in the registry are registered as
+  /// kExplicit primitive event types; when false they are a NotFound
+  /// error.
+  bool auto_register = false;
+
+  /// Used to convert duration literals ("500ms", "2s") into local clock
+  /// ticks; durations must be positive multiples of the local
+  /// granularity. The suffix "t" gives raw ticks.
+  TimebaseConfig timebase;
+};
+
+/// Parses the Sentinel event-expression language into an Expr tree.
+///
+/// Grammar (precedence loosest to tightest: or < and < ';' < '+'):
+///
+///   expr      := or_expr
+///   or_expr   := and_expr  ( "or"  and_expr )*
+///   and_expr  := seq_expr  ( "and" seq_expr )*
+///   seq_expr  := plus_expr ( ";"   plus_expr )*
+///   plus_expr := primary   ( "+" duration )*
+///   primary   := IDENT
+///              | "(" expr ")"
+///              | "not" "(" expr ")" "[" expr "," expr "]"
+///              | "A"  "(" expr "," expr "," expr ")"
+///              | "A*" "(" expr "," expr "," expr ")"
+///              | "P"  "(" expr "," duration "," expr ")"
+///              | "P*" "(" expr "," duration "," expr ")"
+///              | "ANY" "(" NUMBER ("," expr)+ ")"
+///   duration  := NUMBER ( "ns" | "us" | "ms" | "s" | "t" )
+///
+/// "not(...)[...]" mirrors the paper's ¬(E2)[E1, E3]. Identifiers are
+/// [A-Za-z_][A-Za-z0-9_]*; the operator names ("A", "P", "not", ...) act
+/// as operators only when followed by "(", so events may be named "A".
+///
+/// Errors carry a position-annotated message.
+Result<ExprPtr> ParseExpr(std::string_view text, EventTypeRegistry& registry,
+                          const ParserOptions& options = {});
+
+/// Converts a duration literal (e.g. "250ms") to local ticks under
+/// `timebase`. Exposed for tests and the examples.
+Result<int64_t> ParseDuration(std::string_view literal,
+                              const TimebaseConfig& timebase);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_PARSER_H_

@@ -1,0 +1,185 @@
+#include "snoop/reference_detector.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+ReferenceDetector::ReferenceDetector(EventTypeRegistry* registry,
+                                     IntervalPolicy policy)
+    : registry_(registry), policy_(policy) {
+  CHECK(registry != nullptr);
+}
+
+bool ReferenceDetector::EligibleBefore(const EventPtr& a,
+                                       const EventPtr& b) const {
+  const CompositeTimestamp& b_anchor =
+      policy_ == IntervalPolicy::kIntervalBased ? b->interval_start()
+                                                : b->timestamp();
+  return Before(a->timestamp(), b_anchor);
+}
+
+Result<std::vector<EventPtr>> ReferenceDetector::Evaluate(
+    const ExprPtr& expr, std::span<const EventPtr> history) {
+  RETURN_IF_ERROR(ValidateExpr(expr));
+
+  if (expr->kind == OpKind::kPrimitive) {
+    std::vector<EventPtr> out;
+    for (const EventPtr& e : history) {
+      if (e->type() == expr->primitive_type) out.push_back(e);
+    }
+    return out;
+  }
+
+  if (expr->kind == OpKind::kPeriodic ||
+      expr->kind == OpKind::kPeriodicStar || expr->kind == OpKind::kPlus) {
+    return Status::Unimplemented(
+        "temporal operators need a clock; not part of the declarative "
+        "oracle");
+  }
+
+  // Evaluate children.
+  std::vector<std::vector<EventPtr>> kids;
+  kids.reserve(expr->children.size());
+  for (const ExprPtr& child : expr->children) {
+    Result<std::vector<EventPtr>> r = Evaluate(child, history);
+    if (!r.ok()) return r;
+    kids.push_back(std::move(*r));
+  }
+
+  Result<EventTypeId> type = registry_->GetOrRegister(
+      expr->ToString(*registry_), EventClass::kComposite);
+  if (!type.ok()) return type.status();
+
+  std::vector<EventPtr> out;
+  switch (expr->kind) {
+    case OpKind::kAnd:
+      for (const EventPtr& a : kids[0]) {
+        for (const EventPtr& b : kids[1]) {
+          out.push_back(Event::MakeComposite(*type, {a, b}));
+        }
+      }
+      break;
+    case OpKind::kOr:
+      for (const auto& side : kids) {
+        for (const EventPtr& e : side) {
+          out.push_back(Event::MakeComposite(*type, {e}));
+        }
+      }
+      break;
+    case OpKind::kSeq:
+      for (const EventPtr& a : kids[0]) {
+        for (const EventPtr& b : kids[1]) {
+          if (EligibleBefore(a, b)) {
+            out.push_back(Event::MakeComposite(*type, {a, b}));
+          }
+        }
+      }
+      break;
+    case OpKind::kNot: {
+      const auto& middles = kids[0];
+      const auto& initiators = kids[1];
+      const auto& terminators = kids[2];
+      for (const EventPtr& e1 : initiators) {
+        for (const EventPtr& e3 : terminators) {
+          if (!EligibleBefore(e1, e3)) continue;
+          const bool blocked = std::any_of(
+              middles.begin(), middles.end(), [&](const EventPtr& m) {
+                return EligibleBefore(e1, m) && EligibleBefore(m, e3);
+              });
+          if (!blocked) out.push_back(Event::MakeComposite(*type, {e1, e3}));
+        }
+      }
+      break;
+    }
+    case OpKind::kAperiodic: {
+      const auto& initiators = kids[0];
+      const auto& middles = kids[1];
+      const auto& terminators = kids[2];
+      for (const EventPtr& e1 : initiators) {
+        for (const EventPtr& e2 : middles) {
+          if (!EligibleBefore(e1, e2)) continue;
+          const bool closed = std::any_of(
+              terminators.begin(), terminators.end(),
+              [&](const EventPtr& e3) {
+                return EligibleBefore(e1, e3) && EligibleBefore(e3, e2);
+              });
+          if (!closed) out.push_back(Event::MakeComposite(*type, {e1, e2}));
+        }
+      }
+      break;
+    }
+    case OpKind::kAny: {
+      // Every selection of one occurrence from each input of every
+      // m-subset of distinct inputs.
+      const int m = expr->any_threshold;
+      std::vector<EventPtr> chosen;
+      // Recursive enumeration of input subsets and selections.
+      std::function<void(size_t, int)> recurse = [&](size_t from,
+                                                     int needed) {
+        if (needed == 0) {
+          out.push_back(Event::MakeComposite(*type, chosen));
+          return;
+        }
+        for (size_t input = from; input < kids.size(); ++input) {
+          for (const EventPtr& candidate : kids[input]) {
+            chosen.push_back(candidate);
+            recurse(input + 1, needed - 1);
+            chosen.pop_back();
+          }
+        }
+      };
+      recurse(0, m);
+      break;
+    }
+    case OpKind::kAperiodicStar: {
+      const auto& initiators = kids[0];
+      const auto& middles = kids[1];
+      const auto& terminators = kids[2];
+      for (const EventPtr& e1 : initiators) {
+        for (const EventPtr& e3 : terminators) {
+          if (!EligibleBefore(e1, e3)) continue;
+          std::vector<EventPtr> constituents{e1};
+          for (const EventPtr& m : middles) {
+            if (EligibleBefore(e1, m) && EligibleBefore(m, e3)) {
+              constituents.push_back(m);
+            }
+          }
+          constituents.push_back(e3);
+          out.push_back(Event::MakeComposite(*type, std::move(constituents)));
+        }
+      }
+      break;
+    }
+    default:
+      LOG_FATAL << "unreachable operator in oracle";
+  }
+  return out;
+}
+
+std::string OccurrenceSignature(const EventPtr& event) {
+  std::vector<EventPtr> primitives;
+  CollectPrimitives(event, primitives);
+  std::vector<std::string> parts;
+  parts.reserve(primitives.size());
+  for (const EventPtr& p : primitives) {
+    parts.push_back(
+        StrCat("E", p->type(), "@", p->timestamp().ToString()));
+  }
+  std::sort(parts.begin(), parts.end());
+  return StrCat(event->timestamp().ToString(), " <= [", Join(parts, ", "),
+                "]");
+}
+
+std::vector<std::string> Signatures(std::span<const EventPtr> events) {
+  std::vector<std::string> sigs;
+  sigs.reserve(events.size());
+  for (const EventPtr& e : events) sigs.push_back(OccurrenceSignature(e));
+  std::sort(sigs.begin(), sigs.end());
+  return sigs;
+}
+
+}  // namespace sentineld

@@ -1,0 +1,64 @@
+#ifndef SENTINELD_SNOOP_REFERENCE_DETECTOR_H_
+#define SENTINELD_SNOOP_REFERENCE_DETECTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "event/event.h"
+#include "event/registry.h"
+#include "snoop/ast.h"
+#include "snoop/context.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Oracle: evaluates the *declarative* Sec. 5.3 semantics of a composite
+/// event expression over a complete history of primitive occurrences,
+/// with no streaming state, no contexts, and no concern for delivery
+/// order. Used to validate the streaming Detector (kUnrestricted context)
+/// by exhaustive comparison, and by tests that need ground truth.
+///
+/// The operator semantics implemented (composite `<` and open intervals
+/// throughout):
+///   E1 ∧ E2 : every pair (e1, e2)                     -> {e1, e2}
+///   E1 ∇ E2 : every occurrence of either              -> {e}
+///   E1 ; E2 : every pair with t1 < t2                 -> {e1, e2}
+///   ¬(E2)[E1,E3] : pairs t1 < t3, no m with t1<tm<t3  -> {e1, e3}
+///   A(E1,E2,E3)  : pairs t1 < t2, no t3 with t1<t3<t2 -> {e1, e2}
+///   A*(E1,E2,E3) : pairs t1 < t3, mids in (t1, t3)    -> {e1, mids…, e3}
+///
+/// Temporal operators (P, P*, +) require a clock and are not part of the
+/// declarative oracle; evaluating them returns Unimplemented.
+class ReferenceDetector {
+ public:
+  explicit ReferenceDetector(
+      EventTypeRegistry* registry,
+      IntervalPolicy policy = IntervalPolicy::kPointBased);
+
+  /// All occurrences of `expr` over `history`, in no particular order.
+  /// Output event types are registered under the same canonical
+  /// expression strings the Detector uses, so type ids agree when the
+  /// registry is shared.
+  Result<std::vector<EventPtr>> Evaluate(const ExprPtr& expr,
+                                         std::span<const EventPtr> history);
+
+ private:
+  /// Operator-eligibility order under the configured policy (matches
+  /// Node::EligibleBefore).
+  bool EligibleBefore(const EventPtr& a, const EventPtr& b) const;
+
+  EventTypeRegistry* registry_;
+  IntervalPolicy policy_;
+};
+
+/// Order-insensitive signature of a detected occurrence: its composite
+/// timestamp plus the multiset of constituent primitive stamps. Two
+/// detectors agree iff the sorted signature lists of their outputs match.
+std::string OccurrenceSignature(const EventPtr& event);
+
+/// Sorted signatures of a batch of occurrences.
+std::vector<std::string> Signatures(std::span<const EventPtr> events);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_REFERENCE_DETECTOR_H_

@@ -1,0 +1,90 @@
+#include "timebase/clock_fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+Result<ClockFleet> ClockFleet::Create(uint32_t num_sites,
+                                      const TimebaseConfig& config,
+                                      const SyncPolicy& policy, Rng& rng) {
+  RETURN_IF_ERROR(config.Validate());
+  if (num_sites == 0) {
+    return Status::InvalidArgument("need at least one site");
+  }
+  if (policy.sync_interval_ns <= 0 || policy.residual_bound_ns < 0 ||
+      policy.max_drift_ppm < 0) {
+    return Status::InvalidArgument("malformed sync policy");
+  }
+  const double worst_offset =
+      static_cast<double>(policy.residual_bound_ns) +
+      policy.max_drift_ppm * 1e-6 *
+          static_cast<double>(policy.sync_interval_ns);
+  if (policy.enforce_precision &&
+      worst_offset > static_cast<double>(config.precision_ns) / 2.0) {
+    return Status::FailedPrecondition(
+        StrCat("sync policy cannot guarantee Pi=", config.precision_ns,
+               "ns: worst per-clock offset ", worst_offset, "ns > Pi/2"));
+  }
+
+  std::vector<LocalClock> clocks;
+  clocks.reserve(num_sites);
+  // Without enforcement the clamp is lifted far beyond Pi/2, so the
+  // realized precision is whatever the (mis)configured drift produces.
+  const int64_t clamp = policy.enforce_precision
+                            ? config.precision_ns / 2
+                            : 100 * config.precision_ns;
+  for (SiteId site = 0; site < num_sites; ++site) {
+    const double drift =
+        (rng.NextDouble() * 2 - 1) * policy.max_drift_ppm;
+    const int64_t residual =
+        policy.residual_bound_ns == 0
+            ? 0
+            : rng.NextInt(-policy.residual_bound_ns,
+                          policy.residual_bound_ns);
+    clocks.emplace_back(site, config,
+                        ClockDeviation(drift, residual, clamp));
+  }
+  return ClockFleet(std::move(clocks), config, policy);
+}
+
+void ClockFleet::AdvanceTo(TrueTimeNs t, Rng& rng) {
+  while (next_sync_ <= t) {
+    for (LocalClock& clock : clocks_) {
+      const int64_t residual =
+          policy_.residual_bound_ns == 0
+              ? 0
+              : rng.NextInt(-policy_.residual_bound_ns,
+                            policy_.residual_bound_ns);
+      clock.deviation().SyncAt(next_sync_, residual);
+    }
+    next_sync_ += policy_.sync_interval_ns;
+  }
+}
+
+PrimitiveTimestamp ClockFleet::Stamp(SiteId site, TrueTimeNs t, Rng& rng) {
+  CHECK_LT(site, clocks_.size());
+  AdvanceTo(t, rng);
+  return clocks_[site].Stamp(t);
+}
+
+int64_t ClockFleet::RealizedPrecisionAt(TrueTimeNs t) const {
+  int64_t lo = 0, hi = 0;
+  bool first = true;
+  for (const LocalClock& clock : clocks_) {
+    const int64_t off = clock.deviation().OffsetAt(t);
+    if (first) {
+      lo = hi = off;
+      first = false;
+    } else {
+      lo = std::min(lo, off);
+      hi = std::max(hi, off);
+    }
+  }
+  return hi - lo;
+}
+
+}  // namespace sentineld

@@ -1,0 +1,38 @@
+#include "timebase/config.h"
+
+#include "util/string_util.h"
+
+namespace sentineld {
+
+Status TimebaseConfig::Validate() const {
+  if (local_granularity_ns <= 0) {
+    return Status::InvalidArgument("local granularity must be positive");
+  }
+  if (global_granularity_ns <= 0) {
+    return Status::InvalidArgument("global granularity must be positive");
+  }
+  if (precision_ns < 0) {
+    return Status::InvalidArgument("precision must be non-negative");
+  }
+  if (global_granularity_ns % local_granularity_ns != 0) {
+    return Status::InvalidArgument(
+        "global granularity must be a multiple of local granularity");
+  }
+  if (global_granularity_ns <= precision_ns) {
+    // g_g > Pi is the condition under which two simultaneous events get
+    // global times at most one tick apart (Sec. 4.1); without it the
+    // 2g_g-restricted order is unsound.
+    return Status::FailedPrecondition(
+        StrCat("g_g (", global_granularity_ns, "ns) must exceed precision Pi (",
+               precision_ns, "ns)"));
+  }
+  return Status::Ok();
+}
+
+std::string TimebaseConfig::ToString() const {
+  return StrCat("TimebaseConfig{g=", local_granularity_ns,
+                "ns, g_g=", global_granularity_ns, "ns, Pi=", precision_ns,
+                "ns, ticks/global=", TicksPerGlobal(), "}");
+}
+
+}  // namespace sentineld

@@ -1,0 +1,57 @@
+#ifndef SENTINELD_TIMEBASE_CONFIG_H_
+#define SENTINELD_TIMEBASE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace sentineld {
+
+/// True (reference) time in nanoseconds since the simulation epoch. Plays
+/// the role of the paper's reference clock `z`: a unique clock "in perfect
+/// agreement with the international standard of time" that no site can
+/// read directly — sites only see their own drifting local clocks.
+using TrueTimeNs = int64_t;
+
+/// How local calendar time is truncated to the global granularity
+/// (paper Def 4.3: "the TRUNC function could be round, ceiling or floor
+/// ... as long as it is consistent throughout the system"; the paper then
+/// fixes integer division, i.e. floor, which is our default).
+enum class TruncPolicy { kFloor, kRound, kCeil };
+
+/// Static parameters of the distributed time base (paper Sec. 4.1).
+/// Defaults reproduce the paper's Sec. 5.1 worked example: local clock
+/// granularity g = 1/100 s, precision Pi < 1/10 s, global granularity
+/// g_g = 1/10 s.
+struct TimebaseConfig {
+  /// Local clock granularity `g` in ns: one local tick per this many ns.
+  int64_t local_granularity_ns = 10'000'000;  // 1/100 s
+
+  /// Global granularity `g_g` in ns; must be an integer multiple of the
+  /// local granularity and strictly greater than precision_ns.
+  int64_t global_granularity_ns = 100'000'000;  // 1/10 s
+
+  /// Synchronization precision `Pi` in ns: the maximum offset between
+  /// corresponding ticks of any two local clocks, as observed by the
+  /// reference clock. Soundness of the 2g_g order requires g_g > Pi.
+  int64_t precision_ns = 99'000'000;  // Pi < 1/10 s
+
+  /// TRUNC policy for Def 4.3.
+  TruncPolicy trunc = TruncPolicy::kFloor;
+
+  /// Local ticks per global tick (`g_g / g`).
+  int64_t TicksPerGlobal() const {
+    return global_granularity_ns / local_granularity_ns;
+  }
+
+  /// Checks positivity, divisibility, and the g_g > Pi soundness
+  /// condition.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_TIMEBASE_CONFIG_H_

@@ -1,0 +1,61 @@
+#include "timebase/local_clock.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sentineld {
+
+ClockDeviation::ClockDeviation(double drift_ppm, int64_t residual_ns,
+                               int64_t max_abs_ns)
+    : drift_ppm_(drift_ppm),
+      residual_ns_(residual_ns),
+      max_abs_ns_(max_abs_ns) {
+  CHECK_GE(max_abs_ns, 0);
+}
+
+int64_t ClockDeviation::OffsetAt(TrueTimeNs t) const {
+  const double elapsed = static_cast<double>(t - last_sync_);
+  const int64_t raw =
+      residual_ns_ + std::llround(drift_ppm_ * 1e-6 * elapsed);
+  return std::clamp(raw, -max_abs_ns_, max_abs_ns_);
+}
+
+void ClockDeviation::SyncAt(TrueTimeNs t, int64_t residual_ns) {
+  last_sync_ = t;
+  residual_ns_ = std::clamp(residual_ns, -max_abs_ns_, max_abs_ns_);
+}
+
+LocalClock::LocalClock(SiteId site, const TimebaseConfig& config,
+                       ClockDeviation deviation)
+    : site_(site), config_(config), deviation_(deviation) {
+  CHECK_OK(config.Validate());
+}
+
+LocalTicks LocalClock::ReadLocalTicks(TrueTimeNs t) const {
+  // Clamp at the epoch: a negatively-offset clock read just before t=0
+  // still reports tick 0 (simulations start their workloads well after).
+  const int64_t reading = std::max<int64_t>(0, t + deviation_.OffsetAt(t));
+  return reading / config_.local_granularity_ns;
+}
+
+GlobalTicks LocalClock::GlobalOf(LocalTicks local) const {
+  const int64_t ratio = config_.TicksPerGlobal();
+  switch (config_.trunc) {
+    case TruncPolicy::kFloor:
+      return local / ratio;
+    case TruncPolicy::kRound:
+      return (local + ratio / 2) / ratio;
+    case TruncPolicy::kCeil:
+      return (local + ratio - 1) / ratio;
+  }
+  return local / ratio;
+}
+
+PrimitiveTimestamp LocalClock::Stamp(TrueTimeNs t) const {
+  const LocalTicks local = ReadLocalTicks(t);
+  return PrimitiveTimestamp{site_, GlobalOf(local), local};
+}
+
+}  // namespace sentineld

@@ -1,0 +1,75 @@
+#ifndef SENTINELD_TIMEBASE_LOCAL_CLOCK_H_
+#define SENTINELD_TIMEBASE_LOCAL_CLOCK_H_
+
+#include "timebase/config.h"
+#include "timestamp/primitive_timestamp.h"
+
+namespace sentineld {
+
+/// Deviation model of one site's physical clock relative to the reference
+/// clock: a piecewise-linear offset, `offset(t) = residual + drift * (t -
+/// last_sync)`, re-anchored by ClockSynchronizer at each synchronization
+/// round. The clock owner guarantees |offset| <= Pi/2 by clamping, which
+/// together with the triangle inequality bounds any two clocks' mutual
+/// offset by Pi — exactly the paper's precision model.
+class ClockDeviation {
+ public:
+  /// drift in parts-per-million of elapsed true time (may be negative);
+  /// residual is the offset right after the last synchronization.
+  ClockDeviation(double drift_ppm, int64_t residual_ns, int64_t max_abs_ns);
+
+  /// Offset of this clock vs. the reference at true time `t`, clamped to
+  /// [-max_abs, +max_abs].
+  int64_t OffsetAt(TrueTimeNs t) const;
+
+  /// Re-anchors the deviation: after a synchronization at `t` the offset
+  /// restarts from `residual_ns` (the sync algorithm's residual error).
+  void SyncAt(TrueTimeNs t, int64_t residual_ns);
+
+  double drift_ppm() const { return drift_ppm_; }
+
+ private:
+  double drift_ppm_;
+  int64_t residual_ns_;
+  int64_t max_abs_ns_;
+  TrueTimeNs last_sync_ = 0;
+};
+
+/// A site's local physical clock (paper Sec. 4.1). Converts reference
+/// ("true") time into local ticks and global time; the site can only ever
+/// observe the outputs of this class, never TrueTimeNs itself.
+class LocalClock {
+ public:
+  LocalClock(SiteId site, const TimebaseConfig& config,
+             ClockDeviation deviation);
+
+  /// The local calendar reading truncated to local granularity:
+  /// floor((t + offset(t)) / g). Monotone in t for fixed deviation
+  /// anchoring (drift magnitudes are << 1).
+  LocalTicks ReadLocalTicks(TrueTimeNs t) const;
+
+  /// Def 4.3: the global time of a local reading, `TRUNC_gg(clock(l))`,
+  /// computed as local ticks divided by (g_g / g) under the configured
+  /// TRUNC policy.
+  GlobalTicks GlobalOf(LocalTicks local) const;
+
+  /// Produces the full primitive timestamp (site, global, local) of an
+  /// event occurring at true time `t` at this site (Def 4.6).
+  PrimitiveTimestamp Stamp(TrueTimeNs t) const;
+
+  /// Access for the synchronizer.
+  ClockDeviation& deviation() { return deviation_; }
+  const ClockDeviation& deviation() const { return deviation_; }
+
+  SiteId site() const { return site_; }
+  const TimebaseConfig& config() const { return config_; }
+
+ private:
+  SiteId site_;
+  TimebaseConfig config_;
+  ClockDeviation deviation_;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_TIMEBASE_LOCAL_CLOCK_H_

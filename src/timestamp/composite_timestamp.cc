@@ -1,0 +1,171 @@
+#include "timestamp/composite_timestamp.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+/// Sorts canonically and removes structural duplicates.
+void Canonicalize(std::vector<PrimitiveTimestamp>& stamps) {
+  std::sort(stamps.begin(), stamps.end(), CanonicalLess);
+  stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
+}
+
+}  // namespace
+
+CompositeTimestamp CompositeTimestamp::FromSingle(
+    const PrimitiveTimestamp& t) {
+  return CompositeTimestamp({t});
+}
+
+CompositeTimestamp CompositeTimestamp::MaxOf(
+    std::span<const PrimitiveTimestamp> set) {
+  std::vector<PrimitiveTimestamp> maxima;
+  maxima.reserve(set.size());
+  for (const PrimitiveTimestamp& t : set) {
+    // Def 5.1 (prose form): t is a maximum iff no t1 in ST with t < t1.
+    bool dominated = false;
+    for (const PrimitiveTimestamp& t1 : set) {
+      if (HappensBefore(t, t1)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maxima.push_back(t);
+  }
+  Canonicalize(maxima);
+  return CompositeTimestamp(std::move(maxima));
+}
+
+CompositeTimestamp CompositeTimestamp::MaxOf(
+    std::initializer_list<PrimitiveTimestamp> set) {
+  return MaxOf(std::span<const PrimitiveTimestamp>(set.begin(), set.size()));
+}
+
+CompositeTimestamp CompositeTimestamp::MinOf(
+    std::span<const PrimitiveTimestamp> set) {
+  std::vector<PrimitiveTimestamp> minima;
+  minima.reserve(set.size());
+  for (const PrimitiveTimestamp& t : set) {
+    bool dominated = false;
+    for (const PrimitiveTimestamp& t1 : set) {
+      if (HappensBefore(t1, t)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minima.push_back(t);
+  }
+  Canonicalize(minima);
+  return CompositeTimestamp(std::move(minima));
+}
+
+CompositeTimestamp CompositeTimestamp::MinOf(
+    std::initializer_list<PrimitiveTimestamp> set) {
+  return MinOf(std::span<const PrimitiveTimestamp>(set.begin(), set.size()));
+}
+
+Result<CompositeTimestamp> CompositeTimestamp::FromMaximalSet(
+    std::vector<PrimitiveTimestamp> stamps) {
+  Canonicalize(stamps);
+  for (size_t i = 0; i < stamps.size(); ++i) {
+    for (size_t j = i + 1; j < stamps.size(); ++j) {
+      if (!sentineld::Concurrent(stamps[i], stamps[j])) {
+        return Status::InvalidArgument(
+            StrCat("timestamps not pairwise concurrent: ",
+                   stamps[i].ToString(), " vs ", stamps[j].ToString()));
+      }
+    }
+  }
+  return CompositeTimestamp(std::move(stamps));
+}
+
+bool CompositeTimestamp::IsValid() const {
+  for (size_t i = 0; i < stamps_.size(); ++i) {
+    if (i + 1 < stamps_.size() &&
+        !CanonicalLess(stamps_[i], stamps_[i + 1])) {
+      return false;  // not strictly canonically sorted (or duplicate)
+    }
+    for (size_t j = i + 1; j < stamps_.size(); ++j) {
+      if (!sentineld::Concurrent(stamps_[i], stamps_[j])) return false;
+    }
+  }
+  return true;
+}
+
+std::string CompositeTimestamp::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(stamps_.size());
+  for (const auto& t : stamps_) parts.push_back(t.ToString());
+  return StrCat("{", Join(parts, ", "), "}");
+}
+
+std::ostream& operator<<(std::ostream& os, const CompositeTimestamp& t) {
+  return os << t.ToString();
+}
+
+const char* CompositeRelationToString(CompositeRelation r) {
+  switch (r) {
+    case CompositeRelation::kBefore:
+      return "<";
+    case CompositeRelation::kAfter:
+      return ">";
+    case CompositeRelation::kConcurrent:
+      return "~";
+    case CompositeRelation::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+bool Before(const CompositeTimestamp& a, const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  for (const PrimitiveTimestamp& t2 : b.stamps()) {
+    bool found = false;
+    for (const PrimitiveTimestamp& t1 : a.stamps()) {
+      if (HappensBefore(t1, t2)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool Concurrent(const CompositeTimestamp& a, const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  for (const PrimitiveTimestamp& t1 : a.stamps()) {
+    for (const PrimitiveTimestamp& t2 : b.stamps()) {
+      if (!Concurrent(t1, t2)) return false;
+    }
+  }
+  return true;
+}
+
+bool Incomparable(const CompositeTimestamp& a, const CompositeTimestamp& b) {
+  return !Before(a, b) && !Before(b, a) && !Concurrent(a, b);
+}
+
+bool WeakPrecedes(const CompositeTimestamp& a, const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  for (const PrimitiveTimestamp& t1 : a.stamps()) {
+    for (const PrimitiveTimestamp& t2 : b.stamps()) {
+      if (!WeakPrecedes(t1, t2)) return false;
+    }
+  }
+  return true;
+}
+
+CompositeRelation Classify(const CompositeTimestamp& a,
+                           const CompositeTimestamp& b) {
+  if (Before(a, b)) return CompositeRelation::kBefore;
+  if (Before(b, a)) return CompositeRelation::kAfter;
+  if (Concurrent(a, b)) return CompositeRelation::kConcurrent;
+  return CompositeRelation::kIncomparable;
+}
+
+}  // namespace sentineld

@@ -1,0 +1,134 @@
+#ifndef SENTINELD_TIMESTAMP_COMPOSITE_TIMESTAMP_H_
+#define SENTINELD_TIMESTAMP_COMPOSITE_TIMESTAMP_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "timestamp/primitive_timestamp.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Timestamp of a distributed composite event (paper Def 5.2): the set of
+/// *maxima* of the constituent primitive timestamps collected when the
+/// composite event occurs.
+///
+/// Class invariant (checked in debug via IsValid, guaranteed by every
+/// factory): the stored primitive timestamps are
+///   (a) exactly the maxima of the set they were built from — no element
+///       happens-before another element (Def 5.1), which by Theorem 5.1
+///       makes them pairwise concurrent; and
+///   (b) stored deduplicated in canonical (site, global, local) order, so
+///       structural equality of CompositeTimestamps is set equality.
+///
+/// This is the paper's point of departure from Schwiderski [10]: the
+/// "latest" property is *enforced by construction* (it generalizes the
+/// centralized `t_occ`), rather than carrying every constituent timestamp.
+///
+/// An empty CompositeTimestamp represents "no occurrence yet" and is never
+/// the timestamp of a detected event; the temporal relations below require
+/// non-empty operands (the quantifiers in Def 5.3 degenerate on the empty
+/// set and would break irreflexivity).
+class CompositeTimestamp {
+ public:
+  /// Empty timestamp ("no occurrence").
+  CompositeTimestamp() = default;
+
+  /// The timestamp of a primitive event lifted to a composite timestamp:
+  /// the singleton {t}. Centralized Sentinel semantics are exactly the
+  /// distributed semantics restricted to singletons from a single site.
+  static CompositeTimestamp FromSingle(const PrimitiveTimestamp& t);
+
+  /// Builds max(ST) from an arbitrary set of primitive timestamps
+  /// (Def 5.1): keeps every t with no t1 in ST such that t < t1. Input
+  /// need not be sorted or unique. O(n^2) in the (small) set size.
+  static CompositeTimestamp MaxOf(std::span<const PrimitiveTimestamp> set);
+  static CompositeTimestamp MaxOf(
+      std::initializer_list<PrimitiveTimestamp> set);
+
+  /// The dual of MaxOf: min(ST), the set of minima (elements with no
+  /// other element happening before them). By the dual of Theorem 5.1
+  /// they are pairwise concurrent, so the result satisfies the same
+  /// class invariant. Used by the interval-semantics extension to track
+  /// when a composite occurrence *started* (its earliest constituents),
+  /// not just when it completed.
+  static CompositeTimestamp MinOf(std::span<const PrimitiveTimestamp> set);
+  static CompositeTimestamp MinOf(
+      std::initializer_list<PrimitiveTimestamp> set);
+
+  /// Validates that `stamps` is already a set of pairwise-concurrent maxima
+  /// and adopts it; returns InvalidArgument otherwise. Use MaxOf when the
+  /// input is not known to be maximal.
+  static Result<CompositeTimestamp> FromMaximalSet(
+      std::vector<PrimitiveTimestamp> stamps);
+
+  /// The maxima, deduplicated, in canonical order.
+  const std::vector<PrimitiveTimestamp>& stamps() const { return stamps_; }
+
+  bool empty() const { return stamps_.empty(); }
+  size_t size() const { return stamps_.size(); }
+
+  /// Re-verifies the class invariant (pairwise concurrency + canonical
+  /// order). Intended for tests and debug assertions.
+  bool IsValid() const;
+
+  /// Renders "{(site, global, local), ...}", the paper's notation.
+  std::string ToString() const;
+
+  /// Structural (set) equality.
+  friend bool operator==(const CompositeTimestamp&,
+                         const CompositeTimestamp&) = default;
+
+ private:
+  explicit CompositeTimestamp(std::vector<PrimitiveTimestamp> stamps)
+      : stamps_(std::move(stamps)) {}
+
+  std::vector<PrimitiveTimestamp> stamps_;
+};
+
+std::ostream& operator<<(std::ostream& os, const CompositeTimestamp& t);
+
+/// Outcome of comparing two composite timestamps under Def 5.3. For
+/// non-empty valid operands exactly one holds.
+enum class CompositeRelation {
+  kBefore,        ///< T(a) < T(b)
+  kAfter,         ///< T(b) < T(a)
+  kConcurrent,    ///< T(a) ~ T(b)
+  kIncomparable,  ///< none of the above (the paper's `≬`)
+};
+
+const char* CompositeRelationToString(CompositeRelation r);
+
+/// Happen-before `<` on composite timestamps (Def 5.3(2)):
+///
+///   T(a) < T(b)  iff  for every t2 in T(b) there exists t1 in T(a)
+///                     with t1 < t2 (primitive happen-before).
+///
+/// This is the forall-exists form the paper derives as one of exactly two
+/// least-restricted strict partial orders (irreflexive + transitive,
+/// Theorem 5.2) meeting its three requirements in Sec. 5.1.
+/// Both operands must be non-empty.
+bool Before(const CompositeTimestamp& a, const CompositeTimestamp& b);
+
+/// Concurrency `~` (Def 5.3(1)): every element of T(a) is (primitively)
+/// concurrent with every element of T(b). Both operands must be non-empty.
+bool Concurrent(const CompositeTimestamp& a, const CompositeTimestamp& b);
+
+/// Incomparability `≬` (Def 5.3(3)): neither before, after, nor concurrent.
+bool Incomparable(const CompositeTimestamp& a, const CompositeTimestamp& b);
+
+/// Weaker-less-than-or-equal `⪯̃` (Def 5.4): every t1 in T(a) weakly
+/// precedes every t2 in T(b). By Theorem 5.3 this is equivalent to
+/// `a ~ b or a < b` (property-tested).
+bool WeakPrecedes(const CompositeTimestamp& a, const CompositeTimestamp& b);
+
+/// Classifies the pair into its unique CompositeRelation.
+CompositeRelation Classify(const CompositeTimestamp& a,
+                           const CompositeTimestamp& b);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_TIMESTAMP_COMPOSITE_TIMESTAMP_H_

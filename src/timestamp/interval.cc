@@ -1,0 +1,45 @@
+#include "timestamp/interval.h"
+
+namespace sentineld {
+
+bool InOpenInterval(const PrimitiveTimestamp& t, const PrimitiveTimestamp& a,
+                    const PrimitiveTimestamp& b) {
+  if (!HappensBefore(a, b)) return false;
+  return HappensBefore(a, t) && HappensBefore(t, b);
+}
+
+bool InClosedInterval(const PrimitiveTimestamp& t,
+                      const PrimitiveTimestamp& a,
+                      const PrimitiveTimestamp& b) {
+  if (!WeakPrecedes(a, b)) return false;
+  return WeakPrecedes(a, t) && WeakPrecedes(t, b);
+}
+
+std::optional<GlobalTickBand> OpenIntervalGlobalBand(
+    const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  if (!HappensBefore(a, b)) return std::nullopt;
+  const GlobalTickBand band{a.global + 2, b.global - 2};
+  if (band.first > band.last) return std::nullopt;
+  return band;
+}
+
+std::optional<GlobalTickBand> ClosedIntervalGlobalBand(
+    const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  if (!WeakPrecedes(a, b)) return std::nullopt;
+  return GlobalTickBand{a.global - 1, b.global + 1};
+}
+
+bool InOpenInterval(const CompositeTimestamp& t, const CompositeTimestamp& a,
+                    const CompositeTimestamp& b) {
+  if (!Before(a, b)) return false;
+  return Before(a, t) && Before(t, b);
+}
+
+bool InClosedInterval(const CompositeTimestamp& t,
+                      const CompositeTimestamp& a,
+                      const CompositeTimestamp& b) {
+  if (!WeakPrecedes(a, b)) return false;
+  return WeakPrecedes(a, t) && WeakPrecedes(t, b);
+}
+
+}  // namespace sentineld

@@ -1,0 +1,64 @@
+#ifndef SENTINELD_TIMESTAMP_INTERVAL_H_
+#define SENTINELD_TIMESTAMP_INTERVAL_H_
+
+#include <optional>
+
+#include "timestamp/composite_timestamp.h"
+#include "timestamp/primitive_timestamp.h"
+
+namespace sentineld {
+
+/// Intervals over timestamps, needed by the interval-forming Snoop
+/// operators (A, A*, P, P*, NOT). Paper Defs 4.9/4.10 (primitive) and
+/// 5.5/5.6 (composite); Figure 1 visualizes the primitive case.
+
+/// Open interval membership (Def 4.9): T(a) < T(t) < T(b).
+/// Requires T(a) < T(b) (the interval would be malformed otherwise);
+/// returns false for malformed bounds rather than asserting, since event
+/// streams routinely present candidate initiator/terminator pairs that do
+/// not form an interval.
+bool InOpenInterval(const PrimitiveTimestamp& t, const PrimitiveTimestamp& a,
+                    const PrimitiveTimestamp& b);
+
+/// Closed interval membership (Def 4.10): T(a) ⪯ T(t) ⪯ T(b), meaningful
+/// when T(a) ⪯ T(b). Returns false for malformed bounds.
+bool InClosedInterval(const PrimitiveTimestamp& t,
+                      const PrimitiveTimestamp& a,
+                      const PrimitiveTimestamp& b);
+
+/// Inclusive range of *global* ticks that a cross-site event may occupy
+/// while lying in the open interval (T(a), T(b)) — the derivation below
+/// Def 4.9 and the upper band of Figure 1:
+///
+///   (T(a).global, T(b).global)~ = { a.global + 2, ..., b.global - 2 }
+///
+/// Returns nullopt when the band is empty (requires
+/// a.global < b.global - 3 for a cross-site member to be possible).
+struct GlobalTickBand {
+  GlobalTicks first;  ///< smallest admissible global tick
+  GlobalTicks last;   ///< largest admissible global tick (inclusive)
+};
+std::optional<GlobalTickBand> OpenIntervalGlobalBand(
+    const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
+
+/// Inclusive range of global ticks compatible with membership in the
+/// closed interval [T(a), T(b)] — the lower band of Figure 1:
+///
+///   [T(a).global, T(b).global]~ = { a.global - 1, ..., b.global + 1 }
+std::optional<GlobalTickBand> ClosedIntervalGlobalBand(
+    const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
+
+/// Open interval membership on composite timestamps (Def 5.5):
+/// T(a) < T(t) < T(b) under the composite `<`.
+bool InOpenInterval(const CompositeTimestamp& t, const CompositeTimestamp& a,
+                    const CompositeTimestamp& b);
+
+/// Closed interval membership on composite timestamps (Def 5.6):
+/// T(a) ⪯̃ T(t) ⪯̃ T(b).
+bool InClosedInterval(const CompositeTimestamp& t,
+                      const CompositeTimestamp& a,
+                      const CompositeTimestamp& b);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_TIMESTAMP_INTERVAL_H_

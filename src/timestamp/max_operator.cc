@@ -1,0 +1,92 @@
+#include "timestamp/max_operator.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+/// max(T(a) ∪ T(b)) computed directly from Def 5.1.
+CompositeTimestamp MaxOfConcatenated(const CompositeTimestamp& a,
+                                     const CompositeTimestamp& b) {
+  std::vector<PrimitiveTimestamp> all;
+  all.reserve(a.size() + b.size());
+  all.insert(all.end(), a.stamps().begin(), a.stamps().end());
+  all.insert(all.end(), b.stamps().begin(), b.stamps().end());
+  return CompositeTimestamp::MaxOf(all);
+}
+
+}  // namespace
+
+CompositeTimestamp JoinConcurrent(const CompositeTimestamp& a,
+                                  const CompositeTimestamp& b) {
+  CHECK(Concurrent(a, b));
+  // All elements are pairwise concurrent across the two sets, so every
+  // element is a maximum of the union: the join is the plain set union.
+  return MaxOfConcatenated(a, b);
+}
+
+CompositeTimestamp JoinIncomparable(const CompositeTimestamp& a,
+                                    const CompositeTimestamp& b) {
+  CHECK(Incomparable(a, b));
+  std::vector<PrimitiveTimestamp> kept;
+  for (const PrimitiveTimestamp& t : a.stamps()) {
+    bool dominated = false;
+    for (const PrimitiveTimestamp& t2 : b.stamps()) {
+      if (HappensBefore(t, t2)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(t);
+  }
+  for (const PrimitiveTimestamp& t : b.stamps()) {
+    bool dominated = false;
+    for (const PrimitiveTimestamp& t1 : a.stamps()) {
+      if (HappensBefore(t, t1)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(t);
+  }
+  // Within a side, elements are pairwise concurrent, so domination can
+  // only come from the opposite side; the survivors are exactly the
+  // maxima of the union. MaxOf re-canonicalizes (and, defensively,
+  // re-checks maximality).
+  return CompositeTimestamp::MaxOf(kept);
+}
+
+CompositeTimestamp Max(const CompositeTimestamp& a,
+                       const CompositeTimestamp& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return MaxOfConcatenated(a, b);
+}
+
+CompositeTimestamp MaxCaseSplit(const CompositeTimestamp& a,
+                                const CompositeTimestamp& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (Before(b, a)) return a;
+  if (Before(a, b)) return b;
+  if (Concurrent(a, b)) return JoinConcurrent(a, b);
+  return JoinIncomparable(a, b);
+}
+
+CompositeTimestamp MaxAll(std::span<const CompositeTimestamp> stamps) {
+  CompositeTimestamp acc;
+  for (const CompositeTimestamp& t : stamps) acc = Max(acc, t);
+  return acc;
+}
+
+CompositeTimestamp MinAll(std::span<const CompositeTimestamp> stamps) {
+  std::vector<PrimitiveTimestamp> all;
+  for (const CompositeTimestamp& t : stamps) {
+    all.insert(all.end(), t.stamps().begin(), t.stamps().end());
+  }
+  return CompositeTimestamp::MinOf(all);
+}
+
+}  // namespace sentineld

@@ -1,0 +1,76 @@
+#ifndef SENTINELD_TIMESTAMP_MAX_OPERATOR_H_
+#define SENTINELD_TIMESTAMP_MAX_OPERATOR_H_
+
+#include <span>
+
+#include "timestamp/composite_timestamp.h"
+
+namespace sentineld {
+
+/// Joining of *concurrent* composite timestamps (paper Def 5.7): the plain
+/// set union (deduplicated). Requires Concurrent(a, b); the result is a
+/// valid composite timestamp because pairwise concurrency is preserved by
+/// the precondition, and it equals max(T(a) ∪ T(b)).
+CompositeTimestamp JoinConcurrent(const CompositeTimestamp& a,
+                                  const CompositeTimestamp& b);
+
+/// Joining of *incomparable* composite timestamps (paper Def 5.8, with the
+/// evident missing negations restored — see DESIGN.md): keep from each side
+/// the elements NOT happening-before any element of the other side, i.e.
+/// keep only the "latest" information:
+///
+///   {t in T(a) : ¬∃ t2 in T(b), t < t2} ∪
+///   {t in T(b) : ¬∃ t1 in T(a), t < t1}
+///
+/// With the negations restored this is exactly max(T(a) ∪ T(b)).
+CompositeTimestamp JoinIncomparable(const CompositeTimestamp& a,
+                                    const CompositeTimestamp& b);
+
+/// The Max operator, used to propagate composite timestamps up the
+/// event-detection graph (the distributed analogue of the centralized
+/// `t_occ` assignment).
+///
+/// Specification: Max(T1, T2) = max(T1 ∪ T2) (Def 5.1 applied to the
+/// union), which is what Def 5.2 requires of the resulting composite
+/// timestamp and what Theorem 5.4 asserts. Empty operands act as identity
+/// elements ("no constituent occurrence contributed"). Associative and
+/// commutative (property-tested), so n-ary propagation order is
+/// irrelevant.
+///
+/// NOTE (reproduction finding, see EXPERIMENTS.md): the paper's literal
+/// case-split Def 5.9 — return T1 outright when T2 < T1 — is NOT always
+/// equal to max(T1 ∪ T2) under the paper's own `<`:
+///   T1 = {(s1,10,100)},  T2 = {(s1,10,99), (s2,9,95)}
+/// has T2 < T1 (the element (s1,10,99) is below (s1,10,100)), yet
+/// (s2,9,95) is concurrent with (s1,10,100) and so survives in
+/// max(T1 ∪ T2) = {(s1,10,100), (s2,9,95)} ≠ T1. We therefore take
+/// Theorem 5.4's right-hand side as the definition; the literal case
+/// split is kept as MaxCaseSplit() and its divergence rate is measured in
+/// bench/cex_transitivity.
+CompositeTimestamp Max(const CompositeTimestamp& a,
+                       const CompositeTimestamp& b);
+
+/// The literal case-split of paper Def 5.9:
+///
+///   MaxCaseSplit(T1, T2) = T1              if T2 < T1
+///                        = T2              if T1 < T2
+///                        = join(T1, T2)    if concurrent or incomparable
+///
+/// Kept for the ablation experiment; agrees with Max() except when a
+/// happen-before branch fires while the "smaller" operand still contains
+/// an element concurrent with everything in the "larger" one.
+CompositeTimestamp MaxCaseSplit(const CompositeTimestamp& a,
+                                const CompositeTimestamp& b);
+
+/// N-ary fold of Max over `stamps`. Empty input yields the empty
+/// timestamp.
+CompositeTimestamp MaxAll(std::span<const CompositeTimestamp> stamps);
+
+/// The dual fold: min over the union of all elements (dual of Theorem
+/// 5.4). Used to propagate occurrence-START stamps for the interval-
+/// semantics extension.
+CompositeTimestamp MinAll(std::span<const CompositeTimestamp> stamps);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_TIMESTAMP_MAX_OPERATOR_H_

@@ -1,0 +1,16 @@
+#include "timestamp/naive.h"
+
+#include <tuple>
+
+namespace sentineld::naive {
+
+bool HappensBefore(const PrimitiveTimestamp& a,
+                   const PrimitiveTimestamp& b) {
+  return std::tie(a.local, a.site) < std::tie(b.local, b.site);
+}
+
+bool Concurrent(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  return !naive::HappensBefore(a, b) && !naive::HappensBefore(b, a);
+}
+
+}  // namespace sentineld::naive

@@ -1,0 +1,28 @@
+#ifndef SENTINELD_TIMESTAMP_NAIVE_H_
+#define SENTINELD_TIMESTAMP_NAIVE_H_
+
+#include "timestamp/primitive_timestamp.h"
+
+namespace sentineld::naive {
+
+/// Strawman baseline: pretend the synchronized local calendar ticks form
+/// a global TOTAL order — i.e. compare local ticks across sites directly
+/// and ignore the synchronization error Pi entirely. This is what a
+/// system gets by "just using the timestamps": it orders essentially
+/// every pair of events (total comparability), but within any window of
+/// Pi real time the asserted order is arbitrary, so it fabricates
+/// happen-before relations that contradict real time. The paper's
+/// 2g_g-restricted order trades a sliver of comparability (the ~ band)
+/// for soundness; bench/cmp_naive quantifies both sides of that trade.
+///
+/// Ties (equal local ticks at different sites) break by site id so the
+/// relation is a strict total order on distinct stamps.
+bool HappensBefore(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
+
+/// No two distinct stamps are concurrent under the naive order (other
+/// than exact equality).
+bool Concurrent(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
+
+}  // namespace sentineld::naive
+
+#endif  // SENTINELD_TIMESTAMP_NAIVE_H_

@@ -1,0 +1,75 @@
+#include "timestamp/orderings.h"
+
+#include "util/logging.h"
+
+namespace sentineld {
+
+bool BeforeExistsExists(const CompositeTimestamp& a,
+                        const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  for (const PrimitiveTimestamp& t1 : a.stamps()) {
+    for (const PrimitiveTimestamp& t2 : b.stamps()) {
+      if (HappensBefore(t1, t2)) return true;
+    }
+  }
+  return false;
+}
+
+bool BeforeForallForall(const CompositeTimestamp& a,
+                        const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  for (const PrimitiveTimestamp& t1 : a.stamps()) {
+    for (const PrimitiveTimestamp& t2 : b.stamps()) {
+      if (!HappensBefore(t1, t2)) return false;
+    }
+  }
+  return true;
+}
+
+bool BeforeMinDominates(const CompositeTimestamp& a,
+                        const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  // The element of T(a) with minimum global time; ties broken by the
+  // canonical storage order (stamps() is canonically sorted, so the first
+  // element with the minimal global value is deterministic).
+  const PrimitiveTimestamp* min_t = &a.stamps().front();
+  for (const PrimitiveTimestamp& t : a.stamps()) {
+    if (t.global < min_t->global) min_t = &t;
+  }
+  for (const PrimitiveTimestamp& t2 : b.stamps()) {
+    if (!HappensBefore(*min_t, t2)) return false;
+  }
+  return true;
+}
+
+bool BeforeG(const CompositeTimestamp& a, const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  for (const PrimitiveTimestamp& t1 : a.stamps()) {
+    bool found = false;
+    for (const PrimitiveTimestamp& t2 : b.stamps()) {
+      if (HappensBefore(t1, t2)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+const std::vector<NamedOrdering>& AllOrderings() {
+  static const std::vector<NamedOrdering>& orderings =
+      *new std::vector<NamedOrdering>{
+          {"<_p (paper)", &Before, /*claimed_transitive=*/true},
+          {"<_g (dual)", &BeforeG, /*claimed_transitive=*/true},
+          {"<_p1 (exists-exists)", &BeforeExistsExists,
+           /*claimed_transitive=*/false},
+          {"<_p2 (forall-forall)", &BeforeForallForall,
+           /*claimed_transitive=*/true},
+          {"<_p3 (min-dominates)", &BeforeMinDominates,
+           /*claimed_transitive=*/true},
+      };
+  return orderings;
+}
+
+}  // namespace sentineld

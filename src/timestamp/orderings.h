@@ -1,0 +1,61 @@
+#ifndef SENTINELD_TIMESTAMP_ORDERINGS_H_
+#define SENTINELD_TIMESTAMP_ORDERINGS_H_
+
+#include <string>
+#include <vector>
+
+#include "timestamp/composite_timestamp.h"
+
+namespace sentineld {
+
+/// The candidate composite-timestamp orderings analysed in paper Sec. 5.1.
+/// The paper derives, by quantifier analysis of the transitivity
+/// requirement, that the forall-exists forms `<_p` (Before(), chosen by
+/// the paper and implemented in composite_timestamp.h) and its dual `<_g`
+/// are the only two least-restricted valid strict orders; the others below
+/// are either invalid (non-transitive) or valid but more restricted. They
+/// exist in the library solely so tests and benches can reproduce that
+/// analysis quantitatively.
+
+/// `<_p1`: (∃t1 ∈ T(a), ∃t2 ∈ T(b)) t1 < t2.
+/// INVALID as an ordering: irreflexive on valid composite stamps but NOT
+/// transitive (the paper's quantifier argument; bench/cex_transitivity
+/// finds concrete violations by search).
+bool BeforeExistsExists(const CompositeTimestamp& a,
+                        const CompositeTimestamp& b);
+
+/// `<_p2`: (∀t1 ∈ T(a), ∀t2 ∈ T(b)) t1 < t2.
+/// Valid (strict partial order) but strictly more restricted than `<_p`:
+/// the paper's example T(a)={(s1,8,80),(s2,7,70)}, T(b)={(s3,9,90)}
+/// satisfies `<_p` but not `<_p2`.
+bool BeforeForallForall(const CompositeTimestamp& a,
+                        const CompositeTimestamp& b);
+
+/// `<_p3`: min <_p2-style ordering through the minimum-global element:
+/// with m = the element of T(a) of minimum global time,
+/// (∀t2 ∈ T(b)) m < t2.
+/// Valid but more restricted than `<_p`: the paper's example
+/// T(a)={(s1,8,80),(s2,7,70)}, T(b)={(s1,8,81),(s2,7,71)} satisfies `<_p`
+/// but not `<_p3`. Ties on minimum global time are broken canonically.
+bool BeforeMinDominates(const CompositeTimestamp& a,
+                        const CompositeTimestamp& b);
+
+/// `<_g`: (∀t1 ∈ T(a), ∃t2 ∈ T(b)) t1 < t2 — the dual least-restricted
+/// valid ordering (the paper picks `<_p`; `<_g` pairs with `>_p` as the
+/// other dual pair).
+bool BeforeG(const CompositeTimestamp& a, const CompositeTimestamp& b);
+
+/// A named composite ordering predicate, for table-driven experiments.
+struct NamedOrdering {
+  std::string name;
+  bool (*before)(const CompositeTimestamp&, const CompositeTimestamp&);
+  bool claimed_transitive;  ///< the paper's claim for this ordering
+};
+
+/// All orderings of Sec. 5.1 (including the paper's `<_p` itself), in
+/// presentation order: `<_p`, `<_g`, `<_p1`, `<_p2`, `<_p3`.
+const std::vector<NamedOrdering>& AllOrderings();
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_TIMESTAMP_ORDERINGS_H_

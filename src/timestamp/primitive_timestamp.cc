@@ -1,0 +1,62 @@
+#include "timestamp/primitive_timestamp.h"
+
+#include <tuple>
+
+#include "util/string_util.h"
+
+namespace sentineld {
+
+std::string PrimitiveTimestamp::ToString() const {
+  return StrCat("(", site, ", ", global, ", ", local, ")");
+}
+
+std::ostream& operator<<(std::ostream& os, const PrimitiveTimestamp& t) {
+  return os << t.ToString();
+}
+
+bool CanonicalLess(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  return std::tie(a.site, a.global, a.local) <
+         std::tie(b.site, b.global, b.local);
+}
+
+const char* PrimitiveRelationToString(PrimitiveRelation r) {
+  switch (r) {
+    case PrimitiveRelation::kBefore:
+      return "<";
+    case PrimitiveRelation::kAfter:
+      return ">";
+    case PrimitiveRelation::kSimultaneous:
+      return "=";
+    case PrimitiveRelation::kConcurrent:
+      return "~";
+  }
+  return "?";
+}
+
+bool HappensBefore(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  if (a.site == b.site) return a.local < b.local;
+  return a.global < b.global - 1;
+}
+
+bool Simultaneous(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  return a.site == b.site && a.local == b.local;
+}
+
+bool Concurrent(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  return !HappensBefore(a, b) && !HappensBefore(b, a);
+}
+
+bool WeakPrecedes(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  // a < b or a ~ b, i.e. "b does not happen before a" (Prop 4.2(9)).
+  return !HappensBefore(b, a);
+}
+
+PrimitiveRelation Classify(const PrimitiveTimestamp& a,
+                           const PrimitiveTimestamp& b) {
+  if (HappensBefore(a, b)) return PrimitiveRelation::kBefore;
+  if (HappensBefore(b, a)) return PrimitiveRelation::kAfter;
+  if (Simultaneous(a, b)) return PrimitiveRelation::kSimultaneous;
+  return PrimitiveRelation::kConcurrent;
+}
+
+}  // namespace sentineld

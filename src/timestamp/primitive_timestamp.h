@@ -1,0 +1,113 @@
+#ifndef SENTINELD_TIMESTAMP_PRIMITIVE_TIMESTAMP_H_
+#define SENTINELD_TIMESTAMP_PRIMITIVE_TIMESTAMP_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace sentineld {
+
+/// Identifier of a site (node) in the distributed system.
+using SiteId = uint32_t;
+
+/// Local time: the reading of a site's physical clock expressed in ticks of
+/// the local clock granularity `g` since the calendar epoch. Local clocks
+/// are synchronized to precision Pi, so local ticks of different sites are
+/// approximately (within Pi) aligned calendar times, but are only *exactly*
+/// comparable within one site (paper Sec. 4.1).
+using LocalTicks = int64_t;
+
+/// Global time: the local calendar time truncated to the global granularity
+/// `g_g` (paper Def 4.3, `g_k(l_k) = TRUNC_gg(clock_k(l_k))`). Choosing
+/// `g_g > Pi` guarantees that two simultaneous events receive global times
+/// at most one global tick apart, which is what makes the `2g_g`-restricted
+/// order (Def 4.4) sound.
+using GlobalTicks = int64_t;
+
+/// Timestamp of a global primitive event (paper Def 4.6): the triple
+/// `(site, global, local)`.
+///
+/// This is a plain value type; all temporal relations over it are free
+/// functions below. `operator==` is structural triple equality and is NOT
+/// the paper's "simultaneous" relation `=` (Def 4.7(2)), which only
+/// compares `site` and `local` — use Simultaneous() for the latter.
+struct PrimitiveTimestamp {
+  SiteId site = 0;
+  GlobalTicks global = 0;
+  LocalTicks local = 0;
+
+  /// Renders "(site, global, local)", matching the paper's notation.
+  std::string ToString() const;
+
+  friend bool operator==(const PrimitiveTimestamp&,
+                         const PrimitiveTimestamp&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const PrimitiveTimestamp& t);
+
+/// Total order used ONLY for canonical storage (sorting/dedup inside
+/// composite timestamps); it has no temporal meaning.
+bool CanonicalLess(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
+
+/// The mutually exclusive outcomes of comparing two primitive timestamps
+/// under Def 4.7. Exactly one of kBefore / kAfter / kConcurrent holds for
+/// any pair (Prop 4.2(3)); kSimultaneous is the same-site special case of
+/// concurrency (Prop 4.2(5)) and is reported in preference to kConcurrent.
+enum class PrimitiveRelation {
+  kBefore,        ///< T(a) <  T(b)
+  kAfter,         ///< T(b) <  T(a)
+  kSimultaneous,  ///< T(a) =  T(b)  (same site, same local tick)
+  kConcurrent,    ///< T(a) ~  T(b)  and not simultaneous
+};
+
+const char* PrimitiveRelationToString(PrimitiveRelation r);
+
+/// Happen-before `<` (paper Def 4.7(1), with the evident `site !=` typo in
+/// the first disjunct corrected to `site ==` per Def 4.4):
+///
+///   T(a) < T(b)  iff  (a.site == b.site && a.local < b.local)
+///                 ||  (a.site != b.site && a.global < b.global - 1)
+///
+/// The cross-site case is the `2g_g`-restricted temporal order: a full
+/// global tick of slack absorbs the synchronization error `Pi < g_g`.
+/// Irreflexive and transitive (Theorem 4.1), hence a strict partial order.
+bool HappensBefore(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
+
+/// Simultaneity `=` (Def 4.7(2)): same site and same local tick. An
+/// equivalence relation.
+bool Simultaneous(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
+
+/// Concurrency `~` (Def 4.7(3)): neither happens before the other. NOT
+/// transitive (Prop 4.2(6)), hence not an equivalence relation.
+bool Concurrent(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
+
+/// Weakened less-than-or-equal `⪯` (Def 4.8): `a < b or a ~ b`. Defined
+/// with `~` rather than `=` so that ANY two primitive timestamps are
+/// comparable by `⪯` in at least one direction (Prop 4.2(4)). Not
+/// transitive (inherits `~`'s non-transitivity), so not a partial order.
+bool WeakPrecedes(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
+
+/// Classifies the pair into its unique PrimitiveRelation.
+PrimitiveRelation Classify(const PrimitiveTimestamp& a,
+                           const PrimitiveTimestamp& b);
+
+/// Hash functor so primitive timestamps can key unordered containers.
+struct PrimitiveTimestampHash {
+  size_t operator()(const PrimitiveTimestamp& t) const {
+    // Mix the three fields with distinct odd multipliers (64-bit FNV-ish).
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(t.site);
+    mix(static_cast<uint64_t>(t.global));
+    mix(static_cast<uint64_t>(t.local));
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_TIMESTAMP_PRIMITIVE_TIMESTAMP_H_

@@ -1,0 +1,43 @@
+#include "timestamp/schwiderski.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sentineld::schwiderski {
+
+Timestamp::Timestamp(std::vector<PrimitiveTimestamp> stamps)
+    : stamps_(std::move(stamps)) {
+  std::sort(stamps_.begin(), stamps_.end(), CanonicalLess);
+  stamps_.erase(std::unique(stamps_.begin(), stamps_.end()), stamps_.end());
+}
+
+std::string Timestamp::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(stamps_.size());
+  for (const auto& t : stamps_) parts.push_back(t.ToString());
+  return StrCat("{", sentineld::Join(parts, ", "), "}");
+}
+
+bool Before(const Timestamp& a, const Timestamp& b) {
+  for (const PrimitiveTimestamp& t1 : a.stamps()) {
+    for (const PrimitiveTimestamp& t2 : b.stamps()) {
+      if (HappensBefore(t1, t2)) return true;
+    }
+  }
+  return false;
+}
+
+bool Concurrent(const Timestamp& a, const Timestamp& b) {
+  return !Before(a, b) && !Before(b, a);
+}
+
+Timestamp Join(const Timestamp& a, const Timestamp& b) {
+  std::vector<PrimitiveTimestamp> all;
+  all.reserve(a.size() + b.size());
+  all.insert(all.end(), a.stamps().begin(), a.stamps().end());
+  all.insert(all.end(), b.stamps().begin(), b.stamps().end());
+  return Timestamp(std::move(all));
+}
+
+}  // namespace sentineld::schwiderski

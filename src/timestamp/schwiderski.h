@@ -1,0 +1,69 @@
+#ifndef SENTINELD_TIMESTAMP_SCHWIDERSKI_H_
+#define SENTINELD_TIMESTAMP_SCHWIDERSKI_H_
+
+#include <string>
+#include <vector>
+
+#include "timestamp/primitive_timestamp.h"
+
+namespace sentineld::schwiderski {
+
+/// Baseline: the composite-timestamp handling of Schwiderski's
+/// dissertation [10], as characterized by the paper's related-work and
+/// Sec. 5.1 discussion. It differs from sentineld::CompositeTimestamp in
+/// two ways the paper calls out:
+///
+///  1. No "latest"/concurrency enforcement: the timestamp of a composite
+///     event carries the timestamps of ALL constituents, not just the
+///     maxima. (Paper Sec. 2: "only the latest time stamps is considered
+///     ... which is corresponding to the concept of t_occ" — in [10] it is
+///     not.)
+///  2. Its happen-before on these sets is NOT transitive (the paper proves
+///     this with a counterexample in Sec. 5.1), so it is not a
+///     well-defined strict partial order.
+///
+/// Per the paper's quantifier analysis ("we need at least one of the
+/// existential quantifiers to be changed to the universal quantifier ...
+/// if not, there will always exist cases when the transitivity does not
+/// hold"), the flawed form is the existential one; we implement the
+/// baseline ordering as the exists-exists comparison over unfiltered
+/// constituent sets, which exhibits exactly the failure mode the paper
+/// attributes to [10]. bench/cex_transitivity reproduces a concrete
+/// violating triple (adapted from the paper's; the printed values are
+/// OCR-damaged, see DESIGN.md) and measures the violation rate.
+class Timestamp {
+ public:
+  Timestamp() = default;
+  explicit Timestamp(std::vector<PrimitiveTimestamp> stamps);
+
+  /// All constituent primitive stamps, canonically sorted, deduplicated,
+  /// NOT max-filtered.
+  const std::vector<PrimitiveTimestamp>& stamps() const { return stamps_; }
+
+  bool empty() const { return stamps_.empty(); }
+  size_t size() const { return stamps_.size(); }
+  std::string ToString() const;
+
+  friend bool operator==(const Timestamp&, const Timestamp&) = default;
+
+ private:
+  std::vector<PrimitiveTimestamp> stamps_;
+};
+
+/// Baseline happen-before: some constituent of `a` happens before some
+/// constituent of `b`. Irreflexive on per-site-monotone inputs but not
+/// transitive in general.
+bool Before(const Timestamp& a, const Timestamp& b);
+
+/// Baseline concurrency: neither Before(a, b) nor Before(b, a).
+bool Concurrent(const Timestamp& a, const Timestamp& b);
+
+/// Baseline "joining" operator (the paper's Sec. 5.2 notes its own joins
+/// are "conceptually same as the joining in [10]" but with the latest /
+/// concurrency properties enforced — here they are not): the plain union
+/// of the constituent sets, no max-filtering.
+Timestamp Join(const Timestamp& a, const Timestamp& b);
+
+}  // namespace sentineld::schwiderski
+
+#endif  // SENTINELD_TIMESTAMP_SCHWIDERSKI_H_

@@ -1,0 +1,72 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+void Histogram::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+}
+
+void Histogram::SortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  CHECK(!samples_.empty());
+  SortIfNeeded();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  CHECK(!samples_.empty());
+  SortIfNeeded();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  CHECK(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::stddev() const {
+  CHECK(!samples_.empty());
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+double Histogram::Percentile(double p) const {
+  CHECK(!samples_.empty());
+  CHECK_GE(p, 0.0);
+  CHECK_LE(p, 100.0);
+  SortIfNeeded();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+std::string Histogram::Summary(int digits) const {
+  if (samples_.empty()) return "n=0";
+  return StrCat("n=", samples_.size(), " mean=", FormatDouble(mean(), digits),
+                " p50=", FormatDouble(Percentile(50), digits),
+                " p95=", FormatDouble(Percentile(95), digits),
+                " p99=", FormatDouble(Percentile(99), digits),
+                " max=", FormatDouble(max(), digits));
+}
+
+}  // namespace sentineld

@@ -1,0 +1,41 @@
+#ifndef SENTINELD_UTIL_HISTOGRAM_H_
+#define SENTINELD_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sentineld {
+
+/// Streaming summary of a sample distribution (count, mean, min/max,
+/// percentiles). Used by the distributed benches to report detection
+/// latency. Percentiles are exact: samples are retained and sorted on
+/// demand, which is fine at bench scale.
+class Histogram {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Exact p-th percentile by nearest-rank, p in [0, 100].
+  double Percentile(double p) const;
+
+  /// One-line summary "n=.. mean=.. p50=.. p99=.. max=..".
+  std::string Summary(int digits = 2) const;
+
+ private:
+  void SortIfNeeded() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_UTIL_HISTOGRAM_H_

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace sentineld {
+namespace {
+
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  // Strip directories for readability; keep the basename.
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  stream_ << "[" << SeverityTag(severity) << " " << basename << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace sentineld

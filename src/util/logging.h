@@ -1,0 +1,102 @@
+#ifndef SENTINELD_UTIL_LOGGING_H_
+#define SENTINELD_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sentineld {
+
+/// Log severities, ordered. kFatal aborts the process after emitting.
+enum class LogSeverity { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Process-wide minimum severity; messages below it are dropped.
+/// Default is kInfo.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+/// Stream-style log-message collector. Emits on destruction; aborts for
+/// kFatal. Not for direct use — use the LOG/CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace sentineld
+
+#define SENTINELD_LOG_INTERNAL(severity)                                  \
+  ::sentineld::internal_logging::LogMessage(severity, __FILE__, __LINE__) \
+      .stream()
+
+#define LOG_DEBUG SENTINELD_LOG_INTERNAL(::sentineld::LogSeverity::kDebug)
+#define LOG_INFO SENTINELD_LOG_INTERNAL(::sentineld::LogSeverity::kInfo)
+#define LOG_WARNING SENTINELD_LOG_INTERNAL(::sentineld::LogSeverity::kWarning)
+#define LOG_ERROR SENTINELD_LOG_INTERNAL(::sentineld::LogSeverity::kError)
+#define LOG_FATAL SENTINELD_LOG_INTERNAL(::sentineld::LogSeverity::kFatal)
+
+/// CHECK aborts with a message when `cond` is false. It is always on
+/// (release builds included): detection-semantics invariants are cheap and
+/// violating them silently would corrupt results.
+#define CHECK(cond)                                           \
+  ((cond) ? (void)0                                           \
+          : (void)(LOG_FATAL << "CHECK failed: " #cond " "))
+
+#define CHECK_OP(a, b, op)                                              \
+  CHECK((a)op(b))
+
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+/// Aborts if `expr` (a Status, or a Result with a .status() accessor) is
+/// not OK.
+#define CHECK_OK(expr)                                                     \
+  do {                                                                     \
+    const auto& _check_ok_val = (expr);                                    \
+    if (!_check_ok_val.ok()) {                                             \
+      LOG_FATAL << "CHECK_OK failed: "                                     \
+                << ::sentineld::internal_logging::StatusForLog(            \
+                       _check_ok_val);                                     \
+    }                                                                      \
+  } while (false)
+
+namespace sentineld::internal_logging {
+
+/// Extracts a printable status string from a Status or Result-like value.
+template <typename T>
+std::string StatusForLog(const T& value) {
+  if constexpr (requires { value.status(); }) {
+    return value.status().ToString();
+  } else {
+    return value.ToString();
+  }
+}
+
+}  // namespace sentineld::internal_logging
+
+#endif  // SENTINELD_UTIL_LOGGING_H_

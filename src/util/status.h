@@ -1,0 +1,128 @@
+#ifndef SENTINELD_UTIL_STATUS_H_
+#define SENTINELD_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sentineld {
+
+/// Canonical error codes, modeled after the subset of absl::StatusCode the
+/// library actually needs. Fallible library operations return Status (or
+/// Result<T>) rather than throwing: sentineld is exception-free.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns the canonical spelling of a status code ("OK",
+/// "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. An engaged message is only stored
+/// for non-OK statuses; the OK status is a single word.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error wrapper (a minimal absl::StatusOr). A Result is either
+/// engaged with a T or holds a non-OK Status; accessing value() on an error
+/// aborts the process (library misuse, not a recoverable condition).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  /// Implicit construction from an error: `return Status::NotFound(...)`.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      // An OK status carries no value; normalize to an error so that the
+      // invariant "holds Status => !ok()" is preserved.
+      rep_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    const Status* error = std::get_if<Status>(&rep_);
+    return error != nullptr ? *error : kOk;
+  }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status to the caller: `RETURN_IF_ERROR(DoThing());`.
+#define RETURN_IF_ERROR(expr)                       \
+  do {                                              \
+    ::sentineld::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_UTIL_STATUS_H_

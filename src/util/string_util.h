@@ -1,0 +1,46 @@
+#ifndef SENTINELD_UTIL_STRING_UTIL_H_
+#define SENTINELD_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sentineld {
+
+/// Concatenates the string representations of all arguments, using
+/// operator<<. StrCat(1, "-", 2.5) == "1-2.5".
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  ((os << args), ...);
+  return os.str();
+}
+
+/// Joins `parts` with `sep`: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Left-pads `text` with spaces to `width` columns (no-op if longer).
+std::string PadLeft(std::string_view text, size_t width);
+
+/// Right-pads `text` with spaces to `width` columns (no-op if longer).
+std::string PadRight(std::string_view text, size_t width);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Groups an integer with thousands separators: 1234567 -> "1,234,567".
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_UTIL_STRING_UTIL_H_

@@ -1,0 +1,80 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+bool TablePrinter::LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  if (i == cell.size()) return false;
+  bool has_digit = false;
+  for (; i < cell.size(); ++i) {
+    char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      has_digit = true;
+      continue;
+    }
+    if (c != '.' && c != ',' && c != '%' && c != 'e' && c != '-' &&
+        c != 'x') {
+      return false;
+    }
+  }
+  return has_digit;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title_.empty()) os << title_ << "\n";
+
+  auto rule = [&] {
+    os << "+";
+    for (size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+
+  rule();
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << " " << PadRight(header_[c], widths[c]) << " |";
+  }
+  os << "\n";
+  rule();
+  for (const auto& row : rows_) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      os << " "
+         << (LooksNumeric(cell) ? PadLeft(cell, widths[c])
+                                : PadRight(cell, widths[c]))
+         << " |";
+    }
+    os << "\n";
+  }
+  rule();
+}
+
+}  // namespace sentineld

@@ -1,0 +1,37 @@
+#ifndef SENTINELD_UTIL_TABLE_PRINTER_H_
+#define SENTINELD_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sentineld {
+
+/// Accumulates rows and prints an aligned ASCII table, the output format of
+/// every experiment binary under bench/. Numeric-looking cells are
+/// right-aligned; everything else left-aligned.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit TablePrinter(std::string title = "");
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table.
+  void Print(std::ostream& os) const;
+
+ private:
+  static bool LooksNumeric(const std::string& cell);
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_UTIL_TABLE_PRINTER_H_

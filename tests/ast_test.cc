@@ -1,0 +1,124 @@
+// Tests of the expression AST: builders, validation, canonical strings,
+// and the subexpression surgery used by hierarchical placement.
+
+#include "snoop/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+class AstTest : public ::testing::Test {
+ protected:
+  AstTest() {
+    for (const char* name : {"A", "B", "C", "D"}) {
+      CHECK_OK(registry_.Register(name, EventClass::kExplicit));
+    }
+  }
+
+  EventTypeRegistry registry_;
+  const ExprPtr a_ = Prim(0), b_ = Prim(1), c_ = Prim(2), d_ = Prim(3);
+};
+
+TEST_F(AstTest, BuildersProduceValidTrees) {
+  for (const ExprPtr& expr :
+       {And(a_, b_), Or(a_, b_), Seq(a_, b_), Not(b_, a_, c_),
+        Aperiodic(a_, b_, c_), AperiodicStar(a_, b_, c_),
+        Periodic(a_, 10, b_), PeriodicStar(a_, 10, b_), Plus(a_, 5),
+        Any(2, {a_, b_, c_})}) {
+    EXPECT_TRUE(ValidateExpr(expr).ok()) << expr->ToString(registry_);
+  }
+}
+
+TEST_F(AstTest, CanonicalStringsRoundTripStructure) {
+  EXPECT_EQ(Seq(a_, And(b_, c_))->ToString(registry_), "(A ; (B and C))");
+  EXPECT_EQ(Not(b_, a_, c_)->ToString(registry_), "not(B)[A, C]");
+  EXPECT_EQ(Periodic(a_, 25, b_)->ToString(registry_), "P(A, 25t, B)");
+  EXPECT_EQ(Any(2, {a_, b_, c_})->ToString(registry_), "ANY(2, A, B, C)");
+}
+
+TEST_F(AstTest, ExprSizeCountsNodes) {
+  EXPECT_EQ(ExprSize(a_), 1u);
+  EXPECT_EQ(ExprSize(Seq(a_, And(b_, c_))), 5u);
+}
+
+TEST_F(AstTest, SubexprAtFollowsPaths) {
+  const auto expr = And(Seq(a_, b_), Or(c_, d_));
+  const std::vector<size_t> empty;
+  EXPECT_EQ(*SubexprAt(expr, empty), expr);
+  const std::vector<size_t> left{0};
+  EXPECT_EQ((*SubexprAt(expr, left))->kind, OpKind::kSeq);
+  const std::vector<size_t> leaf{1, 0};
+  EXPECT_EQ((*SubexprAt(expr, leaf))->primitive_type, 2u);
+  const std::vector<size_t> bad{0, 0, 0};
+  EXPECT_FALSE(SubexprAt(expr, bad).ok());
+  const std::vector<size_t> out_of_range{5};
+  EXPECT_FALSE(SubexprAt(expr, out_of_range).ok());
+}
+
+TEST_F(AstTest, ReplaceSubexprRewritesOnlyThePath) {
+  const auto expr = And(Seq(a_, b_), Or(c_, d_));
+  const std::vector<size_t> left{0};
+  auto replaced = ReplaceSubexpr(expr, left, d_);
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ((*replaced)->ToString(registry_), "(D and (C or D))");
+  // The untouched branch is shared, not copied.
+  EXPECT_EQ((*replaced)->children[1], expr->children[1]);
+  // The original is unchanged (expressions are immutable values).
+  EXPECT_EQ(expr->ToString(registry_), "((A ; B) and (C or D))");
+}
+
+TEST_F(AstTest, ReplaceSubexprAtRootReturnsReplacement) {
+  const auto expr = Seq(a_, b_);
+  const std::vector<size_t> empty;
+  auto replaced = ReplaceSubexpr(expr, empty, c_);
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(*replaced, c_);
+}
+
+TEST_F(AstTest, ReplaceSubexprRejectsBadPaths) {
+  const auto expr = Seq(a_, b_);
+  const std::vector<size_t> bad{0, 1};
+  EXPECT_FALSE(ReplaceSubexpr(expr, bad, c_).ok());
+}
+
+TEST_F(AstTest, ValidateRejectsBadAnyThreshold) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = OpKind::kAny;
+  expr->children = {a_, b_};
+  expr->any_threshold = 3;
+  EXPECT_FALSE(ValidateExpr(expr).ok());
+  expr->any_threshold = 0;
+  EXPECT_FALSE(ValidateExpr(expr).ok());
+}
+
+TEST_F(AstTest, CanonicalizeSortsCommutativeOperands) {
+  const auto expr = And(Or(d_, c_), Seq(b_, a_));
+  const auto canon = CanonicalizeExpr(expr, registry_);
+  // OR operands sorted; SEQ operands untouched (order matters).
+  EXPECT_EQ(canon->ToString(registry_), "((B ; A) and (C or D))");
+  // Idempotent.
+  EXPECT_EQ(CanonicalizeExpr(canon, registry_)->ToString(registry_),
+            canon->ToString(registry_));
+}
+
+TEST_F(AstTest, CanonicalizeUnifiesCommutedForms) {
+  const auto e1 = CanonicalizeExpr(And(a_, b_), registry_);
+  const auto e2 = CanonicalizeExpr(And(b_, a_), registry_);
+  EXPECT_EQ(e1->ToString(registry_), e2->ToString(registry_));
+  const auto any1 = CanonicalizeExpr(Any(2, {c_, a_, b_}), registry_);
+  EXPECT_EQ(any1->ToString(registry_), "ANY(2, A, B, C)");
+}
+
+TEST_F(AstTest, ValidateRejectsStrayFields) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = OpKind::kAnd;
+  expr->children = {a_, b_};
+  expr->period_ticks = 10;  // AND must not carry a period
+  EXPECT_FALSE(ValidateExpr(expr).ok());
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,123 @@
+// Tests of the binary wire codec: round trips (including nested
+// composites and every parameter type), wire-size agreement, and
+// malformed-input rejection.
+
+#include "dist/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "snoop/reference_detector.h"  // OccurrenceSignature
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+EventPtr SamplePrimitive() {
+  return Event::MakePrimitive(
+      7, PrimitiveTimestamp{3, 12, 125},
+      {{"amount", AttributeValue(int64_t{-99})},
+       {"ratio", AttributeValue(0.25)},
+       {"armed", AttributeValue(true)},
+       {"note", AttributeValue(std::string("hello wire"))}});
+}
+
+TEST(Codec, PrimitiveRoundTrip) {
+  const auto original = SamplePrimitive();
+  const std::string bytes = EncodeEvent(original);
+  EXPECT_EQ(bytes.size(), WireSize(original));
+  auto decoded = DecodeEvent(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ((*decoded)->type(), original->type());
+  EXPECT_EQ((*decoded)->timestamp(), original->timestamp());
+  EXPECT_EQ((*decoded)->params(), original->params());
+}
+
+TEST(Codec, NestedCompositeRoundTrip) {
+  const auto a = Event::MakePrimitive(0, PrimitiveTimestamp{1, 8, 80});
+  const auto b = Event::MakePrimitive(1, PrimitiveTimestamp{2, 8, 85});
+  const auto inner = Event::MakeComposite(10, {a, b});
+  const auto c = SamplePrimitive();
+  const auto outer = Event::MakeComposite(11, {inner, c});
+
+  const std::string bytes = EncodeEvent(outer);
+  EXPECT_EQ(bytes.size(), WireSize(outer));
+  auto decoded = DecodeEvent(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  // Identical structure, timestamps (recomputed Max equals the original
+  // by Def 5.2), and signature.
+  EXPECT_EQ((*decoded)->timestamp(), outer->timestamp());
+  EXPECT_EQ((*decoded)->constituents().size(), 2u);
+  EXPECT_EQ(OccurrenceSignature(*decoded), OccurrenceSignature(outer));
+}
+
+TEST(Codec, RandomizedRoundTrips) {
+  Rng rng(0xc0dec0deULL);
+  const StampSpace space{/*sites=*/4, /*global_range=*/10, /*ratio=*/10};
+  for (int round = 0; round < 500; ++round) {
+    // Random small composite tree.
+    std::vector<EventPtr> leaves;
+    const int n = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int i = 0; i < n; ++i) {
+      ParameterList params;
+      if (rng.NextBool(0.5)) {
+        params.emplace_back("k",
+                            AttributeValue(rng.NextInt(-1000, 1000)));
+      }
+      leaves.push_back(Event::MakePrimitive(
+          static_cast<EventTypeId>(rng.NextBounded(8)),
+          RandomPrimitive(rng, space), std::move(params)));
+    }
+    EventPtr event = leaves.size() == 1
+                         ? leaves[0]
+                         : Event::MakeComposite(99, std::move(leaves));
+    const std::string bytes = EncodeEvent(event);
+    ASSERT_EQ(bytes.size(), WireSize(event));
+    auto decoded = DecodeEvent(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ASSERT_EQ(OccurrenceSignature(*decoded), OccurrenceSignature(event));
+  }
+}
+
+TEST(Codec, RejectsTruncatedInput) {
+  const std::string bytes = EncodeEvent(SamplePrimitive());
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{4}, bytes.size() - 1}) {
+    EXPECT_FALSE(DecodeEvent(std::string_view(bytes).substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  std::string bytes = EncodeEvent(SamplePrimitive());
+  bytes += "junk";
+  EXPECT_FALSE(DecodeEvent(bytes).ok());
+}
+
+TEST(Codec, RejectsUnknownKindsAndTags) {
+  std::string bytes = EncodeEvent(SamplePrimitive());
+  bytes[0] = 9;  // unknown kind
+  EXPECT_FALSE(DecodeEvent(bytes).ok());
+}
+
+TEST(Codec, RejectsEmptyComposite) {
+  // kind=composite, type=5, nconstituents=0.
+  std::string bytes;
+  bytes.push_back(1);
+  const uint32_t type = 5, n = 0;
+  bytes.append(reinterpret_cast<const char*>(&type), 4);
+  bytes.append(reinterpret_cast<const char*>(&n), 4);
+  EXPECT_FALSE(DecodeEvent(bytes).ok());
+}
+
+TEST(Codec, CompositeWireSizeReflectsConstituents) {
+  const auto a = Event::MakePrimitive(0, PrimitiveTimestamp{1, 8, 80});
+  const auto b = Event::MakePrimitive(1, PrimitiveTimestamp{2, 8, 85});
+  const auto pair = Event::MakeComposite(10, {a, b});
+  EXPECT_EQ(WireSize(pair), 9 + WireSize(a) + WireSize(b));
+}
+
+}  // namespace
+}  // namespace sentineld

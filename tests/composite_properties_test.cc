@@ -1,0 +1,240 @@
+// Property-based tests of the paper's composite-timestamp theorems:
+// Theorem 5.1 (max-set concurrency), Theorem 5.2 (composite < is a strict
+// partial order), Theorem 5.3 (⪯̃ ⇔ ~ or <), plus the Sec. 5.1 claims about
+// the alternative orderings (restrictiveness hierarchy, non-transitivity
+// of the exists-exists form).
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "timestamp/composite_timestamp.h"
+#include "timestamp/orderings.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomComposite;
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+struct SpaceParam {
+  const char* name;
+  StampSpace space;
+  int iterations;
+};
+
+class CompositePropertyTest : public ::testing::TestWithParam<SpaceParam> {
+ protected:
+  Rng rng_{0xc0ffee1234567890ULL};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, CompositePropertyTest,
+    ::testing::Values(
+        SpaceParam{"dense", {/*sites=*/3, /*global_range=*/5, /*ratio=*/10},
+                   8000},
+        SpaceParam{"medium", {/*sites=*/6, /*global_range=*/10, /*ratio=*/10},
+                   8000},
+        SpaceParam{"sparse", {/*sites=*/8, /*global_range=*/40, /*ratio=*/5},
+                   8000}),
+    [](const auto& info) { return info.param.name; });
+
+// Theorem 5.1: all elements of max(ST) are pairwise concurrent, and MaxOf
+// retains exactly the non-dominated elements.
+TEST_P(CompositePropertyTest, MaxSetElementsArePairwiseConcurrent) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    std::vector<PrimitiveTimestamp> set;
+    const int n = static_cast<int>(rng_.NextBounded(6)) + 1;
+    for (int k = 0; k < n; ++k) {
+      set.push_back(RandomPrimitive(rng_, GetParam().space));
+    }
+    const auto max = CompositeTimestamp::MaxOf(set);
+    ASSERT_FALSE(max.empty());
+    EXPECT_TRUE(max.IsValid()) << max;
+    // Exactness: an element survives iff it is not dominated in `set`.
+    for (const auto& t : set) {
+      bool dominated = false;
+      for (const auto& t1 : set) {
+        if (HappensBefore(t, t1)) dominated = true;
+      }
+      const bool kept =
+          std::find(max.stamps().begin(), max.stamps().end(), t) !=
+          max.stamps().end();
+      EXPECT_EQ(kept, !dominated) << t << " in " << max;
+    }
+  }
+}
+
+// Theorem 5.2: composite < is irreflexive.
+TEST_P(CompositePropertyTest, BeforeIrreflexive) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto t = RandomComposite(rng_, GetParam().space);
+    EXPECT_FALSE(Before(t, t)) << t;
+  }
+}
+
+// Theorem 5.2: composite < is transitive.
+TEST_P(CompositePropertyTest, BeforeTransitive) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomComposite(rng_, GetParam().space);
+    const auto b = RandomComposite(rng_, GetParam().space);
+    const auto c = RandomComposite(rng_, GetParam().space);
+    if (Before(a, b) && Before(b, c)) {
+      EXPECT_TRUE(Before(a, c)) << a << " " << b << " " << c;
+    }
+  }
+}
+
+// Composite < is asymmetric on valid composite timestamps.
+TEST_P(CompositePropertyTest, BeforeAsymmetric) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomComposite(rng_, GetParam().space);
+    const auto b = RandomComposite(rng_, GetParam().space);
+    if (Before(a, b)) { EXPECT_FALSE(Before(b, a)) << a << " " << b; }
+  }
+}
+
+// The dual <_g is also irreflexive and transitive (the other valid
+// least-restricted ordering of Sec. 5.1).
+TEST_P(CompositePropertyTest, BeforeGIsStrictPartialOrder) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomComposite(rng_, GetParam().space);
+    const auto b = RandomComposite(rng_, GetParam().space);
+    const auto c = RandomComposite(rng_, GetParam().space);
+    EXPECT_FALSE(BeforeG(a, a));
+    if (BeforeG(a, b) && BeforeG(b, c)) {
+      EXPECT_TRUE(BeforeG(a, c)) << a << " " << b << " " << c;
+    }
+  }
+}
+
+// <_p2 and <_p3 are strict partial orders too (valid, merely restricted).
+TEST_P(CompositePropertyTest, RestrictedOrderingsAreStrictPartialOrders) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomComposite(rng_, GetParam().space);
+    const auto b = RandomComposite(rng_, GetParam().space);
+    const auto c = RandomComposite(rng_, GetParam().space);
+    EXPECT_FALSE(BeforeForallForall(a, a));
+    EXPECT_FALSE(BeforeMinDominates(a, a));
+    if (BeforeForallForall(a, b) && BeforeForallForall(b, c)) {
+      EXPECT_TRUE(BeforeForallForall(a, c));
+    }
+    if (BeforeMinDominates(a, b) && BeforeMinDominates(b, c)) {
+      EXPECT_TRUE(BeforeMinDominates(a, c));
+    }
+  }
+}
+
+// Restrictiveness hierarchy (Sec. 5.1): <_p2 ⊆ <_p3 ⊆ <_p ⊆ <_p1 and
+// <_p2 ⊆ <_g ⊆ <_p1.
+TEST_P(CompositePropertyTest, RestrictivenessHierarchy) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomComposite(rng_, GetParam().space);
+    const auto b = RandomComposite(rng_, GetParam().space);
+    if (BeforeForallForall(a, b)) {
+      EXPECT_TRUE(BeforeMinDominates(a, b)) << a << " " << b;
+      EXPECT_TRUE(BeforeG(a, b)) << a << " " << b;
+    }
+    if (BeforeMinDominates(a, b)) { EXPECT_TRUE(Before(a, b)) << a << " " << b; }
+    if (Before(a, b)) { EXPECT_TRUE(BeforeExistsExists(a, b)) << a << " " << b; }
+    if (BeforeG(a, b)) { EXPECT_TRUE(BeforeExistsExists(a, b)) << a << " " << b; }
+  }
+}
+
+// The exists-exists form <_p1 is NOT transitive: the sweep must find
+// violations (the paper's central quantifier-analysis claim). We assert
+// that at least one violation exists across the sweep in the dense and
+// medium spaces, where concurrency is common.
+TEST_P(CompositePropertyTest, ExistsExistsOrderingHasTransitivityViolations) {
+  int violations = 0;
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomComposite(rng_, GetParam().space);
+    const auto b = RandomComposite(rng_, GetParam().space);
+    const auto c = RandomComposite(rng_, GetParam().space);
+    if (BeforeExistsExists(a, b) && BeforeExistsExists(b, c) &&
+        !BeforeExistsExists(a, c)) {
+      ++violations;
+    }
+  }
+  if (std::string(GetParam().name) != "sparse") {
+    EXPECT_GT(violations, 0)
+        << "expected <_p1 transitivity violations in space "
+        << GetParam().name;
+  }
+}
+
+// A deterministic <_p1 transitivity violation (regression anchor for the
+// sweep above): T1={(1,8,89)} < T2={(1,9,90),(2,8,80)} < T3={(2,9,95)}
+// element-wise, yet T1 ~ T3.
+TEST(CompositeCounterexamples, ExistsExistsNotTransitiveConcrete) {
+  const auto t1 = CompositeTimestamp::FromSingle({1, 8, 89});
+  const auto t2 = CompositeTimestamp::MaxOf(
+      {PrimitiveTimestamp{1, 9, 90}, PrimitiveTimestamp{2, 8, 80}});
+  ASSERT_EQ(t2.size(), 2u);
+  const auto t3 = CompositeTimestamp::FromSingle({2, 9, 95});
+  EXPECT_TRUE(BeforeExistsExists(t1, t2));
+  EXPECT_TRUE(BeforeExistsExists(t2, t3));
+  EXPECT_FALSE(BeforeExistsExists(t1, t3));
+}
+
+// Theorem 5.3, sound direction: (~ or <) implies ⪯̃. (The paper states an
+// equivalence; the converse is FALSE — see the concrete counterexample
+// below — so only this direction is asserted as a law. The violation rate
+// of the converse is measured in bench/prop_check and recorded in
+// EXPERIMENTS.md.)
+TEST_P(CompositePropertyTest, ConcurrentOrBeforeImpliesWeakPrecedes) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomComposite(rng_, GetParam().space);
+    const auto b = RandomComposite(rng_, GetParam().space);
+    if (Concurrent(a, b) || Before(a, b)) {
+      EXPECT_TRUE(WeakPrecedes(a, b)) << a << " " << b;
+    }
+  }
+}
+
+// Counterexample to Theorem 5.3's ⇒ direction: every element of `a`
+// weakly precedes every element of `b` (one strict same-site pair, the
+// rest concurrent), yet a is neither concurrent with b (the strict pair)
+// nor before b (nothing in `a` is below (3,5,52)).
+TEST(CompositeCounterexamples, WeakPrecedesDoesNotImplyConcurrentOrBefore) {
+  const auto a = CompositeTimestamp::MaxOf(
+      {PrimitiveTimestamp{1, 5, 50}, PrimitiveTimestamp{2, 5, 51}});
+  const auto b = CompositeTimestamp::MaxOf(
+      {PrimitiveTimestamp{1, 5, 55}, PrimitiveTimestamp{3, 5, 52}});
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_TRUE(WeakPrecedes(a, b));
+  EXPECT_FALSE(Concurrent(a, b));
+  EXPECT_FALSE(Before(a, b));
+}
+
+// Exactly one of <, >, ~, ≬ holds (well-definedness of Classify).
+TEST_P(CompositePropertyTest, ExactlyOneCompositeRelation) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomComposite(rng_, GetParam().space);
+    const auto b = RandomComposite(rng_, GetParam().space);
+    const int count =
+        (Before(a, b) ? 1 : 0) + (Before(b, a) ? 1 : 0) +
+        (Concurrent(a, b) ? 1 : 0) + (Incomparable(a, b) ? 1 : 0);
+    EXPECT_EQ(count, 1) << a << " " << b;
+  }
+}
+
+// Singleton composite stamps reduce to the primitive relations: the
+// centralized semantics embed in the distributed ones.
+TEST_P(CompositePropertyTest, SingletonsReduceToPrimitiveRelations) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto pa = RandomPrimitive(rng_, GetParam().space);
+    const auto pb = RandomPrimitive(rng_, GetParam().space);
+    const auto a = CompositeTimestamp::FromSingle(pa);
+    const auto b = CompositeTimestamp::FromSingle(pb);
+    EXPECT_EQ(Before(a, b), HappensBefore(pa, pb));
+    EXPECT_EQ(Concurrent(a, b), Concurrent(pa, pb));
+    EXPECT_EQ(WeakPrecedes(a, b), WeakPrecedes(pa, pb));
+    EXPECT_FALSE(Incomparable(a, b));  // singletons are always comparable
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,210 @@
+// Unit tests for distributed composite timestamps (paper Defs 5.1-5.6),
+// including the paper's Sec. 5.1 worked example and ordering examples.
+
+#include "timestamp/composite_timestamp.h"
+
+#include <gtest/gtest.h>
+
+#include "timestamp/interval.h"
+#include "timestamp/orderings.h"
+
+namespace sentineld {
+namespace {
+
+PrimitiveTimestamp Make(SiteId site, GlobalTicks global, LocalTicks local) {
+  return PrimitiveTimestamp{site, global, local};
+}
+
+TEST(CompositeTimestamp, FromSingleIsSingletonAndValid) {
+  const auto t = CompositeTimestamp::FromSingle(Make(1, 8, 80));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.IsValid());
+  EXPECT_EQ(t.ToString(), "{(1, 8, 80)}");
+}
+
+TEST(CompositeTimestamp, MaxOfDropsDominatedStamps) {
+  // (1,5,50) happens before both others; only maxima survive (Def 5.1).
+  const auto t = CompositeTimestamp::MaxOf(
+      {Make(1, 5, 50), Make(1, 8, 80), Make(2, 8, 85)});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.stamps()[0], Make(1, 8, 80));
+  EXPECT_EQ(t.stamps()[1], Make(2, 8, 85));
+  EXPECT_TRUE(t.IsValid());
+}
+
+TEST(CompositeTimestamp, MaxOfSameSiteKeepsLatestLocalTick) {
+  const auto t =
+      CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(1, 8, 81)});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.stamps()[0], Make(1, 8, 81));
+}
+
+TEST(CompositeTimestamp, MaxOfDeduplicates) {
+  const auto t =
+      CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(1, 8, 80)});
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(CompositeTimestamp, MaxOfCanonicallySorted) {
+  const auto t = CompositeTimestamp::MaxOf(
+      {Make(3, 8, 81), Make(1, 8, 80), Make(2, 7, 72)});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.stamps()[0].site, 1u);
+  EXPECT_EQ(t.stamps()[1].site, 2u);
+  EXPECT_EQ(t.stamps()[2].site, 3u);
+}
+
+TEST(CompositeTimestamp, FromMaximalSetRejectsNonConcurrentSets) {
+  auto bad = CompositeTimestamp::FromMaximalSet(
+      {Make(1, 1, 10), Make(2, 9, 90)});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  auto good = CompositeTimestamp::FromMaximalSet(
+      {Make(1, 8, 80), Make(2, 9, 90)});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->IsValid());
+}
+
+TEST(CompositeTimestamp, SetEqualityIgnoresInputOrder) {
+  const auto a = CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(2, 8, 85)});
+  const auto b = CompositeTimestamp::MaxOf({Make(2, 8, 85), Make(1, 8, 80)});
+  EXPECT_EQ(a, b);
+}
+
+// ---- Composite relations (Def 5.3) ----
+
+TEST(CompositeRelations, BeforeForallExists) {
+  // Every element of the right set is dominated by some element of the
+  // left set.
+  const auto a = CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(2, 7, 70)});
+  const auto b = CompositeTimestamp::MaxOf(
+      {Make(1, 8, 81), Make(2, 7, 71)});  // same sites, one tick later
+  EXPECT_TRUE(Before(a, b));
+  EXPECT_FALSE(Before(b, a));
+}
+
+TEST(CompositeRelations, PaperExampleP2IsStricterThanP) {
+  // Sec. 5.1: T(e1)={(s1,8,80),(s2,7,70)}, T(e2)={(s3,9,90)} satisfies
+  // <_p but not <_p2.
+  const auto t1 = CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(2, 7, 70)});
+  const auto t2 = CompositeTimestamp::FromSingle(Make(3, 9, 90));
+  EXPECT_TRUE(Before(t1, t2));
+  EXPECT_FALSE(BeforeForallForall(t1, t2));
+}
+
+TEST(CompositeRelations, PaperExampleP3IsStricterThanP) {
+  // Sec. 5.1: T(e1)={(s1,8,80),(s2,7,70)}, T(e2)={(s1,8,81),(s2,7,71)}
+  // satisfies <_p but not <_p3 (the min-global element (s2,7,70) does not
+  // dominate (s1,8,81)).
+  const auto t1 = CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(2, 7, 70)});
+  const auto t2 = CompositeTimestamp::MaxOf({Make(1, 8, 81), Make(2, 7, 71)});
+  EXPECT_TRUE(Before(t1, t2));
+  EXPECT_FALSE(BeforeMinDominates(t1, t2));
+}
+
+TEST(CompositeRelations, ConcurrentRequiresAllPairsConcurrent) {
+  const auto a = CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(2, 8, 85)});
+  const auto b = CompositeTimestamp::MaxOf({Make(3, 9, 90), Make(4, 7, 75)});
+  EXPECT_TRUE(Concurrent(a, b));
+  const auto c = CompositeTimestamp::FromSingle(Make(3, 10, 100));
+  EXPECT_FALSE(Concurrent(a, c));
+}
+
+TEST(CompositeRelations, IncomparablePair) {
+  // c happens before a's site-1 element but is merely concurrent with the
+  // site-2 element, so the sets are neither before, after, nor concurrent.
+  const auto a = CompositeTimestamp::MaxOf({Make(1, 5, 50), Make(2, 6, 65)});
+  ASSERT_EQ(a.size(), 2u);  // globals 5 and 6 adjacent: both maxima
+  const auto c = CompositeTimestamp::FromSingle(Make(1, 5, 45));
+  EXPECT_TRUE(Incomparable(a, c));
+  EXPECT_EQ(Classify(a, c), CompositeRelation::kIncomparable);
+}
+
+TEST(CompositeRelations, ClassifyReportsBeforeAfterConcurrent) {
+  const auto lo = CompositeTimestamp::FromSingle(Make(1, 2, 20));
+  const auto hi = CompositeTimestamp::FromSingle(Make(2, 9, 90));
+  EXPECT_EQ(Classify(lo, hi), CompositeRelation::kBefore);
+  EXPECT_EQ(Classify(hi, lo), CompositeRelation::kAfter);
+  const auto mid = CompositeTimestamp::FromSingle(Make(3, 9, 95));
+  EXPECT_EQ(Classify(hi, mid), CompositeRelation::kConcurrent);
+}
+
+// ---- The Sec. 5.1 worked example ----
+// Clocks k=0, l=1, m=2; g = 1/100 s, g_g = 1/10 s (ratio 10). The paper
+// gives five composite stamps and asserts
+// T(e1) ≬ T(e2) ≬ T(e3), T(e4) ~ T(e3), T(e3) < T(e5).
+class WorkedExample : public ::testing::Test {
+ protected:
+  static constexpr SiteId k = 0, l = 1, m = 2;
+  const CompositeTimestamp e1_ = CompositeTimestamp::MaxOf(
+      {Make(k, 9154827, 91548276), Make(m, 9154827, 91548277)});
+  const CompositeTimestamp e2_ = CompositeTimestamp::MaxOf(
+      {Make(l, 9154827, 91548276), Make(k, 9154827, 91548277)});
+  const CompositeTimestamp e3_ = CompositeTimestamp::MaxOf(
+      {Make(m, 9154827, 91548276), Make(l, 9154827, 91548277)});
+  const CompositeTimestamp e4_ = CompositeTimestamp::MaxOf(
+      {Make(k, 9154828, 91548288), Make(l, 9154827, 91548277)});
+  const CompositeTimestamp e5_ = CompositeTimestamp::MaxOf(
+      {Make(k, 9154829, 91548289), Make(l, 9154828, 91548287)});
+};
+
+TEST_F(WorkedExample, StampsAreValidComposites) {
+  for (const auto* t : {&e1_, &e2_, &e3_, &e4_, &e5_}) {
+    EXPECT_TRUE(t->IsValid()) << t->ToString();
+  }
+}
+
+TEST_F(WorkedExample, E1E2E3PairwiseIncomparable) {
+  // Each pair shares a site with a strict local-tick order in one
+  // direction while the cross-site elements stay concurrent, so the sets
+  // are incomparable (the paper writes T(e1) ≬ T(e2) ≬ T(e3)).
+  EXPECT_TRUE(Incomparable(e1_, e2_));
+  EXPECT_TRUE(Incomparable(e2_, e3_));
+  EXPECT_TRUE(Incomparable(e1_, e3_));
+}
+
+TEST_F(WorkedExample, E4ConcurrentWithE3) {
+  EXPECT_TRUE(Concurrent(e4_, e3_));
+}
+
+TEST_F(WorkedExample, E3BeforeE5) {
+  EXPECT_TRUE(Before(e3_, e5_));
+  EXPECT_FALSE(Before(e5_, e3_));
+}
+
+// ---- Composite intervals (Defs 5.5 / 5.6) ----
+
+TEST(CompositeInterval, OpenIntervalMembership) {
+  const auto a = CompositeTimestamp::FromSingle(Make(1, 2, 20));
+  const auto b = CompositeTimestamp::FromSingle(Make(2, 12, 120));
+  const auto mid = CompositeTimestamp::MaxOf({Make(1, 7, 70), Make(3, 6, 65)});
+  EXPECT_TRUE(InOpenInterval(mid, a, b));
+  EXPECT_FALSE(InOpenInterval(a, a, b));
+  const auto near_b = CompositeTimestamp::FromSingle(Make(3, 11, 110));
+  EXPECT_FALSE(InOpenInterval(near_b, a, b));
+}
+
+TEST(CompositeInterval, ClosedIntervalAdmitsConcurrentEdges) {
+  const auto a = CompositeTimestamp::FromSingle(Make(1, 2, 20));
+  const auto b = CompositeTimestamp::FromSingle(Make(2, 12, 120));
+  const auto edge = CompositeTimestamp::FromSingle(Make(3, 12, 125));
+  EXPECT_TRUE(InClosedInterval(edge, a, b));
+  EXPECT_FALSE(InOpenInterval(edge, a, b));
+}
+
+// ---- ⪯̃ (Def 5.4) sanity on hand-picked pairs; the equivalence of
+// Theorem 5.3 is swept in composite_properties_test.cc ----
+
+TEST(CompositeWeakPrecedes, HoldsForConcurrentAndBeforePairs) {
+  const auto a = CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(2, 8, 85)});
+  const auto b = CompositeTimestamp::MaxOf({Make(3, 9, 90), Make(4, 7, 75)});
+  EXPECT_TRUE(WeakPrecedes(a, b));  // concurrent
+  EXPECT_TRUE(WeakPrecedes(b, a));
+  const auto lo = CompositeTimestamp::FromSingle(Make(1, 2, 20));
+  EXPECT_TRUE(WeakPrecedes(lo, b));  // before
+  EXPECT_FALSE(WeakPrecedes(b, lo));
+}
+
+}  // namespace
+}  // namespace sentineld

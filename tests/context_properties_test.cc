@@ -1,0 +1,201 @@
+// Metamorphic properties relating the parameter contexts to each other
+// and to the unrestricted semantics, checked over randomized streams.
+// These are independent restatements of what the contexts *mean*, so
+// they catch discipline bugs the per-context unit tests cannot:
+//
+//   * every restricted context's detections are a subset of the
+//     unrestricted ones (for non-merging contexts);
+//   * chronicle AND is exactly FIFO matching by arrival;
+//   * continuous SEQ is exactly "unrestricted, keeping only the first
+//     eligible terminator per initiator";
+//   * cumulative covers the same constituents as continuous, merged.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "snoop/detector.h"
+#include "snoop/parser.h"
+#include "snoop/reference_detector.h"
+#include "tests/test_util.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+class ContextPropertyTest : public ::testing::Test {
+ protected:
+  ContextPropertyTest() {
+    for (const char* name : {"A", "B"}) {
+      CHECK_OK(registry_.Register(name, EventClass::kExplicit));
+    }
+  }
+
+  /// Random 2-type history in linear-extension (local tick) order.
+  std::vector<EventPtr> RandomHistory(size_t len) {
+    std::vector<EventPtr> history;
+    const StampSpace space{/*sites=*/3, /*global_range=*/10, /*ratio=*/10};
+    for (size_t i = 0; i < len; ++i) {
+      history.push_back(Event::MakePrimitive(
+          static_cast<EventTypeId>(rng_.NextBounded(2)),
+          RandomPrimitive(rng_, space)));
+    }
+    std::stable_sort(history.begin(), history.end(),
+                     [](const EventPtr& a, const EventPtr& b) {
+                       return a->timestamp().stamps()[0].local <
+                              b->timestamp().stamps()[0].local;
+                     });
+    return history;
+  }
+
+  std::vector<EventPtr> Detect(const char* expr_text, ParamContext context,
+                               const std::vector<EventPtr>& history) {
+    Detector::Options options;
+    options.context = context;
+    Detector detector(&registry_, options);
+    auto expr = ParseExpr(expr_text, registry_, {});
+    CHECK_OK(expr);
+    std::vector<EventPtr> out;
+    CHECK_OK(detector.AddRule("rule", *expr, [&](const EventPtr& e) {
+      out.push_back(e);
+    }));
+    for (const EventPtr& e : history) detector.Feed(e);
+    return out;
+  }
+
+  EventTypeRegistry registry_;
+  Rng rng_{0xc0a7ec7ba5e5ULL};
+};
+
+/// Signature set helper (multiset comparison via sorted vector).
+std::multiset<std::string> SigSet(const std::vector<EventPtr>& events) {
+  std::multiset<std::string> out;
+  for (const EventPtr& e : events) out.insert(OccurrenceSignature(e));
+  return out;
+}
+
+bool SubsetOf(const std::multiset<std::string>& small,
+              const std::multiset<std::string>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+TEST_F(ContextPropertyTest, RestrictedContextsAreSubsetsOfUnrestricted) {
+  for (int round = 0; round < 200; ++round) {
+    const auto history = RandomHistory(14);
+    for (const char* expr : {"A ; B", "A and B"}) {
+      const auto unrestricted =
+          SigSet(Detect(expr, ParamContext::kUnrestricted, history));
+      for (ParamContext context :
+           {ParamContext::kRecent, ParamContext::kChronicle,
+            ParamContext::kContinuous}) {
+        const auto restricted = SigSet(Detect(expr, context, history));
+        EXPECT_TRUE(SubsetOf(restricted, unrestricted))
+            << expr << " under " << ParamContextToString(context)
+            << " produced a detection the unrestricted semantics lack";
+      }
+    }
+  }
+}
+
+TEST_F(ContextPropertyTest, ChronicleAndIsFifoMatching) {
+  for (int round = 0; round < 200; ++round) {
+    const auto history = RandomHistory(16);
+    const auto detections =
+        Detect("A and B", ParamContext::kChronicle, history);
+
+    // Direct FIFO model: the i-th A (by arrival) pairs with the i-th B.
+    std::vector<EventPtr> as, bs;
+    for (const EventPtr& e : history) {
+      (e->type() == 0 ? as : bs).push_back(e);
+    }
+    const size_t pairs = std::min(as.size(), bs.size());
+    ASSERT_EQ(detections.size(), pairs);
+    // Each detection's constituents are the k-th of each stream.
+    std::multiset<std::string> expected;
+    for (size_t k = 0; k < pairs; ++k) {
+      expected.insert(OccurrenceSignature(
+          Event::MakeComposite(999, {as[k], bs[k]})));
+    }
+    EXPECT_EQ(SigSet(detections), expected);
+  }
+}
+
+TEST_F(ContextPropertyTest, ContinuousSeqIsFirstTerminatorPerInitiator) {
+  for (int round = 0; round < 200; ++round) {
+    const auto history = RandomHistory(14);
+    const auto continuous =
+        Detect("A ; B", ParamContext::kContinuous, history);
+
+    // Model: for each A, the first later-delivered B with Before(a, b).
+    std::multiset<std::string> expected;
+    for (size_t i = 0; i < history.size(); ++i) {
+      if (history[i]->type() != 0) continue;
+      for (size_t j = i + 1; j < history.size(); ++j) {
+        if (history[j]->type() != 1) continue;
+        if (Before(history[i]->timestamp(), history[j]->timestamp())) {
+          expected.insert(OccurrenceSignature(
+              Event::MakeComposite(999, {history[i], history[j]})));
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(SigSet(continuous), expected) << "round " << round;
+  }
+}
+
+TEST_F(ContextPropertyTest, CumulativeSeqCoversContinuousConstituents) {
+  for (int round = 0; round < 200; ++round) {
+    const auto history = RandomHistory(14);
+    const auto continuous =
+        Detect("A ; B", ParamContext::kContinuous, history);
+    const auto cumulative =
+        Detect("A ; B", ParamContext::kCumulative, history);
+
+    // Both consume the same initiators; cumulative merges per terminator.
+    auto primitive_multiset = [](const std::vector<EventPtr>& events) {
+      std::multiset<const Event*> out;
+      for (const EventPtr& e : events) {
+        std::vector<EventPtr> primitives;
+        CollectPrimitives(e, primitives);
+        // Terminators repeat across continuous detections; count
+        // initiators only (type A).
+        for (const EventPtr& p : primitives) {
+          if (p->type() == 0) out.insert(p.get());
+        }
+      }
+      return out;
+    };
+    EXPECT_EQ(primitive_multiset(continuous), primitive_multiset(cumulative))
+        << "round " << round;
+    // Cumulative emits at most one occurrence per terminator.
+    EXPECT_LE(cumulative.size(), continuous.size());
+  }
+}
+
+TEST_F(ContextPropertyTest, RecentSeqInitiatorIsLatestDelivered) {
+  for (int round = 0; round < 200; ++round) {
+    const auto history = RandomHistory(14);
+    const auto recent = Detect("A ; B", ParamContext::kRecent, history);
+
+    // Model: for each B, the last A delivered before it, if Before holds.
+    std::multiset<std::string> expected;
+    EventPtr last_a;
+    for (const EventPtr& e : history) {
+      if (e->type() == 0) {
+        last_a = e;
+      } else if (last_a != nullptr &&
+                 Before(last_a->timestamp(), e->timestamp())) {
+        expected.insert(OccurrenceSignature(
+            Event::MakeComposite(999, {last_a, e})));
+      }
+    }
+    EXPECT_EQ(SigSet(recent), expected) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,562 @@
+// Tests of the streaming event-detection graph: every Snoop operator,
+// every parameter context, distributed (multi-site) timestamps, timer-
+// driven temporal operators, and graph construction (sharing, stats).
+
+#include "snoop/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "snoop/parser.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  DetectorTest() {
+    for (const char* name : {"A", "B", "C", "D"}) {
+      CHECK_OK(registry_.Register(name, EventClass::kExplicit));
+    }
+  }
+
+  /// Builds a detector over the expression text with the given context;
+  /// detected occurrences land in outputs_.
+  void Build(std::string_view expr_text,
+             ParamContext context = ParamContext::kUnrestricted) {
+    Detector::Options options;
+    options.context = context;
+    detector_ = std::make_unique<Detector>(&registry_, options);
+    auto expr = ParseExpr(expr_text, registry_, {});
+    CHECK_OK(expr);
+    auto rule = detector_->AddRule("rule", *expr,
+                                   [this](const EventPtr& e) {
+                                     outputs_.push_back(e);
+                                   });
+    CHECK_OK(rule);
+  }
+
+  /// Feeds a primitive occurrence of `name` at `site` with local tick
+  /// `local` (global = local / 10, the default ratio).
+  EventPtr Feed(const std::string& name, SiteId site, LocalTicks local) {
+    const auto type = registry_.Lookup(name);
+    CHECK_OK(type);
+    const auto event = Event::MakePrimitive(
+        *type, PrimitiveTimestamp{site, local / 10, local});
+    detector_->Feed(event);
+    return event;
+  }
+
+  /// The timestamps of the collected outputs, stringified for matching.
+  std::vector<std::string> OutputStamps() const {
+    std::vector<std::string> out;
+    out.reserve(outputs_.size());
+    for (const auto& e : outputs_) out.push_back(e->timestamp().ToString());
+    return out;
+  }
+
+  EventTypeRegistry registry_;
+  std::unique_ptr<Detector> detector_;
+  std::vector<EventPtr> outputs_;
+};
+
+// ---------------------------------------------------------------- AND --
+
+TEST_F(DetectorTest, AndUnrestrictedPairsEverything) {
+  Build("A and B");
+  Feed("A", 0, 100);
+  Feed("A", 0, 200);
+  Feed("B", 1, 150);
+  Feed("B", 1, 250);
+  EXPECT_EQ(outputs_.size(), 4u);
+}
+
+TEST_F(DetectorTest, AndTimestampIsMaxOfPair) {
+  Build("A and B");
+  Feed("A", 0, 100);
+  Feed("B", 1, 105);  // concurrent with A's stamp (globals 10 vs 10)
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->timestamp(),
+            CompositeTimestamp::MaxOf({PrimitiveTimestamp{0, 10, 100},
+                                       PrimitiveTimestamp{1, 10, 105}}));
+  EXPECT_EQ(outputs_[0]->timestamp().size(), 2u);
+}
+
+TEST_F(DetectorTest, AndRecentPairsMostRecentOnly) {
+  Build("A and B", ParamContext::kRecent);
+  Feed("A", 0, 100);
+  Feed("A", 0, 200);  // supersedes the first A
+  Feed("B", 1, 300);
+  ASSERT_EQ(outputs_.size(), 1u);
+  // The pair uses the most recent A (local 200).
+  EXPECT_EQ(outputs_[0]->constituents()[0]->timestamp().stamps()[0].local,
+            200);
+  // A further B pairs again with the retained A (recent does not consume).
+  Feed("B", 1, 400);
+  EXPECT_EQ(outputs_.size(), 2u);
+}
+
+TEST_F(DetectorTest, AndChronicleConsumesFifo) {
+  Build("A and B", ParamContext::kChronicle);
+  Feed("A", 0, 100);
+  Feed("A", 0, 200);
+  Feed("B", 1, 300);  // pairs with the oldest A (100), consuming it
+  Feed("B", 1, 400);  // pairs with the next A (200)
+  Feed("B", 1, 500);  // no A left: buffered
+  ASSERT_EQ(outputs_.size(), 2u);
+  EXPECT_EQ(outputs_[0]->constituents()[0]->timestamp().stamps()[0].local,
+            100);
+  EXPECT_EQ(outputs_[1]->constituents()[0]->timestamp().stamps()[0].local,
+            200);
+}
+
+TEST_F(DetectorTest, AndContinuousConsumesAllAtOnce) {
+  Build("A and B", ParamContext::kContinuous);
+  Feed("A", 0, 100);
+  Feed("A", 0, 200);
+  Feed("B", 1, 300);  // pairs with both As, consuming them
+  EXPECT_EQ(outputs_.size(), 2u);
+  Feed("B", 1, 400);  // nothing left
+  EXPECT_EQ(outputs_.size(), 2u);
+}
+
+TEST_F(DetectorTest, AndCumulativeEmitsOneMergedOccurrence) {
+  Build("A and B", ParamContext::kCumulative);
+  Feed("A", 0, 100);
+  Feed("A", 0, 200);
+  Feed("B", 1, 300);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->constituents().size(), 3u);  // A, A, B
+}
+
+// ---------------------------------------------------------------- SEQ --
+
+TEST_F(DetectorTest, SeqRequiresStrictHappensBefore) {
+  Build("A ; B");
+  Feed("A", 0, 100);   // global 10
+  Feed("B", 1, 115);   // global 11: concurrent with A cross-site
+  EXPECT_TRUE(outputs_.empty());
+  Feed("B", 1, 125);   // global 12: A happens before (10 < 12 - 1)
+  EXPECT_EQ(outputs_.size(), 1u);
+}
+
+TEST_F(DetectorTest, SeqSameSiteOrdersByLocalTick) {
+  Build("A ; B");
+  Feed("A", 0, 100);
+  Feed("B", 0, 101);  // same site: strictly later local tick suffices
+  EXPECT_EQ(outputs_.size(), 1u);
+}
+
+TEST_F(DetectorTest, SeqUnrestrictedPairsAllEligibleInitiators) {
+  Build("A ; B");
+  Feed("A", 0, 100);
+  Feed("A", 0, 110);
+  Feed("B", 0, 200);
+  EXPECT_EQ(outputs_.size(), 2u);
+  Feed("B", 0, 300);  // initiators not consumed
+  EXPECT_EQ(outputs_.size(), 4u);
+}
+
+TEST_F(DetectorTest, SeqRecentUsesLatestInitiator) {
+  Build("A ; B", ParamContext::kRecent);
+  Feed("A", 0, 100);
+  Feed("A", 0, 110);
+  Feed("B", 0, 200);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->constituents()[0]->timestamp().stamps()[0].local,
+            110);
+}
+
+TEST_F(DetectorTest, SeqChronicleConsumesOldestEligible) {
+  Build("A ; B", ParamContext::kChronicle);
+  Feed("A", 0, 100);
+  Feed("A", 0, 110);
+  Feed("B", 0, 200);
+  Feed("B", 0, 300);
+  ASSERT_EQ(outputs_.size(), 2u);
+  EXPECT_EQ(outputs_[0]->constituents()[0]->timestamp().stamps()[0].local,
+            100);
+  EXPECT_EQ(outputs_[1]->constituents()[0]->timestamp().stamps()[0].local,
+            110);
+}
+
+TEST_F(DetectorTest, SeqContinuousConsumesAllEligible) {
+  Build("A ; B", ParamContext::kContinuous);
+  Feed("A", 0, 100);
+  Feed("A", 0, 110);
+  Feed("B", 0, 200);
+  EXPECT_EQ(outputs_.size(), 2u);
+  Feed("B", 0, 300);
+  EXPECT_EQ(outputs_.size(), 2u);
+}
+
+TEST_F(DetectorTest, SeqCumulativeMergesAllEligible) {
+  Build("A ; B", ParamContext::kCumulative);
+  Feed("A", 0, 100);
+  Feed("A", 0, 110);
+  Feed("B", 0, 200);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->constituents().size(), 3u);
+}
+
+// A concurrent initiator never pairs: the distributed semantics are
+// conservative about unordered occurrences.
+TEST_F(DetectorTest, SeqConcurrentInitiatorNeverFires) {
+  Build("A ; B", ParamContext::kRecent);
+  Feed("A", 0, 100);  // global 10
+  Feed("B", 1, 110);  // global 11: concurrent
+  Feed("B", 1, 119);  // global 11: concurrent
+  EXPECT_TRUE(outputs_.empty());
+}
+
+// ---------------------------------------------------------------- NOT --
+
+TEST_F(DetectorTest, NotFiresWhenNoMiddleIntervenes) {
+  Build("not(B)[A, C]");
+  Feed("A", 0, 100);
+  Feed("C", 0, 300);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->constituents().size(), 2u);  // {A, C}
+}
+
+TEST_F(DetectorTest, NotBlockedByMiddleInsideInterval) {
+  Build("not(B)[A, C]");
+  Feed("A", 0, 100);
+  Feed("B", 0, 200);
+  Feed("C", 0, 300);
+  EXPECT_TRUE(outputs_.empty());
+}
+
+TEST_F(DetectorTest, NotIgnoresMiddleOutsideInterval) {
+  Build("not(B)[A, C]");
+  Feed("B", 0, 50);  // before the initiator: irrelevant
+  Feed("A", 0, 100);
+  Feed("C", 0, 300);
+  EXPECT_EQ(outputs_.size(), 1u);
+}
+
+TEST_F(DetectorTest, NotConcurrentMiddleDoesNotBlock) {
+  // B concurrent with C (adjacent globals, cross-site) is not strictly
+  // inside the open interval, so the non-occurrence still holds.
+  Build("not(B)[A, C]");
+  Feed("A", 0, 100);   // global 10
+  Feed("B", 1, 295);   // global 29
+  Feed("C", 0, 300);   // global 30: B ~ C
+  EXPECT_EQ(outputs_.size(), 1u);
+}
+
+TEST_F(DetectorTest, NotChronicleConsumesInitiatorEvenWhenBlocked) {
+  Build("not(B)[A, C]", ParamContext::kChronicle);
+  Feed("A", 0, 100);
+  Feed("B", 0, 200);
+  Feed("C", 0, 300);  // blocked, but consumes the A
+  EXPECT_TRUE(outputs_.empty());
+  Feed("C", 0, 400);  // no initiator left
+  EXPECT_TRUE(outputs_.empty());
+}
+
+TEST_F(DetectorTest, NotRecentKeepsInitiator) {
+  Build("not(B)[A, C]", ParamContext::kRecent);
+  Feed("A", 0, 100);
+  Feed("C", 0, 300);
+  Feed("C", 0, 400);
+  EXPECT_EQ(outputs_.size(), 2u);
+}
+
+// ------------------------------------------------------------------ A --
+
+TEST_F(DetectorTest, AperiodicSignalsEachMiddleInWindow) {
+  Build("A(A, B, C)");
+  Feed("A", 0, 100);
+  Feed("B", 0, 200);
+  Feed("B", 0, 250);
+  Feed("C", 0, 300);
+  Feed("B", 0, 400);  // after the terminator: no signal
+  EXPECT_EQ(outputs_.size(), 2u);
+}
+
+TEST_F(DetectorTest, AperiodicRequiresInitiatorBeforeMiddle) {
+  Build("A(A, B, C)");
+  Feed("B", 0, 50);
+  Feed("A", 0, 100);
+  Feed("B", 1, 105);  // concurrent with the initiator: not inside
+  EXPECT_TRUE(outputs_.empty());
+  Feed("B", 0, 200);
+  EXPECT_EQ(outputs_.size(), 1u);
+}
+
+TEST_F(DetectorTest, AperiodicMiddleConcurrentWithTerminatorStillSignals) {
+  // Under the open-interval semantics an E2 concurrent with the E3 is not
+  // "after" it, so it still signals even when delivered after the E3.
+  Build("A(A, B, C)");
+  Feed("A", 0, 100);   // global 10
+  Feed("C", 0, 300);   // global 30
+  Feed("B", 1, 295);   // global 29: concurrent with C, after A
+  EXPECT_EQ(outputs_.size(), 1u);
+}
+
+TEST_F(DetectorTest, AperiodicRecentKeepsOnlyLatestWindow) {
+  Build("A(A, B, C)", ParamContext::kRecent);
+  Feed("A", 0, 100);
+  Feed("A", 0, 150);
+  Feed("B", 0, 200);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->constituents()[0]->timestamp().stamps()[0].local,
+            150);
+}
+
+TEST_F(DetectorTest, AperiodicContinuousTerminatorClosesAllWindows) {
+  Build("A(A, B, C)", ParamContext::kContinuous);
+  Feed("A", 0, 100);
+  Feed("A", 0, 150);
+  Feed("B", 0, 200);  // two windows: two signals
+  EXPECT_EQ(outputs_.size(), 2u);
+  Feed("C", 0, 300);
+  Feed("B", 0, 400);
+  EXPECT_EQ(outputs_.size(), 2u);
+}
+
+// ----------------------------------------------------------------- A* --
+
+TEST_F(DetectorTest, AperiodicStarAccumulatesAndEmitsAtTerminator) {
+  Build("A*(A, B, C)", ParamContext::kContinuous);
+  Feed("A", 0, 100);
+  Feed("B", 0, 200);
+  Feed("B", 0, 250);
+  EXPECT_TRUE(outputs_.empty());  // nothing until the terminator
+  Feed("C", 0, 300);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->constituents().size(), 4u);  // A, B, B, C
+}
+
+TEST_F(DetectorTest, AperiodicStarEmitsEvenWithNoMiddles) {
+  Build("A*(A, B, C)", ParamContext::kContinuous);
+  Feed("A", 0, 100);
+  Feed("C", 0, 300);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->constituents().size(), 2u);  // A, C
+}
+
+TEST_F(DetectorTest, AperiodicStarUnrestrictedReEmitsSuperset) {
+  Build("A*(A, B, C)");
+  Feed("A", 0, 100);
+  Feed("B", 0, 200);
+  Feed("C", 0, 300);
+  ASSERT_EQ(outputs_.size(), 1u);
+  Feed("B", 0, 400);
+  Feed("C", 0, 500);
+  ASSERT_EQ(outputs_.size(), 2u);
+  EXPECT_EQ(outputs_[1]->constituents().size(), 4u);  // A, B, B, C'
+}
+
+// ---------------------------------------------------------------- ANY --
+
+TEST_F(DetectorTest, AnyUnrestrictedEmitsAllCombinations) {
+  Build("ANY(2, A, B, C)");
+  Feed("A", 0, 100);
+  Feed("B", 1, 105);  // completes {A,B}
+  Feed("C", 2, 108);  // completes {A,C} and {B,C}
+  EXPECT_EQ(outputs_.size(), 3u);
+  Feed("A", 0, 120);  // completes {A',B} and {A',C}
+  EXPECT_EQ(outputs_.size(), 5u);
+}
+
+TEST_F(DetectorTest, AnyThresholdEqualsArityBehavesLikeConjunction) {
+  Build("ANY(3, A, B, C)");
+  Feed("A", 0, 100);
+  Feed("B", 1, 105);
+  EXPECT_TRUE(outputs_.empty());
+  Feed("C", 2, 108);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->constituents().size(), 3u);
+}
+
+TEST_F(DetectorTest, AnyIgnoresRepeatsOfTheSameInputUntilComplete) {
+  Build("ANY(2, A, B, C)");
+  Feed("A", 0, 100);
+  Feed("A", 0, 110);  // still only one distinct input
+  EXPECT_TRUE(outputs_.empty());
+  Feed("B", 1, 120);  // pairs with both As
+  EXPECT_EQ(outputs_.size(), 2u);
+}
+
+TEST_F(DetectorTest, AnyRecentPairsLatestPerInput) {
+  Build("ANY(2, A, B, C)", ParamContext::kRecent);
+  Feed("A", 0, 100);
+  Feed("A", 0, 110);
+  Feed("B", 1, 120);
+  ASSERT_EQ(outputs_.size(), 1u);
+  // Uses the most recent A (local 110); nothing consumed.
+  bool found_110 = false;
+  for (const auto& c : outputs_[0]->constituents()) {
+    if (c->timestamp().stamps()[0].local == 110) found_110 = true;
+  }
+  EXPECT_TRUE(found_110);
+  Feed("C", 2, 130);  // pairs with the retained latest (B at 120)
+  EXPECT_EQ(outputs_.size(), 2u);
+}
+
+TEST_F(DetectorTest, AnyChronicleConsumesFronts) {
+  Build("ANY(2, A, B, C)", ParamContext::kChronicle);
+  Feed("A", 0, 100);
+  Feed("A", 0, 110);
+  Feed("B", 1, 120);  // consumes A@100
+  Feed("B", 1, 130);  // consumes A@110
+  Feed("B", 1, 140);  // no other input buffered: buffered itself
+  ASSERT_EQ(outputs_.size(), 2u);
+  EXPECT_EQ(outputs_[0]->constituents()[0]->timestamp().stamps()[0].local,
+            100);
+  EXPECT_EQ(outputs_[1]->constituents()[0]->timestamp().stamps()[0].local,
+            110);
+}
+
+TEST_F(DetectorTest, AnyTimestampIsMaxOfChosenConstituents) {
+  Build("ANY(2, A, B, C)");
+  Feed("A", 0, 100);
+  Feed("B", 1, 105);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->timestamp(),
+            CompositeTimestamp::MaxOf({PrimitiveTimestamp{0, 10, 100},
+                                       PrimitiveTimestamp{1, 10, 105}}));
+}
+
+// -------------------------------------------------------------- P / + --
+
+TEST_F(DetectorTest, PlusFiresOnceAfterDelay) {
+  Build("A + 50t");
+  Feed("A", 0, 100);
+  EXPECT_TRUE(outputs_.empty());
+  detector_->AdvanceClockTo(149);
+  EXPECT_TRUE(outputs_.empty());
+  detector_->AdvanceClockTo(150);
+  ASSERT_EQ(outputs_.size(), 1u);
+  // The temporal constituent carries the host-site stamp at tick 150.
+  EXPECT_EQ(outputs_[0]->constituents()[1]->timestamp().stamps()[0].local,
+            150);
+  detector_->AdvanceClockTo(1000);  // one-shot: no further firing
+  EXPECT_EQ(outputs_.size(), 1u);
+}
+
+TEST_F(DetectorTest, PlusRecentSupersedesPending) {
+  Build("A + 50t", ParamContext::kRecent);
+  Feed("A", 0, 100);
+  Feed("A", 0, 120);  // supersedes; only the newer fires
+  detector_->AdvanceClockTo(200);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0]->constituents()[0]->timestamp().stamps()[0].local,
+            120);
+}
+
+TEST_F(DetectorTest, PeriodicFiresEveryPeriodUntilTerminated) {
+  Build("P(A, 100t, B)", ParamContext::kRecent);
+  Feed("A", 0, 100);
+  detector_->AdvanceClockTo(450);  // fires at 200, 300, 400
+  EXPECT_EQ(outputs_.size(), 3u);
+  Feed("B", 0, 460);
+  detector_->AdvanceClockTo(1000);  // window closed: no more firings
+  EXPECT_EQ(outputs_.size(), 3u);
+}
+
+TEST_F(DetectorTest, PeriodicStarDeliversTicksAtTerminator) {
+  Build("P*(A, 100t, B)", ParamContext::kRecent);
+  Feed("A", 0, 100);
+  detector_->AdvanceClockTo(450);
+  EXPECT_TRUE(outputs_.empty());
+  Feed("B", 0, 460);
+  ASSERT_EQ(outputs_.size(), 1u);
+  // A + 3 ticks + B.
+  EXPECT_EQ(outputs_[0]->constituents().size(), 5u);
+}
+
+TEST_F(DetectorTest, TimerStampsUseHostSiteAndTruncation) {
+  Build("A + 50t");
+  Feed("A", 0, 100);
+  detector_->AdvanceClockTo(200);
+  ASSERT_EQ(outputs_.size(), 1u);
+  const auto& tick = outputs_[0]->constituents()[1]->timestamp().stamps()[0];
+  EXPECT_EQ(tick.site, 0u);
+  EXPECT_EQ(tick.local, 150);
+  EXPECT_EQ(tick.global, 15);
+}
+
+// ---------------------------------------------------- graph plumbing --
+
+TEST_F(DetectorTest, NestedExpressionsCompose) {
+  Build("(A ; B) and C");
+  Feed("A", 0, 100);
+  Feed("B", 0, 200);
+  Feed("C", 1, 210);  // concurrent with B (globals 20 vs 21)
+  ASSERT_EQ(outputs_.size(), 1u);
+  // Timestamp is Max over all three primitives: A's stamp is dominated,
+  // B's and C's are concurrent maxima.
+  EXPECT_EQ(outputs_[0]->timestamp().size(), 2u);
+}
+
+TEST_F(DetectorTest, OrPassesThroughBothSides) {
+  Build("A or B");
+  Feed("A", 0, 100);
+  Feed("B", 1, 200);
+  Feed("C", 2, 300);  // not part of the rule
+  EXPECT_EQ(outputs_.size(), 2u);
+  EXPECT_EQ(detector_->events_dropped(), 1u);
+}
+
+TEST_F(DetectorTest, SharedSubexpressionsReuseNodes) {
+  Detector::Options options;
+  detector_ = std::make_unique<Detector>(&registry_, options);
+  auto e1 = ParseExpr("(A ; B) and C", registry_, {});
+  auto e2 = ParseExpr("(A ; B) or D", registry_, {});
+  CHECK_OK(e1);
+  CHECK_OK(e2);
+  CHECK_OK(detector_->AddRule("r1", *e1, nullptr));
+  const size_t nodes_after_first = detector_->num_nodes();
+  CHECK_OK(detector_->AddRule("r2", *e2, nullptr));
+  // r2 adds only: primitive D, and the OR node — (A ; B) is shared.
+  EXPECT_EQ(detector_->num_nodes(), nodes_after_first + 2);
+}
+
+TEST_F(DetectorTest, CanonicalizationUnifiesCommutedRules) {
+  Detector::Options options;
+  options.canonicalize_expressions = true;
+  detector_ = std::make_unique<Detector>(&registry_, options);
+  auto e1 = ParseExpr("A and B", registry_, {});
+  auto e2 = ParseExpr("B and A", registry_, {});
+  CHECK_OK(e1);
+  CHECK_OK(e2);
+  CHECK_OK(detector_->AddRule("r1", *e1, nullptr));
+  const size_t nodes = detector_->num_nodes();
+  CHECK_OK(detector_->AddRule("r2", *e2, nullptr));
+  // The commuted spelling compiles to the same node.
+  EXPECT_EQ(detector_->num_nodes(), nodes);
+}
+
+TEST_F(DetectorTest, MultipleRulesFireIndependently) {
+  Detector::Options options;
+  detector_ = std::make_unique<Detector>(&registry_, options);
+  int r1_fires = 0, r2_fires = 0;
+  auto e1 = ParseExpr("A ; B", registry_, {});
+  auto e2 = ParseExpr("A and C", registry_, {});
+  CHECK_OK(detector_->AddRule("r1", *e1,
+                              [&](const EventPtr&) { ++r1_fires; }));
+  CHECK_OK(detector_->AddRule("r2", *e2,
+                              [&](const EventPtr&) { ++r2_fires; }));
+  Feed("A", 0, 100);
+  Feed("B", 0, 200);
+  Feed("C", 1, 300);
+  EXPECT_EQ(r1_fires, 1);
+  EXPECT_EQ(r2_fires, 1);
+  EXPECT_EQ(detector_->rules().size(), 2u);
+}
+
+TEST_F(DetectorTest, StatsCountFedAndDropped) {
+  Build("A ; B");
+  Feed("A", 0, 100);
+  Feed("C", 0, 150);
+  Feed("D", 0, 160);
+  Feed("B", 0, 200);
+  EXPECT_EQ(detector_->events_fed(), 4u);
+  EXPECT_EQ(detector_->events_dropped(), 2u);
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,166 @@
+// Tests of the event model: attribute values, the type registry, event
+// construction (timestamp propagation via Max), and workload generators.
+
+#include "event/event.h"
+
+#include <gtest/gtest.h>
+
+#include "event/generator.h"
+#include "event/registry.h"
+
+namespace sentineld {
+namespace {
+
+PrimitiveTimestamp Make(SiteId site, GlobalTicks global, LocalTicks local) {
+  return PrimitiveTimestamp{site, global, local};
+}
+
+TEST(AttributeValue, TypedAccessors) {
+  EXPECT_EQ(AttributeValue(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(AttributeValue(2.5).AsDouble(), 2.5);
+  EXPECT_TRUE(AttributeValue(true).AsBool());
+  EXPECT_EQ(AttributeValue(std::string("x")).AsString(), "x");
+}
+
+TEST(AttributeValue, ToStringByType) {
+  EXPECT_EQ(AttributeValue(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(AttributeValue(std::string("hi")).ToString(), "\"hi\"");
+  EXPECT_EQ(AttributeValue(false).ToString(), "false");
+}
+
+TEST(EventTypeRegistry, RegisterAndLookup) {
+  EventTypeRegistry registry;
+  auto a = registry.Register("deposit", EventClass::kDatabase);
+  ASSERT_TRUE(a.ok());
+  auto b = registry.Register("withdraw", EventClass::kDatabase);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(*registry.Lookup("deposit"), *a);
+  EXPECT_EQ(registry.NameOf(*b), "withdraw");
+  EXPECT_FALSE(registry.Lookup("missing").ok());
+}
+
+TEST(EventTypeRegistry, RejectsDuplicatesAndEmptyNames) {
+  EventTypeRegistry registry;
+  ASSERT_TRUE(registry.Register("x", EventClass::kExplicit).ok());
+  EXPECT_EQ(registry.Register("x", EventClass::kExplicit).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.Register("", EventClass::kExplicit).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EventTypeRegistry, GetOrRegisterChecksClass) {
+  EventTypeRegistry registry;
+  auto a = registry.GetOrRegister("x", EventClass::kExplicit);
+  ASSERT_TRUE(a.ok());
+  auto again = registry.GetOrRegister("x", EventClass::kExplicit);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*a, *again);
+  EXPECT_FALSE(registry.GetOrRegister("x", EventClass::kTemporal).ok());
+}
+
+TEST(Event, PrimitiveHasSingletonTimestamp) {
+  const auto e = Event::MakePrimitive(3, Make(1, 8, 80));
+  EXPECT_TRUE(e->is_primitive());
+  EXPECT_EQ(e->type(), 3u);
+  EXPECT_EQ(e->timestamp().size(), 1u);
+  EXPECT_EQ(e->site(), 1u);
+}
+
+TEST(Event, CompositeTimestampIsMaxOverConstituents) {
+  const auto a = Event::MakePrimitive(0, Make(1, 5, 50));
+  const auto b = Event::MakePrimitive(1, Make(2, 8, 85));
+  const auto c = Event::MakePrimitive(2, Make(3, 8, 82));
+  const auto composite = Event::MakeComposite(9, {a, b, c});
+  // (1,5,50) happens before both others and is dropped by Max.
+  EXPECT_EQ(composite->timestamp(),
+            CompositeTimestamp::MaxOf({Make(2, 8, 85), Make(3, 8, 82)}));
+  EXPECT_FALSE(composite->is_primitive());
+  EXPECT_EQ(composite->constituents().size(), 3u);
+}
+
+TEST(Event, CollectPrimitivesFlattensNesting) {
+  const auto a = Event::MakePrimitive(0, Make(1, 5, 50));
+  const auto b = Event::MakePrimitive(1, Make(2, 8, 85));
+  const auto inner = Event::MakeComposite(9, {a, b});
+  const auto c = Event::MakePrimitive(2, Make(3, 9, 95));
+  const auto outer = Event::MakeComposite(10, {inner, c});
+  std::vector<EventPtr> primitives;
+  CollectPrimitives(outer, primitives);
+  ASSERT_EQ(primitives.size(), 3u);
+  EXPECT_EQ(primitives[0], a);
+  EXPECT_EQ(primitives[1], b);
+  EXPECT_EQ(primitives[2], c);
+}
+
+TEST(Generator, ValidatesConfig) {
+  WorkloadConfig config;
+  config.num_sites = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(Generator, IsDeterministicGivenSeed) {
+  WorkloadConfig config;
+  config.num_events = 50;
+  Rng rng1(99), rng2(99);
+  const auto plan1 = GenerateWorkload(config, rng1);
+  const auto plan2 = GenerateWorkload(config, rng2);
+  ASSERT_EQ(plan1.size(), plan2.size());
+  for (size_t i = 0; i < plan1.size(); ++i) {
+    EXPECT_EQ(plan1[i].when, plan2[i].when);
+    EXPECT_EQ(plan1[i].site, plan2[i].site);
+    EXPECT_EQ(plan1[i].type, plan2[i].type);
+  }
+}
+
+TEST(Generator, ProducesTimeOrderedPlanWithinBounds) {
+  WorkloadConfig config;
+  config.num_events = 500;
+  Rng rng(7);
+  const auto plan = GenerateWorkload(config, rng);
+  ASSERT_EQ(plan.size(), 500u);
+  for (size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_GE(plan[i].when, plan[i - 1].when);
+  }
+  for (const auto& e : plan) {
+    EXPECT_LT(e.site, config.num_sites);
+    EXPECT_LT(e.type, config.num_types);
+  }
+}
+
+TEST(Generator, SkewConcentratesTypes) {
+  WorkloadConfig config;
+  config.num_events = 4000;
+  config.type_skew = 1.2;
+  Rng rng(5);
+  const auto plan = GenerateWorkload(config, rng);
+  std::vector<int> counts(config.num_types, 0);
+  for (const auto& e : plan) counts[e.type]++;
+  // Rank 0 should dominate the tail under Zipf(1.2).
+  EXPECT_GT(counts[0], counts[config.num_types - 1] * 3);
+}
+
+TEST(Generator, BurstRoundRobinsSites) {
+  const auto plan =
+      GenerateBurst(7, {0, 1, 2}, 1'000, 9'000, 10);
+  ASSERT_EQ(plan.size(), 10u);
+  EXPECT_EQ(plan.front().when, 1'000);
+  EXPECT_EQ(plan.back().when, 10'000);
+  EXPECT_EQ(plan[0].site, 0u);
+  EXPECT_EQ(plan[1].site, 1u);
+  EXPECT_EQ(plan[2].site, 2u);
+  EXPECT_EQ(plan[3].site, 0u);
+}
+
+TEST(Generator, MergePlansSortsByTime) {
+  auto a = GenerateBurst(1, {0}, 0, 1000, 3);       // 0, 500, 1000
+  auto b = GenerateBurst(2, {1}, 250, 1000, 3);     // 250, 750, 1250
+  const auto merged = MergePlans(std::move(a), std::move(b));
+  ASSERT_EQ(merged.size(), 6u);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GE(merged[i].when, merged[i - 1].when);
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,157 @@
+// Failure-injection tests: at-least-once (duplicate) delivery with and
+// without dedup, and clock-synchronization failure (the g_g > Pi
+// precondition violated), which is the paper's central soundness
+// condition.
+
+#include <gtest/gtest.h>
+
+#include "dist/runtime.h"
+#include "dist/sequencer.h"
+#include "snoop/parser.h"
+#include "snoop/reference_detector.h"
+#include "timebase/clock_fleet.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+TEST(DuplicateDelivery, SequencerWithoutDedupReleasesDuplicates) {
+  std::vector<EventPtr> released;
+  Sequencer sequencer(0, [&](const EventPtr& e) { released.push_back(e); },
+                      /*dedup=*/false);
+  const auto e = Event::MakePrimitive(0, PrimitiveTimestamp{0, 10, 100});
+  sequencer.Offer(e);
+  sequencer.Offer(e);  // duplicate delivery
+  sequencer.AdvanceTo(1000);
+  EXPECT_EQ(released.size(), 2u);  // overcount
+}
+
+TEST(DuplicateDelivery, SequencerWithDedupDropsDuplicates) {
+  std::vector<EventPtr> released;
+  Sequencer sequencer(0, [&](const EventPtr& e) { released.push_back(e); },
+                      /*dedup=*/true);
+  const auto e = Event::MakePrimitive(0, PrimitiveTimestamp{0, 10, 100});
+  sequencer.Offer(e);
+  sequencer.Offer(e);
+  sequencer.AdvanceTo(1000);
+  EXPECT_EQ(released.size(), 1u);
+  EXPECT_EQ(sequencer.duplicates_dropped(), 1u);
+}
+
+TEST(DuplicateDelivery, RuntimeStaysExactUnderDuplicates) {
+  EventTypeRegistry registry;
+  RuntimeConfig config;
+  config.num_sites = 4;
+  config.seed = 555;
+  config.network.duplicate_prob = 0.3;  // heavy at-least-once faults
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  ASSERT_TRUE(runtime.ok());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  ASSERT_TRUE((*runtime)->AddRuleText("r", "A ; B").ok());
+
+  WorkloadConfig wconfig;
+  wconfig.num_sites = 4;
+  wconfig.num_types = 4;
+  wconfig.num_events = 150;
+  Rng rng(8);
+  ASSERT_TRUE((*runtime)->InjectPlan(GenerateWorkload(wconfig, rng)).ok());
+  (*runtime)->Run();
+
+  // Exactly the oracle's detections despite duplicated messages: the
+  // dedup absorbed them.
+  ReferenceDetector oracle(&registry);
+  auto expr = ParseExpr("A ; B", registry, {});
+  ASSERT_TRUE(expr.ok());
+  auto expected = oracle.Evaluate(*expr, (*runtime)->injected_history());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(Signatures((*runtime)->detections()), Signatures(*expected));
+}
+
+TEST(UnsoundClocks, PolicyValidationCanBeBypassedForAblation) {
+  Rng rng(1);
+  TimebaseConfig config;  // claims Pi = 99ms
+  SyncPolicy policy;
+  policy.sync_interval_ns = 60'000'000'000;  // sync once a minute
+  policy.max_drift_ppm = 5000;               // terrible clocks: 300ms/min
+  // Enforced: rejected.
+  EXPECT_FALSE(ClockFleet::Create(4, config, policy, rng).ok());
+  // Ablation mode: accepted, but the realized precision blows past Pi.
+  policy.enforce_precision = false;
+  auto fleet = ClockFleet::Create(4, config, policy, rng);
+  ASSERT_TRUE(fleet.ok());
+  Rng rng2(2);
+  fleet->AdvanceTo(1, rng2);
+  EXPECT_GT(fleet->RealizedPrecisionAt(50'000'000'000),
+            config.precision_ns);
+}
+
+// The paper's soundness condition in action: when the real skew exceeds
+// g_g, the 2g_g order starts asserting happen-before relations that
+// CONTRADICT real time — the failure mode g_g > Pi exists to prevent.
+TEST(UnsoundClocks, FalseOrderingsAppearWhenPrecisionExceedsGranularity) {
+  TimebaseConfig config;
+  config.precision_ns = 99'000'000;  // the CLAIMED Pi (a lie below)
+  SyncPolicy policy;
+  policy.sync_interval_ns = 60'000'000'000;
+  policy.max_drift_ppm = 20'000;  // up to 1.2s of skew between syncs
+  policy.enforce_precision = false;
+
+  Rng rng(77);
+  auto fleet = ClockFleet::Create(6, config, policy, rng);
+  ASSERT_TRUE(fleet.ok());
+
+  struct Obs {
+    TrueTimeNs when;
+    PrimitiveTimestamp stamp;
+  };
+  std::vector<Obs> observations;
+  TrueTimeNs t = 10'000'000'000;  // deep into the drift
+  for (int i = 0; i < 300; ++i) {
+    t += rng.NextInt(0, 400'000'000);
+    const SiteId site = static_cast<SiteId>(rng.NextBounded(6));
+    observations.push_back({t, fleet->Stamp(site, t, rng)});
+  }
+  int false_orderings = 0;
+  for (const auto& a : observations) {
+    for (const auto& b : observations) {
+      if (HappensBefore(a.stamp, b.stamp) && a.when > b.when) {
+        ++false_orderings;
+      }
+    }
+  }
+  EXPECT_GT(false_orderings, 0)
+      << "with skew >> g_g the 2g_g order must misfire";
+}
+
+// Control: the same drift magnitude with sound synchronization produces
+// no false orderings (same test as timebase_test, tighter assertion).
+TEST(UnsoundClocks, SoundConfigurationHasNoFalseOrderings) {
+  TimebaseConfig config;
+  SyncPolicy policy;  // defaults are sound
+  Rng rng(77);
+  auto fleet = ClockFleet::Create(6, config, policy, rng);
+  ASSERT_TRUE(fleet.ok());
+  struct Obs {
+    TrueTimeNs when;
+    PrimitiveTimestamp stamp;
+  };
+  std::vector<Obs> observations;
+  TrueTimeNs t = 10'000'000'000;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.NextInt(0, 400'000'000);
+    const SiteId site = static_cast<SiteId>(rng.NextBounded(6));
+    observations.push_back({t, fleet->Stamp(site, t, rng)});
+  }
+  for (const auto& a : observations) {
+    for (const auto& b : observations) {
+      if (HappensBefore(a.stamp, b.stamp)) {
+        EXPECT_LT(a.when, b.when + config.precision_ns);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

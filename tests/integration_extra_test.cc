@@ -1,0 +1,151 @@
+// Cross-module integration tests for spots the focused suites touch only
+// lightly: temporal operators (P*, +) running on the distributed
+// runtime's simulated clocks, multi-rule hierarchical deployments with
+// shared placements, and parameter helpers inside ECA conditions.
+
+#include <gtest/gtest.h>
+
+#include "core/sentinel.h"
+#include "dist/hierarchical.h"
+#include "event/params.h"
+#include "snoop/parser.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+TEST(DistributedTemporal, PeriodicStarDeliversAccumulatedTicks) {
+  EventTypeRegistry registry;
+  RuntimeConfig config;
+  config.num_sites = 3;
+  config.seed = 9;
+  config.context = ParamContext::kRecent;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  ASSERT_TRUE(runtime.ok());
+  CHECK_OK(registry.Register("start", EventClass::kExplicit));
+  CHECK_OK(registry.Register("stop", EventClass::kExplicit));
+
+  std::vector<EventPtr> detections;
+  ASSERT_TRUE((*runtime)
+                  ->AddRuleText("heartbeats", "P*(start, 1s, stop)",
+                                [&](const EventPtr& e) {
+                                  detections.push_back(e);
+                                })
+                  .ok());
+  std::vector<PlannedEvent> plan;
+  plan.push_back({1'000'000'000, 1, *registry.Lookup("start"), {}});
+  plan.push_back({6'000'000'000, 2, *registry.Lookup("stop"), {}});
+  ASSERT_TRUE((*runtime)->InjectPlan(plan).ok());
+  const RuntimeStats stats = (*runtime)->Run();
+  ASSERT_EQ(detections.size(), 1u);
+  // start + a few ~1s ticks + stop. The sequencing delay shifts the
+  // window open/close, so allow a range.
+  const size_t constituents = detections[0]->constituents().size();
+  EXPECT_GE(constituents, 4u);
+  EXPECT_LE(constituents, 7u);
+  EXPECT_GT(stats.timers_fired, 0u);
+  // Every temporal constituent is stamped at the detector's host site.
+  for (size_t i = 1; i + 1 < constituents; ++i) {
+    EXPECT_EQ(detections[0]->constituents()[i]->site(),
+              config.detector_site);
+  }
+}
+
+TEST(DistributedTemporal, PlusFiresOnceThroughRuntime) {
+  EventTypeRegistry registry;
+  RuntimeConfig config;
+  config.num_sites = 2;
+  config.seed = 10;
+  config.context = ParamContext::kRecent;
+  config.extra_drain_ns = 4'000'000'000;  // keep clocks running past +2s
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  ASSERT_TRUE(runtime.ok());
+  CHECK_OK(registry.Register("ping", EventClass::kExplicit));
+  uint64_t fired = 0;
+  ASSERT_TRUE((*runtime)
+                  ->AddRuleText("delayed", "ping + 2s",
+                                [&](const EventPtr&) { ++fired; })
+                  .ok());
+  std::vector<PlannedEvent> plan;
+  plan.push_back({1'000'000'000, 1, *registry.Lookup("ping"), {}});
+  ASSERT_TRUE((*runtime)->InjectPlan(plan).ok());
+  (*runtime)->Run();
+  EXPECT_EQ(fired, 1u);
+}
+
+TEST(HierarchicalMultiRule, RulesShareAPlacedStation) {
+  EventTypeRegistry registry;
+  RuntimeConfig config;
+  config.num_sites = 5;
+  config.seed = 44;
+  auto runtime = HierarchicalRuntime::Create(config, &registry);
+  ASSERT_TRUE(runtime.ok());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  auto parse = [&](const char* text) {
+    auto expr = ParseExpr(text, registry, {});
+    CHECK_OK(expr);
+    return *expr;
+  };
+  uint64_t r1 = 0, r2 = 0;
+  std::vector<PlacementSpec> left_at_2{{{0}, 2}};
+  ASSERT_TRUE((*runtime)
+                  ->AddRule("r1", parse("(A ; B) and C"), left_at_2,
+                            [&](const EventPtr&) { ++r1; })
+                  .ok());
+  // Second rule places the SAME subexpression at the same site: the
+  // station and its sub-rule graph are reused.
+  ASSERT_TRUE((*runtime)
+                  ->AddRule("r2", parse("(A ; B) or D"), left_at_2,
+                            [&](const EventPtr&) { ++r2; })
+                  .ok());
+  const auto stations = (*runtime)->stations();
+  ASSERT_EQ(stations.size(), 2u);  // root + one shared leaf
+
+  std::vector<PlannedEvent> plan;
+  plan.push_back({1'000'000'000, 1, *registry.Lookup("A"), {}});
+  plan.push_back({3'000'000'000, 3, *registry.Lookup("B"), {}});
+  plan.push_back({3'200'000'000, 4, *registry.Lookup("C"), {}});
+  plan.push_back({5'000'000'000, 0, *registry.Lookup("D"), {}});
+  ASSERT_TRUE((*runtime)->InjectPlan(plan).ok());
+  (*runtime)->Run();
+  EXPECT_EQ(r1, 1u);  // (A;B) pairs with the concurrent-ish C via AND
+  EXPECT_GE(r2, 1u);  // the OR fires for (A;B) and for D
+}
+
+TEST(EcaWithParamHelpers, ConditionsUseFlattenedParameters) {
+  SentinelService sentinel;
+  CHECK_OK(sentinel.RegisterEventType("trade", EventClass::kDatabase));
+  CHECK_OK(sentinel.RegisterEventType("settle", EventClass::kDatabase));
+
+  int64_t total_volume = 0;
+  RuleSpec spec;
+  spec.name = "settlement-volume";
+  spec.event_expr = "trade ; settle";
+  spec.context = ParamContext::kCumulative;  // merge all pending trades
+  spec.condition = [](const EventPtr& e) {
+    // Fires only when the accumulated trade volume is large enough.
+    return SumIntParam(e, "qty") >= 100;
+  };
+  spec.action = [&](const EventPtr& e) {
+    total_volume += SumIntParam(e, "qty");
+  };
+  ASSERT_TRUE(sentinel.DefineRule(std::move(spec)).ok());
+
+  CHECK_OK(sentinel.Raise("trade", 100,
+                          {{"qty", AttributeValue(int64_t{40})}}));
+  CHECK_OK(sentinel.Raise("trade", 110,
+                          {{"qty", AttributeValue(int64_t{70})}}));
+  CHECK_OK(sentinel.Raise("settle", 200));
+  EXPECT_EQ(total_volume, 110);
+
+  // Below the threshold: detected but suppressed.
+  CHECK_OK(sentinel.Raise("trade", 300,
+                          {{"qty", AttributeValue(int64_t{5})}}));
+  CHECK_OK(sentinel.Raise("settle", 400));
+  EXPECT_EQ(total_volume, 110);
+}
+
+}  // namespace
+}  // namespace sentineld

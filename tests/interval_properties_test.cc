@@ -1,0 +1,125 @@
+// Randomized property tests of the interval machinery (Defs 4.9/4.10,
+// 5.5/5.6) and of the derived global-tick bands (the Figure 1 content),
+// complementing the hand-picked cases in primitive_timestamp_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "timestamp/interval.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomComposite;
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+class IntervalPropertyTest : public ::testing::Test {
+ protected:
+  static constexpr int kIterations = 20000;
+  StampSpace space_{/*sites=*/4, /*global_range=*/14, /*ratio=*/10};
+  Rng rng_{0x1b7e5a1b7e5aULL};
+};
+
+// Open-interval membership implies closed-interval membership (< is
+// stronger than ⪯ on both bounds).
+TEST_F(IntervalPropertyTest, OpenImpliesClosedPrimitive) {
+  for (int i = 0; i < kIterations; ++i) {
+    const auto a = RandomPrimitive(rng_, space_);
+    const auto b = RandomPrimitive(rng_, space_);
+    const auto t = RandomPrimitive(rng_, space_);
+    if (InOpenInterval(t, a, b)) {
+      EXPECT_TRUE(InClosedInterval(t, a, b)) << t << " " << a << " " << b;
+    }
+  }
+}
+
+TEST_F(IntervalPropertyTest, OpenImpliesClosedComposite) {
+  for (int i = 0; i < kIterations / 4; ++i) {
+    const auto a = RandomComposite(rng_, space_);
+    const auto b = RandomComposite(rng_, space_);
+    const auto t = RandomComposite(rng_, space_);
+    if (InOpenInterval(t, a, b)) {
+      EXPECT_TRUE(InClosedInterval(t, a, b));
+    }
+  }
+}
+
+// Membership in (a, b) and in (b, a) are mutually exclusive (a
+// well-formed interval needs a < b, which is asymmetric).
+TEST_F(IntervalPropertyTest, OpenIntervalsAreDirectional) {
+  for (int i = 0; i < kIterations; ++i) {
+    const auto a = RandomPrimitive(rng_, space_);
+    const auto b = RandomPrimitive(rng_, space_);
+    const auto t = RandomPrimitive(rng_, space_);
+    EXPECT_FALSE(InOpenInterval(t, a, b) && InOpenInterval(t, b, a));
+  }
+}
+
+// Bounds are never inside their own open interval but always inside
+// their closed interval (when it is well-formed).
+TEST_F(IntervalPropertyTest, BoundMembership) {
+  for (int i = 0; i < kIterations; ++i) {
+    const auto a = RandomPrimitive(rng_, space_);
+    const auto b = RandomPrimitive(rng_, space_);
+    EXPECT_FALSE(InOpenInterval(a, a, b));
+    EXPECT_FALSE(InOpenInterval(b, a, b));
+    if (WeakPrecedes(a, b)) {
+      EXPECT_TRUE(InClosedInterval(a, a, b)) << a << " " << b;
+      EXPECT_TRUE(InClosedInterval(b, a, b)) << a << " " << b;
+    }
+  }
+}
+
+// The derived global bands agree with the membership predicates for
+// cross-site probes (the Figure 1 derivation, randomized).
+TEST_F(IntervalPropertyTest, OpenBandMatchesCrossSiteMembership) {
+  for (int i = 0; i < kIterations / 2; ++i) {
+    auto a = RandomPrimitive(rng_, space_);
+    auto b = RandomPrimitive(rng_, space_);
+    a.site = 0;
+    b.site = 1;
+    auto t = RandomPrimitive(rng_, space_);
+    t.site = 2;  // distinct from both bounds: pure global comparison
+    const auto band = OpenIntervalGlobalBand(a, b);
+    const bool in_band =
+        band.has_value() && t.global >= band->first && t.global <= band->last;
+    EXPECT_EQ(InOpenInterval(t, a, b), in_band)
+        << t << " in (" << a << ", " << b << ")";
+  }
+}
+
+TEST_F(IntervalPropertyTest, ClosedBandIsNecessaryCrossSite) {
+  for (int i = 0; i < kIterations / 2; ++i) {
+    auto a = RandomPrimitive(rng_, space_);
+    auto b = RandomPrimitive(rng_, space_);
+    a.site = 0;
+    b.site = 1;
+    auto t = RandomPrimitive(rng_, space_);
+    t.site = 2;
+    if (InClosedInterval(t, a, b)) {
+      const auto band = ClosedIntervalGlobalBand(a, b);
+      ASSERT_TRUE(band.has_value());
+      EXPECT_GE(t.global, band->first);
+      EXPECT_LE(t.global, band->last);
+    }
+  }
+}
+
+// Composite interval membership is monotone under `<`: if t is inside
+// (a, b) and t' is between t and b, then t' is inside too.
+TEST_F(IntervalPropertyTest, CompositeOpenIntervalConvexity) {
+  for (int i = 0; i < kIterations / 4; ++i) {
+    const auto a = RandomComposite(rng_, space_);
+    const auto b = RandomComposite(rng_, space_);
+    const auto t = RandomComposite(rng_, space_);
+    const auto t2 = RandomComposite(rng_, space_);
+    if (InOpenInterval(t, a, b) && Before(t, t2) && Before(t2, b)) {
+      EXPECT_TRUE(InOpenInterval(t2, a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,231 @@
+// Tests of the interval-based eligibility policy (the extension
+// addressing the classic "detection-time" anomaly of point-based
+// composite semantics) — occurrence starts, the anomaly itself, policy
+// plumbing, and streaming/declarative agreement under the new policy.
+
+#include <gtest/gtest.h>
+
+#include "dist/runtime.h"
+#include "snoop/detector.h"
+#include "snoop/parser.h"
+#include "snoop/reference_detector.h"
+#include "tests/test_util.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+PrimitiveTimestamp Make(SiteId site, LocalTicks local) {
+  return PrimitiveTimestamp{site, local / 10, local};
+}
+
+TEST(IntervalStart, PrimitiveStartsWhenItOccurs) {
+  const auto e = Event::MakePrimitive(0, Make(1, 100));
+  EXPECT_EQ(e->interval_start(), e->timestamp());
+}
+
+TEST(IntervalStart, CompositeStartIsMinimaOfConstituents) {
+  const auto a = Event::MakePrimitive(0, Make(0, 100));
+  const auto b = Event::MakePrimitive(1, Make(0, 300));
+  const auto pair = Event::MakeComposite(9, {a, b});
+  // End collapses to b's stamp; start to a's.
+  EXPECT_EQ(pair->timestamp(), b->timestamp());
+  EXPECT_EQ(pair->interval_start(), a->timestamp());
+}
+
+TEST(IntervalStart, ConcurrentConstituentsKeepBothEndsAndStarts) {
+  const auto a = Event::MakePrimitive(0, Make(0, 100));
+  const auto b = Event::MakePrimitive(1, Make(1, 105));  // concurrent
+  const auto pair = Event::MakeComposite(9, {a, b});
+  EXPECT_EQ(pair->timestamp().size(), 2u);
+  EXPECT_EQ(pair->interval_start().size(), 2u);
+}
+
+TEST(IntervalStart, NestedStartReachesDeepestConstituent) {
+  const auto a = Event::MakePrimitive(0, Make(0, 100));
+  const auto b = Event::MakePrimitive(1, Make(0, 300));
+  const auto c = Event::MakePrimitive(2, Make(0, 500));
+  const auto inner = Event::MakeComposite(9, {a, b});
+  const auto outer = Event::MakeComposite(10, {inner, c});
+  EXPECT_EQ(outer->interval_start(), a->timestamp());
+}
+
+// The classic anomaly: "B ; (A ; C)" with true order A, B, C.
+// Point-based: (A ; C) is stamped at C, and B < C, so the rule FIRES even
+// though A — part of the supposedly-later operand — preceded B.
+// Interval-based: the rule needs B < start(A ; C) = A, which fails.
+class AnomalyTest : public ::testing::Test {
+ protected:
+  AnomalyTest() {
+    for (const char* name : {"A", "B", "C"}) {
+      CHECK_OK(registry_.Register(name, EventClass::kExplicit));
+    }
+  }
+
+  size_t Detections(IntervalPolicy policy) {
+    Detector::Options options;
+    options.context = ParamContext::kUnrestricted;
+    options.interval_policy = policy;
+    Detector detector(&registry_, options);
+    auto expr = ParseExpr("B ; (A ; C)", registry_, {});
+    CHECK_OK(expr);
+    size_t fired = 0;
+    CHECK_OK(detector.AddRule("rule", *expr,
+                              [&](const EventPtr&) { ++fired; }));
+    // True order A(100) B(300) C(500), all well separated.
+    detector.Feed(Event::MakePrimitive(0, Make(0, 100)));  // A
+    detector.Feed(Event::MakePrimitive(1, Make(0, 300)));  // B
+    detector.Feed(Event::MakePrimitive(2, Make(0, 500)));  // C
+    return fired;
+  }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(AnomalyTest, PointBasedSemanticsExhibitTheAnomaly) {
+  EXPECT_EQ(Detections(IntervalPolicy::kPointBased), 1u);
+}
+
+TEST_F(AnomalyTest, IntervalBasedSemanticsRejectIt) {
+  EXPECT_EQ(Detections(IntervalPolicy::kIntervalBased), 0u);
+}
+
+// A genuinely sequential nesting still fires under both policies.
+TEST_F(AnomalyTest, TrueSequencesFireUnderBothPolicies) {
+  for (IntervalPolicy policy :
+       {IntervalPolicy::kPointBased, IntervalPolicy::kIntervalBased}) {
+    Detector::Options options;
+    options.interval_policy = policy;
+    Detector detector(&registry_, options);
+    auto expr = ParseExpr("B ; (A ; C)", registry_, {});
+    CHECK_OK(expr);
+    size_t fired = 0;
+    CHECK_OK(detector.AddRule("rule", *expr,
+                              [&](const EventPtr&) { ++fired; }));
+    // True order B, A, C: the whole (A ; C) interval is after B.
+    detector.Feed(Event::MakePrimitive(1, Make(0, 100)));  // B
+    detector.Feed(Event::MakePrimitive(0, Make(0, 300)));  // A
+    detector.Feed(Event::MakePrimitive(2, Make(0, 500)));  // C
+    EXPECT_EQ(fired, 1u) << IntervalPolicyToString(policy);
+  }
+}
+
+// Interval-based NOT: a middle whose interval merely OVERLAPS the
+// bound's occurrence no longer blocks unless it is strictly inside.
+TEST_F(AnomalyTest, IntervalNotRequiresContainment) {
+  Detector::Options options;
+  options.interval_policy = IntervalPolicy::kIntervalBased;
+  Detector detector(&registry_, options);
+  auto expr = ParseExpr("not(A ; B)[A, C]", registry_, {});
+  CHECK_OK(expr);
+  size_t fired = 0;
+  CHECK_OK(detector.AddRule("rule", *expr,
+                            [&](const EventPtr&) { ++fired; }));
+  // A(100) A(300) B(400) C(600): the middle (A;B) pairs include
+  // (A@100 ; B@400), which STARTS at the initiator A@100 itself — not
+  // strictly after it — so only (A@300 ; B@400) can block the window of
+  // A@100, and it is strictly inside (100, 600): blocked.
+  detector.Feed(Event::MakePrimitive(0, Make(0, 100)));
+  detector.Feed(Event::MakePrimitive(0, Make(0, 300)));
+  detector.Feed(Event::MakePrimitive(1, Make(0, 400)));
+  detector.Feed(Event::MakePrimitive(2, Make(0, 600)));
+  // Initiator A@100: blocked by (A@300;B@400). Initiator A@300: the only
+  // middle starting after 300 is none (both middles start at 100/300,
+  // not strictly after 300) -> fires.
+  EXPECT_EQ(fired, 1u);
+}
+
+// Streaming equals the declarative oracle under the interval policy for
+// depth-1-style expressions and the anomaly shapes, randomized.
+TEST(IntervalPolicyFuzz, StreamingMatchesOracle) {
+  EventTypeRegistry registry;
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  Rng rng(0x17e2fa1cULL);
+  const StampSpace space{/*sites=*/3, /*global_range=*/8, /*ratio=*/10};
+  const char* exprs[] = {"A ; B", "not(B)[A, C]", "A(A, B, C)",
+                         "A*(A, B, C)", "B ; (A ; C)"};
+  for (const char* expr_text : exprs) {
+    auto expr = ParseExpr(expr_text, registry, {});
+    ASSERT_TRUE(expr.ok());
+    int divergent = 0;
+    for (int round = 0; round < 200; ++round) {
+      std::vector<EventPtr> history;
+      for (int i = 0; i < 10; ++i) {
+        history.push_back(Event::MakePrimitive(
+            static_cast<EventTypeId>(rng.NextBounded(4)),
+            RandomPrimitive(rng, space)));
+      }
+      std::stable_sort(history.begin(), history.end(),
+                       [](const EventPtr& a, const EventPtr& b) {
+                         return a->timestamp().stamps()[0].local <
+                                b->timestamp().stamps()[0].local;
+                       });
+      Detector::Options options;
+      options.interval_policy = IntervalPolicy::kIntervalBased;
+      Detector detector(&registry, options);
+      std::vector<EventPtr> streamed;
+      ASSERT_TRUE(detector
+                      .AddRule("rule", *expr,
+                               [&](const EventPtr& e) {
+                                 streamed.push_back(e);
+                               })
+                      .ok());
+      for (const EventPtr& e : history) detector.Feed(e);
+      ReferenceDetector oracle(&registry,
+                               IntervalPolicy::kIntervalBased);
+      auto expected = oracle.Evaluate(*expr, history);
+      ASSERT_TRUE(expected.ok());
+      if (Signatures(streamed) != Signatures(*expected)) ++divergent;
+    }
+    // "B ; (A ; C)" nests, so the (rare) completion-order divergence of
+    // nested expressions applies; plain operators must be exact.
+    if (std::string(expr_text) == "B ; (A ; C)") {
+      EXPECT_LE(divergent, 6) << expr_text;
+    } else {
+      EXPECT_EQ(divergent, 0) << expr_text;
+    }
+  }
+}
+
+// The policy threads through the distributed runtime end to end.
+TEST(IntervalPolicyDistributed, RuntimeHonorsIntervalPolicy) {
+  for (IntervalPolicy policy :
+       {IntervalPolicy::kPointBased, IntervalPolicy::kIntervalBased}) {
+    EventTypeRegistry registry;
+    RuntimeConfig config;
+    config.num_sites = 3;
+    config.seed = 31;
+    config.interval_policy = policy;
+    auto runtime = DistributedRuntime::Create(config, &registry);
+    ASSERT_TRUE(runtime.ok());
+    for (const char* name : {"A", "B", "C"}) {
+      CHECK_OK(registry.Register(name, EventClass::kExplicit));
+    }
+    uint64_t fired = 0;
+    ASSERT_TRUE((*runtime)
+                    ->AddRuleText("r", "B ; (A ; C)",
+                                  [&](const EventPtr&) { ++fired; })
+                    .ok());
+    // True order A, B, C, each 2s apart (>> 2 g_g): the anomaly shape.
+    std::vector<PlannedEvent> plan;
+    plan.push_back({1'000'000'000, 0, *registry.Lookup("A"), {}});
+    plan.push_back({3'000'000'000, 1, *registry.Lookup("B"), {}});
+    plan.push_back({5'000'000'000, 2, *registry.Lookup("C"), {}});
+    ASSERT_TRUE((*runtime)->InjectPlan(plan).ok());
+    (*runtime)->Run();
+    if (policy == IntervalPolicy::kPointBased) {
+      EXPECT_EQ(fired, 1u);  // the anomaly fires
+    } else {
+      EXPECT_EQ(fired, 0u);  // interval semantics reject it
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

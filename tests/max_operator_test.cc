@@ -1,0 +1,195 @@
+// Tests of the joining procedures and the Max operator (paper Defs
+// 5.7-5.9, Theorem 5.4), including the divergence of the literal Def 5.9
+// case split from max(T1 ∪ T2) (a reproduction finding, see DESIGN.md).
+
+#include "timestamp/max_operator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomComposite;
+using ::sentineld::testing::StampSpace;
+
+PrimitiveTimestamp Make(SiteId site, GlobalTicks global, LocalTicks local) {
+  return PrimitiveTimestamp{site, global, local};
+}
+
+TEST(JoinConcurrent, IsSetUnion) {
+  const auto a = CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(2, 8, 85)});
+  const auto b = CompositeTimestamp::MaxOf({Make(3, 9, 90), Make(4, 8, 78)});
+  ASSERT_EQ(b.size(), 2u);
+  ASSERT_TRUE(Concurrent(a, b));
+  const auto joined = JoinConcurrent(a, b);
+  EXPECT_EQ(joined.size(), 4u);
+  EXPECT_TRUE(joined.IsValid());
+}
+
+TEST(JoinConcurrent, DeduplicatesSharedElements) {
+  const auto a = CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(2, 8, 85)});
+  const auto b = CompositeTimestamp::MaxOf({Make(1, 8, 80), Make(3, 9, 90)});
+  ASSERT_TRUE(Concurrent(a, b));
+  const auto joined = JoinConcurrent(a, b);
+  EXPECT_EQ(joined.size(), 3u);
+}
+
+TEST(JoinIncomparable, KeepsOnlyLatestInformation) {
+  // a's site-1 element is dominated by b's site-1 element; a's site-2
+  // element survives because nothing in b dominates it.
+  const auto a = CompositeTimestamp::MaxOf({Make(1, 5, 50), Make(2, 6, 65)});
+  const auto b = CompositeTimestamp::MaxOf({Make(1, 5, 55), Make(3, 6, 62)});
+  ASSERT_TRUE(Incomparable(a, b));
+  const auto joined = JoinIncomparable(a, b);
+  const std::vector<PrimitiveTimestamp> expected = {
+      Make(1, 5, 55), Make(2, 6, 65), Make(3, 6, 62)};
+  EXPECT_EQ(joined.stamps(), expected);
+}
+
+TEST(Max, EmptyOperandsAreIdentity) {
+  const CompositeTimestamp empty;
+  const auto t = CompositeTimestamp::FromSingle(Make(1, 8, 80));
+  EXPECT_EQ(Max(empty, t), t);
+  EXPECT_EQ(Max(t, empty), t);
+  EXPECT_TRUE(Max(empty, empty).empty());
+}
+
+TEST(Max, OrderedOperandsYieldTheLaterOne) {
+  const auto lo = CompositeTimestamp::FromSingle(Make(1, 2, 20));
+  const auto hi = CompositeTimestamp::FromSingle(Make(2, 9, 90));
+  EXPECT_EQ(Max(lo, hi), hi);
+  EXPECT_EQ(Max(hi, lo), hi);
+}
+
+TEST(Max, ConcurrentOperandsMerge) {
+  const auto a = CompositeTimestamp::FromSingle(Make(1, 8, 80));
+  const auto b = CompositeTimestamp::FromSingle(Make(2, 9, 90));
+  const auto m = Max(a, b);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+// The documented divergence between Def 5.9's literal case split and
+// Theorem 5.4's max(T1 ∪ T2): T2 < T1 yet T2 still contributes a maximum.
+TEST(Max, CaseSplitDivergesFromMaxOfUnion) {
+  const auto t1 = CompositeTimestamp::FromSingle(Make(1, 10, 100));
+  const auto t2 = CompositeTimestamp::MaxOf(
+      {Make(1, 10, 99), Make(2, 9, 95)});
+  ASSERT_EQ(t2.size(), 2u);
+  ASSERT_TRUE(Before(t2, t1));  // the element (1,10,99) is below (1,10,100)
+
+  const auto case_split = MaxCaseSplit(t1, t2);
+  const auto spec = Max(t1, t2);
+  EXPECT_EQ(case_split, t1);  // Def 5.9 literally returns T1
+  // ... but (2,9,95) is concurrent with (1,10,100) and belongs in the
+  // maxima of the union (Def 5.2 / Theorem 5.4).
+  const std::vector<PrimitiveTimestamp> expected = {Make(1, 10, 100),
+                                                    Make(2, 9, 95)};
+  EXPECT_EQ(spec.stamps(), expected);
+  EXPECT_NE(case_split, spec);
+}
+
+class MaxPropertyTest : public ::testing::Test {
+ protected:
+  static constexpr int kIterations = 20000;
+  StampSpace space_{/*sites=*/5, /*global_range=*/8, /*ratio=*/10};
+  Rng rng_{0x5ca1ab1e0ddba115ULL};
+};
+
+// Max always produces a valid composite timestamp containing only
+// elements of its operands (Theorem 5.4's well-formedness half).
+TEST_F(MaxPropertyTest, ProducesValidCompositeFromOperandElements) {
+  for (int i = 0; i < kIterations; ++i) {
+    const auto a = RandomComposite(rng_, space_);
+    const auto b = RandomComposite(rng_, space_);
+    const auto m = Max(a, b);
+    EXPECT_TRUE(m.IsValid());
+    for (const auto& t : m.stamps()) {
+      const bool from_a = std::find(a.stamps().begin(), a.stamps().end(),
+                                    t) != a.stamps().end();
+      const bool from_b = std::find(b.stamps().begin(), b.stamps().end(),
+                                    t) != b.stamps().end();
+      EXPECT_TRUE(from_a || from_b) << t;
+    }
+  }
+}
+
+// The join procedures agree with max(T1 ∪ T2) on their whole domains
+// (these are the branches of Def 5.9 where Theorem 5.4 does hold).
+TEST_F(MaxPropertyTest, JoinsAgreeWithMaxOfUnion) {
+  for (int i = 0; i < kIterations; ++i) {
+    const auto a = RandomComposite(rng_, space_);
+    const auto b = RandomComposite(rng_, space_);
+    if (Concurrent(a, b)) {
+      EXPECT_EQ(JoinConcurrent(a, b), Max(a, b)) << a << " " << b;
+    } else if (Incomparable(a, b)) {
+      EXPECT_EQ(JoinIncomparable(a, b), Max(a, b)) << a << " " << b;
+    }
+  }
+}
+
+// Max is commutative and associative, so propagation order up the event
+// graph cannot change the resulting composite timestamp.
+TEST_F(MaxPropertyTest, CommutativeAndAssociative) {
+  for (int i = 0; i < kIterations; ++i) {
+    const auto a = RandomComposite(rng_, space_);
+    const auto b = RandomComposite(rng_, space_);
+    const auto c = RandomComposite(rng_, space_);
+    EXPECT_EQ(Max(a, b), Max(b, a));
+    EXPECT_EQ(Max(Max(a, b), c), Max(a, Max(b, c)));
+  }
+}
+
+// Max is idempotent and monotone: the result never happens before either
+// operand.
+TEST_F(MaxPropertyTest, IdempotentAndDominating) {
+  for (int i = 0; i < kIterations; ++i) {
+    const auto a = RandomComposite(rng_, space_);
+    const auto b = RandomComposite(rng_, space_);
+    EXPECT_EQ(Max(a, a), a);
+    const auto m = Max(a, b);
+    EXPECT_FALSE(Before(m, a)) << m << " " << a;
+    EXPECT_FALSE(Before(m, b)) << m << " " << b;
+  }
+}
+
+// MaxAll folds pairwise Max; spot-check against direct n-ary union.
+TEST_F(MaxPropertyTest, MaxAllEqualsUnionMax) {
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<CompositeTimestamp> parts;
+    std::vector<PrimitiveTimestamp> all;
+    const int n = static_cast<int>(rng_.NextBounded(5)) + 1;
+    for (int k = 0; k < n; ++k) {
+      parts.push_back(RandomComposite(rng_, space_));
+      all.insert(all.end(), parts.back().stamps().begin(),
+                 parts.back().stamps().end());
+    }
+    EXPECT_EQ(MaxAll(parts), CompositeTimestamp::MaxOf(all));
+  }
+}
+
+// Measures (and documents) how often the literal Def 5.9 case split
+// diverges from the specification; divergence only ever drops stamps that
+// max(union) keeps, never invents elements.
+TEST_F(MaxPropertyTest, CaseSplitOnlyUnderApproximates) {
+  int divergences = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    const auto a = RandomComposite(rng_, space_);
+    const auto b = RandomComposite(rng_, space_);
+    const auto split = MaxCaseSplit(a, b);
+    const auto spec = Max(a, b);
+    if (split == spec) continue;
+    ++divergences;
+    // Every element of the case-split result is in the spec result.
+    for (const auto& t : split.stamps()) {
+      EXPECT_NE(std::find(spec.stamps().begin(), spec.stamps().end(), t),
+                spec.stamps().end());
+    }
+  }
+  EXPECT_GT(divergences, 0) << "expected Def 5.9 divergences in this space";
+}
+
+}  // namespace
+}  // namespace sentineld

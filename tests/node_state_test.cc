@@ -1,0 +1,104 @@
+// Tests of detector state retention and garbage collection: the NOT
+// node's middle pruning, the A node's terminator antichain, and the
+// total_state() metric used for memory accounting. Unbounded state in
+// a streaming detector is an outage in production; these tests pin the
+// bounds the contexts guarantee.
+
+#include <gtest/gtest.h>
+
+#include "snoop/detector.h"
+#include "snoop/parser.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+class NodeStateTest : public ::testing::Test {
+ protected:
+  NodeStateTest() {
+    for (const char* name : {"A", "B", "C", "D"}) {
+      CHECK_OK(registry_.Register(name, EventClass::kExplicit));
+    }
+  }
+
+  void Build(std::string_view expr_text, ParamContext context) {
+    Detector::Options options;
+    options.context = context;
+    detector_ = std::make_unique<Detector>(&registry_, options);
+    auto expr = ParseExpr(expr_text, registry_, {});
+    CHECK_OK(expr);
+    CHECK_OK(detector_->AddRule("rule", *expr, nullptr));
+  }
+
+  void Feed(const std::string& name, LocalTicks local) {
+    const auto type = registry_.Lookup(name);
+    CHECK_OK(type);
+    detector_->Feed(Event::MakePrimitive(
+        *type, PrimitiveTimestamp{0, local / 10, local}));
+  }
+
+  EventTypeRegistry registry_;
+  std::unique_ptr<Detector> detector_;
+};
+
+TEST_F(NodeStateTest, NotRecentPrunesMiddlesOnNewInitiator) {
+  Build("not(B)[A, C]", ParamContext::kRecent);
+  Feed("A", 100);
+  for (int i = 0; i < 50; ++i) Feed("B", 200 + i);
+  const size_t with_middles = detector_->total_state();
+  EXPECT_GE(with_middles, 51u);  // initiator + 50 middles
+  // A new initiator supersedes the old one; all middles before it are
+  // now unreachable and must be pruned.
+  Feed("A", 1000);
+  EXPECT_EQ(detector_->total_state(), 1u);  // just the new initiator
+}
+
+TEST_F(NodeStateTest, NotChroniclePrunesAfterConsumption) {
+  Build("not(B)[A, C]", ParamContext::kChronicle);
+  Feed("A", 100);
+  for (int i = 0; i < 30; ++i) Feed("B", 200 + i);
+  Feed("C", 500);  // consumes the initiator (blocked or not)
+  // No initiators remain, so every middle is dead state.
+  EXPECT_EQ(detector_->total_state(), 0u);
+}
+
+TEST_F(NodeStateTest, SeqBoundedInRecentUnboundedInUnrestricted) {
+  Build("A ; B", ParamContext::kRecent);
+  for (int i = 0; i < 100; ++i) Feed("A", 100 + i);
+  EXPECT_EQ(detector_->total_state(), 1u);  // only the latest initiator
+
+  Build("A ; B", ParamContext::kUnrestricted);
+  for (int i = 0; i < 100; ++i) Feed("A", 100 + i);
+  // Unrestricted semantics genuinely require the full history.
+  EXPECT_EQ(detector_->total_state(), 100u);
+}
+
+TEST_F(NodeStateTest, AperiodicTerminatorAntichainStaysBounded) {
+  Build("A(A, B, C)", ParamContext::kRecent);
+  Feed("A", 100);
+  // A flood of same-site terminators: each dominates the previous, so
+  // the antichain keeps only the earliest (most-blocking) one.
+  for (int i = 0; i < 100; ++i) Feed("C", 200 + i);
+  // window (1) + one terminator stamp.
+  EXPECT_EQ(detector_->total_state(), 2u);
+}
+
+TEST_F(NodeStateTest, AndChronicleDrainsPairedState) {
+  Build("A and B", ParamContext::kChronicle);
+  for (int i = 0; i < 40; ++i) Feed("A", 100 + i);
+  EXPECT_EQ(detector_->total_state(), 40u);
+  for (int i = 0; i < 40; ++i) Feed("B", 200 + i);
+  EXPECT_EQ(detector_->total_state(), 0u);  // all pairs consumed
+}
+
+TEST_F(NodeStateTest, CumulativeAccumulatesThenReleases) {
+  Build("A*(A, B, C)", ParamContext::kContinuous);
+  Feed("A", 100);
+  for (int i = 0; i < 25; ++i) Feed("B", 200 + i);
+  EXPECT_EQ(detector_->total_state(), 26u);  // window + mids
+  Feed("C", 500);  // terminator emits and consumes the window
+  EXPECT_EQ(detector_->total_state(), 0u);
+}
+
+}  // namespace
+}  // namespace sentineld

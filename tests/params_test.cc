@@ -1,0 +1,153 @@
+// Tests of composite parameter computation (event/params.h) and the
+// rule-removal lifecycle.
+
+#include "event/params.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sentinel.h"
+#include "snoop/detector.h"
+#include "snoop/parser.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+EventPtr Prim(EventTypeId type, LocalTicks local, ParameterList params) {
+  return Event::MakePrimitive(
+      type, PrimitiveTimestamp{0, local / 10, local}, std::move(params));
+}
+
+class ParamsTest : public ::testing::Test {
+ protected:
+  ParamsTest() {
+    a_ = Prim(0, 100, {{"amount", AttributeValue(int64_t{10})},
+                       {"user", AttributeValue(std::string("ada"))}});
+    b_ = Prim(1, 200, {{"amount", AttributeValue(int64_t{32})}});
+    c_ = Prim(0, 300, {{"amount", AttributeValue(int64_t{5})}});
+    inner_ = Event::MakeComposite(10, {a_, b_});
+    outer_ = Event::MakeComposite(11, {inner_, c_});
+  }
+
+  EventPtr a_, b_, c_, inner_, outer_;
+};
+
+TEST_F(ParamsTest, FlattenParamsWalksDepthFirst) {
+  const auto params = FlattenParams(outer_);
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].first, "amount");
+  EXPECT_EQ(params[0].second.AsInt(), 10);
+  EXPECT_EQ(params[1].first, "user");
+  EXPECT_EQ(params[3].second.AsInt(), 5);
+}
+
+TEST_F(ParamsTest, FindParamReturnsFirstAndLast) {
+  auto first = FindParam(outer_, "amount");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->AsInt(), 10);
+  auto last = FindLastParam(outer_, "amount");
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->AsInt(), 5);
+  EXPECT_FALSE(FindParam(outer_, "missing").has_value());
+}
+
+TEST_F(ParamsTest, FindConstituentsByType) {
+  EXPECT_EQ(FindConstituent(outer_, 1), b_);
+  EXPECT_EQ(FindConstituent(outer_, 42), nullptr);
+  const auto zeros = FindConstituents(outer_, 0);
+  ASSERT_EQ(zeros.size(), 2u);
+  EXPECT_EQ(zeros[0], a_);
+  EXPECT_EQ(zeros[1], c_);
+}
+
+TEST_F(ParamsTest, SumIntParamAggregates) {
+  EXPECT_EQ(SumIntParam(outer_, "amount"), 47);
+  EXPECT_EQ(SumIntParam(outer_, "user"), 0);  // not an int
+}
+
+TEST_F(ParamsTest, DescribeOccurrenceNamesTypes) {
+  EventTypeRegistry registry;
+  CHECK_OK(registry.Register("deposit", EventClass::kDatabase));
+  CHECK_OK(registry.Register("withdraw", EventClass::kDatabase));
+  const std::string text = DescribeOccurrence(inner_, registry);
+  EXPECT_NE(text.find("deposit@site0"), std::string::npos);
+  EXPECT_NE(text.find("amount=10"), std::string::npos);
+  EXPECT_NE(text.find("withdraw@site0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+
+class RuleRemovalTest : public ::testing::Test {
+ protected:
+  RuleRemovalTest() {
+    CHECK_OK(service_.RegisterEventType("x", EventClass::kExplicit));
+  }
+  SentinelService service_;
+};
+
+TEST_F(RuleRemovalTest, DroppedRuleStopsFiring) {
+  int fires = 0;
+  RuleSpec spec;
+  spec.name = "r";
+  spec.event_expr = "x";
+  spec.action = [&](const EventPtr&) { ++fires; };
+  ASSERT_TRUE(service_.DefineRule(std::move(spec)).ok());
+  CHECK_OK(service_.Raise("x", 10));
+  EXPECT_EQ(fires, 1);
+  CHECK_OK(service_.DropRule("r"));
+  CHECK_OK(service_.Raise("x", 20));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(RuleRemovalTest, NameReusableAfterDrop) {
+  RuleSpec spec;
+  spec.name = "r";
+  spec.event_expr = "x";
+  ASSERT_TRUE(service_.DefineRule(spec).ok());
+  CHECK_OK(service_.DropRule("r"));
+  EXPECT_EQ(service_.DropRule("r").code(), StatusCode::kNotFound);
+  int fires = 0;
+  spec.action = [&](const EventPtr&) { ++fires; };
+  ASSERT_TRUE(service_.DefineRule(std::move(spec)).ok());
+  CHECK_OK(service_.Raise("x", 10));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(RuleRemovalTest, OtherRulesUnaffectedByDrop) {
+  int r1 = 0, r2 = 0;
+  RuleSpec s1;
+  s1.name = "r1";
+  s1.event_expr = "x";
+  s1.action = [&](const EventPtr&) { ++r1; };
+  RuleSpec s2;
+  s2.name = "r2";
+  s2.event_expr = "x";  // shares the graph node
+  s2.action = [&](const EventPtr&) { ++r2; };
+  ASSERT_TRUE(service_.DefineRule(std::move(s1)).ok());
+  ASSERT_TRUE(service_.DefineRule(std::move(s2)).ok());
+  CHECK_OK(service_.DropRule("r1"));
+  CHECK_OK(service_.Raise("x", 10));
+  EXPECT_EQ(r1, 0);
+  EXPECT_EQ(r2, 1);
+}
+
+TEST(DetectorRemoveRule, DirectDetectorApi) {
+  EventTypeRegistry registry;
+  CHECK_OK(registry.Register("x", EventClass::kExplicit));
+  Detector::Options options;
+  Detector detector(&registry, options);
+  auto expr = ParseExpr("x", registry, {});
+  CHECK_OK(expr);
+  int fires = 0;
+  CHECK_OK(detector.AddRule("r", *expr,
+                            [&](const EventPtr&) { ++fires; }));
+  EXPECT_EQ(detector.RemoveRule("nope").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(detector.RemoveRule("r").ok());
+  EXPECT_TRUE(detector.rules().empty());
+  detector.Feed(
+      Event::MakePrimitive(0, PrimitiveTimestamp{0, 1, 10}));
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,178 @@
+// Tests of the event-expression parser (grammar, precedence, durations,
+// error reporting).
+
+#include "snoop/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() {
+    for (const char* name : {"A", "B", "C", "D"}) {
+      CHECK_OK(registry_.Register(name, EventClass::kExplicit));
+    }
+  }
+
+  ExprPtr MustParse(std::string_view text) {
+    auto expr = ParseExpr(text, registry_, options_);
+    CHECK_OK(expr);
+    return *expr;
+  }
+
+  std::string Canon(std::string_view text) {
+    return MustParse(text)->ToString(registry_);
+  }
+
+  EventTypeRegistry registry_;
+  ParserOptions options_;
+};
+
+TEST_F(ParserTest, SinglePrimitive) {
+  const auto expr = MustParse("A");
+  EXPECT_EQ(expr->kind, OpKind::kPrimitive);
+  EXPECT_EQ(registry_.NameOf(expr->primitive_type), "A");
+}
+
+TEST_F(ParserTest, BinaryOperators) {
+  EXPECT_EQ(Canon("A ; B"), "(A ; B)");
+  EXPECT_EQ(Canon("A and B"), "(A and B)");
+  EXPECT_EQ(Canon("A or B"), "(A or B)");
+}
+
+TEST_F(ParserTest, PrecedenceOrBelowAndBelowSeq) {
+  // ';' binds tighter than 'and', which binds tighter than 'or'.
+  EXPECT_EQ(Canon("A or B and C ; D"), "(A or (B and (C ; D)))");
+  EXPECT_EQ(Canon("A ; B and C or D"), "(((A ; B) and C) or D)");
+}
+
+TEST_F(ParserTest, ParenthesesOverridePrecedence) {
+  EXPECT_EQ(Canon("(A or B) and C"), "((A or B) and C)");
+  EXPECT_EQ(Canon("A ; (B or C)"), "(A ; (B or C))");
+}
+
+TEST_F(ParserTest, LeftAssociativity) {
+  EXPECT_EQ(Canon("A ; B ; C"), "((A ; B) ; C)");
+}
+
+TEST_F(ParserTest, NotOperator) {
+  const auto expr = MustParse("not(B)[A, C]");
+  EXPECT_EQ(expr->kind, OpKind::kNot);
+  EXPECT_EQ(Canon("not(B)[A, C]"), "not(B)[A, C]");
+  EXPECT_EQ(Canon("not(A ; B)[A, C and D]"), "not((A ; B))[A, (C and D)]");
+}
+
+TEST_F(ParserTest, AperiodicOperators) {
+  EXPECT_EQ(Canon("A(A, B, C)"), "A(A, B, C)");
+  EXPECT_EQ(Canon("A*(A, B, C)"), "A*(A, B, C)");
+  const auto expr = MustParse("A*(A, B, C)");
+  EXPECT_EQ(expr->kind, OpKind::kAperiodicStar);
+}
+
+TEST_F(ParserTest, OperatorNamesActAsEventNamesWithoutCall) {
+  // "A" not followed by '(' is the event named A.
+  const auto expr = MustParse("A ; A");
+  EXPECT_EQ(expr->kind, OpKind::kSeq);
+  EXPECT_EQ(expr->children[0]->kind, OpKind::kPrimitive);
+}
+
+TEST_F(ParserTest, PeriodicOperators) {
+  // Default timebase: local tick = 10ms, so 500ms = 50 ticks.
+  const auto expr = MustParse("P(A, 500ms, B)");
+  EXPECT_EQ(expr->kind, OpKind::kPeriodic);
+  EXPECT_EQ(expr->period_ticks, 50);
+  const auto star = MustParse("P*(A, 2s, B)");
+  EXPECT_EQ(star->kind, OpKind::kPeriodicStar);
+  EXPECT_EQ(star->period_ticks, 200);
+}
+
+TEST_F(ParserTest, PlusOperator) {
+  const auto expr = MustParse("A + 30t");
+  EXPECT_EQ(expr->kind, OpKind::kPlus);
+  EXPECT_EQ(expr->period_ticks, 30);
+  // Chained: (A + t1) + t2.
+  const auto chained = MustParse("A + 10t + 20t");
+  EXPECT_EQ(chained->kind, OpKind::kPlus);
+  EXPECT_EQ(chained->children[0]->kind, OpKind::kPlus);
+}
+
+TEST_F(ParserTest, AnyOperator) {
+  const auto expr = MustParse("ANY(2, A, B, C)");
+  EXPECT_EQ(expr->kind, OpKind::kAny);
+  EXPECT_EQ(expr->any_threshold, 2);
+  EXPECT_EQ(expr->children.size(), 3u);
+  EXPECT_EQ(Canon("ANY(2, A, B, C)"), "ANY(2, A, B, C)");
+  EXPECT_EQ(Canon("ANY(2, A ; B, C, D)"), "ANY(2, (A ; B), C, D)");
+}
+
+TEST_F(ParserTest, AnyOperatorErrors) {
+  EXPECT_FALSE(ParseExpr("ANY(0, A, B)", registry_, options_).ok());
+  EXPECT_FALSE(ParseExpr("ANY(3, A, B)", registry_, options_).ok());
+  EXPECT_FALSE(ParseExpr("ANY(1, A)", registry_, options_).ok());
+  EXPECT_FALSE(ParseExpr("ANY(A, B)", registry_, options_).ok());
+}
+
+TEST_F(ParserTest, UnknownEventNameIsNotFound) {
+  const auto result = ParseExpr("Zebra", registry_, options_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ParserTest, AutoRegisterCreatesTypes) {
+  ParserOptions options;
+  options.auto_register = true;
+  const auto result = ParseExpr("Alpha ; Beta", registry_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(registry_.Lookup("Alpha").ok());
+  EXPECT_TRUE(registry_.Lookup("Beta").ok());
+}
+
+TEST_F(ParserTest, SyntaxErrorsCarryPosition) {
+  const auto result = ParseExpr("A ;; B", registry_, options_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("position"), std::string::npos);
+  EXPECT_FALSE(ParseExpr("A ; (B", registry_, options_).ok());
+  EXPECT_FALSE(ParseExpr("not(B)[A]", registry_, options_).ok());
+  EXPECT_FALSE(ParseExpr("A @ B", registry_, options_).ok());
+  EXPECT_FALSE(ParseExpr("", registry_, options_).ok());
+  EXPECT_FALSE(ParseExpr("A B", registry_, options_).ok());
+}
+
+TEST_F(ParserTest, DurationErrors) {
+  // Not a multiple of the 10ms local granularity.
+  EXPECT_FALSE(ParseExpr("A + 5ms", registry_, options_).ok());
+  EXPECT_FALSE(ParseExpr("A + 0s", registry_, options_).ok());
+  EXPECT_FALSE(ParseExpr("P(A, B, C)", registry_, options_).ok());
+  EXPECT_FALSE(ParseExpr("A + 3parsecs", registry_, options_).ok());
+}
+
+TEST_F(ParserTest, ParseDurationUnits) {
+  TimebaseConfig timebase;  // 10ms ticks
+  EXPECT_EQ(*ParseDuration("1s", timebase), 100);
+  EXPECT_EQ(*ParseDuration("250ms", timebase), 25);
+  EXPECT_EQ(*ParseDuration("10000us", timebase), 1);
+  EXPECT_EQ(*ParseDuration("42t", timebase), 42);
+  EXPECT_FALSE(ParseDuration("1ns", timebase).ok());
+}
+
+TEST_F(ParserTest, CollectPrimitiveTypesDedupes) {
+  const auto expr = MustParse("(A ; B) and (A or C)");
+  const auto types = CollectPrimitiveTypes(expr);
+  EXPECT_EQ(types.size(), 3u);
+}
+
+TEST_F(ParserTest, ValidateRejectsMalformedTrees) {
+  // Hand-built malformed tree: SEQ with one child.
+  auto bad = std::make_shared<Expr>();
+  bad->kind = OpKind::kSeq;
+  bad->children.push_back(Prim(0));
+  EXPECT_FALSE(ValidateExpr(bad).ok());
+  EXPECT_FALSE(ValidateExpr(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace sentineld

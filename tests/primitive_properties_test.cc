@@ -1,0 +1,229 @@
+// Property-based tests of the formal claims about primitive timestamps:
+// Theorem 4.1 (strict partial ordering of <), Prop 4.1 (local/global
+// coupling), Prop 4.2 (1)-(10). Each property is swept over randomized
+// triples from several timestamp spaces (parameterized by site count and
+// global range) so both dense-concurrency and sparse regimes are covered.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "timestamp/primitive_timestamp.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+struct SpaceParam {
+  const char* name;
+  StampSpace space;
+  int iterations;
+};
+
+class PrimitivePropertyTest : public ::testing::TestWithParam<SpaceParam> {
+ protected:
+  Rng rng_{0xfeedbeefcafef00dULL};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, PrimitivePropertyTest,
+    ::testing::Values(
+        SpaceParam{"dense", {/*sites=*/3, /*global_range=*/4, /*ratio=*/10},
+                   20000},
+        SpaceParam{"medium", {/*sites=*/5, /*global_range=*/12, /*ratio=*/10},
+                   20000},
+        SpaceParam{"sparse", {/*sites=*/8, /*global_range=*/100, /*ratio=*/5},
+                   20000}),
+    [](const auto& info) { return info.param.name; });
+
+// Theorem 4.1: < is irreflexive.
+TEST_P(PrimitivePropertyTest, HappensBeforeIrreflexive) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto t = RandomPrimitive(rng_, GetParam().space);
+    EXPECT_FALSE(HappensBefore(t, t)) << t;
+  }
+}
+
+// Theorem 4.1: < is transitive.
+TEST_P(PrimitivePropertyTest, HappensBeforeTransitive) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    const auto c = RandomPrimitive(rng_, GetParam().space);
+    if (HappensBefore(a, b) && HappensBefore(b, c)) {
+      EXPECT_TRUE(HappensBefore(a, c)) << a << " " << b << " " << c;
+    }
+  }
+}
+
+// Prop 4.2(1): < is asymmetric.
+TEST_P(PrimitivePropertyTest, HappensBeforeAsymmetric) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    if (HappensBefore(a, b)) { EXPECT_FALSE(HappensBefore(b, a)) << a << " " << b; }
+  }
+}
+
+// Prop 4.2(2): ⪯ is antisymmetric up to ~ (a ⪯ b and b ⪯ a imply a ~ b).
+TEST_P(PrimitivePropertyTest, WeakPrecedesAntisymmetricUpToConcurrency) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    if (WeakPrecedes(a, b) && WeakPrecedes(b, a)) {
+      EXPECT_TRUE(Concurrent(a, b)) << a << " " << b;
+    }
+  }
+}
+
+// Prop 4.2(3): trichotomy — exactly one of <, >, ~ holds.
+TEST_P(PrimitivePropertyTest, ExactlyOneRelationHolds) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    const int count = (HappensBefore(a, b) ? 1 : 0) +
+                      (HappensBefore(b, a) ? 1 : 0) +
+                      (Concurrent(a, b) ? 1 : 0);
+    EXPECT_EQ(count, 1) << a << " " << b;
+  }
+}
+
+// Prop 4.2(4): totality of ⪯ — a ⪯ b or b ⪯ a (or both).
+TEST_P(PrimitivePropertyTest, WeakPrecedesIsTotal) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    EXPECT_TRUE(WeakPrecedes(a, b) || WeakPrecedes(b, a)) << a << " " << b;
+  }
+}
+
+// Prop 4.2(5): same-site concurrency implies simultaneity.
+TEST_P(PrimitivePropertyTest, SameSiteConcurrencyIsSimultaneity) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    auto b = RandomPrimitive(rng_, GetParam().space);
+    b.site = a.site;  // force the same-site case
+    b.global = b.local / GetParam().space.ratio;
+    if (Concurrent(a, b)) { EXPECT_TRUE(Simultaneous(a, b)) << a << " " << b; }
+  }
+}
+
+// Prop 4.2(6) first half: simultaneity substitutes under < ...
+TEST_P(PrimitivePropertyTest, SimultaneitySubstitutesUnderHappensBefore) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = a;  // simultaneous (and structurally equal)
+    const auto c = RandomPrimitive(rng_, GetParam().space);
+    if (HappensBefore(a, c)) { EXPECT_TRUE(HappensBefore(b, c)); }
+  }
+}
+
+// ... Prop 4.2(6) second half: mere concurrency does NOT substitute, and ~
+// is not transitive. The paper's counterexample globals 1, 2, 3 at
+// distinct sites.
+TEST(PrimitiveCounterexamples, ConcurrencyIsNotTransitive) {
+  const PrimitiveTimestamp t1{1, 1, 10};
+  const PrimitiveTimestamp t2{2, 2, 20};
+  const PrimitiveTimestamp t3{3, 3, 30};
+  EXPECT_TRUE(Concurrent(t1, t2));
+  EXPECT_TRUE(Concurrent(t2, t3));
+  EXPECT_FALSE(Concurrent(t1, t3));  // t1 < t3 (1 < 3 - 1)
+  EXPECT_TRUE(HappensBefore(t1, t3));
+}
+
+TEST(PrimitiveCounterexamples, ConcurrencyDoesNotSubstituteUnderBefore) {
+  // T(e1) ~ T(e2) and T(e1) < T(e3) do not give T(e2) < T(e3).
+  const PrimitiveTimestamp e1{1, 1, 10};
+  const PrimitiveTimestamp e2{2, 2, 20};
+  const PrimitiveTimestamp e3{3, 3, 30};
+  EXPECT_TRUE(Concurrent(e1, e2));
+  EXPECT_TRUE(HappensBefore(e1, e3));
+  EXPECT_FALSE(HappensBefore(e2, e3));
+}
+
+// Prop 4.2(7): a < b and b ~ c imply a ⪯ c.
+TEST_P(PrimitivePropertyTest, BeforeThenConcurrentImpliesWeakPrecedes) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    const auto c = RandomPrimitive(rng_, GetParam().space);
+    if (HappensBefore(a, b) && Concurrent(b, c)) {
+      EXPECT_TRUE(WeakPrecedes(a, c)) << a << " " << b << " " << c;
+    }
+  }
+}
+
+// Prop 4.2(8): a ~ b and b < c imply a ⪯ c.
+TEST_P(PrimitivePropertyTest, ConcurrentThenBeforeImpliesWeakPrecedes) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    const auto c = RandomPrimitive(rng_, GetParam().space);
+    if (Concurrent(a, b) && HappensBefore(b, c)) {
+      EXPECT_TRUE(WeakPrecedes(a, c)) << a << " " << b << " " << c;
+    }
+  }
+}
+
+// Prop 4.2(9): ¬(a < b) implies b ⪯ a.
+TEST_P(PrimitivePropertyTest, NotBeforeImpliesReverseWeakPrecedes) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    if (!HappensBefore(a, b)) { EXPECT_TRUE(WeakPrecedes(b, a)) << a << " " << b; }
+  }
+}
+
+// Prop 4.2(10): neither before in either direction implies concurrent
+// (definitionally true; kept as a regression guard on Classify).
+TEST_P(PrimitivePropertyTest, NeitherBeforeImpliesConcurrent) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    if (!HappensBefore(a, b) && !HappensBefore(b, a)) {
+      EXPECT_TRUE(Concurrent(a, b)) << a << " " << b;
+    }
+  }
+}
+
+// Prop 4.1: with model-consistent stamps (local drives global), local
+// order bounds global order and concurrency bounds global distance.
+TEST_P(PrimitivePropertyTest, LocalGlobalCoupling) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    if (a.local < b.local) { EXPECT_LE(a.global, b.global) << a << " " << b; }
+    if (a.local == b.local) { EXPECT_EQ(a.global, b.global) << a << " " << b; }
+    if (Concurrent(a, b)) {
+      EXPECT_LE(std::abs(a.global - b.global), 1) << a << " " << b;
+    }
+  }
+}
+
+// Classify agrees with the individual predicates on random pairs.
+TEST_P(PrimitivePropertyTest, ClassifyConsistentWithPredicates) {
+  for (int i = 0; i < GetParam().iterations; ++i) {
+    const auto a = RandomPrimitive(rng_, GetParam().space);
+    const auto b = RandomPrimitive(rng_, GetParam().space);
+    switch (Classify(a, b)) {
+      case PrimitiveRelation::kBefore:
+        EXPECT_TRUE(HappensBefore(a, b));
+        break;
+      case PrimitiveRelation::kAfter:
+        EXPECT_TRUE(HappensBefore(b, a));
+        break;
+      case PrimitiveRelation::kSimultaneous:
+        EXPECT_TRUE(Simultaneous(a, b));
+        break;
+      case PrimitiveRelation::kConcurrent:
+        EXPECT_TRUE(Concurrent(a, b));
+        EXPECT_FALSE(Simultaneous(a, b));
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,178 @@
+// Unit tests for primitive distributed timestamps (paper Defs 4.6-4.10).
+
+#include "timestamp/primitive_timestamp.h"
+
+#include <gtest/gtest.h>
+
+#include "timestamp/interval.h"
+
+namespace sentineld {
+namespace {
+
+PrimitiveTimestamp Make(SiteId site, GlobalTicks global, LocalTicks local) {
+  return PrimitiveTimestamp{site, global, local};
+}
+
+TEST(PrimitiveTimestamp, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(Make(3, 8, 81).ToString(), "(3, 8, 81)");
+}
+
+TEST(PrimitiveTimestamp, StructuralEqualityComparesAllFields) {
+  EXPECT_EQ(Make(1, 2, 20), Make(1, 2, 20));
+  EXPECT_NE(Make(1, 2, 20), Make(2, 2, 20));
+  EXPECT_NE(Make(1, 2, 20), Make(1, 2, 21));
+}
+
+// Def 4.7(1), same-site branch: order by local ticks.
+TEST(HappensBefore, SameSiteOrdersByLocalTicks) {
+  EXPECT_TRUE(HappensBefore(Make(1, 8, 80), Make(1, 8, 81)));
+  EXPECT_FALSE(HappensBefore(Make(1, 8, 81), Make(1, 8, 80)));
+  EXPECT_FALSE(HappensBefore(Make(1, 8, 80), Make(1, 8, 80)));
+}
+
+// Def 4.7(1), cross-site branch: needs a full global tick of slack
+// (g1 < g2 - 1), absorbing the synchronization error Pi < g_g.
+TEST(HappensBefore, CrossSiteRequiresTwoGlobalTicksOfSeparation) {
+  // Adjacent global ticks are NOT ordered across sites.
+  EXPECT_FALSE(HappensBefore(Make(1, 8, 80), Make(2, 9, 90)));
+  EXPECT_FALSE(HappensBefore(Make(1, 8, 80), Make(2, 8, 85)));
+  // Two ticks apart: ordered.
+  EXPECT_TRUE(HappensBefore(Make(1, 8, 80), Make(2, 10, 100)));
+  EXPECT_FALSE(HappensBefore(Make(2, 10, 100), Make(1, 8, 80)));
+}
+
+TEST(HappensBefore, CrossSiteIgnoresLocalTicks) {
+  // Local ticks of different sites are not directly comparable; only the
+  // global component matters cross-site.
+  EXPECT_FALSE(HappensBefore(Make(1, 9, 90), Make(2, 9, 99)));
+  EXPECT_TRUE(HappensBefore(Make(1, 7, 79), Make(2, 9, 90)));
+}
+
+// Def 4.7(2): simultaneity is same site + same local tick.
+TEST(Simultaneous, RequiresSameSiteAndLocal) {
+  EXPECT_TRUE(Simultaneous(Make(1, 8, 80), Make(1, 8, 80)));
+  EXPECT_FALSE(Simultaneous(Make(1, 8, 80), Make(2, 8, 80)));
+  EXPECT_FALSE(Simultaneous(Make(1, 8, 80), Make(1, 8, 81)));
+}
+
+// Def 4.7(3): concurrency is the absence of happen-before both ways.
+TEST(Concurrent, HoldsForAdjacentGlobalTicksAcrossSites) {
+  EXPECT_TRUE(Concurrent(Make(1, 8, 80), Make(2, 9, 90)));
+  EXPECT_TRUE(Concurrent(Make(1, 8, 80), Make(2, 7, 75)));
+  EXPECT_FALSE(Concurrent(Make(1, 8, 80), Make(2, 10, 100)));
+  EXPECT_FALSE(Concurrent(Make(1, 8, 80), Make(1, 8, 81)));
+}
+
+TEST(Concurrent, SimultaneousIsSpecialCaseOfConcurrent) {
+  // Prop 4.2(5): same-site concurrency collapses to simultaneity.
+  const auto a = Make(1, 8, 80);
+  const auto b = Make(1, 8, 80);
+  EXPECT_TRUE(Concurrent(a, b));
+  EXPECT_TRUE(Simultaneous(a, b));
+}
+
+// Def 4.8: weakened less-or-equal.
+TEST(WeakPrecedes, IsBeforeOrConcurrent) {
+  EXPECT_TRUE(WeakPrecedes(Make(1, 6, 60), Make(2, 9, 90)));   // <
+  EXPECT_TRUE(WeakPrecedes(Make(1, 8, 80), Make(2, 9, 90)));   // ~
+  EXPECT_TRUE(WeakPrecedes(Make(2, 9, 90), Make(1, 8, 80)));   // ~ (both ways)
+  EXPECT_FALSE(WeakPrecedes(Make(2, 9, 90), Make(1, 6, 60)));  // >
+}
+
+TEST(Classify, ReportsTheUniqueRelation) {
+  EXPECT_EQ(Classify(Make(1, 6, 60), Make(2, 9, 90)),
+            PrimitiveRelation::kBefore);
+  EXPECT_EQ(Classify(Make(2, 9, 90), Make(1, 6, 60)),
+            PrimitiveRelation::kAfter);
+  EXPECT_EQ(Classify(Make(1, 8, 80), Make(1, 8, 80)),
+            PrimitiveRelation::kSimultaneous);
+  EXPECT_EQ(Classify(Make(1, 8, 80), Make(2, 9, 90)),
+            PrimitiveRelation::kConcurrent);
+}
+
+TEST(CanonicalLess, OrdersBySiteThenGlobalThenLocal) {
+  EXPECT_TRUE(CanonicalLess(Make(1, 9, 90), Make(2, 1, 10)));
+  EXPECT_TRUE(CanonicalLess(Make(1, 1, 10), Make(1, 2, 20)));
+  EXPECT_TRUE(CanonicalLess(Make(1, 1, 10), Make(1, 1, 11)));
+  EXPECT_FALSE(CanonicalLess(Make(1, 1, 10), Make(1, 1, 10)));
+}
+
+// ---- Intervals (Defs 4.9 / 4.10, Figure 1) ----
+
+TEST(PrimitiveInterval, OpenIntervalMembership) {
+  const auto a = Make(1, 5, 50);
+  const auto b = Make(2, 12, 120);
+  EXPECT_TRUE(InOpenInterval(Make(3, 8, 80), a, b));
+  // Too close to either bound (concurrent with it): not inside.
+  EXPECT_FALSE(InOpenInterval(Make(3, 6, 60), a, b));
+  EXPECT_FALSE(InOpenInterval(Make(3, 11, 110), a, b));
+  // Bounds themselves are excluded.
+  EXPECT_FALSE(InOpenInterval(a, a, b));
+  EXPECT_FALSE(InOpenInterval(b, a, b));
+}
+
+TEST(PrimitiveInterval, OpenIntervalMalformedBoundsAreEmpty) {
+  const auto a = Make(1, 5, 50);
+  const auto b = Make(2, 6, 60);  // concurrent with a: not an interval
+  EXPECT_FALSE(InOpenInterval(Make(3, 5, 55), a, b));
+}
+
+TEST(PrimitiveInterval, ClosedIntervalMembership) {
+  const auto a = Make(1, 5, 50);
+  const auto b = Make(2, 12, 120);
+  // The closed interval admits stamps concurrent with the bounds.
+  EXPECT_TRUE(InClosedInterval(Make(3, 5, 55), a, b));
+  EXPECT_TRUE(InClosedInterval(Make(3, 12, 125), a, b));
+  EXPECT_TRUE(InClosedInterval(a, a, b));
+  EXPECT_TRUE(InClosedInterval(b, a, b));
+  EXPECT_FALSE(InClosedInterval(Make(3, 3, 30), a, b));
+  EXPECT_FALSE(InClosedInterval(Make(3, 14, 140), a, b));
+}
+
+TEST(PrimitiveInterval, ClosedIntervalOfConcurrentBoundsIsNonEmpty) {
+  // Def 4.10 only requires a ⪯ b, so concurrent bounds form a (small)
+  // closed interval.
+  const auto a = Make(1, 8, 80);
+  const auto b = Make(2, 9, 90);
+  EXPECT_TRUE(InClosedInterval(Make(3, 8, 85), a, b));
+}
+
+// The derived global-tick bands below Defs 4.9/4.10 (the content of
+// Figure 1): open interval admits globals {a+2,...,b-2}; closed interval
+// admits {a-1,...,b+1}.
+TEST(PrimitiveInterval, GlobalBandsMatchPaperDerivation) {
+  const auto a = Make(1, 5, 50);
+  const auto b = Make(2, 12, 120);
+  const auto open = OpenIntervalGlobalBand(a, b);
+  ASSERT_TRUE(open.has_value());
+  EXPECT_EQ(open->first, 7);
+  EXPECT_EQ(open->last, 10);
+  const auto closed = ClosedIntervalGlobalBand(a, b);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->first, 4);
+  EXPECT_EQ(closed->last, 13);
+}
+
+TEST(PrimitiveInterval, OpenBandEmptyWhenBoundsTooClose) {
+  // Non-empty cross-site open interval needs a.global < b.global - 3.
+  const auto a = Make(1, 5, 50);
+  EXPECT_FALSE(OpenIntervalGlobalBand(a, Make(2, 8, 80)).has_value());
+  EXPECT_TRUE(OpenIntervalGlobalBand(a, Make(2, 9, 90)).has_value());
+}
+
+// Every global tick in the open band is realizable by an actual stamp and
+// every stamp outside it (cross-site) is rejected.
+TEST(PrimitiveInterval, BandAgreesWithMembership) {
+  const auto a = Make(1, 5, 50);
+  const auto b = Make(2, 12, 120);
+  const auto band = OpenIntervalGlobalBand(a, b);
+  ASSERT_TRUE(band.has_value());
+  for (GlobalTicks global = 0; global <= 20; ++global) {
+    const auto t = Make(3, global, global * 10);
+    const bool in_band = global >= band->first && global <= band->last;
+    EXPECT_EQ(InOpenInterval(t, a, b), in_band) << "global=" << global;
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

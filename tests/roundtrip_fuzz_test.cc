@@ -1,0 +1,163 @@
+// Round-trip fuzzing of the expression language: random AST → canonical
+// string → parse → canonical string must be a fixed point, and the
+// re-parsed tree must be structurally identical. Also: min/max duality
+// properties of composite timestamps and the event interval invariant
+// start ⪯̃ end.
+
+#include <gtest/gtest.h>
+
+#include "snoop/parser.h"
+#include "tests/test_util.h"
+#include "timestamp/max_operator.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+/// Random expression over ALL operators (temporal ones included — the
+/// parser round trip does not need a clock).
+ExprPtr RandomExprAll(Rng& rng, int depth) {
+  if (depth <= 0 || rng.NextBool(0.3)) {
+    return Prim(static_cast<EventTypeId>(rng.NextBounded(4)));
+  }
+  const int64_t ticks = 10 * (1 + static_cast<int64_t>(rng.NextBounded(9)));
+  switch (rng.NextBounded(10)) {
+    case 0:
+      return And(RandomExprAll(rng, depth - 1), RandomExprAll(rng, depth - 1));
+    case 1:
+      return Or(RandomExprAll(rng, depth - 1), RandomExprAll(rng, depth - 1));
+    case 2:
+      return Seq(RandomExprAll(rng, depth - 1), RandomExprAll(rng, depth - 1));
+    case 3:
+      return Not(RandomExprAll(rng, depth - 1), RandomExprAll(rng, depth - 1),
+                 RandomExprAll(rng, depth - 1));
+    case 4:
+      return Aperiodic(RandomExprAll(rng, depth - 1),
+                       RandomExprAll(rng, depth - 1),
+                       RandomExprAll(rng, depth - 1));
+    case 5:
+      return AperiodicStar(RandomExprAll(rng, depth - 1),
+                           RandomExprAll(rng, depth - 1),
+                           RandomExprAll(rng, depth - 1));
+    case 6:
+      return Periodic(RandomExprAll(rng, depth - 1), ticks,
+                      RandomExprAll(rng, depth - 1));
+    case 7:
+      return PeriodicStar(RandomExprAll(rng, depth - 1), ticks,
+                          RandomExprAll(rng, depth - 1));
+    case 8:
+      return Plus(RandomExprAll(rng, depth - 1), ticks);
+    default:
+      return Any(1 + static_cast<int>(rng.NextBounded(3)),
+                 {RandomExprAll(rng, depth - 1), RandomExprAll(rng, depth - 1),
+                  RandomExprAll(rng, depth - 1)});
+  }
+}
+
+bool StructurallyEqual(const ExprPtr& a, const ExprPtr& b) {
+  if (a->kind != b->kind || a->primitive_type != b->primitive_type ||
+      a->period_ticks != b->period_ticks ||
+      a->any_threshold != b->any_threshold ||
+      a->children.size() != b->children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!StructurallyEqual(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+TEST(RoundTripFuzz, CanonicalStringIsAParseFixedPoint) {
+  EventTypeRegistry registry;
+  for (const char* name : {"Ea", "Eb", "Ec", "Ed"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  Rng rng(0x20a2d721bULL);
+  for (int round = 0; round < 500; ++round) {
+    const ExprPtr expr = RandomExprAll(rng, 3);
+    ASSERT_TRUE(ValidateExpr(expr).ok());
+    const std::string text = expr->ToString(registry);
+    auto reparsed = ParseExpr(text, registry, {});
+    ASSERT_TRUE(reparsed.ok())
+        << "round " << round << ": '" << text << "': " << reparsed.status();
+    EXPECT_TRUE(StructurallyEqual(expr, *reparsed)) << text;
+    EXPECT_EQ((*reparsed)->ToString(registry), text);
+  }
+}
+
+// ---- min/max duality ----
+
+TEST(MinMaxDuality, MinOfKeepsExactlyTheNonDominatedBelow) {
+  Rng rng(0xd0a1ULL);
+  const StampSpace space{/*sites=*/4, /*global_range=*/8, /*ratio=*/10};
+  for (int round = 0; round < 5000; ++round) {
+    std::vector<PrimitiveTimestamp> set;
+    const int n = 1 + static_cast<int>(rng.NextBounded(6));
+    for (int i = 0; i < n; ++i) set.push_back(RandomPrimitive(rng, space));
+    const auto minima = CompositeTimestamp::MinOf(set);
+    ASSERT_FALSE(minima.empty());
+    EXPECT_TRUE(minima.IsValid());
+    for (const auto& t : set) {
+      bool dominated = false;
+      for (const auto& t1 : set) {
+        if (HappensBefore(t1, t)) dominated = true;
+      }
+      const bool kept = std::find(minima.stamps().begin(),
+                                  minima.stamps().end(),
+                                  t) != minima.stamps().end();
+      EXPECT_EQ(kept, !dominated);
+    }
+    // Duality: min of set = max of set with the order reversed; spot
+    // check via the relation: every max element weakly follows every
+    // min element.
+    const auto maxima = CompositeTimestamp::MaxOf(set);
+    EXPECT_TRUE(WeakPrecedes(minima, maxima));
+  }
+}
+
+// Every event's interval start weakly precedes its end — the invariant
+// the interval-based eligibility policy relies on.
+TEST(MinMaxDuality, EventStartWeaklyPrecedesEnd) {
+  Rng rng(0x57a27e4dULL);
+  const StampSpace space{/*sites=*/4, /*global_range=*/10, /*ratio=*/10};
+  for (int round = 0; round < 5000; ++round) {
+    std::vector<EventPtr> leaves;
+    const int n = 1 + static_cast<int>(rng.NextBounded(5));
+    for (int i = 0; i < n; ++i) {
+      leaves.push_back(
+          Event::MakePrimitive(0, RandomPrimitive(rng, space)));
+    }
+    const EventPtr event =
+        n == 1 ? leaves[0] : Event::MakeComposite(9, std::move(leaves));
+    EXPECT_TRUE(WeakPrecedes(event->interval_start(), event->timestamp()))
+        << event->interval_start() << " vs " << event->timestamp();
+    EXPECT_TRUE(event->interval_start().IsValid());
+  }
+}
+
+// MinAll equals MinOf over the union (dual of Theorem 5.4's RHS).
+TEST(MinMaxDuality, MinAllEqualsMinOfUnion) {
+  Rng rng(0xa11d0a1ULL);
+  const StampSpace space{/*sites=*/4, /*global_range=*/8, /*ratio=*/10};
+  for (int round = 0; round < 3000; ++round) {
+    std::vector<CompositeTimestamp> parts;
+    std::vector<PrimitiveTimestamp> all;
+    const int n = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int i = 0; i < n; ++i) {
+      std::vector<PrimitiveTimestamp> set;
+      const int k = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int j = 0; j < k; ++j) set.push_back(RandomPrimitive(rng, space));
+      parts.push_back(CompositeTimestamp::MinOf(set));
+      all.insert(all.end(), parts.back().stamps().begin(),
+                 parts.back().stamps().end());
+    }
+    EXPECT_EQ(MinAll(parts), CompositeTimestamp::MinOf(all));
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,123 @@
+// Tests of the Schwiderski [10] baseline and the paper's Sec. 5.1
+// non-transitivity counterexample against it.
+
+#include "timestamp/schwiderski.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "timestamp/composite_timestamp.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+PrimitiveTimestamp Make(SiteId site, GlobalTicks global, LocalTicks local) {
+  return PrimitiveTimestamp{site, global, local};
+}
+
+TEST(SchwiderskiTimestamp, KeepsAllConstituents) {
+  // Unlike CompositeTimestamp, dominated stamps are NOT filtered — the
+  // baseline carries the whole constituent set.
+  const schwiderski::Timestamp t(
+      {Make(1, 5, 50), Make(1, 8, 80), Make(2, 8, 85)});
+  EXPECT_EQ(t.size(), 3u);
+  const auto filtered = CompositeTimestamp::MaxOf(
+      {Make(1, 5, 50), Make(1, 8, 80), Make(2, 8, 85)});
+  EXPECT_EQ(filtered.size(), 2u);
+}
+
+TEST(SchwiderskiTimestamp, JoinIsPlainUnion) {
+  const schwiderski::Timestamp a({Make(1, 5, 50)});
+  const schwiderski::Timestamp b({Make(1, 8, 80), Make(1, 5, 50)});
+  const auto j = schwiderski::Join(a, b);
+  EXPECT_EQ(j.size(), 2u);  // dedup but no max-filter
+}
+
+// The paper's Sec. 5.1 counterexample (values repaired per DESIGN.md):
+// under the baseline's existential ordering, T(e1) < T(e2) < T(e3) yet
+// T(e1) ~ T(e3), so the baseline's `<` is not transitive and not a strict
+// partial order.
+TEST(SchwiderskiCounterexample, HappenBeforeIsNotTransitive) {
+  // T(e1) carries a stale site-1 element (8,89) dominated within T(e2).
+  const schwiderski::Timestamp e1({Make(1, 8, 89)});
+  const schwiderski::Timestamp e2({Make(1, 9, 90), Make(2, 8, 80)});
+  const schwiderski::Timestamp e3({Make(2, 9, 95)});
+
+  EXPECT_TRUE(schwiderski::Before(e1, e2));   // (1,8,89) < (1,9,90)
+  EXPECT_TRUE(schwiderski::Before(e2, e3));   // (2,8,80) < (2,9,95)
+  EXPECT_FALSE(schwiderski::Before(e1, e3));  // globals 8 vs 9: concurrent
+  EXPECT_TRUE(schwiderski::Concurrent(e1, e3));
+}
+
+// Because the baseline never discards stale constituents, joins grow
+// without bound while the paper's Max stays at the maxima only.
+TEST(SchwiderskiTimestamp, JoinGrowsWhereMaxCompacts) {
+  Rng rng(0xabad1deaULL);
+  const StampSpace space{/*sites=*/3, /*global_range=*/50, /*ratio=*/10};
+  schwiderski::Timestamp baseline;
+  CompositeTimestamp ours;
+  for (int i = 0; i < 200; ++i) {
+    const auto p = RandomPrimitive(rng, space);
+    baseline = schwiderski::Join(baseline,
+                                 schwiderski::Timestamp({p}));
+    std::vector<PrimitiveTimestamp> merged(ours.stamps().begin(),
+                                           ours.stamps().end());
+    merged.push_back(p);
+    ours = CompositeTimestamp::MaxOf(merged);
+  }
+  EXPECT_GT(baseline.size(), 50u);
+  EXPECT_LE(ours.size(), 3u);  // at most one maximum chain per pair of
+                               // adjacent global ticks across 3 sites
+}
+
+// Randomized sweep: the baseline ordering must exhibit transitivity
+// violations (this is the paper's core criticism of [10]).
+TEST(SchwiderskiProperties, TransitivityViolationsExist) {
+  Rng rng(0x900df00dULL);
+  const StampSpace space{/*sites=*/4, /*global_range=*/6, /*ratio=*/10};
+  int violations = 0;
+  for (int i = 0; i < 30000; ++i) {
+    auto random_ts = [&] {
+      std::vector<PrimitiveTimestamp> set;
+      const int n = static_cast<int>(rng.NextBounded(3)) + 1;
+      for (int k = 0; k < n; ++k) set.push_back(RandomPrimitive(rng, space));
+      return schwiderski::Timestamp(std::move(set));
+    };
+    const auto a = random_ts();
+    const auto b = random_ts();
+    const auto c = random_ts();
+    if (schwiderski::Before(a, b) && schwiderski::Before(b, c) &&
+        !schwiderski::Before(a, c)) {
+      ++violations;
+    }
+  }
+  EXPECT_GT(violations, 0);
+}
+
+// Contrast: the paper's ordering admits no violations on the same inputs
+// (after max-filtering the same sets into valid composite stamps).
+TEST(SchwiderskiProperties, PaperOrderingHasNoViolationsOnSameSets) {
+  Rng rng(0x900df00dULL);
+  const StampSpace space{/*sites=*/4, /*global_range=*/6, /*ratio=*/10};
+  for (int i = 0; i < 30000; ++i) {
+    auto random_ts = [&] {
+      std::vector<PrimitiveTimestamp> set;
+      const int n = static_cast<int>(rng.NextBounded(3)) + 1;
+      for (int k = 0; k < n; ++k) set.push_back(RandomPrimitive(rng, space));
+      return CompositeTimestamp::MaxOf(set);
+    };
+    const auto a = random_ts();
+    const auto b = random_ts();
+    const auto c = random_ts();
+    if (Before(a, b) && Before(b, c)) {
+      ASSERT_TRUE(Before(a, c)) << a << " " << b << " " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,252 @@
+// Tests of the public façade: centralized SentinelService (ECA dispatch,
+// contexts, temporal rules, rule management) and the DistributedSentinel
+// wrapper.
+
+#include "core/sentinel.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+class SentinelServiceTest : public ::testing::Test {
+ protected:
+  SentinelServiceTest() {
+    CHECK_OK(service_.RegisterEventType("deposit", EventClass::kDatabase));
+    CHECK_OK(service_.RegisterEventType("withdraw", EventClass::kDatabase));
+    CHECK_OK(service_.RegisterEventType("audit", EventClass::kExplicit));
+  }
+
+  SentinelService service_;
+};
+
+TEST_F(SentinelServiceTest, EcaRuleFiresActionWhenConditionHolds) {
+  int actions = 0;
+  RuleSpec spec;
+  spec.name = "big-transfer";
+  spec.event_expr = "deposit ; withdraw";
+  spec.condition = [](const EventPtr& e) {
+    // Fire only when the withdraw (second constituent) is large.
+    const auto& params = e->constituents()[1]->params();
+    return !params.empty() && params[0].second.AsInt() > 1000;
+  };
+  spec.action = [&](const EventPtr&) { ++actions; };
+  auto rule = service_.DefineRule(std::move(spec));
+  ASSERT_TRUE(rule.ok());
+
+  CHECK_OK(service_.Raise("deposit", 100));
+  CHECK_OK(service_.Raise(
+      "withdraw", 200, {{"amount", AttributeValue(int64_t{5000})}}));
+  EXPECT_EQ(actions, 1);
+  const RuleStats& stats = service_.rule_stats(*rule);
+  EXPECT_EQ(stats.detections, 1u);
+  EXPECT_EQ(stats.fired, 1u);
+
+  // A small withdraw is detected but suppressed by the condition.
+  CHECK_OK(service_.Raise("deposit", 300));
+  CHECK_OK(service_.Raise("withdraw", 400,
+                          {{"amount", AttributeValue(int64_t{10})}}));
+  EXPECT_EQ(actions, 1);
+  EXPECT_EQ(service_.rule_stats(*rule).suppressed, 1u);
+}
+
+TEST_F(SentinelServiceTest, NullConditionAlwaysFires) {
+  int actions = 0;
+  RuleSpec spec;
+  spec.name = "any";
+  spec.event_expr = "deposit";
+  spec.action = [&](const EventPtr&) { ++actions; };
+  ASSERT_TRUE(service_.DefineRule(std::move(spec)).ok());
+  CHECK_OK(service_.Raise("deposit", 10));
+  CHECK_OK(service_.Raise("deposit", 20));
+  EXPECT_EQ(actions, 2);
+}
+
+TEST_F(SentinelServiceTest, DisabledRuleSkips) {
+  int actions = 0;
+  RuleSpec spec;
+  spec.name = "r";
+  spec.event_expr = "deposit";
+  spec.action = [&](const EventPtr&) { ++actions; };
+  auto rule = service_.DefineRule(std::move(spec));
+  ASSERT_TRUE(rule.ok());
+  CHECK_OK(service_.EnableRule("r", false));
+  CHECK_OK(service_.Raise("deposit", 10));
+  EXPECT_EQ(actions, 0);
+  EXPECT_EQ(service_.rule_stats(*rule).skipped_disabled, 1u);
+  CHECK_OK(service_.EnableRule("r", true));
+  CHECK_OK(service_.Raise("deposit", 20));
+  EXPECT_EQ(actions, 1);
+}
+
+TEST_F(SentinelServiceTest, RulesWithDifferentContextsCoexist) {
+  int recent = 0, chronicle = 0;
+  RuleSpec r1;
+  r1.name = "recent";
+  r1.event_expr = "deposit ; withdraw";
+  r1.context = ParamContext::kRecent;
+  r1.action = [&](const EventPtr&) { ++recent; };
+  RuleSpec r2;
+  r2.name = "chronicle";
+  r2.event_expr = "deposit ; withdraw";
+  r2.context = ParamContext::kChronicle;
+  r2.action = [&](const EventPtr&) { ++chronicle; };
+  ASSERT_TRUE(service_.DefineRule(std::move(r1)).ok());
+  ASSERT_TRUE(service_.DefineRule(std::move(r2)).ok());
+
+  CHECK_OK(service_.Raise("deposit", 100));
+  CHECK_OK(service_.Raise("deposit", 110));
+  CHECK_OK(service_.Raise("withdraw", 200));
+  CHECK_OK(service_.Raise("withdraw", 210));
+  // Recent: each withdraw pairs with the latest deposit -> 2 firings.
+  EXPECT_EQ(recent, 2);
+  // Chronicle: FIFO pairing, also 2 firings but different constituents;
+  // a third withdraw finds no initiator in chronicle.
+  EXPECT_EQ(chronicle, 2);
+  CHECK_OK(service_.Raise("withdraw", 220));
+  EXPECT_EQ(recent, 3);
+  EXPECT_EQ(chronicle, 2);
+}
+
+TEST_F(SentinelServiceTest, RaiseRejectsNonMonotoneTime) {
+  CHECK_OK(service_.Raise("deposit", 100));
+  const Status status = service_.Raise("deposit", 50);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SentinelServiceTest, RaiseRejectsUnknownEvent) {
+  EXPECT_EQ(service_.Raise("nope", 10).code(), StatusCode::kNotFound);
+}
+
+TEST_F(SentinelServiceTest, DuplicateRuleNameRejected) {
+  RuleSpec spec;
+  spec.name = "dup";
+  spec.event_expr = "deposit";
+  ASSERT_TRUE(service_.DefineRule(spec).ok());
+  EXPECT_EQ(service_.DefineRule(spec).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(SentinelServiceTest, TemporalRuleFiresViaClockAdvance) {
+  int fires = 0;
+  RuleSpec spec;
+  spec.name = "reminder";
+  spec.event_expr = "deposit + 50t";
+  spec.action = [&](const EventPtr&) { ++fires; };
+  ASSERT_TRUE(service_.DefineRule(std::move(spec)).ok());
+  CHECK_OK(service_.Raise("deposit", 100));
+  service_.AdvanceClockTo(149);
+  EXPECT_EQ(fires, 0);
+  service_.AdvanceClockTo(150);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(SentinelServiceTest, LateContextIntroductionIsRejected) {
+  CHECK_OK(service_.Raise("deposit", 100));
+  RuleSpec spec;
+  spec.name = "late";
+  spec.event_expr = "deposit ; withdraw";
+  spec.context = ParamContext::kCumulative;  // no detector for it yet
+  EXPECT_EQ(service_.DefineRule(std::move(spec)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SentinelServiceTest, AutoRegistersRuleEventNames) {
+  RuleSpec spec;
+  spec.name = "auto";
+  spec.event_expr = "alarm ; reset";
+  ASSERT_TRUE(service_.DefineRule(std::move(spec)).ok());
+  EXPECT_TRUE(service_.registry().Lookup("alarm").ok());
+  EXPECT_TRUE(service_.registry().Lookup("reset").ok());
+}
+
+TEST_F(SentinelServiceTest, DeferredCouplingQueuesActions) {
+  std::vector<int> order;
+  RuleSpec immediate;
+  immediate.name = "imm";
+  immediate.event_expr = "deposit";
+  immediate.action = [&](const EventPtr&) { order.push_back(1); };
+  RuleSpec deferred;
+  deferred.name = "def";
+  deferred.event_expr = "deposit";
+  deferred.coupling = Coupling::kDeferred;
+  deferred.action = [&](const EventPtr&) { order.push_back(2); };
+  ASSERT_TRUE(service_.DefineRule(std::move(immediate)).ok());
+  ASSERT_TRUE(service_.DefineRule(std::move(deferred)).ok());
+
+  CHECK_OK(service_.Raise("deposit", 10));
+  CHECK_OK(service_.Raise("deposit", 20));
+  // Immediate actions ran inline; deferred ones are still queued.
+  EXPECT_EQ(order, (std::vector<int>{1, 1}));
+  EXPECT_EQ(service_.FlushDeferredActions(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 1, 2, 2}));
+  // The queue is cleared by the flush.
+  EXPECT_EQ(service_.FlushDeferredActions(), 0u);
+}
+
+TEST_F(SentinelServiceTest, DeferredConditionEvaluatesAtDetectionTime) {
+  bool gate = true;
+  int ran = 0;
+  RuleSpec spec;
+  spec.name = "gated";
+  spec.event_expr = "deposit";
+  spec.coupling = Coupling::kDeferred;
+  spec.condition = [&](const EventPtr&) { return gate; };
+  spec.action = [&](const EventPtr&) { ++ran; };
+  ASSERT_TRUE(service_.DefineRule(std::move(spec)).ok());
+  CHECK_OK(service_.Raise("deposit", 10));
+  gate = false;  // too late: the condition already held at detection
+  service_.FlushDeferredActions();
+  EXPECT_EQ(ran, 1);
+}
+
+// ---------------------------------------------------------------------
+
+TEST(DistributedSentinelTest, EndToEndEcaOverSimulatedCluster) {
+  RuntimeConfig config;
+  config.num_sites = 3;
+  config.seed = 99;
+  auto service = DistributedSentinel::Create(config);
+  ASSERT_TRUE(service.ok());
+  auto deposit =
+      (*service)->RegisterEventType("deposit", EventClass::kDatabase);
+  auto withdraw =
+      (*service)->RegisterEventType("withdraw", EventClass::kDatabase);
+  ASSERT_TRUE(deposit.ok());
+  ASSERT_TRUE(withdraw.ok());
+
+  int fired = 0;
+  RuleSpec spec;
+  spec.name = "r";
+  spec.event_expr = "deposit ; withdraw";
+  spec.context = ParamContext::kUnrestricted;  // matches the deployment
+  spec.action = [&](const EventPtr&) { ++fired; };
+  auto rule = (*service)->DefineRule(std::move(spec));
+  ASSERT_TRUE(rule.ok());
+
+  std::vector<PlannedEvent> plan;
+  plan.push_back({1'000'000'000, 0, *deposit, {}});
+  plan.push_back({3'000'000'000, 2, *withdraw, {}});
+  auto stats = (*service)->Run(plan);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ((*service)->rule_stats(*rule).fired, 1u);
+}
+
+TEST(DistributedSentinelTest, MismatchedContextRejected) {
+  RuntimeConfig config;
+  config.context = ParamContext::kRecent;
+  auto service = DistributedSentinel::Create(config);
+  ASSERT_TRUE(service.ok());
+  RuleSpec spec;
+  spec.name = "r";
+  spec.event_expr = "a ; b";
+  spec.context = ParamContext::kChronicle;
+  EXPECT_EQ((*service)->DefineRule(std::move(spec)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,122 @@
+// Tests of the Sequencer: stability-window buffering, linear-extension
+// release order, late-arrival accounting, and flush.
+
+#include "dist/sequencer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+EventPtr Prim(SiteId site, LocalTicks local, EventTypeId type = 0) {
+  return Event::MakePrimitive(type,
+                              PrimitiveTimestamp{site, local / 10, local});
+}
+
+class SequencerTest : public ::testing::Test {
+ protected:
+  void MakeSequencer(int64_t window) {
+    sequencer_ = std::make_unique<Sequencer>(
+        window, [this](const EventPtr& e) { released_.push_back(e); });
+  }
+
+  std::unique_ptr<Sequencer> sequencer_;
+  std::vector<EventPtr> released_;
+};
+
+TEST_F(SequencerTest, HoldsUntilWatermarkPasses) {
+  MakeSequencer(50);
+  sequencer_->Offer(Prim(0, 100));
+  sequencer_->AdvanceTo(149);  // watermark 99 < anchor 100
+  EXPECT_TRUE(released_.empty());
+  EXPECT_EQ(sequencer_->pending(), 1u);
+  sequencer_->AdvanceTo(150);  // watermark 100 >= anchor
+  EXPECT_EQ(released_.size(), 1u);
+  EXPECT_EQ(sequencer_->pending(), 0u);
+}
+
+TEST_F(SequencerTest, ReleasesSortedByAnchorWithinBatch) {
+  MakeSequencer(0);
+  sequencer_->Offer(Prim(0, 300));
+  sequencer_->Offer(Prim(0, 100));
+  sequencer_->Offer(Prim(0, 200));
+  sequencer_->AdvanceTo(1000);
+  ASSERT_EQ(released_.size(), 3u);
+  EXPECT_EQ(released_[0]->timestamp().stamps()[0].local, 100);
+  EXPECT_EQ(released_[1]->timestamp().stamps()[0].local, 200);
+  EXPECT_EQ(released_[2]->timestamp().stamps()[0].local, 300);
+}
+
+TEST_F(SequencerTest, ReleaseOrderIsLinearExtensionOfBefore) {
+  // Random cross-site batches: after release, no event may be `<`-after a
+  // later one.
+  Rng rng(17);
+  const StampSpace space{/*sites=*/4, /*global_range=*/20, /*ratio=*/10};
+  MakeSequencer(0);
+  for (int i = 0; i < 200; ++i) {
+    sequencer_->Offer(
+        Event::MakePrimitive(0, RandomPrimitive(rng, space)));
+  }
+  sequencer_->AdvanceTo(1'000'000);
+  ASSERT_EQ(released_.size(), 200u);
+  for (size_t i = 0; i < released_.size(); ++i) {
+    for (size_t j = i + 1; j < released_.size(); ++j) {
+      EXPECT_FALSE(Before(released_[j]->timestamp(),
+                          released_[i]->timestamp()))
+          << "release " << j << " happens before release " << i;
+    }
+  }
+}
+
+TEST_F(SequencerTest, CountsLateArrivals) {
+  MakeSequencer(10);
+  sequencer_->Offer(Prim(0, 100));
+  sequencer_->AdvanceTo(200);  // watermark 190; the event releases
+  EXPECT_EQ(released_.size(), 1u);
+  EXPECT_EQ(sequencer_->late_arrivals(), 0u);
+  sequencer_->Offer(Prim(0, 150));  // anchor below the watermark: late
+  EXPECT_EQ(sequencer_->late_arrivals(), 1u);
+  sequencer_->AdvanceTo(201);  // still delivered, just late
+  EXPECT_EQ(released_.size(), 2u);
+}
+
+TEST_F(SequencerTest, FlushReleasesEverything) {
+  MakeSequencer(1'000'000);
+  sequencer_->Offer(Prim(0, 100));
+  sequencer_->Offer(Prim(0, 50));
+  sequencer_->AdvanceTo(200);  // window far too large: nothing released
+  EXPECT_TRUE(released_.empty());
+  sequencer_->Flush();
+  ASSERT_EQ(released_.size(), 2u);
+  EXPECT_EQ(released_[0]->timestamp().stamps()[0].local, 50);
+  EXPECT_EQ(sequencer_->pending(), 0u);
+}
+
+TEST_F(SequencerTest, CompositeAnchorSkewHandledByMinAnchorRelease) {
+  // A composite timestamp can be `<`-before another while having a LARGER
+  // MAX local tick: here a < b (a's site-1 element is below b's) yet
+  // max(a) = 119 > max(b) = 105. Max-anchor release would invert them;
+  // the min-anchor release (min(a) = 100 < min(b) = 105) must not.
+  MakeSequencer(0);
+  const auto a = Event::MakeComposite(
+      7, {Event::MakePrimitive(1, PrimitiveTimestamp{1, 10, 100}),
+          Event::MakePrimitive(2, PrimitiveTimestamp{2, 11, 119})});
+  const auto b = Event::MakePrimitive(3, PrimitiveTimestamp{1, 10, 105});
+  ASSERT_TRUE(Before(a->timestamp(), b->timestamp()));
+
+  sequencer_->Offer(b);  // "wrong" arrival order
+  sequencer_->Offer(a);
+  sequencer_->AdvanceTo(10'000);
+  ASSERT_EQ(released_.size(), 2u);
+  EXPECT_EQ(released_[0], a);
+  EXPECT_EQ(released_[1], b);
+}
+
+}  // namespace
+}  // namespace sentineld

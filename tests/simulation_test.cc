@@ -1,0 +1,127 @@
+// Tests of the discrete-event simulation kernel and the network model.
+
+#include "dist/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/network.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.At(300, [&] { order.push_back(3); });
+  sim.At(100, [&] { order.push_back(1); });
+  sim.At(200, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulation, FifoAmongEqualTimes) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.At(100, [&] { order.push_back(1); });
+  sim.At(100, [&] { order.push_back(2); });
+  sim.At(100, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, ActionsMayScheduleMoreWork) {
+  Simulation sim;
+  int fires = 0;
+  std::function<void()> chain = [&] {
+    if (++fires < 5) sim.After(10, chain);
+  };
+  sim.At(0, chain);
+  sim.Run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulation, RunUntilBound) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(100, [&] { ++fired; });
+  sim.At(200, [&] { ++fired; });
+  EXPECT_EQ(sim.Run(150), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, StepExecutesOneAction) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(10, [&] { ++fired; });
+  sim.At(20, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(Network, LatencyRespectsFloor) {
+  Simulation sim;
+  Rng rng(3);
+  NetworkConfig config;
+  Network network(&sim, config, &rng);
+  std::vector<TrueTimeNs> deliveries;
+  for (int i = 0; i < 50; ++i) {
+    network.Send(0, 1, [&] { deliveries.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 50u);
+  for (TrueTimeNs t : deliveries) EXPECT_GE(t, config.base_latency_ns);
+  EXPECT_EQ(network.messages_sent(), 50u);
+  EXPECT_EQ(network.remote_messages(), 50u);
+}
+
+TEST(Network, LocalDeliveryIsFast) {
+  Simulation sim;
+  Rng rng(3);
+  NetworkConfig config;
+  Network network(&sim, config, &rng);
+  TrueTimeNs delivered = -1;
+  network.Send(2, 2, [&] { delivered = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(delivered, config.local_latency_ns);
+  EXPECT_EQ(network.remote_messages(), 0u);
+}
+
+TEST(Network, NonFifoCanReorder) {
+  Simulation sim;
+  Rng rng(123);
+  NetworkConfig config;
+  config.jitter_mean_ns = 10'000'000;  // heavy jitter
+  Network network(&sim, config, &rng);
+  std::vector<int> arrivals;
+  for (int i = 0; i < 200; ++i) {
+    network.Send(0, 1, [&, i] { arrivals.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_FALSE(std::is_sorted(arrivals.begin(), arrivals.end()));
+}
+
+TEST(Network, FifoPreservesPerLinkOrder) {
+  Simulation sim;
+  Rng rng(123);
+  NetworkConfig config;
+  config.jitter_mean_ns = 10'000'000;
+  config.fifo = true;
+  Network network(&sim, config, &rng);
+  std::vector<int> arrivals;
+  for (int i = 0; i < 200; ++i) {
+    network.Send(0, 1, [&, i] { arrivals.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,85 @@
+// Soak test: a sizeable distributed run end-to-end, asserting bounded
+// detector state (GC works at scale), exact oracle agreement, and sane
+// statistics. This is the closest thing to a production burn-in that
+// still fits in a unit-test budget.
+
+#include <gtest/gtest.h>
+
+#include "dist/runtime.h"
+#include "snoop/parser.h"
+#include "snoop/reference_detector.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+TEST(Soak, TenThousandEventsThroughTheFullPipeline) {
+  EventTypeRegistry registry;
+  RuntimeConfig config;
+  config.num_sites = 8;
+  config.seed = 20260704;
+  config.context = ParamContext::kChronicle;  // bounded state
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  ASSERT_TRUE(runtime.ok());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  uint64_t fired = 0;
+  ASSERT_TRUE((*runtime)
+                  ->AddRuleText("seq", "A ; B",
+                                [&](const EventPtr&) { ++fired; })
+                  .ok());
+  ASSERT_TRUE((*runtime)->AddRuleText("guard", "not(C)[A, D]").ok());
+  ASSERT_TRUE((*runtime)->AddRuleText("window", "A(A, B, C)").ok());
+
+  WorkloadConfig wconfig;
+  wconfig.num_sites = 8;
+  wconfig.num_types = 4;
+  wconfig.num_events = 10'000;
+  wconfig.mean_interarrival_ns = 12'000'000;
+  Rng rng(99);
+  ASSERT_TRUE((*runtime)->InjectPlan(GenerateWorkload(wconfig, rng)).ok());
+  const RuntimeStats stats = (*runtime)->Run();
+
+  EXPECT_EQ(stats.events_injected, 10'000u);
+  EXPECT_EQ(stats.sequencer_late_arrivals, 0u);
+  EXPECT_GT(fired, 100u);
+  EXPECT_GT(stats.network_bytes, 10'000u * 20);
+  // Bounded retained state: chronicle consumes; GC prunes NOT middles.
+  // A loose ceiling that still catches unbounded growth (10k events
+  // would leave thousands buffered if GC regressed).
+  EXPECT_LT((*runtime)->detector().total_state(), 600u);
+  // Latency stays within the stability window + slack.
+  EXPECT_LT(stats.detection_latency_ms.Percentile(99), 1'000.0);
+}
+
+TEST(Soak, UnrestrictedAgreesWithOracleAtScale) {
+  EventTypeRegistry registry;
+  RuntimeConfig config;
+  config.num_sites = 6;
+  config.seed = 777;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  ASSERT_TRUE(runtime.ok());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  ASSERT_TRUE((*runtime)->AddRuleText("r", "not(B)[A, C]").ok());
+  WorkloadConfig wconfig;
+  wconfig.num_sites = 6;
+  wconfig.num_types = 4;
+  wconfig.num_events = 2'000;
+  wconfig.mean_interarrival_ns = 25'000'000;
+  Rng rng(5);
+  ASSERT_TRUE((*runtime)->InjectPlan(GenerateWorkload(wconfig, rng)).ok());
+  (*runtime)->Run();
+
+  ReferenceDetector oracle(&registry);
+  auto expr = ParseExpr("not(B)[A, C]", registry, {});
+  ASSERT_TRUE(expr.ok());
+  auto expected = oracle.Evaluate(*expr, (*runtime)->injected_history());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(Signatures((*runtime)->detections()), Signatures(*expected));
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,45 @@
+#ifndef SENTINELD_TESTS_TEST_UTIL_H_
+#define SENTINELD_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "timestamp/composite_timestamp.h"
+#include "timestamp/primitive_timestamp.h"
+#include "util/random.h"
+
+namespace sentineld::testing {
+
+/// Parameters of the random timestamp generators used by property tests.
+/// Small global ranges make cross-site concurrency and incomparability
+/// common, which is where the interesting semantics live; the local tick
+/// is derived from the global tick (local = global * ratio + r) so that
+/// generated stamps are consistent with the clock model (Prop 4.1 holds by
+/// construction, as it does for stamps produced by real clocks).
+struct StampSpace {
+  uint32_t sites = 4;
+  GlobalTicks global_range = 12;
+  int64_t ratio = 10;  ///< local ticks per global tick (g_g / g)
+};
+
+inline PrimitiveTimestamp RandomPrimitive(Rng& rng, const StampSpace& space) {
+  PrimitiveTimestamp t;
+  t.site = static_cast<SiteId>(rng.NextBounded(space.sites));
+  t.global = rng.NextInt(0, space.global_range - 1);
+  t.local = t.global * space.ratio + rng.NextInt(0, space.ratio - 1);
+  return t;
+}
+
+/// A valid composite timestamp built as max(ST) of 1..max_constituents
+/// random primitive stamps (Def 5.2's construction).
+inline CompositeTimestamp RandomComposite(Rng& rng, const StampSpace& space,
+                                          int max_constituents = 5) {
+  const int n = static_cast<int>(rng.NextBounded(max_constituents)) + 1;
+  std::vector<PrimitiveTimestamp> set;
+  set.reserve(n);
+  for (int i = 0; i < n; ++i) set.push_back(RandomPrimitive(rng, space));
+  return CompositeTimestamp::MaxOf(set);
+}
+
+}  // namespace sentineld::testing
+
+#endif  // SENTINELD_TESTS_TEST_UTIL_H_

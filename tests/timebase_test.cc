@@ -1,0 +1,182 @@
+// Tests of the distributed time base: config validation (g_g > Pi),
+// local clocks, TRUNC policies, the clock fleet's precision guarantee, and
+// the soundness of the 2g_g order on stamps produced by real (simulated)
+// clocks.
+
+#include <gtest/gtest.h>
+
+#include "timebase/clock_fleet.h"
+#include "timebase/config.h"
+#include "timebase/local_clock.h"
+#include "timestamp/primitive_timestamp.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+TEST(TimebaseConfig, DefaultsAreValidAndMatchPaperExample) {
+  TimebaseConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.TicksPerGlobal(), 10);  // g_g/g = (1/10s)/(1/100s)
+}
+
+TEST(TimebaseConfig, RejectsGranularityNotExceedingPrecision) {
+  TimebaseConfig config;
+  config.precision_ns = config.global_granularity_ns;  // Pi == g_g
+  const auto status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TimebaseConfig, RejectsNonDivisibleGranularities) {
+  TimebaseConfig config;
+  config.global_granularity_ns = 95'000'000;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(LocalClock, PerfectClockReadsTrueTime) {
+  TimebaseConfig config;
+  LocalClock clock(0, config, ClockDeviation(0, 0, config.precision_ns / 2));
+  // 1.23s => 123 local ticks of 10ms => global tick 12 (floor).
+  const auto stamp = clock.Stamp(1'230'000'000);
+  EXPECT_EQ(stamp.site, 0u);
+  EXPECT_EQ(stamp.local, 123);
+  EXPECT_EQ(stamp.global, 12);
+}
+
+TEST(LocalClock, OffsetShiftsReading) {
+  TimebaseConfig config;
+  // +30ms offset: 1.23s reads as 1.26s => 126 local ticks.
+  LocalClock clock(0, config,
+                   ClockDeviation(0, 30'000'000, config.precision_ns / 2));
+  EXPECT_EQ(clock.ReadLocalTicks(1'230'000'000), 126);
+}
+
+TEST(LocalClock, DriftAccumulatesAndIsClamped) {
+  TimebaseConfig config;
+  const int64_t clamp = config.precision_ns / 2;
+  ClockDeviation dev(/*drift_ppm=*/100.0, /*residual_ns=*/0, clamp);
+  // After 10s at 100ppm the raw offset is 1ms.
+  EXPECT_EQ(dev.OffsetAt(10'000'000'000), 1'000'000);
+  // After 10,000s the raw offset (1s) exceeds the clamp Pi/2.
+  EXPECT_EQ(dev.OffsetAt(10'000'000'000'000), clamp);
+}
+
+TEST(LocalClock, SyncReanchorsDrift) {
+  TimebaseConfig config;
+  ClockDeviation dev(100.0, 0, config.precision_ns / 2);
+  EXPECT_EQ(dev.OffsetAt(10'000'000'000), 1'000'000);
+  dev.SyncAt(10'000'000'000, /*residual_ns=*/-500);
+  EXPECT_EQ(dev.OffsetAt(10'000'000'000), -500);
+  EXPECT_EQ(dev.OffsetAt(20'000'000'000), -500 + 1'000'000);
+}
+
+TEST(LocalClock, TruncPolicies) {
+  TimebaseConfig config;
+  config.trunc = TruncPolicy::kFloor;
+  LocalClock floor_clock(0, config, ClockDeviation(0, 0, 1));
+  EXPECT_EQ(floor_clock.GlobalOf(129), 12);
+  config.trunc = TruncPolicy::kRound;
+  LocalClock round_clock(0, config, ClockDeviation(0, 0, 1));
+  EXPECT_EQ(round_clock.GlobalOf(129), 13);
+  EXPECT_EQ(round_clock.GlobalOf(124), 12);
+  config.trunc = TruncPolicy::kCeil;
+  LocalClock ceil_clock(0, config, ClockDeviation(0, 0, 1));
+  EXPECT_EQ(ceil_clock.GlobalOf(121), 13);
+  EXPECT_EQ(ceil_clock.GlobalOf(120), 12);
+}
+
+TEST(ClockFleet, RejectsPolicyThatCannotGuaranteePrecision) {
+  Rng rng(1);
+  TimebaseConfig config;
+  SyncPolicy policy;
+  policy.sync_interval_ns = 3'600'000'000'000;  // 1h between syncs
+  policy.max_drift_ppm = 100.0;                 // up to 360ms drift >> Pi/2
+  const auto fleet = ClockFleet::Create(4, config, policy, rng);
+  EXPECT_FALSE(fleet.ok());
+  EXPECT_EQ(fleet.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ClockFleet, RealizedPrecisionStaysWithinPi) {
+  Rng rng(42);
+  TimebaseConfig config;
+  SyncPolicy policy;  // defaults: 1s sync, 1ms residual, 100ppm
+  auto fleet = ClockFleet::Create(8, config, policy, rng);
+  ASSERT_TRUE(fleet.ok());
+  for (TrueTimeNs t = 0; t < 20'000'000'000; t += 137'000'000) {
+    fleet->AdvanceTo(t, rng);
+    EXPECT_LE(fleet->RealizedPrecisionAt(t), config.precision_ns)
+        << "at t=" << t;
+  }
+}
+
+// Soundness of the 2g_g order on clock-produced stamps: if the true times
+// of two events are separated by more than 2*g_g, the earlier one must
+// receive a happens-before stamp; and a happens-before stamp never
+// contradicts true-time order (no false orderings).
+TEST(ClockFleet, TwoGgPrecedenceSoundOnRealStamps) {
+  Rng rng(7);
+  TimebaseConfig config;
+  SyncPolicy policy;
+  auto fleet = ClockFleet::Create(6, config, policy, rng);
+  ASSERT_TRUE(fleet.ok());
+
+  struct Obs {
+    TrueTimeNs when;
+    PrimitiveTimestamp stamp;
+  };
+  std::vector<Obs> observations;
+  TrueTimeNs t = 1'000'000'000;
+  for (int i = 0; i < 400; ++i) {
+    t += rng.NextInt(0, 300'000'000);
+    const SiteId site = static_cast<SiteId>(rng.NextBounded(6));
+    observations.push_back({t, fleet->Stamp(site, t, rng)});
+  }
+  for (size_t i = 0; i < observations.size(); ++i) {
+    for (size_t j = 0; j < observations.size(); ++j) {
+      const auto& a = observations[i];
+      const auto& b = observations[j];
+      if (HappensBefore(a.stamp, b.stamp)) {
+        // No false orderings: a genuinely happened no later than b plus
+        // the synchronization slack (same-site stamps are exact;
+        // cross-site stamps carry at most Pi of clock skew).
+        EXPECT_LT(a.when, b.when + config.precision_ns)
+            << a.stamp << " " << b.stamp;
+      }
+      if (a.when + 2 * config.global_granularity_ns + config.precision_ns <
+          b.when) {
+        // Completeness: events separated by > 2g_g + Pi of true time are
+        // always ordered.
+        EXPECT_TRUE(HappensBefore(a.stamp, b.stamp))
+            << a.stamp << " " << b.stamp << " dt=" << (b.when - a.when);
+      }
+    }
+  }
+}
+
+// Stamps produced by real clocks satisfy Prop 4.1 (local/global
+// coupling is a structural consequence of Def 4.3).
+TEST(ClockFleet, StampsSatisfyLocalGlobalCoupling) {
+  Rng rng(11);
+  TimebaseConfig config;
+  SyncPolicy policy;
+  auto fleet = ClockFleet::Create(4, config, policy, rng);
+  ASSERT_TRUE(fleet.ok());
+  std::vector<PrimitiveTimestamp> stamps;
+  TrueTimeNs t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.NextInt(0, 100'000'000);
+    stamps.push_back(
+        fleet->Stamp(static_cast<SiteId>(rng.NextBounded(4)), t, rng));
+  }
+  for (const auto& a : stamps) {
+    for (const auto& b : stamps) {
+      if (a.local < b.local) { EXPECT_LE(a.global, b.global); }
+      if (a.local == b.local) { EXPECT_EQ(a.global, b.global); }
+      if (Concurrent(a, b)) { EXPECT_LE(std::abs(a.global - b.global), 1); }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,152 @@
+// Tests of the trace serialization format (round-trip, escaping, error
+// handling).
+
+#include "event/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  TraceIoTest() {
+    CHECK_OK(registry_.Register("alpha", EventClass::kDatabase));
+    CHECK_OK(registry_.Register("beta", EventClass::kExplicit));
+  }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(TraceIoTest, RoundTripsPlainEvents) {
+  std::vector<PlannedEvent> plan;
+  plan.push_back({1'000, 0, *registry_.Lookup("alpha"), {}});
+  plan.push_back({2'000, 3, *registry_.Lookup("beta"), {}});
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteTrace(os, plan, registry_).ok());
+  std::istringstream is(os.str());
+  auto parsed = ReadTrace(is, registry_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].when, 1'000);
+  EXPECT_EQ((*parsed)[0].site, 0u);
+  EXPECT_EQ((*parsed)[0].type, *registry_.Lookup("alpha"));
+  EXPECT_EQ((*parsed)[1].site, 3u);
+}
+
+TEST_F(TraceIoTest, RoundTripsTypedParameters) {
+  PlannedEvent event;
+  event.when = 42;
+  event.site = 1;
+  event.type = *registry_.Lookup("alpha");
+  event.params.emplace_back("count", AttributeValue(int64_t{-7}));
+  event.params.emplace_back("ratio", AttributeValue(2.5));
+  event.params.emplace_back("flag", AttributeValue(true));
+  event.params.emplace_back("note",
+                            AttributeValue(std::string("has space=100%")));
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteTrace(os, {{event}}, registry_).ok());
+  std::istringstream is(os.str());
+  auto parsed = ReadTrace(is, registry_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 1u);
+  const auto& params = (*parsed)[0].params;
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].second.AsInt(), -7);
+  EXPECT_DOUBLE_EQ(params[1].second.AsDouble(), 2.5);
+  EXPECT_TRUE(params[2].second.AsBool());
+  EXPECT_EQ(params[3].second.AsString(), "has space=100%");
+}
+
+TEST_F(TraceIoTest, RoundTripsGeneratedWorkload) {
+  WorkloadConfig config;
+  config.num_types = 2;
+  config.num_events = 200;
+  Rng rng(3);
+  const auto plan = GenerateWorkload(config, rng);
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteTrace(os, plan, registry_).ok());
+  std::istringstream is(os.str());
+  auto parsed = ReadTrace(is, registry_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].when, plan[i].when);
+    EXPECT_EQ((*parsed)[i].site, plan[i].site);
+    EXPECT_EQ((*parsed)[i].type, plan[i].type);
+  }
+}
+
+TEST_F(TraceIoTest, RejectsMissingHeader) {
+  std::istringstream is("event 1 0 alpha\n");
+  EXPECT_FALSE(ReadTrace(is, registry_).ok());
+}
+
+TEST_F(TraceIoTest, SkipsCommentsAndBlankLines) {
+  std::istringstream is(
+      "# sentineld trace v1\n\n# a comment\nevent 5 1 beta\n");
+  auto parsed = ReadTrace(is, registry_);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST_F(TraceIoTest, UnknownTypeErrorsWithoutAutoRegister) {
+  std::istringstream is("# sentineld trace v1\nevent 5 1 gamma\n");
+  const auto parsed = ReadTrace(is, registry_, /*auto_register=*/false);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TraceIoTest, AutoRegisterCreatesType) {
+  std::istringstream is("# sentineld trace v1\nevent 5 1 gamma\n");
+  const auto parsed = ReadTrace(is, registry_, /*auto_register=*/true);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(registry_.Lookup("gamma").ok());
+}
+
+TEST_F(TraceIoTest, MalformedLinesError) {
+  for (const char* bad :
+       {"event nope 0 alpha", "event 1 x alpha", "event 1 0",
+        "evnt 1 0 alpha", "event 1 0 alpha k",
+        "event 1 0 alpha k=z:1", "event 1 0 alpha k=i:abc",
+        "event 1 0 alpha k=b:maybe", "event 1 0 alpha k=s:%G1"}) {
+    std::istringstream is(StrCat("# sentineld trace v1\n", bad, "\n"));
+    EXPECT_FALSE(ReadTrace(is, registry_).ok()) << bad;
+  }
+}
+
+TEST_F(TraceIoTest, WriteRejectsUnknownTypeIds) {
+  std::vector<PlannedEvent> plan;
+  plan.push_back({1, 0, 999, {}});
+  std::ostringstream os;
+  EXPECT_FALSE(WriteTrace(os, plan, registry_).ok());
+}
+
+TEST(PercentCoding, RoundTrips) {
+  for (const std::string raw :
+       {"plain", "with space", "100%", "a=b", "", "%%= ="}) {
+    const auto encoded = PercentEncode(raw);
+    EXPECT_EQ(encoded.find(' '), std::string::npos);
+    const auto decoded = PercentDecode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, raw);
+  }
+}
+
+TEST(PercentCoding, RejectsTruncatedEscapes) {
+  EXPECT_FALSE(PercentDecode("%").ok());
+  EXPECT_FALSE(PercentDecode("%2").ok());
+  EXPECT_FALSE(PercentDecode("abc%zz").ok());
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,209 @@
+// Tests of the util module: Status/Result, string helpers, RNG,
+// histogram, and the table printer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace sentineld {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status status = Status::NotFound("thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: thing");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result = Status::InvalidArgument("bad");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+Status FailsThenPropagates() {
+  RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::Ok();
+}
+
+TEST(Result, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThenPropagates().code(), StatusCode::kInternal);
+}
+
+TEST(StringUtil, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringUtil, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+}
+
+TEST(StringUtil, Padding) {
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("abcdef", 4), "abcdef");
+}
+
+TEST(StringUtil, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1234), "-1,234");
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(77);
+  int counts[4] = {0, 0, 0, 0};
+  const int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.NextBounded(4)];
+  for (int c : counts) {
+    EXPECT_GT(c, kN / 4 - kN / 20);
+    EXPECT_LT(c, kN / 4 + kN / 20);
+  }
+}
+
+TEST(Rng, ExponentialHasApproxMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(10.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.3);
+}
+
+TEST(Rng, ZipfFavorsLowRanks) {
+  Rng rng(6);
+  int first = 0, last = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t r = rng.NextZipf(10, 1.0);
+    if (r == 0) ++first;
+    if (r == 9) ++last;
+  }
+  EXPECT_GT(first, last * 3);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // overwhelmingly likely with this seed
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Histogram, BasicStatistics) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 5.0);
+}
+
+TEST(Histogram, PercentileInterpolates) {
+  Histogram h;
+  h.Add(0.0);
+  h.Add(10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(25), 2.5);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(2.0);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+  Histogram empty;
+  EXPECT_EQ(empty.Summary(), "n=0");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table("title");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "12345"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("| x      |"), std::string::npos);
+  EXPECT_NE(out.find("|     1 |"), std::string::npos);  // right-aligned
+}
+
+}  // namespace
+}  // namespace sentineld
