@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/cex_transitivity.cpp" "bench/CMakeFiles/cex_transitivity.dir/cex_transitivity.cpp.o" "gcc" "bench/CMakeFiles/cex_transitivity.dir/cex_transitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sentineld_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/sentineld_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/snoop/CMakeFiles/sentineld_snoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/sentineld_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/timebase/CMakeFiles/sentineld_timebase.dir/DependInfo.cmake"
+  "/root/repo/build/src/timestamp/CMakeFiles/sentineld_timestamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sentineld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

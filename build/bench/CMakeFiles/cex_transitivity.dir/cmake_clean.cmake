@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cex_transitivity.dir/cex_transitivity.cpp.o"
+  "CMakeFiles/cex_transitivity.dir/cex_transitivity.cpp.o.d"
+  "cex_transitivity"
+  "cex_transitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cex_transitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

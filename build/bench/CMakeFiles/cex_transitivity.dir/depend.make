@@ -1,0 +1,2 @@
+# Empty dependencies file for cex_transitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_naive.dir/cmp_naive.cpp.o"
+  "CMakeFiles/cmp_naive.dir/cmp_naive.cpp.o.d"
+  "cmp_naive"
+  "cmp_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

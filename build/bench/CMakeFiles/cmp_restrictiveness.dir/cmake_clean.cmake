@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_restrictiveness.dir/cmp_restrictiveness.cpp.o"
+  "CMakeFiles/cmp_restrictiveness.dir/cmp_restrictiveness.cpp.o.d"
+  "cmp_restrictiveness"
+  "cmp_restrictiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_restrictiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex51_example.dir/ex51_example.cpp.o"
+  "CMakeFiles/ex51_example.dir/ex51_example.cpp.o.d"
+  "ex51_example"
+  "ex51_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex51_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

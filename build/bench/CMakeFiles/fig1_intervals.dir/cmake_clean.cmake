@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_intervals.dir/fig1_intervals.cpp.o"
+  "CMakeFiles/fig1_intervals.dir/fig1_intervals.cpp.o.d"
+  "fig1_intervals"
+  "fig1_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

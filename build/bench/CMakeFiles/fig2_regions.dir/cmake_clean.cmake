@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_regions.dir/fig2_regions.cpp.o"
+  "CMakeFiles/fig2_regions.dir/fig2_regions.cpp.o.d"
+  "fig2_regions"
+  "fig2_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

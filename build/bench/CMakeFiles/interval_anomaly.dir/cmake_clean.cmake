@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_anomaly.dir/interval_anomaly.cpp.o"
+  "CMakeFiles/interval_anomaly.dir/interval_anomaly.cpp.o.d"
+  "interval_anomaly"
+  "interval_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

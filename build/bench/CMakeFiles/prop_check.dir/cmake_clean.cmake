@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_check.dir/prop_check.cpp.o"
+  "CMakeFiles/prop_check.dir/prop_check.cpp.o.d"
+  "prop_check"
+  "prop_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_telemetry.dir/fleet_telemetry.cpp.o"
+  "CMakeFiles/fleet_telemetry.dir/fleet_telemetry.cpp.o.d"
+  "fleet_telemetry"
+  "fleet_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timestamp_playground.dir/timestamp_playground.cpp.o"
+  "CMakeFiles/timestamp_playground.dir/timestamp_playground.cpp.o.d"
+  "timestamp_playground"
+  "timestamp_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timestamp_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentineld_core.dir/rule.cc.o"
+  "CMakeFiles/sentineld_core.dir/rule.cc.o.d"
+  "CMakeFiles/sentineld_core.dir/sentinel.cc.o"
+  "CMakeFiles/sentineld_core.dir/sentinel.cc.o.d"
+  "libsentineld_core.a"
+  "libsentineld_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentineld_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

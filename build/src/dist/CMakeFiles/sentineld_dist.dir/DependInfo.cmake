@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/codec.cc" "src/dist/CMakeFiles/sentineld_dist.dir/codec.cc.o" "gcc" "src/dist/CMakeFiles/sentineld_dist.dir/codec.cc.o.d"
+  "/root/repo/src/dist/hierarchical.cc" "src/dist/CMakeFiles/sentineld_dist.dir/hierarchical.cc.o" "gcc" "src/dist/CMakeFiles/sentineld_dist.dir/hierarchical.cc.o.d"
+  "/root/repo/src/dist/network.cc" "src/dist/CMakeFiles/sentineld_dist.dir/network.cc.o" "gcc" "src/dist/CMakeFiles/sentineld_dist.dir/network.cc.o.d"
+  "/root/repo/src/dist/runtime.cc" "src/dist/CMakeFiles/sentineld_dist.dir/runtime.cc.o" "gcc" "src/dist/CMakeFiles/sentineld_dist.dir/runtime.cc.o.d"
+  "/root/repo/src/dist/sequencer.cc" "src/dist/CMakeFiles/sentineld_dist.dir/sequencer.cc.o" "gcc" "src/dist/CMakeFiles/sentineld_dist.dir/sequencer.cc.o.d"
+  "/root/repo/src/dist/simulation.cc" "src/dist/CMakeFiles/sentineld_dist.dir/simulation.cc.o" "gcc" "src/dist/CMakeFiles/sentineld_dist.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snoop/CMakeFiles/sentineld_snoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/sentineld_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/timebase/CMakeFiles/sentineld_timebase.dir/DependInfo.cmake"
+  "/root/repo/build/src/timestamp/CMakeFiles/sentineld_timestamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sentineld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

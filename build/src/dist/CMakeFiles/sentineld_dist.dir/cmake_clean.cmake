@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentineld_dist.dir/codec.cc.o"
+  "CMakeFiles/sentineld_dist.dir/codec.cc.o.d"
+  "CMakeFiles/sentineld_dist.dir/hierarchical.cc.o"
+  "CMakeFiles/sentineld_dist.dir/hierarchical.cc.o.d"
+  "CMakeFiles/sentineld_dist.dir/network.cc.o"
+  "CMakeFiles/sentineld_dist.dir/network.cc.o.d"
+  "CMakeFiles/sentineld_dist.dir/runtime.cc.o"
+  "CMakeFiles/sentineld_dist.dir/runtime.cc.o.d"
+  "CMakeFiles/sentineld_dist.dir/sequencer.cc.o"
+  "CMakeFiles/sentineld_dist.dir/sequencer.cc.o.d"
+  "CMakeFiles/sentineld_dist.dir/simulation.cc.o"
+  "CMakeFiles/sentineld_dist.dir/simulation.cc.o.d"
+  "libsentineld_dist.a"
+  "libsentineld_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentineld_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

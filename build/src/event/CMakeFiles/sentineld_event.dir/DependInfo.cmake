@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/event.cc" "src/event/CMakeFiles/sentineld_event.dir/event.cc.o" "gcc" "src/event/CMakeFiles/sentineld_event.dir/event.cc.o.d"
+  "/root/repo/src/event/generator.cc" "src/event/CMakeFiles/sentineld_event.dir/generator.cc.o" "gcc" "src/event/CMakeFiles/sentineld_event.dir/generator.cc.o.d"
+  "/root/repo/src/event/params.cc" "src/event/CMakeFiles/sentineld_event.dir/params.cc.o" "gcc" "src/event/CMakeFiles/sentineld_event.dir/params.cc.o.d"
+  "/root/repo/src/event/registry.cc" "src/event/CMakeFiles/sentineld_event.dir/registry.cc.o" "gcc" "src/event/CMakeFiles/sentineld_event.dir/registry.cc.o.d"
+  "/root/repo/src/event/trace_io.cc" "src/event/CMakeFiles/sentineld_event.dir/trace_io.cc.o" "gcc" "src/event/CMakeFiles/sentineld_event.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timebase/CMakeFiles/sentineld_timebase.dir/DependInfo.cmake"
+  "/root/repo/build/src/timestamp/CMakeFiles/sentineld_timestamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sentineld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentineld_event.dir/event.cc.o"
+  "CMakeFiles/sentineld_event.dir/event.cc.o.d"
+  "CMakeFiles/sentineld_event.dir/generator.cc.o"
+  "CMakeFiles/sentineld_event.dir/generator.cc.o.d"
+  "CMakeFiles/sentineld_event.dir/params.cc.o"
+  "CMakeFiles/sentineld_event.dir/params.cc.o.d"
+  "CMakeFiles/sentineld_event.dir/registry.cc.o"
+  "CMakeFiles/sentineld_event.dir/registry.cc.o.d"
+  "CMakeFiles/sentineld_event.dir/trace_io.cc.o"
+  "CMakeFiles/sentineld_event.dir/trace_io.cc.o.d"
+  "libsentineld_event.a"
+  "libsentineld_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentineld_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

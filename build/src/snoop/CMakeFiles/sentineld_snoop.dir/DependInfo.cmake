@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snoop/ast.cc" "src/snoop/CMakeFiles/sentineld_snoop.dir/ast.cc.o" "gcc" "src/snoop/CMakeFiles/sentineld_snoop.dir/ast.cc.o.d"
+  "/root/repo/src/snoop/detector.cc" "src/snoop/CMakeFiles/sentineld_snoop.dir/detector.cc.o" "gcc" "src/snoop/CMakeFiles/sentineld_snoop.dir/detector.cc.o.d"
+  "/root/repo/src/snoop/node.cc" "src/snoop/CMakeFiles/sentineld_snoop.dir/node.cc.o" "gcc" "src/snoop/CMakeFiles/sentineld_snoop.dir/node.cc.o.d"
+  "/root/repo/src/snoop/parser.cc" "src/snoop/CMakeFiles/sentineld_snoop.dir/parser.cc.o" "gcc" "src/snoop/CMakeFiles/sentineld_snoop.dir/parser.cc.o.d"
+  "/root/repo/src/snoop/reference_detector.cc" "src/snoop/CMakeFiles/sentineld_snoop.dir/reference_detector.cc.o" "gcc" "src/snoop/CMakeFiles/sentineld_snoop.dir/reference_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/sentineld_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/timebase/CMakeFiles/sentineld_timebase.dir/DependInfo.cmake"
+  "/root/repo/build/src/timestamp/CMakeFiles/sentineld_timestamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sentineld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentineld_snoop.dir/ast.cc.o"
+  "CMakeFiles/sentineld_snoop.dir/ast.cc.o.d"
+  "CMakeFiles/sentineld_snoop.dir/detector.cc.o"
+  "CMakeFiles/sentineld_snoop.dir/detector.cc.o.d"
+  "CMakeFiles/sentineld_snoop.dir/node.cc.o"
+  "CMakeFiles/sentineld_snoop.dir/node.cc.o.d"
+  "CMakeFiles/sentineld_snoop.dir/parser.cc.o"
+  "CMakeFiles/sentineld_snoop.dir/parser.cc.o.d"
+  "CMakeFiles/sentineld_snoop.dir/reference_detector.cc.o"
+  "CMakeFiles/sentineld_snoop.dir/reference_detector.cc.o.d"
+  "libsentineld_snoop.a"
+  "libsentineld_snoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentineld_snoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

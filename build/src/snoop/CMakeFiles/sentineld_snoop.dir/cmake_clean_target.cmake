@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsentineld_snoop.a"
+)

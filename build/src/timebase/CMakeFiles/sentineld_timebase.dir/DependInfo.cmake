@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timebase/clock_fleet.cc" "src/timebase/CMakeFiles/sentineld_timebase.dir/clock_fleet.cc.o" "gcc" "src/timebase/CMakeFiles/sentineld_timebase.dir/clock_fleet.cc.o.d"
+  "/root/repo/src/timebase/config.cc" "src/timebase/CMakeFiles/sentineld_timebase.dir/config.cc.o" "gcc" "src/timebase/CMakeFiles/sentineld_timebase.dir/config.cc.o.d"
+  "/root/repo/src/timebase/local_clock.cc" "src/timebase/CMakeFiles/sentineld_timebase.dir/local_clock.cc.o" "gcc" "src/timebase/CMakeFiles/sentineld_timebase.dir/local_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timestamp/CMakeFiles/sentineld_timestamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sentineld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

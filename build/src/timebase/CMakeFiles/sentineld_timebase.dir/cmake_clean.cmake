@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentineld_timebase.dir/clock_fleet.cc.o"
+  "CMakeFiles/sentineld_timebase.dir/clock_fleet.cc.o.d"
+  "CMakeFiles/sentineld_timebase.dir/config.cc.o"
+  "CMakeFiles/sentineld_timebase.dir/config.cc.o.d"
+  "CMakeFiles/sentineld_timebase.dir/local_clock.cc.o"
+  "CMakeFiles/sentineld_timebase.dir/local_clock.cc.o.d"
+  "libsentineld_timebase.a"
+  "libsentineld_timebase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentineld_timebase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

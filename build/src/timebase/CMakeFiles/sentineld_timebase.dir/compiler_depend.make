@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sentineld_timebase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timestamp/composite_timestamp.cc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/composite_timestamp.cc.o" "gcc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/composite_timestamp.cc.o.d"
+  "/root/repo/src/timestamp/interval.cc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/interval.cc.o" "gcc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/interval.cc.o.d"
+  "/root/repo/src/timestamp/max_operator.cc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/max_operator.cc.o" "gcc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/max_operator.cc.o.d"
+  "/root/repo/src/timestamp/naive.cc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/naive.cc.o" "gcc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/naive.cc.o.d"
+  "/root/repo/src/timestamp/orderings.cc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/orderings.cc.o" "gcc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/orderings.cc.o.d"
+  "/root/repo/src/timestamp/primitive_timestamp.cc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/primitive_timestamp.cc.o" "gcc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/primitive_timestamp.cc.o.d"
+  "/root/repo/src/timestamp/schwiderski.cc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/schwiderski.cc.o" "gcc" "src/timestamp/CMakeFiles/sentineld_timestamp.dir/schwiderski.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sentineld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentineld_timestamp.dir/composite_timestamp.cc.o"
+  "CMakeFiles/sentineld_timestamp.dir/composite_timestamp.cc.o.d"
+  "CMakeFiles/sentineld_timestamp.dir/interval.cc.o"
+  "CMakeFiles/sentineld_timestamp.dir/interval.cc.o.d"
+  "CMakeFiles/sentineld_timestamp.dir/max_operator.cc.o"
+  "CMakeFiles/sentineld_timestamp.dir/max_operator.cc.o.d"
+  "CMakeFiles/sentineld_timestamp.dir/naive.cc.o"
+  "CMakeFiles/sentineld_timestamp.dir/naive.cc.o.d"
+  "CMakeFiles/sentineld_timestamp.dir/orderings.cc.o"
+  "CMakeFiles/sentineld_timestamp.dir/orderings.cc.o.d"
+  "CMakeFiles/sentineld_timestamp.dir/primitive_timestamp.cc.o"
+  "CMakeFiles/sentineld_timestamp.dir/primitive_timestamp.cc.o.d"
+  "CMakeFiles/sentineld_timestamp.dir/schwiderski.cc.o"
+  "CMakeFiles/sentineld_timestamp.dir/schwiderski.cc.o.d"
+  "libsentineld_timestamp.a"
+  "libsentineld_timestamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentineld_timestamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentineld_util.dir/histogram.cc.o"
+  "CMakeFiles/sentineld_util.dir/histogram.cc.o.d"
+  "CMakeFiles/sentineld_util.dir/logging.cc.o"
+  "CMakeFiles/sentineld_util.dir/logging.cc.o.d"
+  "CMakeFiles/sentineld_util.dir/random.cc.o"
+  "CMakeFiles/sentineld_util.dir/random.cc.o.d"
+  "CMakeFiles/sentineld_util.dir/status.cc.o"
+  "CMakeFiles/sentineld_util.dir/status.cc.o.d"
+  "CMakeFiles/sentineld_util.dir/string_util.cc.o"
+  "CMakeFiles/sentineld_util.dir/string_util.cc.o.d"
+  "CMakeFiles/sentineld_util.dir/table_printer.cc.o"
+  "CMakeFiles/sentineld_util.dir/table_printer.cc.o.d"
+  "libsentineld_util.a"
+  "libsentineld_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentineld_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

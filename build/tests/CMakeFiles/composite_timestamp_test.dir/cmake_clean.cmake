@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_timestamp_test.dir/composite_timestamp_test.cc.o"
+  "CMakeFiles/composite_timestamp_test.dir/composite_timestamp_test.cc.o.d"
+  "composite_timestamp_test"
+  "composite_timestamp_test.pdb"
+  "composite_timestamp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_timestamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_properties_test.dir/context_properties_test.cc.o"
+  "CMakeFiles/context_properties_test.dir/context_properties_test.cc.o.d"
+  "context_properties_test"
+  "context_properties_test.pdb"
+  "context_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

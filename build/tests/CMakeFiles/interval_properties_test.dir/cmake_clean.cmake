@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_properties_test.dir/interval_properties_test.cc.o"
+  "CMakeFiles/interval_properties_test.dir/interval_properties_test.cc.o.d"
+  "interval_properties_test"
+  "interval_properties_test.pdb"
+  "interval_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_operator_test.dir/max_operator_test.cc.o"
+  "CMakeFiles/max_operator_test.dir/max_operator_test.cc.o.d"
+  "max_operator_test"
+  "max_operator_test.pdb"
+  "max_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

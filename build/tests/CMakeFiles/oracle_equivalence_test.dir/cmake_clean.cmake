@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_equivalence_test.dir/oracle_equivalence_test.cc.o"
+  "CMakeFiles/oracle_equivalence_test.dir/oracle_equivalence_test.cc.o.d"
+  "oracle_equivalence_test"
+  "oracle_equivalence_test.pdb"
+  "oracle_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

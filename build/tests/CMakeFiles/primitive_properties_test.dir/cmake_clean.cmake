@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitive_properties_test.dir/primitive_properties_test.cc.o"
+  "CMakeFiles/primitive_properties_test.dir/primitive_properties_test.cc.o.d"
+  "primitive_properties_test"
+  "primitive_properties_test.pdb"
+  "primitive_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitive_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitive_timestamp_test.dir/primitive_timestamp_test.cc.o"
+  "CMakeFiles/primitive_timestamp_test.dir/primitive_timestamp_test.cc.o.d"
+  "primitive_timestamp_test"
+  "primitive_timestamp_test.pdb"
+  "primitive_timestamp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitive_timestamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

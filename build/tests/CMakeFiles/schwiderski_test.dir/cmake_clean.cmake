@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schwiderski_test.dir/schwiderski_test.cc.o"
+  "CMakeFiles/schwiderski_test.dir/schwiderski_test.cc.o.d"
+  "schwiderski_test"
+  "schwiderski_test.pdb"
+  "schwiderski_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schwiderski_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_test.dir/sentinel_test.cc.o"
+  "CMakeFiles/sentinel_test.dir/sentinel_test.cc.o.d"
+  "sentinel_test"
+  "sentinel_test.pdb"
+  "sentinel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

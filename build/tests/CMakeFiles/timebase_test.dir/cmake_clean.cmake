@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timebase_test.dir/timebase_test.cc.o"
+  "CMakeFiles/timebase_test.dir/timebase_test.cc.o.d"
+  "timebase_test"
+  "timebase_test.pdb"
+  "timebase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timebase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
