@@ -1,0 +1,207 @@
+// FAULT-1: fault injection vs fault tolerance — what the reliable
+// channel buys under message loss, site crashes, and partitions:
+//
+//   (a) loss sweep: loss_prob x retransmit policy. With the ARQ channel
+//       (cap 8) detection stays EXACT vs the declarative oracle while
+//       latency pays for the retransmit round-trips; with the channel
+//       off, every drop is a silent completeness loss; a starved cap
+//       (1 retransmit) sits in between and gives up visibly.
+//   (b) crash & partition windows: outages shorter than the give-up
+//       horizon are ridden out exactly; a permanent crash is not, and
+//       the watermark gap detector flags the holes.
+//
+// Each table is deterministic (fixed seeds); the binary self-checks the
+// claims above and exits non-zero if any fails.
+
+#include <iostream>
+
+#include "dist/runtime.h"
+#include "snoop/reference_detector.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace sentineld;
+
+namespace {
+
+int failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    ++failures;
+    std::cout << "SELF-CHECK FAILED: " << what << "\n";
+  }
+}
+
+struct RunResult {
+  RuntimeStats stats;
+  size_t detections = 0;
+  size_t oracle_detections = 0;
+  bool exact = false;  // signature equality with the oracle
+};
+
+RunResult RunOnce(RuntimeConfig config) {
+  EventTypeRegistry registry;
+  config.num_sites = 6;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  CHECK_OK(runtime);
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  CHECK_OK((*runtime)->AddRuleText("r", "A ; B"));
+
+  WorkloadConfig wconfig;
+  wconfig.num_sites = 6;
+  wconfig.num_types = 4;
+  wconfig.num_events = 400;
+  wconfig.mean_interarrival_ns = 25'000'000;
+  Rng rng(1234);
+  CHECK_OK((*runtime)->InjectPlan(GenerateWorkload(wconfig, rng)));
+
+  RunResult result;
+  result.stats = (*runtime)->Run();
+  result.detections = (*runtime)->detections().size();
+
+  ReferenceDetector oracle(&registry);
+  auto parsed = ParseExpr("A ; B", registry, {});
+  CHECK_OK(parsed);
+  auto expected =
+      oracle.Evaluate(*parsed, (*runtime)->injected_history());
+  CHECK_OK(expected);
+  result.oracle_detections = expected->size();
+  result.exact =
+      Signatures((*runtime)->detections()) == Signatures(*expected);
+  return result;
+}
+
+std::string PolicyName(const RuntimeConfig& config) {
+  if (!config.channel.enabled) return "off";
+  return StrCat("cap ", config.channel.max_retransmits);
+}
+
+void AddRow(TablePrinter& table, const RuntimeConfig& config,
+            const RunResult& r, const std::string& first_cell) {
+  table.AddRow(
+      {first_cell, PolicyName(config), std::to_string(r.detections),
+       std::to_string(r.oracle_detections), r.exact ? "yes" : "NO",
+       FormatDouble(r.stats.completeness, 4),
+       std::to_string(r.stats.network_dropped),
+       std::to_string(r.stats.channel_retransmits),
+       std::to_string(r.stats.channel_gave_up),
+       std::to_string(r.stats.watermark_gap_flags),
+       FormatDouble(r.stats.detection_latency_ms.Percentile(50), 1),
+       FormatDouble(r.stats.detection_latency_ms.Percentile(99), 1)});
+}
+
+void SweepLoss() {
+  TablePrinter table(
+      "\n(a) message loss x retransmit policy — rule 'A ; B', 6 sites, "
+      "400 events, 25ms mean gap:\n    'exact' = detection signatures "
+      "identical to the declarative oracle over the same history.");
+  table.SetHeader({"loss", "channel", "detections", "oracle", "exact",
+                   "completeness", "dropped", "retransmits", "gave up",
+                   "gap flags", "lat p50 ms", "lat p99 ms"});
+  for (double loss : {0.0, 0.05, 0.2, 0.5}) {
+    for (int policy = 0; policy < 3; ++policy) {
+      RuntimeConfig config;
+      config.seed = 9000 + static_cast<uint64_t>(loss * 100);
+      config.network.loss_prob = loss;
+      if (policy > 0) {
+        config.channel.enabled = true;
+        config.channel.max_retransmits = policy == 1 ? 1 : 8;
+      }
+      const RunResult r = RunOnce(config);
+      AddRow(table, config, r, FormatDouble(loss, 2));
+
+      if (policy == 2 && loss <= 0.2) {
+        Check(r.exact && r.stats.completeness == 1.0,
+              "channel cap 8 must stay exact up to 20% loss");
+      }
+      if (policy == 0 && loss > 0.0) {
+        Check(r.stats.completeness < 1.0,
+              "without the channel, loss must show up in completeness");
+      }
+      if (policy == 0) {
+        Check(r.stats.channel_retransmits == 0,
+              "disabled channel must not retransmit");
+      }
+    }
+  }
+  table.Print(std::cout);
+}
+
+void SweepCrashAndPartition() {
+  TablePrinter table(
+      "\n(b) crash & partition windows — same workload; the channel's "
+      "give-up horizon is ~1s\n    at defaults, so sub-second windows "
+      "are ridden out exactly and a permanent crash is not.");
+  table.SetHeader({"fault", "channel", "detections", "oracle", "exact",
+                   "completeness", "dropped", "retransmits", "gave up",
+                   "gap flags", "lat p50 ms", "lat p99 ms"});
+
+  struct Scenario {
+    const char* name;
+    SiteOutage outage{0, 0, 0};
+    PartitionInterval partition{0, 0, 0, 0};
+    bool has_outage = false;
+    bool has_partition = false;
+  };
+  // The workload starts at 1s and spans ~10s.
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"site 3 down 0.4s", SiteOutage{3, 2'000'000'000,
+                                                      2'400'000'000},
+                       {}, true, false});
+  scenarios.push_back({"site 3 down forever",
+                       SiteOutage{3, 2'000'000'000, INT64_MAX}, {}, true,
+                       false});
+  scenarios.push_back({"sites 4-0 split 0.5s", {},
+                       PartitionInterval{4, 0, 3'000'000'000,
+                                         3'500'000'000},
+                       false, true});
+
+  for (const Scenario& scenario : scenarios) {
+    for (bool channel : {false, true}) {
+      RuntimeConfig config;
+      config.seed = 5150;
+      if (scenario.has_outage) {
+        config.network.outages.push_back(scenario.outage);
+      }
+      if (scenario.has_partition) {
+        config.network.partitions.push_back(scenario.partition);
+      }
+      config.channel.enabled = channel;
+      const RunResult r = RunOnce(config);
+      AddRow(table, config, r, scenario.name);
+
+      if (channel && scenario.has_outage &&
+          scenario.outage.until_ns != INT64_MAX) {
+        Check(r.exact, "channel must ride out a 0.4s crash window");
+      }
+      if (channel && scenario.has_partition) {
+        Check(r.exact, "channel must ride out a healed partition");
+      }
+      if (channel && scenario.has_outage &&
+          scenario.outage.until_ns == INT64_MAX) {
+        Check(r.stats.channel_gave_up > 0 && r.stats.completeness < 1.0,
+              "a permanent crash must exhaust the retransmit cap");
+      }
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "FAULT-1: fault injection vs the reliable channel "
+               "(simulated sites/clocks/network)\n";
+  SweepLoss();
+  SweepCrashAndPartition();
+  if (failures > 0) {
+    std::cout << "\n" << failures << " self-check(s) FAILED.\n";
+    return 1;
+  }
+  std::cout << "\nall self-checks passed.\n";
+  return 0;
+}

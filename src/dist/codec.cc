@@ -10,6 +10,8 @@ namespace {
 
 constexpr uint8_t kPrimitive = 0;
 constexpr uint8_t kComposite = 1;
+constexpr uint8_t kFrameData = 2;
+constexpr uint8_t kFrameAck = 3;
 constexpr uint8_t kTagInt = 0;
 constexpr uint8_t kTagDouble = 1;
 constexpr uint8_t kTagBool = 2;
@@ -31,6 +33,12 @@ void PutI64(std::string& out, int64_t v) {
   out.append(buf, 8);
 }
 
+void PutU64(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
 void PutF64(std::string& out, double v) {
   char buf[8];
   std::memcpy(buf, &v, 8);
@@ -45,6 +53,7 @@ class Reader {
   bool ReadU8(uint8_t& v) { return ReadRaw(&v, 1); }
   bool ReadU32(uint32_t& v) { return ReadRaw(&v, 4); }
   bool ReadI64(int64_t& v) { return ReadRaw(&v, 8); }
+  bool ReadU64(uint64_t& v) { return ReadRaw(&v, 8); }
   bool ReadF64(double& v) { return ReadRaw(&v, 8); }
 
   bool ReadString(std::string& v, uint32_t len) {
@@ -244,4 +253,61 @@ size_t WireSize(const EventPtr& event) {
   return n;
 }
 
+std::string EncodeDataFrame(SiteId sender, uint64_t seq,
+                            const EventPtr& event) {
+  CHECK(event != nullptr);
+  std::string out;
+  out.reserve(DataFrameWireSize(event));
+  PutU8(out, kFrameData);
+  PutU32(out, sender);
+  PutU64(out, seq);
+  EncodeInto(out, event);
+  return out;
+}
+
+std::string EncodeAckFrame(uint64_t cum_ack, uint64_t sacked_seq) {
+  std::string out;
+  out.reserve(kAckFrameWireSize);
+  PutU8(out, kFrameAck);
+  PutU64(out, cum_ack);
+  PutU64(out, sacked_seq);
+  return out;
+}
+
+Result<Frame> DecodeFrame(std::string_view bytes) {
+  Reader reader(bytes);
+  uint8_t kind = 0;
+  if (!reader.ReadU8(kind)) {
+    return Status::InvalidArgument("truncated frame header");
+  }
+  Frame frame;
+  if (kind == kFrameData) {
+    frame.kind = Frame::Kind::kData;
+    uint32_t sender = 0;
+    if (!reader.ReadU32(sender) || !reader.ReadU64(frame.seq)) {
+      return Status::InvalidArgument("truncated data frame header");
+    }
+    frame.sender = sender;
+    Result<EventPtr> event = DecodeOne(reader, 0);
+    if (!event.ok()) return event.status();
+    frame.event = *event;
+  } else if (kind == kFrameAck) {
+    frame.kind = Frame::Kind::kAck;
+    if (!reader.ReadU64(frame.cum_ack) || !reader.ReadU64(frame.seq)) {
+      return Status::InvalidArgument("truncated ack frame");
+    }
+  } else {
+    return Status::InvalidArgument(StrCat("unknown frame kind ", kind));
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after frame");
+  }
+  return frame;
+}
+
+size_t DataFrameWireSize(const EventPtr& event) {
+  return 1 + 4 + 8 + WireSize(event);
+}
+
 }  // namespace sentineld
+

@@ -32,6 +32,40 @@ Result<EventPtr> DecodeEvent(std::string_view bytes);
 /// The encoded size without materializing the encoding.
 size_t WireSize(const EventPtr& event);
 
+/// Link-layer frames of the reliable channel (dist/reliable_channel.h).
+/// Frames share the wire with bare events but are a distinct top-level
+/// format: the leading tag byte (2 = DATA, 3 = ACK) does not collide
+/// with the event kinds (0 = primitive, 1 = composite), so a frame can
+/// never decode as a bare event or vice versa.
+///
+///   DataFrame := 2:u8 | sender:u32 | seq:u64 | Event
+///   AckFrame  := 3:u8 | cum_ack:u64 | sacked_seq:u64
+///
+/// `cum_ack` is cumulative — every seq < cum_ack has been received —
+/// and `sacked_seq` selectively acknowledges the one data frame that
+/// triggered this ack, so a single hole does not force retransmission
+/// of everything sent after it.
+struct Frame {
+  enum class Kind { kData, kAck };
+  Kind kind = Kind::kData;
+  SiteId sender = 0;     ///< DATA only: the originating site.
+  uint64_t seq = 0;      ///< DATA: sequence number; ACK: sacked seq.
+  uint64_t cum_ack = 0;  ///< ACK only: all seqs < cum_ack received.
+  EventPtr event;        ///< DATA only: the payload.
+};
+
+std::string EncodeDataFrame(SiteId sender, uint64_t seq,
+                            const EventPtr& event);
+std::string EncodeAckFrame(uint64_t cum_ack, uint64_t sacked_seq);
+
+/// Decodes one frame; InvalidArgument on malformed, truncated, or
+/// trailing input (including a bare event, which is not a frame).
+Result<Frame> DecodeFrame(std::string_view bytes);
+
+/// Wire sizes for traffic accounting without materializing the bytes.
+size_t DataFrameWireSize(const EventPtr& event);
+inline constexpr size_t kAckFrameWireSize = 1 + 8 + 8;
+
 }  // namespace sentineld
 
 #endif  // SENTINELD_DIST_CODEC_H_

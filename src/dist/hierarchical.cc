@@ -91,13 +91,44 @@ void HierarchicalRuntime::Subscribe(EventTypeId type, SiteId site) {
 void HierarchicalRuntime::Route(SiteId from, const EventPtr& event) {
   auto it = subscriptions_.find(event->type());
   if (it == subscriptions_.end()) return;
-  const size_t bytes = WireSize(event);
-  for (SiteId to : it->second) {
-    network_.Send(
-        from, to,
-        [this, to, event] { stations_.at(to).sequencer->Offer(event); },
-        bytes);
+  for (SiteId to : it->second) SendPayload(from, to, event);
+}
+
+void HierarchicalRuntime::SendPayload(SiteId from, SiteId to,
+                                      const EventPtr& event) {
+  if (config_.channel.enabled) {
+    LinkBetween(from, to).Send(event);
+    return;
   }
+  ++raw_payloads_sent_;
+  auto delivered = std::make_shared<bool>(false);
+  network_.Send(
+      from, to,
+      [this, to, event, delivered] {
+        if (!*delivered) {
+          *delivered = true;
+          ++raw_payloads_delivered_;
+        }
+        Deliver(to, event);
+      },
+      WireSize(event));
+}
+
+void HierarchicalRuntime::Deliver(SiteId to, const EventPtr& event) {
+  Station& station = stations_.at(to);
+  station.max_delivered_anchor = std::max(
+      station.max_delivered_anchor, MinAnchorTick(event->timestamp()));
+  station.sequencer->Offer(event);
+}
+
+ReliableLink& HierarchicalRuntime::LinkBetween(SiteId from, SiteId to) {
+  const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  auto it = links_.find(key);
+  if (it != links_.end()) return *it->second;
+  auto link = std::make_unique<ReliableLink>(
+      &sim_, &network_, from, to, config_.channel,
+      [this, to](const EventPtr& event) { Deliver(to, event); });
+  return *links_.emplace(key, std::move(link)).first->second;
 }
 
 Result<EventTypeId> HierarchicalRuntime::AddRule(
@@ -216,6 +247,16 @@ void HierarchicalRuntime::Heartbeat() {
     const LocalTicks watermark =
         std::max<LocalTicks>(0, local - station.sequencer->window_ticks());
     if (watermark > station.detector->clock()) {
+      // Same gap detector as the flat runtime, per station: a known hole
+      // in any inbound link while the watermark is past everything this
+      // station has seen means it may be ordering around missing input.
+      for (const auto& [key, link] : links_) {
+        if (link->receiver() == site && link->has_receive_gap() &&
+            watermark > station.max_delivered_anchor) {
+          ++stats_.watermark_gap_flags;
+          break;
+        }
+      }
       station.detector->AdvanceClockTo(watermark);
     }
   }
@@ -245,6 +286,7 @@ RuntimeStats HierarchicalRuntime::Run() {
                                  40 * config_.network.jitter_mean_ns +
                                  4 * config_.heartbeat_ns +
                                  config_.timebase.precision_ns +
+                                 2 * config_.channel.GiveUpHorizonNs() +
                                  config_.extra_drain_ns;
   for (TrueTimeNs t = 0; t <= drain_until; t += config_.heartbeat_ns) {
     sim_.At(t, [this] { Heartbeat(); });
@@ -255,6 +297,7 @@ RuntimeStats HierarchicalRuntime::Run() {
 
   stats_.network_messages = network_.messages_sent();
   stats_.network_bytes = network_.bytes_sent();
+  stats_.network_dropped = network_.messages_dropped();
   stats_.sequencer_late_arrivals = 0;
   stats_.detector_events_dropped = 0;
   stats_.timers_fired = 0;
@@ -263,6 +306,23 @@ RuntimeStats HierarchicalRuntime::Run() {
     stats_.detector_events_dropped += station.detector->events_dropped();
     stats_.timers_fired += station.detector->timers_fired();
   }
+  stats_.channel_retransmits = 0;
+  stats_.channel_gave_up = 0;
+  stats_.channel_duplicates_dropped = 0;
+  uint64_t payloads_sent = raw_payloads_sent_;
+  uint64_t payloads_delivered = raw_payloads_delivered_;
+  for (const auto& [key, link] : links_) {
+    payloads_sent += link->payloads_sent();
+    payloads_delivered += link->delivered();
+    stats_.channel_retransmits += link->retransmits();
+    stats_.channel_gave_up += link->gave_up();
+    stats_.channel_duplicates_dropped += link->duplicates_dropped();
+  }
+  stats_.completeness =
+      payloads_sent == 0
+          ? 1.0
+          : static_cast<double>(payloads_delivered) /
+                static_cast<double>(payloads_sent);
   return stats_;
 }
 

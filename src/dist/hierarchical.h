@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dist/network.h"
+#include "dist/reliable_channel.h"
 #include "dist/runtime.h"
 #include "dist/sequencer.h"
 #include "dist/simulation.h"
@@ -88,6 +89,8 @@ class HierarchicalRuntime {
     std::unique_ptr<Detector> detector;
     std::unique_ptr<Sequencer> sequencer;
     uint64_t emitted_upstream = 0;
+    /// Largest min-anchor delivered here (any sender), for gap flags.
+    LocalTicks max_delivered_anchor = INT64_MIN;
   };
 
   HierarchicalRuntime(const RuntimeConfig& config,
@@ -100,6 +103,16 @@ class HierarchicalRuntime {
   /// Routes an occurrence of `type` emitted/injected at `from` to every
   /// subscribed station.
   void Route(SiteId from, const EventPtr& event);
+
+  /// One hop `from` → `to`, over the reliable link when the channel is
+  /// enabled, else raw (with unique-delivery accounting).
+  void SendPayload(SiteId from, SiteId to, const EventPtr& event);
+
+  /// Hands a payload to the station at `to` (updates its anchor floor).
+  void Deliver(SiteId to, const EventPtr& event);
+
+  /// Returns (creating on demand) the reliable link `from` → `to`.
+  ReliableLink& LinkBetween(SiteId from, SiteId to);
 
   void Subscribe(EventTypeId type, SiteId site);
   void Heartbeat();
@@ -118,6 +131,11 @@ class HierarchicalRuntime {
   ClockFleet fleet_;
   Network network_;
   std::map<SiteId, Station> stations_;
+  /// Reliable links keyed by (from << 32) | to; empty when the channel
+  /// is disabled. Every hierarchy hop gets the same protocol.
+  std::unordered_map<uint64_t, std::unique_ptr<ReliableLink>> links_;
+  uint64_t raw_payloads_sent_ = 0;
+  uint64_t raw_payloads_delivered_ = 0;
   std::unordered_map<EventTypeId, std::vector<SiteId>> subscriptions_;
   /// Which station emits each placed sub-composite type (one emitter per
   /// type; duplicates are rejected in AddRule).

@@ -13,7 +13,46 @@ Status NetworkConfig::Validate() const {
   if (duplicate_prob < 0 || duplicate_prob > 1) {
     return Status::InvalidArgument("duplicate_prob outside [0,1]");
   }
+  if (loss_prob < 0 || loss_prob > 1) {
+    return Status::InvalidArgument("loss_prob outside [0,1]");
+  }
+  for (const SiteOutage& outage : outages) {
+    if (outage.from_ns < 0 || outage.until_ns < outage.from_ns) {
+      return Status::InvalidArgument("outage window inverted or negative");
+    }
+  }
+  for (const PartitionInterval& partition : partitions) {
+    if (partition.a == partition.b) {
+      return Status::InvalidArgument(
+          "partition needs two distinct sites");
+    }
+    if (partition.from_ns < 0 || partition.until_ns < partition.from_ns) {
+      return Status::InvalidArgument(
+          "partition window inverted or negative");
+    }
+  }
   return Status::Ok();
+}
+
+bool NetworkConfig::SiteDownAt(SiteId site, TrueTimeNs at) const {
+  for (const SiteOutage& outage : outages) {
+    if (outage.site == site && at >= outage.from_ns &&
+        at < outage.until_ns) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NetworkConfig::PartitionedAt(SiteId a, SiteId b, TrueTimeNs at) const {
+  for (const PartitionInterval& partition : partitions) {
+    const bool pair = (partition.a == a && partition.b == b) ||
+                      (partition.a == b && partition.b == a);
+    if (pair && at >= partition.from_ns && at < partition.until_ns) {
+      return true;
+    }
+  }
+  return false;
 }
 
 Network::Network(Simulation* sim, const NetworkConfig& config, Rng* rng)
@@ -38,8 +77,26 @@ void Network::Send(SiteId from, SiteId to, std::function<void()> deliver,
   ++messages_sent_;
   bytes_sent_ += bytes;
   if (from != to) ++remote_messages_;
+  const TrueTimeNs now = sim_->now();
   int64_t latency = SampleLatency(from, to);
-  TrueTimeNs deliver_at = sim_->now() + latency;
+  TrueTimeNs deliver_at = now + latency;
+  // Fault checks: a crashed sender drops at the source, a crashed
+  // receiver at arrival (the message did occupy the wire in between);
+  // a partition severs the pair for the whole flight. None of these
+  // consume random draws, so fault-free runs are bit-identical to the
+  // fault-free model.
+  if (config_.SiteDownAt(from, now) || config_.SiteDownAt(to, deliver_at)) {
+    ++drops_outage_;
+    return;
+  }
+  if (from != to && config_.PartitionedAt(from, to, now)) {
+    ++drops_partition_;
+    return;
+  }
+  if (config_.loss_prob > 0 && rng_->NextBool(config_.loss_prob)) {
+    ++drops_loss_;
+    return;
+  }
   if (config_.fifo) {
     const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
     auto [it, inserted] = fifo_floor_.try_emplace(key, deliver_at);
@@ -50,11 +107,11 @@ void Network::Send(SiteId from, SiteId to, std::function<void()> deliver,
       it->second = deliver_at;
     }
   }
-  latency_.Add(static_cast<double>(deliver_at - sim_->now()));
+  latency_.Add(static_cast<double>(deliver_at - now));
   if (config_.duplicate_prob > 0 && rng_->NextBool(config_.duplicate_prob)) {
     ++duplicates_injected_;
     bytes_sent_ += bytes;
-    sim_->At(sim_->now() + SampleLatency(from, to), deliver);
+    sim_->At(now + SampleLatency(from, to), deliver);
   }
   sim_->At(deliver_at, std::move(deliver));
 }

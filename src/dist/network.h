@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "dist/simulation.h"
 #include "timestamp/primitive_timestamp.h"
@@ -13,10 +14,34 @@
 
 namespace sentineld {
 
-/// Latency model of the simulated network. Message delay =
+/// A scheduled fail-stop window for one site: within [from_ns, until_ns)
+/// the site is dark — messages it sends are dropped at the source and
+/// messages addressed to it are dropped on arrival. Site state (detector
+/// tables, sequencer buffers, channel retransmit timers) survives the
+/// outage, modelling a crash-recovery node with durable state; what is
+/// lost is exactly the in-flight traffic, which only a reliable channel
+/// (dist/reliable_channel.h) can restore.
+struct SiteOutage {
+  SiteId site = 0;
+  TrueTimeNs from_ns = 0;
+  TrueTimeNs until_ns = 0;
+};
+
+/// A pairwise partition: within [from_ns, until_ns) messages between `a`
+/// and `b` (either direction) are dropped; the link heals at until_ns.
+struct PartitionInterval {
+  SiteId a = 0;
+  SiteId b = 0;
+  TrueTimeNs from_ns = 0;
+  TrueTimeNs until_ns = 0;
+};
+
+/// Latency and fault model of the simulated network. Message delay =
 /// base + Exp(jitter_mean); messages between distinct sites may overtake
 /// each other (non-FIFO) unless fifo is set, which is why detectors front
-/// their input with a Sequencer.
+/// their input with a Sequencer. Faults (loss, outages, partitions) drop
+/// messages silently — senders learn nothing unless they run a reliable
+/// channel on top.
 struct NetworkConfig {
   int64_t base_latency_ns = 2'000'000;  ///< 2 ms propagation floor
   int64_t jitter_mean_ns = 1'000'000;   ///< exponential jitter mean
@@ -26,8 +51,22 @@ struct NetworkConfig {
   /// sampled second latency) — at-least-once delivery fault injection.
   /// Receivers deduplicate (see Sequencer) or overcount.
   double duplicate_prob = 0.0;
+  /// Probability that a message is silently lost in flight, sampled
+  /// independently per transmission (retransmissions and duplicates
+  /// included). Dropped messages still count toward messages_sent() and
+  /// bytes_sent() — the sender did put them on the wire.
+  double loss_prob = 0.0;
+  /// Scheduled site crash/recovery windows; may overlap.
+  std::vector<SiteOutage> outages;
+  /// Scheduled pairwise partition intervals; may overlap.
+  std::vector<PartitionInterval> partitions;
 
   Status Validate() const;
+
+  /// True when `site` is inside one of its outage windows at `at`.
+  bool SiteDownAt(SiteId site, TrueTimeNs at) const;
+  /// True when the (a, b) link is severed at `at` (either orientation).
+  bool PartitionedAt(SiteId a, SiteId b, TrueTimeNs at) const;
 };
 
 /// Point-to-point message transport over the simulation kernel.
@@ -35,7 +74,10 @@ class Network {
  public:
   Network(Simulation* sim, const NetworkConfig& config, Rng* rng);
 
-  /// Delivers `deliver` at the destination after a sampled latency.
+  /// Delivers `deliver` at the destination after a sampled latency —
+  /// unless the message is lost (loss_prob), the sender is crashed at
+  /// send time, the receiver is crashed at delivery time, or the pair is
+  /// partitioned at send time; dropped messages vanish without a trace.
   /// `bytes` is the message's wire size (dist/codec.h WireSize) for
   /// traffic accounting; duplicates count their bytes again.
   void Send(SiteId from, SiteId to, std::function<void()> deliver,
@@ -45,6 +87,13 @@ class Network {
   uint64_t remote_messages() const { return remote_messages_; }
   uint64_t duplicates_injected() const { return duplicates_injected_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t drops_loss() const { return drops_loss_; }
+  uint64_t drops_outage() const { return drops_outage_; }
+  uint64_t drops_partition() const { return drops_partition_; }
+  /// All drops, by any cause.
+  uint64_t messages_dropped() const {
+    return drops_loss_ + drops_outage_ + drops_partition_;
+  }
   const Histogram& latency() const { return latency_; }
 
  private:
@@ -58,6 +107,9 @@ class Network {
   uint64_t remote_messages_ = 0;
   uint64_t duplicates_injected_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t drops_loss_ = 0;
+  uint64_t drops_outage_ = 0;
+  uint64_t drops_partition_ = 0;
   /// Per-(src,dst) earliest admissible delivery time under FIFO.
   std::unordered_map<uint64_t, TrueTimeNs> fifo_floor_;
 };

@@ -1,0 +1,112 @@
+#include "dist/reliable_channel.h"
+
+#include "dist/codec.h"
+#include "util/logging.h"
+
+namespace sentineld {
+
+Status ReliableChannelConfig::Validate() const {
+  if (initial_rto_ns <= 0) {
+    return Status::InvalidArgument("initial_rto_ns must be positive");
+  }
+  if (backoff < 1.0) {
+    return Status::InvalidArgument("backoff must be >= 1");
+  }
+  if (max_retransmits < 0) {
+    return Status::InvalidArgument("max_retransmits must be >= 0");
+  }
+  return Status::Ok();
+}
+
+int64_t ReliableChannelConfig::GiveUpHorizonNs() const {
+  if (!enabled) return 0;
+  double horizon = 0;
+  double rto = static_cast<double>(initial_rto_ns);
+  for (int i = 0; i < max_retransmits; ++i) {
+    horizon += rto;
+    rto *= backoff;
+  }
+  // One extra RTO of slack: the last transmission still needs to land.
+  return static_cast<int64_t>(horizon) + initial_rto_ns;
+}
+
+ReliableLink::ReliableLink(Simulation* sim, Network* network, SiteId sender,
+                           SiteId receiver,
+                           const ReliableChannelConfig& config,
+                           Deliver deliver)
+    : sim_(sim),
+      network_(network),
+      sender_site_(sender),
+      receiver_site_(receiver),
+      config_(config),
+      deliver_(std::move(deliver)) {
+  CHECK(sim != nullptr);
+  CHECK(network != nullptr);
+  CHECK(deliver_ != nullptr);
+  CHECK_OK(config.Validate());
+}
+
+void ReliableLink::Send(const EventPtr& event) {
+  CHECK(event != nullptr);
+  const uint64_t seq = next_seq_++;
+  pending_.emplace(seq, Pending{event, 0, config_.initial_rto_ns});
+  ++payloads_sent_;
+  Transmit(seq);
+}
+
+void ReliableLink::Transmit(uint64_t seq) {
+  auto it = pending_.find(seq);
+  CHECK(it != pending_.end());
+  Pending& entry = it->second;
+  ++entry.attempts;
+  const EventPtr event = entry.event;
+  network_->Send(
+      sender_site_, receiver_site_,
+      [this, seq, event] { OnData(seq, event); },
+      DataFrameWireSize(event));
+  // Arm the retransmit timer. The attempt snapshot voids stale timers: a
+  // timer only acts if no ack and no newer transmission superseded it.
+  const int attempt = entry.attempts;
+  sim_->After(entry.rto_ns, [this, seq, attempt] {
+    auto timer_it = pending_.find(seq);
+    if (timer_it == pending_.end()) return;  // acked meanwhile
+    if (timer_it->second.attempts != attempt) return;  // superseded
+    if (timer_it->second.attempts > config_.max_retransmits) {
+      // The cap is exhausted: the payload is abandoned and the receiver
+      // (if it ever saw a later seq) keeps a permanent gap.
+      ++gave_up_;
+      pending_.erase(timer_it);
+      return;
+    }
+    timer_it->second.rto_ns = static_cast<int64_t>(
+        static_cast<double>(timer_it->second.rto_ns) * config_.backoff);
+    ++retransmits_;
+    Transmit(seq);
+  });
+}
+
+void ReliableLink::OnData(uint64_t seq, const EventPtr& event) {
+  const bool duplicate = seq < next_expected_ || ahead_.contains(seq);
+  if (duplicate) {
+    ++duplicates_dropped_;
+  } else {
+    ahead_.insert(seq);
+    while (ahead_.erase(next_expected_) > 0) ++next_expected_;
+    ++delivered_;
+    deliver_(event);
+  }
+  // Always (re-)ack — the previous ack for this seq may have been lost,
+  // and only an ack stops the sender's retransmit clock.
+  ++acks_sent_;
+  const uint64_t cum = next_expected_;
+  network_->Send(
+      receiver_site_, sender_site_,
+      [this, cum, seq] { OnAck(cum, seq); }, kAckFrameWireSize);
+}
+
+void ReliableLink::OnAck(uint64_t cum_ack, uint64_t sacked_seq) {
+  pending_.erase(pending_.begin(), pending_.lower_bound(cum_ack));
+  pending_.erase(sacked_seq);
+}
+
+}  // namespace sentineld

@@ -1,0 +1,124 @@
+#ifndef SENTINELD_DIST_RELIABLE_CHANNEL_H_
+#define SENTINELD_DIST_RELIABLE_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "dist/network.h"
+#include "dist/simulation.h"
+#include "event/event.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Retransmission policy of a ReliableLink.
+struct ReliableChannelConfig {
+  /// Off: payloads ride the raw (lossy) network and every drop is a
+  /// silent completeness loss — the pre-fault-tolerance behavior.
+  bool enabled = false;
+  /// Initial retransmission timeout; must cover one round trip (data
+  /// out, ack back) or every message retransmits spuriously.
+  int64_t initial_rto_ns = 20'000'000;  // 20 ms ≈ 2 RTT + jitter tail
+  /// Multiplier applied to the timeout after every unacked attempt.
+  double backoff = 1.5;
+  /// Retransmissions beyond the first attempt before the sender gives
+  /// the payload up for lost. Bounds both sender buffering and the
+  /// delivery horizon (GiveUpHorizonNs) a sound sequencer stability
+  /// window must absorb; raising it trades detection latency for
+  /// completeness under loss — the trade bench/bench_faults sweeps.
+  int max_retransmits = 8;
+
+  Status Validate() const;
+
+  /// Upper bound on the lag between a payload's first and last
+  /// transmission: the sum of all backoff gaps (zero when disabled).
+  /// A sound stability window is the fault-free window plus this.
+  int64_t GiveUpHorizonNs() const;
+};
+
+/// One direction of site-to-site reliable delivery over the lossy
+/// Network: sequence-numbered DATA frames, per-frame SACK plus
+/// cumulative ack, timeout retransmission with exponential backoff and
+/// a give-up cap, and receiver-side dedup by sequence number. The wire
+/// format is dist/codec.h's Frame; inside the simulation the payload
+/// EventPtr is handed through directly (preserving the occurrence
+/// identity the Sequencer and stats rely on) while byte accounting uses
+/// the frame's true encoded size.
+///
+/// Delivery guarantee: each payload is delivered to `deliver` exactly
+/// once, unless all 1 + max_retransmits transmissions are lost — then
+/// it is counted in gave_up() and the receiver keeps a permanent
+/// sequence gap. has_receive_gap() exposes the receiver's knowledge of
+/// holes so a runtime can flag watermark advancement past known missing
+/// input (the completeness risk the paper's soundness argument assumes
+/// away).
+class ReliableLink {
+ public:
+  using Deliver = std::function<void(const EventPtr&)>;
+
+  ReliableLink(Simulation* sim, Network* network, SiteId sender,
+               SiteId receiver, const ReliableChannelConfig& config,
+               Deliver deliver);
+
+  /// Sends `event` reliably (fire-and-forget for the caller).
+  void Send(const EventPtr& event);
+
+  SiteId sender() const { return sender_site_; }
+  SiteId receiver() const { return receiver_site_; }
+
+  // Sender-side accounting.
+  uint64_t payloads_sent() const { return payloads_sent_; }
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t gave_up() const { return gave_up_; }
+  size_t unacked() const { return pending_.size(); }
+
+  // Receiver-side accounting.
+  uint64_t delivered() const { return delivered_; }
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  uint64_t acks_sent() const { return acks_sent_; }
+
+  /// True while the receiver has seen a sequence number above a still
+  /// missing one — a known hole in the stream. The missing payload is
+  /// in flight, being retransmitted, or (sender gave up) lost for good.
+  bool has_receive_gap() const { return !ahead_.empty(); }
+
+ private:
+  struct Pending {
+    EventPtr event;
+    int attempts = 0;   ///< transmissions so far
+    int64_t rto_ns = 0; ///< current timeout (grows by `backoff`)
+  };
+
+  /// Puts seq's payload on the wire and arms its retransmit timer.
+  void Transmit(uint64_t seq);
+  void OnData(uint64_t seq, const EventPtr& event);
+  void OnAck(uint64_t cum_ack, uint64_t sacked_seq);
+
+  Simulation* sim_;
+  Network* network_;
+  SiteId sender_site_;
+  SiteId receiver_site_;
+  ReliableChannelConfig config_;
+  Deliver deliver_;
+
+  // Sender state.
+  uint64_t next_seq_ = 0;
+  std::map<uint64_t, Pending> pending_;
+  uint64_t payloads_sent_ = 0;
+  uint64_t retransmits_ = 0;
+  uint64_t gave_up_ = 0;
+
+  // Receiver state: everything below next_expected_ was received, plus
+  // the out-of-order seqs in ahead_.
+  uint64_t next_expected_ = 0;
+  std::set<uint64_t> ahead_;
+  uint64_t delivered_ = 0;
+  uint64_t duplicates_dropped_ = 0;
+  uint64_t acks_sent_ = 0;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_DIST_RELIABLE_CHANNEL_H_

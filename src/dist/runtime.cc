@@ -20,13 +20,18 @@ Status RuntimeConfig::Validate() const {
   }
   RETURN_IF_ERROR(timebase.Validate());
   RETURN_IF_ERROR(network.Validate());
+  RETURN_IF_ERROR(channel.Validate());
   return Status::Ok();
 }
 
 int64_t RuntimeConfig::EffectiveWindowTicks() const {
   if (stability_window_ticks > 0) return stability_window_ticks;
+  // With the reliable channel on, a payload may lawfully arrive as late
+  // as the give-up horizon after its first send; the sound window must
+  // absorb that on top of the fault-free delay bound.
   const int64_t delay_ns = timebase.precision_ns + network.base_latency_ns +
-                           8 * network.jitter_mean_ns;
+                           8 * network.jitter_mean_ns +
+                           channel.GiveUpHorizonNs();
   const int64_t delay_ticks =
       (delay_ns + timebase.local_granularity_ns - 1) /
       timebase.local_granularity_ns;
@@ -65,6 +70,17 @@ DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
       config_.EffectiveWindowTicks(),
       [this](const EventPtr& event) { detector_->Feed(event); },
       /*dedup=*/config_.network.duplicate_prob > 0);
+  max_delivered_anchor_.assign(config_.num_sites, INT64_MIN);
+  if (config_.channel.enabled) {
+    links_.resize(config_.num_sites);
+    for (SiteId site = 0; site < config_.num_sites; ++site) {
+      links_[site] = std::make_unique<ReliableLink>(
+          &sim_, &network_, site, config_.detector_site, config_.channel,
+          [this, site](const EventPtr& event) {
+            DeliverToDetector(site, event);
+          });
+    }
+  }
 }
 
 Result<EventTypeId> DistributedRuntime::AddRule(const std::string& name,
@@ -106,16 +122,34 @@ Status DistributedRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
       ++stats_.events_injected;
       history_.push_back(event);
       injection_time_.emplace(event.get(), sim_.now());
-      // Notify the detector site over the network.
-      network_.Send(planned.site, config_.detector_site,
-                    [this, event] { DeliverToDetector(event); },
-                    WireSize(event));
+      // Notify the detector site, reliably or fire-and-forget.
+      if (config_.channel.enabled) {
+        links_[planned.site]->Send(event);
+      } else {
+        // The per-send flag counts each payload's delivery once even
+        // when duplicate_prob delivers the message twice.
+        auto delivered = std::make_shared<bool>(false);
+        ++raw_payloads_sent_;
+        network_.Send(
+            planned.site, config_.detector_site,
+            [this, site = planned.site, event, delivered] {
+              if (!*delivered) {
+                *delivered = true;
+                ++raw_payloads_delivered_;
+              }
+              DeliverToDetector(site, event);
+            },
+            WireSize(event));
+      }
     });
   }
   return Status::Ok();
 }
 
-void DistributedRuntime::DeliverToDetector(const EventPtr& event) {
+void DistributedRuntime::DeliverToDetector(SiteId from,
+                                           const EventPtr& event) {
+  max_delivered_anchor_[from] = std::max(
+      max_delivered_anchor_[from], MinAnchorTick(event->timestamp()));
   sequencer_->Offer(event);
 }
 
@@ -131,7 +165,20 @@ void DistributedRuntime::Heartbeat() {
   sequencer_->AdvanceTo(local);
   const LocalTicks watermark =
       std::max<LocalTicks>(0, local - sequencer_->window_ticks());
-  if (watermark > detector_->clock()) detector_->AdvanceClockTo(watermark);
+  if (watermark > detector_->clock()) {
+    // Gap detector: advancing past a site whose stream has a known hole
+    // AND whose delivered anchors are all behind the watermark means the
+    // missing payload could have anchored below it — order and
+    // completeness are no longer guaranteed from here on.
+    for (const auto& link : links_) {
+      if (link != nullptr && link->has_receive_gap() &&
+          watermark > max_delivered_anchor_[link->sender()]) {
+        ++stats_.watermark_gap_flags;
+        break;  // at most one flag per heartbeat
+      }
+    }
+    detector_->AdvanceClockTo(watermark);
+  }
 }
 
 void DistributedRuntime::RecordDetection(const EventPtr& event) {
@@ -163,6 +210,7 @@ RuntimeStats DistributedRuntime::Run() {
                                  20 * config_.network.jitter_mean_ns +
                                  2 * config_.heartbeat_ns +
                                  config_.timebase.precision_ns +
+                                 config_.channel.GiveUpHorizonNs() +
                                  config_.extra_drain_ns;
   for (TrueTimeNs t = 0; t <= drain_until; t += config_.heartbeat_ns) {
     sim_.At(t, [this] { Heartbeat(); });
@@ -175,9 +223,28 @@ RuntimeStats DistributedRuntime::Run() {
 
   stats_.network_messages = network_.messages_sent();
   stats_.network_bytes = network_.bytes_sent();
+  stats_.network_dropped = network_.messages_dropped();
   stats_.sequencer_late_arrivals = sequencer_->late_arrivals();
   stats_.detector_events_dropped = detector_->events_dropped();
   stats_.timers_fired = detector_->timers_fired();
+  stats_.channel_retransmits = 0;
+  stats_.channel_gave_up = 0;
+  stats_.channel_duplicates_dropped = 0;
+  uint64_t payloads_sent = raw_payloads_sent_;
+  uint64_t payloads_delivered = raw_payloads_delivered_;
+  for (const auto& link : links_) {
+    if (link == nullptr) continue;
+    payloads_sent += link->payloads_sent();
+    payloads_delivered += link->delivered();
+    stats_.channel_retransmits += link->retransmits();
+    stats_.channel_gave_up += link->gave_up();
+    stats_.channel_duplicates_dropped += link->duplicates_dropped();
+  }
+  stats_.completeness =
+      payloads_sent == 0
+          ? 1.0
+          : static_cast<double>(payloads_delivered) /
+                static_cast<double>(payloads_sent);
   return stats_;
 }
 

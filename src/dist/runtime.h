@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dist/network.h"
+#include "dist/reliable_channel.h"
 #include "dist/sequencer.h"
 #include "dist/simulation.h"
 #include "event/generator.h"
@@ -28,6 +29,13 @@ struct RuntimeConfig {
   TimebaseConfig timebase;
   SyncPolicy sync;
   NetworkConfig network;
+  /// Ack/retransmit channel between every site and the detector site.
+  /// When enabled, each site-to-detector link runs a ReliableLink, the
+  /// auto stability window grows by the channel's give-up horizon, and
+  /// exact detection survives message loss up to the retransmit cap;
+  /// when disabled, every network drop is a silent completeness loss
+  /// (quantified in RuntimeStats::completeness).
+  ReliableChannelConfig channel;
   ParamContext context = ParamContext::kUnrestricted;
   /// Eligibility policy for order-sensitive operators (snoop/context.h).
   IntervalPolicy interval_policy = IntervalPolicy::kPointBased;
@@ -61,9 +69,23 @@ struct RuntimeStats {
   uint64_t detections = 0;
   uint64_t network_messages = 0;
   uint64_t network_bytes = 0;  ///< wire-format bytes (dist/codec.h)
+  uint64_t network_dropped = 0;  ///< loss + outage + partition drops
   uint64_t sequencer_late_arrivals = 0;
   uint64_t detector_events_dropped = 0;
   uint64_t timers_fired = 0;
+  uint64_t channel_retransmits = 0;
+  uint64_t channel_gave_up = 0;  ///< payloads abandoned after the cap
+  uint64_t channel_duplicates_dropped = 0;  ///< receiver dedup by seq
+  /// Heartbeats at which the watermark advanced although some link had a
+  /// known receive-side sequence gap and the watermark was already past
+  /// every anchor delivered from that sender — each flag marks a moment
+  /// where the detector may have ordered around missing input.
+  uint64_t watermark_gap_flags = 0;
+  /// Unique payloads delivered / unique payloads sent, across all links.
+  /// 1.0 means every loss was restored (or none occurred); below 1.0 the
+  /// detector evaluated an incomplete history and its output is a lower
+  /// bound on the oracle's.
+  double completeness = 1.0;
   /// Detection latency: wall (reference) time from the latest constituent
   /// primitive occurrence to the rule firing, in milliseconds.
   Histogram detection_latency_ms;
@@ -115,7 +137,7 @@ class DistributedRuntime {
   DistributedRuntime(const RuntimeConfig& config,
                      EventTypeRegistry* registry, ClockFleet fleet);
 
-  void DeliverToDetector(const EventPtr& event);
+  void DeliverToDetector(SiteId from, const EventPtr& event);
   void Heartbeat();
   LocalTicks DetectorLocalNow();
   void RecordDetection(const EventPtr& event);
@@ -128,6 +150,14 @@ class DistributedRuntime {
   Network network_;
   std::unique_ptr<Detector> detector_;
   std::unique_ptr<Sequencer> sequencer_;
+  /// Per-site reliable links to the detector site (empty when the
+  /// channel is disabled).
+  std::vector<std::unique_ptr<ReliableLink>> links_;
+  /// Largest min-anchor delivered per site, for the watermark gap flag.
+  std::vector<LocalTicks> max_delivered_anchor_;
+  /// Channel-off payload accounting (unique sends / unique deliveries).
+  uint64_t raw_payloads_sent_ = 0;
+  uint64_t raw_payloads_delivered_ = 0;
   std::vector<EventPtr> history_;
   std::vector<EventPtr> detections_;
   std::unordered_map<const Event*, TrueTimeNs> injection_time_;

@@ -5,16 +5,14 @@
 #include "util/logging.h"
 
 namespace sentineld {
-namespace {
 
-/// The minimum local tick among the timestamp's elements. Releasing in
-/// ascending min-anchor order is a linear extension of the composite `<`
-/// for model-consistent stamps: if Before(X, Y), then Y's minimum element
-/// ty* is dominated by some tx in X (forall-exists), and the primitive
-/// tx < ty* implies tx.local < ty*.local both same-site (by definition)
-/// and cross-site (global < global - 1 forces the locals apart), so
-/// min(X) <= tx.local < min(Y) strictly. Ties are therefore always
-/// `<`-unordered and may release in any (here: arrival) order.
+/// Releasing in ascending min-anchor order is a linear extension of the
+/// composite `<` for model-consistent stamps: if Before(X, Y), then Y's
+/// minimum element ty* is dominated by some tx in X (forall-exists), and
+/// the primitive tx < ty* implies tx.local < ty*.local both same-site
+/// (by definition) and cross-site (global < global - 1 forces the locals
+/// apart), so min(X) <= tx.local < min(Y) strictly. Ties are therefore
+/// always `<`-unordered and may release in any (here: arrival) order.
 LocalTicks MinAnchorTick(const CompositeTimestamp& t) {
   CHECK(!t.empty());
   LocalTicks anchor = t.stamps().front().local;
@@ -23,8 +21,6 @@ LocalTicks MinAnchorTick(const CompositeTimestamp& t) {
   }
   return anchor;
 }
-
-}  // namespace
 
 Sequencer::Sequencer(int64_t stability_window_ticks, Release release,
                      bool dedup)

@@ -11,6 +11,12 @@
 
 namespace sentineld {
 
+/// The minimum local tick among the timestamp's elements — the release
+/// key of the Sequencer (see class docs) and the quantity fault-aware
+/// runtimes compare watermarks against when flagging advancement past a
+/// known delivery gap.
+LocalTicks MinAnchorTick(const CompositeTimestamp& t);
+
 /// Reorder buffer in front of a Detector: turns the network's arbitrary
 /// arrival order into a *linear extension of the composite happen-before
 /// order*, which is the Detector's delivery contract (see snoop/node.h).

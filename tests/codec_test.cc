@@ -119,5 +119,61 @@ TEST(Codec, CompositeWireSizeReflectsConstituents) {
   EXPECT_EQ(WireSize(pair), 9 + WireSize(a) + WireSize(b));
 }
 
+TEST(FrameCodec, DataFrameRoundTrip) {
+  const auto payload = SamplePrimitive();
+  const std::string bytes = EncodeDataFrame(/*sender=*/6, /*seq=*/12345,
+                                            payload);
+  EXPECT_EQ(bytes.size(), DataFrameWireSize(payload));
+  auto frame = DecodeFrame(bytes);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->kind, Frame::Kind::kData);
+  EXPECT_EQ(frame->sender, 6u);
+  EXPECT_EQ(frame->seq, 12345u);
+  ASSERT_NE(frame->event, nullptr);
+  EXPECT_EQ(OccurrenceSignature(frame->event),
+            OccurrenceSignature(payload));
+}
+
+TEST(FrameCodec, DataFrameCarriesComposite) {
+  const auto a = Event::MakePrimitive(0, PrimitiveTimestamp{1, 8, 80});
+  const auto b = Event::MakePrimitive(1, PrimitiveTimestamp{2, 8, 85});
+  const auto payload = Event::MakeComposite(10, {a, b});
+  auto frame = DecodeFrame(EncodeDataFrame(1, 0, payload));
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->event->timestamp(), payload->timestamp());
+}
+
+TEST(FrameCodec, AckFrameRoundTrip) {
+  const std::string bytes =
+      EncodeAckFrame(/*cum_ack=*/77, /*sacked_seq=*/99);
+  EXPECT_EQ(bytes.size(), kAckFrameWireSize);
+  auto frame = DecodeFrame(bytes);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->kind, Frame::Kind::kAck);
+  EXPECT_EQ(frame->cum_ack, 77u);
+  EXPECT_EQ(frame->seq, 99u);
+}
+
+TEST(FrameCodec, RejectsTruncatedFrames) {
+  const std::string data = EncodeDataFrame(2, 7, SamplePrimitive());
+  const std::string ack = EncodeAckFrame(1, 2);
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{6}, data.size() - 1}) {
+    EXPECT_FALSE(DecodeFrame(std::string_view(data).substr(0, cut)).ok())
+        << "data cut at " << cut;
+  }
+  EXPECT_FALSE(DecodeFrame(std::string_view(ack).substr(0, 8)).ok());
+}
+
+TEST(FrameCodec, RejectsTrailingBytesAndBareEvents) {
+  std::string bytes = EncodeAckFrame(1, 2);
+  bytes += "x";
+  EXPECT_FALSE(DecodeFrame(bytes).ok());
+  // A bare event is not a frame (kinds 0/1 are not frame tags), and a
+  // frame is not a bare event — the formats cannot be confused.
+  EXPECT_FALSE(DecodeFrame(EncodeEvent(SamplePrimitive())).ok());
+  EXPECT_FALSE(
+      DecodeEvent(EncodeDataFrame(0, 0, SamplePrimitive())).ok());
+}
+
 }  // namespace
 }  // namespace sentineld

@@ -69,6 +69,162 @@ TEST(DuplicateDelivery, RuntimeStaysExactUnderDuplicates) {
   EXPECT_EQ(Signatures((*runtime)->detections()), Signatures(*expected));
 }
 
+// ---------------------------------------------------------------------
+// Message loss, site crashes, and partitions (the fault-injection layer)
+// against the reliable channel (the fault-tolerance layer).
+// ---------------------------------------------------------------------
+
+struct FaultRun {
+  RuntimeStats stats;
+  std::vector<std::string> got;
+  std::vector<std::string> want;
+  uint64_t injected = 0;
+};
+
+// Runs "A ; B" over a 4-site workload under `config`'s faults and
+// returns both the runtime's detections and the oracle's.
+FaultRun RunFaultScenario(RuntimeConfig config, uint64_t workload_seed) {
+  EventTypeRegistry registry;
+  config.num_sites = 4;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  CHECK_OK(runtime.status());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  auto rule = (*runtime)->AddRuleText("r", "A ; B");
+  CHECK_OK(rule.status());
+
+  WorkloadConfig wconfig;
+  wconfig.num_sites = 4;
+  wconfig.num_types = 4;
+  wconfig.num_events = 150;
+  Rng rng(workload_seed);
+  const Status injected = (*runtime)->InjectPlan(GenerateWorkload(wconfig, rng));
+  CHECK_OK(injected);
+
+  FaultRun run;
+  run.stats = (*runtime)->Run();
+  run.injected = (*runtime)->injected_history().size();
+  run.got = Signatures((*runtime)->detections());
+
+  ReferenceDetector oracle(&registry);
+  auto expr = ParseExpr("A ; B", registry, {});
+  CHECK_OK(expr.status());
+  auto expected = oracle.Evaluate(*expr, (*runtime)->injected_history());
+  CHECK_OK(expected.status());
+  run.want = Signatures(*expected);
+  return run;
+}
+
+// The acceptance scenario: 20% independent loss, channel on. The ARQ
+// restores every drop, so detections are EXACTLY the oracle's.
+TEST(MessageLoss, ChannelRestoresExactDetectionUnderHeavyLoss) {
+  RuntimeConfig config;
+  config.seed = 321;
+  config.network.loss_prob = 0.2;
+  config.channel.enabled = true;
+  const FaultRun run = RunFaultScenario(config, 9);
+
+  EXPECT_GT(run.stats.network_dropped, 0u);
+  EXPECT_GT(run.stats.channel_retransmits, 0u);
+  EXPECT_EQ(run.stats.channel_gave_up, 0u);
+  EXPECT_DOUBLE_EQ(run.stats.completeness, 1.0);
+  EXPECT_EQ(run.got, run.want);
+  EXPECT_FALSE(run.want.empty());
+}
+
+// The same loss with the channel off: the run completes, but every drop
+// is a silent hole. Completeness quantifies it exactly.
+TEST(MessageLoss, WithoutChannelLossIsSilentAndQuantified) {
+  RuntimeConfig config;
+  config.seed = 321;
+  config.network.loss_prob = 0.2;
+  const FaultRun run = RunFaultScenario(config, 9);
+
+  EXPECT_GT(run.stats.network_dropped, 0u);
+  EXPECT_EQ(run.stats.channel_retransmits, 0u);
+  EXPECT_LT(run.stats.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(
+      run.stats.completeness,
+      static_cast<double>(run.injected - run.stats.network_dropped) /
+          static_cast<double>(run.injected));
+  // The detector saw a subhistory, so it can detect at most the oracle's
+  // occurrences (it may legitimately detect fewer).
+  EXPECT_LE(run.got.size(), run.want.size());
+}
+
+// A 400 ms fail-stop crash of one site: messages sent while its NIC is
+// dark are dropped, but the give-up horizon (~1 s at defaults) outlives
+// the outage, so retransmits restore exactness.
+TEST(SiteCrash, ChannelRidesOutACrashWindow) {
+  RuntimeConfig config;
+  config.seed = 321;
+  config.channel.enabled = true;
+  config.network.outages.push_back(
+      SiteOutage{/*site=*/2, 1'200'000'000, 1'600'000'000});
+  const FaultRun run = RunFaultScenario(config, 9);
+
+  EXPECT_GT(run.stats.network_dropped, 0u);
+  EXPECT_GT(run.stats.channel_retransmits, 0u);
+  EXPECT_EQ(run.stats.channel_gave_up, 0u);
+  EXPECT_DOUBLE_EQ(run.stats.completeness, 1.0);
+  EXPECT_EQ(run.got, run.want);
+}
+
+// A healed partition between a site and the detector site behaves the
+// same way: drops during the partition, retransmits after.
+TEST(Partition, ChannelRidesOutAHealedPartition) {
+  RuntimeConfig config;
+  config.seed = 321;
+  config.channel.enabled = true;
+  config.network.partitions.push_back(
+      PartitionInterval{/*a=*/3, /*b=*/0, 2'000'000'000, 2'500'000'000});
+  const FaultRun run = RunFaultScenario(config, 9);
+
+  EXPECT_GT(run.stats.network_dropped, 0u);
+  EXPECT_EQ(run.stats.channel_gave_up, 0u);
+  EXPECT_DOUBLE_EQ(run.stats.completeness, 1.0);
+  EXPECT_EQ(run.got, run.want);
+}
+
+// Degraded channel under brutal loss: a retransmit cap of 1 gives up on
+// many payloads. The run stays sound (no crash), completeness drops,
+// and the watermark gap detector flags the holes it ordered past.
+TEST(MessageLoss, CappedChannelGivesUpAndFlagsGaps) {
+  RuntimeConfig config;
+  config.seed = 321;
+  config.network.loss_prob = 0.5;
+  config.channel.enabled = true;
+  config.channel.max_retransmits = 1;
+  const FaultRun run = RunFaultScenario(config, 9);
+
+  EXPECT_GT(run.stats.channel_gave_up, 0u);
+  EXPECT_GT(run.stats.watermark_gap_flags, 0u);
+  EXPECT_LT(run.stats.completeness, 1.0);
+  EXPECT_LE(run.got.size(), run.want.size());
+}
+
+// Fault-free control: with or without the channel, a lossless run is
+// exact against its own oracle and fully complete. (The runs are not
+// bit-identical to each other — ack traffic consumes jitter samples
+// from the shared RNG stream, shifting later stamps — so each run is
+// judged against its own injected history.)
+TEST(MessageLoss, ChannelIsTransparentWithoutFaults) {
+  RuntimeConfig off;
+  off.seed = 321;
+  RuntimeConfig on = off;
+  on.channel.enabled = true;
+  const FaultRun without = RunFaultScenario(off, 9);
+  const FaultRun with = RunFaultScenario(on, 9);
+  EXPECT_EQ(without.got, without.want);
+  EXPECT_EQ(with.got, with.want);
+  EXPECT_EQ(with.stats.channel_retransmits, 0u);
+  EXPECT_EQ(with.stats.channel_gave_up, 0u);
+  EXPECT_EQ(with.stats.network_dropped, 0u);
+  EXPECT_DOUBLE_EQ(without.stats.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(with.stats.completeness, 1.0);
+}
+
 TEST(UnsoundClocks, PolicyValidationCanBeBypassedForAblation) {
   Rng rng(1);
   TimebaseConfig config;  // claims Pi = 99ms

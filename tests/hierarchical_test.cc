@@ -183,6 +183,32 @@ TEST_F(HierarchicalTest, SelectivePlacementReducesRootTraffic) {
   EXPECT_GT(placed_stats.detections, 0u);
 }
 
+// Losses on BOTH hops (site -> placed detector -> root) are restored by
+// the per-link reliable channels, so placement under loss still detects
+// exactly what the oracle does.
+TEST_F(HierarchicalTest, PlacementStaysExactUnderLossWithChannel) {
+  RuntimeConfig config = BaseConfig();
+  config.network.loss_prob = 0.15;
+  config.channel.enabled = true;
+  auto runtime = HierarchicalRuntime::Create(config, &registry_);
+  ASSERT_TRUE(runtime.ok());
+  Register();
+  const auto expr = Parse("(A ; B) and (C or D)");
+  ASSERT_TRUE((*runtime)->AddRule("r", expr, {{{{0}, 2}}}).ok());
+  ASSERT_TRUE((*runtime)->InjectPlan(Workload(120, 77)).ok());
+  const RuntimeStats stats = (*runtime)->Run();
+
+  EXPECT_GT(stats.network_dropped, 0u);
+  EXPECT_GT(stats.channel_retransmits, 0u);
+  EXPECT_EQ(stats.channel_gave_up, 0u);
+  EXPECT_DOUBLE_EQ(stats.completeness, 1.0);
+
+  ReferenceDetector oracle(&registry_);
+  auto expected = oracle.Evaluate(expr, (*runtime)->injected_history());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(Signatures((*runtime)->detections()), Signatures(*expected));
+}
+
 TEST_F(HierarchicalTest, StationsReportTopology) {
   auto runtime = HierarchicalRuntime::Create(BaseConfig(), &registry_);
   ASSERT_TRUE(runtime.ok());

@@ -1,0 +1,146 @@
+// Tests of the reliable ack/retransmit channel over the lossy network:
+// plain delivery, retransmission through loss, the give-up cap, dedup of
+// duplicated frames, receive-gap reporting, and config validation.
+
+#include "dist/reliable_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/network.h"
+#include "dist/simulation.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+EventPtr Prim(SiteId site, LocalTicks local, EventTypeId type = 0) {
+  return Event::MakePrimitive(type,
+                              PrimitiveTimestamp{site, local / 10, local});
+}
+
+class ReliableLinkTest : public ::testing::Test {
+ protected:
+  void MakeLink(const NetworkConfig& net_config,
+                ReliableChannelConfig channel_config = {}) {
+    channel_config.enabled = true;
+    network_ = std::make_unique<Network>(&sim_, net_config, &rng_);
+    link_ = std::make_unique<ReliableLink>(
+        &sim_, network_.get(), /*sender=*/1, /*receiver=*/0,
+        channel_config,
+        [this](const EventPtr& e) { delivered_.push_back(e); });
+  }
+
+  Simulation sim_;
+  Rng rng_{77};
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<ReliableLink> link_;
+  std::vector<EventPtr> delivered_;
+};
+
+TEST_F(ReliableLinkTest, DeliversWithoutFaultsAndAcksStopTimers) {
+  MakeLink(NetworkConfig{});
+  for (int i = 0; i < 5; ++i) link_->Send(Prim(1, 100 + i));
+  sim_.Run();
+  EXPECT_EQ(delivered_.size(), 5u);
+  EXPECT_EQ(link_->delivered(), 5u);
+  EXPECT_EQ(link_->retransmits(), 0u);
+  EXPECT_EQ(link_->gave_up(), 0u);
+  EXPECT_EQ(link_->acks_sent(), 5u);
+  EXPECT_EQ(link_->unacked(), 0u);
+  EXPECT_FALSE(link_->has_receive_gap());
+}
+
+TEST_F(ReliableLinkTest, RetransmitsThroughLoss) {
+  NetworkConfig net;
+  net.loss_prob = 0.3;
+  MakeLink(net);
+  const int kSends = 60;
+  for (int i = 0; i < kSends; ++i) link_->Send(Prim(1, 100 + i));
+  sim_.Run();
+  // Every payload eventually lands (give-up odds at p=0.3, cap=8 are
+  // 0.3^9 per payload — negligible at this seed).
+  EXPECT_EQ(link_->delivered(), static_cast<uint64_t>(kSends));
+  EXPECT_EQ(delivered_.size(), static_cast<size_t>(kSends));
+  EXPECT_GT(link_->retransmits(), 0u);
+  EXPECT_EQ(link_->gave_up(), 0u);
+  EXPECT_GT(network_->drops_loss(), 0u);
+  EXPECT_EQ(link_->unacked(), 0u);
+}
+
+TEST_F(ReliableLinkTest, GivesUpAfterTheCap) {
+  NetworkConfig net;
+  // The receiver is dark for the whole run: every attempt is dropped.
+  net.outages.push_back(SiteOutage{0, 0, INT64_MAX});
+  ReliableChannelConfig channel;
+  channel.max_retransmits = 3;
+  MakeLink(net, channel);
+  link_->Send(Prim(1, 100));
+  link_->Send(Prim(1, 101));
+  sim_.Run();
+  EXPECT_EQ(link_->delivered(), 0u);
+  EXPECT_EQ(link_->gave_up(), 2u);
+  EXPECT_EQ(link_->retransmits(), 2u * 3u);
+  EXPECT_EQ(link_->unacked(), 0u);  // abandoned, not leaked
+  EXPECT_GT(network_->drops_outage(), 0u);
+}
+
+TEST_F(ReliableLinkTest, DuplicatedFramesAreDeliveredOnce) {
+  NetworkConfig net;
+  net.duplicate_prob = 1.0;  // every frame delivered twice
+  MakeLink(net);
+  for (int i = 0; i < 10; ++i) link_->Send(Prim(1, 100 + i));
+  sim_.Run();
+  EXPECT_EQ(delivered_.size(), 10u);
+  EXPECT_GT(link_->duplicates_dropped(), 0u);
+}
+
+TEST_F(ReliableLinkTest, PartitionHealsAndGapCloses) {
+  NetworkConfig net;
+  // Sender and receiver partitioned for the first 100 ms.
+  net.partitions.push_back(PartitionInterval{1, 0, 0, 100'000'000});
+  MakeLink(net);
+  // Sent during the partition: all early attempts drop.
+  link_->Send(Prim(1, 100));
+  sim_.Run(50'000'000);
+  EXPECT_EQ(link_->delivered(), 0u);
+  EXPECT_GT(network_->drops_partition(), 0u);
+  // Sent after healing: arrives first, exposing the seq-0 hole.
+  sim_.Run(110'000'000);
+  link_->Send(Prim(1, 101));
+  sim_.Run(130'000'000);
+  EXPECT_EQ(link_->delivered(), 1u);
+  EXPECT_TRUE(link_->has_receive_gap());
+  // Retransmission closes the hole.
+  sim_.Run();
+  EXPECT_EQ(link_->delivered(), 2u);
+  EXPECT_FALSE(link_->has_receive_gap());
+  EXPECT_EQ(link_->gave_up(), 0u);
+}
+
+TEST(ReliableChannelConfig, ValidateRejectsBadPolicies) {
+  ReliableChannelConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.initial_rto_ns = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.backoff = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.max_retransmits = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ReliableChannelConfig, GiveUpHorizonSumsBackoffGaps) {
+  ReliableChannelConfig config;
+  config.enabled = false;
+  EXPECT_EQ(config.GiveUpHorizonNs(), 0);
+  config.enabled = true;
+  config.initial_rto_ns = 10;
+  config.backoff = 2.0;
+  config.max_retransmits = 3;
+  // Gaps 10 + 20 + 40, plus one RTO of slack.
+  EXPECT_EQ(config.GiveUpHorizonNs(), 70 + 10);
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -98,6 +98,86 @@ TEST_F(SequencerTest, FlushReleasesEverything) {
   EXPECT_EQ(sequencer_->pending(), 0u);
 }
 
+TEST_F(SequencerTest, FlushReleasesALinearExtensionAcrossBatches) {
+  // Some events release normally, the rest by Flush; the concatenated
+  // release sequence must still be a linear extension of `<`.
+  Rng rng(23);
+  const StampSpace space{/*sites=*/4, /*global_range=*/20, /*ratio=*/10};
+  MakeSequencer(40);
+  for (int i = 0; i < 120; ++i) {
+    sequencer_->Offer(Event::MakePrimitive(0, RandomPrimitive(rng, space)));
+  }
+  sequencer_->AdvanceTo(140);  // watermark 100: releases the early part
+  const size_t released_normally = released_.size();
+  EXPECT_GT(released_normally, 0u);
+  EXPECT_GT(sequencer_->pending(), 0u);
+  sequencer_->Flush();
+  ASSERT_EQ(released_.size(), 120u);
+  EXPECT_EQ(sequencer_->pending(), 0u);
+  EXPECT_EQ(sequencer_->released(), 120u);
+  for (size_t i = 0; i < released_.size(); ++i) {
+    for (size_t j = i + 1; j < released_.size(); ++j) {
+      EXPECT_FALSE(
+          Before(released_[j]->timestamp(), released_[i]->timestamp()))
+          << "flush release " << j << " happens before release " << i;
+    }
+  }
+}
+
+TEST_F(SequencerTest, FlushOnEmptyBufferIsANoOp) {
+  MakeSequencer(10);
+  sequencer_->Flush();
+  EXPECT_TRUE(released_.empty());
+  EXPECT_EQ(sequencer_->released(), 0u);
+  // Flush does not disturb the watermark: later offers are judged
+  // against the last AdvanceTo, not the flush.
+  sequencer_->AdvanceTo(500);
+  sequencer_->Flush();
+  sequencer_->Offer(Prim(0, 100));  // anchor 100 < watermark 490: late
+  EXPECT_EQ(sequencer_->late_arrivals(), 1u);
+}
+
+TEST_F(SequencerTest, LateArrivalAccountingIsExactAndMonotone) {
+  MakeSequencer(10);
+  sequencer_->AdvanceTo(300);  // watermark 290
+  sequencer_->Offer(Prim(0, 289));  // late
+  sequencer_->Offer(Prim(0, 290));  // exactly at the watermark: its
+                                    // stability deadline has passed — late
+  sequencer_->Offer(Prim(0, 291));  // ahead of the watermark: on time
+  EXPECT_EQ(sequencer_->late_arrivals(), 2u);
+  // Late events are still delivered, anchor-sorted with their batch.
+  sequencer_->AdvanceTo(302);
+  ASSERT_EQ(released_.size(), 3u);
+  EXPECT_EQ(released_[0]->timestamp().stamps()[0].local, 289);
+  EXPECT_EQ(released_[1]->timestamp().stamps()[0].local, 290);
+  EXPECT_EQ(released_[2]->timestamp().stamps()[0].local, 291);
+  EXPECT_EQ(sequencer_->late_arrivals(), 2u);  // releasing adds none
+  // A second straggler after the next advance counts separately.
+  sequencer_->Offer(Prim(0, 100));
+  EXPECT_EQ(sequencer_->late_arrivals(), 3u);
+  EXPECT_EQ(sequencer_->released(), 3u);
+}
+
+TEST_F(SequencerTest, LateCompositeJudgedByMinAnchor) {
+  // A composite straddling the watermark is late iff its MIN anchor is
+  // below it — the same key used for release ordering.
+  MakeSequencer(0);
+  sequencer_->AdvanceTo(200);
+  // Concurrent constituents (globals within one tick) so Max(ST) keeps
+  // both elements and the min anchor differs from the max.
+  const auto straddles = Event::MakeComposite(
+      7, {Event::MakePrimitive(1, PrimitiveTimestamp{1, 15, 150}),
+          Event::MakePrimitive(2, PrimitiveTimestamp{2, 16, 165})});
+  EXPECT_EQ(MinAnchorTick(straddles->timestamp()), 150);
+  sequencer_->Offer(straddles);
+  EXPECT_EQ(sequencer_->late_arrivals(), 1u);
+  const auto ahead = Event::MakeComposite(
+      7, {Event::MakePrimitive(1, PrimitiveTimestamp{1, 21, 210}),
+          Event::MakePrimitive(2, PrimitiveTimestamp{2, 22, 225})});
+  sequencer_->Offer(ahead);
+  EXPECT_EQ(sequencer_->late_arrivals(), 1u);
+}
+
 TEST_F(SequencerTest, CompositeAnchorSkewHandledByMinAnchorRelease) {
   // A composite timestamp can be `<`-before another while having a LARGER
   // MAX local tick: here a < b (a's site-1 element is below b's) yet

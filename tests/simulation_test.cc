@@ -123,5 +123,106 @@ TEST(Network, FifoPreservesPerLinkOrder) {
   EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
 }
 
+TEST(Network, LossDropsAndCounts) {
+  Simulation sim;
+  Rng rng(11);
+  NetworkConfig config;
+  config.loss_prob = 0.4;
+  Network network(&sim, config, &rng);
+  int delivered = 0;
+  const int kSends = 500;
+  for (int i = 0; i < kSends; ++i) {
+    network.Send(0, 1, [&] { ++delivered; });
+  }
+  sim.Run();
+  EXPECT_EQ(network.messages_sent(), static_cast<uint64_t>(kSends));
+  EXPECT_GT(network.drops_loss(), 0u);
+  EXPECT_EQ(static_cast<uint64_t>(delivered),
+            kSends - network.drops_loss());
+  EXPECT_EQ(network.messages_dropped(), network.drops_loss());
+  // Roughly the configured rate (binomial, 500 trials).
+  EXPECT_NEAR(static_cast<double>(network.drops_loss()) / kSends, 0.4,
+              0.1);
+}
+
+TEST(Network, OutageDropsAtSenderAndReceiver) {
+  Simulation sim;
+  Rng rng(11);
+  NetworkConfig config;
+  config.outages.push_back(SiteOutage{/*site=*/1, 100, 10'000'000});
+  Network network(&sim, config, &rng);
+  int delivered = 0;
+  // Before the outage: site 1 can send.
+  network.Send(1, 0, [&] { ++delivered; });
+  sim.Run(99);
+  // During: site 1 can neither send nor receive.
+  sim.At(5'000, [&] {
+    network.Send(1, 0, [&] { ++delivered; });  // sender down
+    network.Send(0, 1, [&] { ++delivered; });  // receiver down at arrival
+  });
+  sim.Run(9'999'999);
+  // After recovery, traffic flows again.
+  sim.At(20'000'000, [&] { network.Send(0, 1, [&] { ++delivered; }); });
+  sim.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(network.drops_outage(), 2u);
+  EXPECT_EQ(network.messages_dropped(), 2u);
+}
+
+TEST(Network, PartitionDropsBothDirectionsAndHeals) {
+  Simulation sim;
+  Rng rng(11);
+  NetworkConfig config;
+  config.partitions.push_back(PartitionInterval{0, 1, 0, 10'000'000});
+  Network network(&sim, config, &rng);
+  int delivered = 0;
+  network.Send(0, 1, [&] { ++delivered; });  // dropped (as listed)
+  network.Send(1, 0, [&] { ++delivered; });  // dropped (symmetric)
+  network.Send(0, 2, [&] { ++delivered; });  // unaffected pair
+  sim.Run(9'999'999);
+  sim.At(20'000'000, [&] { network.Send(0, 1, [&] { ++delivered; }); });
+  sim.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(network.drops_partition(), 2u);
+}
+
+TEST(NetworkConfig, ValidateRejectsBadKnobs) {
+  NetworkConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+
+  config.base_latency_ns = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.jitter_mean_ns = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.local_latency_ns = -1;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = {};
+  config.loss_prob = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.loss_prob = 1.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.loss_prob = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+
+  config = {};
+  config.outages.push_back(SiteOutage{0, 500, 100});  // inverted window
+  EXPECT_FALSE(config.Validate().ok());
+  config.outages[0] = SiteOutage{0, -1, 100};  // negative start
+  EXPECT_FALSE(config.Validate().ok());
+  config.outages[0] = SiteOutage{0, 100, 500};
+  EXPECT_TRUE(config.Validate().ok());
+
+  config = {};
+  config.partitions.push_back(PartitionInterval{0, 1, 500, 100});
+  EXPECT_FALSE(config.Validate().ok());
+  config.partitions[0] = PartitionInterval{2, 2, 100, 500};  // a == b
+  EXPECT_FALSE(config.Validate().ok());
+  config.partitions[0] = PartitionInterval{0, 1, 100, 500};
+  EXPECT_TRUE(config.Validate().ok());
+}
+
 }  // namespace
 }  // namespace sentineld
