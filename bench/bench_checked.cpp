@@ -1,0 +1,102 @@
+// PERF-2: overhead of the SENTINELD_CHECKED invariant assertions
+// (src/util/checked.h) on the code paths that carry them: composite
+// max-set construction (Thm 5.1 re-validation), the Def 5.3 comparator
+// (irreflexivity/antisymmetry self-checks), and the sequencer release
+// path (watermark and linear-extension checks). Build this binary twice —
+// once with -DSENTINELD_CHECKED=ON, once without — and diff the numbers;
+// each benchmark labels which mode it measured. DESIGN.md §10 records the
+// measured ratios.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dist/sequencer.h"
+#include "event/event.h"
+#include "timestamp/composite_timestamp.h"
+#include "util/checked.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+const char* ModeLabel() { return kCheckedBuild ? "checked" : "unchecked"; }
+
+PrimitiveTimestamp RandomStamp(Rng& rng, uint32_t sites,
+                               GlobalTicks range) {
+  PrimitiveTimestamp t;
+  t.site = static_cast<SiteId>(rng.NextBounded(sites));
+  t.global = rng.NextInt(0, range - 1);
+  t.local = t.global * 10 + rng.NextInt(0, 9);
+  return t;
+}
+
+std::vector<PrimitiveTimestamp> RandomStamps(Rng& rng, size_t n,
+                                             uint32_t sites,
+                                             GlobalTicks range) {
+  std::vector<PrimitiveTimestamp> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(RandomStamp(rng, sites, range));
+  }
+  return out;
+}
+
+void BM_CheckedMaxOf(benchmark::State& state) {
+  Rng rng(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto stamps = RandomStamps(rng, n, /*sites=*/4, /*range=*/64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompositeTimestamp::MaxOf(stamps));
+  }
+  state.SetLabel(ModeLabel());
+}
+BENCHMARK(BM_CheckedMaxOf)->Arg(4)->Arg(16);
+
+void BM_CheckedBefore(benchmark::State& state) {
+  Rng rng(11);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<CompositeTimestamp> stamps;
+  for (int i = 0; i < 64; ++i) {
+    stamps.push_back(CompositeTimestamp::MaxOf(
+        RandomStamps(rng, n, /*sites=*/4, /*range=*/64)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = stamps[i % stamps.size()];
+    const auto& b = stamps[(i + 1) % stamps.size()];
+    benchmark::DoNotOptimize(Before(a, b));
+    ++i;
+  }
+  state.SetLabel(ModeLabel());
+}
+BENCHMARK(BM_CheckedBefore)->Arg(2)->Arg(8);
+
+void BM_CheckedSequencer(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<EventPtr> events;
+  for (int i = 0; i < 256; ++i) {
+    events.push_back(Event::MakePrimitive(
+        /*type=*/0, RandomStamp(rng, /*sites=*/4, /*range=*/1024)));
+  }
+  for (auto _ : state) {
+    size_t released = 0;
+    Sequencer sequencer(/*stability_window_ticks=*/64,
+                        [&](const EventPtr&) { ++released; },
+                        /*dedup=*/false);
+    for (const EventPtr& event : events) {
+      sequencer.Offer(event);
+      sequencer.AdvanceTo(
+          event->timestamp().stamps().front().local + 128);
+    }
+    sequencer.Flush();
+    benchmark::DoNotOptimize(released);
+  }
+  state.SetLabel(ModeLabel());
+}
+BENCHMARK(BM_CheckedSequencer);
+
+}  // namespace
+}  // namespace sentineld
+
+BENCHMARK_MAIN();

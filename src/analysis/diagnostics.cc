@@ -1,0 +1,79 @@
+#include "analysis/diagnostics.h"
+
+#include "util/string_util.h"
+
+namespace sentineld {
+
+const char* LintSeverityToString(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kNote:
+      return "note";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* LintIdToString(LintId id) {
+  switch (id) {
+    case LintId::kParseError:
+      return "SL001";
+    case LintId::kInvertedWindow:
+      return "SL002";
+    case LintId::kIdenticalWindowEndpoints:
+      return "SL003";
+    case LintId::kDuplicateAnyConstituent:
+      return "SL004";
+    case LintId::kDuplicateOperand:
+      return "SL005";
+    case LintId::kNotMiddleIsEndpoint:
+      return "SL006";
+    case LintId::kMiddleRequiresTerminator:
+      return "SL007";
+    case LintId::kPointPolicyAnomaly:
+      return "SL008";
+    case LintId::kContextNoEffect:
+      return "SL009";
+    case LintId::kCumulativeNoAccumulator:
+      return "SL010";
+    case LintId::kCollapsibleAny:
+      return "SL011";
+  }
+  return "SL???";
+}
+
+bool HasLintErrors(std::span<const Diagnostic> diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == LintSeverity::kError) return true;
+  }
+  return false;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic) {
+  std::string out = StrCat(LintSeverityToString(diagnostic.severity), " ",
+                           LintIdToString(diagnostic.id));
+  if (diagnostic.has_span()) {
+    out = StrCat(out, " [", diagnostic.begin, "-", diagnostic.end, "]");
+  }
+  out = StrCat(out, " ", diagnostic.message);
+  if (!diagnostic.subexpr.empty()) {
+    out = StrCat(out, ": `", diagnostic.subexpr, "`");
+  }
+  if (!diagnostic.citation.empty()) {
+    out = StrCat(out, " (cites ", diagnostic.citation, ")");
+  }
+  return out;
+}
+
+std::string FormatDiagnostics(std::span<const Diagnostic> diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += FormatDiagnostic(d);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sentineld

@@ -1,0 +1,83 @@
+#ifndef SENTINELD_ANALYSIS_DIAGNOSTICS_H_
+#define SENTINELD_ANALYSIS_DIAGNOSTICS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sentineld {
+
+/// Severity of a static-analysis finding.
+///
+///   kError   — the rule is malformed: under the paper's semantics it can
+///              never (or only degenerately) detect, or it violates a
+///              documented operator contract. Rule registration rejects
+///              these (see SentinelService::DefineRule) unless the rule
+///              opts out.
+///   kWarning — the rule is well-formed but almost certainly not what the
+///              author meant, or it is exposed to a documented semantic
+///              pitfall (e.g. the point-based sequence anomaly).
+///   kNote    — style/clarity: a declared knob has no effect, or an
+///              equivalent simpler spelling exists.
+enum class LintSeverity { kNote, kWarning, kError };
+
+const char* LintSeverityToString(LintSeverity severity);
+
+/// Stable identifiers of the diagnostics sentinel-lint can emit; the
+/// catalogue (one entry per kind, with the paper definition it enforces)
+/// lives in docs/analysis.md.
+enum class LintId {
+  kParseError,               // SL001
+  kInvertedWindow,           // SL002
+  kIdenticalWindowEndpoints, // SL003
+  kDuplicateAnyConstituent,  // SL004
+  kDuplicateOperand,         // SL005
+  kNotMiddleIsEndpoint,      // SL006
+  kMiddleRequiresTerminator, // SL007
+  kPointPolicyAnomaly,       // SL008
+  kContextNoEffect,          // SL009
+  kCumulativeNoAccumulator,  // SL010
+  kCollapsibleAny,           // SL011
+};
+
+/// The "SLnnn" code of a diagnostic kind.
+const char* LintIdToString(LintId id);
+
+/// One static-analysis finding against a rule expression.
+struct Diagnostic {
+  LintId id = LintId::kParseError;
+  LintSeverity severity = LintSeverity::kError;
+  /// Human-readable statement of the problem (one line, no trailing
+  /// period-newline; the formatter appends location and citation).
+  std::string message;
+  /// The paper (or related-work) definition/theorem the finding rests
+  /// on, e.g. "Def 5.1 (max set)".
+  std::string citation;
+  /// Source span [begin, end) in the rule-expression text; equal (both
+  /// zero) when the expression was built programmatically and carries no
+  /// spans.
+  size_t begin = 0;
+  size_t end = 0;
+  /// Path of child indices from the expression root to the flagged node
+  /// (empty = the root itself); resolvable with SubexprAt.
+  std::vector<size_t> path;
+  /// Canonical text of the flagged subexpression.
+  std::string subexpr;
+
+  bool has_span() const { return end > begin; }
+};
+
+/// True if any diagnostic is at kError severity.
+bool HasLintErrors(std::span<const Diagnostic> diagnostics);
+
+/// Renders one diagnostic as
+///   "<severity> SLnnn [<begin>-<end>] <message>: `<subexpr>` (cites ...)"
+/// omitting the span when absent and the citation when empty.
+std::string FormatDiagnostic(const Diagnostic& diagnostic);
+
+/// One FormatDiagnostic line per entry, each terminated with '\n'.
+std::string FormatDiagnostics(std::span<const Diagnostic> diagnostics);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_ANALYSIS_DIAGNOSTICS_H_

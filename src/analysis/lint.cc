@@ -1,0 +1,379 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+/// Shared state of one LintExpr run: the registry for canonical names, the
+/// deployment options, a canonical-form cache, and the findings.
+class Linter {
+ public:
+  Linter(const EventTypeRegistry& registry, const LintOptions& options)
+      : registry_(registry), options_(options) {}
+
+  std::vector<Diagnostic> Run(const ExprPtr& root) {
+    CheckContextFit(root);
+    std::vector<size_t> path;
+    Visit(root, path);
+    Filter();
+    return std::move(diagnostics_);
+  }
+
+ private:
+  /// Canonical text of `expr` (commutative operands sorted), the
+  /// structural-identity key sub-expression sharing also uses.
+  const std::string& Canon(const ExprPtr& expr) {
+    auto it = canon_.find(expr.get());
+    if (it == canon_.end()) {
+      it = canon_
+               .emplace(expr.get(),
+                        CanonicalizeExpr(expr, registry_)->ToString(registry_))
+               .first;
+    }
+    return it->second;
+  }
+
+  /// Decomposes a chain of `+` offsets: "B + 2t + 3t" -> {B, 5}.
+  static std::pair<ExprPtr, int64_t> PlusBase(ExprPtr expr) {
+    int64_t ticks = 0;
+    while (expr->kind == OpKind::kPlus) {
+      ticks += expr->period_ticks;
+      expr = expr->children[0];
+    }
+    return {expr, ticks};
+  }
+
+  /// Whether occurrences of `expr` can extend over time (more than one
+  /// constituent): everything except primitives and disjunctions of
+  /// non-spanning alternatives (OR re-types its operand's occurrence
+  /// unchanged).
+  bool Spanning(const ExprPtr& expr) {
+    switch (expr->kind) {
+      case OpKind::kPrimitive:
+        return false;
+      case OpKind::kOr:
+        return Spanning(expr->children[0]) || Spanning(expr->children[1]);
+      default:
+        return true;
+    }
+  }
+
+  /// Whether every occurrence of `expr` necessarily carries a completed
+  /// occurrence of the expression whose canonical form is `key` among its
+  /// constituents. Follows what each operator's emitted occurrence
+  /// contains (see snoop/node.h): AND/SEQ carry both operands, OR one of
+  /// them, NOT {initiator, terminator}, A {initiator, middle},
+  /// A* {initiator, ..., terminator}, P {initiator, tick},
+  /// P* {initiator, ..., terminator}, + {initiator, tick},
+  /// ANY m of n (so at least n-m+1 children would have to carry it).
+  bool NecessarilyContains(const ExprPtr& expr, const std::string& key) {
+    if (Canon(expr) == key) return true;
+    const auto& c = expr->children;
+    switch (expr->kind) {
+      case OpKind::kPrimitive:
+        return false;
+      case OpKind::kAnd:
+      case OpKind::kSeq:
+        return NecessarilyContains(c[0], key) ||
+               NecessarilyContains(c[1], key);
+      case OpKind::kOr:
+        return NecessarilyContains(c[0], key) &&
+               NecessarilyContains(c[1], key);
+      case OpKind::kNot:
+        return NecessarilyContains(c[1], key) ||
+               NecessarilyContains(c[2], key);
+      case OpKind::kAperiodic:
+        return NecessarilyContains(c[0], key) ||
+               NecessarilyContains(c[1], key);
+      case OpKind::kAperiodicStar:
+        return NecessarilyContains(c[0], key) ||
+               NecessarilyContains(c[2], key);
+      case OpKind::kPeriodic:
+      case OpKind::kPlus:
+        return NecessarilyContains(c[0], key);
+      case OpKind::kPeriodicStar:
+        return NecessarilyContains(c[0], key) ||
+               NecessarilyContains(c[1], key);
+      case OpKind::kAny: {
+        size_t carrying = 0;
+        for (const ExprPtr& child : c) {
+          if (NecessarilyContains(child, key)) ++carrying;
+        }
+        return carrying >= c.size() - static_cast<size_t>(
+                                          expr->any_threshold) + 1;
+      }
+    }
+    return false;
+  }
+
+  void Report(LintId id, LintSeverity severity, const ExprPtr& node,
+              const std::vector<size_t>& path, std::string message,
+              std::string citation) {
+    Diagnostic d;
+    d.id = id;
+    d.severity = severity;
+    d.message = std::move(message);
+    d.citation = std::move(citation);
+    d.begin = node->src_begin;
+    d.end = node->src_end;
+    d.path = path;
+    d.subexpr = node->ToString(registry_);
+    diagnostics_.push_back(std::move(d));
+  }
+
+  /// Expression-wide context diagnostics (SL009/SL010), reported at the
+  /// root before the per-node walk.
+  void CheckContextFit(const ExprPtr& root) {
+    if (options_.context == ParamContext::kUnrestricted) return;
+    if (!HasContextSensitiveOp(root)) {
+      Report(LintId::kContextNoEffect, LintSeverity::kNote, root, {},
+             StrCat("declared context ",
+                    ParamContextToString(options_.context),
+                    " has no effect: the expression contains only "
+                    "context-insensitive operators (primitive, or)"),
+             "Snoop parameter contexts (Chakravarthy et al. VLDB'94)");
+      return;  // the stronger statement subsumes SL010
+    }
+    if (options_.context == ParamContext::kCumulative &&
+        !HasAccumulatingOp(root)) {
+      Report(LintId::kCumulativeNoAccumulator, LintSeverity::kWarning, root,
+             {},
+             "kCumulative context but no accumulating operator (and, ANY, "
+             "';', A*, P*): A deliberately does not accumulate (its "
+             "cumulative variant is A*), so the rule behaves as "
+             "kContinuous",
+             "Snoop parameter contexts (Chakravarthy et al. VLDB'94)");
+    }
+  }
+
+  static bool HasContextSensitiveOp(const ExprPtr& expr) {
+    if (expr->kind != OpKind::kPrimitive && expr->kind != OpKind::kOr) {
+      return true;
+    }
+    return std::any_of(expr->children.begin(), expr->children.end(),
+                       HasContextSensitiveOp);
+  }
+
+  static bool HasAccumulatingOp(const ExprPtr& expr) {
+    switch (expr->kind) {
+      case OpKind::kAnd:
+      case OpKind::kAny:
+      case OpKind::kSeq:
+      case OpKind::kAperiodicStar:
+      case OpKind::kPeriodicStar:
+        return true;
+      default:
+        return std::any_of(expr->children.begin(), expr->children.end(),
+                           HasAccumulatingOp);
+    }
+  }
+
+  void Visit(const ExprPtr& node, std::vector<size_t>& path) {
+    switch (node->kind) {
+      case OpKind::kNot:
+        CheckWindow(node, path, /*initiator=*/node->children[1],
+                    /*terminator=*/node->children[2]);
+        CheckNotMiddle(node, path);
+        CheckMiddle(node, path, /*middle=*/node->children[0],
+                    /*terminator=*/node->children[2]);
+        break;
+      case OpKind::kAperiodic:
+      case OpKind::kAperiodicStar:
+        CheckWindow(node, path, node->children[0], node->children[2]);
+        CheckMiddle(node, path, node->children[1], node->children[2]);
+        break;
+      case OpKind::kPeriodic:
+      case OpKind::kPeriodicStar:
+        CheckWindow(node, path, node->children[0], node->children[1]);
+        break;
+      case OpKind::kAny:
+        CheckAny(node, path);
+        break;
+      case OpKind::kAnd:
+      case OpKind::kOr:
+        CheckDuplicateOperand(node, path);
+        break;
+      case OpKind::kSeq:
+        CheckSeqAnomaly(node, path);
+        break;
+      case OpKind::kPrimitive:
+      case OpKind::kPlus:
+        break;
+    }
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      path.push_back(i);
+      Visit(node->children[i], path);
+      path.pop_back();
+    }
+  }
+
+  /// SL002 / SL003: window shape. `initiator` opens and `terminator`
+  /// closes the operator's window.
+  void CheckWindow(const ExprPtr& node, const std::vector<size_t>& path,
+                   const ExprPtr& initiator, const ExprPtr& terminator) {
+    if (Canon(initiator) == Canon(terminator)) {
+      Report(LintId::kIdenticalWindowEndpoints, LintSeverity::kWarning, node,
+             path,
+             "window initiator and terminator are the same expression: each "
+             "occurrence both opens and closes windows, and which role wins "
+             "is an implementation tie-break",
+             "paper Sec. 5.3 (operator windows)");
+      return;
+    }
+    auto [init_base, init_ticks] = PlusBase(initiator);
+    auto [term_base, term_ticks] = PlusBase(terminator);
+    if ((init_ticks != 0 || term_ticks != 0) &&
+        Canon(init_base) == Canon(term_base) && term_ticks <= init_ticks) {
+      Report(
+          LintId::kInvertedWindow, LintSeverity::kError, node, path,
+          term_ticks == init_ticks
+              ? StrCat("degenerate window: initiator and terminator fire at "
+                       "the same tick (+",
+                       init_ticks, "t) after the same anchor `",
+                       Canon(init_base), "`, so the open window is empty")
+              : StrCat("inverted window: the terminator fires ",
+                       init_ticks - term_ticks,
+                       " ticks before the initiator for the same anchor "
+                       "occurrence of `",
+                       Canon(init_base), "`"),
+          "paper Prop. 4.1 (same-site local order) and Sec. 5.3 (open "
+          "windows)");
+    }
+  }
+
+  /// SL006: not() middle equal to one of its window endpoints.
+  void CheckNotMiddle(const ExprPtr& node, const std::vector<size_t>& path) {
+    const std::string& middle = Canon(node->children[0]);
+    const bool is_initiator = middle == Canon(node->children[1]);
+    const bool is_terminator = middle == Canon(node->children[2]);
+    if (!is_initiator && !is_terminator) return;
+    Report(LintId::kNotMiddleIsEndpoint, LintSeverity::kWarning, node, path,
+           StrCat("the forbidden event of not() is the window ",
+                  is_initiator ? "initiator" : "terminator",
+                  " itself; the open interval excludes its endpoints, so "
+                  "only *other* occurrences of that stream can block"),
+           "paper Def 5.5 / Sec. 5.3 (non-occurrence over an open "
+           "interval)");
+  }
+
+  /// SL007: a middle operand that cannot complete without an occurrence
+  /// of the window terminator among its constituents.
+  void CheckMiddle(const ExprPtr& node, const std::vector<size_t>& path,
+                   const ExprPtr& middle, const ExprPtr& terminator) {
+    const std::string& term_key = Canon(terminator);
+    if (Canon(middle) == term_key) return;  // SL003/SL006 territory
+    if (!NecessarilyContains(middle, term_key)) return;
+    Report(LintId::kMiddleRequiresTerminator, LintSeverity::kWarning, node,
+           path,
+           StrCat(node->kind == OpKind::kNot
+                      ? "the not() guard is near-vacuous: every occurrence "
+                        "of the forbidden event carries an occurrence of "
+                        "the window terminator `"
+                      : "unreachable middle: every occurrence of the middle "
+                        "operand carries an occurrence of the window "
+                        "terminator `",
+                  term_key,
+                  "`, whose timestamp closes the window at or before the "
+                  "middle's own timestamp (strict containment can only "
+                  "arise from timestamp-equality corner cases)"),
+           "paper Def 5.2 (timestamp = max over constituents), Def 5.3");
+  }
+
+  /// SL004 / SL011: ANY constituent distinctness and collapsible forms.
+  void CheckAny(const ExprPtr& node, const std::vector<size_t>& path) {
+    std::map<std::string, size_t> first_seen;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const std::string& key = Canon(node->children[i]);
+      auto [it, inserted] = first_seen.emplace(key, i);
+      if (!inserted) {
+        Report(LintId::kDuplicateAnyConstituent, LintSeverity::kError, node,
+               path,
+               StrCat("ANY constituents must be distinct events; operand ",
+                      i + 1, " repeats operand ", it->second + 1),
+               "Snoop ANY (m of n *distinct* events; snoop/ast.h contract)");
+      }
+    }
+    const size_t n = node->children.size();
+    if (node->any_threshold == 1) {
+      Report(LintId::kCollapsibleAny, LintSeverity::kNote, node, path,
+             "ANY(1, ...) is equivalent to a disjunction; prefer `or`",
+             "");
+    } else if (static_cast<size_t>(node->any_threshold) == n) {
+      Report(LintId::kCollapsibleAny, LintSeverity::kNote, node, path,
+             StrCat("ANY(", n, ", ...) over ", n,
+                    " constituents is equivalent to a conjunction; prefer "
+                    "`and`"),
+             "");
+    }
+  }
+
+  /// SL005: `E and E` / `E or E`.
+  void CheckDuplicateOperand(const ExprPtr& node,
+                             const std::vector<size_t>& path) {
+    if (Canon(node->children[0]) != Canon(node->children[1])) return;
+    Report(LintId::kDuplicateOperand, LintSeverity::kWarning, node, path,
+           node->kind == OpKind::kAnd
+               ? "conjunction of an expression with itself: both operands "
+                 "compile to one shared graph node and a pair of "
+                 "occurrences collapses under max(ST) whenever one "
+                 "dominates the other"
+               : "disjunction of an expression with itself: the second "
+                 "alternative is unreachable (never adds an occurrence)",
+           "paper Def 5.1 (max set)");
+  }
+
+  /// SL008: the documented point-based sequence anomaly.
+  void CheckSeqAnomaly(const ExprPtr& node, const std::vector<size_t>& path) {
+    if (options_.interval_policy != IntervalPolicy::kPointBased) return;
+    if (!Spanning(node->children[1])) return;
+    Report(LintId::kPointPolicyAnomaly, LintSeverity::kWarning, node, path,
+           "under point-based semantics a sequence compares only the "
+           "operands' (max) timestamps, so early constituents of the "
+           "right operand may precede the left operand entirely (the "
+           "\"B ; (A ; C)\" anomaly); consider "
+           "IntervalPolicy::kIntervalBased",
+           "snoop/context.h (IntervalPolicy); bench/interval_anomaly");
+  }
+
+  void Filter() {
+    if (options_.suppressed.empty()) return;
+    const auto suppressed = [&](const Diagnostic& d) {
+      return std::find(options_.suppressed.begin(),
+                       options_.suppressed.end(),
+                       LintIdToString(d.id)) != options_.suppressed.end();
+    };
+    diagnostics_.erase(std::remove_if(diagnostics_.begin(),
+                                      diagnostics_.end(), suppressed),
+                       diagnostics_.end());
+  }
+
+  const EventTypeRegistry& registry_;
+  const LintOptions& options_;
+  std::map<const Expr*, std::string> canon_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> LintExpr(const ExprPtr& expr,
+                                 const EventTypeRegistry& registry,
+                                 const LintOptions& options) {
+  // Robustness first: the linter runs on untrusted input (rule files,
+  // fuzzers) and must never crash on a malformed tree.
+  if (const Status valid = ValidateExpr(expr); !valid.ok()) {
+    Diagnostic d;
+    d.id = LintId::kParseError;
+    d.severity = LintSeverity::kError;
+    d.message = StrCat("invalid expression tree: ", valid.message());
+    return {std::move(d)};
+  }
+  return Linter(registry, options).Run(expr);
+}
+
+}  // namespace sentineld

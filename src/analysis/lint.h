@@ -1,0 +1,41 @@
+#ifndef SENTINELD_ANALYSIS_LINT_H_
+#define SENTINELD_ANALYSIS_LINT_H_
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "event/registry.h"
+#include "snoop/ast.h"
+#include "snoop/context.h"
+
+namespace sentineld {
+
+/// Deployment knobs the analyzer checks the expression against: the
+/// diagnostics about context/operator mismatches and the point-based
+/// sequence anomaly depend on how the rule will actually run.
+struct LintOptions {
+  /// Parameter context the rule will be registered under.
+  ParamContext context = ParamContext::kUnrestricted;
+  /// Eligibility policy of the hosting detector (snoop/context.h).
+  IntervalPolicy interval_policy = IntervalPolicy::kPointBased;
+  /// Diagnostic ids ("SL005", ...) to drop from the result — the
+  /// programmatic form of a rule-file inline suppression.
+  std::vector<std::string> suppressed;
+};
+
+/// Statically analyzes a validated rule expression and returns every
+/// finding, in pre-order position of the flagged node (outermost first),
+/// errors before warnings before notes at the same node.
+///
+/// The checks are purely structural — no occurrence stream is consulted —
+/// and each finding cites the paper definition it rests on; docs/analysis.md
+/// is the catalogue. The analyzer never mutates `expr` and accepts any
+/// tree ValidateExpr accepts (including programmatically built ones
+/// without source spans).
+std::vector<Diagnostic> LintExpr(const ExprPtr& expr,
+                                 const EventTypeRegistry& registry,
+                                 const LintOptions& options = {});
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_ANALYSIS_LINT_H_

@@ -1,0 +1,157 @@
+#include "analysis/rule_file.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "event/registry.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Extracts "SLnnn" ids from a `# lint-suppress: SL008, SL005 ...`
+/// trailing comment; everything after the ids is free-form rationale.
+std::vector<std::string> ParseSuppressions(std::string_view comment) {
+  std::vector<std::string> ids;
+  constexpr std::string_view kTag = "lint-suppress:";
+  const size_t tag = comment.find(kTag);
+  if (tag == std::string_view::npos) return ids;
+  std::string_view rest = comment.substr(tag + kTag.size());
+  size_t i = 0;
+  while (i < rest.size()) {
+    const size_t sl = rest.find("SL", i);
+    if (sl == std::string_view::npos) break;
+    size_t end = sl + 2;
+    while (end < rest.size() &&
+           std::isdigit(static_cast<unsigned char>(rest[end]))) {
+      ++end;
+    }
+    if (end > sl + 2) ids.emplace_back(rest.substr(sl, end - sl));
+    i = end;
+  }
+  return ids;
+}
+
+}  // namespace
+
+RuleFileReport LintRuleSource(std::string_view content,
+                              const LintOptions& options,
+                              const TimebaseConfig& timebase) {
+  RuleFileReport report;
+  std::istringstream lines{std::string(content)};
+  std::string raw;
+  size_t line_number = 0;
+  while (std::getline(lines, raw)) {
+    ++line_number;
+    std::string_view line = raw;
+
+    // Split off the trailing comment (expressions never contain '#').
+    std::string_view comment;
+    if (const size_t hash = line.find('#'); hash != std::string_view::npos) {
+      comment = line.substr(hash + 1);
+      line = line.substr(0, hash);
+    }
+    if (Trim(line).empty()) continue;
+
+    LintedRule rule;
+    rule.line = line_number;
+    // `name : expression` — ':' is not an expression token, so the first
+    // one (if any) is the separator.
+    std::string_view expr_text = line;
+    if (const size_t colon = line.find(':'); colon != std::string_view::npos) {
+      rule.name = std::string(Trim(line.substr(0, colon)));
+      expr_text = line.substr(colon + 1);
+    }
+    if (rule.name.empty()) rule.name = StrCat("line", line_number);
+
+    // Column (1-based) where the expression text begins, so diagnostic
+    // spans (expression-relative) can be mapped back into the file line.
+    const size_t expr_offset =
+        static_cast<size_t>(expr_text.data() - raw.data());
+    std::string_view trimmed = Trim(expr_text);
+    rule.expr_column =
+        expr_offset + static_cast<size_t>(trimmed.data() - expr_text.data())
+        + 1;
+    rule.expr_text = std::string(trimmed);
+
+    // Each catalogue line parses against a fresh registry: catalogues are
+    // self-contained and must not leak types across rules of different
+    // deployments.
+    EventTypeRegistry registry;
+    ParserOptions parser_options;
+    parser_options.auto_register = true;
+    parser_options.timebase = timebase;
+    LintOptions rule_options = options;
+    for (std::string& id : ParseSuppressions(comment)) {
+      rule_options.suppressed.push_back(std::move(id));
+    }
+    Result<ExprPtr> expr =
+        ParseExpr(rule.expr_text, registry, parser_options);
+    if (!expr.ok()) {
+      Diagnostic d;
+      d.id = LintId::kParseError;
+      d.severity = LintSeverity::kError;
+      d.message = StrCat("expression does not parse: ",
+                         expr.status().message());
+      rule.diagnostics.push_back(std::move(d));
+    } else {
+      rule.diagnostics = LintExpr(*expr, registry, rule_options);
+    }
+    for (const Diagnostic& d : rule.diagnostics) {
+      switch (d.severity) {
+        case LintSeverity::kError:
+          ++report.errors;
+          break;
+        case LintSeverity::kWarning:
+          ++report.warnings;
+          break;
+        case LintSeverity::kNote:
+          ++report.notes;
+          break;
+      }
+    }
+    report.rules.push_back(std::move(rule));
+  }
+  return report;
+}
+
+std::string RuleFileReport::Format(std::string_view filename) const {
+  std::string out;
+  for (const LintedRule& rule : rules) {
+    for (const Diagnostic& d : rule.diagnostics) {
+      const size_t column =
+          d.has_span() ? rule.expr_column + d.begin : rule.expr_column;
+      out += StrCat(filename, ":", rule.line, ":", column, ": rule `",
+                    rule.name, "`: ", FormatDiagnostic(d), "\n");
+    }
+  }
+  out += StrCat(filename, ": ", rules.size(), " rule(s), ", errors,
+                " error(s), ", warnings, " warning(s), ", notes,
+                " note(s)\n");
+  return out;
+}
+
+Result<RuleFileReport> LintRuleFile(const std::string& path,
+                                    const LintOptions& options,
+                                    const TimebaseConfig& timebase) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot read rule file '", path, "'"));
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return LintRuleSource(content.str(), options, timebase);
+}
+
+}  // namespace sentineld

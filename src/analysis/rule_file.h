@@ -1,0 +1,66 @@
+#ifndef SENTINELD_ANALYSIS_RULE_FILE_H_
+#define SENTINELD_ANALYSIS_RULE_FILE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "snoop/parser.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// A `.rules` catalogue: one rule per non-blank line,
+///
+///   # full-line comment
+///   <name> : <expression>        # optional trailing comment
+///   <expression>                 # unnamed rule
+///
+/// A trailing comment of the form `# lint-suppress: SL008, SL005 <why>`
+/// drops those diagnostic ids for that rule only — the inline suppression
+/// the CI lint gate requires next to any finding that is intentional.
+/// Identifiers are auto-registered (catalogues are self-contained).
+struct LintedRule {
+  std::string name;       ///< declared name, or "line<N>" when unnamed
+  size_t line = 0;        ///< 1-based line number in the source
+  size_t expr_column = 0; ///< 1-based column where the expression starts
+  std::string expr_text;
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Result of linting one rule file.
+struct RuleFileReport {
+  std::vector<LintedRule> rules;
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t notes = 0;
+
+  /// True when the file passes the gate: no errors, and no warnings
+  /// either when `werror` is set (notes never fail).
+  bool Passes(bool werror) const {
+    return errors == 0 && (!werror || warnings == 0);
+  }
+
+  /// Renders "<file>:<line>:<col>: rule `<name>`: <diagnostic>" lines
+  /// (columns are 1-based within the file line) followed by a one-line
+  /// summary. This exact text is pinned by the golden-output tests.
+  std::string Format(std::string_view filename) const;
+};
+
+/// Lints every rule in `content` under `options`; `timebase` converts
+/// duration literals. Returns an error only when the file itself is
+/// unreadable as a catalogue (individual unparsable rules become SL001
+/// diagnostics, not a failed call).
+RuleFileReport LintRuleSource(std::string_view content,
+                              const LintOptions& options,
+                              const TimebaseConfig& timebase = {});
+
+/// Reads and lints `path`; NotFound/InvalidArgument when unreadable.
+Result<RuleFileReport> LintRuleFile(const std::string& path,
+                                    const LintOptions& options,
+                                    const TimebaseConfig& timebase = {});
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_ANALYSIS_RULE_FILE_H_

@@ -1,0 +1,133 @@
+// sentinel-lint: static analysis of Snoop rule expressions.
+//
+//   sentinel-lint [options] <file.rules>...
+//   sentinel-lint [options] --expr '<expression>'
+//
+// Options:
+//   --context=<unrestricted|recent|chronicle|continuous|cumulative>
+//       Parameter context the rules will run under (default recent, the
+//       RuleSpec default).
+//   --interval-policy=<point|interval>
+//       Detector eligibility policy (default point).
+//   --werror      Warnings fail the run (notes never do).
+//   --quiet       Print nothing on success.
+//
+// Exit status: 0 clean, 1 findings at the failing severity, 2 usage or
+// unreadable input. Rule files: one rule per line, `name : expression`,
+// `#` comments; a trailing `# lint-suppress: SLnnn <why>` comment
+// suppresses that diagnostic for that rule. docs/analysis.md is the
+// catalogue of diagnostics.
+
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "analysis/rule_file.h"
+#include "event/registry.h"
+#include "snoop/parser.h"
+
+namespace sentineld {
+namespace {
+
+int Usage() {
+  std::cerr << "usage: sentinel-lint [--context=<ctx>] "
+               "[--interval-policy=<point|interval>] [--werror] [--quiet] "
+               "(<file.rules>... | --expr '<expression>')\n";
+  return 2;
+}
+
+bool ParseContext(std::string_view name, ParamContext& out) {
+  if (name == "unrestricted") out = ParamContext::kUnrestricted;
+  else if (name == "recent") out = ParamContext::kRecent;
+  else if (name == "chronicle") out = ParamContext::kChronicle;
+  else if (name == "continuous") out = ParamContext::kContinuous;
+  else if (name == "cumulative") out = ParamContext::kCumulative;
+  else return false;
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  LintOptions options;
+  options.context = ParamContext::kRecent;  // RuleSpec's default
+  bool werror = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+  std::vector<std::string> exprs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--context=", 0) == 0) {
+      if (!ParseContext(arg.substr(10), options.context)) return Usage();
+    } else if (arg.rfind("--interval-policy=", 0) == 0) {
+      const std::string_view policy = arg.substr(18);
+      if (policy == "point") {
+        options.interval_policy = IntervalPolicy::kPointBased;
+      } else if (policy == "interval") {
+        options.interval_policy = IntervalPolicy::kIntervalBased;
+      } else {
+        return Usage();
+      }
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--expr") {
+      if (++i >= argc) return Usage();
+      exprs.emplace_back(argv[i]);
+    } else if (!arg.empty() && arg.front() == '-') {
+      return Usage();
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty() && exprs.empty()) return Usage();
+
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t notes = 0;
+
+  for (const std::string& text : exprs) {
+    EventTypeRegistry registry;
+    ParserOptions parser_options;
+    parser_options.auto_register = true;
+    Result<ExprPtr> expr = ParseExpr(text, registry, parser_options);
+    if (!expr.ok()) {
+      std::cout << "<expr>: error SL001 expression does not parse: "
+                << expr.status().message() << "\n";
+      ++errors;
+      continue;
+    }
+    for (const Diagnostic& d : LintExpr(*expr, registry, options)) {
+      std::cout << "<expr>: " << FormatDiagnostic(d) << "\n";
+      if (d.severity == LintSeverity::kError) ++errors;
+      if (d.severity == LintSeverity::kWarning) ++warnings;
+      if (d.severity == LintSeverity::kNote) ++notes;
+    }
+  }
+
+  for (const std::string& path : files) {
+    Result<RuleFileReport> report = LintRuleFile(path, options);
+    if (!report.ok()) {
+      std::cerr << report.status() << "\n";
+      return 2;
+    }
+    const bool failing = !report->Passes(werror);
+    if (!quiet || failing) std::cout << report->Format(path);
+    errors += report->errors;
+    warnings += report->warnings;
+    notes += report->notes;
+  }
+
+  if (errors > 0 || (werror && warnings > 0)) return 1;
+  if (!quiet && errors + warnings + notes == 0) {
+    std::cout << "sentinel-lint: clean\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sentineld
+
+int main(int argc, char** argv) { return sentineld::Run(argc, argv); }

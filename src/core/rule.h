@@ -44,6 +44,10 @@ struct RuleSpec {
   std::function<void(const EventPtr&)> action;
   /// When the action runs (see Coupling).
   Coupling coupling = Coupling::kImmediate;
+  /// Skip the pre-registration lint pass for this rule. By default,
+  /// expressions with kError findings (see analysis/lint.h) are rejected
+  /// at DefineRule time; set this to knowingly register one anyway.
+  bool skip_lint = false;
 };
 
 /// Per-rule counters.

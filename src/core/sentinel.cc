@@ -1,10 +1,30 @@
 #include "core/sentinel.h"
 
+#include "analysis/lint.h"
 #include "snoop/parser.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace sentineld {
+namespace {
+
+/// Shared lint gate for both services: rejects expressions with kError
+/// findings, citing the paper definition each finding rests on. The full
+/// report (warnings and notes included) rides along in the message so the
+/// author sees everything at once.
+Status LintForDefine(const std::string& rule_name, const ExprPtr& expr,
+                     const EventTypeRegistry& registry,
+                     const LintOptions& options) {
+  const std::vector<Diagnostic> diagnostics =
+      LintExpr(expr, registry, options);
+  if (!HasLintErrors(diagnostics)) return Status::Ok();
+  return Status::InvalidArgument(
+      StrCat("rule '", rule_name, "' rejected by sentinel-lint (set ",
+             "RuleSpec::skip_lint to register it anyway):\n",
+             FormatDiagnostics(diagnostics)));
+}
+
+}  // namespace
 
 SentinelService::SentinelService(Options options) : options_(options) {
   CHECK_OK(options.timebase.Validate());
@@ -47,6 +67,15 @@ Result<RuleId> SentinelService::DefineRule(RuleSpec spec) {
   Result<ExprPtr> expr =
       ParseExpr(spec.event_expr, registry_, parser_options);
   if (!expr.ok()) return expr.status();
+
+  if (options_.lint_rules && !spec.skip_lint) {
+    LintOptions lint_options;
+    lint_options.context = spec.context;
+    // DetectorFor builds detectors with the default (point-based) policy.
+    lint_options.interval_policy = IntervalPolicy::kPointBased;
+    RETURN_IF_ERROR(
+        LintForDefine(spec.name, *expr, registry_, lint_options));
+  }
 
   const ParamContext context = spec.context;
   const std::string rule_name = spec.name;
@@ -108,8 +137,8 @@ void SentinelService::AdvanceClockTo(LocalTicks now) {
 
 Result<std::unique_ptr<DistributedSentinel>> DistributedSentinel::Create(
     const RuntimeConfig& config) {
-  std::unique_ptr<DistributedSentinel> service(
-      new DistributedSentinel(config.context));
+  std::unique_ptr<DistributedSentinel> service(new DistributedSentinel(
+      config.context, config.interval_policy, config.lint_rules));
   Result<std::unique_ptr<DistributedRuntime>> runtime =
       DistributedRuntime::Create(config, &service->registry_);
   if (!runtime.ok()) return runtime.status();
@@ -130,12 +159,24 @@ Result<RuleId> DistributedSentinel::DefineRule(RuleSpec spec) {
                " but the deployment runs ",
                ParamContextToString(context_)));
   }
+  ParserOptions parser_options;
+  parser_options.auto_register = true;
+  if (lint_rules_ && !spec.skip_lint) {
+    // Parse once up front for the lint pass (AddRuleText re-parses; the
+    // shared registry makes the double parse idempotent).
+    Result<ExprPtr> expr =
+        ParseExpr(spec.event_expr, registry_, parser_options);
+    if (!expr.ok()) return expr.status();
+    LintOptions lint_options;
+    lint_options.context = context_;
+    lint_options.interval_policy = interval_policy_;
+    RETURN_IF_ERROR(
+        LintForDefine(spec.name, *expr, registry_, lint_options));
+  }
   const std::string expr_text = spec.event_expr;
   const std::string rule_name = spec.name;
   Result<RuleId> id = rules_.Add(std::move(spec));
   if (!id.ok()) return id;
-  ParserOptions parser_options;
-  parser_options.auto_register = true;
   Result<EventTypeId> added = runtime_->AddRuleText(
       rule_name, expr_text, rules_.MakeDispatch(*id), parser_options);
   if (!added.ok()) return added.status();

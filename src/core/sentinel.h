@@ -32,6 +32,10 @@ class SentinelService {
     /// Auto-register event names first seen in rule expressions (as
     /// kExplicit types).
     bool auto_register_in_rules = true;
+    /// Lint rule expressions at DefineRule time and reject those with
+    /// kError findings (analysis/lint.h). Individual rules can opt out
+    /// via RuleSpec::skip_lint.
+    bool lint_rules = true;
   };
 
   SentinelService() : SentinelService(Options{}) {}
@@ -112,12 +116,18 @@ class DistributedSentinel {
   DistributedRuntime& runtime() { return *runtime_; }
 
  private:
-  explicit DistributedSentinel(ParamContext context) : context_(context) {}
+  DistributedSentinel(ParamContext context, IntervalPolicy interval_policy,
+                      bool lint_rules)
+      : context_(context),
+        interval_policy_(interval_policy),
+        lint_rules_(lint_rules) {}
 
   EventTypeRegistry registry_;
   RuleTable rules_;
   std::unique_ptr<DistributedRuntime> runtime_;
   ParamContext context_;
+  IntervalPolicy interval_policy_;
+  bool lint_rules_;
 };
 
 }  // namespace sentineld

@@ -1,6 +1,7 @@
 #include "dist/reliable_channel.h"
 
 #include "dist/codec.h"
+#include "util/checked.h"
 #include "util/logging.h"
 
 namespace sentineld {
@@ -50,6 +51,9 @@ void ReliableLink::Send(const EventPtr& event) {
   CHECK(event != nullptr);
   const uint64_t seq = next_seq_++;
   pending_.emplace(seq, Pending{event, 0, config_.initial_rto_ns});
+  // Sender window invariant: every unacked seq was allocated, i.e. is
+  // below next_seq_.
+  SENTINELD_ASSERT(pending_.rbegin()->first < next_seq_);
   ++payloads_sent_;
   Transmit(seq);
 }
@@ -59,6 +63,9 @@ void ReliableLink::Transmit(uint64_t seq) {
   CHECK(it != pending_.end());
   Pending& entry = it->second;
   ++entry.attempts;
+  // One initial transmission plus at most max_retransmits re-sends; the
+  // timer abandons the payload before another attempt is possible.
+  SENTINELD_ASSERT(entry.attempts <= config_.max_retransmits + 1);
   const EventPtr event = entry.event;
   network_->Send(
       sender_site_, receiver_site_,
@@ -92,6 +99,9 @@ void ReliableLink::OnData(uint64_t seq, const EventPtr& event) {
   } else {
     ahead_.insert(seq);
     while (ahead_.erase(next_expected_) > 0) ++next_expected_;
+    // Receiver window invariant: the cumulative frontier absorbed every
+    // contiguous seq, so anything still buffered is strictly ahead of it.
+    SENTINELD_ASSERT(ahead_.empty() || *ahead_.begin() > next_expected_);
     ++delivered_;
     deliver_(event);
   }
@@ -107,6 +117,8 @@ void ReliableLink::OnData(uint64_t seq, const EventPtr& event) {
 void ReliableLink::OnAck(uint64_t cum_ack, uint64_t sacked_seq) {
   pending_.erase(pending_.begin(), pending_.lower_bound(cum_ack));
   pending_.erase(sacked_seq);
+  // A cumulative ack retires every seq below it for good.
+  SENTINELD_ASSERT(pending_.empty() || pending_.begin()->first >= cum_ack);
 }
 
 }  // namespace sentineld

@@ -53,6 +53,10 @@ struct RuntimeConfig {
   /// the final event; 0 ends the run once in-flight work drains.
   int64_t extra_drain_ns = 0;
   uint64_t seed = 42;
+  /// Lint rule expressions at DefineRule time (under this deployment's
+  /// context and interval policy) and reject those with kError findings;
+  /// individual rules can opt out via RuleSpec::skip_lint.
+  bool lint_rules = true;
 
   Status Validate() const;
 

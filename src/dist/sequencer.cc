@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/checked.h"
 #include "util/logging.h"
 
 namespace sentineld {
@@ -50,12 +51,21 @@ void Sequencer::Offer(const EventPtr& event) {
 void Sequencer::AdvanceTo(LocalTicks now_local) {
   const LocalTicks watermark = now_local - window_ticks_;
   if (watermark <= watermark_) return;
+  // The early-out above is what makes this hold; release order across
+  // batches depends on the watermark never moving backwards.
+  SENTINELD_ASSERT(watermark > watermark_);
   watermark_ = watermark;
   std::vector<Held> stable;
   std::vector<Held> kept;
   for (Held& held : buffer_) {
     (held.anchor <= watermark ? stable : kept).push_back(std::move(held));
   }
+#if SENTINELD_CHECKED_ENABLED
+  // Everything released is stable (anchor at or below the watermark) and
+  // everything retained is not yet stable.
+  for (const Held& held : stable) SENTINELD_ASSERT(held.anchor <= watermark);
+  for (const Held& held : kept) SENTINELD_ASSERT(held.anchor > watermark);
+#endif
   buffer_ = std::move(kept);
   if (!stable.empty()) ReleaseBatch(std::move(stable));
 }
@@ -75,6 +85,17 @@ void Sequencer::ReleaseBatch(std::vector<Held> batch) {
   std::sort(batch.begin(), batch.end(), [](const Held& a, const Held& b) {
     return a.anchor != b.anchor ? a.anchor < b.anchor : a.seq < b.seq;
   });
+#if SENTINELD_CHECKED_ENABLED
+  // Linear-extension self-check of the lemma above: within a sorted
+  // batch, a later release is never `<`-before an earlier one. (Adjacent
+  // pairs suffice — anchors are non-decreasing, and Before would force a
+  // strictly smaller anchor.)
+  for (size_t i = 1; i < batch.size(); ++i) {
+    SENTINELD_ASSERT(batch[i - 1].anchor <= batch[i].anchor);
+    SENTINELD_ASSERT(!Before(batch[i].event->timestamp(),
+                             batch[i - 1].event->timestamp()));
+  }
+#endif
   for (Held& held : batch) {
     ++released_;
     release_(held.event);

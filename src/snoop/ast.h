@@ -56,6 +56,14 @@ struct Expr {
   int64_t period_ticks = 0;
   int any_threshold = 0;  ///< m of kAny
 
+  /// Source span [src_begin, src_end) in the text the node was parsed
+  /// from (byte offsets); both zero for programmatically built trees.
+  /// Carried for diagnostics (src/analysis); never affects semantics.
+  size_t src_begin = 0;
+  size_t src_end = 0;
+
+  bool has_span() const { return src_end > src_begin; }
+
   /// Canonical textual form, e.g. "(A ; (B and C))"; used as the
   /// registered name of the node's output event type.
   std::string ToString(const EventTypeRegistry& registry) const;

@@ -82,6 +82,19 @@ class Lexer {
   std::string_view text_;
 };
 
+/// A copy of `expr` carrying the source span [begin, end); the children
+/// are shared. Spans feed the static analyzer's diagnostics
+/// (src/analysis/lint.h) and never affect detection semantics.
+ExprPtr Spanned(ExprPtr expr, size_t begin, size_t end) {
+  if (expr == nullptr || (expr->src_begin == begin && expr->src_end == end)) {
+    return expr;
+  }
+  auto copy = std::make_shared<Expr>(*expr);
+  copy->src_begin = begin;
+  copy->src_end = end;
+  return copy;
+}
+
 class Parser {
  public:
   Parser(std::vector<Token> tokens, EventTypeRegistry& registry,
@@ -99,11 +112,15 @@ class Parser {
 
  private:
   const Token& Peek() const { return tokens_[index_]; }
-  const Token& Advance() { return tokens_[index_++]; }
+  const Token& Advance() {
+    const Token& token = tokens_[index_++];
+    last_end_ = token.pos + token.text.size();
+    return token;
+  }
 
   bool ConsumeSymbol(std::string_view symbol) {
     if (Peek().kind == TokKind::kSymbol && Peek().text == symbol) {
-      ++index_;
+      Advance();
       return true;
     }
     return false;
@@ -111,7 +128,7 @@ class Parser {
 
   bool ConsumeIdent(std::string_view ident) {
     if (Peek().kind == TokKind::kIdent && Peek().text == ident) {
-      ++index_;
+      Advance();
       return true;
     }
     return false;
@@ -131,49 +148,53 @@ class Parser {
   }
 
   Result<ExprPtr> ParseOr() {
+    const size_t begin = Peek().pos;
     Result<ExprPtr> left = ParseAnd();
     if (!left.ok()) return left;
     ExprPtr expr = *left;
     while (ConsumeIdent("or")) {
       Result<ExprPtr> right = ParseAnd();
       if (!right.ok()) return right;
-      expr = Or(expr, *right);
+      expr = Spanned(Or(expr, *right), begin, last_end_);
     }
     return expr;
   }
 
   Result<ExprPtr> ParseAnd() {
+    const size_t begin = Peek().pos;
     Result<ExprPtr> left = ParseSeq();
     if (!left.ok()) return left;
     ExprPtr expr = *left;
     while (ConsumeIdent("and")) {
       Result<ExprPtr> right = ParseSeq();
       if (!right.ok()) return right;
-      expr = And(expr, *right);
+      expr = Spanned(And(expr, *right), begin, last_end_);
     }
     return expr;
   }
 
   Result<ExprPtr> ParseSeq() {
+    const size_t begin = Peek().pos;
     Result<ExprPtr> left = ParsePlus();
     if (!left.ok()) return left;
     ExprPtr expr = *left;
     while (ConsumeSymbol(";")) {
       Result<ExprPtr> right = ParsePlus();
       if (!right.ok()) return right;
-      expr = Seq(expr, *right);
+      expr = Spanned(Seq(expr, *right), begin, last_end_);
     }
     return expr;
   }
 
   Result<ExprPtr> ParsePlus() {
+    const size_t begin = Peek().pos;
     Result<ExprPtr> base = ParsePrimary();
     if (!base.ok()) return base;
     ExprPtr expr = *base;
     while (ConsumeSymbol("+")) {
       Result<int64_t> ticks = ParseDurationToken();
       if (!ticks.ok()) return ticks.status();
-      expr = Plus(expr, *ticks);
+      expr = Spanned(Plus(expr, *ticks), begin, last_end_);
     }
     return expr;
   }
@@ -248,7 +269,8 @@ class Parser {
       Result<ExprPtr> terminator = ParseOr();
       if (!terminator.ok()) return terminator;
       RETURN_IF_ERROR(ExpectSymbol("]"));
-      return Not(*middle, *initiator, *terminator);
+      return Spanned(Not(*middle, *initiator, *terminator), ident.pos,
+                     last_end_);
     }
     if (call && ident.text == "ANY") {
       // ANY(m, E1, E2, ..., En)
@@ -277,15 +299,20 @@ class Parser {
       if (threshold < 1 || threshold > static_cast<int>(children.size())) {
         return Err("ANY count out of range");
       }
-      return Any(threshold, std::move(children));
+      return Spanned(Any(threshold, std::move(children)), ident.pos,
+                     last_end_);
     }
-    if (call && ident.text == "A") return ParseTernaryTail(OpKind::kAperiodic);
-    if (call && ident.text == "A*") {
-      return ParseTernaryTail(OpKind::kAperiodicStar);
+    if (call && (ident.text == "A" || ident.text == "A*")) {
+      Result<ExprPtr> expr = ParseTernaryTail(
+          ident.text == "A" ? OpKind::kAperiodic : OpKind::kAperiodicStar);
+      if (!expr.ok()) return expr;
+      return Spanned(*expr, ident.pos, last_end_);
     }
-    if (call && ident.text == "P") return ParsePeriodicTail(OpKind::kPeriodic);
-    if (call && ident.text == "P*") {
-      return ParsePeriodicTail(OpKind::kPeriodicStar);
+    if (call && (ident.text == "P" || ident.text == "P*")) {
+      Result<ExprPtr> expr = ParsePeriodicTail(
+          ident.text == "P" ? OpKind::kPeriodic : OpKind::kPeriodicStar);
+      if (!expr.ok()) return expr;
+      return Spanned(*expr, ident.pos, last_end_);
     }
     if (ident.text == "A*" || ident.text == "P*") {
       return Err(StrCat("'", ident.text, "' must be followed by '('"));
@@ -299,11 +326,12 @@ class Parser {
       id = registry_.Register(ident.text, EventClass::kExplicit);
     }
     if (!id.ok()) return id.status();
-    return Prim(*id);
+    return Spanned(Prim(*id), ident.pos, last_end_);
   }
 
   std::vector<Token> tokens_;
   size_t index_ = 0;
+  size_t last_end_ = 0;  ///< end offset of the last consumed token
   EventTypeRegistry& registry_;
   const ParserOptions& options_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/checked.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -12,6 +13,22 @@ namespace {
 void Canonicalize(std::vector<PrimitiveTimestamp>& stamps) {
   std::sort(stamps.begin(), stamps.end(), CanonicalLess);
   stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
+}
+
+/// Raw Def 5.3 forall-exists test, shared by Before and its checked-build
+/// self-checks (which must not recurse through the checking wrapper).
+bool BeforeImpl(const CompositeTimestamp& a, const CompositeTimestamp& b) {
+  for (const PrimitiveTimestamp& t2 : b.stamps()) {
+    bool found = false;
+    for (const PrimitiveTimestamp& t1 : a.stamps()) {
+      if (HappensBefore(t1, t2)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -37,7 +54,11 @@ CompositeTimestamp CompositeTimestamp::MaxOf(
     if (!dominated) maxima.push_back(t);
   }
   Canonicalize(maxima);
-  return CompositeTimestamp(std::move(maxima));
+  CompositeTimestamp result(std::move(maxima));
+  // Thm 5.1: the maxima of any timestamp set are pairwise concurrent;
+  // IsValid also re-checks the canonical Def 5.1/5.2 max-set form.
+  SENTINELD_ASSERT(result.IsValid());
+  return result;
 }
 
 CompositeTimestamp CompositeTimestamp::MaxOf(
@@ -60,7 +81,10 @@ CompositeTimestamp CompositeTimestamp::MinOf(
     if (!dominated) minima.push_back(t);
   }
   Canonicalize(minima);
-  return CompositeTimestamp(std::move(minima));
+  CompositeTimestamp result(std::move(minima));
+  // The minima of any set are pairwise concurrent by the dual of Thm 5.1.
+  SENTINELD_ASSERT(result.IsValid());
+  return result;
 }
 
 CompositeTimestamp CompositeTimestamp::MinOf(
@@ -123,17 +147,16 @@ const char* CompositeRelationToString(CompositeRelation r) {
 
 bool Before(const CompositeTimestamp& a, const CompositeTimestamp& b) {
   CHECK(!a.empty() && !b.empty());
-  for (const PrimitiveTimestamp& t2 : b.stamps()) {
-    bool found = false;
-    for (const PrimitiveTimestamp& t1 : a.stamps()) {
-      if (HappensBefore(t1, t2)) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) return false;
-  }
-  return true;
+  const bool result = BeforeImpl(a, b);
+#if SENTINELD_CHECKED_ENABLED
+  // The operands must be genuine composite timestamps (Thm 5.1
+  // antichains), and on those Def 5.3's `<` is a strict order:
+  // irreflexive and antisymmetric on every pair actually compared.
+  SENTINELD_ASSERT(a.IsValid() && b.IsValid());
+  SENTINELD_ASSERT(!BeforeImpl(a, a) && !BeforeImpl(b, b));
+  SENTINELD_ASSERT(!(result && BeforeImpl(b, a)));
+#endif
+  return result;
 }
 
 bool Concurrent(const CompositeTimestamp& a, const CompositeTimestamp& b) {

@@ -1,12 +1,17 @@
 #include "timestamp/orderings.h"
 
+#include "util/checked.h"
 #include "util/logging.h"
 
 namespace sentineld {
+namespace {
 
-bool BeforeExistsExists(const CompositeTimestamp& a,
-                        const CompositeTimestamp& b) {
-  CHECK(!a.empty() && !b.empty());
+// Raw relation bodies, shared by the public comparators and their
+// checked-build self-checks (which must not recurse through the
+// checking wrappers).
+
+bool ExistsExistsImpl(const CompositeTimestamp& a,
+                      const CompositeTimestamp& b) {
   for (const PrimitiveTimestamp& t1 : a.stamps()) {
     for (const PrimitiveTimestamp& t2 : b.stamps()) {
       if (HappensBefore(t1, t2)) return true;
@@ -15,9 +20,8 @@ bool BeforeExistsExists(const CompositeTimestamp& a,
   return false;
 }
 
-bool BeforeForallForall(const CompositeTimestamp& a,
-                        const CompositeTimestamp& b) {
-  CHECK(!a.empty() && !b.empty());
+bool ForallForallImpl(const CompositeTimestamp& a,
+                      const CompositeTimestamp& b) {
   for (const PrimitiveTimestamp& t1 : a.stamps()) {
     for (const PrimitiveTimestamp& t2 : b.stamps()) {
       if (!HappensBefore(t1, t2)) return false;
@@ -26,9 +30,8 @@ bool BeforeForallForall(const CompositeTimestamp& a,
   return true;
 }
 
-bool BeforeMinDominates(const CompositeTimestamp& a,
-                        const CompositeTimestamp& b) {
-  CHECK(!a.empty() && !b.empty());
+bool MinDominatesImpl(const CompositeTimestamp& a,
+                      const CompositeTimestamp& b) {
   // The element of T(a) with minimum global time; ties broken by the
   // canonical storage order (stamps() is canonically sorted, so the first
   // element with the minimal global value is deterministic).
@@ -42,8 +45,7 @@ bool BeforeMinDominates(const CompositeTimestamp& a,
   return true;
 }
 
-bool BeforeG(const CompositeTimestamp& a, const CompositeTimestamp& b) {
-  CHECK(!a.empty() && !b.empty());
+bool GImpl(const CompositeTimestamp& a, const CompositeTimestamp& b) {
   for (const PrimitiveTimestamp& t1 : a.stamps()) {
     bool found = false;
     for (const PrimitiveTimestamp& t2 : b.stamps()) {
@@ -55,6 +57,52 @@ bool BeforeG(const CompositeTimestamp& a, const CompositeTimestamp& b) {
     if (!found) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool BeforeExistsExists(const CompositeTimestamp& a,
+                        const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  const bool result = ExistsExistsImpl(a, b);
+  // <_p1 is the knowingly defective candidate (neither transitive nor
+  // antisymmetric — see AllOrderings and the cex_transitivity
+  // experiment), so checked builds assert only irreflexivity, which any
+  // relation over valid antichains must satisfy.
+  SENTINELD_ASSERT(!ExistsExistsImpl(a, a) && !ExistsExistsImpl(b, b));
+  return result;
+}
+
+bool BeforeForallForall(const CompositeTimestamp& a,
+                        const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  const bool result = ForallForallImpl(a, b);
+#if SENTINELD_CHECKED_ENABLED
+  SENTINELD_ASSERT(!ForallForallImpl(a, a) && !ForallForallImpl(b, b));
+  SENTINELD_ASSERT(!(result && ForallForallImpl(b, a)));
+#endif
+  return result;
+}
+
+bool BeforeMinDominates(const CompositeTimestamp& a,
+                        const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  const bool result = MinDominatesImpl(a, b);
+#if SENTINELD_CHECKED_ENABLED
+  SENTINELD_ASSERT(!MinDominatesImpl(a, a) && !MinDominatesImpl(b, b));
+  SENTINELD_ASSERT(!(result && MinDominatesImpl(b, a)));
+#endif
+  return result;
+}
+
+bool BeforeG(const CompositeTimestamp& a, const CompositeTimestamp& b) {
+  CHECK(!a.empty() && !b.empty());
+  const bool result = GImpl(a, b);
+#if SENTINELD_CHECKED_ENABLED
+  SENTINELD_ASSERT(!GImpl(a, a) && !GImpl(b, b));
+  SENTINELD_ASSERT(!(result && GImpl(b, a)));
+#endif
+  return result;
 }
 
 const std::vector<NamedOrdering>& AllOrderings() {

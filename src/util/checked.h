@@ -1,0 +1,45 @@
+#ifndef SENTINELD_UTIL_CHECKED_H_
+#define SENTINELD_UTIL_CHECKED_H_
+
+#include "util/logging.h"
+
+/// Checked-invariant builds (cmake -DSENTINELD_CHECKED=ON) compile
+/// assertions at the semantic chokepoints of the paper's model:
+///
+///   - composite-timestamp construction re-validates the result: the
+///     maxima are pairwise concurrent (Thm 5.1) in canonical form
+///     (Def 5.1/5.2);
+///   - the composite comparators self-check the order laws
+///     (irreflexivity, antisymmetry) on every operand pair they see —
+///     only for orderings that claim those laws; `<_p1` (exists-exists)
+///     is knowingly broken and exempt;
+///   - the Sequencer asserts watermark monotonicity and that release
+///     order is a linear extension of the composite `<`;
+///   - ReliableLink asserts its seq/ack window invariants.
+///
+/// SENTINELD_ASSERT compiles to nothing in normal builds (its argument is
+/// not evaluated); docs/analysis.md and DESIGN.md §10 describe the mode
+/// and its measured overhead.
+#if defined(SENTINELD_CHECKED)
+#define SENTINELD_CHECKED_ENABLED 1
+#else
+#define SENTINELD_CHECKED_ENABLED 0
+#endif
+
+#if SENTINELD_CHECKED_ENABLED
+#define SENTINELD_ASSERT(cond) CHECK(cond)
+#else
+#define SENTINELD_ASSERT(cond) \
+  do {                         \
+  } while (false)
+#endif
+
+namespace sentineld {
+
+/// True in SENTINELD_CHECKED builds; lets tests and benchmarks report
+/// which mode they exercised.
+inline constexpr bool kCheckedBuild = (SENTINELD_CHECKED_ENABLED == 1);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_UTIL_CHECKED_H_

@@ -1,0 +1,55 @@
+// Golden-file tests: the exact diagnostic text — severity, SLnnn id,
+// source span, message, citation, and the file/line/column prefix — is
+// part of the linter's contract (CI greps it, users read it). The inputs
+// and expected outputs live in tests/golden/; regenerate an .expected
+// file by running
+//
+//   sentinel-lint --context=unrestricted tests/golden/<name>.rules
+//
+// and reviewing the diff by hand.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/rule_file.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+/// Lints golden/<name>.rules and compares the full formatted report
+/// against golden/<name>.expected, byte for byte.
+void RunGoldenCase(const std::string& name, const LintOptions& options) {
+  const std::string dir = std::string(SENTINELD_GOLDEN_DIR) + "/";
+  Result<RuleFileReport> report =
+      LintRuleFile(dir + name + ".rules", options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // The formatter gets the repo-relative name so the goldens don't
+  // depend on the checkout path.
+  EXPECT_EQ(report->Format("tests/golden/" + name + ".rules"),
+            ReadFile(dir + name + ".expected"));
+}
+
+TEST(AnalysisGolden, ShowcaseCatalogue) {
+  RunGoldenCase("showcase", LintOptions{});
+}
+
+TEST(AnalysisGolden, ContextDiagnostics) {
+  LintOptions options;
+  options.context = ParamContext::kCumulative;
+  RunGoldenCase("contexts", options);
+}
+
+}  // namespace
+}  // namespace sentineld

@@ -1,0 +1,278 @@
+// Unit tests for the sentinel-lint static analyzer: one test per
+// diagnostic kind (docs/analysis.md is the catalogue), the suppression
+// mechanism, span/path reporting, and the DefineRule lint gate in both
+// the centralized and the distributed service.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "analysis/rule_file.h"
+#include "core/sentinel.h"
+#include "snoop/parser.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+/// Parses `text` (auto-registering identifiers) and lints it.
+std::vector<Diagnostic> Lint(
+    const std::string& text,
+    ParamContext context = ParamContext::kUnrestricted,
+    IntervalPolicy policy = IntervalPolicy::kPointBased) {
+  EventTypeRegistry registry;
+  ParserOptions parser_options;
+  parser_options.auto_register = true;
+  Result<ExprPtr> expr = ParseExpr(text, registry, parser_options);
+  CHECK_OK(expr.status());
+  LintOptions options;
+  options.context = context;
+  options.interval_policy = policy;
+  return LintExpr(*expr, registry, options);
+}
+
+/// The single diagnostic with `id`, failing the test when the count
+/// differs from one.
+Diagnostic Only(const std::vector<Diagnostic>& diagnostics, LintId id) {
+  Diagnostic found;
+  size_t count = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.id == id) {
+      found = d;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 1u) << "for " << LintIdToString(id);
+  return found;
+}
+
+TEST(Lint, CleanExpressionHasNoFindings) {
+  EXPECT_TRUE(Lint("a ; b", ParamContext::kRecent).empty());
+  EXPECT_TRUE(Lint("not(c)[a, b]", ParamContext::kChronicle).empty());
+  EXPECT_TRUE(Lint("ANY(2, a, b, c)", ParamContext::kCumulative).empty());
+}
+
+TEST(Lint, Sl002InvertedWindowIsAnError) {
+  const Diagnostic d =
+      Only(Lint("A(s + 5t, x, s + 2t)"), LintId::kInvertedWindow);
+  EXPECT_EQ(d.severity, LintSeverity::kError);
+  EXPECT_NE(d.message.find("inverted window"), std::string::npos);
+  EXPECT_NE(d.message.find("3 ticks before"), std::string::npos);
+  EXPECT_NE(d.citation.find("Prop. 4.1"), std::string::npos);
+}
+
+TEST(Lint, Sl002DegenerateWindowIsAnError) {
+  // Different spellings, same total offset: the window is empty.
+  const Diagnostic d =
+      Only(Lint("A(s + 2t + 3t, x, s + 5t)"), LintId::kInvertedWindow);
+  EXPECT_EQ(d.severity, LintSeverity::kError);
+  EXPECT_NE(d.message.find("degenerate window"), std::string::npos);
+}
+
+TEST(Lint, Sl002AppliesToPeriodicWindowsToo) {
+  const Diagnostic d =
+      Only(Lint("P(s + 5t, 10t, s + 2t)"), LintId::kInvertedWindow);
+  EXPECT_EQ(d.severity, LintSeverity::kError);
+}
+
+TEST(Lint, Sl002DoesNotFireOnUnrelatedAnchors) {
+  // Different anchors: nothing relates u's window to s's occurrences.
+  for (const Diagnostic& d : Lint("A(s + 5t, x, u + 2t)")) {
+    EXPECT_NE(d.id, LintId::kInvertedWindow);
+  }
+}
+
+TEST(Lint, Sl003IdenticalWindowEndpoints) {
+  const Diagnostic d =
+      Only(Lint("A(s, x, s)"), LintId::kIdenticalWindowEndpoints);
+  EXPECT_EQ(d.severity, LintSeverity::kWarning);
+  // Canonical comparison sees through commutativity.
+  Only(Lint("A*(a and b, x, b and a)"), LintId::kIdenticalWindowEndpoints);
+}
+
+TEST(Lint, Sl004DuplicateAnyConstituentIsAnError) {
+  const Diagnostic d =
+      Only(Lint("ANY(2, e, f, e)"), LintId::kDuplicateAnyConstituent);
+  EXPECT_EQ(d.severity, LintSeverity::kError);
+  EXPECT_NE(d.message.find("operand 3 repeats operand 1"),
+            std::string::npos);
+}
+
+TEST(Lint, Sl005DuplicateOperand) {
+  EXPECT_EQ(Only(Lint("e and e"), LintId::kDuplicateOperand).severity,
+            LintSeverity::kWarning);
+  Only(Lint("e or e"), LintId::kDuplicateOperand);
+  // `;` of an expression with itself is legitimate (two successive
+  // occurrences) and must not be flagged.
+  EXPECT_TRUE(Lint("e ; e").empty());
+}
+
+TEST(Lint, Sl006NotMiddleIsEndpoint) {
+  const Diagnostic d = Only(Lint("not(s)[s, t]"),
+                            LintId::kNotMiddleIsEndpoint);
+  EXPECT_EQ(d.severity, LintSeverity::kWarning);
+  EXPECT_NE(d.citation.find("Def 5.5"), std::string::npos);
+  Only(Lint("not(t)[s, t]"), LintId::kNotMiddleIsEndpoint);
+}
+
+TEST(Lint, Sl007MiddleRequiresTerminator) {
+  const Diagnostic d =
+      Only(Lint("A(s, x ; t, t)"), LintId::kMiddleRequiresTerminator);
+  EXPECT_EQ(d.severity, LintSeverity::kWarning);
+  EXPECT_NE(d.citation.find("Def 5.2"), std::string::npos);
+  // An alternative that can complete without the terminator is fine.
+  for (const Diagnostic& d2 : Lint("A(s, (x ; t) or y, t)")) {
+    EXPECT_NE(d2.id, LintId::kMiddleRequiresTerminator);
+  }
+}
+
+TEST(Lint, Sl008PointPolicyAnomalyOnlyUnderPointSemantics) {
+  const Diagnostic d = Only(Lint("b ; (a ; c)"),
+                            LintId::kPointPolicyAnomaly);
+  EXPECT_EQ(d.severity, LintSeverity::kWarning);
+  EXPECT_TRUE(Lint("b ; (a ; c)", ParamContext::kUnrestricted,
+                   IntervalPolicy::kIntervalBased)
+                  .empty());
+  // A primitive right operand cannot straddle the left operand.
+  EXPECT_TRUE(Lint("(a ; c) ; b").empty());
+}
+
+TEST(Lint, Sl009ContextNoEffect) {
+  const Diagnostic d =
+      Only(Lint("a or b", ParamContext::kRecent), LintId::kContextNoEffect);
+  EXPECT_EQ(d.severity, LintSeverity::kNote);
+  EXPECT_TRUE(Lint("a or b", ParamContext::kUnrestricted).empty());
+}
+
+TEST(Lint, Sl010CumulativeWithoutAccumulator) {
+  const Diagnostic d = Only(Lint("A(a, b, c)", ParamContext::kCumulative),
+                            LintId::kCumulativeNoAccumulator);
+  EXPECT_EQ(d.severity, LintSeverity::kWarning);
+  // A* is the accumulating variant — no finding.
+  EXPECT_TRUE(Lint("A*(a, b, c)", ParamContext::kCumulative).empty());
+}
+
+TEST(Lint, Sl011CollapsibleAny) {
+  EXPECT_EQ(Only(Lint("ANY(1, a, b)"), LintId::kCollapsibleAny).severity,
+            LintSeverity::kNote);
+  Only(Lint("ANY(3, a, b, c)"), LintId::kCollapsibleAny);
+  EXPECT_TRUE(Lint("ANY(2, a, b, c)").empty());
+}
+
+TEST(Lint, SuppressionDropsListedIds) {
+  EventTypeRegistry registry;
+  ParserOptions parser_options;
+  parser_options.auto_register = true;
+  Result<ExprPtr> expr = ParseExpr("e and e", registry, parser_options);
+  ASSERT_TRUE(expr.ok());
+  LintOptions options;
+  options.suppressed = {"SL005"};
+  EXPECT_TRUE(LintExpr(*expr, registry, options).empty());
+}
+
+TEST(Lint, SpansCoverTheFlaggedSourceText) {
+  const std::string text = "x ; (e and e)";
+  EventTypeRegistry registry;
+  ParserOptions parser_options;
+  parser_options.auto_register = true;
+  Result<ExprPtr> expr = ParseExpr(text, registry, parser_options);
+  ASSERT_TRUE(expr.ok());
+  const Diagnostic d =
+      Only(LintExpr(*expr, registry, {}), LintId::kDuplicateOperand);
+  ASSERT_TRUE(d.has_span());
+  EXPECT_EQ(text.substr(d.begin, d.end - d.begin), "e and e");
+  // The reported path resolves to the flagged node.
+  Result<ExprPtr> node = SubexprAt(*expr, d.path);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->kind, OpKind::kAnd);
+}
+
+TEST(Lint, ProgrammaticTreesHaveNoSpansButStillLint) {
+  EventTypeRegistry registry;
+  CHECK_OK(registry.Register("e", EventClass::kExplicit));
+  const ExprPtr expr = And(Prim(0), Prim(0));
+  const Diagnostic d =
+      Only(LintExpr(expr, registry, {}), LintId::kDuplicateOperand);
+  EXPECT_FALSE(d.has_span());
+}
+
+TEST(RuleFile, ParsesNamesSuppressionsAndCountsSeverities) {
+  const RuleFileReport report = LintRuleSource(
+      "# a catalogue\n"
+      "ok        : a ; b\n"
+      "dup       : e and e\n"
+      "quiet_dup : e and e   # lint-suppress: SL005 intentional self-join\n"
+      "bad       : ANY(2, e, f, e)\n"
+      "broken    : a ;; b\n",
+      LintOptions{});
+  ASSERT_EQ(report.rules.size(), 5u);
+  EXPECT_EQ(report.errors, 2u);    // SL004 + SL001
+  EXPECT_EQ(report.warnings, 1u);  // the unsuppressed SL005
+  EXPECT_TRUE(report.rules[2].diagnostics.empty());
+  EXPECT_EQ(report.rules[4].diagnostics[0].id, LintId::kParseError);
+  EXPECT_FALSE(report.Passes(/*werror=*/false));
+}
+
+// ---------------------------------------------------------------------
+// The DefineRule gate.
+
+TEST(DefineRuleLint, RejectsErrorFindingsCitingThePaper) {
+  SentinelService service;
+  RuleSpec spec;
+  spec.name = "inverted";
+  spec.event_expr = "A(s + 5t, x, s + 2t)";
+  Result<RuleId> id = service.DefineRule(spec);
+  ASSERT_FALSE(id.ok());
+  EXPECT_NE(id.status().message().find("sentinel-lint"), std::string::npos);
+  EXPECT_NE(id.status().message().find("SL002"), std::string::npos);
+  EXPECT_NE(id.status().message().find("Prop. 4.1"), std::string::npos);
+  EXPECT_NE(id.status().message().find("skip_lint"), std::string::npos);
+}
+
+TEST(DefineRuleLint, WarningsDoNotBlockRegistration) {
+  SentinelService service;
+  RuleSpec spec;
+  spec.name = "warned";
+  spec.event_expr = "e and e";  // SL005, a warning
+  EXPECT_TRUE(service.DefineRule(spec).ok());
+}
+
+TEST(DefineRuleLint, SkipLintRegistersTheRuleAnyway) {
+  SentinelService service;
+  RuleSpec spec;
+  spec.name = "inverted";
+  spec.event_expr = "A(s + 5t, x, s + 2t)";
+  spec.skip_lint = true;
+  EXPECT_TRUE(service.DefineRule(spec).ok());
+}
+
+TEST(DefineRuleLint, ServiceWideOptOutDisablesTheGate) {
+  SentinelService::Options options;
+  options.lint_rules = false;
+  SentinelService service(options);
+  RuleSpec spec;
+  spec.name = "inverted";
+  spec.event_expr = "A(s + 5t, x, s + 2t)";
+  EXPECT_TRUE(service.DefineRule(spec).ok());
+}
+
+TEST(DefineRuleLint, DistributedServiceRejectsAndHonorsSkipLint) {
+  RuntimeConfig config;
+  auto service = DistributedSentinel::Create(config);
+  ASSERT_TRUE(service.ok());
+  RuleSpec spec;
+  spec.name = "inverted";
+  spec.event_expr = "A(s + 5t, x, s + 2t)";
+  spec.context = config.context;
+  Result<RuleId> id = (*service)->DefineRule(spec);
+  ASSERT_FALSE(id.ok());
+  EXPECT_NE(id.status().message().find("SL002"), std::string::npos);
+
+  spec.skip_lint = true;
+  EXPECT_TRUE((*service)->DefineRule(spec).ok());
+}
+
+}  // namespace
+}  // namespace sentineld
