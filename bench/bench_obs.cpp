@@ -1,0 +1,287 @@
+// PERF-5: cost of the observability layer (src/obs/). Two questions:
+//
+//  1. What does *wiring* observability cost when tracing is compiled out
+//     (the default build)? BM_FeedBaseline vs BM_FeedObsWired run the
+//     same detector hot loop; the acceptance bar is <= 5% delta, and by
+//     construction the wired loop only adds a null-pointer test per
+//     per-rule instrument (the SENTINELD_TRACE_EVENT call sites are
+//     gone entirely — see src/obs/trace.h).
+//  2. What do the instruments themselves cost when exercised?
+//     BM_CounterAdd / BM_HistogramAdd / BM_TracerRecord /
+//     BM_SnapshotRegistry price the primitives.
+//
+// The binary doubles as the CI artifact generator: `--emit-trace=PATH`
+// and `--emit-snapshots=PATH` run a small traced distributed scenario
+// and export the Chrome trace / snapshot JSONL instead of benchmarking
+// (self-checking; exit non-zero on failure).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dist/runtime.h"
+#include "obs/obs.h"
+#include "snoop/detector.h"
+#include "snoop/parser.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+struct Stream {
+  EventTypeRegistry registry;
+  std::vector<EventPtr> events;
+};
+
+/// Same stream shape as bench_detection's hot loop, so the overhead
+/// numbers compare like for like.
+std::unique_ptr<Stream> MakeStream(size_t n) {
+  auto stream = std::make_unique<Stream>();
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(stream->registry.Register(name, EventClass::kExplicit));
+  }
+  Rng rng(42);
+  LocalTicks tick = 1000;
+  for (size_t i = 0; i < n; ++i) {
+    tick += 1 + static_cast<LocalTicks>(rng.NextBounded(30));
+    const auto site = static_cast<SiteId>(rng.NextBounded(4));
+    const auto type = static_cast<EventTypeId>(rng.NextBounded(4));
+    stream->events.push_back(Event::MakePrimitive(
+        type, PrimitiveTimestamp{site, tick / 10, tick}));
+  }
+  return stream;
+}
+
+Stream& SharedStream() {
+  static Stream& stream = *MakeStream(1 << 16).release();
+  return stream;
+}
+
+void FeedLoop(benchmark::State& state, ObsHub* obs) {
+  Stream& stream = SharedStream();
+  Detector::Options options;
+  options.context = ParamContext::kRecent;
+  Detector detector(&stream.registry, options);
+  Counter* detections_counter = nullptr;
+  if (obs != nullptr) {
+    detector.set_tracer(&obs->tracer());
+    detections_counter = obs->metrics().GetCounter("detections", "rule=r");
+  }
+  uint64_t detections = 0;
+  auto parsed = ParseExpr("A ; B", stream.registry, {});
+  CHECK_OK(parsed);
+  CHECK_OK(detector.AddRule("r", *parsed,
+                            [&detections, detections_counter](const EventPtr&) {
+                              ++detections;
+                              if (detections_counter != nullptr) {
+                                detections_counter->Add(1);
+                              }
+                            }));
+  size_t i = 0;
+  for (auto _ : state) {
+    detector.Feed(stream.events[i % stream.events.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["detections"] = static_cast<double>(detections);
+}
+
+/// bench_detection's hot loop, unobserved — the reference cost.
+void BM_FeedBaseline(benchmark::State& state) { FeedLoop(state, nullptr); }
+BENCHMARK(BM_FeedBaseline);
+
+/// Same loop with a tracer attached and a per-rule counter bumped on
+/// every detection. In default builds the trace call sites are compiled
+/// out (kTraceBuild == false), so the delta vs BM_FeedBaseline is the
+/// whole price of wiring observability: the <= 5% acceptance bar.
+void BM_FeedObsWired(benchmark::State& state) {
+  ObsHub obs;
+  FeedLoop(state, &obs);
+  state.counters["trace_records"] =
+      static_cast<double>(obs.tracer().records().size());
+}
+BENCHMARK(BM_FeedObsWired);
+
+void BM_CounterAdd(benchmark::State& state) {
+  ObsHub obs;
+  Counter* counter = obs.metrics().GetCounter("detections", "rule=bench");
+  for (auto _ : state) {
+    counter->Add(1);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  ObsHub obs;
+  Histogram* histogram =
+      obs.metrics().GetHistogram("detection_latency_ms", "rule=bench");
+  double value = 0.0;
+  for (auto _ : state) {
+    histogram->Add(value);
+    value += 0.125;
+    benchmark::DoNotOptimize(histogram);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+/// Price of one journal append (only paid in -DSENTINELD_TRACE builds;
+/// measured here by calling Record directly so default builds can still
+/// report it). Capacity is bounded; the journal clears when full so the
+/// bench measures appends, not drops.
+void BM_TracerRecord(benchmark::State& state) {
+  Stream& stream = SharedStream();
+  Tracer tracer;
+  tracer.set_capacity(1 << 16);
+  size_t i = 0;
+  for (auto _ : state) {
+    if (tracer.records().size() == (1 << 16)) tracer.Clear();
+    tracer.Record(TracePhase::kFeed, 0,
+                  stream.events[i % stream.events.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerRecord);
+
+/// Full registry sweep into a retained snapshot, at the heartbeat
+/// cadence's worst case (every site/rule/op label populated once).
+void BM_SnapshotRegistry(benchmark::State& state) {
+  ObsHub obs;
+  MetricsRegistry& metrics = obs.metrics();
+  for (int site = 0; site < 4; ++site) {
+    const std::string labels = "site=" + std::to_string(site);
+    metrics.GetCounter("events_injected", labels)->Add(10);
+    metrics.GetCounter("sequencer_released", labels)->Add(10);
+    metrics.GetGauge("sequencer_pending", labels)->Set(3);
+    metrics.GetHistogram("sequencer_hold_ticks", labels)->Add(7);
+  }
+  metrics.GetCounter("detections", "rule=r")->Add(5);
+  metrics.GetHistogram("detection_latency_ms", "rule=r")->Add(12.5);
+  metrics.GetGauge("completeness")->Set(1.0);
+  int64_t ts = 0;
+  for (auto _ : state) {
+    MetricsSnapshot snapshot = metrics.Snapshot(ts++);
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotRegistry);
+
+/// The artifact-emitting mode: runs the docs/observability.md
+/// walkthrough scenario (sequence-and-conjunction rule under loss, with
+/// the reliable channel) and exports the trace and/or snapshots.
+int EmitArtifacts(const std::string& trace_path,
+                  const std::string& snapshots_path) {
+  EventTypeRegistry registry;
+  ObsHub obs;
+  RuntimeConfig config;
+  config.num_sites = 3;
+  config.seed = 7;
+  config.context = ParamContext::kChronicle;
+  config.network.loss_prob = 0.05;
+  config.channel.enabled = true;
+  config.obs = &obs;
+  config.obs_snapshot_period_ns = 250'000'000;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  CHECK_OK(runtime);
+  for (const char* name : {"overheat", "throttle", "cooling_fault"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  CHECK_OK((*runtime)->AddRuleText(
+      "thermal_runaway", "(overheat ; throttle) and cooling_fault"));
+  std::vector<PlannedEvent> plan;
+  Rng rng(13);
+  TrueTimeNs when = 0;
+  for (int i = 0; i < 200; ++i) {
+    when += 5'000'000 + static_cast<TrueTimeNs>(rng.NextBounded(20'000'000));
+    plan.push_back(PlannedEvent{
+        when, static_cast<SiteId>(rng.NextBounded(3)),
+        static_cast<EventTypeId>(rng.NextBounded(3)), {}});
+  }
+  CHECK_OK((*runtime)->InjectPlan(plan));
+  const RuntimeStats stats = (*runtime)->Run();
+  if (stats.detections == 0) {
+    std::fprintf(stderr, "emit mode: scenario produced no detections\n");
+    return 1;
+  }
+  if (kTraceBuild) {
+    // Self-check before exporting: the journal must contain a full
+    // raised -> sequenced -> detected path for some composite.
+    const auto& records = obs.tracer().records();
+    if (records.empty()) {
+      std::fprintf(stderr, "emit mode: trace build but empty journal\n");
+      return 1;
+    }
+    bool path_ok = false;
+    for (const TraceRecord& record : records) {
+      if (record.phase != TracePhase::kDetect || record.refs.empty()) {
+        continue;
+      }
+      size_t raised = 0;
+      size_t sequenced = 0;
+      for (uint64_t ref : record.refs) {
+        for (const TraceRecord& other : records) {
+          if (other.event_id != ref) continue;
+          if (other.phase == TracePhase::kRaise) ++raised;
+          if (other.phase == TracePhase::kSequence) ++sequenced;
+        }
+      }
+      if (raised == record.refs.size() && sequenced == record.refs.size()) {
+        path_ok = true;
+        break;
+      }
+    }
+    if (!path_ok) {
+      std::fprintf(stderr,
+                   "emit mode: no detection with a complete traced path\n");
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    CHECK_OK(obs.tracer().WriteChromeTrace(trace_path));
+    std::printf("wrote %s (%zu records%s)\n", trace_path.c_str(),
+                obs.tracer().records().size(),
+                kTraceBuild ? "" : "; empty: tracing compiled out, "
+                                   "rebuild with -DSENTINELD_TRACE=ON");
+  }
+  if (!snapshots_path.empty()) {
+    CHECK_OK(obs.WriteSnapshotsJsonl(snapshots_path));
+    std::printf("wrote %s (%zu snapshots)\n", snapshots_path.c_str(),
+                obs.snapshots().size());
+  }
+  std::printf("detections=%llu completeness=%.4f\n",
+              static_cast<unsigned long long>(stats.detections),
+              stats.completeness);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sentineld
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string snapshots_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--emit-trace=", 13) == 0) {
+      trace_path = arg + 13;
+    } else if (std::strncmp(arg, "--emit-snapshots=", 17) == 0) {
+      snapshots_path = arg + 17;
+    }
+  }
+  if (!trace_path.empty() || !snapshots_path.empty()) {
+    return sentineld::EmitArtifacts(trace_path, snapshots_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,11 +13,18 @@
 // the reliable ack/retransmit channel — the run ends with a degradation
 // table showing what the network did and what the channel restored.
 //
+// The run is fully observable (docs/observability.md): an ObsHub
+// collects the metric catalogue, and in -DSENTINELD_TRACE=ON builds the
+// example exports fleet_trace.json (load in Perfetto) plus
+// fleet_snapshots.jsonl (render with sentinel-stat) — the inputs of the
+// "why was this detection late?" walkthrough.
+//
 // Build & run:   ./build/examples/fleet_telemetry
 
 #include <iostream>
 
 #include "dist/hierarchical.h"
+#include "obs/obs.h"
 #include "snoop/parser.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -25,6 +32,7 @@
 using namespace sentineld;
 
 int main() {
+  ObsHub obs;
   RuntimeConfig config;
   config.num_sites = 4;  // 0 = central monitor, 1-3 = rack controllers
   config.detector_site = 0;
@@ -34,6 +42,8 @@ int main() {
   config.network.jitter_mean_ns = 500'000;
   config.network.loss_prob = 0.1;   // flaky top-of-rack switches
   config.channel.enabled = true;    // ...so links ack and retransmit
+  config.obs = &obs;                // collect the full metric catalogue
+  config.obs_snapshot_period_ns = 500'000'000;
 
   EventTypeRegistry registry;
   auto runtime = HierarchicalRuntime::Create(config, &registry);
@@ -132,5 +142,23 @@ int main() {
   }
   std::cout << "every drop was retransmitted and recovered; the incident "
                "list is complete.\n";
+  if (kTraceBuild) {
+    // Trace builds export the observability artifacts the
+    // docs/observability.md walkthrough dissects.
+    if (auto status = obs.tracer().WriteChromeTrace("fleet_trace.json");
+        !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    if (auto status = obs.WriteSnapshotsJsonl("fleet_snapshots.jsonl");
+        !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "wrote fleet_trace.json ("
+              << obs.tracer().records().size()
+              << " records; open in Perfetto) and fleet_snapshots.jsonl "
+                 "(render: sentinel-stat fleet_snapshots.jsonl)\n";
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/sentinel.h"
 
 #include "analysis/lint.h"
+#include "obs/obs.h"
 #include "snoop/parser.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -28,6 +29,15 @@ Status LintForDefine(const std::string& rule_name, const ExprPtr& expr,
 
 SentinelService::SentinelService(Options options) : options_(options) {
   CHECK_OK(options.timebase.Validate());
+  if (options_.obs != nullptr) {
+    Tracer& tracer = options_.obs->tracer();
+    // Centralized time is the service's tick clock, scaled to ns by the
+    // timebase so trace timestamps stay comparable across deployments.
+    tracer.set_clock(
+        [this] { return clock_ * options_.timebase.local_granularity_ns; });
+    tracer.set_type_namer(
+        [this](EventTypeId type) { return registry_.NameOf(type); });
+  }
 }
 
 Result<EventTypeId> SentinelService::RegisterEventType(
@@ -46,6 +56,9 @@ Detector& SentinelService::DetectorFor(ParamContext context) {
              .emplace(context,
                       std::make_unique<Detector>(&registry_, options))
              .first;
+    if (options_.obs != nullptr) {
+      it->second->set_tracer(&options_.obs->tracer());
+    }
     // Detectors created after events were raised would have missed them;
     // keep rule definition ahead of event flow (checked in DefineRule).
   }
@@ -81,8 +94,21 @@ Result<RuleId> SentinelService::DefineRule(RuleSpec spec) {
   const std::string rule_name = spec.name;
   Result<RuleId> id = rules_.Add(std::move(spec));
   if (!id.ok()) return id;
+  Counter* detections = nullptr;
+  if (options_.obs != nullptr) {
+    detections = options_.obs->metrics().GetCounter(
+        "detections", StrCat("rule=", rule_name));
+  }
   Result<EventTypeId> added = DetectorFor(context).AddRule(
-      rule_name, *expr, rules_.MakeDispatch(*id));
+      rule_name, *expr,
+      [this, detections,
+       dispatch = rules_.MakeDispatch(*id)](const EventPtr& event) {
+        if (detections != nullptr) detections->Add(1);
+        SENTINELD_TRACE_EVENT(
+            options_.obs == nullptr ? nullptr : &options_.obs->tracer(),
+            TracePhase::kDetect, options_.host_site, event);
+        dispatch(event);
+      });
   if (!added.ok()) return added.status();
   return id;
 }
@@ -121,6 +147,9 @@ Status SentinelService::Raise(const std::string& event_name,
       at_tick};
   const EventPtr event =
       Event::MakePrimitive(*type, stamp, std::move(params));
+  SENTINELD_TRACE_EVENT(
+      options_.obs == nullptr ? nullptr : &options_.obs->tracer(),
+      TracePhase::kRaise, options_.host_site, event);
   for (auto& [context, detector] : detectors_) detector->Feed(event);
   return Status::Ok();
 }

@@ -15,6 +15,8 @@
 
 namespace sentineld {
 
+class ObsHub;
+
 /// The centralized (embedded) public API: an active-rule service for a
 /// single site, where time is totally ordered (paper Sec. 3). Register
 /// event types, define ECA rules in the expression language, raise
@@ -36,6 +38,11 @@ class SentinelService {
     /// kError findings (analysis/lint.h). Individual rules can opt out
     /// via RuleSpec::skip_lint.
     bool lint_rules = true;
+    /// Observability hub (obs/obs.h): per-rule detection counters,
+    /// detector tracing, and per-context detector metrics. Null (the
+    /// default) keeps every hot path free of observability work. Not
+    /// owned; must outlive the service.
+    ObsHub* obs = nullptr;
   };
 
   SentinelService() : SentinelService(Options{}) {}

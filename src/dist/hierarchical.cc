@@ -1,8 +1,10 @@
 #include "dist/hierarchical.h"
 
 #include <algorithm>
+#include <array>
 
 #include "dist/codec.h"
+#include "obs/obs.h"
 #include "snoop/node.h"  // AnchorTick
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -42,7 +44,23 @@ HierarchicalRuntime::HierarchicalRuntime(const RuntimeConfig& config,
       registry_(registry),
       rng_(config.seed),
       fleet_(std::move(fleet)),
-      network_(&sim_, config.network, &rng_) {}
+      network_(&sim_, config.network, &rng_) {
+  if (config_.obs != nullptr) {
+    Tracer& tracer = config_.obs->tracer();
+    tracer.set_clock([this] { return sim_.now(); });
+    tracer.set_type_namer(
+        [registry](EventTypeId type) { return registry->NameOf(type); });
+    obs_injected_.resize(config_.num_sites);
+    for (SiteId site = 0; site < config_.num_sites; ++site) {
+      obs_injected_[site] = config_.obs->metrics().GetCounter(
+          "events_injected", StrCat("site=", site));
+    }
+  }
+}
+
+Tracer* HierarchicalRuntime::TraceSink() {
+  return config_.obs == nullptr ? nullptr : &config_.obs->tracer();
+}
 
 int64_t HierarchicalRuntime::LeafWindowTicks() const {
   return config_.EffectiveWindowTicks();
@@ -76,8 +94,22 @@ HierarchicalRuntime::Station& HierarchicalRuntime::StationAt(SiteId site) {
   Detector* detector = station.detector.get();
   station.sequencer = std::make_unique<Sequencer>(
       window_ticks,
-      [detector](const EventPtr& event) { detector->Feed(event); },
+      [this, site, detector](const EventPtr& event) {
+        SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kSequence, site,
+                              event);
+        detector->Feed(event);
+      },
       /*dedup=*/config_.network.duplicate_prob > 0);
+  if (config_.obs != nullptr) {
+    detector->set_tracer(&config_.obs->tracer());
+    MetricsRegistry& metrics = config_.obs->metrics();
+    const std::string labels = StrCat("site=", site);
+    station.sequencer->EnableObs(
+        metrics.GetCounter("sequencer_released", labels),
+        metrics.GetCounter("sequencer_late_arrivals", labels),
+        metrics.GetGauge("sequencer_pending", labels),
+        metrics.GetHistogram("sequencer_hold_ticks", labels));
+  }
   return station;
 }
 
@@ -102,7 +134,7 @@ void HierarchicalRuntime::SendPayload(SiteId from, SiteId to,
   }
   ++raw_payloads_sent_;
   auto delivered = std::make_shared<bool>(false);
-  network_.Send(
+  const bool sent = network_.Send(
       from, to,
       [this, to, event, delivered] {
         if (!*delivered) {
@@ -112,9 +144,16 @@ void HierarchicalRuntime::SendPayload(SiteId from, SiteId to,
         Deliver(to, event);
       },
       WireSize(event));
+  if (sent) {
+    SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kSend, from, event);
+  } else {
+    ++known_lost_;
+    SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kDrop, from, event);
+  }
 }
 
 void HierarchicalRuntime::Deliver(SiteId to, const EventPtr& event) {
+  SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kOffer, to, event);
   Station& station = stations_.at(to);
   station.max_delivered_anchor = std::max(
       station.max_delivered_anchor, MinAnchorTick(event->timestamp()));
@@ -128,6 +167,7 @@ ReliableLink& HierarchicalRuntime::LinkBetween(SiteId from, SiteId to) {
   auto link = std::make_unique<ReliableLink>(
       &sim_, &network_, from, to, config_.channel,
       [this, to](const EventPtr& event) { Deliver(to, event); });
+  if (config_.obs != nullptr) link->set_tracer(&config_.obs->tracer());
   return *links_.emplace(key, std::move(link)).first->second;
 }
 
@@ -183,6 +223,8 @@ Result<EventTypeId> HierarchicalRuntime::AddRule(
       sub_type = station.detector->AddRule(
           sub_name, *sub, [this, site, station_ptr](const EventPtr& event) {
             ++station_ptr->emitted_upstream;
+            SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kEmit, site,
+                                  event);
             Route(site, event);
           });
       if (!sub_type.ok()) return sub_type.status();
@@ -202,11 +244,24 @@ Result<EventTypeId> HierarchicalRuntime::AddRule(
     root_expr = *replaced;
   }
 
+  Counter* detections = nullptr;
+  Histogram* latency = nullptr;
+  if (config_.obs != nullptr) {
+    const std::string labels = StrCat("rule=", name);
+    detections = config_.obs->metrics().GetCounter("detections", labels);
+    latency =
+        config_.obs->metrics().GetHistogram("detection_latency_ms", labels);
+  }
   Station& root = StationAt(config_.detector_site);
   Result<EventTypeId> root_type = root.detector->AddRule(
       name, root_expr,
-      [this, callback = std::move(callback)](const EventPtr& event) {
-        RecordDetection(event);
+      [this, detections, latency,
+       callback = std::move(callback)](const EventPtr& event) {
+        const double latency_ms = RecordDetection(event);
+        if (detections != nullptr) detections->Add(1);
+        if (latency != nullptr && latency_ms >= 0) latency->Add(latency_ms);
+        SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kDetect,
+                              config_.detector_site, event);
         if (callback) callback(event);
       });
   if (!root_type.ok()) return root_type.status();
@@ -231,8 +286,11 @@ Status HierarchicalRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
       const EventPtr event =
           Event::MakePrimitive(planned.type, stamp, planned.params);
       ++stats_.events_injected;
+      if (!obs_injected_.empty()) obs_injected_[planned.site]->Add(1);
       history_.push_back(event);
       injection_time_.emplace(event.get(), sim_.now());
+      SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kRaise, planned.site,
+                            event);
       Route(planned.site, event);
     });
   }
@@ -260,9 +318,76 @@ void HierarchicalRuntime::Heartbeat() {
       station.detector->AdvanceClockTo(watermark);
     }
   }
+  SampleObs();
+  MaybeSnapshot();
 }
 
-void HierarchicalRuntime::RecordDetection(const EventPtr& event) {
+void HierarchicalRuntime::SampleObs() {
+  if (config_.obs == nullptr) return;
+  MetricsRegistry& metrics = config_.obs->metrics();
+  metrics.GetCounter("network_messages")->SetTotal(network_.messages_sent());
+  metrics.GetCounter("network_bytes")->SetTotal(network_.bytes_sent());
+  metrics.GetCounter("network_dropped", "cause=loss")
+      ->SetTotal(network_.drops_loss());
+  metrics.GetCounter("network_dropped", "cause=outage")
+      ->SetTotal(network_.drops_outage());
+  metrics.GetCounter("network_dropped", "cause=partition")
+      ->SetTotal(network_.drops_partition());
+  metrics.GetCounter("watermark_gap_flags")
+      ->SetTotal(stats_.watermark_gap_flags);
+  for (const auto& [site, station] : stations_) {
+    const std::string labels = StrCat("site=", site);
+    metrics.GetCounter("detector_events_fed", labels)
+        ->SetTotal(station.detector->events_fed());
+    metrics.GetCounter("detector_events_dropped", labels)
+        ->SetTotal(station.detector->events_dropped());
+    metrics.GetCounter("detector_timers_fired", labels)
+        ->SetTotal(station.detector->timers_fired());
+    for (const auto& [op, state] : station.detector->StateByOp()) {
+      metrics.GetGauge("detector_state", StrCat(labels, ",op=", op))
+          ->Set(static_cast<double>(state));
+    }
+  }
+  // Several hierarchy links can share one sending site, so channel
+  // metrics aggregate per sender before they reach the per-site series.
+  std::map<SiteId, std::array<uint64_t, 4>> by_sender;
+  uint64_t gave_up = 0;
+  uint64_t channel_sent = 0;
+  for (const auto& [key, link] : links_) {
+    auto& acc = by_sender[link->sender()];
+    acc[0] += link->retransmits();
+    acc[1] += link->gave_up();
+    acc[2] += link->duplicates_dropped();
+    acc[3] += link->unacked();
+    gave_up += link->gave_up();
+    channel_sent += link->payloads_sent();
+  }
+  for (const auto& [sender, acc] : by_sender) {
+    const std::string labels = StrCat("site=", sender);
+    metrics.GetCounter("channel_retransmits", labels)->SetTotal(acc[0]);
+    metrics.GetCounter("channel_gave_up", labels)->SetTotal(acc[1]);
+    metrics.GetCounter("channel_duplicates_dropped", labels)
+        ->SetTotal(acc[2]);
+    metrics.GetGauge("channel_unacked", labels)
+        ->Set(static_cast<double>(acc[3]));
+  }
+  const uint64_t attempted = raw_payloads_sent_ + channel_sent;
+  const double completeness =
+      attempted == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(known_lost_ + gave_up) /
+                      static_cast<double>(attempted);
+  metrics.GetGauge("completeness")->Set(completeness);
+}
+
+void HierarchicalRuntime::MaybeSnapshot() {
+  if (config_.obs == nullptr || config_.obs_snapshot_period_ns <= 0) return;
+  if (sim_.now() < next_snapshot_ns_) return;
+  config_.obs->TakeSnapshot(sim_.now());
+  next_snapshot_ns_ = sim_.now() + config_.obs_snapshot_period_ns;
+}
+
+double HierarchicalRuntime::RecordDetection(const EventPtr& event) {
   ++stats_.detections;
   detections_.push_back(event);
   std::vector<EventPtr> primitives;
@@ -272,10 +397,10 @@ void HierarchicalRuntime::RecordDetection(const EventPtr& event) {
     auto it = injection_time_.find(p.get());
     if (it != injection_time_.end()) latest = std::max(latest, it->second);
   }
-  if (latest >= 0) {
-    stats_.detection_latency_ms.Add(
-        static_cast<double>(sim_.now() - latest) / 1e6);
-  }
+  if (latest < 0) return -1.0;
+  const double latency_ms = static_cast<double>(sim_.now() - latest) / 1e6;
+  stats_.detection_latency_ms.Add(latency_ms);
+  return latency_ms;
 }
 
 RuntimeStats HierarchicalRuntime::Run() {
@@ -323,6 +448,8 @@ RuntimeStats HierarchicalRuntime::Run() {
           ? 1.0
           : static_cast<double>(payloads_delivered) /
                 static_cast<double>(payloads_sent);
+  SampleObs();
+  if (config_.obs != nullptr) config_.obs->TakeSnapshot(sim_.now());
   return stats_;
 }
 

@@ -116,7 +116,14 @@ class HierarchicalRuntime {
 
   void Subscribe(EventTypeId type, SiteId site);
   void Heartbeat();
-  void RecordDetection(const EventPtr& event);
+  /// Returns the occurrence-to-detection latency in ms (-1 when no
+  /// constituent has an injection record).
+  double RecordDetection(const EventPtr& event);
+  /// The hub's tracer, or null when observability is not attached.
+  Tracer* TraceSink();
+  /// Mirrors per-station and per-link counters into the metrics registry.
+  void SampleObs();
+  void MaybeSnapshot();
 
   /// Stability window for leaf stations; the root adds one upstream hop's
   /// worth of delay (leaf window + network) on top, because a forwarded
@@ -146,6 +153,16 @@ class HierarchicalRuntime {
   RuntimeStats stats_;
   TrueTimeNs horizon_ = 0;
   size_t rules_added_ = 0;
+  /// Per-site events_injected counters (empty without obs).
+  std::vector<Counter*> obs_injected_;
+  /// Raw-mode payloads known lost at send time (see Network::Send). The
+  /// hierarchical completeness gauge divides known losses by payloads
+  /// *attempted so far* — unlike the flat runtime the denominator grows
+  /// as stations emit upstream, so the gauge is only monotone once
+  /// injection-driven traffic dominates; it still converges to
+  /// RuntimeStats::completeness at the end of Run().
+  uint64_t known_lost_ = 0;
+  TrueTimeNs next_snapshot_ns_ = 0;
 };
 
 }  // namespace sentineld

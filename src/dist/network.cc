@@ -72,7 +72,7 @@ int64_t Network::SampleLatency(SiteId from, SiteId to) {
   return latency;
 }
 
-void Network::Send(SiteId from, SiteId to, std::function<void()> deliver,
+bool Network::Send(SiteId from, SiteId to, std::function<void()> deliver,
                    size_t bytes) {
   ++messages_sent_;
   bytes_sent_ += bytes;
@@ -87,15 +87,15 @@ void Network::Send(SiteId from, SiteId to, std::function<void()> deliver,
   // fault-free model.
   if (config_.SiteDownAt(from, now) || config_.SiteDownAt(to, deliver_at)) {
     ++drops_outage_;
-    return;
+    return false;
   }
   if (from != to && config_.PartitionedAt(from, to, now)) {
     ++drops_partition_;
-    return;
+    return false;
   }
   if (config_.loss_prob > 0 && rng_->NextBool(config_.loss_prob)) {
     ++drops_loss_;
-    return;
+    return false;
   }
   if (config_.fifo) {
     const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
@@ -114,6 +114,7 @@ void Network::Send(SiteId from, SiteId to, std::function<void()> deliver,
     sim_->At(now + SampleLatency(from, to), deliver);
   }
   sim_->At(deliver_at, std::move(deliver));
+  return true;
 }
 
 }  // namespace sentineld

@@ -80,7 +80,15 @@ class Network {
   /// partitioned at send time; dropped messages vanish without a trace.
   /// `bytes` is the message's wire size (dist/codec.h WireSize) for
   /// traffic accounting; duplicates count their bytes again.
-  void Send(SiteId from, SiteId to, std::function<void()> deliver,
+  ///
+  /// Returns false when the message was dropped. Every drop decision is
+  /// made here at send time (receiver outages are checked against the
+  /// already-sampled delivery time), so the return value is definitive —
+  /// which is what lets the runtimes maintain an incremental
+  /// completeness gauge instead of only an end-of-run ratio. The sender
+  /// model, of course, learns nothing: callers other than the
+  /// observability accounting must not branch on it.
+  bool Send(SiteId from, SiteId to, std::function<void()> deliver,
             size_t bytes = 0);
 
   uint64_t messages_sent() const { return messages_sent_; }

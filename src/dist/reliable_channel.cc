@@ -1,8 +1,10 @@
 #include "dist/reliable_channel.h"
 
 #include "dist/codec.h"
+#include "obs/trace.h"
 #include "util/checked.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace sentineld {
 
@@ -55,6 +57,8 @@ void ReliableLink::Send(const EventPtr& event) {
   // below next_seq_.
   SENTINELD_ASSERT(pending_.rbegin()->first < next_seq_);
   ++payloads_sent_;
+  SENTINELD_TRACE_EVENT(tracer_, TracePhase::kFrame, sender_site_, event,
+                        StrCat("seq=", seq, " to=", receiver_site_));
   Transmit(seq);
 }
 
@@ -82,12 +86,18 @@ void ReliableLink::Transmit(uint64_t seq) {
       // The cap is exhausted: the payload is abandoned and the receiver
       // (if it ever saw a later seq) keeps a permanent gap.
       ++gave_up_;
+      SENTINELD_TRACE_EVENT(tracer_, TracePhase::kGiveUp, sender_site_,
+                            timer_it->second.event, StrCat("seq=", seq));
       pending_.erase(timer_it);
       return;
     }
     timer_it->second.rto_ns = static_cast<int64_t>(
         static_cast<double>(timer_it->second.rto_ns) * config_.backoff);
     ++retransmits_;
+    SENTINELD_TRACE_EVENT(tracer_, TracePhase::kRetransmit, sender_site_,
+                          timer_it->second.event,
+                          StrCat("seq=", seq, " attempt=",
+                                 timer_it->second.attempts + 1));
     Transmit(seq);
   });
 }
@@ -103,6 +113,8 @@ void ReliableLink::OnData(uint64_t seq, const EventPtr& event) {
     // contiguous seq, so anything still buffered is strictly ahead of it.
     SENTINELD_ASSERT(ahead_.empty() || *ahead_.begin() > next_expected_);
     ++delivered_;
+    SENTINELD_TRACE_EVENT(tracer_, TracePhase::kChannelDeliver,
+                          receiver_site_, event, StrCat("seq=", seq));
     deliver_(event);
   }
   // Always (re-)ack — the previous ack for this seq may have been lost,

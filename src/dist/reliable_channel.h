@@ -13,6 +13,8 @@
 
 namespace sentineld {
 
+class Tracer;
+
 /// Retransmission policy of a ReliableLink.
 struct ReliableChannelConfig {
   /// Off: payloads ride the raw (lossy) network and every drop is a
@@ -65,6 +67,11 @@ class ReliableLink {
   /// Sends `event` reliably (fire-and-forget for the caller).
   void Send(const EventPtr& event);
 
+  /// Attaches the execution tracer (obs/trace.h); the link then
+  /// journals frame/retransmit/give-up/deliver phases per payload. The
+  /// call sites compile out entirely unless -DSENTINELD_TRACE.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   SiteId sender() const { return sender_site_; }
   SiteId receiver() const { return receiver_site_; }
 
@@ -102,6 +109,7 @@ class ReliableLink {
   SiteId receiver_site_;
   ReliableChannelConfig config_;
   Deliver deliver_;
+  Tracer* tracer_ = nullptr;
 
   // Sender state.
   uint64_t next_seq_ = 0;

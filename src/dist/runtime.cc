@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dist/codec.h"
+#include "obs/obs.h"
 #include "snoop/node.h"  // AnchorTick
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -68,7 +69,11 @@ DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
   detector_ = std::make_unique<Detector>(registry_, options);
   sequencer_ = std::make_unique<Sequencer>(
       config_.EffectiveWindowTicks(),
-      [this](const EventPtr& event) { detector_->Feed(event); },
+      [this](const EventPtr& event) {
+        SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kSequence,
+                              config_.detector_site, event);
+        detector_->Feed(event);
+      },
       /*dedup=*/config_.network.duplicate_prob > 0);
   max_delivered_anchor_.assign(config_.num_sites, INT64_MIN);
   if (config_.channel.enabled) {
@@ -81,15 +86,54 @@ DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
           });
     }
   }
+  if (config_.obs != nullptr) {
+    Tracer& tracer = config_.obs->tracer();
+    tracer.set_clock([this] { return sim_.now(); });
+    tracer.set_type_namer(
+        [registry](EventTypeId type) { return registry->NameOf(type); });
+    detector_->set_tracer(&tracer);
+    for (auto& link : links_) {
+      if (link != nullptr) link->set_tracer(&tracer);
+    }
+    MetricsRegistry& metrics = config_.obs->metrics();
+    const std::string det_site = StrCat("site=", config_.detector_site);
+    sequencer_->EnableObs(
+        metrics.GetCounter("sequencer_released", det_site),
+        metrics.GetCounter("sequencer_late_arrivals", det_site),
+        metrics.GetGauge("sequencer_pending", det_site),
+        metrics.GetHistogram("sequencer_hold_ticks", det_site));
+    obs_injected_.resize(config_.num_sites);
+    for (SiteId site = 0; site < config_.num_sites; ++site) {
+      obs_injected_[site] =
+          metrics.GetCounter("events_injected", StrCat("site=", site));
+    }
+  }
+}
+
+Tracer* DistributedRuntime::TraceSink() {
+  return config_.obs == nullptr ? nullptr : &config_.obs->tracer();
 }
 
 Result<EventTypeId> DistributedRuntime::AddRule(const std::string& name,
                                                 const ExprPtr& expr,
                                                 Callback callback) {
+  Counter* detections = nullptr;
+  Histogram* latency = nullptr;
+  if (config_.obs != nullptr) {
+    const std::string labels = StrCat("rule=", name);
+    detections = config_.obs->metrics().GetCounter("detections", labels);
+    latency =
+        config_.obs->metrics().GetHistogram("detection_latency_ms", labels);
+  }
   return detector_->AddRule(
       name, expr,
-      [this, callback = std::move(callback)](const EventPtr& event) {
-        RecordDetection(event);
+      [this, detections, latency,
+       callback = std::move(callback)](const EventPtr& event) {
+        const double latency_ms = RecordDetection(event);
+        if (detections != nullptr) detections->Add(1);
+        if (latency != nullptr && latency_ms >= 0) latency->Add(latency_ms);
+        SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kDetect,
+                              config_.detector_site, event);
         if (callback) callback(event);
       });
 }
@@ -112,6 +156,7 @@ Status DistributedRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
     }
     RETURN_IF_ERROR(registry_->Info(planned.type).status());
     horizon_ = std::max(horizon_, planned.when);
+    ++planned_total_;
     sim_.At(planned.when, [this, planned] {
       // The site stamps the occurrence with its own (drifting, synced)
       // local clock — the only clock it can observe.
@@ -120,8 +165,11 @@ Status DistributedRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
       const EventPtr event =
           Event::MakePrimitive(planned.type, stamp, planned.params);
       ++stats_.events_injected;
+      if (!obs_injected_.empty()) obs_injected_[planned.site]->Add(1);
       history_.push_back(event);
       injection_time_.emplace(event.get(), sim_.now());
+      SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kRaise, planned.site,
+                            event);
       // Notify the detector site, reliably or fire-and-forget.
       if (config_.channel.enabled) {
         links_[planned.site]->Send(event);
@@ -130,7 +178,7 @@ Status DistributedRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
         // when duplicate_prob delivers the message twice.
         auto delivered = std::make_shared<bool>(false);
         ++raw_payloads_sent_;
-        network_.Send(
+        const bool sent = network_.Send(
             planned.site, config_.detector_site,
             [this, site = planned.site, event, delivered] {
               if (!*delivered) {
@@ -140,6 +188,17 @@ Status DistributedRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
               DeliverToDetector(site, event);
             },
             WireSize(event));
+        if (sent) {
+          SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kSend,
+                                planned.site, event);
+        } else {
+          // The only unreliable-mode loss channel: all drop decisions
+          // happen at send time (see Network::Send), so counting here
+          // keeps the completeness gauge exact and monotone.
+          ++known_lost_;
+          SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kDrop,
+                                planned.site, event);
+        }
       }
     });
   }
@@ -179,9 +238,68 @@ void DistributedRuntime::Heartbeat() {
     }
     detector_->AdvanceClockTo(watermark);
   }
+  SampleObs();
+  MaybeSnapshot();
 }
 
-void DistributedRuntime::RecordDetection(const EventPtr& event) {
+void DistributedRuntime::SampleObs() {
+  if (config_.obs == nullptr) return;
+  MetricsRegistry& metrics = config_.obs->metrics();
+  metrics.GetCounter("network_messages")->SetTotal(network_.messages_sent());
+  metrics.GetCounter("network_bytes")->SetTotal(network_.bytes_sent());
+  metrics.GetCounter("network_dropped", "cause=loss")
+      ->SetTotal(network_.drops_loss());
+  metrics.GetCounter("network_dropped", "cause=outage")
+      ->SetTotal(network_.drops_outage());
+  metrics.GetCounter("network_dropped", "cause=partition")
+      ->SetTotal(network_.drops_partition());
+  metrics.GetCounter("watermark_gap_flags")
+      ->SetTotal(stats_.watermark_gap_flags);
+  const std::string det_site = StrCat("site=", config_.detector_site);
+  metrics.GetCounter("detector_events_fed", det_site)
+      ->SetTotal(detector_->events_fed());
+  metrics.GetCounter("detector_events_dropped", det_site)
+      ->SetTotal(detector_->events_dropped());
+  metrics.GetCounter("detector_timers_fired", det_site)
+      ->SetTotal(detector_->timers_fired());
+  for (const auto& [op, state] : detector_->StateByOp()) {
+    metrics.GetGauge("detector_state", StrCat(det_site, ",op=", op))
+        ->Set(static_cast<double>(state));
+  }
+  uint64_t gave_up = 0;
+  for (const auto& link : links_) {
+    if (link == nullptr) continue;
+    const std::string site = StrCat("site=", link->sender());
+    metrics.GetCounter("channel_retransmits", site)
+        ->SetTotal(link->retransmits());
+    metrics.GetCounter("channel_gave_up", site)->SetTotal(link->gave_up());
+    metrics.GetCounter("channel_duplicates_dropped", site)
+        ->SetTotal(link->duplicates_dropped());
+    metrics.GetGauge("channel_unacked", site)
+        ->Set(static_cast<double>(link->unacked()));
+    gave_up += link->gave_up();
+  }
+  // Pessimistic incremental completeness: 1 - known-lost / planned. The
+  // denominator is fixed once injection is planned and the numerator only
+  // grows, so the gauge is monotone non-increasing — and it converges to
+  // RuntimeStats::completeness once the run drains (every payload is then
+  // either delivered or known lost).
+  const double completeness =
+      planned_total_ == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(known_lost_ + gave_up) /
+                      static_cast<double>(planned_total_);
+  metrics.GetGauge("completeness")->Set(completeness);
+}
+
+void DistributedRuntime::MaybeSnapshot() {
+  if (config_.obs == nullptr || config_.obs_snapshot_period_ns <= 0) return;
+  if (sim_.now() < next_snapshot_ns_) return;
+  config_.obs->TakeSnapshot(sim_.now());
+  next_snapshot_ns_ = sim_.now() + config_.obs_snapshot_period_ns;
+}
+
+double DistributedRuntime::RecordDetection(const EventPtr& event) {
   ++stats_.detections;
   detections_.push_back(event);
   // Latency from the latest constituent's true occurrence time. Temporal
@@ -193,10 +311,10 @@ void DistributedRuntime::RecordDetection(const EventPtr& event) {
     auto it = injection_time_.find(p.get());
     if (it != injection_time_.end()) latest = std::max(latest, it->second);
   }
-  if (latest >= 0) {
-    stats_.detection_latency_ms.Add(
-        static_cast<double>(sim_.now() - latest) / 1e6);
-  }
+  if (latest < 0) return -1.0;
+  const double latency_ms = static_cast<double>(sim_.now() - latest) / 1e6;
+  stats_.detection_latency_ms.Add(latency_ms);
+  return latency_ms;
 }
 
 RuntimeStats DistributedRuntime::Run() {
@@ -245,6 +363,8 @@ RuntimeStats DistributedRuntime::Run() {
           ? 1.0
           : static_cast<double>(payloads_delivered) /
                 static_cast<double>(payloads_sent);
+  SampleObs();
+  if (config_.obs != nullptr) config_.obs->TakeSnapshot(sim_.now());
   return stats_;
 }
 

@@ -21,6 +21,9 @@
 
 namespace sentineld {
 
+class ObsHub;
+class Tracer;
+
 /// Configuration of a simulated distributed Sentinel deployment: N sites
 /// with synchronized-to-Pi local clocks, a lossy-free but jittery network,
 /// and a global detector hosted at one site fronted by a Sequencer.
@@ -57,6 +60,16 @@ struct RuntimeConfig {
   /// context and interval policy) and reject those with kError findings;
   /// individual rules can opt out via RuleSpec::skip_lint.
   bool lint_rules = true;
+  /// Observability hub (obs/obs.h) to wire through the deployment:
+  /// metrics instruments update as the run progresses and, in trace
+  /// builds, every event's journey is journaled. Null (the default)
+  /// means zero observability work on any hot path. Not owned; must
+  /// outlive the runtime.
+  ObsHub* obs = nullptr;
+  /// When > 0 and `obs` is set, a metrics snapshot is retained on the
+  /// first heartbeat at or after each period boundary (simulated time);
+  /// a final snapshot is always taken at the end of Run().
+  int64_t obs_snapshot_period_ns = 0;
 
   Status Validate() const;
 
@@ -144,7 +157,16 @@ class DistributedRuntime {
   void DeliverToDetector(SiteId from, const EventPtr& event);
   void Heartbeat();
   LocalTicks DetectorLocalNow();
-  void RecordDetection(const EventPtr& event);
+  /// Records a detection into stats/history; returns the occurrence-to-
+  /// detection latency in ms, or -1 when no constituent has an injection
+  /// record (pure temporal occurrences).
+  double RecordDetection(const EventPtr& event);
+  /// The hub's tracer, or null when observability is not attached.
+  Tracer* TraceSink();
+  /// Mirrors component counters into the metrics registry (heartbeat
+  /// cadence; hot paths stay untouched) and refreshes the gauges.
+  void SampleObs();
+  void MaybeSnapshot();
 
   RuntimeConfig config_;
   EventTypeRegistry* registry_;
@@ -167,6 +189,15 @@ class DistributedRuntime {
   std::unordered_map<const Event*, TrueTimeNs> injection_time_;
   RuntimeStats stats_;
   TrueTimeNs horizon_ = 0;  // latest planned injection
+  /// Per-site events_injected counters (empty without obs).
+  std::vector<Counter*> obs_injected_;
+  /// Incremental-completeness accounting: payloads planned (the fixed
+  /// denominator) and payloads known lost at send time; with the channel
+  /// on, give-ups join the numerator at sample time. Monotone by
+  /// construction, so the completeness gauge never ticks back up.
+  uint64_t planned_total_ = 0;
+  uint64_t known_lost_ = 0;
+  TrueTimeNs next_snapshot_ns_ = 0;
 };
 
 }  // namespace sentineld

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 #include "util/checked.h"
 #include "util/logging.h"
 
@@ -32,6 +34,14 @@ Sequencer::Sequencer(int64_t stability_window_ticks, Release release,
   CHECK(release_ != nullptr);
 }
 
+void Sequencer::EnableObs(Counter* released, Counter* late_arrivals,
+                          Gauge* pending, Histogram* hold_ticks) {
+  obs_released_ = released;
+  obs_late_arrivals_ = late_arrivals;
+  obs_pending_ = pending;
+  obs_hold_ticks_ = hold_ticks;
+}
+
 void Sequencer::Offer(const EventPtr& event) {
   CHECK(event != nullptr);
   if (dedup_ && !seen_.insert(event.get()).second) {
@@ -44,8 +54,12 @@ void Sequencer::Offer(const EventPtr& event) {
     // was too small for this straggler. It is still delivered (next
     // AdvanceTo), but ordering relative to prior releases is lost.
     ++late_arrivals_;
+    if (obs_late_arrivals_ != nullptr) obs_late_arrivals_->Add(1);
   }
   buffer_.push_back(Held{event, anchor, seq_++});
+  if (obs_pending_ != nullptr) {
+    obs_pending_->Set(static_cast<double>(buffer_.size()));
+  }
 }
 
 void Sequencer::AdvanceTo(LocalTicks now_local) {
@@ -68,6 +82,9 @@ void Sequencer::AdvanceTo(LocalTicks now_local) {
 #endif
   buffer_ = std::move(kept);
   if (!stable.empty()) ReleaseBatch(std::move(stable));
+  if (obs_pending_ != nullptr) {
+    obs_pending_->Set(static_cast<double>(buffer_.size()));
+  }
 }
 
 void Sequencer::Flush() {
@@ -75,6 +92,7 @@ void Sequencer::Flush() {
   std::vector<Held> all = std::move(buffer_);
   buffer_.clear();
   ReleaseBatch(std::move(all));
+  if (obs_pending_ != nullptr) obs_pending_->Set(0);
 }
 
 void Sequencer::ReleaseBatch(std::vector<Held> batch) {
@@ -98,6 +116,16 @@ void Sequencer::ReleaseBatch(std::vector<Held> batch) {
 #endif
   for (Held& held : batch) {
     ++released_;
+    if (obs_released_ != nullptr) obs_released_->Add(1);
+    if (obs_hold_ticks_ != nullptr) {
+      // How far the watermark overtook this event's anchor before it
+      // could go: 0 means released at the earliest stable moment, large
+      // values mean the event sat (network lag, retransmissions, or a
+      // generous window). Flush() releases below the watermark; clamp.
+      const int64_t lag =
+          watermark_ == INT64_MIN ? 0 : watermark_ - held.anchor;
+      obs_hold_ticks_->Add(static_cast<double>(std::max<int64_t>(0, lag)));
+    }
     release_(held.event);
   }
 }

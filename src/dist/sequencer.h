@@ -11,6 +11,10 @@
 
 namespace sentineld {
 
+class Counter;
+class Gauge;
+class Histogram;
+
 /// The minimum local tick among the timestamp's elements — the release
 /// key of the Sequencer (see class docs) and the quantity fault-aware
 /// runtimes compare watermarks against when flagging advancement past a
@@ -67,6 +71,15 @@ class Sequencer {
   /// run), preserving the topological order.
   void Flush();
 
+  /// Attaches observability instruments (obs/metrics.h); all may be
+  /// null, and unattached the sequencer does no metrics work at all.
+  /// `hold_ticks` samples, per released event, how far the watermark
+  /// was past the event's min-anchor at release — the operational
+  /// measure of how long the stability window held the event back (the
+  /// paper's timeliness cost of the 2g_g order guarantee).
+  void EnableObs(Counter* released, Counter* late_arrivals, Gauge* pending,
+                 Histogram* hold_ticks);
+
   size_t pending() const { return buffer_.size(); }
   uint64_t released() const { return released_; }
   uint64_t late_arrivals() const { return late_arrivals_; }
@@ -93,6 +106,10 @@ class Sequencer {
   uint64_t released_ = 0;
   uint64_t late_arrivals_ = 0;
   uint64_t duplicates_dropped_ = 0;
+  Counter* obs_released_ = nullptr;
+  Counter* obs_late_arrivals_ = nullptr;
+  Gauge* obs_pending_ = nullptr;
+  Histogram* obs_hold_ticks_ = nullptr;
 };
 
 }  // namespace sentineld

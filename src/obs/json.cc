@@ -1,0 +1,266 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+/// Recursive-descent parser over a string_view cursor. Errors carry the
+/// byte offset, which is enough for line-oriented JSONL diagnostics.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    Result<JsonValue> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    return Status::InvalidArgument(
+        StrCat("JSON parse error at offset ", pos_, ": ", message));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (ConsumeWord("true")) {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kBool;
+      value.bool_value = true;
+      return value;
+    }
+    if (ConsumeWord("false")) {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kBool;
+      return value;
+    }
+    if (ConsumeWord("null")) return JsonValue{};
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    Consume('{');
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    while (true) {
+      SkipWhitespace();
+      Result<JsonValue> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      Result<JsonValue> member = ParseValue();
+      if (!member.ok()) return member;
+      value.members.emplace_back(std::move(key->string),
+                                 std::move(*member));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    Consume('[');
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    while (true) {
+      Result<JsonValue> item = ParseValue();
+      if (!item.ok()) return item;
+      value.items.push_back(std::move(*item));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    if (!Consume('"')) return Error("expected string");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          value.string.push_back(escape);
+          break;
+        case 'b':
+          value.string.push_back('\b');
+          break;
+        case 'f':
+          value.string.push_back('\f');
+          break;
+        case 'n':
+          value.string.push_back('\n');
+          break;
+        case 'r':
+          value.string.push_back('\r');
+          break;
+        case 't':
+          value.string.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned int>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned int>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned int>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape digit");
+            }
+          }
+          // BMP code points only (no surrogate pairs) — all this
+          // codebase ever emits is ASCII, so the cap is not a loss.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Error("surrogate pairs unsupported");
+          }
+          if (code < 0x80) {
+            value.string.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            value.string.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            value.string.push_back(
+                static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            value.string.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            value.string.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            value.string.push_back(
+                static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = number;
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace sentineld

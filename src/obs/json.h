@@ -1,0 +1,41 @@
+#ifndef SENTINELD_OBS_JSON_H_
+#define SENTINELD_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Minimal JSON document model, just enough for the observability
+/// tooling: sentinel-stat reads snapshot JSONL back, and the tests
+/// validate the trace exporters by parsing their output. Not a general
+/// JSON library — no streaming, documents are owned trees.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(std::string_view key) const;
+};
+
+/// Parses one JSON document (the whole of `text` modulo whitespace).
+/// Handles the standard escapes plus \uXXXX for BMP code points.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes `raw` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters).
+std::string JsonEscape(std::string_view raw);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_OBS_JSON_H_

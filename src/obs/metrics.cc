@@ -1,0 +1,276 @@
+#include "obs/metrics.h"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+/// The closed catalogue. Order is documentation order; the table in
+/// docs/observability.md lists exactly these rows (enforced by
+/// tests/obs_test.cc's parity test), so adding a metric means adding it
+/// in both places.
+constexpr std::array<MetricInfo, 20> kCatalog = {{
+    {"events_injected", MetricKind::kCounter, "events", "site",
+     "primitive occurrences raised at each site"},
+    {"detections", MetricKind::kCounter, "events", "rule",
+     "composite occurrences fired per rule root"},
+    {"detection_latency_ms", MetricKind::kHistogram, "ms", "rule",
+     "latest-constituent occurrence to rule firing, per rule"},
+    {"sequencer_hold_ticks", MetricKind::kHistogram, "ticks", "site",
+     "watermark minus min-anchor at release (stability-window lag)"},
+    {"sequencer_pending", MetricKind::kGauge, "events", "site",
+     "occurrences buffered awaiting stability"},
+    {"sequencer_released", MetricKind::kCounter, "events", "site",
+     "occurrences released in linear-extension order"},
+    {"sequencer_late_arrivals", MetricKind::kCounter, "events", "site",
+     "arrivals after their stability deadline (window too small)"},
+    {"detector_events_fed", MetricKind::kCounter, "events", "site",
+     "occurrences delivered into the detection graph"},
+    {"detector_events_dropped", MetricKind::kCounter, "events", "site",
+     "occurrences of types no rule listens to"},
+    {"detector_timers_fired", MetricKind::kCounter, "events", "site",
+     "temporal-operator timer callbacks fired"},
+    {"detector_state", MetricKind::kGauge, "occurrences", "site,op",
+     "occurrences buffered per operator kind (retained state)"},
+    {"network_messages", MetricKind::kCounter, "messages", "",
+     "messages put on the wire (drops and duplicates included)"},
+    {"network_bytes", MetricKind::kCounter, "bytes", "",
+     "wire-format bytes sent (dist/codec.h sizes)"},
+    {"network_dropped", MetricKind::kCounter, "messages", "cause",
+     "messages silently dropped, by fault cause"},
+    {"channel_retransmits", MetricKind::kCounter, "frames", "site",
+     "DATA frames re-sent after a timeout, per sender site"},
+    {"channel_gave_up", MetricKind::kCounter, "payloads", "site",
+     "payloads abandoned after the retransmit cap, per sender site"},
+    {"channel_duplicates_dropped", MetricKind::kCounter, "frames", "site",
+     "frames deduplicated by sequence number, per sender site"},
+    {"channel_unacked", MetricKind::kGauge, "payloads", "site",
+     "payloads awaiting acknowledgement, per sender site"},
+    {"watermark_gap_flags", MetricKind::kCounter, "flags", "",
+     "watermark advances past a known receive-side sequence gap"},
+    {"completeness", MetricKind::kGauge, "fraction", "",
+     "pessimistic incremental completeness: 1 - known lost / planned"},
+}};
+
+/// The comma-separated keys of a "k1=v1,k2=v2" label list.
+std::string LabelKeys(const std::string& labels) {
+  if (labels.empty()) return "";
+  std::vector<std::string> keys;
+  for (const std::string& part : Split(labels, ',')) {
+    const size_t eq = part.find('=');
+    keys.push_back(eq == std::string::npos ? part : part.substr(0, eq));
+  }
+  return Join(keys, ",");
+}
+
+}  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+std::span<const MetricInfo> MetricCatalog() { return kCatalog; }
+
+const MetricInfo* FindMetric(std::string_view name) {
+  for (const MetricInfo& info : kCatalog) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+const SnapshotRow* MetricsSnapshot::Find(std::string_view name,
+                                         std::string_view labels) const {
+  for (const SnapshotRow& row : rows) {
+    if (row.name == name && row.labels == labels) return &row;
+  }
+  return nullptr;
+}
+
+const MetricInfo& MetricsRegistry::Resolve(std::string_view name,
+                                           MetricKind kind,
+                                           const std::string& labels) const {
+  const MetricInfo* info = FindMetric(name);
+  CHECK(info != nullptr);
+  CHECK(info->kind == kind);
+  CHECK(LabelKeys(labels) == info->labels);
+  return *info;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string labels) {
+  Resolve(name, MetricKind::kCounter, labels);
+  return &counters_[Key{std::string(name), std::move(labels)}];
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string labels) {
+  Resolve(name, MetricKind::kGauge, labels);
+  return &gauges_[Key{std::string(name), std::move(labels)}];
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string labels) {
+  Resolve(name, MetricKind::kHistogram, labels);
+  return &histograms_[Key{std::string(name), std::move(labels)}];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(int64_t ts_ns) const {
+  MetricsSnapshot snapshot;
+  snapshot.ts_ns = ts_ns;
+  // Catalogue order first, then label order within one metric, so rows
+  // render and diff stably.
+  for (const MetricInfo& info : kCatalog) {
+    auto emit = [&](const Key& key, const auto& instrument) {
+      if (key.first != info.name) return;
+      SnapshotRow row;
+      row.name = key.first;
+      row.labels = key.second;
+      row.kind = info.kind;
+      row.unit = info.unit;
+      using T = std::decay_t<decltype(instrument)>;
+      if constexpr (std::is_same_v<T, Counter>) {
+        row.value = static_cast<double>(instrument.value());
+      } else if constexpr (std::is_same_v<T, Gauge>) {
+        row.value = instrument.value();
+      } else {
+        row.value = static_cast<double>(instrument.count());
+        if (instrument.count() > 0) {
+          row.mean = instrument.mean();
+          row.p50 = instrument.Percentile(50);
+          row.p99 = instrument.Percentile(99);
+          row.max = instrument.max();
+        }
+      }
+      snapshot.rows.push_back(std::move(row));
+    };
+    for (const auto& [key, counter] : counters_) emit(key, counter);
+    for (const auto& [key, gauge] : gauges_) emit(key, gauge);
+    for (const auto& [key, histogram] : histograms_) emit(key, histogram);
+  }
+  return snapshot;
+}
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"ts_ns\":" << snapshot.ts_ns << ",\"metrics\":[";
+  bool first = true;
+  for (const SnapshotRow& row : snapshot.rows) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(row.name) << "\",\"labels\":\""
+       << JsonEscape(row.labels) << "\",\"kind\":\""
+       << MetricKindName(row.kind) << "\",\"unit\":\""
+       << JsonEscape(row.unit) << "\",\"value\":" << FormatDouble(row.value, 6);
+    if (row.kind == MetricKind::kHistogram) {
+      os << ",\"mean\":" << FormatDouble(row.mean, 6)
+         << ",\"p50\":" << FormatDouble(row.p50, 6)
+         << ",\"p99\":" << FormatDouble(row.p99, 6)
+         << ",\"max\":" << FormatDouble(row.max, 6);
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status AppendSnapshotJsonl(const MetricsSnapshot& snapshot,
+                           const std::string& path) {
+  std::ofstream os(path, std::ios::app);
+  if (!os) return Status::InvalidArgument(StrCat("cannot open ", path));
+  os << SnapshotToJson(snapshot) << "\n";
+  if (!os) return Status::Internal(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+namespace {
+
+Result<MetricsSnapshot> SnapshotFromJson(const JsonValue& value) {
+  if (value.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("snapshot line is not a JSON object");
+  }
+  MetricsSnapshot snapshot;
+  const JsonValue* ts = value.Get("ts_ns");
+  if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument("snapshot missing ts_ns");
+  }
+  snapshot.ts_ns = static_cast<int64_t>(ts->number);
+  const JsonValue* metrics = value.Get("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("snapshot missing metrics array");
+  }
+  for (const JsonValue& item : metrics->items) {
+    if (item.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("metric row is not an object");
+    }
+    SnapshotRow row;
+    auto read_string = [&item](const char* key, std::string* out) {
+      const JsonValue* v = item.Get(key);
+      if (v != nullptr && v->kind == JsonValue::Kind::kString) *out = v->string;
+    };
+    auto read_number = [&item](const char* key, double* out) {
+      const JsonValue* v = item.Get(key);
+      if (v != nullptr && v->kind == JsonValue::Kind::kNumber) *out = v->number;
+    };
+    read_string("name", &row.name);
+    read_string("labels", &row.labels);
+    read_string("unit", &row.unit);
+    std::string kind;
+    read_string("kind", &kind);
+    if (kind == "gauge") {
+      row.kind = MetricKind::kGauge;
+    } else if (kind == "histogram") {
+      row.kind = MetricKind::kHistogram;
+    } else {
+      row.kind = MetricKind::kCounter;
+    }
+    read_number("value", &row.value);
+    read_number("mean", &row.mean);
+    read_number("p50", &row.p50);
+    read_number("p99", &row.p99);
+    read_number("max", &row.max);
+    snapshot.rows.push_back(std::move(row));
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+Result<std::vector<MetricsSnapshot>> ReadSnapshotsJsonl(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound(StrCat("cannot open ", path));
+  std::vector<MetricsSnapshot> snapshots;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) continue;
+    Result<JsonValue> value = ParseJson(line);
+    if (!value.ok()) {
+      return Status::InvalidArgument(StrCat(path, ":", line_no, ": ",
+                                            value.status().message()));
+    }
+    Result<MetricsSnapshot> snapshot = SnapshotFromJson(*value);
+    if (!snapshot.ok()) {
+      return Status::InvalidArgument(StrCat(path, ":", line_no, ": ",
+                                            snapshot.status().message()));
+    }
+    snapshots.push_back(std::move(*snapshot));
+  }
+  return snapshots;
+}
+
+}  // namespace sentineld

@@ -1,0 +1,149 @@
+#ifndef SENTINELD_OBS_METRICS_H_
+#define SENTINELD_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Instrument families of the metrics registry. Counters are monotone
+/// event totals, gauges are point-in-time levels, histograms are sample
+/// distributions (util/histogram — exact percentiles, fine at runtime
+/// scale).
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+/// One entry of the closed metric catalogue. The catalogue is the single
+/// source of truth for what the observability layer can record: every
+/// instrument handed out by MetricsRegistry must name a catalogue entry
+/// of the matching kind, and docs/observability.md documents exactly
+/// this table (tests/obs_test.cc asserts the two stay identical).
+struct MetricInfo {
+  const char* name;
+  MetricKind kind;
+  const char* unit;
+  /// Comma-separated label keys ("" for unlabeled metrics); instruments
+  /// must supply values for exactly these keys, in this order.
+  const char* labels;
+  /// What the metric measures, citing the paper quantity where one
+  /// exists (see docs/observability.md for the long form).
+  const char* help;
+};
+
+/// The full catalogue, in stable (documentation) order.
+std::span<const MetricInfo> MetricCatalog();
+
+/// Catalogue lookup by name; nullptr when unknown.
+const MetricInfo* FindMetric(std::string_view name);
+
+/// Monotone event total.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+
+  /// Overwrites the value with a running total maintained elsewhere —
+  /// how existing component counters (Network, Detector, ReliableLink)
+  /// are mirrored into the registry at sample time without adding any
+  /// work to their hot paths.
+  void SetTotal(uint64_t total) { value_ = total; }
+
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time level.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// One instrument's state at snapshot time. Counter/gauge values are in
+/// `value`; histograms additionally report their summary statistics
+/// (`value` holds the sample count).
+struct SnapshotRow {
+  std::string name;
+  std::string labels;
+  MetricKind kind = MetricKind::kCounter;
+  std::string unit;
+  double value = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// A full registry sample at one instant of (simulated) time.
+struct MetricsSnapshot {
+  int64_t ts_ns = 0;
+  std::vector<SnapshotRow> rows;
+
+  /// The row with this (name, labels), or nullptr.
+  const SnapshotRow* Find(std::string_view name,
+                          std::string_view labels = "") const;
+};
+
+/// Named-instrument registry. Instruments are created on first use and
+/// live as long as the registry; returned pointers are stable, so hot
+/// call sites resolve once and update through the pointer. Lookups
+/// CHECK-fail on names outside MetricCatalog(), kind mismatches, and
+/// label keys that differ from the catalogue entry — an unknown metric
+/// is a programming error, not a runtime condition.
+class MetricsRegistry {
+ public:
+  /// `labels` is a comma-separated "key=value" list whose keys must
+  /// match the catalogue entry exactly (e.g. "site=2" or
+  /// "site=0,op=and"); "" for unlabeled metrics.
+  Counter* GetCounter(std::string_view name, std::string labels = "");
+  Gauge* GetGauge(std::string_view name, std::string labels = "");
+  Histogram* GetHistogram(std::string_view name, std::string labels = "");
+
+  /// Samples every instrument created so far.
+  MetricsSnapshot Snapshot(int64_t ts_ns) const;
+
+  /// Number of instruments created so far.
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  const MetricInfo& Resolve(std::string_view name, MetricKind kind,
+                            const std::string& labels) const;
+
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, Histogram> histograms_;
+};
+
+/// Serializes one snapshot as a single-line JSON object (the JSONL
+/// record format; see docs/observability.md for the schema).
+std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+/// Appends `snapshot` as one JSONL line to `path` (creating the file).
+Status AppendSnapshotJsonl(const MetricsSnapshot& snapshot,
+                           const std::string& path);
+
+/// Parses a snapshot JSONL file (as written by AppendSnapshotJsonl or
+/// ObsHub::WriteSnapshotsJsonl) back into snapshots, in file order.
+Result<std::vector<MetricsSnapshot>> ReadSnapshotsJsonl(
+    const std::string& path);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_OBS_METRICS_H_

@@ -1,0 +1,24 @@
+#include "obs/obs.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace sentineld {
+
+const MetricsSnapshot& ObsHub::TakeSnapshot(int64_t ts_ns) {
+  snapshots_.push_back(metrics_.Snapshot(ts_ns));
+  return snapshots_.back();
+}
+
+Status ObsHub::WriteSnapshotsJsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return Status::InvalidArgument(StrCat("cannot open ", path));
+  for (const MetricsSnapshot& snapshot : snapshots_) {
+    os << SnapshotToJson(snapshot) << "\n";
+  }
+  if (!os) return Status::Internal(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+}  // namespace sentineld

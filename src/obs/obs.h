@@ -1,0 +1,48 @@
+#ifndef SENTINELD_OBS_OBS_H_
+#define SENTINELD_OBS_OBS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// The observability attachment point: one hub bundles the metrics
+/// registry, the execution tracer, and the retained periodic snapshots
+/// for one deployment. Construct a hub, point RuntimeConfig::obs (or
+/// SentinelService::Options::obs) at it, run, then export — the hub
+/// must outlive every runtime wired to it. Ownership stays with the
+/// caller so one hub can span several runs (snapshots diff across
+/// runs via sentinel-stat).
+class ObsHub {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+
+  /// Samples every instrument into a retained snapshot and returns it.
+  /// The runtimes call this on their heartbeat when
+  /// RuntimeConfig::obs_snapshot_period_ns is set, and once at the end
+  /// of every Run().
+  const MetricsSnapshot& TakeSnapshot(int64_t ts_ns);
+
+  const std::vector<MetricsSnapshot>& snapshots() const {
+    return snapshots_;
+  }
+
+  /// Writes every retained snapshot as JSONL — the file sentinel-stat
+  /// renders and diffs.
+  Status WriteSnapshotsJsonl(const std::string& path) const;
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  std::vector<MetricsSnapshot> snapshots_;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_OBS_OBS_H_

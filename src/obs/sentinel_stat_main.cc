@@ -1,0 +1,127 @@
+// sentinel-stat: renders metrics snapshots captured by the
+// observability layer (ObsHub::WriteSnapshotsJsonl) as a live-style
+// table, and diffs two snapshots to show what a run (or a stretch of
+// one) did.
+//
+//   sentinel-stat <snapshots.jsonl>             last snapshot as a table
+//   sentinel-stat --diff <snapshots.jsonl>      first vs last snapshot
+//   sentinel-stat --diff <a.jsonl> <b.jsonl>    last of a vs last of b
+//
+// Exit status: 0 on success, 2 on usage errors or unreadable input.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace sentineld {
+namespace {
+
+std::string FormatValue(const SnapshotRow& row) {
+  if (row.kind == MetricKind::kHistogram) {
+    if (row.value == 0) return "n=0";
+    return StrCat("n=", FormatDouble(row.value, 0),
+                  " mean=", FormatDouble(row.mean, 2),
+                  " p50=", FormatDouble(row.p50, 2),
+                  " p99=", FormatDouble(row.p99, 2),
+                  " max=", FormatDouble(row.max, 2));
+  }
+  return FormatDouble(row.value, row.kind == MetricKind::kGauge ? 4 : 0);
+}
+
+int Render(const std::string& path) {
+  Result<std::vector<MetricsSnapshot>> snapshots = ReadSnapshotsJsonl(path);
+  if (!snapshots.ok()) {
+    std::cerr << "sentinel-stat: " << snapshots.status() << "\n";
+    return 2;
+  }
+  if (snapshots->empty()) {
+    std::cerr << "sentinel-stat: " << path << " holds no snapshots\n";
+    return 2;
+  }
+  const MetricsSnapshot& latest = snapshots->back();
+  TablePrinter table(StrCat("--- ", path, " @ ",
+                            FormatDouble(
+                                static_cast<double>(latest.ts_ns) / 1e6, 1),
+                            " ms (", snapshots->size(), " snapshots) ---"));
+  table.SetHeader({"metric", "labels", "kind", "unit", "value"});
+  for (const SnapshotRow& row : latest.rows) {
+    table.AddRow({row.name, row.labels, MetricKindName(row.kind), row.unit,
+                  FormatValue(row)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int Diff(const std::string& path_a, const std::string& path_b) {
+  Result<std::vector<MetricsSnapshot>> a = ReadSnapshotsJsonl(path_a);
+  if (!a.ok()) {
+    std::cerr << "sentinel-stat: " << a.status() << "\n";
+    return 2;
+  }
+  Result<std::vector<MetricsSnapshot>> b =
+      path_b.empty() ? a : ReadSnapshotsJsonl(path_b);
+  if (!b.ok()) {
+    std::cerr << "sentinel-stat: " << b.status() << "\n";
+    return 2;
+  }
+  // One file: first vs last. Two files: last of each.
+  if (a->empty() || b->empty() || (path_b.empty() && a->size() < 2)) {
+    std::cerr << "sentinel-stat: need two snapshots to diff\n";
+    return 2;
+  }
+  const MetricsSnapshot& before = path_b.empty() ? a->front() : a->back();
+  const MetricsSnapshot& after = b->back();
+  TablePrinter table(StrCat(
+      "--- diff: ", FormatDouble(static_cast<double>(before.ts_ns) / 1e6, 1),
+      " ms -> ", FormatDouble(static_cast<double>(after.ts_ns) / 1e6, 1),
+      " ms ---"));
+  table.SetHeader({"metric", "labels", "before", "after", "delta"});
+  for (const SnapshotRow& row : after.rows) {
+    const SnapshotRow* old = before.Find(row.name, row.labels);
+    const double old_value = old != nullptr ? old->value : 0;
+    SnapshotRow old_row = old != nullptr ? *old : SnapshotRow{};
+    old_row.kind = row.kind;  // absent-before rows render as zero
+    table.AddRow({row.name, row.labels, FormatValue(old_row),
+                  FormatValue(row),
+                  FormatDouble(row.value - old_value,
+                               row.kind == MetricKind::kGauge ? 4 : 0)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  bool diff = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--diff") {
+      diff = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: sentinel-stat [--diff] <snapshots.jsonl> "
+                   "[<b.jsonl>]\n";
+      return 0;
+    } else if (StartsWith(arg, "-")) {
+      std::cerr << "sentinel-stat: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty() || paths.size() > 2 || (!diff && paths.size() > 1)) {
+    std::cerr << "usage: sentinel-stat [--diff] <snapshots.jsonl> "
+                 "[<b.jsonl>]\n";
+    return 2;
+  }
+  if (diff) return Diff(paths[0], paths.size() > 1 ? paths[1] : "");
+  return Render(paths[0]);
+}
+
+}  // namespace
+}  // namespace sentineld
+
+int main(int argc, char** argv) { return sentineld::Run(argc, argv); }

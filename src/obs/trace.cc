@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+const char* TracePhaseName(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kRaise:
+      return "raise";
+    case TracePhase::kSend:
+      return "send";
+    case TracePhase::kDrop:
+      return "drop";
+    case TracePhase::kFrame:
+      return "frame";
+    case TracePhase::kRetransmit:
+      return "retransmit";
+    case TracePhase::kGiveUp:
+      return "give_up";
+    case TracePhase::kChannelDeliver:
+      return "channel_deliver";
+    case TracePhase::kOffer:
+      return "offer";
+    case TracePhase::kSequence:
+      return "sequence";
+    case TracePhase::kFeed:
+      return "feed";
+    case TracePhase::kEmit:
+      return "emit";
+    case TracePhase::kDetect:
+      return "detect";
+  }
+  return "unknown";
+}
+
+uint64_t Tracer::IdOf(const Event* event) {
+  auto [it, inserted] = ids_.emplace(event, next_id_);
+  if (inserted) ++next_id_;
+  return it->second;
+}
+
+void Tracer::Record(TracePhase phase, SiteId site, const EventPtr& event,
+                    std::string detail) {
+  if (event == nullptr) return;
+  if (records_.size() >= capacity_) {
+    ++dropped_records_;
+    return;
+  }
+  TraceRecord record;
+  record.ts_ns = clock_ ? clock_() : 0;
+  record.site = site;
+  record.phase = phase;
+  record.event_id = IdOf(event.get());
+  record.type = event->type();
+  record.detail = std::move(detail);
+  if (!event->is_primitive()) {
+    std::vector<EventPtr> primitives;
+    CollectPrimitives(event, primitives);
+    record.refs.reserve(primitives.size());
+    for (const EventPtr& primitive : primitives) {
+      record.refs.push_back(IdOf(primitive.get()));
+    }
+  }
+  records_.push_back(std::move(record));
+}
+
+void Tracer::Clear() {
+  records_.clear();
+  ids_.clear();
+  next_id_ = 1;
+  dropped_records_ = 0;
+}
+
+std::string Tracer::TypeName(EventTypeId type) const {
+  if (namer_) return namer_(type);
+  return StrCat("type", type);
+}
+
+Status Tracer::WriteJsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return Status::InvalidArgument(StrCat("cannot open ", path));
+  for (const TraceRecord& record : records_) {
+    os << "{\"ts_ns\":" << record.ts_ns << ",\"site\":" << record.site
+       << ",\"phase\":\"" << TracePhaseName(record.phase)
+       << "\",\"id\":" << record.event_id << ",\"type\":\""
+       << JsonEscape(TypeName(record.type)) << "\"";
+    if (!record.detail.empty()) {
+      os << ",\"detail\":\"" << JsonEscape(record.detail) << "\"";
+    }
+    if (!record.refs.empty()) {
+      os << ",\"refs\":[";
+      for (size_t i = 0; i < record.refs.size(); ++i) {
+        if (i > 0) os << ",";
+        os << record.refs[i];
+      }
+      os << "]";
+    }
+    os << "}\n";
+  }
+  if (!os) return Status::Internal(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return Status::InvalidArgument(StrCat("cannot open ", path));
+  // First kRaise timestamp per interned id, for the detection spans.
+  std::unordered_map<uint64_t, int64_t> raised_at;
+  for (const TraceRecord& record : records_) {
+    if (record.phase == TracePhase::kRaise) {
+      raised_at.emplace(record.event_id, record.ts_ns);
+    }
+  }
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const TraceRecord& record : records_) {
+    // trace_event timestamps are microseconds.
+    const double ts_us = static_cast<double>(record.ts_ns) / 1000.0;
+    comma();
+    os << "{\"name\":\"" << TracePhaseName(record.phase) << " "
+       << JsonEscape(TypeName(record.type))
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << FormatDouble(ts_us, 3)
+       << ",\"pid\":0,\"tid\":" << record.site << ",\"args\":{\"id\":"
+       << record.event_id << ",\"detail\":\"" << JsonEscape(record.detail)
+       << "\"}}";
+    if (record.phase == TracePhase::kDetect && !record.refs.empty()) {
+      // Span from the earliest constituent raise to the detection: its
+      // length IS the occurrence-to-detection latency the metrics
+      // histogram summarizes.
+      int64_t start_ns = record.ts_ns;
+      for (const uint64_t ref : record.refs) {
+        auto it = raised_at.find(ref);
+        if (it != raised_at.end() && it->second < start_ns) {
+          start_ns = it->second;
+        }
+      }
+      const double start_us = static_cast<double>(start_ns) / 1000.0;
+      comma();
+      os << "{\"name\":\"detection " << JsonEscape(TypeName(record.type))
+         << "\",\"ph\":\"X\",\"ts\":" << FormatDouble(start_us, 3)
+         << ",\"dur\":" << FormatDouble(ts_us - start_us, 3)
+         << ",\"pid\":0,\"tid\":" << record.site << ",\"args\":{\"id\":"
+         << record.event_id << ",\"constituents\":" << record.refs.size()
+         << "}}";
+    }
+  }
+  os << "\n]}\n";
+  if (!os) return Status::Internal(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+}  // namespace sentineld

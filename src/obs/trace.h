@@ -1,0 +1,145 @@
+#ifndef SENTINELD_OBS_TRACE_H_
+#define SENTINELD_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "event/event.h"
+#include "event/registry.h"
+#include "util/status.h"
+
+/// Event-scoped execution tracing: a journal of each occurrence's
+/// journey through the distributed pipeline — raised at its site,
+/// framed onto (and possibly retransmitted over) the reliable channel,
+/// sequenced at the detector site, consumed by the operator graph, and
+/// finally referenced by the composite detection it contributed to.
+///
+/// Zero-cost-when-off: every call site in the runtime goes through
+/// SENTINELD_TRACE_EVENT, which compiles to nothing (arguments are not
+/// evaluated) unless the build sets -DSENTINELD_TRACE (cmake
+/// -DSENTINELD_TRACE=ON) — the same gate pattern as util/checked.h.
+/// The Tracer class itself is always compiled, so exporters and tools
+/// work in every build; only the runtime hooks are gated.
+///
+/// Not to be confused with event/trace_io.h, which serializes *planned
+/// workloads* for replay; this header records what the runtime *did*.
+#if defined(SENTINELD_TRACE)
+#define SENTINELD_TRACE_ENABLED 1
+#else
+#define SENTINELD_TRACE_ENABLED 0
+#endif
+
+#if SENTINELD_TRACE_ENABLED
+#define SENTINELD_TRACE_EVENT(tracer, ...)               \
+  do {                                                   \
+    ::sentineld::Tracer* sentineld_tracer_ = (tracer);   \
+    if (sentineld_tracer_ != nullptr) {                  \
+      sentineld_tracer_->Record(__VA_ARGS__);            \
+    }                                                    \
+  } while (false)
+#else
+#define SENTINELD_TRACE_EVENT(tracer, ...) \
+  do {                                     \
+  } while (false)
+#endif
+
+namespace sentineld {
+
+/// True in SENTINELD_TRACE builds; lets tools and tests report which
+/// mode they exercised (and skip path-reconstruction assertions when
+/// the runtime hooks are compiled out).
+inline constexpr bool kTraceBuild = (SENTINELD_TRACE_ENABLED == 1);
+
+/// Pipeline stages of an occurrence's journey. docs/observability.md
+/// documents the phase ordering per deployment mode.
+enum class TracePhase {
+  kRaise,           ///< primitive occurrence stamped at its site
+  kSend,            ///< payload sent on the raw (channel-off) network
+  kDrop,            ///< raw payload dropped by a network fault
+  kFrame,           ///< payload framed onto the reliable channel
+  kRetransmit,      ///< DATA frame re-sent after a timeout
+  kGiveUp,          ///< sender abandoned the payload (retransmit cap)
+  kChannelDeliver,  ///< reliable channel delivered to the receiver
+  kOffer,           ///< occurrence offered to a Sequencer
+  kSequence,        ///< Sequencer released it in linear-extension order
+  kFeed,            ///< Detector fed it into the operator graph
+  kEmit,            ///< placed sub-composite emitted toward the root
+  kDetect,          ///< rule-root composite occurrence fired
+};
+
+const char* TracePhaseName(TracePhase phase);
+
+/// One journal entry. `event_id` is a Tracer-interned id stable for the
+/// lifetime of the occurrence object; `refs` (kEmit/kDetect) lists the
+/// interned ids of the composite's constituent primitives, which is
+/// what makes a detection's full path reconstructable.
+struct TraceRecord {
+  int64_t ts_ns = 0;
+  SiteId site = 0;
+  TracePhase phase = TracePhase::kRaise;
+  uint64_t event_id = 0;
+  EventTypeId type = 0;
+  std::string detail;
+  std::vector<uint64_t> refs;
+};
+
+/// Append-only, bounded trace journal with JSONL and Chrome trace_event
+/// exporters (load the latter in chrome://tracing or Perfetto).
+class Tracer {
+ public:
+  using Clock = std::function<int64_t()>;
+  using TypeNamer = std::function<std::string(EventTypeId)>;
+
+  /// Timestamp source for Record(); the runtimes install their
+  /// simulation clock. Unset, records are stamped 0.
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+
+  /// Resolves type ids to names at export time (e.g.
+  /// EventTypeRegistry::NameOf). Unset, exports print the numeric id.
+  void set_type_namer(TypeNamer namer) { namer_ = std::move(namer); }
+
+  /// Journal size cap; once reached, further records are counted in
+  /// dropped_records() and discarded. Keeps long benches bounded.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+  /// The interned id of an occurrence (assigned on first sight).
+  uint64_t IdOf(const Event* event);
+
+  /// Journals one phase of `event`'s journey. For composite occurrences
+  /// the constituent primitives are collected into `refs`
+  /// automatically.
+  void Record(TracePhase phase, SiteId site, const EventPtr& event,
+              std::string detail = {});
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  uint64_t dropped_records() const { return dropped_records_; }
+  void Clear();
+
+  /// One JSON object per line, in journal order (the raw form; schema
+  /// in docs/observability.md).
+  Status WriteJsonl(const std::string& path) const;
+
+  /// Chrome trace_event JSON: every record becomes an instant event on
+  /// the lane of its site (tid = site), and every kDetect additionally
+  /// becomes a duration span from its earliest constituent's kRaise to
+  /// the detection — the "why was this detection late?" view.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::string TypeName(EventTypeId type) const;
+
+  Clock clock_;
+  TypeNamer namer_;
+  size_t capacity_ = 1 << 20;
+  std::vector<TraceRecord> records_;
+  std::unordered_map<const Event*, uint64_t> ids_;
+  uint64_t next_id_ = 1;
+  uint64_t dropped_records_ = 0;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_OBS_TRACE_H_

@@ -1,5 +1,6 @@
 #include "snoop/detector.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -170,9 +171,17 @@ size_t Detector::total_state() const {
   return total;
 }
 
+std::map<std::string, size_t> Detector::StateByOp() const {
+  std::map<std::string, size_t> by_op;
+  for (const auto& node : nodes_) by_op[node->op_name()] += node->StateSize();
+  return by_op;
+}
+
 void Detector::Feed(const EventPtr& event) {
   CHECK(event != nullptr);
   ++events_fed_;
+  SENTINELD_TRACE_EVENT(tracer_, TracePhase::kFeed, options_.host_site,
+                        event);
   auto it = primitive_nodes_.find(event->type());
   if (it == primitive_nodes_.end()) {
     ++events_dropped_;

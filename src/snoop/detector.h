@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <queue>
 #include <string>
@@ -18,6 +19,8 @@
 #include "util/status.h"
 
 namespace sentineld {
+
+class Tracer;
 
 /// Truncates a local-tick reading to its global tick under the config's
 /// TRUNC policy (Def 4.3) — the same conversion LocalClock applies.
@@ -101,11 +104,19 @@ class Detector : public TimerService {
   /// TimerService:
   void ScheduleAt(Node* node, LocalTicks local_tick, int64_t payload) override;
 
+  /// Attaches the execution tracer (obs/trace.h): every Feed journals a
+  /// kFeed record. Call sites compile out unless -DSENTINELD_TRACE.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   LocalTicks clock() const { return clock_; }
   size_t num_nodes() const { return nodes_.size(); }
   /// Total occurrences buffered across all operator nodes (retained
   /// detection state; see Node::StateSize).
   size_t total_state() const;
+  /// Retained state broken down by operator kind (Node::op_name) — the
+  /// per-operator detector_state gauge of the metrics catalogue. Ordered
+  /// so observers emit stable label sets.
+  std::map<std::string, size_t> StateByOp() const;
   uint64_t events_fed() const { return events_fed_; }
   uint64_t events_dropped() const { return events_dropped_; }
   uint64_t timers_fired() const { return timers_fired_; }
@@ -145,6 +156,7 @@ class Detector : public TimerService {
   uint64_t timers_fired_ = 0;
   EventTypeId tick_type_ = 0;
   bool tick_type_ready_ = false;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sentineld

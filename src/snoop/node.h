@@ -105,6 +105,11 @@ class Node {
   /// zero.
   virtual size_t StateSize() const { return 0; }
 
+  /// Stable lower-case operator name ("seq", "not", ...) — the label key
+  /// observability aggregates detector state by (obs/metrics.h
+  /// detector_state).
+  virtual const char* op_name() const = 0;
+
  protected:
   /// Propagates a detected occurrence to parents and sinks.
   void Emit(const EventPtr& event);
@@ -142,6 +147,7 @@ class PrimitiveNode final : public Node {
   void Accept(const EventPtr& event) { Emit(event); }
 
   void OnInput(size_t index, const EventPtr& event) override;
+  const char* op_name() const override { return "primitive"; }
 };
 
 /// E1 ∇ E2: every occurrence of either child is an occurrence of the
@@ -152,6 +158,7 @@ class OrNode final : public Node {
       : Node(output_type, context, 2) {}
 
   void OnInput(size_t index, const EventPtr& event) override;
+  const char* op_name() const override { return "or"; }
 };
 
 /// E1 ∧ E2: conjunction, order-free. Timestamp: Max(t1, t2) (Sec. 5.3).
@@ -164,6 +171,7 @@ class AndNode final : public Node {
   size_t StateSize() const override {
     return buffer_[0].size() + buffer_[1].size();
   }
+  const char* op_name() const override { return "and"; }
 
  private:
   void EmitPair(const EventPtr& left, const EventPtr& right);
@@ -194,6 +202,7 @@ class AnyNode final : public Node {
 
   void OnInput(size_t index, const EventPtr& event) override;
   size_t StateSize() const override;
+  const char* op_name() const override { return "any"; }
 
  private:
   /// Emits every combination of `needed` events drawn from distinct
@@ -216,6 +225,7 @@ class SeqNode final : public Node {
 
   void OnInput(size_t index, const EventPtr& event) override;
   size_t StateSize() const override { return initiators_.size(); }
+  const char* op_name() const override { return "seq"; }
 
  private:
   std::vector<EventPtr> initiators_;
@@ -234,6 +244,7 @@ class NotNode final : public Node {
   size_t StateSize() const override {
     return initiators_.size() + middles_.size();
   }
+  const char* op_name() const override { return "not"; }
 
  private:
   bool MiddleInside(const EventPtr& e1, const EventPtr& e3) const;
@@ -260,6 +271,7 @@ class AperiodicNode final : public Node {
 
   void OnInput(size_t index, const EventPtr& event) override;
   size_t StateSize() const override;
+  const char* op_name() const override { return "aperiodic"; }
 
  private:
   struct Window {
@@ -290,6 +302,7 @@ class AperiodicStarNode final : public Node {
 
   void OnInput(size_t index, const EventPtr& event) override;
   size_t StateSize() const override;
+  const char* op_name() const override { return "aperiodic_star"; }
 
  private:
   struct Window {
@@ -316,6 +329,7 @@ class PeriodicNode : public Node {
 
   void OnInput(size_t index, const EventPtr& event) override;
   void OnTimer(const PrimitiveTimestamp& stamp, int64_t payload) override;
+  const char* op_name() const override { return "periodic"; }
 
  protected:
   /// Whether the cumulative variant is active (set by PeriodicStarNode).
@@ -346,6 +360,7 @@ class PeriodicStarNode final : public PeriodicNode {
   using PeriodicNode::PeriodicNode;
 
   void OnInput(size_t index, const EventPtr& event) override;
+  const char* op_name() const override { return "periodic_star"; }
 
  protected:
   bool cumulative() const override { return true; }
@@ -364,6 +379,7 @@ class PlusNode final : public Node {
 
   void OnInput(size_t index, const EventPtr& event) override;
   void OnTimer(const PrimitiveTimestamp& stamp, int64_t payload) override;
+  const char* op_name() const override { return "plus"; }
 
  private:
   int64_t period_ticks_;

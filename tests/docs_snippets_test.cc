@@ -1,0 +1,132 @@
+// Keeps the rule-language snippets in the documentation honest: every
+// ```snoop fence in docs/*.md and README.md is extracted, fed through
+// sentinel-lint (analysis/rule_file.h), and its emitted diagnostics are
+// compared — exactly — against the fence's `# expect: SLnnn [SLnnn...]`
+// directives. A fence with no directives must lint clean. Docs that
+// drift from the grammar or the diagnostic catalogue fail here instead
+// of misleading a reader.
+
+#include "analysis/rule_file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+struct Fence {
+  std::string file;    ///< path relative to the repo, for messages
+  size_t line = 0;     ///< 1-based line of the opening ```snoop
+  std::string source;  ///< fence body with expect directives stripped
+  std::vector<std::string> expected_ids;  ///< from `# expect:` comments
+};
+
+/// Splits a fence line into (rule text, expected ids): everything after
+/// a `# expect:` marker is a whitespace-separated diagnostic-id list and
+/// is removed from the text the linter sees. `# lint-suppress:` comments
+/// are left untouched — they are part of the language under test.
+std::string StripExpectDirective(const std::string& line,
+                                 std::vector<std::string>* expected) {
+  const std::string marker = "# expect:";
+  const size_t at = line.find(marker);
+  if (at == std::string::npos) return line;
+  std::istringstream ids(line.substr(at + marker.size()));
+  std::string id;
+  while (ids >> id) expected->push_back(id);
+  return line.substr(0, at);
+}
+
+std::vector<Fence> ExtractSnoopFences(const std::string& path,
+                                      const std::string& display_name) {
+  std::ifstream in(path);
+  CHECK(in.good());
+  std::vector<Fence> fences;
+  std::string line;
+  size_t line_number = 0;
+  bool inside = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!inside) {
+      if (line.rfind("```snoop", 0) == 0) {
+        inside = true;
+        fences.push_back(Fence{display_name, line_number, "", {}});
+      }
+      continue;
+    }
+    if (line.rfind("```", 0) == 0) {
+      inside = false;
+      continue;
+    }
+    Fence& fence = fences.back();
+    fence.source += StripExpectDirective(line, &fence.expected_ids);
+    fence.source += '\n';
+  }
+  if (inside) LOG_FATAL << display_name << ": unterminated snoop fence";
+  return fences;
+}
+
+std::vector<Fence> AllDocumentationFences() {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(SENTINELD_DOCS_DIR))) {
+    if (entry.path().extension() == ".md") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  files.push_back(fs::path(SENTINELD_REPO_DIR) / "README.md");
+  std::vector<Fence> fences;
+  for (const fs::path& file : files) {
+    std::vector<Fence> found =
+        ExtractSnoopFences(file.string(), file.filename().string());
+    fences.insert(fences.end(), found.begin(), found.end());
+  }
+  return fences;
+}
+
+TEST(DocsSnippetsTest, EveryFenceParsesAndEmitsExactlyWhatItDeclares) {
+  const std::vector<Fence> fences = AllDocumentationFences();
+  // The documentation set this test rides with carries snippets in
+  // analysis.md, observability.md, and semantics.md at minimum.
+  ASSERT_GE(fences.size(), 3u);
+  for (const Fence& fence : fences) {
+    SCOPED_TRACE(fence.file + ":" + std::to_string(fence.line));
+    const RuleFileReport report = LintRuleSource(fence.source, {});
+    ASSERT_FALSE(report.rules.empty()) << "fence contains no rules";
+    std::vector<std::string> emitted;
+    for (const LintedRule& rule : report.rules) {
+      for (const Diagnostic& diagnostic : rule.diagnostics) {
+        emitted.push_back(LintIdToString(diagnostic.id));
+      }
+    }
+    std::vector<std::string> expected = fence.expected_ids;
+    std::sort(emitted.begin(), emitted.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(emitted, expected) << report.Format(fence.file);
+  }
+}
+
+TEST(DocsSnippetsTest, ExpectDirectivesAreStrippedBeforeLinting) {
+  std::vector<std::string> expected;
+  EXPECT_EQ(StripExpectDirective("bad : A(s + 5t, x, s + 2t)  # expect: "
+                                 "SL002 SL003",
+                                 &expected),
+            "bad : A(s + 5t, x, s + 2t)  ");
+  EXPECT_EQ(expected, (std::vector<std::string>{"SL002", "SL003"}));
+  expected.clear();
+  const std::string suppression =
+      "probe : B ; (A ; C)   # lint-suppress: SL008 shown on purpose";
+  EXPECT_EQ(StripExpectDirective(suppression, &expected), suppression);
+  EXPECT_TRUE(expected.empty());
+}
+
+}  // namespace
+}  // namespace sentineld

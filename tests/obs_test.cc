@@ -1,0 +1,545 @@
+// Tests of the observability layer (src/obs/): the closed metric
+// catalogue and its registry discipline, snapshot JSONL round trips, the
+// JSON reader behind sentinel-stat, the execution tracer and both of its
+// exporters, the docs <-> catalogue parity contract, and the
+// completeness gauge's monotonicity under injected loss (the operator
+// guarantee docs/observability.md documents).
+
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/runtime.h"
+#include "event/generator.h"
+#include "obs/json.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  CHECK(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------- catalogue
+
+TEST(MetricCatalogTest, EntriesAreUniqueAndLookupable) {
+  std::set<std::string> names;
+  for (const MetricInfo& info : MetricCatalog()) {
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate catalogue entry: " << info.name;
+    const MetricInfo* found = FindMetric(info.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &info);
+    EXPECT_STRNE(info.unit, "") << info.name;
+    EXPECT_STRNE(info.help, "") << info.name;
+  }
+  EXPECT_GE(names.size(), 20u);
+  EXPECT_EQ(FindMetric("no_such_metric"), nullptr);
+}
+
+TEST(MetricCatalogTest, KindNamesAreStable) {
+  EXPECT_STREQ(MetricKindName(MetricKind::kCounter), "counter");
+  EXPECT_STREQ(MetricKindName(MetricKind::kGauge), "gauge");
+  EXPECT_STREQ(MetricKindName(MetricKind::kHistogram), "histogram");
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndSeparateByLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("events_injected", "site=0");
+  Counter* b = registry.GetCounter("events_injected", "site=1");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.GetCounter("events_injected", "site=0"), a);
+  a->Add(3);
+  a->Add();
+  EXPECT_EQ(a->value(), 4u);
+  EXPECT_EQ(b->value(), 0u);
+  a->SetTotal(10);  // mirror-mode overwrite
+  EXPECT_EQ(a->value(), 10u);
+
+  Gauge* gauge = registry.GetGauge("completeness");
+  gauge->Set(0.75);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("completeness")->value(), 0.75);
+
+  Histogram* histogram =
+      registry.GetHistogram("detection_latency_ms", "rule=r");
+  histogram->Add(5.0);
+  histogram->Add(15.0);
+  EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(MetricsRegistryTest, MultiKeyLabelsMatchCatalogOrder) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("detector_state", "site=2,op=and");
+  gauge->Set(7);
+  const MetricsSnapshot snapshot = registry.Snapshot(42);
+  const SnapshotRow* row = snapshot.Find("detector_state", "site=2,op=and");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->kind, MetricKind::kGauge);
+  EXPECT_EQ(row->unit, "occurrences");
+  EXPECT_DOUBLE_EQ(row->value, 7.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("detections", "rule=r")->Add(2);
+  registry.GetGauge("sequencer_pending", "site=0")->Set(3);
+  Histogram* histogram =
+      registry.GetHistogram("sequencer_hold_ticks", "site=0");
+  histogram->Add(10);
+  histogram->Add(30);
+  const MetricsSnapshot snapshot = registry.Snapshot(1000);
+  EXPECT_EQ(snapshot.ts_ns, 1000);
+  ASSERT_EQ(snapshot.rows.size(), 3u);
+  const SnapshotRow* held = snapshot.Find("sequencer_hold_ticks", "site=0");
+  ASSERT_NE(held, nullptr);
+  EXPECT_DOUBLE_EQ(held->value, 2.0);  // histograms report n in `value`
+  EXPECT_DOUBLE_EQ(held->mean, 20.0);
+  EXPECT_DOUBLE_EQ(held->max, 30.0);
+  EXPECT_EQ(snapshot.Find("sequencer_hold_ticks", "site=9"), nullptr);
+}
+
+// -------------------------------------------------------- snapshots + JSONL
+
+TEST(ObsHubTest, SnapshotsRoundTripThroughJsonl) {
+  ObsHub hub;
+  hub.metrics().GetCounter("detections", "rule=r")->Add(1);
+  hub.metrics().GetGauge("completeness")->Set(1.0);
+  hub.metrics().GetHistogram("detection_latency_ms", "rule=r")->Add(12.5);
+  hub.TakeSnapshot(100);
+  hub.metrics().GetCounter("detections", "rule=r")->Add(2);
+  hub.metrics().GetGauge("completeness")->Set(0.5);
+  const MetricsSnapshot& last = hub.TakeSnapshot(200);
+  EXPECT_EQ(last.ts_ns, 200);
+  ASSERT_EQ(hub.snapshots().size(), 2u);
+
+  const std::string path = TempPath("obs_roundtrip.jsonl");
+  ASSERT_TRUE(hub.WriteSnapshotsJsonl(path).ok());
+  Result<std::vector<MetricsSnapshot>> read = ReadSnapshotsJsonl(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 2u);
+  EXPECT_EQ((*read)[0].ts_ns, 100);
+  EXPECT_EQ((*read)[1].ts_ns, 200);
+  const SnapshotRow* detections = (*read)[1].Find("detections", "rule=r");
+  ASSERT_NE(detections, nullptr);
+  EXPECT_EQ(detections->kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(detections->value, 3.0);
+  const SnapshotRow* latency =
+      (*read)[0].Find("detection_latency_ms", "rule=r");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->value, 1.0);
+  EXPECT_DOUBLE_EQ(latency->p50, 12.5);
+  EXPECT_DOUBLE_EQ((*read)[1].Find("completeness")->value, 0.5);
+}
+
+TEST(ObsHubTest, ReadRejectsMalformedJsonl) {
+  const std::string path = TempPath("obs_malformed.jsonl");
+  std::ofstream(path) << "{\"ts_ns\": oops}\n";
+  EXPECT_FALSE(ReadSnapshotsJsonl(path).ok());
+  EXPECT_FALSE(ReadSnapshotsJsonl(TempPath("obs_missing.jsonl")).ok());
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(JsonTest, ParsesScalarsArraysAndObjects) {
+  Result<JsonValue> doc = ParseJson(
+      "{\"a\": 1.5, \"b\": [true, null, \"x\\n\\u0041\"], \"c\": {}}");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->kind, JsonValue::Kind::kObject);
+  EXPECT_DOUBLE_EQ(doc->Get("a")->number, 1.5);
+  const JsonValue* array = doc->Get("b");
+  ASSERT_NE(array, nullptr);
+  ASSERT_EQ(array->items.size(), 3u);
+  EXPECT_TRUE(array->items[0].bool_value);
+  EXPECT_EQ(array->items[1].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(array->items[2].string, "x\nA");
+  EXPECT_EQ(doc->Get("c")->kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(doc->Get("missing"), nullptr);
+}
+
+TEST(JsonTest, RejectsTrailingGarbageAndBadEscapes) {
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("\"\\q\"").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(JsonTest, EscapeRoundTripsThroughParse) {
+  const std::string raw = "a\"b\\c\nd\te";
+  Result<JsonValue> parsed = ParseJson("\"" + JsonEscape(raw) + "\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string, raw);
+}
+
+// ------------------------------------------------------------------ tracer
+
+TEST(TracerTest, InternsIdsAndCollectsCompositeRefs) {
+  Tracer tracer;
+  int64_t now = 0;
+  tracer.set_clock([&now] { return now; });
+  const EventPtr a = Event::MakePrimitive(1, PrimitiveTimestamp{0, 1, 10});
+  const EventPtr b = Event::MakePrimitive(2, PrimitiveTimestamp{1, 2, 20});
+  const uint64_t id_a = tracer.IdOf(a.get());
+  EXPECT_EQ(tracer.IdOf(a.get()), id_a);
+  EXPECT_NE(tracer.IdOf(b.get()), id_a);
+
+  now = 5;
+  tracer.Record(TracePhase::kRaise, 0, a);
+  now = 7;
+  tracer.Record(TracePhase::kRaise, 1, b);
+  const EventPtr composite = Event::MakeComposite(3, {a, b});
+  now = 9;
+  tracer.Record(TracePhase::kDetect, 0, composite);
+  ASSERT_EQ(tracer.records().size(), 3u);
+  EXPECT_EQ(tracer.records()[0].ts_ns, 5);
+  EXPECT_EQ(tracer.records()[0].event_id, id_a);
+  const TraceRecord& detect = tracer.records()[2];
+  EXPECT_EQ(detect.phase, TracePhase::kDetect);
+  ASSERT_EQ(detect.refs.size(), 2u);
+  EXPECT_EQ(detect.refs[0], id_a);
+  EXPECT_EQ(detect.refs[1], tracer.IdOf(b.get()));
+}
+
+TEST(TracerTest, CapacityBoundsTheJournal) {
+  Tracer tracer;
+  tracer.set_capacity(2);
+  const EventPtr event =
+      Event::MakePrimitive(1, PrimitiveTimestamp{0, 1, 10});
+  for (int i = 0; i < 5; ++i) tracer.Record(TracePhase::kFeed, 0, event);
+  EXPECT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.dropped_records(), 3u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.records().empty());
+  EXPECT_EQ(tracer.dropped_records(), 0u);
+}
+
+TEST(TracerTest, JsonlExportParsesBackWithNamesAndRefs) {
+  Tracer tracer;
+  tracer.set_type_namer([](EventTypeId type) {
+    return type == 1 ? std::string("alpha") : std::string("beta");
+  });
+  const EventPtr a = Event::MakePrimitive(1, PrimitiveTimestamp{2, 1, 10});
+  tracer.Record(TracePhase::kRaise, 2, a, "hello \"world\"");
+  tracer.Record(TracePhase::kDetect, 0, Event::MakeComposite(2, {a}));
+  const std::string path = TempPath("obs_trace.jsonl");
+  ASSERT_TRUE(tracer.WriteJsonl(path).ok());
+
+  std::istringstream lines(ReadFileOrDie(path));
+  std::string line;
+  std::vector<JsonValue> parsed;
+  while (std::getline(lines, line)) {
+    Result<JsonValue> value = ParseJson(line);
+    ASSERT_TRUE(value.ok()) << line;
+    parsed.push_back(*value);
+  }
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].Get("phase")->string, "raise");
+  EXPECT_EQ(parsed[0].Get("site")->number, 2.0);
+  EXPECT_EQ(parsed[0].Get("type")->string, "alpha");
+  EXPECT_EQ(parsed[0].Get("detail")->string, "hello \"world\"");
+  EXPECT_EQ(parsed[1].Get("phase")->string, "detect");
+  const JsonValue* refs = parsed[1].Get("refs");
+  ASSERT_NE(refs, nullptr);
+  ASSERT_EQ(refs->items.size(), 1u);
+  EXPECT_EQ(refs->items[0].number, parsed[0].Get("id")->number);
+}
+
+TEST(TracerTest, ChromeTraceExportIsValidAndSpansDetections) {
+  Tracer tracer;
+  int64_t now = 1'000'000;  // 1 ms, so Chrome's us timestamps are > 0
+  tracer.set_clock([&now] { return now; });
+  const EventPtr a = Event::MakePrimitive(1, PrimitiveTimestamp{0, 1, 10});
+  tracer.Record(TracePhase::kRaise, 0, a);
+  now = 3'000'000;
+  tracer.Record(TracePhase::kDetect, 1, Event::MakeComposite(2, {a}));
+  const std::string path = TempPath("obs_trace_chrome.json");
+  ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
+
+  Result<JsonValue> doc = ParseJson(ReadFileOrDie(path));
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* events = doc->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // 2 instants + 1 detection span.
+  ASSERT_EQ(events->items.size(), 3u);
+  size_t spans = 0;
+  for (const JsonValue& event : events->items) {
+    ASSERT_NE(event.Get("ph"), nullptr);
+    if (event.Get("ph")->string == "X") {
+      ++spans;
+      // Span runs from the constituent raise to the detection, in us.
+      EXPECT_DOUBLE_EQ(event.Get("ts")->number, 1'000.0);
+      EXPECT_DOUBLE_EQ(event.Get("dur")->number, 2'000.0);
+    }
+  }
+  EXPECT_EQ(spans, 1u);
+}
+
+// ------------------------------------------------------ docs <-> catalogue
+
+struct DocRow {
+  std::string name;
+  std::string kind;
+  std::string unit;
+  std::string labels;
+};
+
+std::string Trimmed(const std::string& s) {
+  const size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string WithoutBackticks(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c != '`' && c != ' ') out.push_back(c);
+  }
+  return out;
+}
+
+/// Parses docs/observability.md's metric-catalogue table into rows.
+/// The phases table in the same file has three columns, so the
+/// five-column shape plus a kind-name cell uniquely selects metric rows.
+std::vector<DocRow> ParseDocCatalog(const std::string& markdown) {
+  std::vector<DocRow> rows;
+  std::istringstream lines(markdown);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| `", 0) != 0) continue;
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream split(line.substr(1));  // skip the leading '|'
+    while (std::getline(split, cell, '|')) cells.push_back(Trimmed(cell));
+    if (!cells.empty() && cells.back().empty()) cells.pop_back();
+    if (cells.size() != 5) continue;
+    if (cells[1] != "counter" && cells[1] != "gauge" &&
+        cells[1] != "histogram") {
+      continue;
+    }
+    DocRow row;
+    row.name = WithoutBackticks(cells[0]);
+    row.kind = cells[1];
+    row.unit = cells[2];
+    row.labels = cells[3] == "\u2014" ? "" : WithoutBackticks(cells[3]);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST(ObsDocsTest, CatalogueTableMatchesCodeBothDirections) {
+  const std::string markdown =
+      ReadFileOrDie(std::string(SENTINELD_DOCS_DIR) + "/observability.md");
+  const std::vector<DocRow> documented = ParseDocCatalog(markdown);
+  ASSERT_FALSE(documented.empty()) << "no metric table rows parsed";
+
+  // Every documented metric exists in the code catalogue, identically.
+  std::set<std::string> documented_names;
+  for (const DocRow& row : documented) {
+    EXPECT_TRUE(documented_names.insert(row.name).second)
+        << "documented twice: " << row.name;
+    const MetricInfo* info = FindMetric(row.name);
+    ASSERT_NE(info, nullptr) << "documented but not in catalogue: "
+                             << row.name;
+    EXPECT_EQ(row.kind, MetricKindName(info->kind)) << row.name;
+    EXPECT_EQ(row.unit, info->unit) << row.name;
+    EXPECT_EQ(row.labels, info->labels) << row.name;
+  }
+  // Every catalogue metric is documented (and so the counts agree).
+  for (const MetricInfo& info : MetricCatalog()) {
+    EXPECT_TRUE(documented_names.contains(info.name))
+        << "in catalogue but undocumented: " << info.name;
+  }
+  EXPECT_EQ(documented.size(), MetricCatalog().size());
+}
+
+// ------------------------------------------------- runtime integration
+
+std::vector<PlannedEvent> LossyWorkload(size_t n, uint64_t seed) {
+  WorkloadConfig config;
+  config.num_sites = 3;
+  config.num_types = 2;
+  config.num_events = n;
+  config.mean_interarrival_ns = 20'000'000;
+  Rng rng(seed);
+  return GenerateWorkload(config, rng);
+}
+
+/// Asserts the completeness gauge never rises across snapshots and
+/// returns its final value. The monotone non-increasing shape is the
+/// documented operator contract: the denominator is fixed at plan time
+/// and the numerator (known losses) only grows.
+double AssertCompletenessMonotone(const ObsHub& hub) {
+  double prev = 1.0;
+  for (const MetricsSnapshot& snapshot : hub.snapshots()) {
+    const SnapshotRow* row = snapshot.Find("completeness");
+    EXPECT_NE(row, nullptr);
+    if (row == nullptr) continue;
+    EXPECT_LE(row->value, prev + 1e-12) << "gauge rose at ts "
+                                        << snapshot.ts_ns;
+    prev = row->value;
+  }
+  return prev;
+}
+
+TEST(ObsRuntimeTest, RawModeCompletenessGaugeIsMonotoneAndConverges) {
+  EventTypeRegistry registry;
+  ObsHub hub;
+  RuntimeConfig config;
+  config.num_sites = 3;
+  config.seed = 99;
+  config.network.loss_prob = 0.25;
+  config.obs = &hub;
+  config.obs_snapshot_period_ns = 100'000'000;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  ASSERT_TRUE(runtime.ok());
+  for (const char* name : {"A", "B"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  uint64_t callback_detections = 0;
+  ASSERT_TRUE((*runtime)
+                  ->AddRuleText("r", "A ; B",
+                                [&](const EventPtr&) {
+                                  ++callback_detections;
+                                })
+                  .ok());
+  ASSERT_TRUE((*runtime)->InjectPlan(LossyWorkload(300, 7)).ok());
+  const RuntimeStats stats = (*runtime)->Run();
+
+  ASSERT_GT(hub.snapshots().size(), 2u);
+  EXPECT_LT(stats.completeness, 1.0);  // the fault actually bit
+  const double final_gauge = AssertCompletenessMonotone(hub);
+  // Raw mode decides every drop at send time, so the pessimistic gauge
+  // converges exactly to delivered/sent.
+  EXPECT_NEAR(final_gauge, stats.completeness, 1e-12);
+
+  // Mirrored totals in the final snapshot equal RuntimeStats.
+  const MetricsSnapshot& last = hub.snapshots().back();
+  EXPECT_DOUBLE_EQ(last.Find("network_messages")->value,
+                   static_cast<double>(stats.network_messages));
+  EXPECT_DOUBLE_EQ(last.Find("network_bytes")->value,
+                   static_cast<double>(stats.network_bytes));
+  double injected = 0;
+  double dropped = 0;
+  double detections = 0;
+  for (const SnapshotRow& row : last.rows) {
+    if (row.name == "events_injected") injected += row.value;
+    if (row.name == "network_dropped") dropped += row.value;
+    if (row.name == "detections") detections += row.value;
+  }
+  EXPECT_DOUBLE_EQ(injected, static_cast<double>(stats.events_injected));
+  EXPECT_DOUBLE_EQ(dropped, static_cast<double>(stats.network_dropped));
+  EXPECT_DOUBLE_EQ(detections, static_cast<double>(stats.detections));
+  EXPECT_EQ(callback_detections, stats.detections);
+  const SnapshotRow* latency = last.Find("detection_latency_ms", "rule=r");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->value,
+                   static_cast<double>(stats.detections));
+}
+
+TEST(ObsRuntimeTest, ChannelGiveUpsKeepTheGaugeMonotoneAndPessimistic) {
+  EventTypeRegistry registry;
+  ObsHub hub;
+  RuntimeConfig config;
+  config.num_sites = 3;
+  config.seed = 4242;
+  config.network.loss_prob = 0.3;
+  config.channel.enabled = true;
+  config.channel.max_retransmits = 0;  // first loss is permanent
+  config.obs = &hub;
+  config.obs_snapshot_period_ns = 100'000'000;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  ASSERT_TRUE(runtime.ok());
+  for (const char* name : {"A", "B"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  ASSERT_TRUE((*runtime)->AddRuleText("r", "A ; B").ok());
+  ASSERT_TRUE((*runtime)->InjectPlan(LossyWorkload(300, 11)).ok());
+  const RuntimeStats stats = (*runtime)->Run();
+
+  ASSERT_GT(stats.channel_gave_up, 0u);
+  const double final_gauge = AssertCompletenessMonotone(hub);
+  // The sender cannot distinguish a lost payload from a lost ack, so
+  // the gauge is a lower bound on true delivery, never above it.
+  EXPECT_LE(final_gauge, stats.completeness + 1e-12);
+  EXPECT_LT(final_gauge, 1.0);
+  double gave_up = 0;
+  for (const SnapshotRow& row : hub.snapshots().back().rows) {
+    if (row.name == "channel_gave_up") gave_up += row.value;
+  }
+  EXPECT_DOUBLE_EQ(gave_up, static_cast<double>(stats.channel_gave_up));
+}
+
+TEST(ObsRuntimeTest, TraceJournalMatchesBuildMode) {
+  EventTypeRegistry registry;
+  ObsHub hub;
+  RuntimeConfig config;
+  config.num_sites = 2;
+  config.seed = 5;
+  config.channel.enabled = true;
+  config.obs = &hub;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  ASSERT_TRUE(runtime.ok());
+  for (const char* name : {"A", "B"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  ASSERT_TRUE((*runtime)->AddRuleText("r", "A ; B").ok());
+  std::vector<PlannedEvent> plan;
+  plan.push_back({1'000'000'000, 0, *registry.Lookup("A"), {}});
+  plan.push_back({2'000'000'000, 1, *registry.Lookup("B"), {}});
+  ASSERT_TRUE((*runtime)->InjectPlan(plan).ok());
+  const RuntimeStats stats = (*runtime)->Run();
+  ASSERT_EQ(stats.detections, 1u);
+
+  const auto& records = hub.tracer().records();
+  if (!kTraceBuild) {
+    // Default build: the call sites are compiled out entirely.
+    EXPECT_TRUE(records.empty());
+    return;
+  }
+  // Trace build: the detection's full path must be reconstructable —
+  // every constituent has raise and sequence records, and the journey
+  // went over the reliable channel.
+  const TraceRecord* detect = nullptr;
+  for (const TraceRecord& record : records) {
+    if (record.phase == TracePhase::kDetect) detect = &record;
+  }
+  ASSERT_NE(detect, nullptr);
+  ASSERT_EQ(detect->refs.size(), 2u);
+  for (uint64_t ref : detect->refs) {
+    bool raised = false;
+    bool sequenced = false;
+    bool framed = false;
+    for (const TraceRecord& record : records) {
+      if (record.event_id != ref) continue;
+      raised |= record.phase == TracePhase::kRaise;
+      sequenced |= record.phase == TracePhase::kSequence;
+      framed |= record.phase == TracePhase::kFrame;
+    }
+    EXPECT_TRUE(raised) << "constituent " << ref;
+    EXPECT_TRUE(sequenced) << "constituent " << ref;
+    EXPECT_TRUE(framed) << "constituent " << ref;
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

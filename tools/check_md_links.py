@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Scans every tracked-looking ``*.md`` under the repo root (skipping build
+trees and ``.git``), extracts inline ``[text](target)`` links, and
+verifies each relative target exists on disk. External schemes
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+out of scope. Exits 1 listing every broken link; stdlib only, so CI can
+run it with a bare python3.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "third_party"}
+# [text](target) with no nested brackets; images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_in(path):
+    """Yields (line_number, target) for inline links outside code fences."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield number, match.group(1)
+
+
+def main():
+    root = (
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    broken = []
+    checked = 0
+    for md in markdown_files(root):
+        for line, target in links_in(md):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md), target.split("#")[0])
+            )
+            if not os.path.exists(resolved):
+                broken.append(
+                    f"{os.path.relpath(md, root)}:{line}: "
+                    f"broken link {target!r}"
+                )
+    for item in broken:
+        print(item)
+    print(
+        f"checked {checked} relative links, {len(broken)} broken",
+        file=sys.stderr,
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
