@@ -2,6 +2,7 @@
 
 #include "analysis/lint.h"
 #include "obs/obs.h"
+#include "snoop/parallel_detector.h"
 #include "snoop/parser.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -45,16 +46,16 @@ Result<EventTypeId> SentinelService::RegisterEventType(
   return registry_.Register(name, event_class);
 }
 
-Detector& SentinelService::DetectorFor(ParamContext context) {
+DetectorEngine& SentinelService::DetectorFor(ParamContext context) {
   auto it = detectors_.find(context);
   if (it == detectors_.end()) {
     Detector::Options options;
     options.context = context;
     options.host_site = options_.host_site;
     options.timebase = options_.timebase;
+    options.detector_threads = options_.detector_threads;
     it = detectors_
-             .emplace(context,
-                      std::make_unique<Detector>(&registry_, options))
+             .emplace(context, MakeDetectorEngine(&registry_, options))
              .first;
     if (options_.obs != nullptr) {
       it->second->set_tracer(&options_.obs->tracer());
@@ -94,12 +95,16 @@ Result<RuleId> SentinelService::DefineRule(RuleSpec spec) {
   const std::string rule_name = spec.name;
   Result<RuleId> id = rules_.Add(std::move(spec));
   if (!id.ok()) return id;
+  DetectorEngine& engine = DetectorFor(context);
   Counter* detections = nullptr;
   if (options_.obs != nullptr) {
-    detections = options_.obs->metrics().GetCounter(
-        "detections", StrCat("rule=", rule_name));
+    std::string labels = StrCat("rule=", rule_name);
+    if (engine.num_shards() > 1) {
+      labels += StrCat(",detector_shard=", engine.ShardOfRule(rule_name));
+    }
+    detections = options_.obs->metrics().GetCounter("detections", labels);
   }
-  Result<EventTypeId> added = DetectorFor(context).AddRule(
+  Result<EventTypeId> added = engine.AddRule(
       rule_name, *expr,
       [this, detections,
        dispatch = rules_.MakeDispatch(*id)](const EventPtr& event) {
@@ -151,6 +156,9 @@ Status SentinelService::Raise(const std::string& event_name,
       options_.obs == nullptr ? nullptr : &options_.obs->tracer(),
       TracePhase::kRaise, options_.host_site, event);
   for (auto& [context, detector] : detectors_) detector->Feed(event);
+  // Quiesce sharded engines so conditions/actions fire before Raise
+  // returns, on this thread — a no-op for sequential detectors.
+  for (auto& [context, detector] : detectors_) detector->Drain();
   return Status::Ok();
 }
 
@@ -160,6 +168,7 @@ void SentinelService::AdvanceClockTo(LocalTicks now) {
   for (auto& [context, detector] : detectors_) {
     detector->AdvanceClockTo(now);
   }
+  for (auto& [context, detector] : detectors_) detector->Drain();
 }
 
 // ----------------------------------------------------------------------

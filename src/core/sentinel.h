@@ -10,6 +10,7 @@
 #include "dist/runtime.h"
 #include "event/registry.h"
 #include "snoop/detector.h"
+#include "snoop/detector_engine.h"
 #include "timebase/config.h"
 #include "util/status.h"
 
@@ -43,6 +44,12 @@ class SentinelService {
     /// default) keeps every hot path free of observability work. Not
     /// owned; must outlive the service.
     ObsHub* obs = nullptr;
+    /// Detection-engine worker threads per context detector
+    /// (docs/parallelism.md): 0 runs sequential Detectors; N >= 1 runs
+    /// ParallelDetectors with N rule shards each. Raise() and
+    /// AdvanceClockTo() drain the pools before returning, so actions
+    /// still fire synchronously and on the caller's thread.
+    uint32_t detector_threads = 0;
   };
 
   SentinelService() : SentinelService(Options{}) {}
@@ -83,12 +90,12 @@ class SentinelService {
   LocalTicks clock() const { return clock_; }
 
  private:
-  Detector& DetectorFor(ParamContext context);
+  DetectorEngine& DetectorFor(ParamContext context);
 
   Options options_;
   EventTypeRegistry registry_;
   RuleTable rules_;
-  std::map<ParamContext, std::unique_ptr<Detector>> detectors_;
+  std::map<ParamContext, std::unique_ptr<DetectorEngine>> detectors_;
   LocalTicks clock_ = 0;
 };
 

@@ -19,6 +19,9 @@ Status RuntimeConfig::Validate() const {
   if (stability_window_ticks < 0) {
     return Status::InvalidArgument("negative stability window");
   }
+  if (detector_threads > 64) {
+    return Status::InvalidArgument("detector_threads > 64");
+  }
   RETURN_IF_ERROR(timebase.Validate());
   RETURN_IF_ERROR(network.Validate());
   RETURN_IF_ERROR(channel.Validate());
@@ -66,7 +69,8 @@ DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
   options.interval_policy = config.interval_policy;
   options.host_site = config.detector_site;
   options.timebase = config.timebase;
-  detector_ = std::make_unique<Detector>(registry_, options);
+  options.detector_threads = config.detector_threads;
+  detector_ = MakeDetectorEngine(registry_, options);
   sequencer_ = std::make_unique<Sequencer>(
       config_.EffectiveWindowTicks(),
       [this](const EventPtr& event) {
@@ -120,7 +124,12 @@ Result<EventTypeId> DistributedRuntime::AddRule(const std::string& name,
   Counter* detections = nullptr;
   Histogram* latency = nullptr;
   if (config_.obs != nullptr) {
-    const std::string labels = StrCat("rule=", name);
+    // Sharded engines label per-rule instruments with the hosting shard
+    // (the rule-never-spans-shards invariant makes this a single value).
+    std::string labels = StrCat("rule=", name);
+    if (detector_->num_shards() > 1) {
+      labels += StrCat(",detector_shard=", detector_->ShardOfRule(name));
+    }
     detections = config_.obs->metrics().GetCounter("detections", labels);
     latency =
         config_.obs->metrics().GetHistogram("detection_latency_ms", labels);
@@ -238,6 +247,10 @@ void DistributedRuntime::Heartbeat() {
     }
     detector_->AdvanceClockTo(watermark);
   }
+  // Barrier before observing: parallel engines deliver their merged
+  // detections here (on this thread, in deterministic order), and the
+  // shard counters sampled below are exact once the pool is quiescent.
+  detector_->Drain();
   SampleObs();
   MaybeSnapshot();
 }
@@ -256,6 +269,9 @@ void DistributedRuntime::SampleObs() {
   metrics.GetCounter("watermark_gap_flags")
       ->SetTotal(stats_.watermark_gap_flags);
   const std::string det_site = StrCat("site=", config_.detector_site);
+  // Aggregate rows first — for sharded engines these are the per-shard
+  // counters merged at heartbeat cadence (Drain precedes SampleObs, so
+  // the sums are exact).
   metrics.GetCounter("detector_events_fed", det_site)
       ->SetTotal(detector_->events_fed());
   metrics.GetCounter("detector_events_dropped", det_site)
@@ -265,6 +281,25 @@ void DistributedRuntime::SampleObs() {
   for (const auto& [op, state] : detector_->StateByOp()) {
     metrics.GetGauge("detector_state", StrCat(det_site, ",op=", op))
         ->Set(static_cast<double>(state));
+  }
+  if (detector_->num_shards() > 1) {
+    const std::vector<DetectorShardStats> shards =
+        detector_->PerShardStats();
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const std::string labels = StrCat(det_site, ",detector_shard=", s);
+      metrics.GetCounter("detector_events_fed", labels)
+          ->SetTotal(shards[s].events_fed);
+      metrics.GetCounter("detector_events_dropped", labels)
+          ->SetTotal(shards[s].events_dropped);
+      metrics.GetCounter("detector_timers_fired", labels)
+          ->SetTotal(shards[s].timers_fired);
+      for (const auto& [op, state] : shards[s].state_by_op) {
+        metrics
+            .GetGauge("detector_state", StrCat(det_site, ",op=", op,
+                                               ",detector_shard=", s))
+            ->Set(static_cast<double>(state));
+      }
+    }
   }
   uint64_t gave_up = 0;
   for (const auto& link : links_) {
@@ -335,9 +370,11 @@ RuntimeStats DistributedRuntime::Run() {
   }
   sim_.Run();
   // Final drain: flush stragglers (none, if the window is sound) and run
-  // the resulting work.
+  // the resulting work, then quiesce the detection engine so every
+  // in-flight occurrence is reflected in the stats below.
   sequencer_->Flush();
   sim_.Run();
+  detector_->Drain();
 
   stats_.network_messages = network_.messages_sent();
   stats_.network_bytes = network_.bytes_sent();

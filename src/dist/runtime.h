@@ -14,6 +14,8 @@
 #include "event/generator.h"
 #include "event/registry.h"
 #include "snoop/detector.h"
+#include "snoop/detector_engine.h"
+#include "snoop/parallel_detector.h"
 #include "snoop/parser.h"
 #include "timebase/clock_fleet.h"
 #include "util/histogram.h"
@@ -43,6 +45,12 @@ struct RuntimeConfig {
   /// Eligibility policy for order-sensitive operators (snoop/context.h).
   IntervalPolicy interval_policy = IntervalPolicy::kPointBased;
   SiteId detector_site = 0;
+  /// Detection-engine worker threads (docs/parallelism.md): 0 runs the
+  /// sequential Detector; N >= 1 runs a ParallelDetector that shards
+  /// rules across N workers, with detections merged deterministically at
+  /// each heartbeat's Drain(). Semantics are identical for every value —
+  /// only throughput changes. Capped at 64 (shard routing masks).
+  uint32_t detector_threads = 0;
   /// Sequencer stability window in local ticks; 0 selects the sound
   /// default (Pi + max expected network delay, plus slack) — see
   /// EffectiveWindowTicks().
@@ -147,7 +155,7 @@ class DistributedRuntime {
   const std::vector<EventPtr>& detections() const { return detections_; }
 
   Simulation& sim() { return sim_; }
-  Detector& detector() { return *detector_; }
+  DetectorEngine& detector() { return *detector_; }
   const RuntimeConfig& config() const { return config_; }
 
  private:
@@ -174,7 +182,7 @@ class DistributedRuntime {
   Simulation sim_;
   ClockFleet fleet_;
   Network network_;
-  std::unique_ptr<Detector> detector_;
+  std::unique_ptr<DetectorEngine> detector_;
   std::unique_ptr<Sequencer> sequencer_;
   /// Per-site reliable links to the detector site (empty when the
   /// channel is disabled).

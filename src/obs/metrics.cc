@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <fstream>
 #include <sstream>
 
@@ -18,9 +20,10 @@ namespace {
 constexpr std::array<MetricInfo, 20> kCatalog = {{
     {"events_injected", MetricKind::kCounter, "events", "site",
      "primitive occurrences raised at each site"},
-    {"detections", MetricKind::kCounter, "events", "rule",
+    {"detections", MetricKind::kCounter, "events", "rule,detector_shard?",
      "composite occurrences fired per rule root"},
-    {"detection_latency_ms", MetricKind::kHistogram, "ms", "rule",
+    {"detection_latency_ms", MetricKind::kHistogram, "ms",
+     "rule,detector_shard?",
      "latest-constituent occurrence to rule firing, per rule"},
     {"sequencer_hold_ticks", MetricKind::kHistogram, "ticks", "site",
      "watermark minus min-anchor at release (stability-window lag)"},
@@ -30,13 +33,15 @@ constexpr std::array<MetricInfo, 20> kCatalog = {{
      "occurrences released in linear-extension order"},
     {"sequencer_late_arrivals", MetricKind::kCounter, "events", "site",
      "arrivals after their stability deadline (window too small)"},
-    {"detector_events_fed", MetricKind::kCounter, "events", "site",
+    {"detector_events_fed", MetricKind::kCounter, "events",
+     "site,detector_shard?",
      "occurrences delivered into the detection graph"},
-    {"detector_events_dropped", MetricKind::kCounter, "events", "site",
-     "occurrences of types no rule listens to"},
-    {"detector_timers_fired", MetricKind::kCounter, "events", "site",
-     "temporal-operator timer callbacks fired"},
-    {"detector_state", MetricKind::kGauge, "occurrences", "site,op",
+    {"detector_events_dropped", MetricKind::kCounter, "events",
+     "site,detector_shard?", "occurrences of types no rule listens to"},
+    {"detector_timers_fired", MetricKind::kCounter, "events",
+     "site,detector_shard?", "temporal-operator timer callbacks fired"},
+    {"detector_state", MetricKind::kGauge, "occurrences",
+     "site,op,detector_shard?",
      "occurrences buffered per operator kind (retained state)"},
     {"network_messages", MetricKind::kCounter, "messages", "",
      "messages put on the wire (drops and duplicates included)"},
@@ -58,15 +63,36 @@ constexpr std::array<MetricInfo, 20> kCatalog = {{
      "pessimistic incremental completeness: 1 - known lost / planned"},
 }};
 
-/// The comma-separated keys of a "k1=v1,k2=v2" label list.
-std::string LabelKeys(const std::string& labels) {
-  if (labels.empty()) return "";
+/// The keys of a "k1=v1,k2=v2" label list, in order.
+std::vector<std::string> LabelKeys(const std::string& labels) {
   std::vector<std::string> keys;
+  if (labels.empty()) return keys;
   for (const std::string& part : Split(labels, ',')) {
     const size_t eq = part.find('=');
     keys.push_back(eq == std::string::npos ? part : part.substr(0, eq));
   }
-  return Join(keys, ",");
+  return keys;
+}
+
+/// True when the provided label keys satisfy the catalogue `spec`: keys
+/// must appear in catalogue order, and a trailing '?' marks a key the
+/// caller may omit (how the detector_shard label stays optional without
+/// opening the closed catalogue).
+bool LabelKeysMatch(const std::vector<std::string>& provided,
+                    const char* spec) {
+  size_t i = 0;
+  for (const std::string& want : Split(spec, ',')) {
+    if (want.empty()) continue;  // unlabeled spec ""
+    const bool optional = want.back() == '?';
+    const std::string key =
+        optional ? want.substr(0, want.size() - 1) : want;
+    if (i < provided.size() && provided[i] == key) {
+      ++i;
+      continue;
+    }
+    if (!optional) return false;
+  }
+  return i == provided.size();
 }
 
 }  // namespace
@@ -106,7 +132,7 @@ const MetricInfo& MetricsRegistry::Resolve(std::string_view name,
   const MetricInfo* info = FindMetric(name);
   CHECK(info != nullptr);
   CHECK(info->kind == kind);
-  CHECK(LabelKeys(labels) == info->labels);
+  CHECK(LabelKeysMatch(LabelKeys(labels), info->labels));
   return *info;
 }
 
@@ -161,6 +187,72 @@ MetricsSnapshot MetricsRegistry::Snapshot(int64_t ts_ns) const {
     for (const auto& [key, histogram] : histograms_) emit(key, histogram);
   }
   return snapshot;
+}
+
+namespace {
+
+/// `labels` without its "detector_shard=..." entry; `had_shard` reports
+/// whether one was present.
+std::string WithoutShardLabel(const std::string& labels, bool* had_shard) {
+  *had_shard = false;
+  if (labels.empty()) return labels;
+  std::vector<std::string> kept;
+  for (const std::string& part : Split(labels, ',')) {
+    if (StartsWith(part, "detector_shard=")) {
+      *had_shard = true;
+      continue;
+    }
+    kept.push_back(part);
+  }
+  return Join(kept, ",");
+}
+
+}  // namespace
+
+MetricsSnapshot MergeShardRows(const MetricsSnapshot& snapshot) {
+  MetricsSnapshot merged;
+  merged.ts_ns = snapshot.ts_ns;
+  // (name, stripped labels) -> index into merged.rows; <0 marks a group
+  // owned by an unsharded aggregate row, which absorbs shard rows.
+  std::map<std::pair<std::string, std::string>, std::ptrdiff_t> groups;
+  for (const SnapshotRow& row : snapshot.rows) {
+    bool had_shard = false;
+    const std::string labels = WithoutShardLabel(row.labels, &had_shard);
+    const auto key = std::make_pair(row.name, labels);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      SnapshotRow out = row;
+      out.labels = labels;
+      merged.rows.push_back(std::move(out));
+      const auto index =
+          static_cast<std::ptrdiff_t>(merged.rows.size()) - 1;
+      groups.emplace(key, had_shard ? index : -index - 1);
+      continue;
+    }
+    if (it->second < 0) continue;  // aggregate row already covers these
+    SnapshotRow& out = merged.rows[static_cast<size_t>(it->second)];
+    if (!had_shard) {
+      // The aggregate row arrived after its shard rows: it already
+      // equals their sum, so it replaces the accumulation.
+      out = row;
+      out.labels = labels;
+      it->second = -it->second - 1;
+      continue;
+    }
+    if (row.kind == MetricKind::kHistogram) {
+      const double n = out.value + row.value;
+      out.mean = n == 0
+                     ? 0
+                     : (out.mean * out.value + row.mean * row.value) / n;
+      out.value = n;
+      out.max = std::max(out.max, row.max);
+      out.p50 = 0;
+      out.p99 = 0;
+    } else {
+      out.value += row.value;
+    }
+  }
+  return merged;
 }
 
 std::string SnapshotToJson(const MetricsSnapshot& snapshot) {

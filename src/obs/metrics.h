@@ -131,6 +131,18 @@ class MetricsRegistry {
   std::map<Key, Histogram> histograms_;
 };
 
+/// Collapses the optional `detector_shard` label (docs/parallelism.md):
+/// rows identical except for their detector_shard value merge into one
+/// row without it, in first-appearance order. When an unsharded
+/// aggregate row for the same (name, remaining labels) already exists —
+/// the runtime emits both, with the aggregate merged at heartbeat — the
+/// aggregate wins and the shard rows fold away instead of
+/// double-counting. Counters and gauges sum; merged histograms sum
+/// counts with a count-weighted mean and max-of-max, but reset p50/p99
+/// to 0 (percentiles are not mergeable from summaries). Rows without
+/// the label pass through untouched.
+MetricsSnapshot MergeShardRows(const MetricsSnapshot& snapshot);
+
 /// Serializes one snapshot as a single-line JSON object (the JSONL
 /// record format; see docs/observability.md for the schema).
 std::string SnapshotToJson(const MetricsSnapshot& snapshot);

@@ -7,6 +7,10 @@
 //   sentinel-stat --diff <snapshots.jsonl>      first vs last snapshot
 //   sentinel-stat --diff <a.jsonl> <b.jsonl>    last of a vs last of b
 //
+// --merge-shards collapses the optional detector_shard label before
+// rendering or diffing (obs/metrics.h MergeShardRows), so a sharded
+// ParallelDetector run reads like its sequential equivalent.
+//
 // Exit status: 0 on success, 2 on usage errors or unreadable input.
 
 #include <iostream>
@@ -32,7 +36,7 @@ std::string FormatValue(const SnapshotRow& row) {
   return FormatDouble(row.value, row.kind == MetricKind::kGauge ? 4 : 0);
 }
 
-int Render(const std::string& path) {
+int Render(const std::string& path, bool merge_shards) {
   Result<std::vector<MetricsSnapshot>> snapshots = ReadSnapshotsJsonl(path);
   if (!snapshots.ok()) {
     std::cerr << "sentinel-stat: " << snapshots.status() << "\n";
@@ -42,7 +46,9 @@ int Render(const std::string& path) {
     std::cerr << "sentinel-stat: " << path << " holds no snapshots\n";
     return 2;
   }
-  const MetricsSnapshot& latest = snapshots->back();
+  const MetricsSnapshot latest = merge_shards
+                                     ? MergeShardRows(snapshots->back())
+                                     : snapshots->back();
   TablePrinter table(StrCat("--- ", path, " @ ",
                             FormatDouble(
                                 static_cast<double>(latest.ts_ns) / 1e6, 1),
@@ -56,7 +62,8 @@ int Render(const std::string& path) {
   return 0;
 }
 
-int Diff(const std::string& path_a, const std::string& path_b) {
+int Diff(const std::string& path_a, const std::string& path_b,
+         bool merge_shards) {
   Result<std::vector<MetricsSnapshot>> a = ReadSnapshotsJsonl(path_a);
   if (!a.ok()) {
     std::cerr << "sentinel-stat: " << a.status() << "\n";
@@ -73,8 +80,14 @@ int Diff(const std::string& path_a, const std::string& path_b) {
     std::cerr << "sentinel-stat: need two snapshots to diff\n";
     return 2;
   }
-  const MetricsSnapshot& before = path_b.empty() ? a->front() : a->back();
-  const MetricsSnapshot& after = b->back();
+  // Merging before diffing keeps the deltas aggregate-level: per-shard
+  // rows first collapse in each snapshot, then subtract.
+  const MetricsSnapshot& before_raw =
+      path_b.empty() ? a->front() : a->back();
+  const MetricsSnapshot before =
+      merge_shards ? MergeShardRows(before_raw) : before_raw;
+  const MetricsSnapshot after =
+      merge_shards ? MergeShardRows(b->back()) : b->back();
   TablePrinter table(StrCat(
       "--- diff: ", FormatDouble(static_cast<double>(before.ts_ns) / 1e6, 1),
       " ms -> ", FormatDouble(static_cast<double>(after.ts_ns) / 1e6, 1),
@@ -96,14 +109,17 @@ int Diff(const std::string& path_a, const std::string& path_b) {
 
 int Run(int argc, char** argv) {
   bool diff = false;
+  bool merge_shards = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--diff") {
       diff = true;
+    } else if (arg == "--merge-shards") {
+      merge_shards = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: sentinel-stat [--diff] <snapshots.jsonl> "
-                   "[<b.jsonl>]\n";
+      std::cout << "usage: sentinel-stat [--diff] [--merge-shards] "
+                   "<snapshots.jsonl> [<b.jsonl>]\n";
       return 0;
     } else if (StartsWith(arg, "-")) {
       std::cerr << "sentinel-stat: unknown flag " << arg << "\n";
@@ -113,12 +129,14 @@ int Run(int argc, char** argv) {
     }
   }
   if (paths.empty() || paths.size() > 2 || (!diff && paths.size() > 1)) {
-    std::cerr << "usage: sentinel-stat [--diff] <snapshots.jsonl> "
-                 "[<b.jsonl>]\n";
+    std::cerr << "usage: sentinel-stat [--diff] [--merge-shards] "
+                 "<snapshots.jsonl> [<b.jsonl>]\n";
     return 2;
   }
-  if (diff) return Diff(paths[0], paths.size() > 1 ? paths[1] : "");
-  return Render(paths[0]);
+  if (diff) {
+    return Diff(paths[0], paths.size() > 1 ? paths[1] : "", merge_shards);
+  }
+  return Render(paths[0], merge_shards);
 }
 
 }  // namespace

@@ -1,10 +1,50 @@
 #include "snoop/detector.h"
 
 #include "obs/trace.h"
+#include "util/checked.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace sentineld {
+
+/// Checked-build enforcement of the threading contract documented on
+/// Detector: the feed path (Feed / AdvanceClockTo) admits one thread at
+/// a time. Re-entry from the same thread — a rule callback feeding
+/// another rule — is legal and tracked by depth; entry from a second
+/// thread while the first is still inside is the latent race this guard
+/// exists to surface, and CHECK-fails instead of corrupting the timer
+/// heap or node state.
+class SerialGuard {
+ public:
+  explicit SerialGuard([[maybe_unused]] const Detector* detector) {
+#if SENTINELD_CHECKED_ENABLED
+    detector_ = detector;
+    const std::thread::id me = std::this_thread::get_id();
+    std::thread::id idle{};
+    if (!detector_->serial_owner_.compare_exchange_strong(idle, me)) {
+      CHECK(idle == me);  // concurrent feed from a second thread
+    }
+    detector_->serial_depth_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  }
+
+  ~SerialGuard() {
+#if SENTINELD_CHECKED_ENABLED
+    if (detector_->serial_depth_.fetch_sub(1, std::memory_order_relaxed) ==
+        1) {
+      detector_->serial_owner_.store(std::thread::id{});
+    }
+#endif
+  }
+
+  SerialGuard(const SerialGuard&) = delete;
+  SerialGuard& operator=(const SerialGuard&) = delete;
+
+#if SENTINELD_CHECKED_ENABLED
+ private:
+  const Detector* detector_;
+#endif
+};
 
 GlobalTicks TruncToGlobal(LocalTicks local, const TimebaseConfig& config) {
   const int64_t ratio = config.TicksPerGlobal();
@@ -179,6 +219,7 @@ std::map<std::string, size_t> Detector::StateByOp() const {
 
 void Detector::Feed(const EventPtr& event) {
   CHECK(event != nullptr);
+  SerialGuard guard(this);
   ++events_fed_;
   SENTINELD_TRACE_EVENT(tracer_, TracePhase::kFeed, options_.host_site,
                         event);
@@ -196,6 +237,7 @@ void Detector::ScheduleAt(Node* node, LocalTicks local_tick,
 }
 
 void Detector::AdvanceClockTo(LocalTicks now) {
+  SerialGuard guard(this);
   CHECK_GE(now, clock_);
   clock_ = now;
   while (!timers_.empty() && timers_.top().tick <= now) {

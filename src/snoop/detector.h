@@ -1,12 +1,14 @@
 #ifndef SENTINELD_SNOOP_DETECTOR_H_
 #define SENTINELD_SNOOP_DETECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "event/registry.h"
 #include "snoop/ast.h"
 #include "snoop/context.h"
+#include "snoop/detector_engine.h"
 #include "snoop/node.h"
 #include "timebase/config.h"
 #include "util/status.h"
@@ -40,7 +43,18 @@ GlobalTicks TruncToGlobal(LocalTicks local, const TimebaseConfig& config);
 /// Delivery contract (see Node): Feed order must be a linear extension of
 /// the composite `<` on the fed occurrences for the kUnrestricted
 /// semantics to coincide with the declarative Sec. 5.3 semantics.
-class Detector : public TimerService {
+///
+/// Threading contract (docs/parallelism.md): a Detector is NOT
+/// thread-safe. The timer heap (TimerEntry), the per-node buffered state
+/// that StateByOp()/total_state() walk, and the rule table are all
+/// mutated by Feed()/AdvanceClockTo()/AddRule() without any internal
+/// synchronization, so every member function — mutators and accessors
+/// alike — must be externally serialized. Ownership may move between
+/// threads (ParallelDetector hands each shard's Detector to its worker),
+/// but never with two threads inside the object at once. SENTINELD_CHECKED
+/// builds enforce this: concurrent entry into the feed path from a second
+/// thread CHECK-fails (see SerialGuard in detector.cc).
+class Detector final : public DetectorEngine, public TimerService {
  public:
   struct Options {
     /// Parameter context applied to every operator node in this detector.
@@ -61,9 +75,13 @@ class Detector : public TimerService {
     /// the constituents inside emitted occurrences, which some callers
     /// position-match on.
     bool canonicalize_expressions = false;
+    /// Worker threads for MakeDetectorEngine (snoop/parallel_detector.h):
+    /// 0 selects this sequential Detector, N >= 1 a ParallelDetector with
+    /// N rule shards. The Detector itself ignores the field.
+    uint32_t detector_threads = 0;
   };
 
-  using Callback = std::function<void(const EventPtr&)>;
+  using Callback = DetectorEngine::Callback;
 
   struct RuleInfo {
     std::string name;
@@ -85,45 +103,57 @@ class Detector : public TimerService {
   /// registered under `name` and returned (so rules can feed other
   /// rules' outputs by subscribing to the type).
   Result<EventTypeId> AddRule(const std::string& name, const ExprPtr& expr,
-                              Callback callback);
+                              Callback callback) override;
 
   /// Detaches the named rule's callback: the occurrence stream stops
   /// firing it. The operator nodes stay in the graph (they may be shared
   /// with other rules); their buffered state is retained. NotFound if no
   /// such rule.
-  Status RemoveRule(const std::string& name);
+  Status RemoveRule(const std::string& name) override;
 
   /// Delivers a primitive (or externally produced composite) occurrence.
   /// Occurrences of types no rule listens to are counted and dropped.
-  void Feed(const EventPtr& event);
+  void Feed(const EventPtr& event) override;
 
   /// Advances the host clock to `now` (local ticks), firing due timers in
   /// tick order. Must be monotone.
-  void AdvanceClockTo(LocalTicks now);
+  void AdvanceClockTo(LocalTicks now) override;
+
+  /// Processing is synchronous, so the barrier is a no-op here.
+  void Drain() override {}
 
   /// TimerService:
   void ScheduleAt(Node* node, LocalTicks local_tick, int64_t payload) override;
 
   /// Attaches the execution tracer (obs/trace.h): every Feed journals a
   /// kFeed record. Call sites compile out unless -DSENTINELD_TRACE.
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  void set_tracer(Tracer* tracer) override { tracer_ = tracer; }
 
-  LocalTicks clock() const { return clock_; }
-  size_t num_nodes() const { return nodes_.size(); }
+  LocalTicks clock() const override { return clock_; }
+  size_t num_nodes() const override { return nodes_.size(); }
   /// Total occurrences buffered across all operator nodes (retained
   /// detection state; see Node::StateSize).
-  size_t total_state() const;
+  size_t total_state() const override;
   /// Retained state broken down by operator kind (Node::op_name) — the
   /// per-operator detector_state gauge of the metrics catalogue. Ordered
   /// so observers emit stable label sets.
-  std::map<std::string, size_t> StateByOp() const;
-  uint64_t events_fed() const { return events_fed_; }
-  uint64_t events_dropped() const { return events_dropped_; }
-  uint64_t timers_fired() const { return timers_fired_; }
+  std::map<std::string, size_t> StateByOp() const override;
+  uint64_t events_fed() const override { return events_fed_; }
+  uint64_t events_dropped() const override { return events_dropped_; }
+  uint64_t timers_fired() const override { return timers_fired_; }
+
+  size_t num_shards() const override { return 1; }
+  size_t ShardOfRule(const std::string& /*name*/) const override { return 0; }
+  std::vector<DetectorShardStats> PerShardStats() const override {
+    return {DetectorShardStats{events_fed_, events_dropped_, timers_fired_,
+                               StateByOp()}};
+  }
+
   const std::vector<RuleInfo>& rules() const { return rules_; }
   const EventTypeRegistry& registry() const { return *registry_; }
 
  private:
+  friend class SerialGuard;
   /// Builds (or reuses) the node implementing `expr`; registers the
   /// node's output event type by its canonical expression string.
   Result<Node*> BuildNode(const ExprPtr& expr);
@@ -157,6 +187,13 @@ class Detector : public TimerService {
   EventTypeId tick_type_ = 0;
   bool tick_type_ready_ = false;
   Tracer* tracer_ = nullptr;
+  /// SENTINELD_CHECKED single-writer sentinel (SerialGuard in
+  /// detector.cc): the thread currently inside the feed path, or a
+  /// default-constructed id when idle. Same-thread re-entry (a rule
+  /// callback feeding a downstream rule) is legal; a second thread is a
+  /// threading-contract violation and CHECK-fails.
+  mutable std::atomic<std::thread::id> serial_owner_{};
+  mutable std::atomic<int> serial_depth_{0};
 };
 
 }  // namespace sentineld

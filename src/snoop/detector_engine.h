@@ -1,0 +1,96 @@
+#ifndef SENTINELD_SNOOP_DETECTOR_ENGINE_H_
+#define SENTINELD_SNOOP_DETECTOR_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "event/event.h"
+#include "snoop/ast.h"
+#include "timebase/config.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+class Tracer;
+
+/// One shard's share of the engine counters (docs/parallelism.md). The
+/// sequential engine reports itself as a single shard; the parallel
+/// engine reports one entry per worker.
+struct DetectorShardStats {
+  uint64_t events_fed = 0;
+  uint64_t events_dropped = 0;
+  uint64_t timers_fired = 0;
+  std::map<std::string, size_t> state_by_op;
+};
+
+/// The detection-engine seam between rule evaluation and its callers
+/// (DistributedRuntime, SentinelService): everything they need to
+/// compile rules, deliver occurrences, pump time, and observe state —
+/// implemented sequentially by Detector and sharded by ParallelDetector.
+///
+/// Threading contract (docs/parallelism.md): all virtuals below must be
+/// called from one thread at a time (the owner thread). Engines may run
+/// internal workers, but the caller-facing surface is single-threaded;
+/// rule callbacks always fire on the owner thread. Accessors reflect
+/// fully processed input only after Drain() returns.
+class DetectorEngine {
+ public:
+  using Callback = std::function<void(const EventPtr&)>;
+
+  virtual ~DetectorEngine() = default;
+
+  /// Compiles `expr` and registers `callback` to fire on every detected
+  /// occurrence of the rule. Returns the rule's composite event type.
+  virtual Result<EventTypeId> AddRule(const std::string& name,
+                                      const ExprPtr& expr,
+                                      Callback callback) = 0;
+
+  /// Detaches the named rule's callback (buffered operator state is
+  /// retained; see Detector::RemoveRule). NotFound if no such rule.
+  virtual Status RemoveRule(const std::string& name) = 0;
+
+  /// Delivers one occurrence. Feed order must be a linear extension of
+  /// the composite `<` (the Sequencer's delivery contract).
+  virtual void Feed(const EventPtr& event) = 0;
+
+  /// Advances the engine clock (local ticks, monotone), firing due
+  /// temporal-operator timers.
+  virtual void AdvanceClockTo(LocalTicks now) = 0;
+
+  /// Barrier: blocks until every occurrence and clock advance handed in
+  /// so far is fully processed and every resulting rule callback has
+  /// fired (on the calling thread). No-op for the sequential engine,
+  /// whose processing is synchronous.
+  virtual void Drain() = 0;
+
+  /// Attaches the execution tracer (obs/trace.h). Call sites compile out
+  /// unless -DSENTINELD_TRACE. The tracer is driven from the owner
+  /// thread only.
+  virtual void set_tracer(Tracer* tracer) = 0;
+
+  virtual LocalTicks clock() const = 0;
+  virtual size_t num_nodes() const = 0;
+  virtual size_t total_state() const = 0;
+  /// Retained state by operator kind, merged across shards.
+  virtual std::map<std::string, size_t> StateByOp() const = 0;
+  virtual uint64_t events_fed() const = 0;
+  virtual uint64_t events_dropped() const = 0;
+  virtual uint64_t timers_fired() const = 0;
+
+  /// Worker-pool width: 1 for the sequential engine.
+  virtual size_t num_shards() const = 0;
+  /// The shard that hosts (or would host) the named rule. Pure function
+  /// of the name and num_shards(), so callers can label per-rule
+  /// instruments before AddRule. Always 0 for the sequential engine.
+  virtual size_t ShardOfRule(const std::string& name) const = 0;
+  /// Per-shard counter breakdown (one entry for the sequential engine).
+  /// Like the scalar accessors, exact only after Drain().
+  virtual std::vector<DetectorShardStats> PerShardStats() const = 0;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_DETECTOR_ENGINE_H_

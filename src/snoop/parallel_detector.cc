@@ -1,0 +1,332 @@
+#include "snoop/parallel_detector.h"
+
+#include <algorithm>
+#include <bit>
+#include <iterator>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+/// Shard routing masks are uint64_t, which caps the pool width.
+constexpr size_t kMaxShards = 64;
+/// Caller-side staging flushes to the SPSC queue at this granularity
+/// (and unconditionally on clock advances and Drain).
+constexpr size_t kBatchSize = 64;
+
+/// The primitive leaf types of `expr` — the types whose occurrences the
+/// compiled graph subscribes to (same set the sequential Detector builds
+/// PrimitiveNodes for).
+void CollectLeafTypes(const ExprPtr& expr, std::vector<EventTypeId>& out) {
+  if (expr == nullptr) return;
+  if (expr->kind == OpKind::kPrimitive) {
+    out.push_back(expr->primitive_type);
+    return;
+  }
+  for (const ExprPtr& child : expr->children) CollectLeafTypes(child, out);
+}
+
+}  // namespace
+
+size_t ParallelDetector::ShardOf(const std::string& name,
+                                 size_t num_shards) {
+  // FNV-1a: stable across platforms and standard-library versions, so
+  // shard labels in snapshots stay comparable between runs and hosts.
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return num_shards == 0 ? 0 : hash % num_shards;
+}
+
+ParallelDetector::ParallelDetector(EventTypeRegistry* registry,
+                                   Detector::Options options)
+    : registry_(registry), options_(options) {
+  CHECK(registry != nullptr);
+  const size_t shards = std::clamp<size_t>(options.detector_threads, 1,
+                                           kMaxShards);
+  // Shards host plain sequential Detectors; the field selecting this
+  // engine must not recurse into them.
+  options_.detector_threads = 0;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->detector = std::make_unique<Detector>(registry_, options_);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, raw = shard.get()] {
+      WorkerLoop(raw);
+    });
+  }
+}
+
+ParallelDetector::~ParallelDetector() {
+  Drain();
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->wake_mu);
+      shard->stop = true;
+      shard->has_work = true;
+    }
+    shard->wake_cv.notify_one();
+  }
+  for (auto& shard : shards_) shard->worker.join();
+}
+
+void ParallelDetector::WorkerLoop(Shard* shard) {
+  Command command;
+  while (true) {
+    if (shard->queue.TryPop(command)) {
+      DispatchOn(shard, command);
+      shard->processed.fetch_add(1, std::memory_order_release);
+      if (shard->queue.Empty()) {
+        // The empty critical section pairs with AwaitQuiescent's wait:
+        // the waiter either sees the processed store in its predicate or
+        // is already parked when this notify lands.
+        { std::lock_guard<std::mutex> lock(shard->done_mu); }
+        shard->done_cv.notify_all();
+      }
+      continue;
+    }
+    // Brief spin before parking: heartbeat batches arrive in bursts.
+    bool popped = false;
+    for (int i = 0; i < 4096 && !popped; ++i) {
+      popped = shard->queue.TryPop(command);
+    }
+    if (popped) {
+      DispatchOn(shard, command);
+      shard->processed.fetch_add(1, std::memory_order_release);
+      if (shard->queue.Empty()) {
+        { std::lock_guard<std::mutex> lock(shard->done_mu); }
+        shard->done_cv.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(shard->wake_mu);
+    shard->has_work = false;
+    // Re-check under the parked flag: a producer that pushed before
+    // seeing has_work=false left work in the queue.
+    if (!shard->queue.Empty()) continue;
+    if (shard->stop) return;
+    shard->wake_cv.wait(lock,
+                        [shard] { return shard->has_work || shard->stop; });
+    if (shard->stop && shard->queue.Empty()) return;
+  }
+}
+
+void ParallelDetector::DispatchOn(Shard* shard, const Command& command) {
+  shard->current_seq = command.seq;
+  shard->current_emit = 0;
+  if (command.event != nullptr) {
+    shard->detector->Feed(command.event);
+  } else {
+    shard->detector->AdvanceClockTo(command.advance_to);
+  }
+}
+
+void ParallelDetector::StageCommand(Shard* shard, Command command) {
+  shard->staging.push_back(std::move(command));
+  if (shard->staging.size() >= kBatchSize) FlushShard(shard);
+}
+
+void ParallelDetector::FlushShard(Shard* shard) {
+  if (shard->staging.empty()) return;
+  for (Command& command : shard->staging) {
+    while (!shard->queue.TryPush(std::move(command))) {
+      // Queue full: the worker is behind; yielding beats growing an
+      // unbounded buffer (natural backpressure).
+      std::this_thread::yield();
+    }
+  }
+  shard->enqueued += shard->staging.size();
+  shard->staging.clear();
+  {
+    std::lock_guard<std::mutex> lock(shard->wake_mu);
+    shard->has_work = true;
+  }
+  shard->wake_cv.notify_one();
+}
+
+void ParallelDetector::AwaitQuiescent() {
+  for (auto& shard : shards_) {
+    const uint64_t target = shard->enqueued;
+    if (shard->processed.load(std::memory_order_acquire) >= target) continue;
+    std::unique_lock<std::mutex> lock(shard->done_mu);
+    shard->done_cv.wait(lock, [&shard, target] {
+      return shard->processed.load(std::memory_order_acquire) >= target;
+    });
+  }
+}
+
+void ParallelDetector::Drain() {
+  if (draining_) return;  // a rule callback re-entered via Feed+Drain
+  draining_ = true;
+  std::vector<PendingDetection> pending;
+  while (true) {
+    for (auto& shard : shards_) FlushShard(shard.get());
+    AwaitQuiescent();
+    pending.clear();
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->out_mu);
+      pending.insert(pending.end(),
+                     std::make_move_iterator(shard->outbox.begin()),
+                     std::make_move_iterator(shard->outbox.end()));
+      shard->outbox.clear();
+    }
+    if (pending.empty()) break;
+    // Deterministic delivery: global feed order, then rule registration
+    // order, then emission order — identical for every shard count.
+    std::sort(pending.begin(), pending.end());
+    for (const PendingDetection& detection : pending) {
+      const RuleEntry& rule = rules_[detection.rule];
+      if (rule.callback) rule.callback(detection.event);
+    }
+    // Callbacks may have fed follow-up occurrences; loop until the
+    // pool is quiescent with nothing left to deliver.
+  }
+  draining_ = false;
+}
+
+Result<EventTypeId> ParallelDetector::AddRule(const std::string& name,
+                                              const ExprPtr& expr,
+                                              Callback callback) {
+  // Quiesce before touching a shard's graph or the shared registry:
+  // workers only run while commands are in flight, so a drained pool
+  // makes caller-side compilation race-free.
+  Drain();
+  const size_t shard_index = ShardOfRule(name);
+  Shard* shard = shards_[shard_index].get();
+  const uint32_t rule_index = static_cast<uint32_t>(rules_.size());
+  Detector::Callback sink;
+  if (callback) {
+    sink = [shard, rule_index](const EventPtr& event) {
+      std::lock_guard<std::mutex> lock(shard->out_mu);
+      shard->outbox.push_back(PendingDetection{
+          shard->current_seq, rule_index, shard->current_emit++, event});
+    };
+  }
+  Result<EventTypeId> added =
+      shard->detector->AddRule(name, expr, std::move(sink));
+  if (!added.ok()) return added;
+  rules_.push_back(RuleEntry{name, shard_index, std::move(callback), true});
+  std::vector<EventTypeId> leaves;
+  CollectLeafTypes(expr, leaves);
+  for (const EventTypeId type : leaves) {
+    routes_[type] |= uint64_t{1} << shard_index;
+  }
+  return added;
+}
+
+Status ParallelDetector::RemoveRule(const std::string& name) {
+  Drain();
+  for (RuleEntry& rule : rules_) {
+    if (!rule.active || rule.name != name) continue;
+    RETURN_IF_ERROR(shards_[rule.shard]->detector->RemoveRule(name));
+    rule.active = false;
+    rule.callback = nullptr;
+    // Routes stay: the shard's graph keeps the rule's nodes (mirroring
+    // the sequential engine), so its stream keeps counting as fed.
+    return Status::Ok();
+  }
+  return Status::NotFound(StrCat("rule '", name, "'"));
+}
+
+void ParallelDetector::Feed(const EventPtr& event) {
+  CHECK(event != nullptr);
+  ++events_fed_;
+  SENTINELD_TRACE_EVENT(tracer_, TracePhase::kFeed, options_.host_site,
+                        event);
+  const auto it = routes_.find(event->type());
+  if (it == routes_.end()) {
+    ++unrouted_dropped_;
+    ++next_seq_;
+    return;
+  }
+  uint64_t mask = it->second;
+  while (mask != 0) {
+    const size_t shard_index =
+        static_cast<size_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    StageCommand(shards_[shard_index].get(),
+                 Command{event, 0, next_seq_});
+  }
+  ++next_seq_;
+}
+
+void ParallelDetector::AdvanceClockTo(LocalTicks now) {
+  CHECK_GE(now, clock_);
+  clock_ = now;
+  for (auto& shard : shards_) {
+    StageCommand(shard.get(), Command{nullptr, now, next_seq_});
+    // Advances flush immediately so temporal operators fire promptly
+    // even when the feed batch is still filling.
+    FlushShard(shard.get());
+  }
+  ++next_seq_;
+}
+
+size_t ParallelDetector::num_nodes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->detector->num_nodes();
+  return total;
+}
+
+size_t ParallelDetector::total_state() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->detector->total_state();
+  return total;
+}
+
+std::map<std::string, size_t> ParallelDetector::StateByOp() const {
+  std::map<std::string, size_t> merged;
+  for (const auto& shard : shards_) {
+    for (const auto& [op, state] : shard->detector->StateByOp()) {
+      merged[op] += state;
+    }
+  }
+  return merged;
+}
+
+uint64_t ParallelDetector::events_dropped() const {
+  // Engine-level routing misses play the role of the sequential
+  // engine's "no rule listens to this type" drops; shard-level drops
+  // (possible only through route/graph divergence) are folded in for
+  // completeness.
+  uint64_t total = unrouted_dropped_;
+  for (const auto& shard : shards_) {
+    total += shard->detector->events_dropped();
+  }
+  return total;
+}
+
+uint64_t ParallelDetector::timers_fired() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->detector->timers_fired();
+  return total;
+}
+
+std::vector<DetectorShardStats> ParallelDetector::PerShardStats() const {
+  std::vector<DetectorShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    stats.push_back(DetectorShardStats{
+        shard->detector->events_fed(), shard->detector->events_dropped(),
+        shard->detector->timers_fired(), shard->detector->StateByOp()});
+  }
+  return stats;
+}
+
+std::unique_ptr<DetectorEngine> MakeDetectorEngine(
+    EventTypeRegistry* registry, const Detector::Options& options) {
+  if (options.detector_threads == 0) {
+    return std::make_unique<Detector>(registry, options);
+  }
+  return std::make_unique<ParallelDetector>(registry, options);
+}
+
+}  // namespace sentineld

@@ -1,0 +1,170 @@
+#ifndef SENTINELD_SNOOP_PARALLEL_DETECTOR_H_
+#define SENTINELD_SNOOP_PARALLEL_DETECTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "snoop/detector.h"
+#include "snoop/detector_engine.h"
+#include "snoop/spsc_queue.h"
+
+namespace sentineld {
+
+/// Sharded detection engine: rules are distributed across a fixed pool
+/// of worker threads by a stable hash of the rule name, each shard
+/// owning a private sequential Detector fed through a bounded SPSC
+/// command queue.
+///
+/// Why sharding by rule is semantics-preserving (DESIGN.md §12): a
+/// rule's detection depends only on the stream of its own constituent
+/// types, delivered in linear-extension order. A rule never spans
+/// shards, so each shard sees exactly the subsequence of the global
+/// feed relevant to its rules, in the global order — per-shard
+/// evaluation is the sequential semantics verbatim, and the Thm 5.1
+/// composite-timestamp reasoning stays shard-local. Occurrences fan out
+/// to every shard hosting a rule over their type (batched dispatch);
+/// clock advances broadcast so temporal operators fire per shard.
+///
+/// Determinism: workers never run user code. Detections collect into
+/// per-shard outboxes tagged with (global feed sequence, rule index,
+/// emission index) and Drain() merges them in that order, firing rule
+/// callbacks on the calling thread — so callback order is identical for
+/// every shard count, and callers like DistributedRuntime stay
+/// single-threaded.
+///
+/// Threading contract (docs/parallelism.md): the caller-facing surface
+/// is single-threaded, exactly like Detector. AddRule/RemoveRule
+/// quiesce the pool before touching shard graphs; accessors are exact
+/// only after Drain().
+class ParallelDetector final : public DetectorEngine {
+ public:
+  /// `options.detector_threads` (clamped to [1, 64]) sets the shard
+  /// count; the remaining options configure each shard's Detector.
+  ParallelDetector(EventTypeRegistry* registry, Detector::Options options);
+  ~ParallelDetector() override;
+
+  ParallelDetector(const ParallelDetector&) = delete;
+  ParallelDetector& operator=(const ParallelDetector&) = delete;
+
+  Result<EventTypeId> AddRule(const std::string& name, const ExprPtr& expr,
+                              Callback callback) override;
+  Status RemoveRule(const std::string& name) override;
+  void Feed(const EventPtr& event) override;
+  void AdvanceClockTo(LocalTicks now) override;
+  void Drain() override;
+  void set_tracer(Tracer* tracer) override { tracer_ = tracer; }
+
+  LocalTicks clock() const override { return clock_; }
+  size_t num_nodes() const override;
+  size_t total_state() const override;
+  std::map<std::string, size_t> StateByOp() const override;
+  uint64_t events_fed() const override { return events_fed_; }
+  uint64_t events_dropped() const override;
+  uint64_t timers_fired() const override;
+
+  size_t num_shards() const override { return shards_.size(); }
+  size_t ShardOfRule(const std::string& name) const override {
+    return ShardOf(name, shards_.size());
+  }
+  std::vector<DetectorShardStats> PerShardStats() const override;
+
+  /// The stable rule-name hash placement (FNV-1a mod `num_shards`) —
+  /// exposed so callers can pre-compute shard labels.
+  static size_t ShardOf(const std::string& name, size_t num_shards);
+
+ private:
+  /// One unit of shard work: an occurrence to feed (event != nullptr) or
+  /// a clock advance. `seq` is the global position in the caller's
+  /// command stream — the primary detection merge key.
+  struct Command {
+    EventPtr event;
+    LocalTicks advance_to = 0;
+    uint64_t seq = 0;
+  };
+
+  /// A detection captured on a worker, ordered for delivery by
+  /// (triggering command, rule registration index, emission index).
+  struct PendingDetection {
+    uint64_t seq = 0;
+    uint32_t rule = 0;
+    uint32_t emit = 0;
+    EventPtr event;
+
+    bool operator<(const PendingDetection& other) const {
+      if (seq != other.seq) return seq < other.seq;
+      if (rule != other.rule) return rule < other.rule;
+      return emit < other.emit;
+    }
+  };
+
+  struct Shard {
+    std::unique_ptr<Detector> detector;
+    SpscQueue<Command> queue{1024};
+    /// Caller-side batch buffer (batched dispatch of sequencer
+    /// releases): commands stage here and flush to the queue at batch
+    /// granularity, on clock advances, and at Drain().
+    std::vector<Command> staging;
+    uint64_t enqueued = 0;  // caller-side; compared against processed
+    /// Worker-side cursor for tagging detections.
+    uint64_t current_seq = 0;
+    uint32_t current_emit = 0;
+    /// Commands fully dispatched (callbacks captured). The release
+    /// store/acquire load pair is the quiescence happens-before edge.
+    std::atomic<uint64_t> processed{0};
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+    bool has_work = false;
+    bool stop = false;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::mutex out_mu;
+    std::vector<PendingDetection> outbox;
+    std::thread worker;
+  };
+
+  struct RuleEntry {
+    std::string name;
+    size_t shard = 0;
+    Callback callback;
+    bool active = false;
+  };
+
+  void WorkerLoop(Shard* shard);
+  void DispatchOn(Shard* shard, const Command& command);
+  /// Moves a shard's staged commands into its queue and wakes the worker.
+  void FlushShard(Shard* shard);
+  void StageCommand(Shard* shard, Command command);
+  /// Blocks until every enqueued command is processed on every shard.
+  void AwaitQuiescent();
+
+  EventTypeRegistry* registry_;
+  Detector::Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<RuleEntry> rules_;
+  /// Event type -> bitmask of shards hosting a rule over that type.
+  std::unordered_map<EventTypeId, uint64_t> routes_;
+  uint64_t next_seq_ = 0;
+  LocalTicks clock_ = 0;
+  uint64_t events_fed_ = 0;
+  uint64_t unrouted_dropped_ = 0;
+  bool draining_ = false;
+  Tracer* tracer_ = nullptr;
+};
+
+/// Engine factory: `options.detector_threads == 0` selects the
+/// sequential Detector, N >= 1 a ParallelDetector with N shards — the
+/// single switch RuntimeConfig::detector_threads and
+/// SentinelService::Options::detector_threads flow through.
+std::unique_ptr<DetectorEngine> MakeDetectorEngine(
+    EventTypeRegistry* registry, const Detector::Options& options);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_PARALLEL_DETECTOR_H_

@@ -1,0 +1,70 @@
+#ifndef SENTINELD_SNOOP_SPSC_QUEUE_H_
+#define SENTINELD_SNOOP_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sentineld {
+
+/// Bounded single-producer/single-consumer ring buffer: the per-shard
+/// command queue of ParallelDetector. Exactly one thread may call
+/// TryPush and exactly one thread may call TryPop. The release store on
+/// each index publishes the slot's contents to the other side (acquire
+/// load), so elements need no locking of their own.
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` must be a power of two (index masking).
+  explicit SpscQueue(size_t capacity) : slots_(capacity), mask_(capacity - 1) {
+    CHECK(capacity > 0 && (capacity & (capacity - 1)) == 0);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. False when full (the producer spins or backs off).
+  bool TryPush(T item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  bool TryPop(T& out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy by nature (either side may move on immediately after); safe
+  /// for wake/park heuristics on both sides.
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  const uint64_t mask_;
+  /// Producer and consumer indices on separate cache lines so the two
+  /// sides don't false-share.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_SPSC_QUEUE_H_

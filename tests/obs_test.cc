@@ -541,5 +541,163 @@ TEST(ObsRuntimeTest, TraceJournalMatchesBuildMode) {
   }
 }
 
+// --------------------------------------------------- shard-label merging
+
+TEST(MetricsRegistryTest, OptionalShardLabelIsAcceptedAndSeparate) {
+  // `detector_shard` is an optional catalogue key (trailing `?`):
+  // instruments resolve with or without it, and the two spellings are
+  // distinct instruments.
+  MetricsRegistry registry;
+  Counter* aggregate = registry.GetCounter("detections", "rule=r");
+  Counter* sharded =
+      registry.GetCounter("detections", "rule=r,detector_shard=2");
+  EXPECT_NE(aggregate, sharded);
+  registry.GetCounter("detector_events_fed", "site=0");
+  registry.GetCounter("detector_events_fed", "site=0,detector_shard=1");
+  registry.GetGauge("detector_state", "site=0,op=and,detector_shard=3");
+  registry.GetHistogram("detection_latency_ms",
+                        "rule=r,detector_shard=0");
+  EXPECT_EQ(registry.size(), 6u);
+}
+
+TEST(MergeShardRowsTest, SumsCountersAndGaugesAcrossShards) {
+  MetricsSnapshot snapshot;
+  snapshot.ts_ns = 7;
+  snapshot.rows.push_back({"detections", "rule=r,detector_shard=0",
+                           MetricKind::kCounter, "detections", 2});
+  snapshot.rows.push_back({"detections", "rule=r,detector_shard=3",
+                           MetricKind::kCounter, "detections", 3});
+  snapshot.rows.push_back({"detections", "rule=s,detector_shard=1",
+                           MetricKind::kCounter, "detections", 5});
+  snapshot.rows.push_back(
+      {"completeness", "", MetricKind::kGauge, "ratio", 0.5});
+  const MetricsSnapshot merged = MergeShardRows(snapshot);
+  EXPECT_EQ(merged.ts_ns, 7);
+  ASSERT_EQ(merged.rows.size(), 3u);
+  const SnapshotRow* r = merged.Find("detections", "rule=r");
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->value, 5.0);
+  const SnapshotRow* s = merged.Find("detections", "rule=s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value, 5.0);
+  // Label-free rows pass through untouched.
+  ASSERT_NE(merged.Find("completeness"), nullptr);
+  EXPECT_DOUBLE_EQ(merged.Find("completeness")->value, 0.5);
+}
+
+TEST(MergeShardRowsTest, AggregateRowWinsOverItsShardRows) {
+  // The runtime emits BOTH the engine-level aggregate (merged at
+  // heartbeat) and per-shard rows; collapsing must not double-count.
+  MetricsSnapshot snapshot;
+  snapshot.rows.push_back({"detector_events_fed", "site=0",
+                           MetricKind::kCounter, "events", 10});
+  snapshot.rows.push_back({"detector_events_fed",
+                           "site=0,detector_shard=0", MetricKind::kCounter,
+                           "events", 4});
+  snapshot.rows.push_back({"detector_events_fed",
+                           "site=0,detector_shard=1", MetricKind::kCounter,
+                           "events", 9});
+  const MetricsSnapshot merged = MergeShardRows(snapshot);
+  ASSERT_EQ(merged.rows.size(), 1u);
+  EXPECT_EQ(merged.rows[0].labels, "site=0");
+  EXPECT_DOUBLE_EQ(merged.rows[0].value, 10.0);
+}
+
+TEST(MergeShardRowsTest, HistogramsMergeCountWeighted) {
+  MetricsSnapshot snapshot;
+  SnapshotRow a{"detection_latency_ms", "rule=r,detector_shard=0",
+                MetricKind::kHistogram, "ms", 2};
+  a.mean = 10;
+  a.p50 = 9;
+  a.p99 = 19;
+  a.max = 20;
+  SnapshotRow b{"detection_latency_ms", "rule=r,detector_shard=1",
+                MetricKind::kHistogram, "ms", 6};
+  b.mean = 30;
+  b.p50 = 29;
+  b.p99 = 39;
+  b.max = 40;
+  snapshot.rows = {a, b};
+  const MetricsSnapshot merged = MergeShardRows(snapshot);
+  ASSERT_EQ(merged.rows.size(), 1u);
+  const SnapshotRow& row = merged.rows[0];
+  EXPECT_EQ(row.labels, "rule=r");
+  EXPECT_DOUBLE_EQ(row.value, 8.0);   // counts sum
+  EXPECT_DOUBLE_EQ(row.mean, 25.0);   // count-weighted
+  EXPECT_DOUBLE_EQ(row.max, 40.0);    // max of max
+  EXPECT_DOUBLE_EQ(row.p50, 0.0);     // percentiles are not mergeable
+  EXPECT_DOUBLE_EQ(row.p99, 0.0);
+}
+
+TEST(ObsRuntimeTest, ParallelRuntimeEmitsPerShardRowsThatMergeCleanly) {
+  EventTypeRegistry registry;
+  ObsHub hub;
+  RuntimeConfig config;
+  config.num_sites = 3;
+  config.seed = 17;
+  config.detector_threads = 4;
+  config.obs = &hub;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  ASSERT_TRUE(runtime.ok());
+  for (const char* name : {"A", "B"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  for (const auto& [name, text] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"r", "A ; B"}, {"s", "A and B"}, {"t", "B ; A"}}) {
+    ASSERT_TRUE((*runtime)->AddRuleText(name, text).ok());
+  }
+  ASSERT_TRUE((*runtime)->InjectPlan(LossyWorkload(200, 3)).ok());
+  const RuntimeStats stats = (*runtime)->Run();
+  ASSERT_GT(stats.detections, 0u);
+
+  ASSERT_FALSE(hub.snapshots().empty());
+  const MetricsSnapshot& last = hub.snapshots().back();
+  // Per-rule detection counters carry the shard of their rule; per-shard
+  // detector counters ride next to the engine-level aggregates.
+  const DetectorEngine& engine = (*runtime)->detector();
+  ASSERT_EQ(engine.num_shards(), 4u);
+  double sharded_detections = 0;
+  size_t shard_fed_rows = 0;
+  for (const SnapshotRow& row : last.rows) {
+    if (row.name == "detections") {
+      EXPECT_NE(row.labels.find("detector_shard="), std::string::npos)
+          << row.labels;
+      sharded_detections += row.value;
+    }
+    if (row.name == "detector_events_fed" &&
+        row.labels.find("detector_shard=") != std::string::npos) {
+      ++shard_fed_rows;
+    }
+  }
+  EXPECT_DOUBLE_EQ(sharded_detections,
+                   static_cast<double>(stats.detections));
+  EXPECT_EQ(shard_fed_rows, engine.num_shards());
+  for (const char* name : {"r", "s", "t"}) {
+    const std::string labels =
+        "rule=" + std::string(name) +
+        ",detector_shard=" + std::to_string(engine.ShardOfRule(name));
+    EXPECT_NE(last.Find("detections", labels), nullptr) << labels;
+  }
+
+  // Merging collapses the shard label (what sentinel-stat --merge-shards
+  // does before rendering or diffing): detections keep their totals under
+  // plain rule labels, and the engine-level aggregate wins over the
+  // per-shard detector counters.
+  const MetricsSnapshot merged = MergeShardRows(last);
+  double merged_detections = 0;
+  for (const SnapshotRow& row : merged.rows) {
+    EXPECT_EQ(row.labels.find("detector_shard="), std::string::npos)
+        << row.labels;
+    if (row.name == "detections") merged_detections += row.value;
+  }
+  EXPECT_DOUBLE_EQ(merged_detections,
+                   static_cast<double>(stats.detections));
+  const SnapshotRow* fed = merged.Find("detector_events_fed", "site=0");
+  ASSERT_NE(fed, nullptr);
+  EXPECT_DOUBLE_EQ(fed->value,
+                   static_cast<double>(engine.events_fed()));
+}
+
 }  // namespace
 }  // namespace sentineld
