@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "snoop/detector.h"
 #include "snoop/parallel_detector.h"
 #include "snoop/parser.h"
@@ -246,6 +247,58 @@ void BM_EngineSeamThreads0(benchmark::State& state) {
 BENCHMARK(BM_EngineSeamThreads0);
 
 }  // namespace
+
+// --json mode (bench_json.h): the two memory-layout headline scenarios
+// from docs/memory.md, measured with the counting allocator so CI can
+// gate allocs/event against the committed baseline
+// (bench/bench_baseline_5.json).
+int RunJsonBench(const std::string& path) {
+  EventTypeRegistry registry;
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  // Feeds a random 4-type / 4-site primitive stream through `expr`
+  // under the recent context — same scenario as tests/alloc_test.cc.
+  const auto feed_scenario = [&](std::string name, const char* expr) {
+    Detector::Options options;
+    options.context = ParamContext::kRecent;
+    Detector detector(&registry, options);
+    auto parsed = ParseExpr(expr, registry, {});
+    CHECK_OK(parsed);
+    uint64_t detections = 0;
+    CHECK_OK(detector.AddRule("r", *parsed,
+                              [&](const EventPtr&) { ++detections; }));
+    Rng rng(42);
+    LocalTicks tick = 1000;
+    return benchjson::Measure(
+        std::move(name), 8192, 1 << 17, [&](int iters) {
+          for (int i = 0; i < iters; ++i) {
+            tick += 1 + static_cast<LocalTicks>(rng.NextBounded(30));
+            detector.Feed(Event::MakePrimitive(
+                static_cast<EventTypeId>(rng.NextBounded(4)),
+                PrimitiveTimestamp{
+                    static_cast<SiteId>(rng.NextBounded(4)), tick / 10,
+                    tick}));
+          }
+        });
+  };
+  std::vector<benchjson::Scenario> scenarios;
+  scenarios.push_back(feed_scenario("primitive_feed", "A ; B"));
+  scenarios.push_back(
+      feed_scenario("composite_depth3", "(A ; B) and (C or D)"));
+  return benchjson::WriteJson(path, "bench_detection", scenarios) ? 0 : 1;
+}
+
 }  // namespace sentineld
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (sentineld::benchjson::ParseJsonFlag(argc, argv, &json_path)) {
+    return sentineld::RunJsonBench(json_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Shared plumbing for the bench harnesses' --json mode (PERF-6,
+// docs/memory.md): instead of google-benchmark's wall-clock tables,
+// each harness measures a small set of named hot-path scenarios with a
+// steady_clock loop AND the counting allocator
+// (util/alloc_counter.h), then writes machine-readable
+// {ns,allocs,bytes}/event numbers for CI's bench-smoke job to gate on
+// (tools/check_bench_allocs.py).
+//
+// Usage, from a bench binary's main():
+//   std::string path;
+//   if (benchjson::ParseJsonFlag(argc, argv, &path)) {
+//     return RunJsonBench(path);  // bench-specific scenario list
+//   }
+//   // ... fall through to google-benchmark ...
+
+#ifndef SENTINELD_BENCH_BENCH_JSON_H_
+#define SENTINELD_BENCH_BENCH_JSON_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/alloc_counter.h"
+
+namespace sentineld {
+namespace benchjson {
+
+struct Scenario {
+  std::string name;
+  double ns_per_event = 0;
+  double allocs_per_event = 0;
+  double bytes_per_event = 0;
+};
+
+/// Runs `fn(warmup)` to reach steady state (warm arena caches, warm
+/// name table, populated-but-bounded detector state), then times
+/// `fn(iters)` and attributes time and this-thread allocations evenly
+/// across the `iters` events.
+template <typename Fn>
+Scenario Measure(std::string name, int warmup, int iters, Fn&& fn) {
+  fn(warmup);
+  const AllocCounts before = CurrentThreadAllocCounts();
+  const auto t0 = std::chrono::steady_clock::now();
+  fn(iters);
+  const auto t1 = std::chrono::steady_clock::now();
+  const AllocCounts delta = CurrentThreadAllocCounts() - before;
+  Scenario s;
+  s.name = std::move(name);
+  s.ns_per_event =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      iters;
+  s.allocs_per_event = static_cast<double>(delta.allocs) / iters;
+  s.bytes_per_event = static_cast<double>(delta.bytes) / iters;
+  return s;
+}
+
+/// Detects `--json` / `--json=PATH`. Returns true when present; `path`
+/// receives PATH or the default artifact name BENCH_5.json. (Each bench
+/// writes a complete single-bench document; CI gives the two harnesses
+/// distinct paths and merges them — see tools/check_bench_allocs.py.)
+inline bool ParseJsonFlag(int argc, char** argv, std::string* path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      *path = "BENCH_5.json";
+      return true;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      *path = std::string(arg.substr(7));
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Writes the single-bench document and echoes it to stdout. Returns
+/// false (and prints to stderr) if the file can't be opened.
+inline bool WriteJson(const std::string& path, std::string_view bench,
+                      const std::vector<Scenario>& scenarios) {
+  std::string doc;
+  doc += "{\n";
+  doc += "  \"schema\": \"sentineld-bench-v1\",\n";
+  doc += "  \"bench\": \"";
+  doc += bench;
+  doc += "\",\n";
+  doc += "  \"alloc_counting\": ";
+  doc += AllocCountingAvailable() ? "true" : "false";
+  doc += ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"ns_per_event\": %.3f, "
+                  "\"allocs_per_event\": %.4f, \"bytes_per_event\": %.1f}%s\n",
+                  s.name.c_str(), s.ns_per_event, s.allocs_per_event,
+                  s.bytes_per_event, i + 1 < scenarios.size() ? "," : "");
+    doc += line;
+  }
+  doc += "  ]\n}\n";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << doc;
+  std::fputs(doc.c_str(), stdout);
+  return true;
+}
+
+}  // namespace benchjson
+}  // namespace sentineld
+
+#endif  // SENTINELD_BENCH_BENCH_JSON_H_

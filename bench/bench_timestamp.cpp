@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "dist/sequencer.h"
 #include "timestamp/composite_timestamp.h"
 #include "timestamp/max_operator.h"
@@ -180,6 +181,66 @@ void BM_SequencerPipeline(benchmark::State& state) {
 BENCHMARK(BM_SequencerPipeline)->Arg(10)->Arg(100)->Arg(1000);
 
 }  // namespace
+
+// --json mode (bench_json.h): the timestamp-layer hot operations that
+// the inline stamp storage (SmallVector<PrimitiveTimestamp, 2>) makes
+// allocation-free for the common singleton/pair shapes. Gated by CI's
+// bench-smoke job against bench/bench_baseline_5.json.
+int RunJsonBench(const std::string& path) {
+  Rng rng(3);
+  const auto stamps = RandomStamps(rng, 1024, 8, 6);
+  std::vector<CompositeTimestamp> composites;
+  for (int i = 0; i < 256; ++i) {
+    composites.push_back(RandomComposite(rng, 2, 8, 6));
+  }
+  std::vector<benchjson::Scenario> scenarios;
+  // Def 5.1 max-set construction from a pair of primitive stamps.
+  scenarios.push_back(benchjson::Measure(
+      "max_of_pair", 4096, 1 << 18, [&](int iters) {
+        size_t i = 0;
+        for (int k = 0; k < iters; ++k) {
+          const PrimitiveTimestamp pair[2] = {
+              stamps[i % stamps.size()], stamps[(i + 7) % stamps.size()]};
+          benchmark::DoNotOptimize(CompositeTimestamp::MaxOf(pair));
+          ++i;
+        }
+      }));
+  // Def 5.9 Max-operator propagation between 2-stamp composites.
+  scenarios.push_back(benchjson::Measure(
+      "max_operator_k2", 4096, 1 << 17, [&](int iters) {
+        size_t i = 0;
+        for (int k = 0; k < iters; ++k) {
+          benchmark::DoNotOptimize(
+              Max(composites[i % composites.size()],
+                  composites[(i + 5) % composites.size()]));
+          ++i;
+        }
+      }));
+  // Def 5.3(2) composite `<` between 2-stamp composites (pure reads —
+  // must be exactly zero allocations).
+  scenarios.push_back(benchjson::Measure(
+      "composite_before_k2", 4096, 1 << 18, [&](int iters) {
+        size_t i = 0;
+        for (int k = 0; k < iters; ++k) {
+          benchmark::DoNotOptimize(
+              Before(composites[i % composites.size()],
+                     composites[(i + 3) % composites.size()]));
+          ++i;
+        }
+      }));
+  return benchjson::WriteJson(path, "bench_timestamp", scenarios) ? 0 : 1;
+}
+
 }  // namespace sentineld
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (sentineld::benchjson::ParseJsonFlag(argc, argv, &json_path)) {
+    return sentineld::RunJsonBench(json_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

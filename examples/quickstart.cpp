@@ -37,7 +37,7 @@ int main() {
   transfer.context = ParamContext::kRecent;
   transfer.condition = [](const EventPtr& e) {
     const auto& params = e->constituents()[1]->params();
-    return !params.empty() && params[0].second.AsInt() >= 10'000;
+    return !params.empty() && params[0].value.AsInt() >= 10'000;
   };
   transfer.action = [](const EventPtr& e) {
     std::cout << "[suspicious-transfer] fired at "

@@ -102,8 +102,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> parts;
     for (const EventPtr& p : primitives) {
       std::string label = StrCat("site", p->site());
-      for (const auto& [key, value] : p->params()) {
-        label += StrCat(" ", key, "=", value.ToString());
+      for (const Param& param : p->params()) {
+        label += StrCat(" ", param.name(), "=", param.value.ToString());
       }
       parts.push_back(std::move(label));
     }

@@ -77,8 +77,11 @@ class Reader {
   size_t pos_ = 0;
 };
 
-void EncodeParam(std::string& out, const std::string& key,
-                 const AttributeValue& value) {
+/// Parameter keys travel as strings on the wire (byte-identical to the
+/// pre-interning format): the NameId is resolved here, at the boundary.
+void EncodeParam(std::string& out, const Param& param) {
+  const std::string_view key = param.name();
+  const AttributeValue& value = param.value;
   PutU32(out, static_cast<uint32_t>(key.size()));
   out.append(key);
   if (value.is_int()) {
@@ -106,9 +109,7 @@ void EncodeInto(std::string& out, const EventPtr& event) {
     PutI64(out, stamp.global);
     PutI64(out, stamp.local);
     PutU32(out, static_cast<uint32_t>(event->params().size()));
-    for (const auto& [key, value] : event->params()) {
-      EncodeParam(out, key, value);
-    }
+    for (const Param& param : event->params()) EncodeParam(out, param);
     return;
   }
   PutU8(out, kComposite);
@@ -150,7 +151,7 @@ Result<EventPtr> DecodeOne(Reader& reader, int depth) {
           if (!reader.ReadI64(v)) {
             return Status::InvalidArgument("truncated int value");
           }
-          params.emplace_back(std::move(key), AttributeValue(v));
+          params.emplace_back(std::string_view(key), AttributeValue(v));
           break;
         }
         case kTagDouble: {
@@ -158,7 +159,7 @@ Result<EventPtr> DecodeOne(Reader& reader, int depth) {
           if (!reader.ReadF64(v)) {
             return Status::InvalidArgument("truncated double value");
           }
-          params.emplace_back(std::move(key), AttributeValue(v));
+          params.emplace_back(std::string_view(key), AttributeValue(v));
           break;
         }
         case kTagBool: {
@@ -166,7 +167,7 @@ Result<EventPtr> DecodeOne(Reader& reader, int depth) {
           if (!reader.ReadU8(v)) {
             return Status::InvalidArgument("truncated bool value");
           }
-          params.emplace_back(std::move(key), AttributeValue(v != 0));
+          params.emplace_back(std::string_view(key), AttributeValue(v != 0));
           break;
         }
         case kTagString: {
@@ -175,7 +176,8 @@ Result<EventPtr> DecodeOne(Reader& reader, int depth) {
           if (!reader.ReadU32(len) || !reader.ReadString(v, len)) {
             return Status::InvalidArgument("truncated string value");
           }
-          params.emplace_back(std::move(key), AttributeValue(std::move(v)));
+          params.emplace_back(std::string_view(key),
+                              AttributeValue(std::move(v)));
           break;
         }
         default:
@@ -207,8 +209,9 @@ Result<EventPtr> DecodeOne(Reader& reader, int depth) {
   return Event::MakeComposite(type, std::move(constituents));
 }
 
-size_t ParamWireSize(const std::string& key, const AttributeValue& value) {
-  size_t n = 4 + key.size() + 1;
+size_t ParamWireSize(const Param& param) {
+  const AttributeValue& value = param.value;
+  size_t n = 4 + param.name().size() + 1;
   if (value.is_int() || value.is_double()) {
     n += 8;
   } else if (value.is_bool()) {
@@ -243,9 +246,7 @@ size_t WireSize(const EventPtr& event) {
   CHECK(event != nullptr);
   if (event->is_primitive()) {
     size_t n = 1 + 4 + (4 + 8 + 8) + 4;
-    for (const auto& [key, value] : event->params()) {
-      n += ParamWireSize(key, value);
-    }
+    for (const Param& param : event->params()) n += ParamWireSize(param);
     return n;
   }
   size_t n = 1 + 4 + 4;

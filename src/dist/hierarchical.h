@@ -149,7 +149,8 @@ class HierarchicalRuntime {
   std::unordered_map<EventTypeId, SiteId> emitters_;
   std::vector<EventPtr> history_;
   std::vector<EventPtr> detections_;
-  std::unordered_map<const Event*, TrueTimeNs> injection_time_;
+  /// Keyed by Event::uid() (arena addresses are recycled).
+  std::unordered_map<uint64_t, TrueTimeNs> injection_time_;
   RuntimeStats stats_;
   TrueTimeNs horizon_ = 0;
   size_t rules_added_ = 0;

@@ -176,7 +176,7 @@ Status DistributedRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
       ++stats_.events_injected;
       if (!obs_injected_.empty()) obs_injected_[planned.site]->Add(1);
       history_.push_back(event);
-      injection_time_.emplace(event.get(), sim_.now());
+      injection_time_.emplace(event->uid(), sim_.now());
       SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kRaise, planned.site,
                             event);
       // Notify the detector site, reliably or fire-and-forget.
@@ -343,7 +343,7 @@ double DistributedRuntime::RecordDetection(const EventPtr& event) {
   CollectPrimitives(event, primitives);
   TrueTimeNs latest = -1;
   for (const EventPtr& p : primitives) {
-    auto it = injection_time_.find(p.get());
+    auto it = injection_time_.find(p->uid());
     if (it != injection_time_.end()) latest = std::max(latest, it->second);
   }
   if (latest < 0) return -1.0;

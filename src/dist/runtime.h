@@ -194,7 +194,8 @@ class DistributedRuntime {
   uint64_t raw_payloads_delivered_ = 0;
   std::vector<EventPtr> history_;
   std::vector<EventPtr> detections_;
-  std::unordered_map<const Event*, TrueTimeNs> injection_time_;
+  /// Keyed by Event::uid() (arena addresses are recycled).
+  std::unordered_map<uint64_t, TrueTimeNs> injection_time_;
   RuntimeStats stats_;
   TrueTimeNs horizon_ = 0;  // latest planned injection
   /// Per-site events_injected counters (empty without obs).

@@ -44,7 +44,7 @@ void Sequencer::EnableObs(Counter* released, Counter* late_arrivals,
 
 void Sequencer::Offer(const EventPtr& event) {
   CHECK(event != nullptr);
-  if (dedup_ && !seen_.insert(event.get()).second) {
+  if (dedup_ && !seen_.insert(event->uid()).second) {
     ++duplicates_dropped_;
     return;
   }

@@ -100,7 +100,8 @@ class Sequencer {
   Release release_;
   bool dedup_;
   std::vector<Held> buffer_;
-  std::unordered_set<const Event*> seen_;
+  /// Dedup by Event::uid() (arena addresses are recycled).
+  std::unordered_set<uint64_t> seen_;
   LocalTicks watermark_ = INT64_MIN;
   uint64_t seq_ = 0;
   uint64_t released_ = 0;

@@ -1,0 +1,129 @@
+#include "event/arena.h"
+
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "event/event.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+/// Blocks are Event-sized (the only client); a freed block doubles as a
+/// free-list link.
+constexpr size_t kBlockSize = sizeof(Event);
+static_assert(kBlockSize >= sizeof(void*));
+static_assert(alignof(Event) <= alignof(std::max_align_t),
+              "slabs from ::operator new are max_align-aligned");
+
+constexpr size_t kBlocksPerSlab = 256;
+/// Blocks moved global -> local per refill.
+constexpr size_t kRefillBatch = 64;
+/// Local cache bound; Free spills half past this.
+constexpr size_t kLocalMax = 1024;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct GlobalPool {
+  std::mutex mu;
+  FreeBlock* free_list = nullptr;
+  /// Slab ownership: never freed, so blocks stay valid (and reachable
+  /// for leak checkers) through static teardown.
+  std::vector<void*> slabs;
+};
+
+GlobalPool& Pool() {
+  // Never destroyed: thread caches flush into it at thread exit, which
+  // can happen after static destructors start running.
+  static GlobalPool* pool = new GlobalPool();
+  return *pool;
+}
+
+struct LocalCache {
+  FreeBlock* head = nullptr;
+  size_t count = 0;
+
+  ~LocalCache() {
+    // Flush everything back so blocks survive this thread's exit.
+    if (head == nullptr) return;
+    FreeBlock* tail = head;
+    while (tail->next != nullptr) tail = tail->next;
+    GlobalPool& pool = Pool();
+    std::lock_guard<std::mutex> lock(pool.mu);
+    tail->next = pool.free_list;
+    pool.free_list = head;
+    head = nullptr;
+    count = 0;
+  }
+};
+
+LocalCache& Cache() {
+  thread_local LocalCache cache;
+  return cache;
+}
+
+/// Refills `cache` from the global pool, carving a new slab if the pool
+/// itself is dry. Called with an empty local cache.
+void Refill(LocalCache& cache) {
+  GlobalPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  for (size_t i = 0; i < kRefillBatch && pool.free_list != nullptr; ++i) {
+    FreeBlock* block = pool.free_list;
+    pool.free_list = block->next;
+    block->next = cache.head;
+    cache.head = block;
+    ++cache.count;
+  }
+  if (cache.head != nullptr) return;
+  char* slab = static_cast<char*>(::operator new(kBlockSize * kBlocksPerSlab));
+  pool.slabs.push_back(slab);
+  for (size_t i = 0; i < kBlocksPerSlab; ++i) {
+    auto* block = reinterpret_cast<FreeBlock*>(slab + i * kBlockSize);
+    block->next = cache.head;
+    cache.head = block;
+  }
+  cache.count = kBlocksPerSlab;
+}
+
+}  // namespace
+
+void* EventArena::Allocate() {
+  LocalCache& cache = Cache();
+  if (cache.head == nullptr) Refill(cache);
+  FreeBlock* block = cache.head;
+  cache.head = block->next;
+  --cache.count;
+  return block;
+}
+
+void EventArena::Free(void* ptr) noexcept {
+  LocalCache& cache = Cache();
+  auto* block = static_cast<FreeBlock*>(ptr);
+  block->next = cache.head;
+  cache.head = block;
+  if (++cache.count < kLocalMax) return;
+  // Spill half to the global pool so a consumer thread that only frees
+  // (the ParallelDetector drain side) recirculates blocks to producers.
+  FreeBlock* keep_tail = cache.head;
+  for (size_t i = 1; i < kLocalMax / 2; ++i) keep_tail = keep_tail->next;
+  FreeBlock* spill = keep_tail->next;
+  keep_tail->next = nullptr;
+  cache.count = kLocalMax / 2;
+  FreeBlock* spill_tail = spill;
+  while (spill_tail->next != nullptr) spill_tail = spill_tail->next;
+  GlobalPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  spill_tail->next = pool.free_list;
+  pool.free_list = spill;
+}
+
+EventArena::Stats EventArena::GlobalStats() {
+  GlobalPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  return Stats{pool.slabs.size(), kBlocksPerSlab};
+}
+
+}  // namespace sentineld

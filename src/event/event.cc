@@ -1,10 +1,20 @@
 #include "event/event.h"
 
+#include "event/arena.h"
+#include "event/registry.h"
 #include "timestamp/max_operator.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace sentineld {
+namespace {
+
+uint64_t NextUid() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 const char* EventClassToString(EventClass c) {
   switch (c) {
@@ -31,37 +41,77 @@ std::string AttributeValue::ToString() const {
   return StrCat("\"", AsString(), "\"");
 }
 
-struct EventFactoryAccess {
-  template <typename... Args>
-  static EventPtr New(Args&&... args) {
-    return std::shared_ptr<const Event>(
-        new Event(std::forward<Args>(args)...));
-  }
-};
+Param::Param(std::string_view name, AttributeValue value)
+    : name_id(NameTable::Global().Intern(name)), value(std::move(value)) {}
+
+std::string_view Param::name() const {
+  return NameTable::Global().Resolve(name_id);
+}
+
+Event::Event(EventTypeId type, CompositeTimestamp timestamp,
+             CompositeTimestamp start, ParameterList params,
+             ConstituentVec constituents)
+    : type_(type),
+      refs_(1),
+      uid_(NextUid()),
+      timestamp_(std::move(timestamp)),
+      start_(std::move(start)),
+      params_(std::move(params)),
+      constituents_(std::move(constituents)) {}
+
+void* Event::operator new(size_t size) {
+  SENTINELD_ASSERT(size == sizeof(Event));
+  (void)size;
+  return EventArena::Allocate();
+}
+
+void Event::operator delete(void* ptr) noexcept { EventArena::Free(ptr); }
 
 EventPtr Event::MakePrimitive(EventTypeId type,
                               const PrimitiveTimestamp& stamp,
                               ParameterList params) {
   CompositeTimestamp ts = CompositeTimestamp::FromSingle(stamp);
   CompositeTimestamp start = ts;  // a point occurrence starts when it is
-  return EventFactoryAccess::New(type, std::move(ts), std::move(start),
-                                 std::move(params), std::vector<EventPtr>{});
+  return EventPtr(new Event(type, std::move(ts), std::move(start),
+                            std::move(params), ConstituentVec{}));
+}
+
+EventPtr Event::MakeCompositeFrom(EventTypeId type, ConstituentVec kept) {
+  CHECK(!kept.empty());
+  // Fold the propagation rule directly over the constituents — no
+  // temporary timestamp vectors (Sec. 5.2; MaxAll/MinAll semantics).
+  CompositeTimestamp ts;
+  SmallVector<PrimitiveTimestamp, 8> start_stamps;
+  for (const EventPtr& c : kept) {
+    CHECK(c != nullptr);
+    ts = Max(ts, c->timestamp());
+    start_stamps.append(c->interval_start().stamps().begin(),
+                        c->interval_start().stamps().end());
+  }
+  CompositeTimestamp start =
+      CompositeTimestamp::MinOf({start_stamps.data(), start_stamps.size()});
+  return EventPtr(new Event(type, std::move(ts), std::move(start),
+                            ParameterList{}, std::move(kept)));
+}
+
+EventPtr Event::MakeComposite(EventTypeId type,
+                              std::span<const EventPtr> constituents) {
+  return MakeCompositeFrom(
+      type, ConstituentVec(constituents.begin(), constituents.end()));
+}
+
+EventPtr Event::MakeComposite(EventTypeId type,
+                              std::initializer_list<EventPtr> constituents) {
+  return MakeComposite(type, std::span<const EventPtr>(constituents.begin(),
+                                                       constituents.size()));
 }
 
 EventPtr Event::MakeComposite(EventTypeId type,
                               std::vector<EventPtr> constituents) {
-  CHECK(!constituents.empty());
-  std::vector<CompositeTimestamp> stamps;
-  std::vector<CompositeTimestamp> starts;
-  stamps.reserve(constituents.size());
-  starts.reserve(constituents.size());
-  for (const EventPtr& c : constituents) {
-    CHECK(c != nullptr);
-    stamps.push_back(c->timestamp());
-    starts.push_back(c->interval_start());
-  }
-  return EventFactoryAccess::New(type, MaxAll(stamps), MinAll(starts),
-                                 ParameterList{}, std::move(constituents));
+  ConstituentVec kept;
+  kept.reserve(constituents.size());
+  for (EventPtr& c : constituents) kept.push_back(std::move(c));
+  return MakeCompositeFrom(type, std::move(kept));
 }
 
 void CollectPrimitives(const EventPtr& event, std::vector<EventPtr>& out) {

@@ -1,20 +1,31 @@
 #ifndef SENTINELD_EVENT_EVENT_H_
 #define SENTINELD_EVENT_EVENT_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <initializer_list>
 #include <ostream>
+#include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 #include <vector>
 
 #include "timestamp/composite_timestamp.h"
+#include "util/checked.h"
+#include "util/small_vector.h"
 
 namespace sentineld {
 
 /// Identifier of a registered event type (primitive or composite).
 using EventTypeId = uint32_t;
+
+/// Identifier of an interned attribute name (see NameTable in
+/// event/registry.h). Dense, process-wide, never recycled; id 0 is the
+/// empty string.
+using NameId = uint32_t;
 
 /// The classes of primitive events Sentinel distinguishes (paper Sec. 2 /
 /// Sec. 3.1: data-manipulation, transaction, explicit/abstract and time
@@ -62,13 +73,75 @@ class AttributeValue {
   std::variant<int64_t, double, bool, std::string> value_;
 };
 
-/// Named attributes of one event occurrence, in declaration order.
-using ParameterList = std::vector<std::pair<std::string, AttributeValue>>;
+/// One named attribute of an event occurrence. The name is carried as an
+/// interned NameId so building and comparing parameters on the hot path
+/// never touches strings; `name()` resolves through the process-wide
+/// NameTable at rendering/wire boundaries only.
+struct Param {
+  Param() = default;
+  /// Interns `name` (allocation-free once the name has been seen).
+  Param(std::string_view name, AttributeValue value);
+  Param(NameId name_id, AttributeValue value)
+      : name_id(name_id), value(std::move(value)) {}
+
+  /// The attribute name, resolved from the NameTable. The view stays
+  /// valid for the process lifetime.
+  std::string_view name() const;
+
+  NameId name_id = 0;
+  AttributeValue value;
+
+  friend bool operator==(const Param&, const Param&) = default;
+};
+
+/// Named attributes of one event occurrence, in declaration order. Two
+/// inline slots: most occurrences carry 0-2 attributes, so parameter
+/// lists ride inside the Event without a heap block.
+using ParameterList = SmallVector<Param, 2>;
 
 class Event;
-/// Events are immutable once constructed and shared by the detector graph
-/// (an occurrence can participate in many partial detections at once).
-using EventPtr = std::shared_ptr<const Event>;
+
+/// Intrusive reference-counted handle to an immutable occurrence — the
+/// drop-in replacement for the previous shared_ptr<const Event> alias
+/// (docs/memory.md). Events are shared by the detector graph (an
+/// occurrence can participate in many partial detections at once) and
+/// cross threads through the ParallelDetector's queues, so the count is
+/// atomic; the count lives inside the Event (no separate control block)
+/// and storage comes from the event arena.
+class EventPtr {
+ public:
+  EventPtr() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors shared_ptr.
+  EventPtr(std::nullptr_t) {}
+
+  EventPtr(const EventPtr& other) noexcept;
+  EventPtr(EventPtr&& other) noexcept : ptr_(other.ptr_) {
+    other.ptr_ = nullptr;
+  }
+  EventPtr& operator=(const EventPtr& other) noexcept;
+  EventPtr& operator=(EventPtr&& other) noexcept;
+  ~EventPtr();
+
+  const Event* get() const { return ptr_; }
+  const Event& operator*() const { return *ptr_; }
+  const Event* operator->() const { return ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+  void reset();
+
+  friend bool operator==(const EventPtr& a, const EventPtr& b) {
+    return a.ptr_ == b.ptr_;
+  }
+  friend bool operator==(const EventPtr& a, std::nullptr_t) {
+    return a.ptr_ == nullptr;
+  }
+
+ private:
+  friend class Event;
+  /// Adopts an event whose reference count is already 1 (factories).
+  explicit EventPtr(const Event* adopted) : ptr_(adopted) {}
+
+  const Event* ptr_ = nullptr;
+};
 
 /// One event occurrence — primitive or composite (paper Sec. 5.3: "a
 /// distributed event E is a function from the time stamp domain onto the
@@ -80,16 +153,30 @@ using EventPtr = std::shared_ptr<const Event>;
 /// constituents. A composite occurrence's timestamp is the Max over its
 /// constituents' timestamps, and its constituents record the occurrences
 /// that made it fire (the operands Snoop's parameter computation uses).
+///
+/// Memory model (docs/memory.md): occurrences are allocated from a slab
+/// arena with per-thread block caches and carry an intrusive atomic
+/// refcount, so a steady-state primitive feed — singleton timestamp
+/// inline, interned parameter names inline, recycled arena block — does
+/// not touch the heap at all.
 class Event {
  public:
+  /// Inline capacity 2: the overwhelmingly common composites are the
+  /// binary operators' pairs (and OR's singleton re-typing).
+  using ConstituentVec = SmallVector<EventPtr, 2>;
+
   /// Creates a primitive occurrence.
   static EventPtr MakePrimitive(EventTypeId type,
                                 const PrimitiveTimestamp& stamp,
                                 ParameterList params = {});
 
   /// Creates a composite occurrence of `type` from its constituent
-  /// occurrences; the timestamp is MaxAll over the constituents'
+  /// occurrences; the timestamp is the Max fold over the constituents'
   /// timestamps (Sec. 5.2's propagation rule).
+  static EventPtr MakeComposite(EventTypeId type,
+                                std::span<const EventPtr> constituents);
+  static EventPtr MakeComposite(EventTypeId type,
+                                std::initializer_list<EventPtr> constituents);
   static EventPtr MakeComposite(EventTypeId type,
                                 std::vector<EventPtr> constituents);
 
@@ -102,34 +189,104 @@ class Event {
   /// the interval-semantics detection policy (see snoop/context.h).
   const CompositeTimestamp& interval_start() const { return start_; }
   const ParameterList& params() const { return params_; }
-  const std::vector<EventPtr>& constituents() const { return constituents_; }
+  std::span<const EventPtr> constituents() const {
+    return {constituents_.data(), constituents_.size()};
+  }
   bool is_primitive() const { return constituents_.empty(); }
 
-  /// For a primitive occurrence: the site where it occurred.
-  SiteId site() const { return timestamp_.stamps().front().site; }
+  /// Process-unique occurrence id, assigned at construction. Identity
+  /// maps must key on this rather than the Event's address: the arena
+  /// recycles blocks aggressively, so addresses alias across the
+  /// lifetimes of distinct occurrences.
+  uint64_t uid() const { return uid_; }
+
+  /// The site where a PRIMITIVE occurrence happened. Calling this on a
+  /// composite is a contract violation (checked builds assert): a
+  /// composite spans sites. Composite callers wanting the canonical
+  /// representative site should say PrimarySite().
+  SiteId site() const {
+    SENTINELD_ASSERT(is_primitive());
+    return timestamp_.stamps().front().site;
+  }
+
+  /// The site of the canonically-first maximal stamp — a deterministic
+  /// representative site for any occurrence. For primitives this equals
+  /// site(); for composites it is merely a stable label (e.g. for
+  /// sharding or display), NOT "the" site of the occurrence.
+  SiteId PrimarySite() const { return timestamp_.stamps().front().site; }
 
   /// "type@{stamps}" plus nested constituents, for logs and tests.
   std::string ToString() const;
 
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
  private:
+  friend class EventPtr;
+
   Event(EventTypeId type, CompositeTimestamp timestamp,
         CompositeTimestamp start, ParameterList params,
-        std::vector<EventPtr> constituents)
-      : type_(type),
-        timestamp_(std::move(timestamp)),
-        start_(std::move(start)),
-        params_(std::move(params)),
-        constituents_(std::move(constituents)) {}
+        ConstituentVec constituents);
+  ~Event() = default;
+
+  /// Shared fold over a built constituent list (both MakeComposite
+  /// overloads land here).
+  static EventPtr MakeCompositeFrom(EventTypeId type, ConstituentVec kept);
+
+  /// Arena-backed storage (event/arena.h): blocks are recycled through
+  /// per-thread caches, so steady-state construction is heap-free.
+  static void* operator new(size_t size);
+  static void operator delete(void* ptr) noexcept;
+
+  void Retain() const noexcept {
+    refs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void Release() const noexcept {
+    // acq_rel: the last release must observe every other thread's final
+    // use of the object before the destructor runs.
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
 
   EventTypeId type_;
+  /// Intrusive reference count (mutable: EventPtr holds const Event*).
+  mutable std::atomic<uint32_t> refs_;
+  uint64_t uid_;
   CompositeTimestamp timestamp_;
   CompositeTimestamp start_;
   ParameterList params_;
-  std::vector<EventPtr> constituents_;
-
-  // shared_ptr construction goes through the factories.
-  friend struct EventFactoryAccess;
+  ConstituentVec constituents_;
 };
+
+inline EventPtr::EventPtr(const EventPtr& other) noexcept
+    : ptr_(other.ptr_) {
+  if (ptr_ != nullptr) ptr_->Retain();
+}
+
+inline EventPtr& EventPtr::operator=(const EventPtr& other) noexcept {
+  // Retain-before-release makes self-assignment safe.
+  if (other.ptr_ != nullptr) other.ptr_->Retain();
+  if (ptr_ != nullptr) ptr_->Release();
+  ptr_ = other.ptr_;
+  return *this;
+}
+
+inline EventPtr& EventPtr::operator=(EventPtr&& other) noexcept {
+  if (this != &other) {
+    if (ptr_ != nullptr) ptr_->Release();
+    ptr_ = other.ptr_;
+    other.ptr_ = nullptr;
+  }
+  return *this;
+}
+
+inline EventPtr::~EventPtr() {
+  if (ptr_ != nullptr) ptr_->Release();
+}
+
+inline void EventPtr::reset() {
+  if (ptr_ != nullptr) ptr_->Release();
+  ptr_ = nullptr;
+}
 
 std::ostream& operator<<(std::ostream& os, const Event& event);
 

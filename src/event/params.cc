@@ -4,23 +4,36 @@
 
 namespace sentineld {
 
+namespace {
+
+/// Key lookups compare interned ids: a key the process has never
+/// interned cannot match any parameter, so a failed TryLookup answers
+/// "absent" without touching the table.
+std::optional<NameId> LookupKey(std::string_view key) {
+  return NameTable::Global().TryLookup(key);
+}
+
+}  // namespace
+
 ParameterList FlattenParams(const EventPtr& event) {
   std::vector<EventPtr> primitives;
   CollectPrimitives(event, primitives);
   ParameterList out;
   for (const EventPtr& p : primitives) {
-    out.insert(out.end(), p->params().begin(), p->params().end());
+    out.append(p->params().begin(), p->params().end());
   }
   return out;
 }
 
 std::optional<AttributeValue> FindParam(const EventPtr& event,
                                         std::string_view key) {
+  const std::optional<NameId> id = LookupKey(key);
+  if (!id.has_value()) return std::nullopt;
   std::vector<EventPtr> primitives;
   CollectPrimitives(event, primitives);
   for (const EventPtr& p : primitives) {
-    for (const auto& [name, value] : p->params()) {
-      if (name == key) return value;
+    for (const Param& param : p->params()) {
+      if (param.name_id == *id) return param.value;
     }
   }
   return std::nullopt;
@@ -28,12 +41,14 @@ std::optional<AttributeValue> FindParam(const EventPtr& event,
 
 std::optional<AttributeValue> FindLastParam(const EventPtr& event,
                                             std::string_view key) {
+  const std::optional<NameId> id = LookupKey(key);
+  if (!id.has_value()) return std::nullopt;
   std::vector<EventPtr> primitives;
   CollectPrimitives(event, primitives);
   std::optional<AttributeValue> found;
   for (const EventPtr& p : primitives) {
-    for (const auto& [name, value] : p->params()) {
-      if (name == key) found = value;
+    for (const Param& param : p->params()) {
+      if (param.name_id == *id) found = param.value;
     }
   }
   return found;
@@ -60,12 +75,16 @@ std::vector<EventPtr> FindConstituents(const EventPtr& event,
 }
 
 int64_t SumIntParam(const EventPtr& event, std::string_view key) {
+  const std::optional<NameId> id = LookupKey(key);
+  if (!id.has_value()) return 0;
   std::vector<EventPtr> primitives;
   CollectPrimitives(event, primitives);
   int64_t total = 0;
   for (const EventPtr& p : primitives) {
-    for (const auto& [name, value] : p->params()) {
-      if (name == key && value.is_int()) total += value.AsInt();
+    for (const Param& param : p->params()) {
+      if (param.name_id == *id && param.value.is_int()) {
+        total += param.value.AsInt();
+      }
     }
   }
   return total;
@@ -80,8 +99,8 @@ std::string DescribeOccurrence(const EventPtr& event,
   for (const EventPtr& p : primitives) {
     std::string part =
         StrCat(registry.NameOf(p->type()), "@site", p->site());
-    for (const auto& [key, value] : p->params()) {
-      part += StrCat(" ", key, "=", value.ToString());
+    for (const Param& param : p->params()) {
+      part += StrCat(" ", param.name(), "=", param.value.ToString());
     }
     parts.push_back(std::move(part));
   }

@@ -1,8 +1,55 @@
 #include "event/registry.h"
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace sentineld {
+
+NameTable& NameTable::Global() {
+  // Never destroyed: Params resolve names during static teardown of
+  // caches and test fixtures, so the table must outlive everything.
+  static NameTable* table = new NameTable();
+  return *table;
+}
+
+NameTable::NameTable() {
+  // Id 0 is the empty string so a default-constructed Param resolves.
+  names_.emplace_back();
+  by_name_.emplace(names_.back(), 0);
+}
+
+NameId NameTable::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;  // raced with another writer
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  by_name_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<NameId> NameTable::TryLookup(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view NameTable::Resolve(NameId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+size_t NameTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
+}
 
 Result<EventTypeId> EventTypeRegistry::Register(const std::string& name,
                                                 EventClass event_class) {

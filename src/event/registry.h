@@ -1,7 +1,12 @@
 #ifndef SENTINELD_EVENT_REGISTRY_H_
 #define SENTINELD_EVENT_REGISTRY_H_
 
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -9,6 +14,46 @@
 #include "util/status.h"
 
 namespace sentineld {
+
+/// Process-wide intern table for attribute (parameter) names. The hot
+/// path carries NameIds only (see Param in event/event.h); strings are
+/// resolved back at the boundaries — codec wire encoding, trace/log
+/// rendering, and parser/lint entry points — so constructing an event
+/// with an already-interned name never allocates for the key.
+///
+/// Threading rules (docs/memory.md): Intern takes a writer lock and may
+/// be called from any thread; TryLookup and Resolve take reader locks.
+/// Ids are dense, stable for the process lifetime, and never recycled
+/// (storage is a deque so resolved views stay valid forever). Id 0 is
+/// always the empty string — the value of a default-constructed Param.
+class NameTable {
+ public:
+  /// The process-wide instance every Param goes through.
+  static NameTable& Global();
+
+  /// Returns the id for `name`, interning it if new.
+  NameId Intern(std::string_view name);
+
+  /// The id for `name` if already interned, else nullopt. Lets lookups
+  /// by never-seen keys answer "absent" without mutating the table.
+  std::optional<NameId> TryLookup(std::string_view name) const;
+
+  /// The string for an interned id. CHECK-fails on out-of-range ids.
+  std::string_view Resolve(NameId id) const;
+
+  size_t size() const;
+
+  NameTable();
+  NameTable(const NameTable&) = delete;
+  NameTable& operator=(const NameTable&) = delete;
+
+ private:
+  mutable std::shared_mutex mu_;
+  /// Deque: growth never moves existing strings, so Resolve's views
+  /// remain valid without holding the lock across uses.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, NameId> by_name_;
+};
 
 /// Catalog of event types known to a Sentinel instance. Types are named,
 /// classed, and assigned dense ids (usable as vector indices in the

@@ -64,7 +64,7 @@ Result<AttributeValue> DecodeValue(const std::string& text) {
 
 }  // namespace
 
-std::string PercentEncode(const std::string& raw) {
+std::string PercentEncode(std::string_view raw) {
   std::string out;
   out.reserve(raw.size());
   for (unsigned char c : raw) {
@@ -114,8 +114,9 @@ Status WriteTrace(std::ostream& os, std::span<const PlannedEvent> plan,
     Result<EventTypeRegistry::TypeInfo> info = registry.Info(event.type);
     if (!info.ok()) return info.status();
     os << "event " << event.when << " " << event.site << " " << info->name;
-    for (const auto& [key, value] : event.params) {
-      os << " " << PercentEncode(key) << "=" << EncodeValue(value);
+    for (const Param& param : event.params) {
+      os << " " << PercentEncode(param.name()) << "="
+         << EncodeValue(param.value);
     }
     os << "\n";
   }

@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "event/generator.h"
@@ -35,7 +37,7 @@ Result<std::vector<PlannedEvent>> ReadTrace(std::istream& is,
                                             bool auto_register = false);
 
 /// Percent-encodes/decodes the string payloads (exposed for tests).
-std::string PercentEncode(const std::string& raw);
+std::string PercentEncode(std::string_view raw);
 Result<std::string> PercentDecode(const std::string& encoded);
 
 }  // namespace sentineld

@@ -39,7 +39,7 @@ const char* TracePhaseName(TracePhase phase) {
 }
 
 uint64_t Tracer::IdOf(const Event* event) {
-  auto [it, inserted] = ids_.emplace(event, next_id_);
+  auto [it, inserted] = ids_.emplace(event->uid(), next_id_);
   if (inserted) ++next_id_;
   return it->second;
 }

@@ -135,7 +135,9 @@ class Tracer {
   TypeNamer namer_;
   size_t capacity_ = 1 << 20;
   std::vector<TraceRecord> records_;
-  std::unordered_map<const Event*, uint64_t> ids_;
+  /// Keyed by Event::uid(): arena blocks are recycled, so raw
+  /// addresses alias across occurrence lifetimes.
+  std::unordered_map<uint64_t, uint64_t> ids_;
   uint64_t next_id_ = 1;
   uint64_t dropped_records_ = 0;
 };

@@ -60,6 +60,15 @@ void Node::Emit(const EventPtr& event) {
   }
 }
 
+void Node::EmitComposite(std::span<const EventPtr> constituents) {
+  Emit(Event::MakeComposite(output_type(), constituents));
+}
+
+void Node::EmitComposite(std::initializer_list<EventPtr> constituents) {
+  EmitComposite(
+      std::span<const EventPtr>(constituents.begin(), constituents.size()));
+}
+
 void Node::EmitComposite(std::vector<EventPtr> constituents) {
   Emit(Event::MakeComposite(output_type(), std::move(constituents)));
 }

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "event/event.h"
@@ -115,6 +117,11 @@ class Node {
   void Emit(const EventPtr& event);
 
   /// Builds and emits a composite occurrence of this node's output type.
+  /// The span/initializer-list forms are the hot path (fixed-arity
+  /// operator emissions build the constituent list inline, no heap); the
+  /// vector form serves the cumulative paths that already gathered one.
+  void EmitComposite(std::span<const EventPtr> constituents);
+  void EmitComposite(std::initializer_list<EventPtr> constituents);
   void EmitComposite(std::vector<EventPtr> constituents);
 
   /// The operator-eligibility order under the configured IntervalPolicy:

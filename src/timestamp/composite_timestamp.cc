@@ -9,8 +9,10 @@
 namespace sentineld {
 namespace {
 
-/// Sorts canonically and removes structural duplicates.
-void Canonicalize(std::vector<PrimitiveTimestamp>& stamps) {
+/// Sorts canonically and removes structural duplicates (works on both
+/// StampVec and the std::vector FromMaximalSet accepts).
+template <typename Container>
+void Canonicalize(Container& stamps) {
   std::sort(stamps.begin(), stamps.end(), CanonicalLess);
   stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
 }
@@ -40,8 +42,7 @@ CompositeTimestamp CompositeTimestamp::FromSingle(
 
 CompositeTimestamp CompositeTimestamp::MaxOf(
     std::span<const PrimitiveTimestamp> set) {
-  std::vector<PrimitiveTimestamp> maxima;
-  maxima.reserve(set.size());
+  StampVec maxima;
   for (const PrimitiveTimestamp& t : set) {
     // Def 5.1 (prose form): t is a maximum iff no t1 in ST with t < t1.
     bool dominated = false;
@@ -68,8 +69,7 @@ CompositeTimestamp CompositeTimestamp::MaxOf(
 
 CompositeTimestamp CompositeTimestamp::MinOf(
     std::span<const PrimitiveTimestamp> set) {
-  std::vector<PrimitiveTimestamp> minima;
-  minima.reserve(set.size());
+  StampVec minima;
   for (const PrimitiveTimestamp& t : set) {
     bool dominated = false;
     for (const PrimitiveTimestamp& t1 : set) {
@@ -104,7 +104,7 @@ Result<CompositeTimestamp> CompositeTimestamp::FromMaximalSet(
       }
     }
   }
-  return CompositeTimestamp(std::move(stamps));
+  return CompositeTimestamp(StampVec(stamps.begin(), stamps.end()));
 }
 
 bool CompositeTimestamp::IsValid() const {

@@ -8,9 +8,16 @@
 #include <vector>
 
 #include "timestamp/primitive_timestamp.h"
+#include "util/small_vector.h"
 #include "util/status.h"
 
 namespace sentineld {
+
+/// Storage for a composite timestamp's maxima: two stamps live inline
+/// (singletons — every primitive event — and pairs never allocate; by
+/// Thm 5.1 the maxima set stays tiny even for deep compositions), wider
+/// antichains spill to the heap.
+using StampVec = SmallVector<PrimitiveTimestamp, 2>;
 
 /// Timestamp of a distributed composite event (paper Def 5.2): the set of
 /// *maxima* of the constituent primitive timestamps collected when the
@@ -65,8 +72,11 @@ class CompositeTimestamp {
   static Result<CompositeTimestamp> FromMaximalSet(
       std::vector<PrimitiveTimestamp> stamps);
 
-  /// The maxima, deduplicated, in canonical order.
-  const std::vector<PrimitiveTimestamp>& stamps() const { return stamps_; }
+  /// The maxima, deduplicated, in canonical order. A view into storage
+  /// owned by this timestamp — it is invalidated by assignment.
+  std::span<const PrimitiveTimestamp> stamps() const {
+    return {stamps_.data(), stamps_.size()};
+  }
 
   bool empty() const { return stamps_.empty(); }
   size_t size() const { return stamps_.size(); }
@@ -83,10 +93,9 @@ class CompositeTimestamp {
                          const CompositeTimestamp&) = default;
 
  private:
-  explicit CompositeTimestamp(std::vector<PrimitiveTimestamp> stamps)
-      : stamps_(std::move(stamps)) {}
+  explicit CompositeTimestamp(StampVec stamps) : stamps_(std::move(stamps)) {}
 
-  std::vector<PrimitiveTimestamp> stamps_;
+  StampVec stamps_;
 };
 
 std::ostream& operator<<(std::ostream& os, const CompositeTimestamp& t);

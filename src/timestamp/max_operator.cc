@@ -1,20 +1,22 @@
 #include "timestamp/max_operator.h"
 
-#include <vector>
-
 #include "util/logging.h"
+#include "util/small_vector.h"
 
 namespace sentineld {
 namespace {
 
+/// Scratch space for gathered stamps: joins see at most |T(a)| + |T(b)|
+/// candidates, which stays inline for every pair of realistic antichains.
+using ScratchVec = SmallVector<PrimitiveTimestamp, 8>;
+
 /// max(T(a) ∪ T(b)) computed directly from Def 5.1.
 CompositeTimestamp MaxOfConcatenated(const CompositeTimestamp& a,
                                      const CompositeTimestamp& b) {
-  std::vector<PrimitiveTimestamp> all;
-  all.reserve(a.size() + b.size());
-  all.insert(all.end(), a.stamps().begin(), a.stamps().end());
-  all.insert(all.end(), b.stamps().begin(), b.stamps().end());
-  return CompositeTimestamp::MaxOf(all);
+  ScratchVec all;
+  all.append(a.stamps().begin(), a.stamps().end());
+  all.append(b.stamps().begin(), b.stamps().end());
+  return CompositeTimestamp::MaxOf({all.data(), all.size()});
 }
 
 }  // namespace
@@ -30,7 +32,7 @@ CompositeTimestamp JoinConcurrent(const CompositeTimestamp& a,
 CompositeTimestamp JoinIncomparable(const CompositeTimestamp& a,
                                     const CompositeTimestamp& b) {
   CHECK(Incomparable(a, b));
-  std::vector<PrimitiveTimestamp> kept;
+  ScratchVec kept;
   for (const PrimitiveTimestamp& t : a.stamps()) {
     bool dominated = false;
     for (const PrimitiveTimestamp& t2 : b.stamps()) {
@@ -55,7 +57,7 @@ CompositeTimestamp JoinIncomparable(const CompositeTimestamp& a,
   // only come from the opposite side; the survivors are exactly the
   // maxima of the union. MaxOf re-canonicalizes (and, defensively,
   // re-checks maximality).
-  return CompositeTimestamp::MaxOf(kept);
+  return CompositeTimestamp::MaxOf({kept.data(), kept.size()});
 }
 
 CompositeTimestamp Max(const CompositeTimestamp& a,
@@ -82,11 +84,11 @@ CompositeTimestamp MaxAll(std::span<const CompositeTimestamp> stamps) {
 }
 
 CompositeTimestamp MinAll(std::span<const CompositeTimestamp> stamps) {
-  std::vector<PrimitiveTimestamp> all;
+  ScratchVec all;
   for (const CompositeTimestamp& t : stamps) {
-    all.insert(all.end(), t.stamps().begin(), t.stamps().end());
+    all.append(t.stamps().begin(), t.stamps().end());
   }
-  return CompositeTimestamp::MinOf(all);
+  return CompositeTimestamp::MinOf({all.data(), all.size()});
 }
 
 }  // namespace sentineld

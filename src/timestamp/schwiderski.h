@@ -1,6 +1,7 @@
 #ifndef SENTINELD_TIMESTAMP_SCHWIDERSKI_H_
 #define SENTINELD_TIMESTAMP_SCHWIDERSKI_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,8 +38,13 @@ class Timestamp {
   explicit Timestamp(std::vector<PrimitiveTimestamp> stamps);
 
   /// All constituent primitive stamps, canonically sorted, deduplicated,
-  /// NOT max-filtered.
-  const std::vector<PrimitiveTimestamp>& stamps() const { return stamps_; }
+  /// NOT max-filtered. Unlike CompositeTimestamp the set is unbounded
+  /// (it grows with composition depth — the paper's core criticism), so
+  /// storage stays a plain vector; the accessor is a span so callers and
+  /// the baseline ordering below are layout-agnostic.
+  std::span<const PrimitiveTimestamp> stamps() const {
+    return {stamps_.data(), stamps_.size()};
+  }
 
   bool empty() const { return stamps_.empty(); }
   size_t size() const { return stamps_.size(); }

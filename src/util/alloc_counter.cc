@@ -1,0 +1,79 @@
+#include "util/alloc_counter.h"
+
+#include <cstdlib>
+#include <new>
+
+// Sanitizer builds interpose malloc/free themselves; replacing the
+// global operator new on top of their interceptors double-counts and
+// (under LSan) confuses leak attribution. Compile the overrides out and
+// report "unavailable" so tests skip their strict assertions.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SENTINELD_ALLOC_COUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define SENTINELD_ALLOC_COUNTING 0
+#endif
+#endif
+#ifndef SENTINELD_ALLOC_COUNTING
+#define SENTINELD_ALLOC_COUNTING 1
+#endif
+
+namespace {
+
+// Plain thread_local integers: zero-initialized (no dynamic init, so
+// no re-entrancy hazard when the first allocation on a thread lands
+// before any user code runs). File scope so both the sentineld
+// accessors and the global-scope operator new below see them.
+thread_local uint64_t tl_allocs = 0;
+thread_local uint64_t tl_bytes = 0;
+thread_local uint64_t tl_frees = 0;
+
+}  // namespace
+
+namespace sentineld {
+
+bool AllocCountingAvailable() { return SENTINELD_ALLOC_COUNTING != 0; }
+
+AllocCounts CurrentThreadAllocCounts() {
+  return {tl_allocs, tl_bytes, tl_frees};
+}
+
+}  // namespace sentineld
+
+#if SENTINELD_ALLOC_COUNTING
+
+namespace {
+
+void* CountedAlloc(size_t size) {
+  ++tl_allocs;
+  tl_bytes += size;
+  // malloc(0) may return null without being an error; keep new's
+  // contract of a unique non-null pointer.
+  void* ptr = std::malloc(size ? size : 1);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void CountedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  ++tl_frees;
+  std::free(ptr);
+}
+
+}  // namespace
+
+// The replaceable global forms. The nothrow and nothrow-array variants
+// forward to these per the standard's default definitions, so replacing
+// the four below (plus sized deletes) covers every non-aligned path.
+// Aligned (align_val_t) forms are deliberately left default: nothing on
+// the hot path over-aligns (SmallVector static_asserts this), and the
+// default aligned forms pair internally.
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void operator delete(void* ptr) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, size_t) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr, size_t) noexcept { CountedFree(ptr); }
+
+#endif  // SENTINELD_ALLOC_COUNTING

@@ -1,0 +1,41 @@
+#ifndef SENTINELD_UTIL_ALLOC_COUNTER_H_
+#define SENTINELD_UTIL_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace sentineld {
+
+/// Per-thread totals from the counting `operator new` / `operator
+/// delete` overrides in alloc_counter.cc. The overrides live in a
+/// separate static library (sentineld_alloc_counter) that is linked
+/// ONLY into the binaries that assert on allocation behaviour (the
+/// alloc regression test and the --json bench harnesses); ordinary
+/// builds keep the default allocator.
+///
+/// Counts are thread-local: a measurement loop sees exactly the
+/// allocations its own thread performed, undisturbed by detector
+/// worker threads. Snapshot before and after the region of interest
+/// and subtract.
+struct AllocCounts {
+  uint64_t allocs = 0;  ///< operator new calls on this thread.
+  uint64_t bytes = 0;   ///< bytes requested by those calls.
+  uint64_t frees = 0;   ///< operator delete calls on this thread.
+};
+
+inline AllocCounts operator-(const AllocCounts& a, const AllocCounts& b) {
+  return {a.allocs - b.allocs, a.bytes - b.bytes, a.frees - b.frees};
+}
+
+/// False when the overrides are compiled out (sanitizer builds: ASan /
+/// TSan interpose malloc themselves, and stacking a second replacement
+/// on top would fight their interceptors). Tests must skip their strict
+/// assertions when this is false.
+bool AllocCountingAvailable();
+
+/// Running totals for the calling thread. Zeros (and monotonically
+/// zero) when AllocCountingAvailable() is false.
+AllocCounts CurrentThreadAllocCounts();
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_UTIL_ALLOC_COUNTER_H_

@@ -1,0 +1,188 @@
+#ifndef SENTINELD_UTIL_SMALL_VECTOR_H_
+#define SENTINELD_UTIL_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sentineld {
+
+/// A contiguous sequence with `N` elements of inline storage: sequences
+/// of size <= N live entirely inside the object (zero heap traffic), and
+/// longer sequences spill to a heap buffer with vector-style doubling.
+///
+/// This is the storage primitive behind the hot-path event layout
+/// (docs/memory.md): composite timestamps are almost always singletons
+/// or pairs (Def 5.2 / Thm 5.1 keep the maxima set tiny even for deep
+/// compositions), so `SmallVector<PrimitiveTimestamp, 2>` makes the
+/// common case allocation-free while staying correct for the rare wide
+/// antichain.
+///
+/// Deliberately minimal: the subset of the std::vector interface the
+/// codebase uses, with pointer iterators (so std algorithms and
+/// std::span interoperate directly). Not exception-safe beyond the
+/// basic guarantee; element moves are assumed non-throwing.
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be non-zero");
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "over-aligned element types are not supported");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  // User-provided (not `= default`) so `const SmallVector v;` is legal
+  // despite the deliberately-uninitialized inline buffer.
+  SmallVector() {}  // NOLINT(modernize-use-equals-default)
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) ::new (static_cast<void*>(data_ + size_++)) T(v);
+  }
+
+  template <typename It>
+  SmallVector(It first, It last) {
+    append(first, last);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (const T& v : other) ::new (static_cast<void*>(data_ + size_++)) T(v);
+  }
+
+  SmallVector(SmallVector&& other) noexcept { StealFrom(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (const T& v : other) ::new (static_cast<void*>(data_ + size_++)) T(v);
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    DestroyAll();
+    StealFrom(other);
+    return *this;
+  }
+
+  ~SmallVector() { DestroyAll(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() { data_[--size_].~T(); }
+
+  void clear() {
+    std::destroy(data_, data_ + size_);
+    size_ = 0;
+  }
+
+  /// Appends [first, last) — the idiom `v.insert(v.end(), a, b)`.
+  template <typename It>
+  void append(It first, It last) {
+    for (; first != last; ++first) emplace_back(*first);
+  }
+
+  /// Removes [first, last), shifting the tail down (used by the
+  /// canonicalization sort+unique+erase idiom).
+  iterator erase(iterator first, iterator last) {
+    iterator tail = std::move(last, end(), first);
+    std::destroy(tail, end());
+    size_ -= static_cast<size_t>(last - first);
+    return first;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_); }
+  bool IsHeap() const {
+    return data_ != reinterpret_cast<const T*>(inline_);
+  }
+
+  void Grow(size_t min_capacity) {
+    size_t cap = capacity_ * 2;
+    if (cap < min_capacity) cap = min_capacity;
+    T* mem = static_cast<T*>(::operator new(cap * sizeof(T)));
+    std::uninitialized_move(data_, data_ + size_, mem);
+    std::destroy(data_, data_ + size_);
+    if (IsHeap()) ::operator delete(data_);
+    data_ = mem;
+    capacity_ = cap;
+  }
+
+  /// Destroys elements and releases any heap buffer, leaving the members
+  /// in a moved-from (but not reset) state; callers re-establish them.
+  void DestroyAll() {
+    std::destroy(data_, data_ + size_);
+    if (IsHeap()) ::operator delete(data_);
+  }
+
+  void StealFrom(SmallVector& other) noexcept {
+    if (other.IsHeap()) {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlineData();
+      other.size_ = 0;
+      other.capacity_ = N;
+      return;
+    }
+    data_ = InlineData();
+    capacity_ = N;
+    size_ = other.size_;
+    std::uninitialized_move(other.data_, other.data_ + other.size_, data_);
+    std::destroy(other.data_, other.data_ + other.size_);
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = reinterpret_cast<T*>(inline_);
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_UTIL_SMALL_VECTOR_H_

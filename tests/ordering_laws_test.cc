@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,7 +64,7 @@ std::array<CompositeTimestamp, 3> ShrinkTriple(
   while (shrunk) {
     shrunk = false;
     for (size_t which = 0; which < 3 && !shrunk; ++which) {
-      const std::vector<PrimitiveTimestamp>& stamps =
+      const std::span<const PrimitiveTimestamp> stamps =
           triple[which].stamps();
       if (stamps.size() <= 1) continue;
       for (size_t drop = 0; drop < stamps.size() && !shrunk; ++drop) {
@@ -198,7 +199,7 @@ TEST(OrderingLawsTest, Thm51MaximaArePairwiseConcurrent) {
   for (int i = 0; i < kDraws; ++i) {
     const CompositeTimestamp t = RandomComposite(rng, kSpace);
     ASSERT_TRUE(t.IsValid()) << "draw " << i << ": " << t.ToString();
-    const std::vector<PrimitiveTimestamp>& stamps = t.stamps();
+    const std::span<const PrimitiveTimestamp> stamps = t.stamps();
     for (size_t x = 0; x < stamps.size(); ++x) {
       for (size_t y = x + 1; y < stamps.size(); ++y) {
         EXPECT_TRUE(Concurrent(stamps[x], stamps[y]))

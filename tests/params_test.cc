@@ -35,10 +35,10 @@ class ParamsTest : public ::testing::Test {
 TEST_F(ParamsTest, FlattenParamsWalksDepthFirst) {
   const auto params = FlattenParams(outer_);
   ASSERT_EQ(params.size(), 4u);
-  EXPECT_EQ(params[0].first, "amount");
-  EXPECT_EQ(params[0].second.AsInt(), 10);
-  EXPECT_EQ(params[1].first, "user");
-  EXPECT_EQ(params[3].second.AsInt(), 5);
+  EXPECT_EQ(params[0].name(), "amount");
+  EXPECT_EQ(params[0].value.AsInt(), 10);
+  EXPECT_EQ(params[1].name(), "user");
+  EXPECT_EQ(params[3].value.AsInt(), 5);
 }
 
 TEST_F(ParamsTest, FindParamReturnsFirstAndLast) {

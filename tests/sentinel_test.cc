@@ -30,7 +30,7 @@ TEST_F(SentinelServiceTest, EcaRuleFiresActionWhenConditionHolds) {
   spec.condition = [](const EventPtr& e) {
     // Fire only when the withdraw (second constituent) is large.
     const auto& params = e->constituents()[1]->params();
-    return !params.empty() && params[0].second.AsInt() > 1000;
+    return !params.empty() && params[0].value.AsInt() > 1000;
   };
   spec.action = [&](const EventPtr&) { ++actions; };
   auto rule = service_.DefineRule(std::move(spec));

@@ -60,10 +60,10 @@ TEST_F(TraceIoTest, RoundTripsTypedParameters) {
   ASSERT_EQ(parsed->size(), 1u);
   const auto& params = (*parsed)[0].params;
   ASSERT_EQ(params.size(), 4u);
-  EXPECT_EQ(params[0].second.AsInt(), -7);
-  EXPECT_DOUBLE_EQ(params[1].second.AsDouble(), 2.5);
-  EXPECT_TRUE(params[2].second.AsBool());
-  EXPECT_EQ(params[3].second.AsString(), "has space=100%");
+  EXPECT_EQ(params[0].value.AsInt(), -7);
+  EXPECT_DOUBLE_EQ(params[1].value.AsDouble(), 2.5);
+  EXPECT_TRUE(params[2].value.AsBool());
+  EXPECT_EQ(params[3].value.AsString(), "has space=100%");
 }
 
 TEST_F(TraceIoTest, RoundTripsGeneratedWorkload) {

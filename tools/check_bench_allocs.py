@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Merges --json bench reports and gates allocs/event against a baseline.
+
+The bench harnesses (``bench_detection --json=...``,
+``bench_timestamp --json=...``) each write a single-bench document
+(schema ``sentineld-bench-v1``, see bench/bench_json.h). This script:
+
+1. merges the input reports into one artifact (``--out``, BENCH_5.json
+   in CI) keyed by bench name;
+2. compares each scenario's ``allocs_per_event`` against the committed
+   baseline (``--baseline``, bench/bench_baseline_5.json) and fails if
+   any scenario regresses past ``baseline * 1.25 + 0.5``.
+
+Only allocation counts gate: ``ns_per_event`` is wall-clock and too
+noisy on shared CI runners, so it is reported but never enforced.
+Reports with ``alloc_counting: false`` (sanitizer builds compile the
+counting allocator out) are merged but skipped by the gate. Stdlib
+only, so CI runs it with a bare python3.
+
+Usage:
+    check_bench_allocs.py --baseline bench/bench_baseline_5.json \
+        --out BENCH_5.json report1.json [report2.json ...]
+"""
+
+import argparse
+import json
+import sys
+
+# A scenario fails when measured > baseline * REL_SLACK + ABS_SLACK.
+# The absolute term keeps zero-pinned scenarios meaningful (0 * 1.25 is
+# still 0) while absorbing sub-allocation jitter from rare growth paths
+# (e.g. a detector hash table rehashing once inside the window).
+REL_SLACK = 1.25
+ABS_SLACK = 0.5
+
+
+def load_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "sentineld-bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--out", required=True)
+    parser.add_argument("reports", nargs="+")
+    args = parser.parse_args()
+
+    merged = {"schema": "sentineld-bench-v1", "benches": {}}
+    for path in args.reports:
+        doc = load_report(path)
+        merged["benches"][doc["bench"]] = {
+            "alloc_counting": doc.get("alloc_counting", False),
+            "scenarios": {
+                s["name"]: {k: v for k, v in s.items() if k != "name"}
+                for s in doc["scenarios"]
+            },
+        }
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for bench_name, base_bench in baseline.get("benches", {}).items():
+        bench = merged["benches"].get(bench_name)
+        if bench is None:
+            failures.append(f"{bench_name}: missing from reports")
+            continue
+        if not bench.get("alloc_counting"):
+            print(f"{bench_name}: alloc counting unavailable, skipping gate")
+            continue
+        for name, base in base_bench.get("scenarios", {}).items():
+            scenario = bench["scenarios"].get(name)
+            if scenario is None:
+                failures.append(f"{bench_name}/{name}: scenario missing")
+                continue
+            measured = scenario["allocs_per_event"]
+            limit = base["allocs_per_event"] * REL_SLACK + ABS_SLACK
+            verdict = "ok" if measured <= limit else "REGRESSION"
+            print(
+                f"{bench_name}/{name}: allocs/event {measured:.4f} "
+                f"(baseline {base['allocs_per_event']:.4f}, "
+                f"limit {limit:.4f}) {verdict}"
+            )
+            if measured > limit:
+                failures.append(
+                    f"{bench_name}/{name}: {measured:.4f} > {limit:.4f}"
+                )
+
+    if failures:
+        print("\nallocation regressions:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("all allocation gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
