@@ -251,7 +251,7 @@ BENCHMARK(BM_EngineSeamThreads0);
 // --json mode (bench_json.h): the two memory-layout headline scenarios
 // from docs/memory.md, measured with the counting allocator so CI can
 // gate allocs/event against the committed baseline
-// (bench/bench_baseline_5.json).
+// (bench/bench_baseline_6.json).
 int RunJsonBench(const std::string& path) {
   EventTypeRegistry registry;
   for (const char* name : {"A", "B", "C", "D"}) {

@@ -1,0 +1,282 @@
+// REC-1: what crash recovery costs and what it buys (docs/recovery.md):
+//
+//   (a) journaling overhead: the same lossy run with recovery off, on
+//       with fsync-per-record, and on with batched fsync. Detections
+//       must be identical in all three modes (no crash is scheduled, so
+//       the journal is pure overhead), and the table shows the bytes /
+//       fsync traffic the policies trade.
+//   (b) checkpoint cadence vs replay cost: a fixed detector-site crash
+//       swept across checkpoint periods. Shorter periods bound the
+//       journal suffix a restart must replay; every run stays
+//       oracle-exact.
+//
+// Each table is deterministic (fixed seeds); the binary self-checks the
+// claims above and exits non-zero if any fails.
+//
+// --json mode (bench_json.h): the recovery hot-path scenarios for CI's
+// bench gate (tools/check_bench_allocs.py, bench/bench_baseline_6.json)
+// — above all that the journaling-OFF steady state stays 0 allocs/event.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "dist/journal.h"
+#include "dist/runtime.h"
+#include "snoop/detector.h"
+#include "snoop/parser.h"
+#include "snoop/reference_detector.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+using namespace sentineld;
+
+namespace {
+
+int failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    ++failures;
+    std::cout << "SELF-CHECK FAILED: " << what << "\n";
+  }
+}
+
+struct RunResult {
+  RuntimeStats stats;
+  std::vector<std::string> got;
+  std::vector<std::string> want;
+};
+
+RunResult RunOnce(RuntimeConfig config) {
+  EventTypeRegistry registry;
+  config.num_sites = 4;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  CHECK_OK(runtime);
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  CHECK_OK((*runtime)->AddRuleText("r", "A ; B"));
+
+  WorkloadConfig wconfig;
+  wconfig.num_sites = 4;
+  wconfig.num_types = 4;
+  wconfig.num_events = 400;
+  wconfig.mean_interarrival_ns = 25'000'000;
+  Rng rng(1234);
+  CHECK_OK((*runtime)->InjectPlan(GenerateWorkload(wconfig, rng)));
+
+  RunResult result;
+  result.stats = (*runtime)->Run();
+  result.got = Signatures((*runtime)->detections());
+
+  ReferenceDetector oracle(&registry);
+  auto expr = ParseExpr("A ; B", registry, {});
+  CHECK_OK(expr);
+  auto expected = oracle.Evaluate(*expr, (*runtime)->injected_history());
+  CHECK_OK(expected);
+  result.want = Signatures(*expected);
+  return result;
+}
+
+RuntimeConfig BaseConfig() {
+  RuntimeConfig config;
+  config.seed = 99;
+  config.network.loss_prob = 0.05;
+  config.channel.enabled = true;
+  config.channel.max_retransmits = 10;
+  return config;
+}
+
+void SweepJournalingOverhead() {
+  std::cout << "\n(a) journaling overhead, no crash scheduled "
+               "(400 events, loss 5%, ARQ cap 10)\n";
+  TablePrinter table;
+  table.SetHeader({"mode", "detections", "exact", "journal_bytes", "fsyncs",
+                   "checkpoints"});
+  std::vector<std::string> detections_off;
+  for (const char* mode : {"off", "fsync=1", "fsync=64"}) {
+    RuntimeConfig config = BaseConfig();
+    if (std::string(mode) != "off") {
+      config.recovery.enabled = true;
+      config.recovery.fsync_every_records =
+          std::string(mode) == "fsync=1" ? 1 : 64;
+    }
+    const RunResult run = RunOnce(config);
+    if (std::string(mode) == "off") detections_off = run.got;
+    table.AddRow({mode, std::to_string(run.got.size()),
+                  run.got == run.want ? "yes" : "NO",
+                  std::to_string(run.stats.journal_bytes),
+                  std::to_string(run.stats.journal_fsyncs),
+                  std::to_string(run.stats.recovery_checkpoints)});
+    Check(run.got == run.want, "journaling run stays oracle-exact");
+    Check(run.got == detections_off,
+          "journaling does not change detections");
+    if (std::string(mode) != "off") {
+      Check(run.stats.journal_bytes > 0, "journal saw traffic");
+    }
+  }
+  table.Print(std::cout);
+}
+
+void SweepCheckpointCadence() {
+  std::cout << "\n(b) checkpoint cadence vs replay cost "
+               "(detector site crashes at 2.0s, restarts at 2.4s)\n";
+  TablePrinter table;
+  table.SetHeader(
+      {"period_ms", "checkpoints", "replayed", "suppressed", "exact"});
+  uint64_t prev_replayed = 0;
+  bool first = true;
+  for (const int64_t period_ms : {400, 200, 100, 50}) {
+    RuntimeConfig config = BaseConfig();
+    config.recovery.enabled = true;
+    config.recovery.checkpoint_period_ns = period_ms * 1'000'000;
+    config.recovery.crashes.push_back(
+        CrashPlan{/*site=*/0, 2'000'000'000, 2'400'000'000});
+    const RunResult run = RunOnce(config);
+    table.AddRow({std::to_string(period_ms),
+                  std::to_string(run.stats.recovery_checkpoints),
+                  std::to_string(run.stats.recovery_replayed_events),
+                  std::to_string(run.stats.recovery_suppressed_detections),
+                  run.got == run.want ? "yes" : "NO"});
+    Check(run.got == run.want, "crash run stays oracle-exact");
+    Check(run.stats.recovery_replayed_events > 0, "the restart replayed");
+    // Denser checkpoints can only shrink the replayed journal suffix.
+    if (!first) {
+      Check(run.stats.recovery_replayed_events <= prev_replayed,
+            "shorter checkpoint period bounds replay tighter");
+    }
+    prev_replayed = run.stats.recovery_replayed_events;
+    first = false;
+  }
+  table.Print(std::cout);
+}
+
+// ---------------------------------------------------------------------
+// --json scenarios.
+// ---------------------------------------------------------------------
+
+EventPtr StreamEvent(Rng& rng, LocalTicks& tick) {
+  tick += 1 + static_cast<LocalTicks>(rng.NextBounded(30));
+  return Event::MakePrimitive(
+      static_cast<EventTypeId>(rng.NextBounded(4)),
+      PrimitiveTimestamp{static_cast<SiteId>(rng.NextBounded(4)), tick / 10,
+                         tick});
+}
+
+/// The per-event site hot path with the recovery feature wired in but
+/// DISABLED — the branch every deployment pays whether or not it
+/// journals. Pinned at 0 allocs/event by the CI gate.
+benchjson::Scenario JournalOffFeed(EventTypeRegistry& registry,
+                                   const ExprPtr& expr) {
+  Detector::Options options;
+  options.context = ParamContext::kRecent;
+  Detector detector(&registry, options);
+  uint64_t detections = 0;
+  CHECK_OK(detector.AddRule("r", expr,
+                            [&](const EventPtr&) { ++detections; }));
+  const bool journaling = false;
+  Journal journal;
+  Rng rng(42);
+  LocalTicks tick = 1000;
+  return benchjson::Measure("journal_off_feed", 8192, 1 << 17,
+                            [&](int iters) {
+                              for (int i = 0; i < iters; ++i) {
+                                const EventPtr event =
+                                    StreamEvent(rng, tick);
+                                if (journaling) {
+                                  journal.AppendOutbound(0, event);
+                                }
+                                detector.Feed(event);
+                              }
+                            });
+}
+
+/// Journal append cost per event (batched fsync, the steady-state
+/// journaling-on configuration). Reported, not pinned at zero: the WAL
+/// legitimately buys durability with bytes.
+benchjson::Scenario JournalAppend(uint32_t fsync_every, std::string name) {
+  Journal journal(fsync_every);
+  Rng rng(43);
+  LocalTicks tick = 1000;
+  return benchjson::Measure(std::move(name), 4096, 1 << 15,
+                            [&](int iters) {
+                              for (int i = 0; i < iters; ++i) {
+                                journal.AppendOutbound(
+                                    0, StreamEvent(rng, tick));
+                              }
+                            });
+}
+
+/// Restart replay cost per journal record: parse the byte image and
+/// feed the decoded deliveries into a restored detector, amortized over
+/// the suffix length.
+benchjson::Scenario JournalReplay(EventTypeRegistry& registry,
+                                  const ExprPtr& expr) {
+  constexpr int kSuffix = 4096;
+  Journal journal;
+  Rng rng(44);
+  LocalTicks tick = 1000;
+  for (int i = 0; i < kSuffix; ++i) {
+    journal.AppendDelivered(/*sender=*/1, /*seq=*/static_cast<uint64_t>(i),
+                            StreamEvent(rng, tick));
+  }
+  journal.Sync();
+  const std::string image = journal.bytes();
+
+  Detector::Options options;
+  options.context = ParamContext::kRecent;
+  Detector detector(&registry, options);
+  CHECK_OK(detector.AddRule("r", expr, nullptr));
+  Result<ParsedJournal> parsed = ParseJournal(image);
+  CHECK_OK(parsed);
+  size_t next = 0;
+  return benchjson::Measure(
+      "journal_replay", kSuffix, 4 * kSuffix, [&](int iters) {
+        for (int i = 0; i < iters; ++i) {
+          if (next == parsed->records.size()) {
+            // Re-parse per suffix so the byte decode is amortized into
+            // the per-record figure, as in a real restart.
+            parsed = ParseJournal(image);
+            CHECK_OK(parsed);
+            next = 0;
+          }
+          detector.Feed(parsed->records[next++].event);
+        }
+      });
+}
+
+int RunJsonBench(const std::string& path) {
+  EventTypeRegistry registry;
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  auto expr = ParseExpr("A ; B", registry, {});
+  CHECK_OK(expr);
+  std::vector<benchjson::Scenario> scenarios;
+  scenarios.push_back(JournalOffFeed(registry, *expr));
+  scenarios.push_back(JournalAppend(64, "journal_append_fsync64"));
+  scenarios.push_back(JournalReplay(registry, *expr));
+  return benchjson::WriteJson(path, "bench_recovery", scenarios) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (benchjson::ParseJsonFlag(argc, argv, &json_path)) {
+    return RunJsonBench(json_path);
+  }
+  std::cout << "REC-1: crash recovery cost and payoff "
+               "(simulated sites/clocks/network)\n";
+  SweepJournalingOverhead();
+  SweepCheckpointCadence();
+  if (failures > 0) {
+    std::cout << "\n" << failures << " self-check(s) FAILED.\n";
+    return 1;
+  }
+  std::cout << "\nall self-checks passed.\n";
+  return 0;
+}

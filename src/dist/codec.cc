@@ -12,6 +12,7 @@ constexpr uint8_t kPrimitive = 0;
 constexpr uint8_t kComposite = 1;
 constexpr uint8_t kFrameData = 2;
 constexpr uint8_t kFrameAck = 3;
+constexpr uint8_t kFrameHello = 4;
 constexpr uint8_t kTagInt = 0;
 constexpr uint8_t kTagDouble = 1;
 constexpr uint8_t kTagBool = 2;
@@ -275,6 +276,18 @@ std::string EncodeAckFrame(uint64_t cum_ack, uint64_t sacked_seq) {
   return out;
 }
 
+std::string EncodeHelloFrame(SiteId sender, uint8_t flags, uint64_t nonce,
+                             uint64_t cum_ack) {
+  std::string out;
+  out.reserve(kHelloFrameWireSize);
+  PutU8(out, kFrameHello);
+  PutU32(out, sender);
+  PutU8(out, flags);
+  PutU64(out, nonce);
+  PutU64(out, cum_ack);
+  return out;
+}
+
 Result<Frame> DecodeFrame(std::string_view bytes) {
   Reader reader(bytes);
   uint8_t kind = 0;
@@ -297,6 +310,14 @@ Result<Frame> DecodeFrame(std::string_view bytes) {
     if (!reader.ReadU64(frame.cum_ack) || !reader.ReadU64(frame.seq)) {
       return Status::InvalidArgument("truncated ack frame");
     }
+  } else if (kind == kFrameHello) {
+    frame.kind = Frame::Kind::kHello;
+    uint32_t sender = 0;
+    if (!reader.ReadU32(sender) || !reader.ReadU8(frame.flags) ||
+        !reader.ReadU64(frame.seq) || !reader.ReadU64(frame.cum_ack)) {
+      return Status::InvalidArgument("truncated hello frame");
+    }
+    frame.sender = sender;
   } else {
     return Status::InvalidArgument(StrCat("unknown frame kind ", kind));
   }

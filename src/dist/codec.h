@@ -38,25 +38,42 @@ size_t WireSize(const EventPtr& event);
 /// with the event kinds (0 = primitive, 1 = composite), so a frame can
 /// never decode as a bare event or vice versa.
 ///
-///   DataFrame := 2:u8 | sender:u32 | seq:u64 | Event
-///   AckFrame  := 3:u8 | cum_ack:u64 | sacked_seq:u64
+///   DataFrame  := 2:u8 | sender:u32 | seq:u64 | Event
+///   AckFrame   := 3:u8 | cum_ack:u64 | sacked_seq:u64
+///   HelloFrame := 4:u8 | sender:u32 | flags:u8 | nonce:u64 | cum_ack:u64
 ///
 /// `cum_ack` is cumulative — every seq < cum_ack has been received —
 /// and `sacked_seq` selectively acknowledges the one data frame that
 /// triggered this ack, so a single hole does not force retransmission
 /// of everything sent after it.
+///
+/// HELLO is the restart/rejoin handshake (docs/recovery.md): a restarted
+/// link end announces itself to its peer, explicitly resuming
+/// (kHelloFromReceiver carries the receiver's cum_ack so the sender can
+/// prune and immediately retransmit the rest) or resetting
+/// (kHelloReset: both ends renumber the stream from seq 0). HELLOs are
+/// sent redundantly since they ride the same lossy network as
+/// everything else; the nonce identifies one handshake, so the peer
+/// processes each handshake once no matter how many copies land.
+inline constexpr uint8_t kHelloReset = 0x1;
+inline constexpr uint8_t kHelloFromReceiver = 0x2;
+
 struct Frame {
-  enum class Kind { kData, kAck };
+  enum class Kind { kData, kAck, kHello };
   Kind kind = Kind::kData;
-  SiteId sender = 0;     ///< DATA only: the originating site.
-  uint64_t seq = 0;      ///< DATA: sequence number; ACK: sacked seq.
-  uint64_t cum_ack = 0;  ///< ACK only: all seqs < cum_ack received.
+  SiteId sender = 0;     ///< DATA/HELLO: the originating site.
+  uint64_t seq = 0;      ///< DATA: seq number; ACK: sacked seq;
+                         ///< HELLO: handshake nonce.
+  uint64_t cum_ack = 0;  ///< ACK/HELLO: all seqs < cum_ack received.
+  uint8_t flags = 0;     ///< HELLO only: kHello* bits.
   EventPtr event;        ///< DATA only: the payload.
 };
 
 std::string EncodeDataFrame(SiteId sender, uint64_t seq,
                             const EventPtr& event);
 std::string EncodeAckFrame(uint64_t cum_ack, uint64_t sacked_seq);
+std::string EncodeHelloFrame(SiteId sender, uint8_t flags, uint64_t nonce,
+                             uint64_t cum_ack);
 
 /// Decodes one frame; InvalidArgument on malformed, truncated, or
 /// trailing input (including a bare event, which is not a frame).
@@ -65,6 +82,7 @@ Result<Frame> DecodeFrame(std::string_view bytes);
 /// Wire sizes for traffic accounting without materializing the bytes.
 size_t DataFrameWireSize(const EventPtr& event);
 inline constexpr size_t kAckFrameWireSize = 1 + 8 + 8;
+inline constexpr size_t kHelloFrameWireSize = 1 + 4 + 1 + 8 + 8;
 
 }  // namespace sentineld
 

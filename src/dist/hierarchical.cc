@@ -29,12 +29,19 @@ Result<std::unique_ptr<HierarchicalRuntime>> HierarchicalRuntime::Create(
     const RuntimeConfig& config, EventTypeRegistry* registry) {
   if (registry == nullptr) return Status::InvalidArgument("null registry");
   RETURN_IF_ERROR(config.Validate());
+  // Crash windows become network outages, exactly as in the flat
+  // runtime: one drop cause per crash-window message.
+  RuntimeConfig effective = config;
+  for (const CrashPlan& plan : config.recovery.crashes) {
+    effective.network.outages.push_back(
+        SiteOutage{plan.site, plan.crash_ns, plan.restart_ns});
+  }
   Rng fleet_rng(config.seed ^ 0x7a1ace00c1ea7ed5ULL);
   Result<ClockFleet> fleet = ClockFleet::Create(
       config.num_sites, config.timebase, config.sync, fleet_rng);
   if (!fleet.ok()) return fleet.status();
   return std::unique_ptr<HierarchicalRuntime>(
-      new HierarchicalRuntime(config, registry, std::move(*fleet)));
+      new HierarchicalRuntime(effective, registry, std::move(*fleet)));
 }
 
 HierarchicalRuntime::HierarchicalRuntime(const RuntimeConfig& config,
@@ -54,6 +61,22 @@ HierarchicalRuntime::HierarchicalRuntime(const RuntimeConfig& config,
     for (SiteId site = 0; site < config_.num_sites; ++site) {
       obs_injected_[site] = config_.obs->metrics().GetCounter(
           "events_injected", StrCat("site=", site));
+    }
+  }
+  if (config_.recovery.enabled) {
+    site_recovery_.reserve(config_.num_sites);
+    for (SiteId site = 0; site < config_.num_sites; ++site) {
+      site_recovery_.emplace_back(config_.recovery.fsync_every_records);
+      if (config_.obs != nullptr) {
+        site_recovery_.back().journal.EnableObs(
+            config_.obs->metrics().GetHistogram("journal_fsync_bytes",
+                                                StrCat("site=", site)));
+      }
+    }
+    for (const CrashPlan& plan : config_.recovery.crashes) {
+      sim_.At(plan.crash_ns, [this, site = plan.site] { CrashSite(site); });
+      sim_.At(plan.restart_ns,
+              [this, site = plan.site] { RestartSite(site); });
     }
   }
 }
@@ -99,7 +122,9 @@ HierarchicalRuntime::Station& HierarchicalRuntime::StationAt(SiteId site) {
                               event);
         detector->Feed(event);
       },
-      /*dedup=*/config_.network.duplicate_prob > 0);
+      // uid dedup also absorbs crash-replay re-offers.
+      /*dedup=*/config_.network.duplicate_prob > 0 ||
+          config_.recovery.enabled);
   if (config_.obs != nullptr) {
     detector->set_tracer(&config_.obs->tracer());
     MetricsRegistry& metrics = config_.obs->metrics();
@@ -129,6 +154,10 @@ void HierarchicalRuntime::Route(SiteId from, const EventPtr& event) {
 void HierarchicalRuntime::SendPayload(SiteId from, SiteId to,
                                       const EventPtr& event) {
   if (config_.channel.enabled) {
+    if (config_.recovery.enabled && !replaying_) {
+      // Write-ahead per hop: a crashed sender re-offers on replay.
+      site_recovery_[from].journal.AppendOutbound(to, event);
+    }
     LinkBetween(from, to).Send(event);
     return;
   }
@@ -168,6 +197,14 @@ ReliableLink& HierarchicalRuntime::LinkBetween(SiteId from, SiteId to) {
       &sim_, &network_, from, to, config_.channel,
       [this, to](const EventPtr& event) { Deliver(to, event); });
   if (config_.obs != nullptr) link->set_tracer(&config_.obs->tracer());
+  if (config_.recovery.enabled) {
+    // Log-before-ack at the receiving site (see the flat runtime).
+    link->set_on_deliver_seq(
+        [this, from, to](uint64_t seq, const EventPtr& event) {
+          if (replaying_) return;
+          site_recovery_[to].journal.AppendDelivered(from, seq, event);
+        });
+  }
   return *links_.emplace(key, std::move(link)).first->second;
 }
 
@@ -222,6 +259,7 @@ Result<EventTypeId> HierarchicalRuntime::AddRule(
       }
       sub_type = station.detector->AddRule(
           sub_name, *sub, [this, site, station_ptr](const EventPtr& event) {
+            if (!RecordEmission(site, event)) return;
             ++station_ptr->emitted_upstream;
             SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kEmit, site,
                                   event);
@@ -257,6 +295,7 @@ Result<EventTypeId> HierarchicalRuntime::AddRule(
       name, root_expr,
       [this, detections, latency,
        callback = std::move(callback)](const EventPtr& event) {
+        if (!RecordEmission(config_.detector_site, event)) return;
         const double latency_ms = RecordDetection(event);
         if (detections != nullptr) detections->Add(1);
         if (latency != nullptr && latency_ms >= 0) latency->Add(latency_ms);
@@ -281,6 +320,12 @@ Status HierarchicalRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
     RETURN_IF_ERROR(registry_->Info(planned.type).status());
     horizon_ = std::max(horizon_, planned.when);
     sim_.At(planned.when, [this, planned] {
+      if (config_.recovery.enabled && site_recovery_[planned.site].down) {
+        // A dead site raises nothing; the oracle (injected_history)
+        // agrees because the event is never recorded.
+        ++stats_.recovery_skipped_injections;
+        return;
+      }
       const PrimitiveTimestamp stamp =
           fleet_.Stamp(planned.site, sim_.now(), rng_);
       const EventPtr event =
@@ -297,9 +342,24 @@ Status HierarchicalRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
   return Status::Ok();
 }
 
+bool HierarchicalRuntime::RecordEmission(SiteId site,
+                                         const EventPtr& event) {
+  if (!config_.recovery.enabled) return true;
+  std::string fingerprint = DetectionFingerprint(event, *registry_);
+  Station& station = stations_.at(site);
+  if (!station.emitted_fingerprints.insert(fingerprint).second) {
+    ++stats_.recovery_suppressed_detections;
+    return false;
+  }
+  site_recovery_[site].journal.AppendDetection(std::move(fingerprint));
+  return true;
+}
+
 void HierarchicalRuntime::Heartbeat() {
+  if (config_.recovery.enabled) MaybeCheckpoint();
   fleet_.AdvanceTo(sim_.now(), rng_);
   for (auto& [site, station] : stations_) {
+    if (config_.recovery.enabled && site_recovery_[site].down) continue;
     const LocalTicks local = fleet_.clock(site).ReadLocalTicks(sim_.now());
     station.sequencer->AdvanceTo(local);
     const LocalTicks watermark =
@@ -320,6 +380,173 @@ void HierarchicalRuntime::Heartbeat() {
   }
   SampleObs();
   MaybeSnapshot();
+}
+
+void HierarchicalRuntime::MaybeCheckpoint() {
+  for (SiteId site = 0; site < config_.num_sites; ++site) {
+    SiteRecovery& sr = site_recovery_[site];
+    if (sr.down || sim_.now() < sr.next_checkpoint_ns) continue;
+    CheckpointSite(site);
+    sr.next_checkpoint_ns =
+        sim_.now() + config_.recovery.checkpoint_period_ns;
+  }
+}
+
+namespace {
+
+/// Link-map keys touching `site` in the given role, sorted so the
+/// checkpoint layout is deterministic.
+std::vector<uint64_t> LinkKeysOf(
+    const std::unordered_map<uint64_t, std::unique_ptr<ReliableLink>>&
+        links,
+    SiteId site, bool as_sender) {
+  std::vector<uint64_t> keys;
+  for (const auto& [key, link] : links) {
+    const SiteId end = as_sender ? link->sender() : link->receiver();
+    if (end == site) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+void HierarchicalRuntime::CheckpointSite(SiteId site) {
+  SiteRecovery& sr = site_recovery_[site];
+  SiteCheckpoint checkpoint;
+  checkpoint.site = site;
+  checkpoint.taken_at = sim_.now();
+  // Force the journal prefix durable first, so journal_records never
+  // exceeds what a crash can preserve.
+  sr.journal.Sync();
+  checkpoint.journal_records = sr.journal.record_count();
+  StateTape& tape = checkpoint.tape;
+  // Sender halves of every outbound link; keyed so restore can match
+  // links created lazily in any order.
+  const std::vector<uint64_t> sender_keys =
+      LinkKeysOf(links_, site, /*as_sender=*/true);
+  tape.PutInt(static_cast<int64_t>(sender_keys.size()));
+  for (uint64_t key : sender_keys) {
+    tape.PutInt(static_cast<int64_t>(key));
+    links_.at(key)->SaveSenderState(tape);
+  }
+  auto it = stations_.find(site);
+  if (it != stations_.end()) {
+    Station& station = it->second;
+    station.sequencer->SaveState(tape);
+    station.detector->SaveState(tape);
+    const std::vector<uint64_t> receiver_keys =
+        LinkKeysOf(links_, site, /*as_sender=*/false);
+    tape.PutInt(static_cast<int64_t>(receiver_keys.size()));
+    for (uint64_t key : receiver_keys) {
+      tape.PutInt(static_cast<int64_t>(key));
+      links_.at(key)->SaveReceiverState(tape);
+    }
+    tape.PutInt(station.max_delivered_anchor);
+    std::vector<std::string> fingerprints(
+        station.emitted_fingerprints.begin(),
+        station.emitted_fingerprints.end());
+    std::sort(fingerprints.begin(), fingerprints.end());
+    tape.PutInt(static_cast<int64_t>(fingerprints.size()));
+    for (std::string& fingerprint : fingerprints) {
+      tape.PutString(std::move(fingerprint));
+    }
+  }
+  if (site == config_.detector_site) SaveNameTable(tape);
+  checkpoint.serialized_bytes = SerializeTape(tape).size();
+  ++stats_.recovery_checkpoints;
+  if (config_.obs != nullptr) {
+    config_.obs->metrics()
+        .GetGauge("recovery_checkpoint_bytes", StrCat("site=", site))
+        ->Set(static_cast<double>(checkpoint.serialized_bytes));
+  }
+  sr.checkpoint = std::move(checkpoint);
+}
+
+void HierarchicalRuntime::CrashSite(SiteId site) {
+  SiteRecovery& sr = site_recovery_[site];
+  sr.down = true;
+  stats_.recovery_truncated_records += sr.journal.Crash();
+  for (auto& [key, link] : links_) {
+    if (link->sender() == site) link->CrashSender();
+    if (link->receiver() == site) link->CrashReceiver();
+  }
+}
+
+void HierarchicalRuntime::RestartSite(SiteId site) {
+  SiteRecovery& sr = site_recovery_[site];
+  sr.down = false;
+  CHECK(sr.checkpoint.has_value());
+  StateTape& tape = sr.checkpoint->tape;
+  tape.Rewind();
+  const int64_t sender_links = tape.TakeInt();
+  for (int64_t i = 0; i < sender_links; ++i) {
+    const auto key = static_cast<uint64_t>(tape.TakeInt());
+    links_.at(key)->RestoreSender(tape);
+  }
+  auto it = stations_.find(site);
+  if (it != stations_.end()) {
+    Station& station = it->second;
+    station.sequencer->LoadState(tape);
+    station.detector->LoadState(tape);
+    const int64_t receiver_links = tape.TakeInt();
+    for (int64_t i = 0; i < receiver_links; ++i) {
+      const auto key = static_cast<uint64_t>(tape.TakeInt());
+      links_.at(key)->RestoreReceiver(tape);
+    }
+    station.max_delivered_anchor = tape.TakeInt();
+    station.emitted_fingerprints.clear();
+    const int64_t fingerprints = tape.TakeInt();
+    for (int64_t i = 0; i < fingerprints; ++i) {
+      station.emitted_fingerprints.insert(tape.TakeString());
+    }
+  }
+  if (site == config_.detector_site) RestoreNameTable(tape);
+  CHECK(tape.exhausted());
+  // Sender rejoin precedes replay (links born since the checkpoint
+  // rejoin with an empty window — a no-op under kResume); receiver
+  // rejoin follows it, so the HELLO's cumulative ack covers everything
+  // the journal proved durable.
+  for (uint64_t key : LinkKeysOf(links_, site, /*as_sender=*/true)) {
+    links_.at(key)->RejoinSender(config_.recovery.rejoin);
+  }
+  replaying_ = true;
+  const auto& records = sr.journal.records();
+  const size_t replay_end = records.size();
+  for (size_t i = sr.checkpoint->journal_records; i < replay_end; ++i) {
+    const JournalRecord& record = records[i];
+    switch (record.type) {
+      case JournalRecordType::kOutbound:
+        LinkBetween(site, record.peer).Send(record.event);
+        break;
+      case JournalRecordType::kDelivered:
+        LinkBetween(record.peer, site).MarkReceived(record.seq);
+        Deliver(site, record.event);
+        break;
+      case JournalRecordType::kDetection:
+        stations_.at(site).emitted_fingerprints.insert(record.fingerprint);
+        break;
+    }
+    ++sr.replayed;
+    ++stats_.recovery_replayed_events;
+  }
+  replaying_ = false;
+  for (uint64_t key : LinkKeysOf(links_, site, /*as_sender=*/false)) {
+    links_.at(key)->RejoinReceiver(config_.recovery.rejoin);
+  }
+  if (it != stations_.end() && config_.obs != nullptr) {
+    fleet_.AdvanceTo(sim_.now(), rng_);
+    const int64_t gap = std::max<int64_t>(
+        0, fleet_.clock(site).ReadLocalTicks(sim_.now()) -
+               it->second.detector->clock());
+    config_.obs->metrics()
+        .GetHistogram("recovery_rejoin_ticks", StrCat("site=", site))
+        ->Add(static_cast<double>(gap));
+  }
+  // A restart ends with a fresh checkpoint — after a batched-fsync
+  // truncation, the old checkpoint's journal index no longer lines up
+  // with the (restarted) record numbering.
+  CheckpointSite(site);
 }
 
 void HierarchicalRuntime::SampleObs() {
@@ -378,6 +605,12 @@ void HierarchicalRuntime::SampleObs() {
           : 1.0 - static_cast<double>(known_lost_ + gave_up) /
                       static_cast<double>(attempted);
   metrics.GetGauge("completeness")->Set(completeness);
+  if (config_.recovery.enabled) {
+    for (SiteId site = 0; site < config_.num_sites; ++site) {
+      metrics.GetCounter("recovery_replayed_events", StrCat("site=", site))
+          ->SetTotal(site_recovery_[site].replayed);
+    }
+  }
 }
 
 void HierarchicalRuntime::MaybeSnapshot() {
@@ -406,7 +639,13 @@ double HierarchicalRuntime::RecordDetection(const EventPtr& event) {
 RuntimeStats HierarchicalRuntime::Run() {
   const int64_t window_ns =
       RootWindowTicks() * config_.timebase.local_granularity_ns;
-  const TrueTimeNs drain_until = horizon_ + 2 * window_ns +
+  TrueTimeNs horizon = horizon_;
+  // A site restarting after the last injection still needs a full drain
+  // interval to replay its journal and re-stabilise.
+  for (const CrashPlan& plan : config_.recovery.crashes) {
+    horizon = std::max(horizon, plan.restart_ns);
+  }
+  const TrueTimeNs drain_until = horizon + 2 * window_ns +
                                  2 * config_.network.base_latency_ns +
                                  40 * config_.network.jitter_mean_ns +
                                  4 * config_.heartbeat_ns +
@@ -442,12 +681,22 @@ RuntimeStats HierarchicalRuntime::Run() {
     stats_.channel_retransmits += link->retransmits();
     stats_.channel_gave_up += link->gave_up();
     stats_.channel_duplicates_dropped += link->duplicates_dropped();
+    for (const ReliableLink::SeqRange& range : link->abandoned_ranges()) {
+      stats_.channel_abandoned.push_back({link->sender(), link->receiver(),
+                                          range.first_seq, range.last_seq});
+    }
   }
   stats_.completeness =
       payloads_sent == 0
           ? 1.0
           : static_cast<double>(payloads_delivered) /
                 static_cast<double>(payloads_sent);
+  if (config_.recovery.enabled) {
+    for (const SiteRecovery& sr : site_recovery_) {
+      stats_.journal_bytes += sr.journal.byte_size();
+      stats_.journal_fsyncs += sr.journal.syncs();
+    }
+  }
   SampleObs();
   if (config_.obs != nullptr) config_.obs->TakeSnapshot(sim_.now());
   return stats_;

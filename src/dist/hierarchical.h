@@ -3,12 +3,16 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "dist/journal.h"
 #include "dist/network.h"
+#include "dist/recovery.h"
 #include "dist/reliable_channel.h"
 #include "dist/runtime.h"
 #include "dist/sequencer.h"
@@ -71,6 +75,16 @@ class HierarchicalRuntime {
   const std::vector<EventPtr>& injected_history() const { return history_; }
   const std::vector<EventPtr>& detections() const { return detections_; }
 
+  /// Post-mortem access to a site's durable recovery state (valid only
+  /// with recovery enabled) — the chaos harness archives these as CI
+  /// artifacts when a differential run fails.
+  const Journal& site_journal(SiteId site) const {
+    return site_recovery_.at(site).journal;
+  }
+  const std::optional<SiteCheckpoint>& site_checkpoint(SiteId site) const {
+    return site_recovery_.at(site).checkpoint;
+  }
+
   struct StationInfo {
     SiteId site;
     size_t rules;
@@ -91,6 +105,24 @@ class HierarchicalRuntime {
     uint64_t emitted_upstream = 0;
     /// Largest min-anchor delivered here (any sender), for gap flags.
     LocalTicks max_delivered_anchor = INT64_MIN;
+    /// Fingerprints of every emission announced by this station — both
+    /// sub-composites routed upstream and root-rule detections. Replay
+    /// re-derivations are suppressed against it (crash-proof via
+    /// checkpoint + journal); without it a restarted leaf would route
+    /// its sub-composites upstream twice, under fresh uids the root's
+    /// dedup cannot catch.
+    std::unordered_set<std::string> emitted_fingerprints;
+  };
+
+  /// Durable-state model of one site under recovery (mirrors the flat
+  /// runtime's SiteRecovery).
+  struct SiteRecovery {
+    explicit SiteRecovery(uint32_t fsync_every) : journal(fsync_every) {}
+    Journal journal;
+    std::optional<SiteCheckpoint> checkpoint;
+    bool down = false;
+    TrueTimeNs next_checkpoint_ns = 0;
+    uint64_t replayed = 0;
   };
 
   HierarchicalRuntime(const RuntimeConfig& config,
@@ -116,6 +148,14 @@ class HierarchicalRuntime {
 
   void Subscribe(EventTypeId type, SiteId site);
   void Heartbeat();
+  void MaybeCheckpoint();
+  void CheckpointSite(SiteId site);
+  void CrashSite(SiteId site);
+  void RestartSite(SiteId site);
+  /// Fingerprint-dedups and journals an emission at `site`'s station.
+  /// Returns false when the emission was already announced (a replay
+  /// re-derivation) and must be suppressed.
+  bool RecordEmission(SiteId site, const EventPtr& event);
   /// Returns the occurrence-to-detection latency in ms (-1 when no
   /// constituent has an injection record).
   double RecordDetection(const EventPtr& event);
@@ -164,6 +204,11 @@ class HierarchicalRuntime {
   /// RuntimeStats::completeness at the end of Run().
   uint64_t known_lost_ = 0;
   TrueTimeNs next_snapshot_ns_ = 0;
+  // --- Crash recovery (empty unless recovery.enabled) -----------------
+  std::vector<SiteRecovery> site_recovery_;
+  /// True while RestartSite replays a journal (replayed traffic is not
+  /// journaled again).
+  bool replaying_ = false;
 };
 
 }  // namespace sentineld

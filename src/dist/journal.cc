@@ -1,0 +1,147 @@
+#include "dist/journal.h"
+
+#include <array>
+#include <utility>
+
+#include "dist/codec.h"
+#include "dist/wire_util.h"
+#include "util/histogram.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr size_t kRecordHeaderBytes = 4 + 4;  // len + crc
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Journal::Journal(uint32_t fsync_every_records)
+    : fsync_every_records_(fsync_every_records) {
+  CHECK_GE(fsync_every_records_, 1u);
+}
+
+void Journal::AppendOutbound(SiteId receiver, const EventPtr& event) {
+  Append(JournalRecordType::kOutbound, receiver, 0, event, "");
+}
+
+void Journal::AppendDelivered(SiteId sender, uint64_t seq,
+                              const EventPtr& event) {
+  Append(JournalRecordType::kDelivered, sender, seq, event, "");
+}
+
+void Journal::AppendDetection(std::string fingerprint) {
+  Append(JournalRecordType::kDetection, 0, 0, nullptr,
+         std::move(fingerprint));
+}
+
+void Journal::Append(JournalRecordType type, SiteId peer, uint64_t seq,
+                     const EventPtr& event, std::string fingerprint) {
+  std::string payload;
+  wire::PutU8(payload, static_cast<uint8_t>(type));
+  if (type == JournalRecordType::kDetection) {
+    payload.append(fingerprint);
+  } else {
+    wire::PutU32(payload, peer);
+    if (type == JournalRecordType::kDelivered) wire::PutU64(payload, seq);
+    payload.append(EncodeEvent(event));
+  }
+  wire::PutU32(bytes_, static_cast<uint32_t>(payload.size()));
+  wire::PutU32(bytes_, Crc32(payload));
+  bytes_.append(payload);
+
+  JournalRecord record;
+  record.type = type;
+  record.peer = peer;
+  record.seq = seq;
+  record.event = event;
+  record.fingerprint = std::move(fingerprint);
+  records_.push_back(std::move(record));
+
+  if (records_.size() - synced_records_ >= fsync_every_records_) Sync();
+}
+
+void Journal::Sync() {
+  if (synced_records_ == records_.size()) return;
+  if (fsync_bytes_ != nullptr) {
+    fsync_bytes_->Add(static_cast<double>(bytes_.size() - synced_bytes_));
+  }
+  synced_records_ = records_.size();
+  synced_bytes_ = bytes_.size();
+  ++syncs_;
+}
+
+size_t Journal::Crash() {
+  const size_t lost = records_.size() - synced_records_;
+  records_.resize(synced_records_);
+  bytes_.resize(synced_bytes_);
+  return lost;
+}
+
+Result<ParsedJournal> ParseJournal(std::string_view bytes) {
+  ParsedJournal parsed;
+  size_t pos = 0;
+  while (bytes.size() - pos >= kRecordHeaderBytes) {
+    wire::Reader header(bytes.substr(pos, kRecordHeaderBytes));
+    const uint32_t len = header.U32();
+    const uint32_t crc = header.U32();
+    if (bytes.size() - pos - kRecordHeaderBytes < len) break;  // torn tail
+    const std::string_view payload =
+        bytes.substr(pos + kRecordHeaderBytes, len);
+    if (Crc32(payload) != crc) {
+      return Status::InvalidArgument("journal: CRC mismatch in record");
+    }
+    wire::Reader body(payload);
+    JournalRecord record;
+    const uint8_t type = body.U8();
+    switch (type) {
+      case static_cast<uint8_t>(JournalRecordType::kOutbound):
+      case static_cast<uint8_t>(JournalRecordType::kDelivered): {
+        record.type = static_cast<JournalRecordType>(type);
+        record.peer = body.U32();
+        if (record.type == JournalRecordType::kDelivered) {
+          record.seq = body.U64();
+        }
+        if (!body.ok()) {
+          return Status::InvalidArgument("journal: short record body");
+        }
+        auto event = DecodeEvent(body.Bytes(body.remaining()));
+        if (!event.ok()) return event.status();
+        record.event = std::move(event).value();
+        break;
+      }
+      case static_cast<uint8_t>(JournalRecordType::kDetection):
+        record.type = JournalRecordType::kDetection;
+        record.fingerprint = std::string(body.Bytes(body.remaining()));
+        break;
+      default:
+        return Status::InvalidArgument("journal: unknown record type");
+    }
+    parsed.records.push_back(std::move(record));
+    pos += kRecordHeaderBytes + len;
+  }
+  parsed.truncated_tail_bytes = bytes.size() - pos;
+  return parsed;
+}
+
+}  // namespace sentineld

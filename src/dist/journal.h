@@ -1,0 +1,133 @@
+#ifndef SENTINELD_DIST_JOURNAL_H_
+#define SENTINELD_DIST_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "event/event.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+class Histogram;
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+/// Exposed for the journal round-trip tests.
+uint32_t Crc32(std::string_view bytes);
+
+/// What a journal record describes. Outbound records are written before
+/// the payload is handed to the link (write-ahead: a crashed sender can
+/// re-offer everything it ever committed to sending); delivered records
+/// are written before the ack goes back (log-before-ack: an acked
+/// payload is never forgotten by a receiver crash); detection records
+/// make emitted detections durable so replay never re-announces them.
+enum class JournalRecordType : uint8_t {
+  kOutbound = 1,
+  kDelivered = 2,
+  kDetection = 3,
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kOutbound;
+  /// kOutbound: the receiver site; kDelivered: the sender site.
+  SiteId peer = 0;
+  /// kDelivered only: the link sequence number of the delivered frame.
+  /// Replay re-marks it received (ReliableLink::MarkReceived) — the
+  /// sender pruned acked seqs, so the journal is the only copy.
+  uint64_t seq = 0;
+  /// kOutbound / kDelivered payload.
+  EventPtr event;
+  /// kDetection payload (see dist/recovery.h DetectionFingerprint).
+  std::string fingerprint;
+};
+
+/// Per-site append-only write-ahead journal (docs/recovery.md §Journal).
+///
+/// Byte format — a sequence of CRC-framed records reusing dist/codec's
+/// event encoding:
+///
+///   Record  := len:u32 | crc:u32 | payload (len bytes)
+///   payload := type:u8 | body
+///   body(kOutbound)  := peer:u32 | Event          (codec EncodeEvent)
+///   body(kDelivered) := peer:u32 | seq:u64 | Event
+///   body(kDetection) := fingerprint bytes (to end of payload)
+///
+/// `crc` covers the payload. A record is durable only once Sync() has
+/// advanced the watermark past it; Crash() models losing power —
+/// everything after the watermark vanishes, including a partially
+/// appended record, which is why ParseJournal treats a truncated tail
+/// as a clean stop rather than corruption.
+///
+/// The journal also keeps a live mirror of its records so an in-process
+/// restart can replay the original EventPtrs (preserving Event::uid()
+/// identity); the byte image is what would hit disk and is what the
+/// parser and the chaos artifacts consume.
+class Journal {
+ public:
+  /// `fsync_every_records` is the batch-fsync policy knob: Sync() runs
+  /// automatically once that many records are pending. 1 = fsync every
+  /// append (no record can be lost to a crash); larger values batch at
+  /// the cost of a longer truncated tail on crash.
+  explicit Journal(uint32_t fsync_every_records = 1);
+
+  void AppendOutbound(SiteId receiver, const EventPtr& event);
+  void AppendDelivered(SiteId sender, uint64_t seq, const EventPtr& event);
+  void AppendDetection(std::string fingerprint);
+
+  /// Advances the durability watermark to the current tail (the fsync).
+  /// Samples the flushed byte count into the fsync histogram if obs is
+  /// attached. No-op when nothing is pending.
+  void Sync();
+
+  /// Models a crash: truncates the log (bytes and record mirror) back
+  /// to the durability watermark. Returns the number of records lost.
+  size_t Crash();
+
+  /// Live record mirror, in append order.
+  const std::vector<JournalRecord>& records() const { return records_; }
+  size_t record_count() const { return records_.size(); }
+  size_t durable_records() const { return synced_records_; }
+
+  /// The byte image (what would be on disk after a final Sync).
+  const std::string& bytes() const { return bytes_; }
+  size_t byte_size() const { return bytes_.size(); }
+
+  uint64_t syncs() const { return syncs_; }
+
+  /// Attaches the `journal_fsync_bytes` histogram (bytes flushed per
+  /// Sync); pass nullptr to detach.
+  void EnableObs(Histogram* fsync_bytes) { fsync_bytes_ = fsync_bytes; }
+
+ private:
+  void Append(JournalRecordType type, SiteId peer, uint64_t seq,
+              const EventPtr& event, std::string fingerprint);
+
+  uint32_t fsync_every_records_;
+  std::string bytes_;
+  std::vector<JournalRecord> records_;
+  size_t synced_records_ = 0;
+  size_t synced_bytes_ = 0;
+  uint64_t syncs_ = 0;
+  Histogram* fsync_bytes_ = nullptr;
+};
+
+/// Result of parsing a journal byte image.
+struct ParsedJournal {
+  std::vector<JournalRecord> records;
+  /// Bytes of a partially written trailing record that were discarded
+  /// (0 when the image ends on a record boundary).
+  size_t truncated_tail_bytes = 0;
+};
+
+/// Parses a journal byte image back into records. Events are re-decoded
+/// through dist/codec (so they carry fresh uids — see docs/recovery.md
+/// on identity). An incomplete trailing record is tolerated and
+/// reported via `truncated_tail_bytes`; a complete record whose CRC
+/// does not match its payload is corruption and fails the parse.
+Result<ParsedJournal> ParseJournal(std::string_view bytes);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_DIST_JOURNAL_H_

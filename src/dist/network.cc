@@ -109,9 +109,18 @@ bool Network::Send(SiteId from, SiteId to, std::function<void()> deliver,
   }
   latency_.Add(static_cast<double>(deliver_at - now));
   if (config_.duplicate_prob > 0 && rng_->NextBool(config_.duplicate_prob)) {
-    ++duplicates_injected_;
-    bytes_sent_ += bytes;
-    sim_->At(now + SampleLatency(from, to), deliver);
+    const TrueTimeNs dup_at = now + SampleLatency(from, to);
+    // A duplicate whose (independently sampled) arrival lands inside a
+    // receiver outage is simply not injected: the payload's fate was
+    // already decided on the primary transmission above, so charging
+    // this to a drop cause would double-count the crash window. The
+    // latency draw is consumed either way so fault schedules do not
+    // perturb the rng stream.
+    if (!config_.SiteDownAt(to, dup_at)) {
+      ++duplicates_injected_;
+      bytes_sent_ += bytes;
+      sim_->At(dup_at, deliver);
+    }
   }
   sim_->At(deliver_at, std::move(deliver));
   return true;

@@ -1,0 +1,198 @@
+#include "dist/recovery.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dist/codec.h"
+#include "dist/wire_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+Status RecoveryConfig::Validate() const {
+  if (!enabled) return Status::Ok();
+  if (checkpoint_period_ns <= 0) {
+    return Status::InvalidArgument("checkpoint_period_ns must be positive");
+  }
+  if (fsync_every_records < 1) {
+    return Status::InvalidArgument("fsync_every_records must be >= 1");
+  }
+  for (const CrashPlan& plan : crashes) {
+    if (plan.crash_ns <= 0) {
+      // The runtimes take every site's first checkpoint at time 0; a
+      // crash at or before that would have nothing to restore.
+      return Status::InvalidArgument("crash_ns must be positive");
+    }
+    if (plan.restart_ns <= plan.crash_ns) {
+      return Status::InvalidArgument("restart_ns must follow crash_ns");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string SerializeTape(const StateTape& tape) {
+  std::string out;
+  wire::PutU64(out, tape.entries().size());
+  for (const StateTape::Entry& entry : tape.entries()) {
+    wire::PutU8(out, static_cast<uint8_t>(entry.kind));
+    switch (entry.kind) {
+      case StateTape::Kind::kInt:
+        wire::PutI64(out, entry.integer);
+        break;
+      case StateTape::Kind::kEvent: {
+        const std::string bytes = EncodeEvent(entry.event);
+        wire::PutU32(out, static_cast<uint32_t>(bytes.size()));
+        out.append(bytes);
+        break;
+      }
+      case StateTape::Kind::kNullEvent:
+        break;
+      case StateTape::Kind::kStamp: {
+        const auto stamps = entry.stamp.stamps();
+        wire::PutU32(out, static_cast<uint32_t>(stamps.size()));
+        for (const PrimitiveTimestamp& p : stamps) {
+          wire::PutU32(out, p.site);
+          wire::PutI64(out, p.global);
+          wire::PutI64(out, p.local);
+        }
+        break;
+      }
+      case StateTape::Kind::kString:
+        wire::PutU32(out, static_cast<uint32_t>(entry.text.size()));
+        out.append(entry.text);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<StateTape> DeserializeTape(std::string_view bytes) {
+  wire::Reader reader(bytes);
+  const uint64_t count = reader.U64();
+  StateTape tape;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t kind = reader.U8();
+    if (!reader.ok()) {
+      return Status::InvalidArgument("tape: truncated entry header");
+    }
+    switch (static_cast<StateTape::Kind>(kind)) {
+      case StateTape::Kind::kInt:
+        tape.PutInt(reader.I64());
+        break;
+      case StateTape::Kind::kEvent: {
+        const uint32_t len = reader.U32();
+        const std::string_view event_bytes = reader.Bytes(len);
+        if (!reader.ok()) {
+          return Status::InvalidArgument("tape: truncated event entry");
+        }
+        auto event = DecodeEvent(event_bytes);
+        if (!event.ok()) return event.status();
+        tape.PutEvent(std::move(event).value());
+        break;
+      }
+      case StateTape::Kind::kNullEvent:
+        tape.PutEvent(nullptr);
+        break;
+      case StateTape::Kind::kStamp: {
+        const uint32_t stamp_count = reader.U32();
+        std::vector<PrimitiveTimestamp> stamps;
+        stamps.reserve(stamp_count);
+        for (uint32_t j = 0; j < stamp_count; ++j) {
+          PrimitiveTimestamp p;
+          p.site = reader.U32();
+          p.global = reader.I64();
+          p.local = reader.I64();
+          stamps.push_back(p);
+        }
+        if (!reader.ok()) {
+          return Status::InvalidArgument("tape: truncated stamp entry");
+        }
+        // A stored stamp is already a max-antichain, so MaxOf rebuilds
+        // it exactly (the round-trip tests pin this).
+        tape.PutStamp(CompositeTimestamp::MaxOf(stamps));
+        break;
+      }
+      case StateTape::Kind::kString: {
+        const uint32_t len = reader.U32();
+        const std::string_view text = reader.Bytes(len);
+        if (!reader.ok()) {
+          return Status::InvalidArgument("tape: truncated string entry");
+        }
+        tape.PutString(std::string(text));
+        break;
+      }
+      default:
+        return Status::InvalidArgument("tape: unknown entry kind");
+    }
+  }
+  if (!reader.ok() || reader.remaining() != 0) {
+    return Status::InvalidArgument("tape: malformed image");
+  }
+  return tape;
+}
+
+void SaveNameTable(StateTape& tape) {
+  NameTable& names = NameTable::Global();
+  const size_t count = names.size();
+  tape.PutInt(static_cast<int64_t>(count));
+  for (size_t id = 0; id < count; ++id) {
+    tape.PutString(std::string(names.Resolve(static_cast<NameId>(id))));
+  }
+}
+
+void RestoreNameTable(StateTape& tape) {
+  NameTable& names = NameTable::Global();
+  const int64_t count = tape.TakeInt();
+  for (int64_t id = 0; id < count; ++id) {
+    const std::string name = tape.TakeString();
+    const NameId interned = names.Intern(name);
+    // In-process the table still holds everything (ids never recycle);
+    // in a fresh process, interning in saved order reproduces the ids.
+    // Either way the id must come back stable or every NameId baked
+    // into restored events would dangle.
+    CHECK_LE(interned, static_cast<NameId>(id));
+  }
+}
+
+namespace {
+
+void AppendFingerprint(const EventPtr& event,
+                       const EventTypeRegistry& registry, std::string& out) {
+  if (event->is_primitive()) {
+    const auto info = registry.Info(event->type());
+    if (info.ok() && info->event_class == EventClass::kTemporal) {
+      // Timer ticks are re-minted on replay (fresh uid); their stamp is
+      // the reproducible identity.
+      const PrimitiveTimestamp& p = event->timestamp().stamps().front();
+      out += StrCat("T:", event->type(), "@", p.site, ":", p.global, ":",
+                    p.local);
+    } else {
+      out += StrCat("P:", event->uid());
+    }
+    return;
+  }
+  std::vector<std::string> keys;
+  keys.reserve(event->constituents().size());
+  for (const EventPtr& c : event->constituents()) {
+    std::string key;
+    AppendFingerprint(c, registry, key);
+    keys.push_back(std::move(key));
+  }
+  // Sorted: constituent order can differ between the original emission
+  // and a replayed one for commutative operators.
+  std::sort(keys.begin(), keys.end());
+  out += StrCat("C:", event->type(), "[", Join(keys, ","), "]");
+}
+
+}  // namespace
+
+std::string DetectionFingerprint(const EventPtr& event,
+                                 const EventTypeRegistry& registry) {
+  CHECK(event != nullptr);
+  std::string out;
+  AppendFingerprint(event, registry, out);
+  return out;
+}
+
+}  // namespace sentineld

@@ -1,0 +1,104 @@
+#ifndef SENTINELD_DIST_RECOVERY_H_
+#define SENTINELD_DIST_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/reliable_channel.h"
+#include "event/event.h"
+#include "event/registry.h"
+#include "snoop/state_tape.h"
+#include "timebase/config.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// One scheduled crash of a site: at `crash_ns` the site loses every
+/// in-memory structure (detector, sequencer, link ends) and keeps only
+/// its last checkpoint plus the synced journal prefix; at `restart_ns`
+/// it restores, replays, and rejoins. The runtimes synthesize a network
+/// outage over [crash_ns, restart_ns) from each plan, so messages to or
+/// from the dead site drop with cause "outage" — the single crash
+/// cause, never double-counted as link loss (Network::Send checks
+/// outage before consuming a loss draw).
+struct CrashPlan {
+  SiteId site = 0;
+  TrueTimeNs crash_ns = 0;
+  TrueTimeNs restart_ns = 0;
+};
+
+/// Crash-recovery policy of a distributed runtime (docs/recovery.md).
+struct RecoveryConfig {
+  /// Off: no journaling, no checkpoints, zero hot-path cost (the
+  /// journaling-off steady state stays 0 allocs/event — pinned by
+  /// bench/bench_recovery and the CI bench gate).
+  bool enabled = false;
+  /// Cadence of per-site checkpoints (taken at heartbeats). Shorter
+  /// periods bound replay cost tighter; longer ones write less. See
+  /// docs/recovery.md for the trade-off.
+  int64_t checkpoint_period_ns = 200'000'000;  // 200 ms
+  /// Journal fsync batching (Journal): 1 = sync every record (no
+  /// record can be lost), N batches N records per sync at the cost of a
+  /// truncated tail of up to N-1 records on crash.
+  uint32_t fsync_every_records = 1;
+  /// How restarted link ends re-handshake peers (reliable_channel.h).
+  /// kResume is sound with fsync_every_records == 1; with batched
+  /// syncs the journal tail can lag the seq window, and kReset is the
+  /// conservative choice.
+  RejoinPolicy rejoin = RejoinPolicy::kResume;
+  /// The crash schedule (empty = recovery machinery on, nobody dies).
+  std::vector<CrashPlan> crashes;
+
+  Status Validate() const;
+};
+
+/// A periodic per-site snapshot: everything the site needs beyond the
+/// journal suffix to rebuild its in-memory state. `journal_records` is
+/// the journal prefix the snapshot already covers — replay starts
+/// there, so replay cost is bounded by the suffix written since the
+/// last checkpoint.
+struct SiteCheckpoint {
+  SiteId site = 0;
+  TrueTimeNs taken_at = 0;
+  size_t journal_records = 0;
+  StateTape tape;
+  /// SerializeTape(tape).size() at capture time — what a durable
+  /// checkpoint would occupy (the recovery_checkpoint_bytes gauge).
+  size_t serialized_bytes = 0;
+};
+
+/// Byte form of a state tape:
+///   Tape  := count:u64 | Entry*
+///   Entry := kind:u8 | payload
+///     kInt       i64
+///     kEvent     len:u32 | Event          (dist/codec EncodeEvent)
+///     kNullEvent (empty)
+///     kStamp     count:u32 | (site:u32 | global:i64 | local:i64)*
+///     kString    len:u32 | bytes
+/// Events re-decoded from bytes carry fresh uids; in-process restores
+/// use the live tape precisely to avoid that (see StateTape docs).
+std::string SerializeTape(const StateTape& tape);
+Result<StateTape> DeserializeTape(std::string_view bytes);
+
+/// Captures the global NameTable (count + strings, id order) onto the
+/// tape. Restore re-interns in the same order: a no-op in-process, and
+/// in a fresh process it reproduces the ids — which the codec's
+/// key-resolving decode paths rely on after a restart.
+void SaveNameTable(StateTape& tape);
+void RestoreNameTable(StateTape& tape);
+
+/// Stable identity of a detection occurrence across crash + replay,
+/// used to suppress duplicate emissions when replay re-derives a
+/// detection already announced before the crash. Structural, because
+/// replay re-creates composite wrappers (fresh uids): primitives key by
+/// uid (their identity survives restore via the live tape/journal
+/// mirror), temporal-class primitives by (type, stamp) (timer ticks are
+/// re-minted on replay), composites by type over sorted child keys.
+std::string DetectionFingerprint(const EventPtr& event,
+                                 const EventTypeRegistry& registry);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_DIST_RECOVERY_H_

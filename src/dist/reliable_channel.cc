@@ -1,7 +1,11 @@
 #include "dist/reliable_channel.h"
 
+#include <utility>
+#include <vector>
+
 #include "dist/codec.h"
 #include "obs/trace.h"
+#include "snoop/state_tape.h"
 #include "util/checked.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -75,10 +79,13 @@ void ReliableLink::Transmit(uint64_t seq) {
       sender_site_, receiver_site_,
       [this, seq, event] { OnData(seq, event); },
       DataFrameWireSize(event));
-  // Arm the retransmit timer. The attempt snapshot voids stale timers: a
-  // timer only acts if no ack and no newer transmission superseded it.
+  // Arm the retransmit timer. The attempt snapshot voids stale timers (a
+  // timer only acts if no ack and no newer transmission superseded it);
+  // the epoch snapshot voids timers armed before a crash, so a stale
+  // pre-crash timer can never touch a restored window.
   const int attempt = entry.attempts;
-  sim_->After(entry.rto_ns, [this, seq, attempt] {
+  sim_->After(entry.rto_ns, [this, seq, attempt, epoch = sender_epoch_] {
+    if (epoch != sender_epoch_) return;  // armed before a crash
     auto timer_it = pending_.find(seq);
     if (timer_it == pending_.end()) return;  // acked meanwhile
     if (timer_it->second.attempts != attempt) return;  // superseded
@@ -86,6 +93,7 @@ void ReliableLink::Transmit(uint64_t seq) {
       // The cap is exhausted: the payload is abandoned and the receiver
       // (if it ever saw a later seq) keeps a permanent gap.
       ++gave_up_;
+      RecordAbandoned(seq);
       SENTINELD_TRACE_EVENT(tracer_, TracePhase::kGiveUp, sender_site_,
                             timer_it->second.event, StrCat("seq=", seq));
       pending_.erase(timer_it);
@@ -115,6 +123,9 @@ void ReliableLink::OnData(uint64_t seq, const EventPtr& event) {
     ++delivered_;
     SENTINELD_TRACE_EVENT(tracer_, TracePhase::kChannelDeliver,
                           receiver_site_, event, StrCat("seq=", seq));
+    // Log-before-ack: the journaling hook runs before delivery and
+    // before the ack below, so an acked seq is always durable.
+    if (on_deliver_seq_) on_deliver_seq_(seq, event);
     deliver_(event);
   }
   // Always (re-)ack — the previous ack for this seq may have been lost,
@@ -127,10 +138,200 @@ void ReliableLink::OnData(uint64_t seq, const EventPtr& event) {
 }
 
 void ReliableLink::OnAck(uint64_t cum_ack, uint64_t sacked_seq) {
+  // A valid ack can never reference seqs the sender has not allocated
+  // (the frontier trails the window). Acks that do are stragglers from
+  // a numbering the sender has since abandoned (kReset rejoin) — acting
+  // on one would prune payloads the receiver never saw.
+  if (cum_ack > next_seq_ || sacked_seq >= next_seq_) return;
   pending_.erase(pending_.begin(), pending_.lower_bound(cum_ack));
   pending_.erase(sacked_seq);
   // A cumulative ack retires every seq below it for good.
   SENTINELD_ASSERT(pending_.empty() || pending_.begin()->first >= cum_ack);
+}
+
+void ReliableLink::RecordAbandoned(uint64_t seq) {
+  if (!abandoned_.empty() && abandoned_.back().last_seq + 1 == seq) {
+    ++abandoned_.back().last_seq;
+    return;
+  }
+  abandoned_.push_back(SeqRange{seq, seq});
+}
+
+void ReliableLink::Enqueue(const EventPtr& event) {
+  const uint64_t seq = next_seq_++;
+  pending_.emplace(seq, Pending{event, 0, config_.initial_rto_ns});
+  Transmit(seq);
+}
+
+void ReliableLink::CrashSender() {
+  ++sender_epoch_;
+  pending_.clear();
+  // Numbering and the unique-payload count die with the half; a
+  // checkpointed link restores both, and a link born after the last
+  // checkpoint recounts its whole life from the journal replay — either
+  // way each payload is counted exactly once.
+  next_seq_ = 0;
+  payloads_sent_ = 0;
+}
+
+void ReliableLink::CrashReceiver() {
+  ++receiver_epoch_;
+  next_expected_ = 0;
+  ahead_.clear();
+  delivered_ = 0;  // symmetric to CrashSender's payloads_sent_ reset
+}
+
+void ReliableLink::SaveSenderState(StateTape& tape) const {
+  tape.PutInt(static_cast<int64_t>(next_seq_));
+  tape.PutInt(static_cast<int64_t>(payloads_sent_));
+  tape.PutInt(static_cast<int64_t>(retransmits_));
+  tape.PutInt(static_cast<int64_t>(gave_up_));
+  tape.PutInt(static_cast<int64_t>(pending_.size()));
+  for (const auto& [seq, entry] : pending_) {  // std::map: seq order
+    tape.PutInt(static_cast<int64_t>(seq));
+    tape.PutEvent(entry.event);
+    // attempts/rto are not saved: a restarted sender retries afresh.
+  }
+}
+
+void ReliableLink::SaveReceiverState(StateTape& tape) const {
+  tape.PutInt(static_cast<int64_t>(next_expected_));
+  tape.PutInt(static_cast<int64_t>(delivered_));
+  tape.PutInt(static_cast<int64_t>(duplicates_dropped_));
+  tape.PutInt(static_cast<int64_t>(acks_sent_));
+  tape.PutInt(static_cast<int64_t>(ahead_.size()));
+  for (uint64_t seq : ahead_) tape.PutInt(static_cast<int64_t>(seq));
+}
+
+void ReliableLink::RestoreSender(StateTape& tape) {
+  ++sender_epoch_;
+  next_seq_ = static_cast<uint64_t>(tape.TakeInt());
+  payloads_sent_ = static_cast<uint64_t>(tape.TakeInt());
+  retransmits_ = static_cast<uint64_t>(tape.TakeInt());
+  gave_up_ = static_cast<uint64_t>(tape.TakeInt());
+  pending_.clear();
+  const int64_t unacked = tape.TakeInt();
+  for (int64_t i = 0; i < unacked; ++i) {
+    const auto seq = static_cast<uint64_t>(tape.TakeInt());
+    pending_.emplace(seq, Pending{tape.TakeEvent(), 0,
+                                  config_.initial_rto_ns});
+  }
+}
+
+void ReliableLink::RejoinSender(RejoinPolicy policy) {
+  if (policy == RejoinPolicy::kResume) {
+    // Resume the checkpointed numbering: everything unacked at the
+    // checkpoint retransmits under its original seq, and the journal
+    // suffix replayed after this re-allocates the post-checkpoint seqs
+    // in the original send order, reproducing the seq→payload mapping.
+    for (const auto& [seq, entry] : pending_) {
+      if (entry.attempts == 0) Transmit(seq);
+    }
+    return;
+  }
+  // Reset: announce the renumbering, then replay the restored window
+  // from seq 0. The receiver zeroes its frontier on the HELLO; its
+  // uid-level dedup upstream (Sequencer) absorbs any re-delivery.
+  std::vector<EventPtr> staged;
+  staged.reserve(pending_.size());
+  for (const auto& [seq, entry] : pending_) staged.push_back(entry.event);
+  pending_.clear();
+  next_seq_ = 0;
+  SendHello(kHelloReset, 0);
+  for (const EventPtr& event : staged) Enqueue(event);
+}
+
+void ReliableLink::RestoreReceiver(StateTape& tape) {
+  ++receiver_epoch_;
+  next_expected_ = static_cast<uint64_t>(tape.TakeInt());
+  delivered_ = static_cast<uint64_t>(tape.TakeInt());
+  duplicates_dropped_ = static_cast<uint64_t>(tape.TakeInt());
+  acks_sent_ = static_cast<uint64_t>(tape.TakeInt());
+  ahead_.clear();
+  const int64_t ahead_count = tape.TakeInt();
+  for (int64_t i = 0; i < ahead_count; ++i) {
+    ahead_.insert(static_cast<uint64_t>(tape.TakeInt()));
+  }
+}
+
+void ReliableLink::MarkReceived(uint64_t seq) {
+  if (seq < next_expected_ || ahead_.contains(seq)) return;
+  ahead_.insert(seq);
+  while (ahead_.erase(next_expected_) > 0) ++next_expected_;
+  ++delivered_;
+}
+
+void ReliableLink::RejoinReceiver(RejoinPolicy policy) {
+  uint8_t flags = kHelloFromReceiver;
+  if (policy == RejoinPolicy::kReset) {
+    flags |= kHelloReset;
+    next_expected_ = 0;
+    ahead_.clear();
+  }
+  // kResume: the frontier already reflects both the checkpoint and the
+  // journal replay (MarkReceived), so the HELLO's cumulative ack tells
+  // the sender exactly what is durable; the sender prunes it and
+  // immediately retransmits the remainder instead of waiting out its
+  // RTO backoff.
+  SendHello(flags, next_expected_);
+}
+
+void ReliableLink::SendHello(uint8_t flags, uint64_t cum_ack) {
+  const uint64_t nonce = ++hello_nonce_;
+  const bool from_receiver = (flags & kHelloFromReceiver) != 0;
+  const SiteId from = from_receiver ? receiver_site_ : sender_site_;
+  const SiteId to = from_receiver ? sender_site_ : receiver_site_;
+  const uint64_t epoch = from_receiver ? receiver_epoch_ : sender_epoch_;
+  int64_t delay = 0;
+  for (int copy = 0; copy <= config_.max_retransmits; ++copy) {
+    sim_->After(delay, [this, from, to, flags, nonce, cum_ack, epoch,
+                        from_receiver] {
+      // A newer crash of the originating half supersedes this rejoin.
+      if (epoch != (from_receiver ? receiver_epoch_ : sender_epoch_)) return;
+      ++hellos_sent_;
+      network_->Send(
+          from, to,
+          [this, flags, nonce, cum_ack] { OnHello(flags, nonce, cum_ack); },
+          kHelloFrameWireSize);
+    });
+    delay += config_.initial_rto_ns;
+  }
+}
+
+void ReliableLink::OnHello(uint8_t flags, uint64_t nonce, uint64_t cum_ack) {
+  const bool from_receiver = (flags & kHelloFromReceiver) != 0;
+  // Redundant copies (and copies of older hellos) process once: nonces
+  // are allocated monotonically per link.
+  uint64_t& last = from_receiver ? last_hello_from_receiver_
+                                 : last_hello_from_sender_;
+  if (nonce <= last) return;
+  last = nonce;
+  if (from_receiver) {
+    // Sender side. Prune everything the restored receiver still knows
+    // it has, then either renumber (reset) or kick the remainder's
+    // retransmission immediately.
+    pending_.erase(pending_.begin(), pending_.lower_bound(cum_ack));
+    if ((flags & kHelloReset) != 0) {
+      std::vector<EventPtr> staged;
+      staged.reserve(pending_.size());
+      for (const auto& [seq, entry] : pending_) staged.push_back(entry.event);
+      pending_.clear();
+      next_seq_ = 0;
+      for (const EventPtr& event : staged) Enqueue(event);
+      return;
+    }
+    for (const auto& [seq, entry] : pending_) {
+      if (entry.attempts <= config_.max_retransmits) Transmit(seq);
+    }
+    return;
+  }
+  // Receiver side: the sender reset its numbering; zero the frontier so
+  // the renumbered stream is accepted from seq 0. Upstream uid dedup
+  // absorbs the re-deliveries this implies.
+  if ((flags & kHelloReset) != 0) {
+    next_expected_ = 0;
+    ahead_.clear();
+  }
 }
 
 }  // namespace sentineld

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "dist/network.h"
 #include "dist/simulation.h"
@@ -13,7 +14,17 @@
 
 namespace sentineld {
 
+class StateTape;
 class Tracer;
+
+/// How a restarted link end re-handshakes its peer (docs/recovery.md):
+/// kResume restores the checkpointed seq/ack windows and continues the
+/// numbering (sound when the sender's journal is synced per record);
+/// kReset renumbers the stream from seq 0 on both ends via a
+/// HELLO(reset) exchange — the conservative choice when restored seq
+/// state cannot be trusted. Either way the windows change explicitly,
+/// through the handshake, never by accident.
+enum class RejoinPolicy { kResume, kReset };
 
 /// Retransmission policy of a ReliableLink.
 struct ReliableChannelConfig {
@@ -91,6 +102,87 @@ class ReliableLink {
   /// in flight, being retransmitted, or (sender gave up) lost for good.
   bool has_receive_gap() const { return !ahead_.empty(); }
 
+  /// A contiguous range of abandoned sender sequence numbers.
+  struct SeqRange {
+    uint64_t first_seq = 0;
+    uint64_t last_seq = 0;
+  };
+
+  /// What the sender gave up on, as merged seq ranges in give-up order.
+  /// Together with sender()/receiver() this names exactly which stream
+  /// segment of which peer was abandoned — the detail the gap flag and
+  /// sentinel-stat previously reduced to a bare counter, and what a
+  /// rejoining site needs to distinguish "still retransmitting" from
+  /// "lost for good".
+  const std::vector<SeqRange>& abandoned_ranges() const {
+    return abandoned_;
+  }
+
+  // --- Crash/restart support (docs/recovery.md §Rejoin) ---------------
+  // In the simulation both directions of a link live in this one
+  // object, so each end crashes and restores independently: the sender
+  // half (seq allocation + unacked window) and the receiver half
+  // (cumulative frontier + out-of-order buffer).
+
+  /// Models the sender site losing its in-memory link state: the
+  /// unacked window vanishes and every armed retransmit timer is voided
+  /// (via an epoch bump — a stale timer firing after restore must not
+  /// touch the restored window).
+  void CrashSender();
+
+  /// Models the receiver site losing its link state (frontier and
+  /// out-of-order buffer).
+  void CrashReceiver();
+
+  /// Checkpoints the sender half: next seq, counters, and the unacked
+  /// payloads in seq order (attempts/RTO intentionally not saved — a
+  /// restart retries afresh).
+  void SaveSenderState(StateTape& tape) const;
+
+  /// Checkpoints the receiver half: frontier, counters, and the
+  /// out-of-order seq set.
+  void SaveReceiverState(StateTape& tape) const;
+
+  /// Restores the sender half (window numbering and unacked payloads;
+  /// nothing is transmitted yet — RejoinSender does that).
+  void RestoreSender(StateTape& tape);
+
+  /// Restores the receiver half (frontier and out-of-order buffer).
+  void RestoreReceiver(StateTape& tape);
+
+  /// Sender-side rejoin, called after RestoreSender and BEFORE journal
+  /// replay: under kResume the restored window keeps its numbering and
+  /// every restored payload retransmits; under kReset the sender
+  /// announces HELLO(reset) and renumbers the restored window from
+  /// seq 0 (replayed sends then continue that numbering in original
+  /// order).
+  void RejoinSender(RejoinPolicy policy);
+
+  /// Receiver-side rejoin, called AFTER journal replay (so the frontier
+  /// reflects MarkReceived replays): sends HELLO carrying the
+  /// cumulative ack (kResume) so the sender prunes and immediately
+  /// retransmits the remainder, or HELLO(reset) (kReset) asking the
+  /// sender to renumber from 0 (receiver frontier zeroed first).
+  void RejoinReceiver(RejoinPolicy policy);
+
+  /// Journal-replay path: records seq as received (advancing the
+  /// frontier exactly as OnData would) WITHOUT delivering or acking.
+  /// Needed because seqs acked before a receiver crash were pruned at
+  /// the sender and will never retransmit — only the receiver's durable
+  /// journal knows about them.
+  void MarkReceived(uint64_t seq);
+
+  /// Observer invoked on every fresh OnData delivery with the frame's
+  /// seq and payload, before `deliver` and before the ack goes out —
+  /// the log-before-ack journaling point (docs/recovery.md). Null
+  /// disables.
+  void set_on_deliver_seq(
+      std::function<void(uint64_t, const EventPtr&)> hook) {
+    on_deliver_seq_ = std::move(hook);
+  }
+
+  uint64_t hellos_sent() const { return hellos_sent_; }
+
  private:
   struct Pending {
     EventPtr event;
@@ -103,12 +195,29 @@ class ReliableLink {
   void OnData(uint64_t seq, const EventPtr& event);
   void OnAck(uint64_t cum_ack, uint64_t sacked_seq);
 
+  /// Sends one HELLO redundantly (1 + max_retransmits copies spaced one
+  /// initial RTO apart — HELLOs ride the same lossy network as data and
+  /// there is no ack for them); copies carry the same nonce and the
+  /// peer processes each nonce once.
+  void SendHello(uint8_t flags, uint64_t cum_ack);
+  void OnHello(uint8_t flags, uint64_t nonce, uint64_t cum_ack);
+
+  /// Records an abandoned seq, merging into the previous range when
+  /// contiguous.
+  void RecordAbandoned(uint64_t seq);
+
+  /// Allocates a fresh seq for `event` and transmits (Send minus the
+  /// payloads_sent_ count — used when renumbering an already-counted
+  /// restored window under kReset).
+  void Enqueue(const EventPtr& event);
+
   Simulation* sim_;
   Network* network_;
   SiteId sender_site_;
   SiteId receiver_site_;
   ReliableChannelConfig config_;
   Deliver deliver_;
+  std::function<void(uint64_t, const EventPtr&)> on_deliver_seq_;
   Tracer* tracer_ = nullptr;
 
   // Sender state.
@@ -125,6 +234,19 @@ class ReliableLink {
   uint64_t delivered_ = 0;
   uint64_t duplicates_dropped_ = 0;
   uint64_t acks_sent_ = 0;
+
+  // Crash/rejoin state. Each half has its own epoch (the two halves
+  // crash independently — a receiver crash must not void the live
+  // sender's retransmit timers): bumping it voids that half's armed
+  // timers and queued HELLO copies. Nonces dedup the redundant HELLO
+  // copies, one slot per direction.
+  uint64_t sender_epoch_ = 0;
+  uint64_t receiver_epoch_ = 0;
+  uint64_t hello_nonce_ = 0;
+  uint64_t hellos_sent_ = 0;
+  uint64_t last_hello_from_sender_ = 0;
+  uint64_t last_hello_from_receiver_ = 0;
+  std::vector<SeqRange> abandoned_;
 };
 
 }  // namespace sentineld

@@ -25,6 +25,23 @@ Status RuntimeConfig::Validate() const {
   RETURN_IF_ERROR(timebase.Validate());
   RETURN_IF_ERROR(network.Validate());
   RETURN_IF_ERROR(channel.Validate());
+  RETURN_IF_ERROR(recovery.Validate());
+  if (recovery.enabled) {
+    if (!channel.enabled) {
+      return Status::InvalidArgument(
+          "recovery requires the reliable channel");
+    }
+    if (detector_threads != 0) {
+      return Status::InvalidArgument(
+          "recovery requires the sequential detector "
+          "(detector_threads == 0)");
+    }
+    for (const CrashPlan& plan : recovery.crashes) {
+      if (plan.site >= num_sites) {
+        return Status::InvalidArgument("crash plan site out of range");
+      }
+    }
+  }
   return Status::Ok();
 }
 
@@ -48,12 +65,21 @@ Result<std::unique_ptr<DistributedRuntime>> DistributedRuntime::Create(
     return Status::InvalidArgument("null registry");
   }
   RETURN_IF_ERROR(config.Validate());
+  // A crashed site is dark on the wire: synthesize an outage per crash
+  // plan so its in-flight traffic drops with exactly one cause (outage —
+  // Network::Send checks outages before consuming a loss draw, so a
+  // crash-window drop can never double as link loss).
+  RuntimeConfig effective = config;
+  for (const CrashPlan& plan : config.recovery.crashes) {
+    effective.network.outages.push_back(
+        SiteOutage{plan.site, plan.crash_ns, plan.restart_ns});
+  }
   Rng fleet_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
   Result<ClockFleet> fleet = ClockFleet::Create(
       config.num_sites, config.timebase, config.sync, fleet_rng);
   if (!fleet.ok()) return fleet.status();
   return std::unique_ptr<DistributedRuntime>(
-      new DistributedRuntime(config, registry, std::move(*fleet)));
+      new DistributedRuntime(effective, registry, std::move(*fleet)));
 }
 
 DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
@@ -78,7 +104,10 @@ DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
                               config_.detector_site, event);
         detector_->Feed(event);
       },
-      /*dedup=*/config_.network.duplicate_prob > 0);
+      // uid dedup also absorbs crash-replay re-deliveries (the dedup
+      // set survives a restart inside the checkpoint).
+      /*dedup=*/config_.network.duplicate_prob > 0 ||
+          config_.recovery.enabled);
   max_delivered_anchor_.assign(config_.num_sites, INT64_MIN);
   if (config_.channel.enabled) {
     links_.resize(config_.num_sites);
@@ -88,6 +117,31 @@ DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
           [this, site](const EventPtr& event) {
             DeliverToDetector(site, event);
           });
+    }
+  }
+  if (config_.recovery.enabled) {
+    serial_detector_ = dynamic_cast<Detector*>(detector_.get());
+    // Validate() pinned detector_threads == 0, so the engine is the
+    // sequential Detector.
+    CHECK(serial_detector_ != nullptr);
+    site_recovery_.reserve(config_.num_sites);
+    for (SiteId site = 0; site < config_.num_sites; ++site) {
+      site_recovery_.emplace_back(config_.recovery.fsync_every_records);
+    }
+    for (SiteId site = 0; site < config_.num_sites; ++site) {
+      // Log-before-ack: the hook runs inside OnData before the ack is
+      // sent, so every acked seq is journaled at the detector site.
+      links_[site]->set_on_deliver_seq(
+          [this, site](uint64_t seq, const EventPtr& event) {
+            if (replaying_) return;
+            site_recovery_[config_.detector_site].journal.AppendDelivered(
+                site, seq, event);
+          });
+    }
+    for (const CrashPlan& plan : config_.recovery.crashes) {
+      sim_.At(plan.crash_ns, [this, site = plan.site] { CrashSite(site); });
+      sim_.At(plan.restart_ns,
+              [this, site = plan.site] { RestartSite(site); });
     }
   }
   if (config_.obs != nullptr) {
@@ -110,6 +164,12 @@ DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
     for (SiteId site = 0; site < config_.num_sites; ++site) {
       obs_injected_[site] =
           metrics.GetCounter("events_injected", StrCat("site=", site));
+    }
+    for (SiteId site = 0; site < config_.num_sites &&
+                          config_.recovery.enabled;
+         ++site) {
+      site_recovery_[site].journal.EnableObs(
+          metrics.GetHistogram("journal_fsync_bytes", StrCat("site=", site)));
     }
   }
 }
@@ -138,6 +198,19 @@ Result<EventTypeId> DistributedRuntime::AddRule(const std::string& name,
       name, expr,
       [this, detections, latency,
        callback = std::move(callback)](const EventPtr& event) {
+        if (config_.recovery.enabled) {
+          // Replay re-derives detections already announced before the
+          // crash; the structural fingerprint identifies them across the
+          // restart (uids of replayed composites differ).
+          std::string fingerprint =
+              DetectionFingerprint(event, *registry_);
+          if (!emitted_fingerprints_.insert(fingerprint).second) {
+            ++stats_.recovery_suppressed_detections;
+            return;
+          }
+          site_recovery_[config_.detector_site].journal.AppendDetection(
+              std::move(fingerprint));
+        }
         const double latency_ms = RecordDetection(event);
         if (detections != nullptr) detections->Add(1);
         if (latency != nullptr && latency_ms >= 0) latency->Add(latency_ms);
@@ -167,6 +240,14 @@ Status DistributedRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
     horizon_ = std::max(horizon_, planned.when);
     ++planned_total_;
     sim_.At(planned.when, [this, planned] {
+      if (config_.recovery.enabled && site_recovery_[planned.site].down) {
+        // The site is dead: the occurrence never happens (it is not in
+        // history_, so the oracle agrees). The planned denominator
+        // shrinks to keep the completeness gauge exact.
+        --planned_total_;
+        ++stats_.recovery_skipped_injections;
+        return;
+      }
       // The site stamps the occurrence with its own (drifting, synced)
       // local clock — the only clock it can observe.
       const PrimitiveTimestamp stamp =
@@ -181,6 +262,13 @@ Status DistributedRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
                             event);
       // Notify the detector site, reliably or fire-and-forget.
       if (config_.channel.enabled) {
+        if (config_.recovery.enabled) {
+          // Write-ahead: the send intent is durable before the payload
+          // reaches the link, so a crashed sender re-offers it on
+          // replay.
+          site_recovery_[planned.site].journal.AppendOutbound(
+              config_.detector_site, event);
+        }
         links_[planned.site]->Send(event);
       } else {
         // The per-send flag counts each payload's delivery once even
@@ -227,6 +315,12 @@ LocalTicks DistributedRuntime::DetectorLocalNow() {
 }
 
 void DistributedRuntime::Heartbeat() {
+  if (config_.recovery.enabled) {
+    MaybeCheckpoint();
+    // A dead detector site pumps nothing; its clock catches up after
+    // restore (the rejoin gap is recorded as recovery_rejoin_ticks).
+    if (site_recovery_[config_.detector_site].down) return;
+  }
   const LocalTicks local = DetectorLocalNow();
   // Release stable events first, then fire timers up to the watermark so
   // temporal occurrences never run ahead of undelivered input.
@@ -253,6 +347,148 @@ void DistributedRuntime::Heartbeat() {
   detector_->Drain();
   SampleObs();
   MaybeSnapshot();
+}
+
+void DistributedRuntime::MaybeCheckpoint() {
+  for (SiteId site = 0; site < config_.num_sites; ++site) {
+    SiteRecovery& sr = site_recovery_[site];
+    if (sr.down || sim_.now() < sr.next_checkpoint_ns) continue;
+    CheckpointSite(site);
+    sr.next_checkpoint_ns =
+        sim_.now() + config_.recovery.checkpoint_period_ns;
+  }
+}
+
+void DistributedRuntime::CheckpointSite(SiteId site) {
+  SiteRecovery& sr = site_recovery_[site];
+  SiteCheckpoint checkpoint;
+  checkpoint.site = site;
+  checkpoint.taken_at = sim_.now();
+  // A checkpoint forces its journal prefix durable first, so
+  // journal_records never exceeds what a crash can preserve.
+  sr.journal.Sync();
+  // Replay after a restore starts at this journal index: the records
+  // below it are already reflected in the state saved here, so replay
+  // cost is bounded by the suffix written since this checkpoint.
+  checkpoint.journal_records = sr.journal.record_count();
+  StateTape& tape = checkpoint.tape;
+  links_[site]->SaveSenderState(tape);
+  if (site == config_.detector_site) {
+    sequencer_->SaveState(tape);
+    serial_detector_->SaveState(tape);
+    for (const auto& link : links_) link->SaveReceiverState(tape);
+    for (LocalTicks anchor : max_delivered_anchor_) tape.PutInt(anchor);
+    std::vector<std::string> fingerprints(emitted_fingerprints_.begin(),
+                                          emitted_fingerprints_.end());
+    // Sorted so the serialized image is deterministic across runs.
+    std::sort(fingerprints.begin(), fingerprints.end());
+    tape.PutInt(static_cast<int64_t>(fingerprints.size()));
+    for (std::string& fingerprint : fingerprints) {
+      tape.PutString(std::move(fingerprint));
+    }
+    SaveNameTable(tape);
+  }
+  checkpoint.serialized_bytes = SerializeTape(tape).size();
+  ++stats_.recovery_checkpoints;
+  if (config_.obs != nullptr) {
+    config_.obs->metrics()
+        .GetGauge("recovery_checkpoint_bytes", StrCat("site=", site))
+        ->Set(static_cast<double>(checkpoint.serialized_bytes));
+  }
+  sr.checkpoint = std::move(checkpoint);
+}
+
+void DistributedRuntime::CrashSite(SiteId site) {
+  SiteRecovery& sr = site_recovery_[site];
+  sr.down = true;
+  stats_.recovery_truncated_records += sr.journal.Crash();
+  links_[site]->CrashSender();
+  if (site == config_.detector_site) {
+    // The detector site is the receiver of every link; its frontier and
+    // out-of-order buffers die with it. (The in-memory sequencer and
+    // detector are stale from here on and are overwritten at restore;
+    // no input reaches them meanwhile — the synthesized outage drops
+    // arrivals and Heartbeat early-outs.)
+    for (auto& link : links_) link->CrashReceiver();
+  }
+}
+
+void DistributedRuntime::RestartSite(SiteId site) {
+  SiteRecovery& sr = site_recovery_[site];
+  sr.down = false;
+  // Validate() guarantees crash_ns > 0 and every site checkpoints on
+  // the first heartbeat (t = 0), so a checkpoint always exists.
+  CHECK(sr.checkpoint.has_value());
+  StateTape& tape = sr.checkpoint->tape;
+  tape.Rewind();
+  const bool is_detector = site == config_.detector_site;
+  links_[site]->RestoreSender(tape);
+  if (is_detector) {
+    sequencer_->LoadState(tape);
+    serial_detector_->LoadState(tape);
+    for (auto& link : links_) link->RestoreReceiver(tape);
+    for (LocalTicks& anchor : max_delivered_anchor_) {
+      anchor = tape.TakeInt();
+    }
+    emitted_fingerprints_.clear();
+    const int64_t fingerprints = tape.TakeInt();
+    for (int64_t i = 0; i < fingerprints; ++i) {
+      emitted_fingerprints_.insert(tape.TakeString());
+    }
+    RestoreNameTable(tape);
+  }
+  CHECK(tape.exhausted());
+  // Sender rejoin precedes replay: replayed sends must continue the
+  // restored (kResume) or renumbered (kReset) window in original order.
+  links_[site]->RejoinSender(config_.recovery.rejoin);
+  replaying_ = true;
+  const auto& records = sr.journal.records();
+  const size_t replay_end = records.size();  // detections append below
+  for (size_t i = sr.checkpoint->journal_records; i < replay_end; ++i) {
+    const JournalRecord& record = records[i];
+    switch (record.type) {
+      case JournalRecordType::kOutbound:
+        // Re-offer to the link; under kResume this reproduces the
+        // original seq numbering (send order is journal order).
+        links_[site]->Send(record.event);
+        break;
+      case JournalRecordType::kDelivered:
+        // The sender pruned this seq when it was acked; re-advance the
+        // frontier from the journal and re-offer the payload (the
+        // sequencer's restored uid dedup keeps delivery exactly-once).
+        links_[record.peer]->MarkReceived(record.seq);
+        DeliverToDetector(record.peer, record.event);
+        break;
+      case JournalRecordType::kDetection:
+        emitted_fingerprints_.insert(record.fingerprint);
+        break;
+    }
+    ++sr.replayed;
+    ++stats_.recovery_replayed_events;
+  }
+  replaying_ = false;
+  if (is_detector) {
+    // Receiver rejoin after replay: the HELLO's cumulative ack then
+    // covers everything the journal proved durable.
+    for (auto& link : links_) {
+      link->RejoinReceiver(config_.recovery.rejoin);
+    }
+    if (config_.obs != nullptr) {
+      // How far the restored detector clock trails the site's live
+      // local time — the stability-window re-entry gap the next
+      // heartbeats advance through.
+      const int64_t gap = std::max<int64_t>(
+          0, DetectorLocalNow() - serial_detector_->clock());
+      config_.obs->metrics()
+          .GetHistogram("recovery_rejoin_ticks", StrCat("site=", site))
+          ->Add(static_cast<double>(gap));
+    }
+  }
+  // A restart ends with a fresh checkpoint: with batched fsync, Crash()
+  // truncated the journal, so record indices restart — replaying a
+  // second crash against the pre-truncation checkpoint index would skip
+  // the records appended since this restart.
+  CheckpointSite(site);
 }
 
 void DistributedRuntime::SampleObs() {
@@ -314,6 +550,13 @@ void DistributedRuntime::SampleObs() {
         ->Set(static_cast<double>(link->unacked()));
     gave_up += link->gave_up();
   }
+  if (config_.recovery.enabled) {
+    for (SiteId site = 0; site < config_.num_sites; ++site) {
+      metrics
+          .GetCounter("recovery_replayed_events", StrCat("site=", site))
+          ->SetTotal(site_recovery_[site].replayed);
+    }
+  }
   // Pessimistic incremental completeness: 1 - known-lost / planned. The
   // denominator is fixed once injection is planned and the numerator only
   // grows, so the gauge is monotone non-increasing — and it converges to
@@ -358,7 +601,13 @@ RuntimeStats DistributedRuntime::Run() {
   // outstanding periodic timers' current windows.
   const int64_t window_ns = sequencer_->window_ticks() *
                             config_.timebase.local_granularity_ns;
-  const TrueTimeNs drain_until = horizon_ + window_ns +
+  // A restart can re-offer traffic well after the injection horizon;
+  // drain past the last restart too.
+  TrueTimeNs horizon = horizon_;
+  for (const CrashPlan& plan : config_.recovery.crashes) {
+    horizon = std::max(horizon, plan.restart_ns);
+  }
+  const TrueTimeNs drain_until = horizon + window_ns +
                                  config_.network.base_latency_ns +
                                  20 * config_.network.jitter_mean_ns +
                                  2 * config_.heartbeat_ns +
@@ -394,12 +643,23 @@ RuntimeStats DistributedRuntime::Run() {
     stats_.channel_retransmits += link->retransmits();
     stats_.channel_gave_up += link->gave_up();
     stats_.channel_duplicates_dropped += link->duplicates_dropped();
+    for (const ReliableLink::SeqRange& range : link->abandoned_ranges()) {
+      stats_.channel_abandoned.push_back(RuntimeStats::AbandonedRange{
+          link->sender(), link->receiver(), range.first_seq,
+          range.last_seq});
+    }
   }
   stats_.completeness =
       payloads_sent == 0
           ? 1.0
           : static_cast<double>(payloads_delivered) /
                 static_cast<double>(payloads_sent);
+  if (config_.recovery.enabled) {
+    for (const SiteRecovery& sr : site_recovery_) {
+      stats_.journal_bytes += sr.journal.byte_size();
+      stats_.journal_fsyncs += sr.journal.syncs();
+    }
+  }
   SampleObs();
   if (config_.obs != nullptr) config_.obs->TakeSnapshot(sim_.now());
   return stats_;

@@ -2,12 +2,16 @@
 #define SENTINELD_DIST_RUNTIME_H_
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "dist/journal.h"
 #include "dist/network.h"
+#include "dist/recovery.h"
 #include "dist/reliable_channel.h"
 #include "dist/sequencer.h"
 #include "dist/simulation.h"
@@ -41,6 +45,14 @@ struct RuntimeConfig {
   /// when disabled, every network drop is a silent completeness loss
   /// (quantified in RuntimeStats::completeness).
   ReliableChannelConfig channel;
+  /// Crash-recovery policy (dist/recovery.h, docs/recovery.md). When
+  /// enabled the runtime journals traffic per site, checkpoints
+  /// periodically, and executes the configured crash schedule — each
+  /// CrashPlan additionally synthesizes a network outage over
+  /// [crash_ns, restart_ns) so in-flight messages of a dead site drop
+  /// with cause "outage". Requires the reliable channel and the
+  /// sequential detector (detector_threads == 0).
+  RecoveryConfig recovery;
   ParamContext context = ParamContext::kUnrestricted;
   /// Eligibility policy for order-sensitive operators (snoop/context.h).
   IntervalPolicy interval_policy = IntervalPolicy::kPointBased;
@@ -111,6 +123,32 @@ struct RuntimeStats {
   /// detector evaluated an incomplete history and its output is a lower
   /// bound on the oracle's.
   double completeness = 1.0;
+  // --- Crash recovery (zero unless RecoveryConfig::enabled) -----------
+  uint64_t recovery_checkpoints = 0;
+  /// Journal records replayed across all restarts.
+  uint64_t recovery_replayed_events = 0;
+  /// Records lost to crashes because they were appended but not yet
+  /// synced (always 0 with fsync_every_records == 1).
+  uint64_t recovery_truncated_records = 0;
+  /// Planned injections that never occurred because their site was down.
+  uint64_t recovery_skipped_injections = 0;
+  /// Replay-re-derived detections suppressed by fingerprint dedup — each
+  /// one is a detection that would have been announced twice.
+  uint64_t recovery_suppressed_detections = 0;
+  /// Total WAL bytes appended / fsync batches across all site journals —
+  /// the durability traffic the fsync policy trades (bench_recovery).
+  uint64_t journal_bytes = 0;
+  uint64_t journal_fsyncs = 0;
+  /// One give-up-capped loss range per (link, contiguous seq run): which
+  /// peer's stream lost which segment — the enumeration behind the bare
+  /// channel_gave_up counter.
+  struct AbandonedRange {
+    SiteId sender = 0;
+    SiteId receiver = 0;
+    uint64_t first_seq = 0;
+    uint64_t last_seq = 0;
+  };
+  std::vector<AbandonedRange> channel_abandoned;
   /// Detection latency: wall (reference) time from the latest constituent
   /// primitive occurrence to the rule firing, in milliseconds.
   Histogram detection_latency_ms;
@@ -154,6 +192,16 @@ class DistributedRuntime {
   /// Every rule-root detection, in firing order.
   const std::vector<EventPtr>& detections() const { return detections_; }
 
+  /// Post-mortem access to a site's durable recovery state (valid only
+  /// with recovery enabled) — the chaos harness archives these as CI
+  /// artifacts when a differential run fails.
+  const Journal& site_journal(SiteId site) const {
+    return site_recovery_.at(site).journal;
+  }
+  const std::optional<SiteCheckpoint>& site_checkpoint(SiteId site) const {
+    return site_recovery_.at(site).checkpoint;
+  }
+
   Simulation& sim() { return sim_; }
   DetectorEngine& detector() { return *detector_; }
   const RuntimeConfig& config() const { return config_; }
@@ -164,6 +212,17 @@ class DistributedRuntime {
 
   void DeliverToDetector(SiteId from, const EventPtr& event);
   void Heartbeat();
+  /// Checkpoints every live site whose checkpoint period has elapsed
+  /// (every site checkpoints on the first heartbeat, at t = 0).
+  void MaybeCheckpoint();
+  void CheckpointSite(SiteId site);
+  /// Fail-stop: truncates the site's journal to the durability
+  /// watermark and wipes its link halves (both halves when the site
+  /// hosts the detector).
+  void CrashSite(SiteId site);
+  /// Restores the last checkpoint, replays the journal suffix written
+  /// since it, and re-handshakes link peers (docs/recovery.md §Rejoin).
+  void RestartSite(SiteId site);
   LocalTicks DetectorLocalNow();
   /// Records a detection into stats/history; returns the occurrence-to-
   /// detection latency in ms, or -1 when no constituent has an injection
@@ -175,6 +234,18 @@ class DistributedRuntime {
   /// cadence; hot paths stay untouched) and refreshes the gauges.
   void SampleObs();
   void MaybeSnapshot();
+
+  /// Durable-state model of one site under recovery: the write-ahead
+  /// journal, the last checkpoint, and the liveness flag the injection
+  /// and heartbeat paths consult.
+  struct SiteRecovery {
+    explicit SiteRecovery(uint32_t fsync_every) : journal(fsync_every) {}
+    Journal journal;
+    std::optional<SiteCheckpoint> checkpoint;
+    bool down = false;
+    TrueTimeNs next_checkpoint_ns = 0;
+    uint64_t replayed = 0;  ///< journal records replayed at this site
+  };
 
   RuntimeConfig config_;
   EventTypeRegistry* registry_;
@@ -207,6 +278,17 @@ class DistributedRuntime {
   uint64_t planned_total_ = 0;
   uint64_t known_lost_ = 0;
   TrueTimeNs next_snapshot_ns_ = 0;
+  // --- Crash recovery (empty/null unless recovery.enabled) ------------
+  std::vector<SiteRecovery> site_recovery_;
+  /// The sequential engine behind detector_ — checkpointing needs the
+  /// concrete Detector's Save/LoadState (hence detector_threads == 0).
+  Detector* serial_detector_ = nullptr;
+  /// True while RestartSite replays the journal, so replayed traffic is
+  /// not journaled again.
+  bool replaying_ = false;
+  /// Fingerprints of every detection announced so far (restart-proof
+  /// via checkpoint + journal): replay re-derivations are suppressed.
+  std::unordered_set<std::string> emitted_fingerprints_;
 };
 
 }  // namespace sentineld

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "snoop/state_tape.h"
 
 #include "util/checked.h"
 #include "util/logging.h"
@@ -127,6 +128,52 @@ void Sequencer::ReleaseBatch(std::vector<Held> batch) {
       obs_hold_ticks_->Add(static_cast<double>(std::max<int64_t>(0, lag)));
     }
     release_(held.event);
+  }
+}
+
+void Sequencer::SaveState(StateTape& tape) const {
+  tape.PutInt(watermark_);
+  tape.PutInt(static_cast<int64_t>(seq_));
+  tape.PutInt(static_cast<int64_t>(released_));
+  tape.PutInt(static_cast<int64_t>(late_arrivals_));
+  tape.PutInt(static_cast<int64_t>(duplicates_dropped_));
+  tape.PutInt(static_cast<int64_t>(buffer_.size()));
+  for (const Held& held : buffer_) {
+    tape.PutEvent(held.event);
+    tape.PutInt(static_cast<int64_t>(held.seq));
+    // held.anchor is derived from the timestamp; recomputed on load.
+  }
+  // The dedup set, sorted so the checkpoint serializes deterministically
+  // (unordered_set iteration order is not).
+  std::vector<uint64_t> seen(seen_.begin(), seen_.end());
+  std::sort(seen.begin(), seen.end());
+  tape.PutInt(static_cast<int64_t>(seen.size()));
+  for (uint64_t uid : seen) tape.PutInt(static_cast<int64_t>(uid));
+}
+
+void Sequencer::LoadState(StateTape& tape) {
+  watermark_ = tape.TakeInt();
+  seq_ = static_cast<uint64_t>(tape.TakeInt());
+  released_ = static_cast<uint64_t>(tape.TakeInt());
+  late_arrivals_ = static_cast<uint64_t>(tape.TakeInt());
+  duplicates_dropped_ = static_cast<uint64_t>(tape.TakeInt());
+  buffer_.clear();
+  const int64_t held_count = tape.TakeInt();
+  for (int64_t i = 0; i < held_count; ++i) {
+    Held held;
+    held.event = tape.TakeEvent();
+    CHECK(held.event != nullptr);
+    held.seq = static_cast<uint64_t>(tape.TakeInt());
+    held.anchor = MinAnchorTick(held.event->timestamp());
+    buffer_.push_back(std::move(held));
+  }
+  seen_.clear();
+  const int64_t seen_count = tape.TakeInt();
+  for (int64_t i = 0; i < seen_count; ++i) {
+    seen_.insert(static_cast<uint64_t>(tape.TakeInt()));
+  }
+  if (obs_pending_ != nullptr) {
+    obs_pending_->Set(static_cast<double>(buffer_.size()));
   }
 }
 

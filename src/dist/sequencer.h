@@ -14,6 +14,7 @@ namespace sentineld {
 class Counter;
 class Gauge;
 class Histogram;
+class StateTape;
 
 /// The minimum local tick among the timestamp's elements — the release
 /// key of the Sequencer (see class docs) and the quantity fault-aware
@@ -79,6 +80,14 @@ class Sequencer {
   /// paper's timeliness cost of the 2g_g order guarantee).
   void EnableObs(Counter* released, Counter* late_arrivals, Gauge* pending,
                  Histogram* hold_ticks);
+
+  /// Checkpoints the watermark, counters, held buffer, and — crucially
+  /// for exactly-once detection across a restart — the uid dedup set
+  /// onto `tape` (docs/recovery.md). LoadState replaces current state;
+  /// restored events keep their identity, so replayed duplicates of
+  /// anything offered before the checkpoint are still recognized.
+  void SaveState(StateTape& tape) const;
+  void LoadState(StateTape& tape);
 
   size_t pending() const { return buffer_.size(); }
   uint64_t released() const { return released_; }

@@ -1,0 +1,76 @@
+#ifndef SENTINELD_DIST_WIRE_UTIL_H_
+#define SENTINELD_DIST_WIRE_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace sentineld::wire {
+
+/// Little-endian fixed-width byte helpers shared by the journal and
+/// checkpoint serializers (dist/codec.cc keeps its own equivalents
+/// private to pin the wire format in one translation unit; these exist
+/// for the recovery formats layered on top of it).
+
+inline void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+template <typename T>
+inline void PutFixed(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+inline void PutU32(std::string& out, uint32_t v) { PutFixed(out, v); }
+inline void PutU64(std::string& out, uint64_t v) { PutFixed(out, v); }
+inline void PutI64(std::string& out, int64_t v) { PutFixed(out, v); }
+
+/// Bounds-checked cursor over a byte image. Reads past the end set a
+/// sticky failure flag and return zero values; callers check ok() once
+/// at the end instead of after every field.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  uint8_t U8() { return Fixed<uint8_t>(); }
+  uint32_t U32() { return Fixed<uint32_t>(); }
+  uint64_t U64() { return Fixed<uint64_t>(); }
+  int64_t I64() { return Fixed<int64_t>(); }
+
+  std::string_view Bytes(size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  template <typename T>
+  T Fixed() {
+    if (!ok_ || remaining() < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace sentineld::wire
+
+#endif  // SENTINELD_DIST_WIRE_UTIL_H_

@@ -17,7 +17,7 @@ namespace {
 /// docs/observability.md lists exactly these rows (enforced by
 /// tests/obs_test.cc's parity test), so adding a metric means adding it
 /// in both places.
-constexpr std::array<MetricInfo, 20> kCatalog = {{
+constexpr std::array<MetricInfo, 24> kCatalog = {{
     {"events_injected", MetricKind::kCounter, "events", "site",
      "primitive occurrences raised at each site"},
     {"detections", MetricKind::kCounter, "events", "rule,detector_shard?",
@@ -61,6 +61,14 @@ constexpr std::array<MetricInfo, 20> kCatalog = {{
      "watermark advances past a known receive-side sequence gap"},
     {"completeness", MetricKind::kGauge, "fraction", "",
      "pessimistic incremental completeness: 1 - known lost / planned"},
+    {"recovery_replayed_events", MetricKind::kCounter, "records", "site",
+     "journal records replayed during site restarts"},
+    {"recovery_checkpoint_bytes", MetricKind::kGauge, "bytes", "site",
+     "serialized size of the latest checkpoint taken at each site"},
+    {"recovery_rejoin_ticks", MetricKind::kHistogram, "ticks", "site",
+     "local-clock gap the detector closes when its site rejoins"},
+    {"journal_fsync_bytes", MetricKind::kHistogram, "bytes", "site",
+     "bytes made durable per journal fsync batch"},
 }};
 
 /// The keys of a "k1=v1,k2=v2" label list, in order.

@@ -1,6 +1,7 @@
 #include "snoop/detector.h"
 
 #include "obs/trace.h"
+#include "snoop/state_tape.h"
 #include "util/checked.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -248,6 +249,62 @@ void Detector::AdvanceClockTo(LocalTicks now) {
         options_.host_site, TruncToGlobal(entry.tick, options_.timebase),
         entry.tick};
     entry.node->OnTimer(stamp, entry.payload);
+  }
+}
+
+void Detector::SaveState(StateTape& tape) const {
+  tape.PutInt(clock_);
+  tape.PutInt(static_cast<int64_t>(timer_seq_));
+  tape.PutInt(static_cast<int64_t>(events_fed_));
+  tape.PutInt(static_cast<int64_t>(events_dropped_));
+  tape.PutInt(static_cast<int64_t>(timers_fired_));
+  tape.PutInt(static_cast<int64_t>(nodes_.size()));
+  for (const auto& node : nodes_) node->SaveState(tape);
+  // Pending timers, referencing their owner by graph index (stable for
+  // an identically built detector). Enumerated in firing order by
+  // draining a copy of the heap.
+  std::unordered_map<const Node*, int64_t> node_index;
+  node_index.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    node_index[nodes_[i].get()] = static_cast<int64_t>(i);
+  }
+  auto timers = timers_;
+  tape.PutInt(static_cast<int64_t>(timers.size()));
+  while (!timers.empty()) {
+    const TimerEntry& entry = timers.top();
+    const auto it = node_index.find(entry.node);
+    CHECK(it != node_index.end());
+    tape.PutInt(it->second);
+    tape.PutInt(entry.tick);
+    tape.PutInt(static_cast<int64_t>(entry.seq));
+    tape.PutInt(entry.payload);
+    timers.pop();
+  }
+}
+
+void Detector::LoadState(StateTape& tape) {
+  clock_ = tape.TakeInt();
+  timer_seq_ = static_cast<uint64_t>(tape.TakeInt());
+  events_fed_ = static_cast<uint64_t>(tape.TakeInt());
+  events_dropped_ = static_cast<uint64_t>(tape.TakeInt());
+  timers_fired_ = static_cast<uint64_t>(tape.TakeInt());
+  // LoadState requires a detector built from the same rules, in the
+  // same order — the node count is the cheap structural fingerprint.
+  const int64_t num_nodes = tape.TakeInt();
+  CHECK_EQ(static_cast<size_t>(num_nodes), nodes_.size());
+  for (const auto& node : nodes_) node->LoadState(tape);
+  timers_ = {};
+  const int64_t num_timers = tape.TakeInt();
+  for (int64_t i = 0; i < num_timers; ++i) {
+    const int64_t node_index = tape.TakeInt();
+    const LocalTicks tick = tape.TakeInt();
+    const auto seq = static_cast<uint64_t>(tape.TakeInt());
+    const int64_t payload = tape.TakeInt();
+    CHECK_GE(node_index, 0);
+    CHECK_LT(static_cast<size_t>(node_index), nodes_.size());
+    timers_.push(
+        TimerEntry{tick, seq, nodes_[static_cast<size_t>(node_index)].get(),
+                   payload});
   }
 }
 

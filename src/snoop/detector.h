@@ -23,6 +23,7 @@
 
 namespace sentineld {
 
+class StateTape;
 class Tracer;
 
 /// Truncates a local-tick reading to its global tick under the config's
@@ -151,6 +152,18 @@ class Detector final : public DetectorEngine, public TimerService {
 
   const std::vector<RuleInfo>& rules() const { return rules_; }
   const EventTypeRegistry& registry() const { return *registry_; }
+
+  /// Checkpoints the mutable detection state — host clock, feed
+  /// counters, every node's operator buffers (graph order, which is
+  /// deterministic for a fixed rule sequence), and the pending timer
+  /// heap (timers reference their node by graph index) — onto `tape`.
+  /// The graph structure itself is not saved: LoadState requires a
+  /// detector built from the same rules in the same order, and
+  /// CHECK-fails on a node-count mismatch. See docs/recovery.md.
+  void SaveState(StateTape& tape) const;
+
+  /// Restores state written by SaveState, overwriting current state.
+  void LoadState(StateTape& tape);
 
  private:
   friend class SerialGuard;

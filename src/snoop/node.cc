@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snoop/state_tape.h"
 #include "util/logging.h"
 
 namespace sentineld {
@@ -702,6 +703,168 @@ void PlusNode::OnTimer(const PrimitiveTimestamp& stamp, int64_t payload) {
   if (initiator == nullptr) return;  // superseded under kRecent
   pending_[payload].reset();
   EmitComposite({initiator, Event::MakePrimitive(tick_type_, stamp)});
+}
+
+// --- Checkpoint state (docs/recovery.md). Every override writes its
+// buffers in declaration order, after the base emit count; LoadState
+// mirrors the exact same sequence. Helper pair for the ubiquitous
+// vector<EventPtr> shape:
+
+namespace {
+
+void SaveEvents(StateTape& tape, const std::vector<EventPtr>& events) {
+  tape.PutInt(static_cast<int64_t>(events.size()));
+  for (const EventPtr& e : events) tape.PutEvent(e);
+}
+
+std::vector<EventPtr> LoadEvents(StateTape& tape) {
+  const int64_t n = tape.TakeInt();
+  CHECK_GE(n, 0);
+  std::vector<EventPtr> events;
+  events.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) events.push_back(tape.TakeEvent());
+  return events;
+}
+
+}  // namespace
+
+void Node::SaveState(StateTape& tape) const {
+  tape.PutInt(static_cast<int64_t>(emit_count_));
+}
+
+void Node::LoadState(StateTape& tape) {
+  emit_count_ = static_cast<uint64_t>(tape.TakeInt());
+}
+
+void AndNode::SaveState(StateTape& tape) const {
+  Node::SaveState(tape);
+  SaveEvents(tape, buffer_[0]);
+  SaveEvents(tape, buffer_[1]);
+}
+
+void AndNode::LoadState(StateTape& tape) {
+  Node::LoadState(tape);
+  buffer_[0] = LoadEvents(tape);
+  buffer_[1] = LoadEvents(tape);
+}
+
+void AnyNode::SaveState(StateTape& tape) const {
+  Node::SaveState(tape);
+  for (const std::vector<EventPtr>& buffer : buffers_) {
+    SaveEvents(tape, buffer);
+  }
+}
+
+void AnyNode::LoadState(StateTape& tape) {
+  Node::LoadState(tape);
+  for (std::vector<EventPtr>& buffer : buffers_) buffer = LoadEvents(tape);
+}
+
+void SeqNode::SaveState(StateTape& tape) const {
+  Node::SaveState(tape);
+  SaveEvents(tape, initiators_);
+}
+
+void SeqNode::LoadState(StateTape& tape) {
+  Node::LoadState(tape);
+  initiators_ = LoadEvents(tape);
+}
+
+void NotNode::SaveState(StateTape& tape) const {
+  Node::SaveState(tape);
+  SaveEvents(tape, initiators_);
+  SaveEvents(tape, middles_);
+}
+
+void NotNode::LoadState(StateTape& tape) {
+  Node::LoadState(tape);
+  initiators_ = LoadEvents(tape);
+  middles_ = LoadEvents(tape);
+}
+
+void AperiodicNode::SaveState(StateTape& tape) const {
+  Node::SaveState(tape);
+  tape.PutInt(static_cast<int64_t>(windows_.size()));
+  for (const Window& w : windows_) {
+    tape.PutEvent(w.initiator);
+    tape.PutInt(static_cast<int64_t>(w.terminators.size()));
+    for (const CompositeTimestamp& t : w.terminators) tape.PutStamp(t);
+  }
+}
+
+void AperiodicNode::LoadState(StateTape& tape) {
+  Node::LoadState(tape);
+  windows_.clear();
+  const int64_t n = tape.TakeInt();
+  for (int64_t i = 0; i < n; ++i) {
+    Window w;
+    w.initiator = tape.TakeEvent();
+    const int64_t terms = tape.TakeInt();
+    for (int64_t j = 0; j < terms; ++j) {
+      w.terminators.push_back(tape.TakeStamp());
+    }
+    windows_.push_back(std::move(w));
+  }
+}
+
+void AperiodicStarNode::SaveState(StateTape& tape) const {
+  Node::SaveState(tape);
+  tape.PutInt(static_cast<int64_t>(windows_.size()));
+  for (const Window& w : windows_) {
+    tape.PutEvent(w.initiator);
+    SaveEvents(tape, w.middles);
+  }
+}
+
+void AperiodicStarNode::LoadState(StateTape& tape) {
+  Node::LoadState(tape);
+  windows_.clear();
+  const int64_t n = tape.TakeInt();
+  for (int64_t i = 0; i < n; ++i) {
+    Window w;
+    w.initiator = tape.TakeEvent();
+    w.middles = LoadEvents(tape);
+    windows_.push_back(std::move(w));
+  }
+}
+
+void PeriodicNode::SaveState(StateTape& tape) const {
+  Node::SaveState(tape);
+  tape.PutInt(next_window_id_);
+  tape.PutInt(static_cast<int64_t>(windows_.size()));
+  for (const Window& w : windows_) {
+    tape.PutInt(w.id);
+    tape.PutEvent(w.initiator);
+    tape.PutInt(w.closed ? 1 : 0);
+    SaveEvents(tape, w.ticks);
+  }
+}
+
+void PeriodicNode::LoadState(StateTape& tape) {
+  Node::LoadState(tape);
+  next_window_id_ = tape.TakeInt();
+  windows_.clear();
+  const int64_t n = tape.TakeInt();
+  for (int64_t i = 0; i < n; ++i) {
+    Window w;
+    w.id = tape.TakeInt();
+    w.initiator = tape.TakeEvent();
+    w.closed = tape.TakeInt() != 0;
+    w.ticks = LoadEvents(tape);
+    windows_.push_back(std::move(w));
+  }
+}
+
+void PlusNode::SaveState(StateTape& tape) const {
+  Node::SaveState(tape);
+  // pending_ slots are positional (timer payloads index into it), so
+  // nulls — consumed or superseded initiators — are saved as nulls.
+  SaveEvents(tape, pending_);
+}
+
+void PlusNode::LoadState(StateTape& tape) {
+  Node::LoadState(tape);
+  pending_ = LoadEvents(tape);
 }
 
 LocalTicks AnchorTick(const CompositeTimestamp& t) {

@@ -15,6 +15,7 @@
 namespace sentineld {
 
 class Node;
+class StateTape;
 
 /// Timer facility temporal nodes (P, P*, PLUS) use to receive clock
 /// callbacks; implemented by the Detector. Ticks are local ticks of the
@@ -112,6 +113,17 @@ class Node {
   /// detector_state).
   virtual const char* op_name() const = 0;
 
+  /// Checkpoints this node's mutable state (buffered occurrences plus
+  /// the base emit count) onto `tape` in a fixed order that LoadState
+  /// mirrors exactly. Overrides must call the base first. Stateless
+  /// operators inherit the base, which saves only the emit count. Used
+  /// by Detector::SaveState for crash recovery (docs/recovery.md).
+  virtual void SaveState(StateTape& tape) const;
+
+  /// Restores state written by SaveState, replacing current contents
+  /// (restore is amnesia plus the checkpoint, never a merge).
+  virtual void LoadState(StateTape& tape);
+
  protected:
   /// Propagates a detected occurrence to parents and sinks.
   void Emit(const EventPtr& event);
@@ -179,6 +191,8 @@ class AndNode final : public Node {
     return buffer_[0].size() + buffer_[1].size();
   }
   const char* op_name() const override { return "and"; }
+  void SaveState(StateTape& tape) const override;
+  void LoadState(StateTape& tape) override;
 
  private:
   void EmitPair(const EventPtr& left, const EventPtr& right);
@@ -210,6 +224,8 @@ class AnyNode final : public Node {
   void OnInput(size_t index, const EventPtr& event) override;
   size_t StateSize() const override;
   const char* op_name() const override { return "any"; }
+  void SaveState(StateTape& tape) const override;
+  void LoadState(StateTape& tape) override;
 
  private:
   /// Emits every combination of `needed` events drawn from distinct
@@ -233,6 +249,8 @@ class SeqNode final : public Node {
   void OnInput(size_t index, const EventPtr& event) override;
   size_t StateSize() const override { return initiators_.size(); }
   const char* op_name() const override { return "seq"; }
+  void SaveState(StateTape& tape) const override;
+  void LoadState(StateTape& tape) override;
 
  private:
   std::vector<EventPtr> initiators_;
@@ -252,6 +270,8 @@ class NotNode final : public Node {
     return initiators_.size() + middles_.size();
   }
   const char* op_name() const override { return "not"; }
+  void SaveState(StateTape& tape) const override;
+  void LoadState(StateTape& tape) override;
 
  private:
   bool MiddleInside(const EventPtr& e1, const EventPtr& e3) const;
@@ -279,6 +299,8 @@ class AperiodicNode final : public Node {
   void OnInput(size_t index, const EventPtr& event) override;
   size_t StateSize() const override;
   const char* op_name() const override { return "aperiodic"; }
+  void SaveState(StateTape& tape) const override;
+  void LoadState(StateTape& tape) override;
 
  private:
   struct Window {
@@ -310,6 +332,8 @@ class AperiodicStarNode final : public Node {
   void OnInput(size_t index, const EventPtr& event) override;
   size_t StateSize() const override;
   const char* op_name() const override { return "aperiodic_star"; }
+  void SaveState(StateTape& tape) const override;
+  void LoadState(StateTape& tape) override;
 
  private:
   struct Window {
@@ -337,6 +361,8 @@ class PeriodicNode : public Node {
   void OnInput(size_t index, const EventPtr& event) override;
   void OnTimer(const PrimitiveTimestamp& stamp, int64_t payload) override;
   const char* op_name() const override { return "periodic"; }
+  void SaveState(StateTape& tape) const override;
+  void LoadState(StateTape& tape) override;
 
  protected:
   /// Whether the cumulative variant is active (set by PeriodicStarNode).
@@ -387,6 +413,8 @@ class PlusNode final : public Node {
   void OnInput(size_t index, const EventPtr& event) override;
   void OnTimer(const PrimitiveTimestamp& stamp, int64_t payload) override;
   const char* op_name() const override { return "plus"; }
+  void SaveState(StateTape& tape) const override;
+  void LoadState(StateTape& tape) override;
 
  private:
   int64_t period_ticks_;

@@ -1,0 +1,110 @@
+#ifndef SENTINELD_SNOOP_STATE_TAPE_H_
+#define SENTINELD_SNOOP_STATE_TAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "event/event.h"
+#include "timestamp/composite_timestamp.h"
+#include "util/logging.h"
+
+namespace sentineld {
+
+/// Typed record stream used to checkpoint and restore detection state
+/// (docs/recovery.md). Writers Put* items in a fixed order; readers
+/// Take* them back in exactly that order — a kind mismatch is a
+/// programming error (the save and load sides disagree about the state
+/// layout) and CHECK-fails rather than silently mis-restoring.
+///
+/// Events are held as live EventPtrs: an in-process restore preserves
+/// occurrence identity (Event::uid()), which the Sequencer's dedup set
+/// and the runtimes' uid-keyed bookkeeping rely on. The byte form
+/// (dist/recovery.h SerializeTape) re-creates events through the codec
+/// and therefore mints fresh uids — it exists for durability, size
+/// accounting, and the round-trip property tests.
+class StateTape {
+ public:
+  enum class Kind : uint8_t {
+    kInt = 0,
+    kEvent = 1,
+    kNullEvent = 2,
+    kStamp = 3,
+    kString = 4,
+  };
+
+  struct Entry {
+    Kind kind = Kind::kInt;
+    int64_t integer = 0;
+    EventPtr event;
+    CompositeTimestamp stamp;
+    std::string text;
+  };
+
+  void PutInt(int64_t v) {
+    Entry e;
+    e.integer = v;
+    entries_.push_back(std::move(e));
+  }
+
+  /// Null events are legal (PlusNode keeps consumed slots as nulls so
+  /// timer payload indices stay valid) and round-trip as nulls.
+  void PutEvent(const EventPtr& event) {
+    Entry e;
+    e.kind = event == nullptr ? Kind::kNullEvent : Kind::kEvent;
+    e.event = event;
+    entries_.push_back(std::move(e));
+  }
+
+  void PutStamp(const CompositeTimestamp& stamp) {
+    Entry e;
+    e.kind = Kind::kStamp;
+    e.stamp = stamp;
+    entries_.push_back(std::move(e));
+  }
+
+  void PutString(std::string text) {
+    Entry e;
+    e.kind = Kind::kString;
+    e.text = std::move(text);
+    entries_.push_back(std::move(e));
+  }
+
+  int64_t TakeInt() { return Next(Kind::kInt).integer; }
+
+  EventPtr TakeEvent() {
+    CHECK_LT(cursor_, entries_.size());
+    const Entry& e = entries_[cursor_];
+    CHECK(e.kind == Kind::kEvent || e.kind == Kind::kNullEvent);
+    ++cursor_;
+    return e.event;
+  }
+
+  CompositeTimestamp TakeStamp() { return Next(Kind::kStamp).stamp; }
+  std::string TakeString() { return Next(Kind::kString).text; }
+
+  /// Resets the read cursor; a tape can be consumed repeatedly (each
+  /// restore re-reads the same checkpoint).
+  void Rewind() { cursor_ = 0; }
+
+  bool exhausted() const { return cursor_ == entries_.size(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  const Entry& Next(Kind kind) {
+    CHECK_LT(cursor_, entries_.size());
+    const Entry& e = entries_[cursor_];
+    CHECK(e.kind == kind);
+    ++cursor_;
+    return e;
+  }
+
+  std::vector<Entry> entries_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_STATE_TAPE_H_

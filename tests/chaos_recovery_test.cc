@@ -1,0 +1,338 @@
+// Chaos tests of the crash-recovery subsystem (docs/recovery.md):
+// seeded randomized crash/restart/partition schedules over lossy
+// networks, differentially checked against the declarative oracle, in
+// BOTH the flat and the hierarchical runtime. A run passes only if
+// mid-stream fail-stop crashes (checkpoint restore + journal replay +
+// link rejoin) leave detections exactly oracle-equal with completeness
+// 1.0 — and every drop is accounted to exactly one cause.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/hierarchical.h"
+#include "dist/recovery.h"
+#include "dist/runtime.h"
+#include "obs/obs.h"
+#include "snoop/parser.h"
+#include "snoop/reference_detector.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sentineld {
+namespace {
+
+constexpr int64_t kMs = 1'000'000;
+
+struct ChaosOutcome {
+  RuntimeStats stats;
+  std::vector<std::string> got;
+  std::vector<std::string> want;
+  uint64_t drops_loss = 0;
+  uint64_t drops_outage = 0;
+  uint64_t drops_partition = 0;
+  double completeness_gauge = 0.0;
+};
+
+/// Derives a randomized-but-deterministic chaos schedule from `seed`:
+/// two non-overlapping fail-stop crashes — one always the detector
+/// site (the hardest restart: sequencer, graph state, and receiver
+/// frontiers all restore, and in-flight traffic toward it drops), one
+/// a random leaf, in random order — and a healed partition after both
+/// restarts.
+void AddChaosSchedule(RuntimeConfig& config, uint64_t seed) {
+  Rng chaos(seed * 7919 + 13);
+  SiteId first = config.detector_site;
+  SiteId second = static_cast<SiteId>(1 + chaos.NextBounded(3));
+  if (chaos.NextBool(0.5)) std::swap(first, second);
+
+  CrashPlan crash1;
+  crash1.site = first;
+  crash1.crash_ns = 1500 * kMs + chaos.NextBounded(800) * kMs;
+  crash1.restart_ns =
+      crash1.crash_ns + 200 * kMs + chaos.NextBounded(200) * kMs;
+  config.recovery.crashes.push_back(crash1);
+
+  CrashPlan crash2;
+  crash2.site = second;
+  crash2.crash_ns = crash1.restart_ns + 700 * kMs;
+  crash2.restart_ns =
+      crash2.crash_ns + 200 * kMs + chaos.NextBounded(200) * kMs;
+  config.recovery.crashes.push_back(crash2);
+
+  const TrueTimeNs part_start = crash2.restart_ns + 500 * kMs;
+  config.network.partitions.push_back(PartitionInterval{
+      /*a=*/3, /*b=*/config.detector_site, part_start,
+      part_start + 300 * kMs});
+}
+
+RuntimeConfig ChaosConfig(uint64_t seed) {
+  RuntimeConfig config;
+  config.num_sites = 4;
+  config.seed = seed;
+  config.network.loss_prob = 0.08;
+  config.channel.enabled = true;
+  // Enough attempts that the give-up horizon (~3.4 s) outlives any
+  // crash window + partition a payload can face back to back.
+  config.channel.max_retransmits = 10;
+  config.recovery.enabled = true;
+  AddChaosSchedule(config, seed);
+  return config;
+}
+
+std::vector<PlannedEvent> ChaosWorkload(uint64_t seed) {
+  WorkloadConfig wconfig;
+  wconfig.num_sites = 4;
+  wconfig.num_types = 4;
+  // Dense enough that every checkpoint period at the detector site sees
+  // deliveries, so its crash leaves a non-empty journal suffix to
+  // replay. (150 events keeps the oracle's occurrence count tame.)
+  wconfig.num_events = 150;
+  wconfig.mean_interarrival_ns = 25 * kMs;
+  Rng rng(seed + 100);
+  return GenerateWorkload(wconfig, rng);
+}
+
+void ReadDropCounters(ObsHub& obs, ChaosOutcome& out) {
+  MetricsRegistry& metrics = obs.metrics();
+  out.drops_loss =
+      metrics.GetCounter("network_dropped", "cause=loss")->value();
+  out.drops_outage =
+      metrics.GetCounter("network_dropped", "cause=outage")->value();
+  out.drops_partition =
+      metrics.GetCounter("network_dropped", "cause=partition")->value();
+  out.completeness_gauge = metrics.GetGauge("completeness")->value();
+}
+
+/// With CHAOS_ARTIFACT_DIR set (the CI chaos job), archives every
+/// site's journal byte image and serialized checkpoint so a failing
+/// seed's durable state ships with the workflow artifacts.
+template <typename Runtime>
+void ArchiveRecoveryState(const Runtime& runtime, uint32_t num_sites,
+                          const std::string& tag) {
+  const char* dir = std::getenv("CHAOS_ARTIFACT_DIR");
+  if (dir == nullptr) return;
+  for (SiteId site = 0; site < num_sites; ++site) {
+    const std::string stem =
+        std::string(dir) + "/" + tag + "_site" + std::to_string(site);
+    std::ofstream journal(stem + ".journal", std::ios::binary);
+    journal << runtime.site_journal(site).bytes();
+    const std::optional<SiteCheckpoint>& checkpoint =
+        runtime.site_checkpoint(site);
+    if (checkpoint.has_value()) {
+      std::ofstream tape(stem + ".checkpoint", std::ios::binary);
+      tape << SerializeTape(checkpoint->tape);
+    }
+  }
+}
+
+ChaosOutcome RunFlatChaos(RuntimeConfig config, uint64_t workload_seed) {
+  ObsHub obs;
+  config.obs = &obs;
+  EventTypeRegistry registry;
+  auto runtime = DistributedRuntime::Create(config, &registry);
+  CHECK_OK(runtime.status());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  CHECK_OK((*runtime)->AddRuleText("r", "A ; B"));
+  CHECK_OK((*runtime)->InjectPlan(ChaosWorkload(workload_seed)));
+
+  ChaosOutcome out;
+  out.stats = (*runtime)->Run();
+  out.got = Signatures((*runtime)->detections());
+  ArchiveRecoveryState(**runtime, config.num_sites,
+                       "flat_seed" + std::to_string(workload_seed));
+
+  ReferenceDetector oracle(&registry);
+  auto expr = ParseExpr("A ; B", registry, {});
+  CHECK_OK(expr.status());
+  auto expected = oracle.Evaluate(*expr, (*runtime)->injected_history());
+  CHECK_OK(expected.status());
+  out.want = Signatures(*expected);
+  ReadDropCounters(obs, out);
+  return out;
+}
+
+ChaosOutcome RunHierarchicalChaos(RuntimeConfig config,
+                                  uint64_t workload_seed) {
+  ObsHub obs;
+  config.obs = &obs;
+  EventTypeRegistry registry;
+  auto runtime = HierarchicalRuntime::Create(config, &registry);
+  CHECK_OK(runtime.status());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  auto expr = ParseExpr("(A ; B) and (C or D)", registry, {});
+  CHECK_OK(expr.status());
+  // (A ; B) detects at site 2 and forwards its composites to the root,
+  // so crashes hit genuine multi-element composite traffic too.
+  const PlacementSpec placement{{0}, 2};
+  CHECK_OK((*runtime)->AddRule("r", *expr, {{placement}}));
+  CHECK_OK((*runtime)->InjectPlan(ChaosWorkload(workload_seed)));
+
+  ChaosOutcome out;
+  out.stats = (*runtime)->Run();
+  out.got = Signatures((*runtime)->detections());
+  ArchiveRecoveryState(**runtime, config.num_sites,
+                       "hier_seed" + std::to_string(workload_seed));
+
+  ReferenceDetector oracle(&registry);
+  auto expected = oracle.Evaluate(*expr, (*runtime)->injected_history());
+  CHECK_OK(expected.status());
+  out.want = Signatures(*expected);
+  ReadDropCounters(obs, out);
+  return out;
+}
+
+void ExpectOracleEqual(const ChaosOutcome& run) {
+  EXPECT_EQ(run.got, run.want);
+  EXPECT_FALSE(run.want.empty());
+  EXPECT_DOUBLE_EQ(run.stats.completeness, 1.0);
+  EXPECT_EQ(run.stats.channel_gave_up, 0u);
+  EXPECT_TRUE(run.stats.channel_abandoned.empty());
+  // The schedule really exercised recovery: checkpoints were taken,
+  // crashes dropped traffic, restarts replayed journal suffixes.
+  EXPECT_GT(run.stats.recovery_checkpoints, 0u);
+  EXPECT_GT(run.stats.recovery_replayed_events, 0u);
+  EXPECT_GT(run.drops_outage, 0u);
+  // With fsync-per-record nothing is ever lost to a crash.
+  EXPECT_EQ(run.stats.recovery_truncated_records, 0u);
+  // The PR-3 completeness gauge converges back to 1.0 once the journal
+  // and the retransmit horizon have restored every crash-window drop.
+  EXPECT_DOUBLE_EQ(run.completeness_gauge, 1.0);
+}
+
+class ChaosSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSeeds, FlatRuntimeIsOracleEqualThroughCrashes) {
+  const uint64_t seed = GetParam();
+  ExpectOracleEqual(RunFlatChaos(ChaosConfig(seed), seed));
+}
+
+TEST_P(ChaosSeeds, HierarchicalRuntimeIsOracleEqualThroughCrashes) {
+  const uint64_t seed = GetParam();
+  RuntimeConfig config = ChaosConfig(seed);
+  config.num_sites = 4;
+  ExpectOracleEqual(RunHierarchicalChaos(config, seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreeFixedSeeds, ChaosSeeds,
+                         ::testing::Values(1u, 2u, 3u));
+
+// The hardest single scenario, pinned explicitly: the DETECTOR site
+// fail-stops mid-stream. Sequencer, detector graph, receiver frontiers,
+// and the name table all restore from the checkpoint; the journal
+// replays log-before-ack deliveries the senders have already pruned;
+// fingerprint dedup keeps re-derived detections from firing twice.
+TEST(DetectorCrash, DetectorSiteRestartStaysExactWithoutDuplicates) {
+  RuntimeConfig config;
+  config.num_sites = 4;
+  config.seed = 11;
+  config.network.loss_prob = 0.1;
+  config.channel.enabled = true;
+  config.channel.max_retransmits = 10;
+  config.recovery.enabled = true;
+  config.recovery.crashes.push_back(
+      CrashPlan{/*site=*/0, 2'000 * kMs, 2'400 * kMs});
+  const ChaosOutcome run = RunFlatChaos(config, 11);
+  ExpectOracleEqual(run);
+  EXPECT_GT(run.stats.recovery_replayed_events, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Drop-cause accounting (the audit): a message lost in a crash window
+// is counted once, as an outage drop — never double-counted as link
+// loss — and the per-cause totals partition the total exactly.
+// ---------------------------------------------------------------------
+
+TEST(DropCauses, CrashWindowDropsCountOnceAsOutage) {
+  RuntimeConfig config;
+  config.num_sites = 4;
+  config.seed = 7;
+  config.network.loss_prob = 0.0;  // the ONLY fault is the crash
+  config.channel.enabled = true;
+  config.channel.max_retransmits = 10;
+  config.recovery.enabled = true;
+  // Crash the DETECTOR site: every payload in flight toward it during
+  // the window hits the synthesized outage. (A crashed leaf's own
+  // injections are skipped, not sent, so they never reach the wire.)
+  config.recovery.crashes.push_back(
+      CrashPlan{/*site=*/0, 1'800 * kMs, 2'200 * kMs});
+  const ChaosOutcome run = RunFlatChaos(config, 7);
+  EXPECT_GT(run.drops_outage, 0u);
+  EXPECT_EQ(run.drops_loss, 0u);  // no crash drop leaked into "loss"
+  EXPECT_EQ(run.drops_partition, 0u);
+  EXPECT_EQ(run.stats.network_dropped, run.drops_outage);
+}
+
+TEST(DropCauses, MixedFaultTotalsPartitionNetworkDropped) {
+  const ChaosOutcome run = RunFlatChaos(ChaosConfig(5), 5);
+  EXPECT_GT(run.drops_loss, 0u);
+  EXPECT_GT(run.drops_outage, 0u);
+  EXPECT_EQ(run.stats.network_dropped,
+            run.drops_loss + run.drops_outage + run.drops_partition);
+}
+
+// ---------------------------------------------------------------------
+// Bounded-loss enumeration: when the retransmit cap does give up,
+// RuntimeStats::channel_abandoned names each lost segment exactly.
+// ---------------------------------------------------------------------
+
+TEST(AbandonedRanges, CappedChannelEnumeratesEveryGiveUp) {
+  RuntimeConfig config;
+  config.num_sites = 4;
+  config.seed = 21;
+  config.network.loss_prob = 0.5;
+  config.channel.enabled = true;
+  config.channel.max_retransmits = 1;
+  config.recovery.enabled = true;
+  const ChaosOutcome run = RunFlatChaos(config, 21);
+
+  ASSERT_GT(run.stats.channel_gave_up, 0u);
+  ASSERT_FALSE(run.stats.channel_abandoned.empty());
+  uint64_t enumerated = 0;
+  for (const RuntimeStats::AbandonedRange& range :
+       run.stats.channel_abandoned) {
+    EXPECT_LE(range.first_seq, range.last_seq);
+    EXPECT_LT(range.sender, config.num_sites);
+    EXPECT_EQ(range.receiver, config.detector_site);
+    enumerated += range.last_seq - range.first_seq + 1;
+  }
+  EXPECT_EQ(enumerated, run.stats.channel_gave_up);
+  EXPECT_LT(run.stats.completeness, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Batched fsync: records appended since the last sync die with the
+// crash (the truncated tail), are counted, and the run stays sound —
+// the conservative kReset rejoin renumbers rather than resuming a seq
+// window the journal can no longer back.
+// ---------------------------------------------------------------------
+
+TEST(BatchedFsync, TruncatedTailIsCountedAndRunStaysSound) {
+  RuntimeConfig config;
+  config.num_sites = 4;
+  config.seed = 31;
+  config.channel.enabled = true;
+  config.channel.max_retransmits = 10;
+  config.recovery.enabled = true;
+  config.recovery.fsync_every_records = 8;
+  config.recovery.rejoin = RejoinPolicy::kReset;
+  config.recovery.crashes.push_back(
+      CrashPlan{/*site=*/1, 1'900 * kMs, 2'300 * kMs});
+  const ChaosOutcome run = RunFlatChaos(config, 31);
+  // "A ; B" is monotone: a detector that saw a subhistory detects a
+  // subset of the oracle's occurrences, never spurious ones.
+  EXPECT_LE(run.got.size(), run.want.size());
+  EXPECT_GT(run.stats.recovery_checkpoints, 0u);
+}
+
+}  // namespace
+}  // namespace sentineld

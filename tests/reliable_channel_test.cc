@@ -117,6 +117,47 @@ TEST_F(ReliableLinkTest, PartitionHealsAndGapCloses) {
   EXPECT_EQ(link_->gave_up(), 0u);
 }
 
+TEST_F(ReliableLinkTest, GiveUpsSurfacePeerAndExactSeqRanges) {
+  NetworkConfig net;
+  // Two separate dark windows for the receiver, with a healthy gap in
+  // between: seqs 0 and 2 die, seq 1 lands.
+  net.outages.push_back(SiteOutage{0, 0, 51'000'000});
+  net.outages.push_back(SiteOutage{0, 95'000'000, 300'000'000});
+  ReliableChannelConfig channel;
+  channel.max_retransmits = 1;
+  MakeLink(net, channel);
+  sim_.At(0, [this] { link_->Send(Prim(1, 100)); });
+  sim_.At(60'000'000, [this] { link_->Send(Prim(1, 101)); });
+  sim_.At(100'000'000, [this] { link_->Send(Prim(1, 102)); });
+  sim_.Run();
+
+  EXPECT_EQ(link_->delivered(), 1u);
+  EXPECT_EQ(link_->gave_up(), 2u);
+  // The counter alone says "2 lost"; the enumeration says WHICH peer's
+  // stream lost WHICH segments.
+  EXPECT_EQ(link_->sender(), 1u);
+  EXPECT_EQ(link_->receiver(), 0u);
+  ASSERT_EQ(link_->abandoned_ranges().size(), 2u);
+  EXPECT_EQ(link_->abandoned_ranges()[0].first_seq, 0u);
+  EXPECT_EQ(link_->abandoned_ranges()[0].last_seq, 0u);
+  EXPECT_EQ(link_->abandoned_ranges()[1].first_seq, 2u);
+  EXPECT_EQ(link_->abandoned_ranges()[1].last_seq, 2u);
+}
+
+TEST_F(ReliableLinkTest, AdjacentGiveUpsCoalesceIntoOneRange) {
+  NetworkConfig net;
+  net.outages.push_back(SiteOutage{0, 0, INT64_MAX});
+  ReliableChannelConfig channel;
+  channel.max_retransmits = 1;
+  MakeLink(net, channel);
+  for (int i = 0; i < 4; ++i) link_->Send(Prim(1, 100 + i));
+  sim_.Run();
+  EXPECT_EQ(link_->gave_up(), 4u);
+  ASSERT_EQ(link_->abandoned_ranges().size(), 1u);
+  EXPECT_EQ(link_->abandoned_ranges()[0].first_seq, 0u);
+  EXPECT_EQ(link_->abandoned_ranges()[0].last_seq, 3u);
+}
+
 TEST(ReliableChannelConfig, ValidateRejectsBadPolicies) {
   ReliableChannelConfig config;
   EXPECT_TRUE(config.Validate().ok());
