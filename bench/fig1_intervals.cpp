@@ -47,7 +47,7 @@ int main() {
   }
   std::cout << "global ticks:  " << axis << "\n";
   std::cout << "anchors     :  "
-            << Band(lo, hi, e1.global, e1.global, '1').c_str();
+            << Band(lo, hi, e1.global, e1.global, '1');
   std::cout << "\n                (1 = T(e1).global, 2 below)\n";
   std::cout << "anchors     :  " << Band(lo, hi, e2.global, e2.global, '2')
             << "\n";

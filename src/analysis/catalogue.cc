@@ -1,0 +1,787 @@
+#include "analysis/catalogue.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+/// At most this many same-shape earlier rules are probed for the SL013
+/// threshold/period widening check, so adversarial catalogues where
+/// every rule shares one shape stay O(total subexpressions).
+constexpr size_t kMaxShapeProbes = 8;
+
+/// splitmix64 finalizer: the bit mixer under every catalogue hash.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Combine(uint64_t h, uint64_t v) {
+  return Mix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+/// FNV-1a over the primitive's NAME: hashes are comparable across rules
+/// parsed against different (per-rule) registries.
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool Commutative(OpKind kind) {
+  return kind == OpKind::kAnd || kind == OpKind::kOr || kind == OpKind::kAny;
+}
+
+/// One hash formula for the free CanonicalHash AND the analyzer's
+/// interned nodes: mixing (kind, period, threshold, name, child hashes —
+/// the child hashes sorted for commutative operators, so operand order
+/// never matters).
+uint64_t HashNode(OpKind kind, int64_t period, int threshold,
+                  uint64_t name_hash, std::vector<uint64_t> child_hashes) {
+  uint64_t h = Mix(static_cast<uint64_t>(kind) + 0x517cc1b727220a95ULL);
+  h = Combine(h, static_cast<uint64_t>(period));
+  h = Combine(h, static_cast<uint64_t>(threshold));
+  h = Combine(h, name_hash);
+  if (Commutative(kind)) {
+    std::sort(child_hashes.begin(), child_hashes.end());
+  }
+  for (const uint64_t child : child_hashes) h = Combine(h, child);
+  return h;
+}
+
+/// Whether the operator retains constituent occurrences between inputs
+/// (snoop/node.h: buffers, initiator lists, open windows). Stateless:
+/// primitives and OR (both re-type and forward).
+bool Stateful(OpKind kind) {
+  return kind != OpKind::kPrimitive && kind != OpKind::kOr;
+}
+
+/// Whether the operator ACCUMULATES under the non-consuming
+/// kUnrestricted context: every buffered occurrence stays eligible
+/// forever (the paper's Sec. 5.3 declarative semantics), so retained
+/// state grows with stream length. PLUS is the exception: its pending
+/// list drains when the offset timer fires regardless of context.
+bool Accumulating(OpKind kind) {
+  return Stateful(kind) && kind != OpKind::kPlus;
+}
+
+void Escape(std::string_view in, std::string& out) {
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string HexHash(uint64_t hash) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace
+
+const char* StateBoundToString(StateBound bound) {
+  switch (bound) {
+    case StateBound::kConstant:
+      return "O(1)";
+    case StateBound::kWindowBounded:
+      return "O(windows)";
+    case StateBound::kStreamLinear:
+      return "O(n)";
+  }
+  return "?";
+}
+
+uint64_t CanonicalHash(const ExprPtr& expr,
+                       const EventTypeRegistry& registry) {
+  std::vector<uint64_t> child_hashes;
+  child_hashes.reserve(expr->children.size());
+  for (const ExprPtr& child : expr->children) {
+    child_hashes.push_back(CanonicalHash(child, registry));
+  }
+  const uint64_t name_hash =
+      expr->kind == OpKind::kPrimitive
+          ? HashString(registry.NameOf(expr->primitive_type))
+          : 0;
+  return HashNode(expr->kind, expr->period_ticks, expr->any_threshold,
+                  name_hash, std::move(child_hashes));
+}
+
+std::string FormatCatalogueFinding(const CatalogueFinding& finding) {
+  const Diagnostic& d = finding.diagnostic;
+  const auto file = [](const CatalogueRuleRef& ref) -> std::string_view {
+    return ref.file.empty() ? std::string_view("<catalogue>") : ref.file;
+  };
+  const size_t base = finding.rule.column > 0 ? finding.rule.column : 1;
+  const size_t column = d.has_span() ? base + d.begin : base;
+  std::string out =
+      StrCat(file(finding.rule), ":", finding.rule.line, ":", column,
+             ": rule `", finding.rule.name, "`: ", FormatDiagnostic(d), "\n");
+  if (finding.pairwise()) {
+    out += StrCat(file(finding.related), ":", finding.related.line, ":",
+                  finding.related.column > 0 ? finding.related.column : 1,
+                  ": note: earlier rule `", finding.related.name,
+                  "` defined here\n");
+  }
+  return out;
+}
+
+std::string FormatCatalogueFindings(
+    std::span<const CatalogueFinding> findings) {
+  std::string out;
+  for (const CatalogueFinding& finding : findings) {
+    out += FormatCatalogueFinding(finding);
+  }
+  return out;
+}
+
+CatalogueAnalyzer::CatalogueAnalyzer(CatalogueOptions options)
+    : options_(options) {}
+
+void CatalogueAnalyzer::DeclareProducer(std::string_view event_name) {
+  has_producers_ = true;
+  const uint32_t id = InternName(event_name);
+  name_is_producer_[id] = true;
+}
+
+uint32_t CatalogueAnalyzer::InternName(std::string_view name) {
+  const auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  name_rule_count_.push_back(0);
+  name_last_rule_.push_back(UINT32_MAX);
+  name_is_producer_.push_back(false);
+  return id;
+}
+
+uint32_t CatalogueAnalyzer::InternNode(NodeInfo info) {
+  std::vector<uint32_t>& bucket = intern_[info.hash];
+  for (const uint32_t id : bucket) {
+    const NodeInfo& have = nodes_[id];
+    if (have.kind == info.kind && have.period == info.period &&
+        have.threshold == info.threshold && have.name == info.name &&
+        have.children == info.children) {
+      ++nodes_[id].count;
+      return id;
+    }
+  }
+  // Same 64-bit hash, canonically different subtree: a genuine hash
+  // collision (exact interning keeps the analysis correct regardless).
+  if (!bucket.empty()) ++hash_collisions_;
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  info.count = 1;
+  nodes_.push_back(std::move(info));
+  bucket.push_back(id);
+  return id;
+}
+
+uint32_t CatalogueAnalyzer::Intern(const ExprPtr& expr,
+                                   const EventTypeRegistry& registry) {
+  ++total_subtrees_;
+  NodeInfo info;
+  info.kind = expr->kind;
+  info.period = expr->period_ticks;
+  info.threshold = expr->any_threshold;
+  info.size = 1;
+  uint64_t name_hash = 0;
+  if (expr->kind == OpKind::kPrimitive) {
+    const std::string name = registry.NameOf(expr->primitive_type);
+    info.name = InternName(name);
+    name_hash = HashString(name);
+  }
+  std::vector<uint64_t> child_hashes;
+  std::vector<uint64_t> child_shapes;
+  child_hashes.reserve(expr->children.size());
+  child_shapes.reserve(expr->children.size());
+  for (const ExprPtr& child : expr->children) {
+    const uint32_t child_id = Intern(child, registry);
+    info.children.push_back(child_id);
+    info.size += nodes_[child_id].size;
+    child_hashes.push_back(nodes_[child_id].hash);
+    child_shapes.push_back(nodes_[child_id].shape_hash);
+  }
+  // Commutative operands sort by unique id: canonically equal trees have
+  // equal child-id multisets, so the sorted sequence is a canonical key.
+  if (Commutative(expr->kind)) {
+    std::sort(info.children.begin(), info.children.end());
+  }
+  info.hash = HashNode(expr->kind, info.period, info.threshold, name_hash,
+                       std::move(child_hashes));
+  // The shape hash wildcards the SL013 widening knobs: the ANY threshold
+  // and the P/P* period.
+  const int64_t shape_period =
+      (expr->kind == OpKind::kPeriodic || expr->kind == OpKind::kPeriodicStar)
+          ? 0
+          : info.period;
+  const int shape_threshold = expr->kind == OpKind::kAny ? 0 : info.threshold;
+  info.shape_hash = HashNode(expr->kind, shape_period, shape_threshold,
+                             name_hash, std::move(child_shapes));
+  return InternNode(std::move(info));
+}
+
+CatalogueAnalyzer::Rel CatalogueAnalyzer::Merge(Rel a, Rel b) {
+  if (a == Rel::kEqual) return b;
+  if (b == Rel::kEqual) return a;
+  if (a == b) return a;
+  return Rel::kIncomparable;
+}
+
+CatalogueAnalyzer::Rel CatalogueAnalyzer::Compare(uint32_t a,
+                                                  uint32_t b) const {
+  if (a == b) return Rel::kEqual;
+  const NodeInfo& na = nodes_[a];
+  const NodeInfo& nb = nodes_[b];
+  if (na.kind != nb.kind || na.children.size() != nb.children.size()) {
+    return Rel::kIncomparable;
+  }
+  switch (na.kind) {
+    case OpKind::kPrimitive:
+      // Distinct ids with equal names cannot exist (interning).
+      return Rel::kIncomparable;
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kSeq:
+    case OpKind::kAny: {
+      // Monotone in every operand: widening any child widens the whole.
+      Rel rel = Rel::kEqual;
+      if (na.kind == OpKind::kAny) {
+        // A LOWER threshold fires whenever a higher one does.
+        if (na.threshold < nb.threshold) {
+          rel = Rel::kWider;
+        } else if (na.threshold > nb.threshold) {
+          rel = Rel::kNarrower;
+        }
+      }
+      for (size_t i = 0; i < na.children.size(); ++i) {
+        rel = Merge(rel, Compare(na.children[i], nb.children[i]));
+        if (rel == Rel::kIncomparable) return rel;
+      }
+      return rel;
+    }
+    case OpKind::kPlus: {
+      // Same offset required; the initiator position is covariant.
+      if (na.period != nb.period) return Rel::kIncomparable;
+      return Compare(na.children[0], nb.children[0]);
+    }
+    case OpKind::kPeriodic: {
+      // Identical endpoints, periods on nested grids: P(E1, pt, E3)
+      // fires at t1 + n*p, so a period DIVIDING the other's fires at a
+      // superset of ticks inside the same windows.
+      if (na.children != nb.children) return Rel::kIncomparable;
+      if (na.period == nb.period) return Rel::kIncomparable;  // a != b
+      if (nb.period % na.period == 0) return Rel::kWider;
+      if (na.period % nb.period == 0) return Rel::kNarrower;
+      return Rel::kIncomparable;
+    }
+    case OpKind::kNot:
+    case OpKind::kAperiodic:
+    case OpKind::kAperiodicStar:
+    case OpKind::kPeriodicStar:
+      // Anti-monotone operand positions (forbidden middles, window
+      // terminators): only exact equality is provable, and equal ids
+      // were handled above.
+      return Rel::kIncomparable;
+  }
+  return Rel::kIncomparable;
+}
+
+std::string CatalogueAnalyzer::NodeText(uint32_t id) const {
+  const NodeInfo& node = nodes_[id];
+  std::vector<std::string> parts;
+  parts.reserve(node.children.size());
+  for (const uint32_t child : node.children) {
+    parts.push_back(NodeText(child));
+  }
+  // Interned children sort by id; canonical TEXT sorts by string
+  // (CanonicalizeExpr), so re-sort for display.
+  if (Commutative(node.kind)) std::sort(parts.begin(), parts.end());
+  switch (node.kind) {
+    case OpKind::kPrimitive:
+      return names_[node.name];
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kSeq:
+      return StrCat("(", parts[0], " ", OpKindToString(node.kind), " ",
+                    parts[1], ")");
+    case OpKind::kNot:
+      return StrCat("not(", parts[0], ")[", parts[1], ", ", parts[2], "]");
+    case OpKind::kAperiodic:
+    case OpKind::kAperiodicStar:
+      return StrCat(OpKindToString(node.kind), "(", parts[0], ", ", parts[1],
+                    ", ", parts[2], ")");
+    case OpKind::kPeriodic:
+    case OpKind::kPeriodicStar:
+      return StrCat(OpKindToString(node.kind), "(", parts[0], ", ",
+                    node.period, "t, ", parts[1], ")");
+    case OpKind::kPlus:
+      return StrCat("(", parts[0], " + ", node.period, "t)");
+    case OpKind::kAny:
+      return StrCat("ANY(", node.threshold, ", ", Join(parts, ", "), ")");
+  }
+  return "?";
+}
+
+void CatalogueAnalyzer::OrClosure(uint32_t id,
+                                  std::vector<uint32_t>& out) const {
+  if (nodes_[id].kind != OpKind::kOr) {
+    out.push_back(id);
+    return;
+  }
+  for (const uint32_t child : nodes_[id].children) OrClosure(child, out);
+}
+
+std::vector<CatalogueFinding> CatalogueAnalyzer::AddRule(
+    const CatalogueRuleRef& ref, const ExprPtr& expr,
+    const EventTypeRegistry& registry,
+    std::span<const std::string> suppressed) {
+  return AddRule(ref, expr, registry, options_.context, suppressed);
+}
+
+std::vector<CatalogueFinding> CatalogueAnalyzer::AddRule(
+    const CatalogueRuleRef& ref, const ExprPtr& expr,
+    const EventTypeRegistry& registry, ParamContext context,
+    std::span<const std::string> suppressed) {
+  std::vector<CatalogueFinding> out;
+  if (expr == nullptr || !ValidateExpr(expr).ok()) {
+    // Malformed trees are per-rule lint's SL001 territory; the catalogue
+    // ignores them entirely (they register no subtrees, costs, names).
+    return out;
+  }
+  const uint32_t root = Intern(expr, registry);
+  const uint32_t rule_index = static_cast<uint32_t>(rule_records_.size());
+
+  // Static cost + the per-rule event-name set (fan-out and SL014), in
+  // one walk.
+  RuleCost cost;
+  cost.rule = ref;
+  bool accumulating = false;
+  std::vector<std::pair<uint32_t, const Expr*>> new_names;
+  std::vector<const Expr*> stack{expr.get()};
+  while (!stack.empty()) {
+    const Expr* node = stack.back();
+    stack.pop_back();
+    if (Stateful(node->kind)) ++cost.state_ops;
+    if (Accumulating(node->kind)) accumulating = true;
+    if (node->kind == OpKind::kPrimitive) {
+      const uint32_t name_id =
+          InternName(registry.NameOf(node->primitive_type));
+      if (name_last_rule_[name_id] != rule_index) {
+        name_last_rule_[name_id] = rule_index;
+        ++name_rule_count_[name_id];
+        ++cost.fanout;
+        new_names.emplace_back(name_id, node);
+      }
+    }
+    for (const ExprPtr& child : node->children) stack.push_back(child.get());
+  }
+  if (cost.state_ops == 0 || context == ParamContext::kRecent) {
+    cost.state_bound = StateBound::kConstant;
+  } else if (context == ParamContext::kUnrestricted && accumulating) {
+    cost.state_bound = StateBound::kStreamLinear;
+  } else {
+    cost.state_bound = StateBound::kWindowBounded;
+  }
+
+  CheckDuplicateAndSubsumed(ref, root, expr, suppressed, out);
+  CheckUnknownNames(ref, expr, registry, suppressed, out);
+  CheckUnboundedState(ref, expr, registry, context, cost, suppressed, out);
+
+  // Register the rule AFTER the checks so it never matches itself.
+  RuleRecord record;
+  record.ref = ref;
+  record.root = root;
+  record.suppressed.assign(suppressed.begin(), suppressed.end());
+  rule_records_.push_back(std::move(record));
+  first_rule_with_root_.emplace(root, rule_index);
+  std::vector<uint32_t> disjuncts;
+  OrClosure(root, disjuncts);
+  if (disjuncts.size() > 1) {
+    for (const uint32_t d : disjuncts) {
+      first_rule_with_disjunct_.emplace(d, rule_index);
+    }
+  }
+  std::vector<uint32_t>& bucket = shape_buckets_[nodes_[root].shape_hash];
+  if (bucket.size() < kMaxShapeProbes) bucket.push_back(rule_index);
+
+  costs_.push_back(std::move(cost));
+  findings_.insert(findings_.end(), out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+bool Suppresses(std::span<const std::string> ids, LintId id) {
+  const std::string_view code = LintIdToString(id);
+  return std::find(ids.begin(), ids.end(), code) != ids.end();
+}
+
+}  // namespace
+
+void CatalogueAnalyzer::CheckDuplicateAndSubsumed(
+    const CatalogueRuleRef& ref, uint32_t root, const ExprPtr& expr,
+    std::span<const std::string> suppressed,
+    std::vector<CatalogueFinding>& out) {
+  LintId id = LintId::kDuplicateRule;
+  std::string message;
+  std::string citation;
+  const RuleRecord* other = nullptr;
+
+  if (const auto dup = first_rule_with_root_.find(root);
+      dup != first_rule_with_root_.end()) {
+    other = &rule_records_[dup->second];
+    message = StrCat("duplicate rule: canonically equal to earlier rule `",
+                     other->ref.name,
+                     "`, so both compile to the same detection graph node "
+                     "and fire on identical histories");
+    citation = "Thm 5.1 (canonical forms make equivalence decidable)";
+  } else if (const auto sub = first_rule_with_disjunct_.find(root);
+             sub != first_rule_with_disjunct_.end()) {
+    other = &rule_records_[sub->second];
+    id = LintId::kSubsumedRule;
+    message = StrCat("subsumed rule: this expression is a disjunct of "
+                     "earlier rule `",
+                     other->ref.name,
+                     "`, so every occurrence of this rule is already an "
+                     "occurrence of that one");
+    citation = "paper Sec. 5.3 (disjunction re-types its operand)";
+  } else {
+    std::vector<uint32_t> disjuncts;
+    OrClosure(root, disjuncts);
+    if (disjuncts.size() > 1) {
+      for (const uint32_t d : disjuncts) {
+        if (const auto hit = first_rule_with_root_.find(d);
+            hit != first_rule_with_root_.end()) {
+          other = &rule_records_[hit->second];
+          id = LintId::kSubsumedRule;
+          message = StrCat("subsumed rule: earlier rule `", other->ref.name,
+                           "` is one of this rule's disjuncts, so it "
+                           "matches a provable subset of this rule");
+          citation = "paper Sec. 5.3 (disjunction re-types its operand)";
+          break;
+        }
+      }
+    }
+    if (other == nullptr) {
+      // Threshold/period widening against same-shape earlier rules.
+      const auto bucket = shape_buckets_.find(nodes_[root].shape_hash);
+      if (bucket != shape_buckets_.end()) {
+        for (const uint32_t earlier : bucket->second) {
+          const Rel rel = Compare(root, rule_records_[earlier].root);
+          if (rel != Rel::kWider && rel != Rel::kNarrower) continue;
+          other = &rule_records_[earlier];
+          id = LintId::kSubsumedRule;
+          message =
+              rel == Rel::kNarrower
+                  ? StrCat("subsumed rule: matches a provable subset of "
+                           "earlier rule `",
+                           other->ref.name,
+                           "` (identical AST under a strictly wider "
+                           "ANY-threshold / P-period there)")
+                  : StrCat("subsumed rule: earlier rule `", other->ref.name,
+                           "` matches a provable subset of this rule "
+                           "(identical AST under a strictly wider "
+                           "ANY-threshold / P-period here)");
+          citation =
+              "Thm 5.1 (canonical forms); Snoop ANY / P semantics "
+              "(Chakravarthy et al. VLDB'94)";
+          break;
+        }
+      }
+    }
+  }
+  if (other == nullptr) return;
+  // A suppression on EITHER rule of the pair silences the finding.
+  if (Suppresses(suppressed, id) || Suppresses(other->suppressed, id)) {
+    ++suppressed_findings_;
+    return;
+  }
+  CatalogueFinding finding;
+  finding.diagnostic.id = id;
+  finding.diagnostic.severity = LintSeverity::kWarning;
+  finding.diagnostic.message = std::move(message);
+  finding.diagnostic.citation = std::move(citation);
+  finding.diagnostic.begin = expr->src_begin;
+  finding.diagnostic.end = expr->src_end;
+  finding.diagnostic.subexpr = NodeText(root);
+  finding.rule = ref;
+  finding.related = other->ref;
+  out.push_back(std::move(finding));
+}
+
+void CatalogueAnalyzer::CheckUnknownNames(
+    const CatalogueRuleRef& ref, const ExprPtr& expr,
+    const EventTypeRegistry& registry,
+    std::span<const std::string> suppressed,
+    std::vector<CatalogueFinding>& out) {
+  if (!has_producers_ || Suppresses(suppressed, LintId::kUnknownEventName)) {
+    return;
+  }
+  // Walk leaves in source order so findings are deterministic; dedupe
+  // names within the rule.
+  std::vector<uint32_t> seen;
+  std::vector<const Expr*> stack{expr.get()};
+  std::vector<const Expr*> leaves;
+  while (!stack.empty()) {
+    const Expr* node = stack.back();
+    stack.pop_back();
+    if (node->kind == OpKind::kPrimitive) leaves.push_back(node);
+    for (auto it = node->children.rbegin(); it != node->children.rend();
+         ++it) {
+      stack.push_back(it->get());
+    }
+  }
+  for (const Expr* leaf : leaves) {
+    const std::string name = registry.NameOf(leaf->primitive_type);
+    const uint32_t name_id = InternName(name);
+    if (name_is_producer_[name_id]) continue;
+    if (std::find(seen.begin(), seen.end(), name_id) != seen.end()) continue;
+    seen.push_back(name_id);
+    CatalogueFinding finding;
+    finding.diagnostic.id = LintId::kUnknownEventName;
+    finding.diagnostic.severity = LintSeverity::kWarning;
+    finding.diagnostic.message =
+        StrCat("never fires: no declared producer emits event `", name,
+               "` (the catalogue's `# producers:` declarations do not "
+               "cover it), so the dispatch index routes it zero "
+               "occurrences");
+    finding.diagnostic.citation =
+        "paper Sec. 3 (primitive events are raised by declared sources)";
+    finding.diagnostic.begin = leaf->src_begin;
+    finding.diagnostic.end = leaf->src_end;
+    finding.diagnostic.subexpr = name;
+    finding.rule = ref;
+    out.push_back(std::move(finding));
+  }
+}
+
+void CatalogueAnalyzer::CheckUnboundedState(
+    const CatalogueRuleRef& ref, const ExprPtr& expr,
+    const EventTypeRegistry& registry, ParamContext context,
+    const RuleCost& cost, std::span<const std::string> suppressed,
+    std::vector<CatalogueFinding>& out) {
+  if (cost.state_bound != StateBound::kStreamLinear) return;
+  if (Suppresses(suppressed, LintId::kUnboundedState)) return;
+  CatalogueFinding finding;
+  finding.diagnostic.id = LintId::kUnboundedState;
+  finding.diagnostic.severity = LintSeverity::kWarning;
+  finding.diagnostic.message = StrCat(
+      "unbounded state: under the ", ParamContextToString(context),
+      " context no constituent is ever consumed, so the rule's ",
+      cost.state_ops,
+      " stateful operator(s) retain O(n) occurrences over a stream of "
+      "length n; declare a consuming context or budget for linear memory");
+  finding.diagnostic.citation =
+      "paper Sec. 5.3 (declarative semantics retains all constituents); "
+      "Snoop consumption modes (Chakravarthy et al. VLDB'94)";
+  finding.diagnostic.begin = expr->src_begin;
+  finding.diagnostic.end = expr->src_end;
+  finding.diagnostic.subexpr = expr->ToString(registry);
+  finding.rule = ref;
+  out.push_back(std::move(finding));
+}
+
+SharingReport CatalogueAnalyzer::Sharing() const {
+  SharingReport report;
+  report.rules = rule_records_.size();
+  report.total_subtrees = total_subtrees_;
+  report.unique_subtrees = nodes_.size();
+  report.predicted_dag_nodes = nodes_.size();
+  report.hash_collisions = hash_collisions_;
+  // Top-K shared COMPOSITE subtrees (primitive sharing is the event
+  // index's column), without building text for the whole DAG: sort ids
+  // by (count desc, size desc, hash) first, render only the winners.
+  std::vector<uint32_t> shared;
+  for (uint32_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].count >= 2 && nodes_[id].kind != OpKind::kPrimitive) {
+      shared.push_back(id);
+    }
+  }
+  std::sort(shared.begin(), shared.end(), [&](uint32_t a, uint32_t b) {
+    if (nodes_[a].count != nodes_[b].count) {
+      return nodes_[a].count > nodes_[b].count;
+    }
+    if (nodes_[a].size != nodes_[b].size) {
+      return nodes_[a].size > nodes_[b].size;
+    }
+    return nodes_[a].hash < nodes_[b].hash;
+  });
+  if (shared.size() > options_.top_k) shared.resize(options_.top_k);
+  for (const uint32_t id : shared) {
+    SharedSubtree entry;
+    entry.expr = NodeText(id);
+    entry.hash = nodes_[id].hash;
+    entry.count = nodes_[id].count;
+    entry.size = nodes_[id].size;
+    report.top_shared.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::vector<EventIndexEntry> CatalogueAnalyzer::EventIndex(
+    size_t top_k) const {
+  std::vector<EventIndexEntry> index;
+  for (uint32_t id = 0; id < names_.size(); ++id) {
+    if (name_rule_count_[id] == 0) continue;
+    index.push_back(EventIndexEntry{names_[id], name_rule_count_[id]});
+  }
+  std::sort(index.begin(), index.end(),
+            [](const EventIndexEntry& a, const EventIndexEntry& b) {
+              if (a.rules != b.rules) return a.rules > b.rules;
+              return a.event < b.event;
+            });
+  if (top_k > 0 && index.size() > top_k) index.resize(top_k);
+  return index;
+}
+
+std::string CatalogueAnalyzer::ReportJson() const {
+  const SharingReport sharing = Sharing();
+  const std::vector<EventIndexEntry> index = EventIndex(options_.top_k);
+
+  size_t by_id[4] = {0, 0, 0, 0};
+  for (const CatalogueFinding& finding : findings_) {
+    switch (finding.diagnostic.id) {
+      case LintId::kDuplicateRule:
+        ++by_id[0];
+        break;
+      case LintId::kSubsumedRule:
+        ++by_id[1];
+        break;
+      case LintId::kUnknownEventName:
+        ++by_id[2];
+        break;
+      case LintId::kUnboundedState:
+        ++by_id[3];
+        break;
+      default:
+        break;
+    }
+  }
+  size_t bounds[3] = {0, 0, 0};
+  size_t total_state_ops = 0;
+  size_t max_fanout = 0;
+  for (const RuleCost& cost : costs_) {
+    ++bounds[static_cast<size_t>(cost.state_bound)];
+    total_state_ops += cost.state_ops;
+    max_fanout = std::max(max_fanout, cost.fanout);
+  }
+  // Worst rules by state: stream-linear first, then most stateful ops.
+  std::vector<const RuleCost*> worst;
+  worst.reserve(costs_.size());
+  for (const RuleCost& cost : costs_) worst.push_back(&cost);
+  std::stable_sort(worst.begin(), worst.end(),
+                   [](const RuleCost* a, const RuleCost* b) {
+                     if (a->state_bound != b->state_bound) {
+                       return static_cast<int>(a->state_bound) >
+                              static_cast<int>(b->state_bound);
+                     }
+                     return a->state_ops > b->state_ops;
+                   });
+  if (worst.size() > options_.top_k) worst.resize(options_.top_k);
+
+  std::string json;
+  json += "{\n";
+  json += "  \"schema\": \"sentineld-catalogue-v1\",\n";
+  json += StrCat("  \"rules\": ", rule_records_.size(), ",\n");
+  json += StrCat("  \"context\": \"",
+                 ParamContextToString(options_.context), "\",\n");
+  json += StrCat("  \"diagnostics\": {\"SL012\": ", by_id[0],
+                 ", \"SL013\": ", by_id[1], ", \"SL014\": ", by_id[2],
+                 ", \"SL015\": ", by_id[3],
+                 ", \"suppressed\": ", suppressed_findings_, "},\n");
+  json += "  \"sharing\": {\n";
+  json += StrCat("    \"total_subtrees\": ", sharing.total_subtrees, ",\n");
+  json += StrCat("    \"unique_subtrees\": ", sharing.unique_subtrees, ",\n");
+  json += StrCat("    \"predicted_dag_nodes\": ",
+                 sharing.predicted_dag_nodes, ",\n");
+  json += StrCat("    \"sharing_ratio\": ",
+                 FormatDouble(sharing.unique_subtrees == 0
+                                  ? 1.0
+                                  : static_cast<double>(
+                                        sharing.total_subtrees) /
+                                        static_cast<double>(
+                                            sharing.unique_subtrees),
+                              3),
+                 ",\n");
+  json += StrCat("    \"hash_collisions\": ", sharing.hash_collisions, ",\n");
+  json += "    \"top_shared\": [";
+  for (size_t i = 0; i < sharing.top_shared.size(); ++i) {
+    const SharedSubtree& entry = sharing.top_shared[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "      {\"expr\": \"";
+    Escape(entry.expr, json);
+    json += StrCat("\", \"hash\": \"", HexHash(entry.hash),
+                   "\", \"count\": ", entry.count,
+                   ", \"size\": ", entry.size, "}");
+  }
+  json += sharing.top_shared.empty() ? "]\n" : "\n    ]\n";
+  json += "  },\n";
+  json += "  \"event_index\": {\n";
+  json += StrCat("    \"events\": ", distinct_event_names(), ",\n");
+  json += StrCat("    \"producers_declared\": ",
+                 has_producers_ ? "true" : "false", ",\n");
+  json += "    \"top\": [";
+  for (size_t i = 0; i < index.size(); ++i) {
+    json += i == 0 ? "\n" : ",\n";
+    json += "      {\"event\": \"";
+    Escape(index[i].event, json);
+    json += StrCat("\", \"rules\": ", index[i].rules, "}");
+  }
+  json += index.empty() ? "]\n" : "\n    ]\n";
+  json += "  },\n";
+  json += "  \"cost\": {\n";
+  json += StrCat("    \"state_bounds\": {\"constant\": ", bounds[0],
+                 ", \"window_bounded\": ", bounds[1],
+                 ", \"stream_linear\": ", bounds[2], "},\n");
+  json += StrCat("    \"total_state_ops\": ", total_state_ops, ",\n");
+  json += StrCat("    \"max_fanout\": ", max_fanout, ",\n");
+  json += "    \"worst_state\": [";
+  for (size_t i = 0; i < worst.size(); ++i) {
+    const RuleCost& cost = *worst[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "      {\"rule\": \"";
+    Escape(cost.rule.name, json);
+    json += StrCat("\", \"line\": ", cost.rule.line,
+                   ", \"state_bound\": \"",
+                   StateBoundToString(cost.state_bound),
+                   "\", \"state_ops\": ", cost.state_ops,
+                   ", \"fanout\": ", cost.fanout, "}");
+  }
+  json += worst.empty() ? "]\n" : "\n    ]\n";
+  json += "  }\n";
+  json += "}\n";
+  return json;
+}
+
+}  // namespace sentineld

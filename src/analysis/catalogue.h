@@ -1,0 +1,271 @@
+#ifndef SENTINELD_ANALYSIS_CATALOGUE_H_
+#define SENTINELD_ANALYSIS_CATALOGUE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "event/registry.h"
+#include "snoop/ast.h"
+#include "snoop/context.h"
+
+namespace sentineld {
+
+/// Whole-catalogue static analysis (sentinel-lint --catalogue): where
+/// LintExpr looks at one rule in isolation, the CatalogueAnalyzer looks
+/// ACROSS all registered rules. It canonically hash-conses every
+/// subexpression into a shared-subtree DAG (the blueprint for the
+/// ROADMAP-3 shared-subexpression detection graph), maintains an
+/// event-name dispatch index (the ROADMAP-3 predicate-index prototype),
+/// bounds each rule's retained state with a per-operator static cost
+/// model, and emits the cross-rule diagnostics SL012-SL015.
+///
+/// Complexity: rules are ingested incrementally and every per-rule cost
+/// is O(size of that rule's tree) amortized — hash-consing, the
+/// duplicate/subsumption probes, and the cost model all key on interned
+/// subtree ids — so analyzing a catalogue stays near O(total
+/// subexpressions) and runs on 100k-rule catalogues in CI
+/// (bench/bench_analysis.cpp pins the scaling).
+
+/// One rule's identity inside a catalogue, for diagnostics that must
+/// name both sides of a pairwise finding.
+struct CatalogueRuleRef {
+  std::string name;
+  std::string file;   ///< empty for programmatic registration
+  size_t line = 0;    ///< 0 for programmatic registration
+  size_t column = 0;  ///< 1-based column of the rule's expression text
+};
+
+/// A cross-rule finding: the diagnostic plus the rules involved. The
+/// primary span is the LATER rule (the one whose registration surfaced
+/// the finding); for pairwise findings (SL012/SL013) `related` points at
+/// the earlier rule, rendered as a trailing "note:" line.
+struct CatalogueFinding {
+  Diagnostic diagnostic;
+  CatalogueRuleRef rule;
+  CatalogueRuleRef related;  ///< name empty when not pairwise
+
+  bool pairwise() const { return !related.name.empty(); }
+};
+
+/// One entry of the sharing report's top-K list: a subtree appearing in
+/// several places across the catalogue.
+struct SharedSubtree {
+  std::string expr;    ///< canonical text
+  uint64_t hash = 0;   ///< 64-bit canonical hash (CanonicalHash)
+  size_t count = 0;    ///< instances across all rule trees
+  size_t size = 0;     ///< nodes in one instance of the subtree
+};
+
+/// The canonical-hash sharing report: how much of the catalogue is
+/// redundant subexpression structure. `unique_subtrees` is exactly the
+/// node count of the shared-subexpression DAG a ROADMAP-3 detection
+/// graph would build, hence `predicted_dag_nodes`.
+struct SharingReport {
+  size_t rules = 0;
+  size_t total_subtrees = 0;
+  size_t unique_subtrees = 0;
+  size_t predicted_dag_nodes = 0;  ///< == unique_subtrees
+  size_t hash_collisions = 0;      ///< distinct subtrees sharing a 64-bit hash
+  std::vector<SharedSubtree> top_shared;  ///< count >= 2, by count desc
+};
+
+/// Worst-case retained-state growth of one rule, from the per-operator
+/// static cost model (see docs/analysis.md "Static cost model").
+enum class StateBound {
+  kConstant,      ///< O(1): stateless ops, or most-recent retention
+  kWindowBounded, ///< O(open windows): consumed on detection
+  kStreamLinear,  ///< O(n) in stream length: never consumed
+};
+
+const char* StateBoundToString(StateBound bound);
+
+/// Static cost of one rule: worst-case state bound, how many operator
+/// nodes hold state, and the dispatch fan-out (distinct primitive event
+/// names — the number of index entries that point at this rule).
+struct RuleCost {
+  CatalogueRuleRef rule;
+  StateBound state_bound = StateBound::kConstant;
+  size_t state_ops = 0;
+  size_t fanout = 0;
+};
+
+/// One entry of the event-name dispatch index: how many rules an
+/// occurrence of `event` must be routed to.
+struct EventIndexEntry {
+  std::string event;
+  size_t rules = 0;
+};
+
+struct CatalogueOptions {
+  /// Parameter context the catalogue's rules run under; drives the cost
+  /// model and SL015 (only the non-consuming kUnrestricted context
+  /// retains O(n) state). AddRule can override per rule.
+  ParamContext context = ParamContext::kUnrestricted;
+  /// Entries in the sharing report's and event index's top-K lists.
+  size_t top_k = 10;
+};
+
+/// 64-bit canonical hash of an expression: equal for canonically equal
+/// trees (commutative operands are hashed order-independently, so
+/// "(b and a)" hashes like "(a and b)"), and — modulo 64-bit collisions,
+/// which tests/analysis_fuzz_test.cc accounts for — different for
+/// canonically different ones. Primitives hash by NAME, so hashes are
+/// comparable across rules parsed against different registries.
+uint64_t CanonicalHash(const ExprPtr& expr, const EventTypeRegistry& registry);
+
+/// Renders one catalogue finding as rule-file-style diagnostic lines:
+///
+///   <file>:<line>:<col>: rule `<name>`: <FormatDiagnostic text>
+///   <file>:<line>:<col>: note: earlier rule `<other>` defined here
+///
+/// (the note line only for pairwise findings). Programmatic rules (empty
+/// file) render as "<catalogue>". Pinned by tests/golden/catalogue.*.
+std::string FormatCatalogueFinding(const CatalogueFinding& finding);
+
+/// One FormatCatalogueFinding block per entry.
+std::string FormatCatalogueFindings(std::span<const CatalogueFinding> findings);
+
+/// The incremental whole-catalogue analyzer. Feed rules in registration
+/// order; each AddRule analyzes the new rule against everything added
+/// before it and returns (and retains) the new findings. Both services'
+/// DefineRule paths hold one per deployment; sentinel-lint --catalogue
+/// holds one across all input files.
+class CatalogueAnalyzer {
+ public:
+  explicit CatalogueAnalyzer(CatalogueOptions options = {});
+
+  /// Declares an event name some producer emits (SL014). Until the
+  /// first declaration, SL014 is disabled — an undeclared catalogue
+  /// cannot distinguish "no producer" from "not declared".
+  void DeclareProducer(std::string_view event_name);
+  bool has_producer_declarations() const { return has_producers_; }
+
+  /// Ingests one rule: interns every subexpression of `expr` into the
+  /// shared-subtree DAG, indexes its primitive event names, computes its
+  /// static cost, and emits cross-rule findings against earlier rules.
+  /// `suppressed` lists "SLnnn" ids silenced for THIS rule; a pairwise
+  /// finding is silenced when EITHER involved rule suppresses its id.
+  /// `context` overrides the catalogue-wide context for this rule.
+  std::vector<CatalogueFinding> AddRule(
+      const CatalogueRuleRef& ref, const ExprPtr& expr,
+      const EventTypeRegistry& registry,
+      std::span<const std::string> suppressed = {});
+  std::vector<CatalogueFinding> AddRule(
+      const CatalogueRuleRef& ref, const ExprPtr& expr,
+      const EventTypeRegistry& registry, ParamContext context,
+      std::span<const std::string> suppressed);
+
+  /// All findings so far, in registration order.
+  const std::vector<CatalogueFinding>& findings() const { return findings_; }
+
+  /// Pairwise findings silenced by a suppression on either rule.
+  size_t suppressed_findings() const { return suppressed_findings_; }
+
+  /// Static costs, one entry per ingested rule, in registration order.
+  const std::vector<RuleCost>& costs() const { return costs_; }
+
+  size_t rules() const { return costs_.size(); }
+
+  /// The sharing report over everything ingested so far.
+  SharingReport Sharing() const;
+
+  /// The event-name dispatch index, fan-out descending then name
+  /// ascending, truncated to `top_k` entries (0 = all).
+  std::vector<EventIndexEntry> EventIndex(size_t top_k) const;
+
+  size_t distinct_event_names() const { return names_.size(); }
+
+  /// The machine-readable report (schema "sentineld-catalogue-v1",
+  /// validated by tools/check_catalogue_report.py; documented in
+  /// docs/analysis.md).
+  std::string ReportJson() const;
+
+ private:
+  struct NodeInfo {
+    OpKind kind = OpKind::kPrimitive;
+    int64_t period = 0;
+    int threshold = 0;
+    uint32_t name = 0;  ///< interned primitive name (primitives only)
+    std::vector<uint32_t> children;  ///< unique ids; commutative: sorted
+    uint64_t hash = 0;        ///< 64-bit canonical hash
+    uint64_t shape_hash = 0;  ///< hash with ANY-threshold / P-period wildcarded
+    uint32_t size = 0;        ///< nodes in one instance of this subtree
+    uint32_t count = 0;       ///< instances across the catalogue
+  };
+
+  /// Subset relation between two interned subtrees (SL013): kWider
+  /// means every history detecting `b` also detects `a`.
+  enum class Rel { kEqual, kWider, kNarrower, kIncomparable };
+
+  uint32_t InternName(std::string_view name);
+  uint32_t InternNode(NodeInfo info);
+  /// Interns `expr` bottom-up; returns the root's unique id.
+  uint32_t Intern(const ExprPtr& expr, const EventTypeRegistry& registry);
+  static Rel Merge(Rel a, Rel b);
+  Rel Compare(uint32_t a, uint32_t b) const;
+  std::string NodeText(uint32_t id) const;
+  /// The disjunct set of an or-chain rooted at `id` (the id itself when
+  /// not an Or node).
+  void OrClosure(uint32_t id, std::vector<uint32_t>& out) const;
+
+  void CheckDuplicateAndSubsumed(const CatalogueRuleRef& ref, uint32_t root,
+                                 const ExprPtr& expr,
+                                 std::span<const std::string> suppressed,
+                                 std::vector<CatalogueFinding>& out);
+  void CheckUnknownNames(const CatalogueRuleRef& ref, const ExprPtr& expr,
+                         const EventTypeRegistry& registry,
+                         std::span<const std::string> suppressed,
+                         std::vector<CatalogueFinding>& out);
+  void CheckUnboundedState(const CatalogueRuleRef& ref, const ExprPtr& expr,
+                           const EventTypeRegistry& registry,
+                           ParamContext context, const RuleCost& cost,
+                           std::span<const std::string> suppressed,
+                           std::vector<CatalogueFinding>& out);
+
+  CatalogueOptions options_;
+
+  // --- shared-subtree DAG (hash-consing) ---
+  std::vector<NodeInfo> nodes_;  ///< by unique id
+  std::unordered_map<uint64_t, std::vector<uint32_t>> intern_;  ///< hash -> ids
+  size_t total_subtrees_ = 0;
+  size_t hash_collisions_ = 0;
+
+  // --- name interning + event-name dispatch index ---
+  std::vector<std::string> names_;  ///< by interned name id
+  std::unordered_map<std::string, uint32_t> name_ids_;
+  std::vector<uint32_t> name_rule_count_;  ///< rules referencing the name
+  std::vector<uint32_t> name_last_rule_;   ///< dedup within one rule
+
+  // --- per-rule records for pairwise diagnostics ---
+  struct RuleRecord {
+    CatalogueRuleRef ref;
+    uint32_t root = 0;
+    std::vector<std::string> suppressed;
+  };
+  std::vector<RuleRecord> rule_records_;
+  std::unordered_map<uint32_t, uint32_t> first_rule_with_root_;
+  /// Subtree id -> first rule holding it as a PROPER disjunct of its
+  /// root's or-chain.
+  std::unordered_map<uint32_t, uint32_t> first_rule_with_disjunct_;
+  /// Shape hash -> rules probed for threshold/period widening. Buckets
+  /// are probe-capped so adversarial same-shape catalogues stay linear.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> shape_buckets_;
+
+  // --- producers (SL014) ---
+  bool has_producers_ = false;
+  std::vector<bool> name_is_producer_;  ///< by interned name id
+
+  // --- outputs ---
+  std::vector<CatalogueFinding> findings_;
+  std::vector<RuleCost> costs_;
+  size_t suppressed_findings_ = 0;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_ANALYSIS_CATALOGUE_H_

@@ -40,6 +40,14 @@ const char* LintIdToString(LintId id) {
       return "SL010";
     case LintId::kCollapsibleAny:
       return "SL011";
+    case LintId::kDuplicateRule:
+      return "SL012";
+    case LintId::kSubsumedRule:
+      return "SL013";
+    case LintId::kUnknownEventName:
+      return "SL014";
+    case LintId::kUnboundedState:
+      return "SL015";
   }
   return "SL???";
 }

@@ -38,6 +38,12 @@ enum class LintId {
   kContextNoEffect,          // SL009
   kCumulativeNoAccumulator,  // SL010
   kCollapsibleAny,           // SL011
+  // Catalogue-level (cross-rule) diagnostics, emitted by the whole-
+  // catalogue analyzer (analysis/catalogue.h), not by LintExpr.
+  kDuplicateRule,            // SL012
+  kSubsumedRule,             // SL013
+  kUnknownEventName,         // SL014
+  kUnboundedState,           // SL015
 };
 
 /// The "SLnnn" code of a diagnostic kind.

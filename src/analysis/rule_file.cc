@@ -43,11 +43,14 @@ std::vector<std::string> ParseSuppressions(std::string_view comment) {
   return ids;
 }
 
-}  // namespace
-
-RuleFileReport LintRuleSource(std::string_view content,
-                              const LintOptions& options,
-                              const TimebaseConfig& timebase) {
+/// Shared per-line loop of LintRuleSource / AnalyzeCatalogueSource; the
+/// catalogue entry points additionally feed each parsed rule into
+/// `analyzer` (nullptr for plain per-rule linting).
+RuleFileReport LintRuleSourceImpl(std::string_view content,
+                                  const LintOptions& options,
+                                  const TimebaseConfig& timebase,
+                                  std::string_view filename,
+                                  CatalogueAnalyzer* analyzer) {
   RuleFileReport report;
   std::istringstream lines{std::string(content)};
   std::string raw;
@@ -107,6 +110,15 @@ RuleFileReport LintRuleSource(std::string_view content,
       rule.diagnostics.push_back(std::move(d));
     } else {
       rule.diagnostics = LintExpr(*expr, registry, rule_options);
+      if (analyzer != nullptr) {
+        CatalogueRuleRef ref;
+        ref.name = rule.name;
+        ref.file = std::string(filename);
+        ref.line = rule.line;
+        ref.column = rule.expr_column;
+        analyzer->AddRule(ref, *expr, registry, rule_options.context,
+                          rule_options.suppressed);
+      }
     }
     for (const Diagnostic& d : rule.diagnostics) {
       switch (d.severity) {
@@ -124,6 +136,56 @@ RuleFileReport LintRuleSource(std::string_view content,
     report.rules.push_back(std::move(rule));
   }
   return report;
+}
+
+}  // namespace
+
+RuleFileReport LintRuleSource(std::string_view content,
+                              const LintOptions& options,
+                              const TimebaseConfig& timebase) {
+  return LintRuleSourceImpl(content, options, timebase, "", nullptr);
+}
+
+size_t DeclareProducersFromSource(std::string_view content,
+                                  CatalogueAnalyzer& analyzer) {
+  constexpr std::string_view kTag = "producers:";
+  size_t declared = 0;
+  std::istringstream lines{std::string(content)};
+  std::string raw;
+  while (std::getline(lines, raw)) {
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() != '#') continue;
+    line = Trim(line.substr(1));
+    if (!StartsWith(line, kTag)) continue;
+    line = line.substr(kTag.size());
+    // Comma/whitespace-separated event names.
+    size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() &&
+             (line[i] == ',' ||
+              std::isspace(static_cast<unsigned char>(line[i])))) {
+        ++i;
+      }
+      const size_t start = i;
+      while (i < line.size() && line[i] != ',' &&
+             !std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      if (i > start) {
+        analyzer.DeclareProducer(line.substr(start, i - start));
+        ++declared;
+      }
+    }
+  }
+  return declared;
+}
+
+RuleFileReport AnalyzeCatalogueSource(std::string_view content,
+                                      const LintOptions& options,
+                                      std::string_view filename,
+                                      CatalogueAnalyzer& analyzer,
+                                      const TimebaseConfig& timebase) {
+  return LintRuleSourceImpl(content, options, timebase, filename, &analyzer);
 }
 
 std::string RuleFileReport::Format(std::string_view filename) const {

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/catalogue.h"
 #include "analysis/lint.h"
 #include "snoop/parser.h"
 #include "util/status.h"
@@ -60,6 +61,31 @@ RuleFileReport LintRuleSource(std::string_view content,
 Result<RuleFileReport> LintRuleFile(const std::string& path,
                                     const LintOptions& options,
                                     const TimebaseConfig& timebase = {});
+
+/// Declares every event name found in full-line
+///
+///   # producers: name1, name2, ...
+///
+/// comments of `content` into `analyzer` (enabling SL014); returns how
+/// many names were declared. Run this over EVERY file of a multi-file
+/// catalogue before any AnalyzeCatalogueSource call, so declaration
+/// order never matters.
+size_t DeclareProducersFromSource(std::string_view content,
+                                  CatalogueAnalyzer& analyzer);
+
+/// LintRuleSource plus whole-catalogue analysis: every parseable rule is
+/// additionally fed into `analyzer` in file order (labelled `filename`
+/// inside cross-file findings). Per-rule diagnostics land in the
+/// returned report exactly as LintRuleSource; cross-rule findings
+/// accumulate in `analyzer` (analyzer.findings()), each at kWarning
+/// severity. The rule's inline `# lint-suppress:` ids silence catalogue
+/// findings too — for pairwise SL012/SL013, a suppression on EITHER
+/// involved rule.
+RuleFileReport AnalyzeCatalogueSource(std::string_view content,
+                                      const LintOptions& options,
+                                      std::string_view filename,
+                                      CatalogueAnalyzer& analyzer,
+                                      const TimebaseConfig& timebase = {});
 
 }  // namespace sentineld
 

@@ -11,6 +11,17 @@
 //       Detector eligibility policy (default point).
 //   --werror      Warnings fail the run (notes never do).
 //   --quiet       Print nothing on success.
+//   --catalogue   Whole-catalogue analysis across ALL input files: per-rule
+//                 lint as usual, plus the cross-rule diagnostics
+//                 SL012-SL015 (analysis/catalogue.h). Full-line
+//                 `# producers: a, b` comments declare producer event
+//                 names (enables SL014).
+//   --report-json[=<path>]
+//                 With --catalogue: emit the machine-readable sharing /
+//                 cost report (schema "sentineld-catalogue-v1", validated
+//                 by tools/check_catalogue_report.py) to <path>, or to
+//                 stdout when no path is given.
+//   --top-k=<n>   Entries in the report's top-K lists (default 10).
 //
 // Exit status: 0 clean, 1 findings at the failing severity, 2 usage or
 // unreadable input. Rule files: one rule per line, `name : expression`,
@@ -18,7 +29,9 @@
 // suppresses that diagnostic for that rule. docs/analysis.md is the
 // catalogue of diagnostics.
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +47,7 @@ namespace {
 int Usage() {
   std::cerr << "usage: sentinel-lint [--context=<ctx>] "
                "[--interval-policy=<point|interval>] [--werror] [--quiet] "
+               "[--catalogue] [--report-json[=<path>]] [--top-k=<n>] "
                "(<file.rules>... | --expr '<expression>')\n";
   return 2;
 }
@@ -53,6 +67,10 @@ int Run(int argc, char** argv) {
   options.context = ParamContext::kRecent;  // RuleSpec's default
   bool werror = false;
   bool quiet = false;
+  bool catalogue = false;
+  bool report_json = false;
+  std::string report_path;
+  size_t top_k = 10;
   std::vector<std::string> files;
   std::vector<std::string> exprs;
 
@@ -71,6 +89,19 @@ int Run(int argc, char** argv) {
       }
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--catalogue") {
+      catalogue = true;
+    } else if (arg == "--report-json") {
+      report_json = true;
+    } else if (arg.rfind("--report-json=", 0) == 0) {
+      report_json = true;
+      report_path = std::string(arg.substr(14));
+    } else if (arg.rfind("--top-k=", 0) == 0) {
+      top_k = 0;
+      for (const char c : arg.substr(8)) {
+        if (c < '0' || c > '9') return Usage();
+        top_k = top_k * 10 + static_cast<size_t>(c - '0');
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--expr") {
@@ -107,17 +138,71 @@ int Run(int argc, char** argv) {
     }
   }
 
-  for (const std::string& path : files) {
-    Result<RuleFileReport> report = LintRuleFile(path, options);
-    if (!report.ok()) {
-      std::cerr << report.status() << "\n";
-      return 2;
+  CatalogueOptions catalogue_options;
+  catalogue_options.context = options.context;
+  catalogue_options.top_k = top_k;
+  CatalogueAnalyzer analyzer(catalogue_options);
+
+  // Catalogue mode reads every file up front: producer declarations may
+  // live in any file and must all be known before the first rule.
+  std::vector<std::string> contents;
+  if (catalogue) {
+    for (const std::string& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "cannot read rule file '" << path << "'\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      contents.push_back(buffer.str());
+      DeclareProducersFromSource(contents.back(), analyzer);
     }
-    const bool failing = !report->Passes(werror);
-    if (!quiet || failing) std::cout << report->Format(path);
-    errors += report->errors;
-    warnings += report->warnings;
-    notes += report->notes;
+  }
+
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string& path = files[i];
+    RuleFileReport report;
+    if (catalogue) {
+      report = AnalyzeCatalogueSource(contents[i], options, path, analyzer);
+    } else {
+      Result<RuleFileReport> read = LintRuleFile(path, options);
+      if (!read.ok()) {
+        std::cerr << read.status() << "\n";
+        return 2;
+      }
+      report = std::move(*read);
+    }
+    const bool failing = !report.Passes(werror);
+    if (!quiet || failing) std::cout << report.Format(path);
+    errors += report.errors;
+    warnings += report.warnings;
+    notes += report.notes;
+  }
+
+  if (catalogue) {
+    // Cross-rule findings (all kWarning) after the per-file reports.
+    warnings += analyzer.findings().size();
+    const bool failing = werror && !analyzer.findings().empty();
+    if (!quiet || failing) {
+      std::cout << FormatCatalogueFindings(analyzer.findings());
+      std::cout << "catalogue: " << analyzer.rules() << " rule(s), "
+                << analyzer.findings().size() << " cross-rule finding(s), "
+                << analyzer.suppressed_findings() << " suppressed\n";
+    }
+    if (report_json) {
+      const std::string json = analyzer.ReportJson();
+      if (report_path.empty()) {
+        std::cout << json;
+      } else {
+        std::ofstream out(report_path);
+        out << json;
+        if (!out) {
+          std::cerr << "cannot write report '" << report_path << "'\n";
+          return 2;
+        }
+      }
+    }
   }
 
   if (errors > 0 || (werror && warnings > 0)) return 1;

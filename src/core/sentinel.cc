@@ -115,6 +115,11 @@ Result<RuleId> SentinelService::DefineRule(RuleSpec spec) {
         dispatch(event);
       });
   if (!added.ok()) return added.status();
+  // Whole-catalogue analysis against every rule defined before this one
+  // (analysis/catalogue.h) — advisory, surfaced via catalogue_findings().
+  CatalogueRuleRef ref;
+  ref.name = rule_name;
+  catalogue_.AddRule(ref, *expr, registry_, context, {});
   return id;
 }
 
@@ -199,12 +204,12 @@ Result<RuleId> DistributedSentinel::DefineRule(RuleSpec spec) {
   }
   ParserOptions parser_options;
   parser_options.auto_register = true;
+  // Parse once up front for lint and catalogue analysis (AddRuleText
+  // re-parses; the shared registry makes the double parse idempotent).
+  Result<ExprPtr> expr =
+      ParseExpr(spec.event_expr, registry_, parser_options);
+  if (!expr.ok()) return expr.status();
   if (lint_rules_ && !spec.skip_lint) {
-    // Parse once up front for the lint pass (AddRuleText re-parses; the
-    // shared registry makes the double parse idempotent).
-    Result<ExprPtr> expr =
-        ParseExpr(spec.event_expr, registry_, parser_options);
-    if (!expr.ok()) return expr.status();
     LintOptions lint_options;
     lint_options.context = context_;
     lint_options.interval_policy = interval_policy_;
@@ -218,6 +223,11 @@ Result<RuleId> DistributedSentinel::DefineRule(RuleSpec spec) {
   Result<EventTypeId> added = runtime_->AddRuleText(
       rule_name, expr_text, rules_.MakeDispatch(*id), parser_options);
   if (!added.ok()) return added.status();
+  // Whole-catalogue analysis against every rule defined before this one
+  // (analysis/catalogue.h) — advisory, surfaced via catalogue_findings().
+  CatalogueRuleRef ref;
+  ref.name = rule_name;
+  catalogue_.AddRule(ref, *expr, registry_, context_, {});
   return id;
 }
 

@@ -6,6 +6,7 @@
 #include <span>
 #include <string>
 
+#include "analysis/catalogue.h"
 #include "core/rule.h"
 #include "dist/runtime.h"
 #include "event/registry.h"
@@ -89,12 +90,23 @@ class SentinelService {
   EventTypeRegistry& registry() { return registry_; }
   LocalTicks clock() const { return clock_; }
 
+  /// Cross-rule findings (SL012-SL015, analysis/catalogue.h) accumulated
+  /// as rules were defined — advisory only, never rejects a rule. The
+  /// analysis is append-only: dropped rules stay in it.
+  const std::vector<CatalogueFinding>& catalogue_findings() const {
+    return catalogue_.findings();
+  }
+  /// The whole-catalogue analyzer behind catalogue_findings() (sharing
+  /// report, event index, static costs).
+  const CatalogueAnalyzer& catalogue() const { return catalogue_; }
+
  private:
   DetectorEngine& DetectorFor(ParamContext context);
 
   Options options_;
   EventTypeRegistry registry_;
   RuleTable rules_;
+  CatalogueAnalyzer catalogue_;
   std::map<ParamContext, std::unique_ptr<DetectorEngine>> detectors_;
   LocalTicks clock_ = 0;
 };
@@ -129,6 +141,13 @@ class DistributedSentinel {
   EventTypeRegistry& registry() { return registry_; }
   DistributedRuntime& runtime() { return *runtime_; }
 
+  /// Cross-rule findings accumulated as rules were defined (advisory;
+  /// see SentinelService::catalogue_findings).
+  const std::vector<CatalogueFinding>& catalogue_findings() const {
+    return catalogue_.findings();
+  }
+  const CatalogueAnalyzer& catalogue() const { return catalogue_; }
+
  private:
   DistributedSentinel(ParamContext context, IntervalPolicy interval_policy,
                       bool lint_rules)
@@ -138,6 +157,7 @@ class DistributedSentinel {
 
   EventTypeRegistry registry_;
   RuleTable rules_;
+  CatalogueAnalyzer catalogue_;
   std::unique_ptr<DistributedRuntime> runtime_;
   ParamContext context_;
   IntervalPolicy interval_policy_;

@@ -6,13 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "analysis/catalogue.h"
 #include "analysis/lint.h"
 #include "analysis/rule_file.h"
 #include "snoop/ast.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/string_util.h"
 
 namespace sentineld {
 namespace {
@@ -103,6 +109,76 @@ TEST(AnalysisFuzz, LinterNeverCrashesAndDiagnosticsAreWellFormed) {
     }
     EXPECT_TRUE(LintExpr(expr, registry, all_suppressed).empty());
   }
+}
+
+/// A random semantics-preserving respelling: commutative operands get
+/// reversed at random, so the result is canonically equal to `expr` but
+/// usually spelled differently.
+ExprPtr Shuffled(const ExprPtr& expr, Rng& rng) {
+  auto copy = std::make_shared<Expr>(*expr);
+  for (ExprPtr& child : copy->children) child = Shuffled(child, rng);
+  const bool commutative = expr->kind == OpKind::kAnd ||
+                           expr->kind == OpKind::kOr ||
+                           expr->kind == OpKind::kAny;
+  if (commutative && rng.NextBool(0.5)) {
+    std::reverse(copy->children.begin(), copy->children.end());
+  }
+  return copy;
+}
+
+// The sharing report's correctness rests on this property: canonical
+// equality (equal CanonicalizeExpr strings, Thm 5.1) and CanonicalHash
+// equality agree on arbitrary expression pairs — respellings always
+// hash alike, and among hash-equal pairs any canonically-different ones
+// are ACCOUNTED as 64-bit collisions (and none occur on this sample).
+TEST(AnalysisFuzz, CanonicalHashAgreesWithCanonicalEquality) {
+  EventTypeRegistry registry;
+  for (const char* name : {"A", "B", "C", "D"}) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  Rng rng(0x5eedca7a109ULL);
+  size_t hash_equal_pairs = 0;
+  size_t collisions = 0;
+  std::map<uint64_t, std::string> by_hash;
+  for (int round = 0; round < 1500; ++round) {
+    const ExprPtr expr = RandomExpr(rng, 4);
+    const ExprPtr respelled = Shuffled(expr, rng);
+    const uint64_t hash = CanonicalHash(expr, registry);
+    // Canonically equal ⟹ hash equal, unconditionally.
+    EXPECT_EQ(hash, CanonicalHash(respelled, registry));
+    const std::string canonical =
+        CanonicalizeExpr(expr, registry)->ToString(registry);
+    EXPECT_EQ(canonical,
+              CanonicalizeExpr(respelled, registry)->ToString(registry));
+    // Hash equal ⟹ canonically equal, modulo accounted collisions.
+    const auto [it, inserted] = by_hash.emplace(hash, canonical);
+    if (!inserted) {
+      ++hash_equal_pairs;
+      if (it->second != canonical) ++collisions;
+    }
+  }
+  EXPECT_GT(hash_equal_pairs, 0u);  // small trees DO repeat
+  EXPECT_EQ(collisions, 0u);
+  // The analyzer's exact interning counts the same collisions; on the
+  // same sample it must account zero too, and canonically equal
+  // respellings must land on the SAME DAG node (unique count equal with
+  // and without the respellings).
+  Rng replay(0x5eedca7a109ULL);
+  CatalogueAnalyzer only_originals;
+  CatalogueAnalyzer with_respellings;
+  for (int round = 0; round < 300; ++round) {
+    const ExprPtr expr = RandomExpr(replay, 4);
+    const ExprPtr respelled = Shuffled(expr, replay);
+    CatalogueRuleRef ref;
+    ref.name = StrCat("r", round);
+    only_originals.AddRule(ref, expr, registry, {});
+    with_respellings.AddRule(ref, expr, registry, {});
+    ref.name = StrCat("r", round, "x");
+    with_respellings.AddRule(ref, respelled, registry, {});
+  }
+  EXPECT_EQ(only_originals.Sharing().unique_subtrees,
+            with_respellings.Sharing().unique_subtrees);
+  EXPECT_EQ(with_respellings.Sharing().hash_collisions, 0u);
 }
 
 TEST(AnalysisFuzz, RuleFileParserSurvivesArbitraryText) {

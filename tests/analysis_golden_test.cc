@@ -51,5 +51,37 @@ TEST(AnalysisGolden, ContextDiagnostics) {
   RunGoldenCase("contexts", options);
 }
 
+/// Whole-catalogue analysis of golden/<name>.rules, replicating
+/// `sentinel-lint --catalogue` output: the per-file report, the
+/// cross-rule findings (SL012-SL015 with both-rule attribution), and
+/// the catalogue summary line — byte for byte. Regenerate with
+/// `sentinel-lint --catalogue --context=unrestricted` over
+/// tests/golden/<name>.rules.
+void RunCatalogueGoldenCase(const std::string& name,
+                            const LintOptions& options) {
+  const std::string dir = std::string(SENTINELD_GOLDEN_DIR) + "/";
+  const std::string content = ReadFile(dir + name + ".rules");
+  CatalogueOptions catalogue_options;
+  catalogue_options.context = options.context;
+  CatalogueAnalyzer analyzer(catalogue_options);
+  DeclareProducersFromSource(content, analyzer);
+  const std::string path = "tests/golden/" + name + ".rules";
+  const RuleFileReport report =
+      AnalyzeCatalogueSource(content, options, path, analyzer);
+  std::string out = report.Format(path);
+  out += FormatCatalogueFindings(analyzer.findings());
+  out += "catalogue: " + std::to_string(analyzer.rules()) + " rule(s), " +
+         std::to_string(analyzer.findings().size()) +
+         " cross-rule finding(s), " +
+         std::to_string(analyzer.suppressed_findings()) + " suppressed\n";
+  EXPECT_EQ(out, ReadFile(dir + name + ".expected"));
+}
+
+TEST(AnalysisGolden, CatalogueCrossRuleDiagnostics) {
+  LintOptions options;
+  options.context = ParamContext::kUnrestricted;
+  RunCatalogueGoldenCase("catalogue", options);
+}
+
 }  // namespace
 }  // namespace sentineld

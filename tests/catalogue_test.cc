@@ -1,0 +1,314 @@
+// Whole-catalogue analyzer (analysis/catalogue.h): cross-rule
+// diagnostics SL012-SL015, the canonical-hash sharing report, the
+// event-name dispatch index, the static cost model, and the services'
+// DefineRule integration.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/catalogue.h"
+#include "analysis/rule_file.h"
+#include "core/sentinel.h"
+#include "snoop/parser.h"
+#include "util/logging.h"
+
+namespace sentineld {
+namespace {
+
+/// Parses `text` against a fresh auto-registering registry and feeds it
+/// into `analyzer` as rule `name` (mirroring a rule-file line).
+std::vector<CatalogueFinding> Add(
+    CatalogueAnalyzer& analyzer, const std::string& name,
+    const std::string& text,
+    const std::vector<std::string>& suppressed = {}) {
+  EventTypeRegistry registry;
+  ParserOptions parser_options;
+  parser_options.auto_register = true;
+  Result<ExprPtr> expr = ParseExpr(text, registry, parser_options);
+  CHECK_OK(expr.status());
+  CatalogueRuleRef ref;
+  ref.name = name;
+  return analyzer.AddRule(ref, *expr, registry, suppressed);
+}
+
+
+/// An analyzer under the recent context, where seq/and state is bounded
+/// by consumption — keeps SL015 out of tests aimed at other findings.
+CatalogueAnalyzer RecentAnalyzer() {
+  CatalogueOptions options;
+  options.context = ParamContext::kRecent;
+  return CatalogueAnalyzer(options);
+}
+
+TEST(CatalogueAnalyzer, DuplicateRuleAcrossOperandOrderAndRegistries) {
+  CatalogueAnalyzer analyzer = RecentAnalyzer();
+  EXPECT_TRUE(Add(analyzer, "first", "(a and b) ; c").empty());
+  // Different spelling, different per-rule registry (so different
+  // EventTypeIds), same canonical tree.
+  const auto findings = Add(analyzer, "second", "(b and a) ; c");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].diagnostic.id, LintId::kDuplicateRule);
+  EXPECT_EQ(findings[0].rule.name, "second");
+  EXPECT_EQ(findings[0].related.name, "first");
+  EXPECT_TRUE(findings[0].pairwise());
+}
+
+TEST(CatalogueAnalyzer, PairwiseSuppressionOnEitherRuleSilences) {
+  {
+    // Suppression on the LATER rule.
+    CatalogueAnalyzer analyzer = RecentAnalyzer();
+    Add(analyzer, "first", "a ; b");
+    EXPECT_TRUE(Add(analyzer, "second", "a ; b", {"SL012"}).empty());
+    EXPECT_EQ(analyzer.findings().size(), 0u);
+    EXPECT_EQ(analyzer.suppressed_findings(), 1u);
+  }
+  {
+    // Suppression on the EARLIER rule silences the same pair.
+    CatalogueAnalyzer analyzer = RecentAnalyzer();
+    Add(analyzer, "first", "a ; b", {"SL012"});
+    EXPECT_TRUE(Add(analyzer, "second", "a ; b").empty());
+    EXPECT_EQ(analyzer.suppressed_findings(), 1u);
+  }
+  {
+    // No suppression: the finding fires.
+    CatalogueAnalyzer analyzer = RecentAnalyzer();
+    Add(analyzer, "first", "a ; b");
+    EXPECT_EQ(Add(analyzer, "second", "a ; b").size(), 1u);
+    EXPECT_EQ(analyzer.suppressed_findings(), 0u);
+  }
+}
+
+TEST(CatalogueAnalyzer, SubsumedRuleViaDisjunctBothDirections) {
+  {
+    // Later rule IS a disjunct of an earlier one.
+    CatalogueAnalyzer analyzer = RecentAnalyzer();
+    Add(analyzer, "wide", "(a ; b) or c");
+    const auto findings = Add(analyzer, "narrow", "a ; b");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].diagnostic.id, LintId::kSubsumedRule);
+    EXPECT_EQ(findings[0].related.name, "wide");
+  }
+  {
+    // Later rule CONTAINS an earlier rule as a disjunct.
+    CatalogueAnalyzer analyzer = RecentAnalyzer();
+    Add(analyzer, "narrow", "a ; b");
+    const auto findings = Add(analyzer, "wide", "(a ; b) or c");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].diagnostic.id, LintId::kSubsumedRule);
+    EXPECT_EQ(findings[0].related.name, "narrow");
+  }
+}
+
+TEST(CatalogueAnalyzer, SubsumedRuleViaThresholdAndPeriodWidening) {
+  {
+    // Lower ANY threshold is wider.
+    CatalogueAnalyzer analyzer = RecentAnalyzer();
+    Add(analyzer, "two_of", "ANY(2, a, b, c)");
+    const auto findings = Add(analyzer, "three_of", "ANY(3, a, b, c)");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].diagnostic.id, LintId::kSubsumedRule);
+    EXPECT_EQ(findings[0].related.name, "two_of");
+  }
+  {
+    // A period dividing the other's fires on a superset of ticks.
+    CatalogueAnalyzer analyzer = RecentAnalyzer();
+    Add(analyzer, "fine", "P(a, 5t, b)");
+    const auto findings = Add(analyzer, "coarse", "P(a, 10t, b)");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].diagnostic.id, LintId::kSubsumedRule);
+  }
+  {
+    // Non-divisible periods are incomparable.
+    CatalogueAnalyzer analyzer = RecentAnalyzer();
+    Add(analyzer, "five", "P(a, 5t, b)");
+    EXPECT_TRUE(Add(analyzer, "seven", "P(a, 7t, b)").empty());
+  }
+}
+
+TEST(CatalogueAnalyzer, NoWideningThroughAntiMonotonePositions) {
+  // The ANY threshold differs inside a NOT middle: a lower threshold
+  // there makes the composite NARROWER, so the conservative comparison
+  // must stay silent rather than claim subsumption.
+  CatalogueAnalyzer analyzer = RecentAnalyzer();
+  Add(analyzer, "first", "not(ANY(2, a, b, c))[d, e]");
+  EXPECT_TRUE(Add(analyzer, "second", "not(ANY(3, a, b, c))[d, e]").empty());
+}
+
+TEST(CatalogueAnalyzer, UnknownEventNameRequiresProducerDeclarations) {
+  {
+    // No declarations: SL014 is off (cannot distinguish "no producer"
+    // from "not declared").
+    CatalogueAnalyzer analyzer = RecentAnalyzer();
+    EXPECT_FALSE(analyzer.has_producer_declarations());
+    EXPECT_TRUE(Add(analyzer, "r", "ghost ; a").empty());
+  }
+  {
+    CatalogueAnalyzer analyzer = RecentAnalyzer();
+    analyzer.DeclareProducer("a");
+    const auto findings = Add(analyzer, "r", "ghost ; a");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].diagnostic.id, LintId::kUnknownEventName);
+    EXPECT_EQ(findings[0].diagnostic.subexpr, "ghost");
+    EXPECT_FALSE(findings[0].pairwise());
+  }
+}
+
+TEST(CatalogueAnalyzer, UnboundedStateFollowsContextAndOperators) {
+  CatalogueAnalyzer analyzer;  // default context: kUnrestricted
+  // Accumulating operator under the non-consuming context: O(n).
+  auto findings = Add(analyzer, "seq", "a ; b");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].diagnostic.id, LintId::kUnboundedState);
+  EXPECT_EQ(analyzer.costs()[0].state_bound, StateBound::kStreamLinear);
+  // OR alone holds no state.
+  EXPECT_TRUE(Add(analyzer, "or_only", "a or b").empty());
+  EXPECT_EQ(analyzer.costs()[1].state_bound, StateBound::kConstant);
+  EXPECT_EQ(analyzer.costs()[1].state_ops, 0u);
+  // PLUS drains its pending list when the timer fires: window-bounded,
+  // no SL015 even under kUnrestricted.
+  EXPECT_TRUE(Add(analyzer, "plus_only", "a + 5t").empty());
+  EXPECT_EQ(analyzer.costs()[2].state_bound, StateBound::kWindowBounded);
+
+  // The same accumulating rule under the consuming kRecent context is
+  // constant-state.
+  CatalogueAnalyzer recent(CatalogueOptions{ParamContext::kRecent, 10});
+  EXPECT_TRUE(Add(recent, "seq", "a ; b").empty());
+  EXPECT_EQ(recent.costs()[0].state_bound, StateBound::kConstant);
+}
+
+TEST(CatalogueAnalyzer, SharingReportCountsAndEventIndex) {
+  CatalogueAnalyzer analyzer;
+  Add(analyzer, "r1", "(a ; b) and c");  // 5 nodes
+  Add(analyzer, "r2", "(a ; b) or d");   // 5 nodes, shares (a ; b), a, b
+  const SharingReport report = analyzer.Sharing();
+  EXPECT_EQ(report.rules, 2u);
+  EXPECT_EQ(report.total_subtrees, 10u);
+  // Unique: a, b, (a;b), c, ((a;b) and c), d, ((a;b) or d).
+  EXPECT_EQ(report.unique_subtrees, 7u);
+  EXPECT_EQ(report.predicted_dag_nodes, 7u);
+  EXPECT_EQ(report.hash_collisions, 0u);
+  ASSERT_EQ(report.top_shared.size(), 1u);  // composites only
+  EXPECT_EQ(report.top_shared[0].expr, "(a ; b)");
+  EXPECT_EQ(report.top_shared[0].count, 2u);
+  EXPECT_EQ(report.top_shared[0].size, 3u);
+
+  const auto index = analyzer.EventIndex(0);
+  ASSERT_EQ(index.size(), 4u);
+  EXPECT_EQ(index[0].event, "a");
+  EXPECT_EQ(index[0].rules, 2u);
+  EXPECT_EQ(index[1].event, "b");
+  EXPECT_EQ(index[1].rules, 2u);
+  EXPECT_EQ(index[2].event, "c");  // ties break by name
+  EXPECT_EQ(index[2].rules, 1u);
+}
+
+TEST(CatalogueAnalyzer, ReportJsonCarriesSchemaAndCounts) {
+  CatalogueAnalyzer analyzer;
+  Add(analyzer, "r1", "a ; b");
+  Add(analyzer, "r2", "a ; b", {"SL012"});
+  const std::string json = analyzer.ReportJson();
+  EXPECT_NE(json.find("\"schema\": \"sentineld-catalogue-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rules\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"top_shared\""), std::string::npos);
+  EXPECT_NE(json.find("\"worst_state\""), std::string::npos);
+}
+
+TEST(CatalogueAnalyzer, CanonicalHashMatchesInternedSharing) {
+  // The free CanonicalHash and the analyzer's interning agree: two
+  // spellings of one canonical tree hash identically and intern to one
+  // DAG node.
+  EventTypeRegistry registry;
+  ParserOptions parser_options;
+  parser_options.auto_register = true;
+  Result<ExprPtr> ab = ParseExpr("(a and b) ; c", registry, parser_options);
+  Result<ExprPtr> ba = ParseExpr("(b and a) ; c", registry, parser_options);
+  CHECK_OK(ab.status());
+  CHECK_OK(ba.status());
+  EXPECT_EQ(CanonicalHash(*ab, registry), CanonicalHash(*ba, registry));
+
+  CatalogueAnalyzer analyzer;
+  CatalogueRuleRef ref;
+  ref.name = "r1";
+  analyzer.AddRule(ref, *ab, registry, {});
+  ref.name = "r2";
+  analyzer.AddRule(ref, *ba, registry, {});
+  const SharingReport report = analyzer.Sharing();
+  EXPECT_EQ(report.total_subtrees, 10u);
+  EXPECT_EQ(report.unique_subtrees, 5u);
+  ASSERT_FALSE(report.top_shared.empty());
+  EXPECT_EQ(report.top_shared[0].hash, CanonicalHash(*ab, registry));
+}
+
+TEST(CatalogueRuleFile, AnalyzeCatalogueSourceWiresProducersAndFindings) {
+  const std::string content =
+      "# producers: a, b\n"
+      "r1 : a ; b\n"
+      "r2 : b ; ghost\n"
+      "r3 : a ; b\n";
+  CatalogueAnalyzer analyzer(CatalogueOptions{ParamContext::kRecent, 10});
+  ASSERT_EQ(DeclareProducersFromSource(content, analyzer), 2u);
+  LintOptions options;
+  options.context = ParamContext::kRecent;
+  const RuleFileReport report =
+      AnalyzeCatalogueSource(content, options, "mem.rules", analyzer);
+  EXPECT_EQ(report.rules.size(), 3u);
+  ASSERT_EQ(analyzer.findings().size(), 2u);
+  EXPECT_EQ(analyzer.findings()[0].diagnostic.id, LintId::kUnknownEventName);
+  EXPECT_EQ(analyzer.findings()[1].diagnostic.id, LintId::kDuplicateRule);
+  EXPECT_EQ(analyzer.findings()[1].rule.file, "mem.rules");
+  EXPECT_EQ(analyzer.findings()[1].rule.line, 4u);
+  EXPECT_EQ(analyzer.findings()[1].related.line, 2u);
+  // The rendered block names both rules, the note line pointing at the
+  // earlier one.
+  const std::string text =
+      FormatCatalogueFinding(analyzer.findings()[1]);
+  EXPECT_NE(text.find("mem.rules:4"), std::string::npos);
+  EXPECT_NE(text.find("rule `r3`"), std::string::npos);
+  EXPECT_NE(text.find("note: earlier rule `r1` defined here"),
+            std::string::npos);
+}
+
+TEST(CatalogueService, SentinelServiceAccumulatesFindings) {
+  SentinelService service;
+  ASSERT_TRUE(service.RegisterEventType("a", EventClass::kExplicit).ok());
+  ASSERT_TRUE(service.RegisterEventType("b", EventClass::kExplicit).ok());
+  RuleSpec spec;
+  spec.name = "first";
+  spec.event_expr = "a ; b";
+  ASSERT_TRUE(service.DefineRule(spec).ok());
+  spec.name = "second";
+  spec.event_expr = "a ; b";
+  ASSERT_TRUE(service.DefineRule(spec).ok());
+  ASSERT_EQ(service.catalogue_findings().size(), 1u);
+  EXPECT_EQ(service.catalogue_findings()[0].diagnostic.id,
+            LintId::kDuplicateRule);
+  EXPECT_EQ(service.catalogue_findings()[0].rule.name, "second");
+  EXPECT_EQ(service.catalogue_findings()[0].related.name, "first");
+  EXPECT_EQ(service.catalogue().rules(), 2u);
+}
+
+TEST(CatalogueService, DistributedSentinelAccumulatesFindings) {
+  RuntimeConfig config;
+  config.context = ParamContext::kRecent;
+  auto service = DistributedSentinel::Create(config);
+  CHECK_OK(service.status());
+  RuleSpec spec;
+  spec.context = ParamContext::kRecent;
+  spec.name = "first";
+  spec.event_expr = "a ; b";
+  ASSERT_TRUE((*service)->DefineRule(spec).ok());
+  spec.name = "second";
+  spec.event_expr = "(b ; a) or (a ; b)";
+  ASSERT_TRUE((*service)->DefineRule(spec).ok());
+  ASSERT_EQ((*service)->catalogue_findings().size(), 1u);
+  EXPECT_EQ((*service)->catalogue_findings()[0].diagnostic.id,
+            LintId::kSubsumedRule);
+  EXPECT_EQ((*service)->catalogue_findings()[0].related.name, "first");
+}
+
+}  // namespace
+}  // namespace sentineld

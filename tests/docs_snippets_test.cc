@@ -5,6 +5,11 @@
 // directives. A fence with no directives must lint clean. Docs that
 // drift from the grammar or the diagnostic catalogue fail here instead
 // of misleading a reader.
+//
+// ```snoop-catalogue fences additionally run the whole-catalogue
+// analyzer (analysis/catalogue.h) under the unrestricted context, so
+// the SL012-SL015 examples in docs/analysis.md are enforced the same
+// way: cross-rule findings count toward the fence's `# expect:` ids.
 
 #include "analysis/rule_file.h"
 
@@ -17,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/catalogue.h"
 #include "analysis/diagnostics.h"
 #include "util/logging.h"
 
@@ -28,6 +34,7 @@ struct Fence {
   size_t line = 0;     ///< 1-based line of the opening ```snoop
   std::string source;  ///< fence body with expect directives stripped
   std::vector<std::string> expected_ids;  ///< from `# expect:` comments
+  bool catalogue = false;  ///< opened with ```snoop-catalogue
 };
 
 /// Splits a fence line into (rule text, expected ids): everything after
@@ -56,9 +63,12 @@ std::vector<Fence> ExtractSnoopFences(const std::string& path,
   while (std::getline(in, line)) {
     ++line_number;
     if (!inside) {
-      if (line.rfind("```snoop", 0) == 0) {
+      // Exact info-string match: ```snoop lints per-rule only,
+      // ```snoop-catalogue also runs the whole-catalogue analyzer.
+      if (line == "```snoop" || line == "```snoop-catalogue") {
         inside = true;
-        fences.push_back(Fence{display_name, line_number, "", {}});
+        fences.push_back(Fence{display_name, line_number, "", {},
+                               line == "```snoop-catalogue"});
       }
       continue;
     }
@@ -99,7 +109,17 @@ TEST(DocsSnippetsTest, EveryFenceParsesAndEmitsExactlyWhatItDeclares) {
   ASSERT_GE(fences.size(), 3u);
   for (const Fence& fence : fences) {
     SCOPED_TRACE(fence.file + ":" + std::to_string(fence.line));
-    const RuleFileReport report = LintRuleSource(fence.source, {});
+    CatalogueAnalyzer analyzer;  // catalogue fences: unrestricted context
+    RuleFileReport report;
+    if (fence.catalogue) {
+      DeclareProducersFromSource(fence.source, analyzer);
+      LintOptions options;
+      options.context = ParamContext::kUnrestricted;
+      report =
+          AnalyzeCatalogueSource(fence.source, options, fence.file, analyzer);
+    } else {
+      report = LintRuleSource(fence.source, {});
+    }
     ASSERT_FALSE(report.rules.empty()) << "fence contains no rules";
     std::vector<std::string> emitted;
     for (const LintedRule& rule : report.rules) {
@@ -107,10 +127,15 @@ TEST(DocsSnippetsTest, EveryFenceParsesAndEmitsExactlyWhatItDeclares) {
         emitted.push_back(LintIdToString(diagnostic.id));
       }
     }
+    for (const CatalogueFinding& finding : analyzer.findings()) {
+      emitted.push_back(LintIdToString(finding.diagnostic.id));
+    }
     std::vector<std::string> expected = fence.expected_ids;
     std::sort(emitted.begin(), emitted.end());
     std::sort(expected.begin(), expected.end());
-    EXPECT_EQ(emitted, expected) << report.Format(fence.file);
+    EXPECT_EQ(emitted, expected)
+        << report.Format(fence.file)
+        << FormatCatalogueFindings(analyzer.findings());
   }
 }
 

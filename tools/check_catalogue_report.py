@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validates a ``sentinel-lint --catalogue --report-json`` report.
+
+The report (schema ``sentineld-catalogue-v1``, produced by
+``CatalogueAnalyzer::ReportJson`` in src/analysis/catalogue.cc and
+documented in docs/analysis.md) is the machine-readable blueprint for
+the ROADMAP-3 shared-subexpression detection graph. CI generates a
+100k-rule synthetic catalogue with ``bench_analysis --emit-catalogue``,
+runs sentinel-lint over it, and round-trips the report through this
+script before uploading it as an artifact. Stdlib only, so CI runs it
+with a bare python3.
+
+Checks, beyond JSON well-formedness:
+  * schema tag, required sections, field types;
+  * sharing invariants: unique <= total subtrees, predicted DAG nodes
+    == unique subtrees, sharing_ratio == total/unique (3 decimals),
+    top_shared entries have count >= 2 and 16-hex-digit hashes;
+  * cost invariants: state-bound buckets sum to the rule count,
+    worst_state entries carry a known bound label;
+  * event-index invariants: fan-out sorted descending.
+
+Usage:
+    check_catalogue_report.py report.json [--min-rules N]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "sentineld-catalogue-v1"
+STATE_BOUNDS = {"O(1)", "O(windows)", "O(n)"}
+DIAGNOSTIC_KEYS = {"SL012", "SL013", "SL014", "SL015", "suppressed"}
+
+
+def fail(msg):
+    sys.exit(f"catalogue report invalid: {msg}")
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument(
+        "--min-rules",
+        type=int,
+        default=0,
+        help="fail if the catalogue has fewer rules (CI's 100k-rule "
+        "acceptance run passes 100000)",
+    )
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        doc = json.load(f)
+
+    require(doc.get("schema") == SCHEMA,
+            f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    require(is_count(doc.get("rules")), "rules must be a count")
+    require(isinstance(doc.get("context"), str), "context must be a string")
+    rules = doc["rules"]
+    require(rules >= args.min_rules,
+            f"{rules} rule(s), --min-rules wants >= {args.min_rules}")
+
+    diagnostics = doc.get("diagnostics")
+    require(isinstance(diagnostics, dict), "diagnostics must be an object")
+    require(set(diagnostics) == DIAGNOSTIC_KEYS,
+            f"diagnostics keys {sorted(diagnostics)} != "
+            f"{sorted(DIAGNOSTIC_KEYS)}")
+    for key, value in diagnostics.items():
+        require(is_count(value), f"diagnostics.{key} must be a count")
+
+    sharing = doc.get("sharing")
+    require(isinstance(sharing, dict), "sharing must be an object")
+    for key in ("total_subtrees", "unique_subtrees", "predicted_dag_nodes",
+                "hash_collisions"):
+        require(is_count(sharing.get(key)), f"sharing.{key} must be a count")
+    total = sharing["total_subtrees"]
+    unique = sharing["unique_subtrees"]
+    require(unique <= total, "unique_subtrees exceeds total_subtrees")
+    require(sharing["predicted_dag_nodes"] == unique,
+            "predicted_dag_nodes must equal unique_subtrees")
+    require(rules == 0 or unique > 0, "rules present but no subtrees")
+    ratio = sharing.get("sharing_ratio")
+    require(isinstance(ratio, (int, float)), "sharing_ratio must be numeric")
+    want_ratio = 1.0 if unique == 0 else total / unique
+    require(abs(ratio - want_ratio) < 0.001,
+            f"sharing_ratio {ratio} != total/unique {want_ratio:.3f}")
+    top_shared = sharing.get("top_shared")
+    require(isinstance(top_shared, list), "top_shared must be a list")
+    for entry in top_shared:
+        require(isinstance(entry.get("expr"), str) and entry["expr"],
+                "top_shared entry needs a non-empty expr")
+        hash_hex = entry.get("hash")
+        require(isinstance(hash_hex, str) and len(hash_hex) == 16
+                and all(c in "0123456789abcdef" for c in hash_hex),
+                f"top_shared hash {hash_hex!r} is not 16 hex digits")
+        require(is_count(entry.get("count")) and entry["count"] >= 2,
+                "top_shared entries must be shared (count >= 2)")
+        require(is_count(entry.get("size")) and entry["size"] >= 1,
+                "top_shared entry size must be >= 1")
+
+    index = doc.get("event_index")
+    require(isinstance(index, dict), "event_index must be an object")
+    require(is_count(index.get("events")), "event_index.events must be a count")
+    require(isinstance(index.get("producers_declared"), bool),
+            "producers_declared must be a bool")
+    top = index.get("top")
+    require(isinstance(top, list), "event_index.top must be a list")
+    fanouts = []
+    for entry in top:
+        require(isinstance(entry.get("event"), str) and entry["event"],
+                "event_index entry needs a non-empty event")
+        require(is_count(entry.get("rules")) and entry["rules"] >= 1,
+                "event_index fan-out must be >= 1")
+        fanouts.append(entry["rules"])
+    require(fanouts == sorted(fanouts, reverse=True),
+            "event_index.top must be sorted by fan-out descending")
+
+    cost = doc.get("cost")
+    require(isinstance(cost, dict), "cost must be an object")
+    bounds = cost.get("state_bounds")
+    require(isinstance(bounds, dict) and
+            set(bounds) == {"constant", "window_bounded", "stream_linear"},
+            "state_bounds must bucket constant/window_bounded/stream_linear")
+    for key, value in bounds.items():
+        require(is_count(value), f"state_bounds.{key} must be a count")
+    require(sum(bounds.values()) == rules,
+            f"state_bounds sum {sum(bounds.values())} != rules {rules}")
+    require(is_count(cost.get("total_state_ops")),
+            "total_state_ops must be a count")
+    require(is_count(cost.get("max_fanout")), "max_fanout must be a count")
+    worst = cost.get("worst_state")
+    require(isinstance(worst, list), "worst_state must be a list")
+    for entry in worst:
+        require(isinstance(entry.get("rule"), str) and entry["rule"],
+                "worst_state entry needs a rule name")
+        require(entry.get("state_bound") in STATE_BOUNDS,
+                f"unknown state bound {entry.get('state_bound')!r}")
+        require(is_count(entry.get("state_ops")), "state_ops must be a count")
+        require(is_count(entry.get("fanout")), "fanout must be a count")
+
+    print(f"{args.report}: OK — {rules} rule(s), "
+          f"{total} subtrees -> {unique} DAG nodes "
+          f"({ratio:.3f}x sharing), "
+          f"{sum(v for k, v in diagnostics.items() if k != 'suppressed')} "
+          f"finding(s), {diagnostics['suppressed']} suppressed")
+
+
+if __name__ == "__main__":
+    main()
