@@ -215,6 +215,78 @@ void BM_ParallelFanout(benchmark::State& state) {
 BENCHMARK(BM_ParallelFanout)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMicrosecond);
 
+// --------------------------------------------------------------------
+// PERF-7: catalogue-scale sweep through the shared-subexpression DAG
+// engine (docs/catalogue-scale.md). The type pool grows with the rule
+// count, so matching stays sparse: an event's type is consumed by a
+// roughly CONSTANT number of rules no matter how many are loaded, and
+// the dispatch index keeps per-event cost pinned to that constant —
+// sub-linear in catalogue size — instead of walking all N rules.
+
+struct SweepSetup {
+  std::unique_ptr<EventTypeRegistry> registry;
+  std::unique_ptr<DetectorEngine> engine;
+  std::vector<EventPtr> events;
+};
+
+std::unique_ptr<SweepSetup> MakeSweep(size_t rules) {
+  auto setup = std::make_unique<SweepSetup>();
+  setup->registry = std::make_unique<EventTypeRegistry>();
+  // ~16 rules per type: each type's dispatch fan-out is flat across
+  // the 1k/10k/100k sweep, so any growth in ns/event is engine
+  // overhead, not workload growth.
+  const size_t types = rules / 16 < 16 ? 16 : rules / 16;
+  for (size_t t = 0; t < types; ++t) {
+    CHECK_OK(setup->registry->Register("T" + std::to_string(t),
+                                       EventClass::kExplicit));
+  }
+  Detector::Options options;
+  options.context = ParamContext::kRecent;
+  options.engine = DetectorEngineKind::kShared;
+  setup->engine = MakeDetectorEngine(setup->registry.get(), options);
+  Rng rng(1234);
+  for (size_t r = 0; r < rules; ++r) {
+    const auto type = [&] {
+      return "T" + std::to_string(rng.NextBounded(types));
+    };
+    const std::string expr = "(" + type() + " ; " + type() + ") and (" +
+                             type() + " or " + type() + ")";
+    auto parsed = ParseExpr(expr, *setup->registry, {});
+    CHECK_OK(parsed);
+    CHECK_OK(setup->engine->AddRule("r" + std::to_string(r), *parsed,
+                                    nullptr));
+  }
+  LocalTicks tick = 1000;
+  for (size_t i = 0; i < (1u << 14); ++i) {
+    tick += 1 + static_cast<LocalTicks>(rng.NextBounded(30));
+    setup->events.push_back(Event::MakePrimitive(
+        static_cast<EventTypeId>(rng.NextBounded(types)),
+        PrimitiveTimestamp{static_cast<SiteId>(rng.NextBounded(4)),
+                           tick / 10, tick}));
+  }
+  return setup;
+}
+
+void BM_SharedRuleSweep(benchmark::State& state) {
+  auto setup = MakeSweep(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    setup->engine->Feed(setup->events[i % setup->events.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  const DetectorDagStats stats = setup->engine->DagStats();
+  state.counters["dag_nodes"] = static_cast<double>(stats.dag_nodes);
+  state.counters["sharing_hits"] =
+      static_cast<double>(stats.sharing_hits);
+  state.counters["fanout"] = stats.mean_dispatch_fanout();
+}
+BENCHMARK(BM_SharedRuleSweep)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
 /// Wired-but-off overhead: the same single-rule feed loop through a
 /// concrete Detector and through the DetectorEngine seam at
 /// detector_threads=0 (virtual dispatch, no pool). The two must be
@@ -249,9 +321,11 @@ BENCHMARK(BM_EngineSeamThreads0);
 }  // namespace
 
 // --json mode (bench_json.h): the two memory-layout headline scenarios
-// from docs/memory.md, measured with the counting allocator so CI can
-// gate allocs/event against the committed baseline
-// (bench/bench_baseline_6.json).
+// from docs/memory.md plus the shared-engine rule-count sweep from
+// docs/catalogue-scale.md, measured with the counting allocator so CI
+// can gate allocs/event against the committed baseline
+// (bench/bench_baseline_7.json). The sweep additionally self-checks
+// sub-linearity: 100x the rules must cost well under 25x per event.
 int RunJsonBench(const std::string& path) {
   EventTypeRegistry registry;
   for (const char* name : {"A", "B", "C", "D"}) {
@@ -286,6 +360,38 @@ int RunJsonBench(const std::string& path) {
   scenarios.push_back(feed_scenario("primitive_feed", "A ; B"));
   scenarios.push_back(
       feed_scenario("composite_depth3", "(A ; B) and (C or D)"));
+  const auto sweep_scenario = [&](std::string name, size_t rules) {
+    auto setup = MakeSweep(rules);
+    size_t i = 0;
+    return benchjson::Measure(
+        std::move(name), 4096, 1 << 14, [&](int iters) {
+          for (int k = 0; k < iters; ++k) {
+            setup->engine->Feed(
+                setup->events[i % setup->events.size()]);
+            ++i;
+          }
+        });
+  };
+  const benchjson::Scenario sweep_1k =
+      sweep_scenario("shared_sweep_1k", 1000);
+  const benchjson::Scenario sweep_10k =
+      sweep_scenario("shared_sweep_10k", 10000);
+  const benchjson::Scenario sweep_100k =
+      sweep_scenario("shared_sweep_100k", 100000);
+  scenarios.push_back(sweep_1k);
+  scenarios.push_back(sweep_10k);
+  scenarios.push_back(sweep_100k);
+  // Sub-linearity acceptance: with per-type fan-out held flat, 100x
+  // the catalogue must cost far less than 100x per event. The 25x
+  // ceiling leaves generous room for cache effects on noisy runners
+  // while still ruling out any O(rules) component in dispatch.
+  if (sweep_100k.ns_per_event > 25.0 * sweep_1k.ns_per_event) {
+    std::fprintf(stderr,
+                 "shared rule sweep is not sub-linear: 1k=%.1f ns/event "
+                 "100k=%.1f ns/event (>25x)\n",
+                 sweep_1k.ns_per_event, sweep_100k.ns_per_event);
+    return 1;
+  }
   return benchjson::WriteJson(path, "bench_detection", scenarios) ? 0 : 1;
 }
 

@@ -185,7 +185,7 @@ BENCHMARK(BM_SequencerPipeline)->Arg(10)->Arg(100)->Arg(1000);
 // --json mode (bench_json.h): the timestamp-layer hot operations that
 // the inline stamp storage (SmallVector<PrimitiveTimestamp, 2>) makes
 // allocation-free for the common singleton/pair shapes. Gated by CI's
-// bench-smoke job against bench/bench_baseline_6.json.
+// bench-smoke job against bench/bench_baseline_7.json.
 int RunJsonBench(const std::string& path) {
   Rng rng(3);
   const auto stamps = RandomStamps(rng, 1024, 8, 6);

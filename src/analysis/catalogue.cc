@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "snoop/canonical.h"
 #include "util/string_util.h"
 
 namespace sentineld {
@@ -14,49 +15,12 @@ namespace {
 /// every rule shares one shape stay O(total subexpressions).
 constexpr size_t kMaxShapeProbes = 8;
 
-/// splitmix64 finalizer: the bit mixer under every catalogue hash.
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-uint64_t Combine(uint64_t h, uint64_t v) {
-  return Mix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
-}
-
-/// FNV-1a over the primitive's NAME: hashes are comparable across rules
-/// parsed against different (per-rule) registries.
-uint64_t HashString(std::string_view s) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-bool Commutative(OpKind kind) {
-  return kind == OpKind::kAnd || kind == OpKind::kOr || kind == OpKind::kAny;
-}
-
-/// One hash formula for the free CanonicalHash AND the analyzer's
-/// interned nodes: mixing (kind, period, threshold, name, child hashes —
-/// the child hashes sorted for commutative operators, so operand order
-/// never matters).
-uint64_t HashNode(OpKind kind, int64_t period, int threshold,
-                  uint64_t name_hash, std::vector<uint64_t> child_hashes) {
-  uint64_t h = Mix(static_cast<uint64_t>(kind) + 0x517cc1b727220a95ULL);
-  h = Combine(h, static_cast<uint64_t>(period));
-  h = Combine(h, static_cast<uint64_t>(threshold));
-  h = Combine(h, name_hash);
-  if (Commutative(kind)) {
-    std::sort(child_hashes.begin(), child_hashes.end());
-  }
-  for (const uint64_t child : child_hashes) h = Combine(h, child);
-  return h;
-}
+// The canonical hash formula (Mix/Combine/HashString/HashNode) lives in
+// snoop/canonical.h, shared with the runtime SharedDetector so the
+// static sharing report and the runtime DAG intern identically.
+using canonical::Commutative;
+using canonical::HashNode;
+using canonical::HashString;
 
 /// Whether the operator retains constituent occurrences between inputs
 /// (snoop/node.h: buffers, initiator lists, open windows). Stateless:
@@ -120,21 +84,6 @@ const char* StateBoundToString(StateBound bound) {
       return "O(n)";
   }
   return "?";
-}
-
-uint64_t CanonicalHash(const ExprPtr& expr,
-                       const EventTypeRegistry& registry) {
-  std::vector<uint64_t> child_hashes;
-  child_hashes.reserve(expr->children.size());
-  for (const ExprPtr& child : expr->children) {
-    child_hashes.push_back(CanonicalHash(child, registry));
-  }
-  const uint64_t name_hash =
-      expr->kind == OpKind::kPrimitive
-          ? HashString(registry.NameOf(expr->primitive_type))
-          : 0;
-  return HashNode(expr->kind, expr->period_ticks, expr->any_threshold,
-                  name_hash, std::move(child_hashes));
 }
 
 std::string FormatCatalogueFinding(const CatalogueFinding& finding) {

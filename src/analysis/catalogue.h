@@ -11,6 +11,7 @@
 #include "analysis/diagnostics.h"
 #include "event/registry.h"
 #include "snoop/ast.h"
+#include "snoop/canonical.h"
 #include "snoop/context.h"
 
 namespace sentineld {
@@ -110,13 +111,11 @@ struct CatalogueOptions {
   size_t top_k = 10;
 };
 
-/// 64-bit canonical hash of an expression: equal for canonically equal
-/// trees (commutative operands are hashed order-independently, so
-/// "(b and a)" hashes like "(a and b)"), and — modulo 64-bit collisions,
-/// which tests/analysis_fuzz_test.cc accounts for — different for
-/// canonically different ones. Primitives hash by NAME, so hashes are
-/// comparable across rules parsed against different registries.
-uint64_t CanonicalHash(const ExprPtr& expr, const EventTypeRegistry& registry);
+// CanonicalHash(expr, registry) — the 64-bit canonical hash behind the
+// sharing report — is declared in snoop/canonical.h (re-exported by the
+// include above): the runtime SharedDetector interns with the same
+// formula, which is what makes `predicted_dag_nodes` a prediction OF
+// something (docs/catalogue-scale.md).
 
 /// Renders one catalogue finding as rule-file-style diagnostic lines:
 ///

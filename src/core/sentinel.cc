@@ -54,6 +54,7 @@ DetectorEngine& SentinelService::DetectorFor(ParamContext context) {
     options.host_site = options_.host_site;
     options.timebase = options_.timebase;
     options.detector_threads = options_.detector_threads;
+    options.engine = options_.detector_engine;
     it = detectors_
              .emplace(context, MakeDetectorEngine(&registry_, options))
              .first;

@@ -51,6 +51,12 @@ class SentinelService {
     /// AdvanceClockTo() drain the pools before returning, so actions
     /// still fire synchronously and on the caller's thread.
     uint32_t detector_threads = 0;
+    /// Detection-engine selection per context detector
+    /// (snoop/detector_engine.h): kAuto keeps the detector_threads
+    /// choice above; kShared runs the hash-consed
+    /// shared-subexpression DAG engine (docs/catalogue-scale.md) —
+    /// the right pick for very large rule catalogues.
+    DetectorEngineKind detector_engine = DetectorEngineKind::kAuto;
   };
 
   SentinelService() : SentinelService(Options{}) {}

@@ -31,10 +31,15 @@ Status RuntimeConfig::Validate() const {
       return Status::InvalidArgument(
           "recovery requires the reliable channel");
     }
-    if (detector_threads != 0) {
+    const bool checkpointable =
+        detector_engine == DetectorEngineKind::kSequential ||
+        detector_engine == DetectorEngineKind::kShared ||
+        (detector_engine == DetectorEngineKind::kAuto &&
+         detector_threads == 0);
+    if (!checkpointable) {
       return Status::InvalidArgument(
-          "recovery requires the sequential detector "
-          "(detector_threads == 0)");
+          "recovery requires a checkpointable detector engine "
+          "(sequential or shared; detector_threads == 0)");
     }
     for (const CrashPlan& plan : recovery.crashes) {
       if (plan.site >= num_sites) {
@@ -96,6 +101,7 @@ DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
   options.host_site = config.detector_site;
   options.timebase = config.timebase;
   options.detector_threads = config.detector_threads;
+  options.engine = config.detector_engine;
   detector_ = MakeDetectorEngine(registry_, options);
   sequencer_ = std::make_unique<Sequencer>(
       config_.EffectiveWindowTicks(),
@@ -120,10 +126,9 @@ DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
     }
   }
   if (config_.recovery.enabled) {
-    serial_detector_ = dynamic_cast<Detector*>(detector_.get());
-    // Validate() pinned detector_threads == 0, so the engine is the
-    // sequential Detector.
-    CHECK(serial_detector_ != nullptr);
+    // Validate() pinned the engine to a checkpointable one (sequential
+    // or shared), so the virtual Save/LoadState surface is real.
+    CHECK(detector_->checkpointable());
     site_recovery_.reserve(config_.num_sites);
     for (SiteId site = 0; site < config_.num_sites; ++site) {
       site_recovery_.emplace_back(config_.recovery.fsync_every_records);
@@ -375,7 +380,7 @@ void DistributedRuntime::CheckpointSite(SiteId site) {
   links_[site]->SaveSenderState(tape);
   if (site == config_.detector_site) {
     sequencer_->SaveState(tape);
-    serial_detector_->SaveState(tape);
+    detector_->SaveState(tape);
     for (const auto& link : links_) link->SaveReceiverState(tape);
     for (LocalTicks anchor : max_delivered_anchor_) tape.PutInt(anchor);
     std::vector<std::string> fingerprints(emitted_fingerprints_.begin(),
@@ -425,7 +430,7 @@ void DistributedRuntime::RestartSite(SiteId site) {
   links_[site]->RestoreSender(tape);
   if (is_detector) {
     sequencer_->LoadState(tape);
-    serial_detector_->LoadState(tape);
+    detector_->LoadState(tape);
     for (auto& link : links_) link->RestoreReceiver(tape);
     for (LocalTicks& anchor : max_delivered_anchor_) {
       anchor = tape.TakeInt();
@@ -478,7 +483,7 @@ void DistributedRuntime::RestartSite(SiteId site) {
       // local time — the stability-window re-entry gap the next
       // heartbeats advance through.
       const int64_t gap = std::max<int64_t>(
-          0, DetectorLocalNow() - serial_detector_->clock());
+          0, DetectorLocalNow() - detector_->clock());
       config_.obs->metrics()
           .GetHistogram("recovery_rejoin_ticks", StrCat("site=", site))
           ->Add(static_cast<double>(gap));
@@ -517,6 +522,18 @@ void DistributedRuntime::SampleObs() {
   for (const auto& [op, state] : detector_->StateByOp()) {
     metrics.GetGauge("detector_state", StrCat(det_site, ",op=", op))
         ->Set(static_cast<double>(state));
+  }
+  const DetectorDagStats dag = detector_->DagStats();
+  if (dag.valid) {
+    // DAG rows exist only for the shared engine — the realized
+    // counterpart of the catalogue analyzer's static prediction
+    // (docs/catalogue-scale.md).
+    metrics.GetGauge("dag_nodes", det_site)
+        ->Set(static_cast<double>(dag.dag_nodes));
+    metrics.GetCounter("dag_sharing_hits", det_site)
+        ->SetTotal(dag.sharing_hits);
+    metrics.GetGauge("dag_dispatch_fanout", det_site)
+        ->Set(dag.mean_dispatch_fanout());
   }
   if (detector_->num_shards() > 1) {
     const std::vector<DetectorShardStats> shards =

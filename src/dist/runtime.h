@@ -50,8 +50,8 @@ struct RuntimeConfig {
   /// periodically, and executes the configured crash schedule — each
   /// CrashPlan additionally synthesizes a network outage over
   /// [crash_ns, restart_ns) so in-flight messages of a dead site drop
-  /// with cause "outage". Requires the reliable channel and the
-  /// sequential detector (detector_threads == 0).
+  /// with cause "outage". Requires the reliable channel and a
+  /// checkpointable detector engine (sequential or shared).
   RecoveryConfig recovery;
   ParamContext context = ParamContext::kUnrestricted;
   /// Eligibility policy for order-sensitive operators (snoop/context.h).
@@ -63,6 +63,12 @@ struct RuntimeConfig {
   /// each heartbeat's Drain(). Semantics are identical for every value —
   /// only throughput changes. Capped at 64 (shard routing masks).
   uint32_t detector_threads = 0;
+  /// Detection-engine selection (snoop/detector_engine.h): kAuto keeps
+  /// the detector_threads-based choice above; kShared runs the
+  /// hash-consed shared-subexpression DAG engine
+  /// (docs/catalogue-scale.md). Recovery accepts any checkpointable
+  /// engine — sequential or shared.
+  DetectorEngineKind detector_engine = DetectorEngineKind::kAuto;
   /// Sequencer stability window in local ticks; 0 selects the sound
   /// default (Pi + max expected network delay, plus slack) — see
   /// EffectiveWindowTicks().
@@ -280,9 +286,6 @@ class DistributedRuntime {
   TrueTimeNs next_snapshot_ns_ = 0;
   // --- Crash recovery (empty/null unless recovery.enabled) ------------
   std::vector<SiteRecovery> site_recovery_;
-  /// The sequential engine behind detector_ — checkpointing needs the
-  /// concrete Detector's Save/LoadState (hence detector_threads == 0).
-  Detector* serial_detector_ = nullptr;
   /// True while RestartSite replays the journal, so replayed traffic is
   /// not journaled again.
   bool replaying_ = false;

@@ -17,7 +17,7 @@ namespace {
 /// docs/observability.md lists exactly these rows (enforced by
 /// tests/obs_test.cc's parity test), so adding a metric means adding it
 /// in both places.
-constexpr std::array<MetricInfo, 24> kCatalog = {{
+constexpr std::array<MetricInfo, 27> kCatalog = {{
     {"events_injected", MetricKind::kCounter, "events", "site",
      "primitive occurrences raised at each site"},
     {"detections", MetricKind::kCounter, "events", "rule,detector_shard?",
@@ -43,6 +43,12 @@ constexpr std::array<MetricInfo, 24> kCatalog = {{
     {"detector_state", MetricKind::kGauge, "occurrences",
      "site,op,detector_shard?",
      "occurrences buffered per operator kind (retained state)"},
+    {"dag_nodes", MetricKind::kGauge, "nodes", "site",
+     "detection-DAG nodes in the shared engine (primitives included)"},
+    {"dag_sharing_hits", MetricKind::kCounter, "subtrees", "site",
+     "rule subtrees resolved to an already-interned DAG node"},
+    {"dag_dispatch_fanout", MetricKind::kGauge, "nodes", "site",
+     "mean operator nodes touched per dispatched occurrence"},
     {"network_messages", MetricKind::kCounter, "messages", "",
      "messages put on the wire (drops and duplicates included)"},
     {"network_bytes", MetricKind::kCounter, "bytes", "",

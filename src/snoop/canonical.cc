@@ -1,0 +1,23 @@
+#include "snoop/canonical.h"
+
+#include <utility>
+
+namespace sentineld {
+
+uint64_t CanonicalHash(const ExprPtr& expr,
+                       const EventTypeRegistry& registry) {
+  std::vector<uint64_t> child_hashes;
+  child_hashes.reserve(expr->children.size());
+  for (const ExprPtr& child : expr->children) {
+    child_hashes.push_back(CanonicalHash(child, registry));
+  }
+  const uint64_t name_hash =
+      expr->kind == OpKind::kPrimitive
+          ? canonical::HashString(registry.NameOf(expr->primitive_type))
+          : 0;
+  return canonical::HashNode(expr->kind, expr->period_ticks,
+                             expr->any_threshold, name_hash,
+                             std::move(child_hashes));
+}
+
+}  // namespace sentineld

@@ -1,0 +1,82 @@
+#ifndef SENTINELD_SNOOP_CANONICAL_H_
+#define SENTINELD_SNOOP_CANONICAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "event/registry.h"
+#include "snoop/ast.h"
+
+namespace sentineld {
+
+/// Canonical expression hashing, shared between the static
+/// whole-catalogue analyzer (analysis/catalogue.h) and the runtime
+/// shared-subexpression engine (snoop/shared_detector.h). Both sides
+/// MUST produce bit-identical hashes: the analyzer's --report-json
+/// export carries them (16-hex `hash` fields, pinned by golden tests),
+/// and SharedDetector keys its checkpoint tape entries on them — a
+/// formula drift would silently break report diffing and restore.
+namespace canonical {
+
+/// splitmix64 finalizer: the bit mixer under every catalogue hash.
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t Combine(uint64_t h, uint64_t v) {
+  return Mix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+/// FNV-1a over the primitive's NAME: hashes are comparable across rules
+/// parsed against different (per-rule) registries.
+inline uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Operators whose operand order is semantically irrelevant; their
+/// children hash (and intern) order-independently.
+inline bool Commutative(OpKind kind) {
+  return kind == OpKind::kAnd || kind == OpKind::kOr || kind == OpKind::kAny;
+}
+
+/// One hash formula for the free CanonicalHash AND both interning
+/// tables: mixing (kind, period, threshold, name, child hashes — the
+/// child hashes sorted for commutative operators, so operand order
+/// never matters).
+inline uint64_t HashNode(OpKind kind, int64_t period, int threshold,
+                         uint64_t name_hash,
+                         std::vector<uint64_t> child_hashes) {
+  uint64_t h = Mix(static_cast<uint64_t>(kind) + 0x517cc1b727220a95ULL);
+  h = Combine(h, static_cast<uint64_t>(period));
+  h = Combine(h, static_cast<uint64_t>(threshold));
+  h = Combine(h, name_hash);
+  if (Commutative(kind)) {
+    std::sort(child_hashes.begin(), child_hashes.end());
+  }
+  for (const uint64_t child : child_hashes) h = Combine(h, child);
+  return h;
+}
+
+}  // namespace canonical
+
+/// 64-bit canonical hash of an expression: equal for canonically equal
+/// trees (commutative operands are hashed order-independently, so
+/// "(b and a)" hashes like "(a and b)"), and — modulo 64-bit collisions,
+/// which tests/analysis_fuzz_test.cc accounts for — different for
+/// canonically different ones. Primitives hash by NAME, so hashes are
+/// comparable across rules parsed against different registries.
+uint64_t CanonicalHash(const ExprPtr& expr, const EventTypeRegistry& registry);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_CANONICAL_H_

@@ -77,9 +77,15 @@ class Detector final : public DetectorEngine, public TimerService {
     /// position-match on.
     bool canonicalize_expressions = false;
     /// Worker threads for MakeDetectorEngine (snoop/parallel_detector.h):
-    /// 0 selects this sequential Detector, N >= 1 a ParallelDetector with
-    /// N rule shards. The Detector itself ignores the field.
+    /// under kAuto, 0 selects this sequential Detector, N >= 1 a
+    /// ParallelDetector with N rule shards. The Detector itself ignores
+    /// the field.
     uint32_t detector_threads = 0;
+    /// Engine selection for MakeDetectorEngine. kAuto preserves the
+    /// threads-based selection above; kShared builds the
+    /// shared-subexpression DAG engine (snoop/shared_detector.h). The
+    /// Detector itself ignores the field.
+    DetectorEngineKind engine = DetectorEngineKind::kAuto;
   };
 
   using Callback = DetectorEngine::Callback;
@@ -153,6 +159,8 @@ class Detector final : public DetectorEngine, public TimerService {
   const std::vector<RuleInfo>& rules() const { return rules_; }
   const EventTypeRegistry& registry() const { return *registry_; }
 
+  bool checkpointable() const override { return true; }
+
   /// Checkpoints the mutable detection state — host clock, feed
   /// counters, every node's operator buffers (graph order, which is
   /// deterministic for a fixed rule sequence), and the pending timer
@@ -160,10 +168,10 @@ class Detector final : public DetectorEngine, public TimerService {
   /// The graph structure itself is not saved: LoadState requires a
   /// detector built from the same rules in the same order, and
   /// CHECK-fails on a node-count mismatch. See docs/recovery.md.
-  void SaveState(StateTape& tape) const;
+  void SaveState(StateTape& tape) const override;
 
   /// Restores state written by SaveState, overwriting current state.
-  void LoadState(StateTape& tape);
+  void LoadState(StateTape& tape) override;
 
  private:
   friend class SerialGuard;

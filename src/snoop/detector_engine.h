@@ -14,7 +14,21 @@
 
 namespace sentineld {
 
+class StateTape;
 class Tracer;
+
+/// Which detection engine MakeDetectorEngine builds
+/// (docs/parallelism.md, docs/catalogue-scale.md):
+///   kAuto       — legacy threads-based selection: detector_threads == 0
+///                 builds the sequential Detector, N >= 1 a
+///                 ParallelDetector with N shards.
+///   kSequential — the per-rule sequential Detector, regardless of
+///                 detector_threads.
+///   kParallel   — a ParallelDetector (detector_threads shards, min 1).
+///   kShared     — the SharedDetector: all rule ASTs merged into one
+///                 hash-consed DAG with an event-name dispatch index,
+///                 built for 100k-rule catalogues.
+enum class DetectorEngineKind { kAuto, kSequential, kParallel, kShared };
 
 /// One shard's share of the engine counters (docs/parallelism.md). The
 /// sequential engine reports itself as a single shard; the parallel
@@ -24,6 +38,33 @@ struct DetectorShardStats {
   uint64_t events_dropped = 0;
   uint64_t timers_fired = 0;
   std::map<std::string, size_t> state_by_op;
+};
+
+/// Shared-DAG counters (docs/catalogue-scale.md): only the shared
+/// engine reports them (`valid` stays false elsewhere). They back the
+/// dag_* metrics of the observability catalogue.
+struct DetectorDagStats {
+  bool valid = false;
+  /// Nodes in the merged detection DAG — equals the catalogue
+  /// analyzer's `predicted_dag_nodes` for the same rule set.
+  size_t dag_nodes = 0;
+  /// Subtrees that interned onto an existing DAG node at AddRule time
+  /// (the work sharing saved: total subtrees == dag_nodes + hits).
+  uint64_t sharing_hits = 0;
+  /// Dispatch-index lookups that found a consumer (== fed occurrences
+  /// of types some rule listens to).
+  uint64_t dispatch_probes = 0;
+  /// Parent edges those lookups fanned out to, summed.
+  uint64_t dispatch_touched = 0;
+
+  /// Mean parent edges touched per dispatched occurrence — the
+  /// O(matching rules) number the dispatch index bounds.
+  double mean_dispatch_fanout() const {
+    return dispatch_probes == 0
+               ? 0.0
+               : static_cast<double>(dispatch_touched) /
+                     static_cast<double>(dispatch_probes);
+  }
 };
 
 /// The detection-engine seam between rule evaluation and its callers
@@ -89,6 +130,22 @@ class DetectorEngine {
   /// Per-shard counter breakdown (one entry for the sequential engine).
   /// Like the scalar accessors, exact only after Drain().
   virtual std::vector<DetectorShardStats> PerShardStats() const = 0;
+
+  /// Shared-DAG counters; `valid` only for the shared engine.
+  virtual DetectorDagStats DagStats() const { return {}; }
+
+  /// Whether this engine supports SaveState/LoadState checkpointing
+  /// (docs/recovery.md). The sequential and shared engines do; the
+  /// parallel engine does not (its state lives across worker threads).
+  virtual bool checkpointable() const { return false; }
+
+  /// Checkpoints the engine's mutable detection state onto `tape`.
+  /// No-op unless checkpointable(); see Detector::SaveState and
+  /// SharedDetector::SaveState for the per-engine tape layouts.
+  virtual void SaveState(StateTape& tape) const { (void)tape; }
+
+  /// Restores state written by SaveState. No-op unless checkpointable().
+  virtual void LoadState(StateTape& tape) { (void)tape; }
 };
 
 }  // namespace sentineld

@@ -98,6 +98,9 @@ class Node {
   EventTypeId output_type() const { return output_type_; }
   ParamContext context() const { return context_; }
   size_t num_inputs() const { return num_inputs_; }
+  /// Registered parent edges — the fan-out a dispatch to this node
+  /// touches (the SharedDetector's dag_dispatch_fanout accounting).
+  size_t num_parents() const { return parents_.size(); }
 
   /// Occurrences emitted by this node since construction.
   uint64_t emit_count() const { return emit_count_; }

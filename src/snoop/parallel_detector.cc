@@ -5,6 +5,7 @@
 #include <iterator>
 
 #include "obs/trace.h"
+#include "snoop/shared_detector.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -323,6 +324,19 @@ std::vector<DetectorShardStats> ParallelDetector::PerShardStats() const {
 
 std::unique_ptr<DetectorEngine> MakeDetectorEngine(
     EventTypeRegistry* registry, const Detector::Options& options) {
+  switch (options.engine) {
+    case DetectorEngineKind::kSequential:
+      return std::make_unique<Detector>(registry, options);
+    case DetectorEngineKind::kShared:
+      return std::make_unique<SharedDetector>(registry, options);
+    case DetectorEngineKind::kParallel: {
+      Detector::Options with_shards = options;
+      if (with_shards.detector_threads == 0) with_shards.detector_threads = 1;
+      return std::make_unique<ParallelDetector>(registry, with_shards);
+    }
+    case DetectorEngineKind::kAuto:
+      break;
+  }
   if (options.detector_threads == 0) {
     return std::make_unique<Detector>(registry, options);
   }

@@ -158,10 +158,12 @@ class ParallelDetector final : public DetectorEngine {
   Tracer* tracer_ = nullptr;
 };
 
-/// Engine factory: `options.detector_threads == 0` selects the
-/// sequential Detector, N >= 1 a ParallelDetector with N shards — the
-/// single switch RuntimeConfig::detector_threads and
-/// SentinelService::Options::detector_threads flow through.
+/// Engine factory, the single switch RuntimeConfig and
+/// SentinelService::Options flow through. `options.engine` selects
+/// explicitly (sequential / parallel / shared — see
+/// snoop/shared_detector.h); under the default kAuto,
+/// `options.detector_threads == 0` selects the sequential Detector and
+/// N >= 1 a ParallelDetector with N shards.
 std::unique_ptr<DetectorEngine> MakeDetectorEngine(
     EventTypeRegistry* registry, const Detector::Options& options);
 

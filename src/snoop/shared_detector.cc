@@ -1,0 +1,347 @@
+#include "snoop/shared_detector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+#include "snoop/canonical.h"
+#include "snoop/state_tape.h"
+#include "util/checked.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+
+SharedDetector::SharedDetector(EventTypeRegistry* registry,
+                               Detector::Options options)
+    : registry_(registry), options_(options) {
+  CHECK(registry != nullptr);
+  CHECK_OK(options.timebase.Validate());
+}
+
+SharedDetector::~SharedDetector() = default;
+
+Result<EventTypeId> SharedDetector::TickType() {
+  if (!tick_type_ready_) {
+    Result<EventTypeId> id = registry_->GetOrRegister(
+        StrCat("__tick_site", options_.host_site), EventClass::kTemporal);
+    if (!id.ok()) return id;
+    tick_type_ = *id;
+    tick_type_ready_ = true;
+  }
+  return tick_type_;
+}
+
+Result<uint32_t> SharedDetector::BuildDag(const ExprPtr& expr) {
+  // Children first: their interned ids are this node's canonical key,
+  // and their live nodes are its inputs.
+  std::vector<uint32_t> children;
+  std::vector<uint64_t> child_hashes;
+  children.reserve(expr->children.size());
+  child_hashes.reserve(expr->children.size());
+  for (const ExprPtr& child : expr->children) {
+    Result<uint32_t> built = BuildDag(child);
+    if (!built.ok()) return built;
+    children.push_back(*built);
+  }
+  // AddRule canonicalized the expression, so commutative operands
+  // already arrive in canonical spelling order: equal trees produce
+  // equal child-id sequences here regardless of rule-addition order
+  // (which also keeps input wiring — and therefore per-input node
+  // state — stable across detectors for hash-keyed checkpoints).
+  for (const uint32_t child : children) {
+    child_hashes.push_back(dag_[child].hash);
+  }
+  uint64_t name_hash = 0;
+  if (expr->kind == OpKind::kPrimitive) {
+    Result<EventTypeRegistry::TypeInfo> info =
+        registry_->Info(expr->primitive_type);
+    if (!info.ok()) return info.status();
+    name_hash = canonical::HashString(registry_->NameOf(expr->primitive_type));
+  }
+  const uint64_t hash =
+      canonical::HashNode(expr->kind, expr->period_ticks, expr->any_threshold,
+                          name_hash, std::move(child_hashes));
+
+  // Intern probe: exact structural equality inside the hash bucket, so
+  // a genuine 64-bit collision degrades to two nodes, never a merge.
+  std::vector<uint32_t>& bucket = intern_[hash];
+  for (const uint32_t id : bucket) {
+    const DagNode& have = dag_[id];
+    if (have.kind == expr->kind && have.period == expr->period_ticks &&
+        have.threshold == expr->any_threshold &&
+        (expr->kind != OpKind::kPrimitive ||
+         have.primitive_type == expr->primitive_type) &&
+        have.children == children) {
+      ++sharing_hits_;
+      return id;
+    }
+  }
+
+  // Miss: construct the operator node exactly as Detector::BuildNode
+  // does, then wire the (possibly reordered) children into it.
+  std::unique_ptr<Node> node;
+  if (expr->kind == OpKind::kPrimitive) {
+    node = std::make_unique<PrimitiveNode>(expr->primitive_type);
+  } else {
+    Result<EventTypeId> output = registry_->GetOrRegister(
+        expr->ToString(*registry_), EventClass::kComposite);
+    if (!output.ok()) return output.status();
+    switch (expr->kind) {
+      case OpKind::kPrimitive:
+        LOG_FATAL << "unreachable";
+        break;
+      case OpKind::kAnd:
+        node = std::make_unique<AndNode>(*output, options_.context);
+        break;
+      case OpKind::kOr:
+        node = std::make_unique<OrNode>(*output, options_.context);
+        break;
+      case OpKind::kSeq:
+        node = std::make_unique<SeqNode>(*output, options_.context);
+        break;
+      case OpKind::kNot:
+        node = std::make_unique<NotNode>(*output, options_.context);
+        break;
+      case OpKind::kAperiodic:
+        node = std::make_unique<AperiodicNode>(*output, options_.context);
+        break;
+      case OpKind::kAperiodicStar:
+        node =
+            std::make_unique<AperiodicStarNode>(*output, options_.context);
+        break;
+      case OpKind::kPeriodic:
+      case OpKind::kPeriodicStar: {
+        Result<EventTypeId> tick = TickType();
+        if (!tick.ok()) return tick.status();
+        if (expr->kind == OpKind::kPeriodic) {
+          node = std::make_unique<PeriodicNode>(
+              *output, options_.context, expr->period_ticks, *tick, this);
+        } else {
+          node = std::make_unique<PeriodicStarNode>(
+              *output, options_.context, expr->period_ticks, *tick, this);
+        }
+        break;
+      }
+      case OpKind::kPlus: {
+        Result<EventTypeId> tick = TickType();
+        if (!tick.ok()) return tick.status();
+        node = std::make_unique<PlusNode>(*output, options_.context,
+                                          expr->period_ticks, *tick, this);
+        break;
+      }
+      case OpKind::kAny:
+        node = std::make_unique<AnyNode>(*output, options_.context,
+                                         expr->any_threshold,
+                                         expr->children.size());
+        break;
+    }
+    node->set_interval_policy(options_.interval_policy);
+  }
+
+  const uint32_t id = static_cast<uint32_t>(dag_.size());
+  Node* raw = node.get();
+  DagNode entry;
+  entry.hash = hash;
+  entry.kind = expr->kind;
+  entry.period = expr->period_ticks;
+  entry.threshold = expr->any_threshold;
+  entry.primitive_type =
+      expr->kind == OpKind::kPrimitive ? expr->primitive_type : 0;
+  entry.children = children;
+  entry.node = std::move(node);
+  dag_.push_back(std::move(entry));
+  bucket.push_back(id);
+  node_ids_.emplace(raw, id);
+  if (expr->kind == OpKind::kPrimitive) {
+    dispatch_.emplace(expr->primitive_type, id);
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    dag_[children[i]].node->AddParent(raw, i);
+  }
+  return id;
+}
+
+Result<EventTypeId> SharedDetector::AddRule(const std::string& name,
+                                            const ExprPtr& expr,
+                                            Callback callback) {
+  RETURN_IF_ERROR(ValidateExpr(expr));
+  // Always canonicalize (commutative operands in spelling order): that
+  // is what merges commuted spellings into one DAG node, and what makes
+  // input wiring independent of the order rules were added in. The
+  // `canonicalize_expressions` option is therefore implied here; like
+  // the sequential engine under that option, emitted occurrences list
+  // their constituents in canonical (not as-spelled) order.
+  const ExprPtr compiled = CanonicalizeExpr(expr, *registry_);
+  Result<uint32_t> root = BuildDag(compiled);
+  if (!root.ok()) return root.status();
+  Node* root_node = dag_[*root].node.get();
+  RuleInfo info{name, root_node->output_type(), compiled, *root, 0, false};
+  if (callback) {
+    info.sink_token = root_node->AddSink(std::move(callback));
+    info.has_sink = true;
+  }
+  // Register the rule's name as an alias type so other rules / external
+  // consumers can reference the output; the node keeps emitting under
+  // its canonical expression type (the FIRST spelling that interned it).
+  Result<EventTypeId> alias =
+      registry_->GetOrRegister(name, EventClass::kComposite);
+  if (!alias.ok()) return alias.status();
+  rules_.push_back(std::move(info));
+  return root_node->output_type();
+}
+
+Status SharedDetector::RemoveRule(const std::string& name) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->name != name) continue;
+    if (it->has_sink) dag_[it->root].node->RemoveSink(it->sink_token);
+    rules_.erase(it);
+    return Status::Ok();
+  }
+  return Status::NotFound(StrCat("rule '", name, "'"));
+}
+
+size_t SharedDetector::total_state() const {
+  size_t total = 0;
+  for (const DagNode& entry : dag_) total += entry.node->StateSize();
+  return total;
+}
+
+std::map<std::string, size_t> SharedDetector::StateByOp() const {
+  std::map<std::string, size_t> by_op;
+  for (const DagNode& entry : dag_) {
+    by_op[entry.node->op_name()] += entry.node->StateSize();
+  }
+  return by_op;
+}
+
+DetectorDagStats SharedDetector::DagStats() const {
+  DetectorDagStats stats;
+  stats.valid = true;
+  stats.dag_nodes = dag_.size();
+  stats.sharing_hits = sharing_hits_;
+  stats.dispatch_probes = dispatch_probes_;
+  stats.dispatch_touched = dispatch_touched_;
+  return stats;
+}
+
+void SharedDetector::Feed(const EventPtr& event) {
+  CHECK(event != nullptr);
+  ++events_fed_;
+  SENTINELD_TRACE_EVENT(tracer_, TracePhase::kFeed, options_.host_site,
+                        event);
+  const auto it = dispatch_.find(event->type());
+  if (it == dispatch_.end()) {
+    ++events_dropped_;
+    return;
+  }
+  Node* leaf = dag_[it->second].node.get();
+  ++dispatch_probes_;
+  dispatch_touched_ += leaf->num_parents();
+  static_cast<PrimitiveNode*>(leaf)->Accept(event);
+}
+
+void SharedDetector::ScheduleAt(Node* node, LocalTicks local_tick,
+                                int64_t payload) {
+  timers_.push(TimerEntry{local_tick, timer_seq_++, node, payload});
+}
+
+void SharedDetector::AdvanceClockTo(LocalTicks now) {
+  CHECK_GE(now, clock_);
+  clock_ = now;
+  while (!timers_.empty() && timers_.top().tick <= now) {
+    const TimerEntry entry = timers_.top();
+    timers_.pop();
+    ++timers_fired_;
+    const PrimitiveTimestamp stamp{
+        options_.host_site, TruncToGlobal(entry.tick, options_.timebase),
+        entry.tick};
+    entry.node->OnTimer(stamp, entry.payload);
+  }
+}
+
+int64_t SharedDetector::BucketPos(uint32_t id) const {
+  const auto it = intern_.find(dag_[id].hash);
+  CHECK(it != intern_.end());
+  for (size_t pos = 0; pos < it->second.size(); ++pos) {
+    if (it->second[pos] == id) return static_cast<int64_t>(pos);
+  }
+  LOG_FATAL << "DAG node missing from its intern bucket";
+  return 0;
+}
+
+uint32_t SharedDetector::ResolveNode(uint64_t hash,
+                                     int64_t bucket_pos) const {
+  const auto it = intern_.find(hash);
+  CHECK(it != intern_.end());  // checkpoint from a different rule set
+  // Singleton buckets (the non-collision case) resolve by hash alone,
+  // which is what makes restore rule-order-robust; a genuine 64-bit
+  // collision falls back to the saved bucket position.
+  if (it->second.size() == 1) return it->second[0];
+  CHECK_GE(bucket_pos, 0);
+  CHECK_LT(static_cast<size_t>(bucket_pos), it->second.size());
+  return it->second[static_cast<size_t>(bucket_pos)];
+}
+
+void SharedDetector::SaveState(StateTape& tape) const {
+  tape.PutInt(clock_);
+  tape.PutInt(static_cast<int64_t>(timer_seq_));
+  tape.PutInt(static_cast<int64_t>(events_fed_));
+  tape.PutInt(static_cast<int64_t>(events_dropped_));
+  tape.PutInt(static_cast<int64_t>(timers_fired_));
+  tape.PutInt(static_cast<int64_t>(dag_.size()));
+  // Every node keyed by canonical hash (plus its bucket position, which
+  // only matters under 64-bit collisions) so LoadState can resolve the
+  // entry through ITS intern table regardless of rule-addition order.
+  for (uint32_t id = 0; id < dag_.size(); ++id) {
+    tape.PutInt(static_cast<int64_t>(dag_[id].hash));
+    tape.PutInt(BucketPos(id));
+    dag_[id].node->SaveState(tape);
+  }
+  // Pending timers, enumerated in firing order by draining a heap copy;
+  // owners keyed like the nodes above.
+  auto timers = timers_;
+  tape.PutInt(static_cast<int64_t>(timers.size()));
+  while (!timers.empty()) {
+    const TimerEntry& entry = timers.top();
+    const auto it = node_ids_.find(entry.node);
+    CHECK(it != node_ids_.end());
+    tape.PutInt(static_cast<int64_t>(dag_[it->second].hash));
+    tape.PutInt(BucketPos(it->second));
+    tape.PutInt(entry.tick);
+    tape.PutInt(static_cast<int64_t>(entry.seq));
+    tape.PutInt(entry.payload);
+    timers.pop();
+  }
+}
+
+void SharedDetector::LoadState(StateTape& tape) {
+  clock_ = tape.TakeInt();
+  timer_seq_ = static_cast<uint64_t>(tape.TakeInt());
+  events_fed_ = static_cast<uint64_t>(tape.TakeInt());
+  events_dropped_ = static_cast<uint64_t>(tape.TakeInt());
+  timers_fired_ = static_cast<uint64_t>(tape.TakeInt());
+  // LoadState requires a detector built from the same rule SET (any
+  // order) — the node count plus per-node hash resolution is the
+  // structural fingerprint.
+  const int64_t num_nodes = tape.TakeInt();
+  CHECK_EQ(static_cast<size_t>(num_nodes), dag_.size());
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    const auto hash = static_cast<uint64_t>(tape.TakeInt());
+    const int64_t bucket_pos = tape.TakeInt();
+    dag_[ResolveNode(hash, bucket_pos)].node->LoadState(tape);
+  }
+  timers_ = {};
+  const int64_t num_timers = tape.TakeInt();
+  for (int64_t i = 0; i < num_timers; ++i) {
+    const auto hash = static_cast<uint64_t>(tape.TakeInt());
+    const int64_t bucket_pos = tape.TakeInt();
+    const LocalTicks tick = tape.TakeInt();
+    const auto seq = static_cast<uint64_t>(tape.TakeInt());
+    const int64_t payload = tape.TakeInt();
+    timers_.push(TimerEntry{
+        tick, seq, dag_[ResolveNode(hash, bucket_pos)].node.get(), payload});
+  }
+}
+
+}  // namespace sentineld

@@ -1,0 +1,188 @@
+#ifndef SENTINELD_SNOOP_SHARED_DETECTOR_H_
+#define SENTINELD_SNOOP_SHARED_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "event/event.h"
+#include "event/registry.h"
+#include "snoop/ast.h"
+#include "snoop/detector.h"
+#include "snoop/detector_engine.h"
+#include "snoop/node.h"
+#include "timebase/config.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+class StateTape;
+class Tracer;
+
+/// The catalogue-scale detection engine (docs/catalogue-scale.md): all
+/// rule ASTs merge into ONE detection DAG, hash-consed with the same
+/// canonical formula the static catalogue analyzer uses
+/// (snoop/canonical.h), so a subexpression appearing in 10k rules is
+/// detected once and its occurrences fan out to every parent. The
+/// resulting node count equals the analyzer's `predicted_dag_nodes` for
+/// the same rule set — the static prediction, realized at runtime.
+///
+/// Dispatch is indexed: Feed() routes an occurrence through an
+/// event-type -> leaf map, so an injected primitive touches only the
+/// nodes that can consume it — O(matching rules), not O(rules). The
+/// per-event cost is therefore ~flat in catalogue size for
+/// sparse-matching workloads (bench/bench_detection.cpp's rule-count
+/// sweep pins this).
+///
+/// What it shares that the sequential Detector does not: the Detector
+/// interns per-expression-STRING within itself, so commuted spellings
+/// ("b and a" vs "a and b") build distinct nodes and every intern probe
+/// pays an O(subtree) ToString. Here every rule is canonicalized
+/// (CanonicalizeExpr — the `canonicalize_expressions` option is always
+/// implied) and interning is id-based over canonical hashes: commutative
+/// operands merge order-independently and probes cost O(1) per subtree.
+/// Merging commuted spellings is semantics-preserving because AND/OR/ANY
+/// treat their inputs symmetrically; as under the sequential engine's
+/// canonicalize option, emitted occurrences list constituents in
+/// canonical rather than as-spelled order. The differential contract
+/// (tests/shared_detector_test.cc, the diff fuzzer): detections are
+/// IDENTICAL to a sequential Detector with canonicalize_expressions on,
+/// and equal as per-rule multisets to a plain sequential Detector
+/// (within-trigger emission order may differ for commuted spellings).
+///
+/// Threading contract: identical to Detector — every member must be
+/// externally serialized (DistributedRuntime and SentinelService drive
+/// it single-threaded).
+class SharedDetector final : public DetectorEngine, public TimerService {
+ public:
+  /// Reuses Detector::Options verbatim; `detector_threads` is ignored
+  /// and subexpressions always share (that is the engine).
+  SharedDetector(EventTypeRegistry* registry, Detector::Options options);
+  ~SharedDetector() override;
+
+  SharedDetector(const SharedDetector&) = delete;
+  SharedDetector& operator=(const SharedDetector&) = delete;
+
+  Result<EventTypeId> AddRule(const std::string& name, const ExprPtr& expr,
+                              Callback callback) override;
+  Status RemoveRule(const std::string& name) override;
+  void Feed(const EventPtr& event) override;
+  void AdvanceClockTo(LocalTicks now) override;
+  void Drain() override {}
+  void set_tracer(Tracer* tracer) override { tracer_ = tracer; }
+
+  /// TimerService:
+  void ScheduleAt(Node* node, LocalTicks local_tick, int64_t payload) override;
+
+  LocalTicks clock() const override { return clock_; }
+  /// DAG nodes, primitives included — comparable to the catalogue
+  /// analyzer's predicted_dag_nodes.
+  size_t num_nodes() const override { return dag_.size(); }
+  size_t total_state() const override;
+  std::map<std::string, size_t> StateByOp() const override;
+  uint64_t events_fed() const override { return events_fed_; }
+  uint64_t events_dropped() const override { return events_dropped_; }
+  uint64_t timers_fired() const override { return timers_fired_; }
+
+  size_t num_shards() const override { return 1; }
+  size_t ShardOfRule(const std::string& /*name*/) const override { return 0; }
+  std::vector<DetectorShardStats> PerShardStats() const override {
+    return {DetectorShardStats{events_fed_, events_dropped_, timers_fired_,
+                               StateByOp()}};
+  }
+
+  DetectorDagStats DagStats() const override;
+
+  bool checkpointable() const override { return true; }
+
+  /// Checkpoints the mutable detection state. Unlike Detector's
+  /// graph-index tape, every node (and every pending timer's owner) is
+  /// keyed by its canonical hash, so LoadState resolves entries through
+  /// the intern table: restore works into any SharedDetector holding
+  /// the same rule SET, even when the rules were added in a different
+  /// order. CHECK-fails on a node-set mismatch. See docs/recovery.md.
+  void SaveState(StateTape& tape) const override;
+
+  /// Restores state written by SaveState, overwriting current state.
+  void LoadState(StateTape& tape) override;
+
+ private:
+  /// One interned DAG node: the canonical identity (what InternNode
+  /// probes compare) plus the live operator node.
+  struct DagNode {
+    uint64_t hash = 0;
+    OpKind kind = OpKind::kPrimitive;
+    int64_t period = 0;
+    int threshold = 0;
+    EventTypeId primitive_type = 0;  ///< primitives only
+    /// Interned child ids, wiring order (commutative: sorted by id, so
+    /// equal multisets merge).
+    std::vector<uint32_t> children;
+    std::unique_ptr<Node> node;
+  };
+
+  struct RuleInfo {
+    std::string name;
+    EventTypeId output_type;
+    ExprPtr expr;
+    uint32_t root = 0;
+    size_t sink_token = 0;
+    bool has_sink = false;
+  };
+
+  struct TimerEntry {
+    LocalTicks tick;
+    uint64_t seq;  // FIFO among equal ticks
+    Node* node;
+    int64_t payload;
+    bool operator>(const TimerEntry& other) const {
+      return tick != other.tick ? tick > other.tick : seq > other.seq;
+    }
+  };
+
+  /// Interns `expr` bottom-up into the DAG, constructing operator nodes
+  /// only on intern misses; returns the root's unique id.
+  Result<uint32_t> BuildDag(const ExprPtr& expr);
+
+  Result<EventTypeId> TickType();
+
+  /// Position of `id` inside its hash's intern bucket (collision
+  /// disambiguation on the checkpoint tape; almost always 0).
+  int64_t BucketPos(uint32_t id) const;
+  /// Resolves a checkpoint tape (hash, bucket position) key back to a
+  /// DAG id; CHECK-fails when this detector holds no such node.
+  uint32_t ResolveNode(uint64_t hash, int64_t bucket_pos) const;
+
+  EventTypeRegistry* registry_;
+  Detector::Options options_;
+  std::vector<DagNode> dag_;  ///< by unique id, children before parents
+  /// Canonical hash -> ids (collision bucket, exact structural probe).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> intern_;
+  /// The event-name dispatch index: primitive type -> its leaf's id.
+  std::unordered_map<EventTypeId, uint32_t> dispatch_;
+  /// Live node -> id, for timer checkpointing.
+  std::unordered_map<const Node*, uint32_t> node_ids_;
+  std::vector<RuleInfo> rules_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timers_;
+  LocalTicks clock_ = 0;
+  uint64_t timer_seq_ = 0;
+  uint64_t events_fed_ = 0;
+  uint64_t events_dropped_ = 0;
+  uint64_t timers_fired_ = 0;
+  uint64_t sharing_hits_ = 0;
+  uint64_t dispatch_probes_ = 0;
+  uint64_t dispatch_touched_ = 0;
+  EventTypeId tick_type_ = 0;
+  bool tick_type_ready_ = false;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_SNOOP_SHARED_DETECTOR_H_

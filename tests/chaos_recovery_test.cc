@@ -246,6 +246,18 @@ TEST(DetectorCrash, DetectorSiteRestartStaysExactWithoutDuplicates) {
   EXPECT_GT(run.stats.recovery_replayed_events, 0u);
 }
 
+// The same crash schedules with the shared-subexpression DAG engine
+// (docs/catalogue-scale.md): its hash-keyed checkpoints must restore
+// mid-crash exactly like the sequential tape, so the runs stay
+// oracle-equal.
+TEST(DetectorCrash, SharedEngineStaysOracleEqualThroughCrashes) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    RuntimeConfig config = ChaosConfig(seed);
+    config.detector_engine = DetectorEngineKind::kShared;
+    ExpectOracleEqual(RunFlatChaos(config, seed));
+  }
+}
+
 // ---------------------------------------------------------------------
 // Drop-cause accounting (the audit): a message lost in a crash window
 // is counted once, as an outage drop — never double-counted as link

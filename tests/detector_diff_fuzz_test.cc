@@ -1,9 +1,10 @@
-// Differential fuzzer for the ParallelDetector: random rule catalogues
-// are generated as *text* and parsed by the real expression parser, then
-// random event schedules are driven through the sequential Detector and
-// ParallelDetector instances, asserting identical per-rule detections.
-// Oracle-exact catalogues in the kUnrestricted context are additionally
-// checked against the declarative ReferenceDetector oracle.
+// Differential fuzzer for the non-sequential engines: random rule
+// catalogues are generated as *text* and parsed by the real expression
+// parser, then random event schedules are driven through the sequential
+// Detector, ParallelDetector, and SharedDetector instances, asserting
+// identical per-rule detections. Oracle-exact catalogues in the
+// kUnrestricted context are additionally checked against the
+// declarative ReferenceDetector oracle.
 //
 // The run is bounded for ctest (a fixed iteration count); a custom
 // main() accepts `--iterations=N` for extended campaigns, e.g. under
@@ -120,6 +121,9 @@ struct FuzzRule {
   std::string name;
   std::string text;
   bool oracle_exact = true;
+  /// CanonicalizeExpr is the identity on this spelling, so plain and
+  /// canonicalizing engines evaluate the identical node.
+  bool canonical_spelling = true;
 };
 
 std::vector<EventPtr> RandomHistory(Rng& rng, size_t len) {
@@ -142,10 +146,13 @@ std::vector<EventPtr> RandomHistory(Rng& rng, size_t len) {
 std::map<std::string, std::vector<std::string>> RunCatalogue(
     const std::vector<FuzzRule>& rules,
     const std::vector<EventPtr>& history, ParamContext context,
-    EventTypeRegistry& registry, uint32_t threads) {
+    EventTypeRegistry& registry, DetectorEngineKind kind,
+    uint32_t threads = 0, bool canonicalize = false) {
   Detector::Options options;
   options.context = context;
+  options.engine = kind;
   options.detector_threads = threads;
+  options.canonicalize_expressions = canonicalize;
   std::unique_ptr<DetectorEngine> engine =
       MakeDetectorEngine(&registry, options);
   std::map<std::string, std::vector<std::string>> detected;
@@ -204,17 +211,44 @@ TEST(DetectorDiffFuzzTest, RandomCataloguesAgreeAcrossEngines) {
       ASSERT_TRUE(parsed.ok())
           << "iteration " << iter << ": generated unparsable text \""
           << rule.text << "\": " << parsed.status();
+      rule.canonical_spelling =
+          CanonicalizeExpr(*parsed, registry)->ToString(registry) ==
+          (*parsed)->ToString(registry);
       rules.push_back(std::move(rule));
     }
     const auto history = RandomHistory(rng, 16 + rng.NextBounded(25));
 
-    const auto expected =
-        RunCatalogue(rules, history, context, registry, /*threads=*/0);
+    const auto expected = RunCatalogue(rules, history, context, registry,
+                                       DetectorEngineKind::kSequential);
     for (const uint32_t threads : {2u, 5u}) {
-      const auto actual =
-          RunCatalogue(rules, history, context, registry, threads);
+      const auto actual = RunCatalogue(rules, history, context, registry,
+                                       DetectorEngineKind::kAuto, threads);
       ASSERT_EQ(actual, expected)
           << "iteration " << iter << " at " << threads << " threads\n"
+          << Describe(rules, context, history.size());
+    }
+    // Shared-DAG leg: the engine always canonicalizes (commuted
+    // spellings merge), so its streams match the canonicalizing
+    // sequential detector exactly. Rules already spelled canonically
+    // additionally pin it to the plain sequential baseline — commuted
+    // spellings are changed by canonicalization itself (a commuted ANY
+    // may select different constituents on stamp ties), so only the
+    // canonicalizing run is a valid reference for those.
+    const auto canonical_expected =
+        RunCatalogue(rules, history, context, registry,
+                     DetectorEngineKind::kSequential, /*threads=*/0,
+                     /*canonicalize=*/true);
+    const auto shared = RunCatalogue(rules, history, context, registry,
+                                     DetectorEngineKind::kShared);
+    ASSERT_EQ(shared, canonical_expected)
+        << "iteration " << iter << " on the shared DAG engine\n"
+        << Describe(rules, context, history.size());
+    for (const FuzzRule& rule : rules) {
+      if (!rule.canonical_spelling) continue;
+      ASSERT_EQ(shared.at(rule.name), expected.at(rule.name))
+          << "iteration " << iter << " rule " << rule.name << " = "
+          << rule.text
+          << ": shared engine diverges from plain sequential\n"
           << Describe(rules, context, history.size());
     }
 

@@ -1,0 +1,359 @@
+// SharedDetector (snoop/shared_detector.h): the hash-consed
+// shared-subexpression DAG engine must be observationally identical to
+// the sequential Detector (and, on the declarative envelope, to the
+// ReferenceDetector oracle), while actually sharing — node counts equal
+// the catalogue analyzer's static `predicted_dag_nodes`, the dispatch
+// index drops unmatched types, and hash-keyed checkpoints restore into
+// detectors whose rules were added in a different order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/catalogue.h"
+#include "dist/recovery.h"
+#include "snoop/detector.h"
+#include "snoop/parallel_detector.h"
+#include "snoop/parser.h"
+#include "snoop/reference_detector.h"
+#include "snoop/shared_detector.h"
+#include "snoop/state_tape.h"
+#include "tests/test_util.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+constexpr const char* kTypeNames[] = {"A", "B", "C", "D"};
+constexpr size_t kNumTypes = std::size(kTypeNames);
+
+/// A curated catalogue with heavy overlap: commuted AND spellings, a
+/// SEQ shared by three parents, a shared ANY, and temporal operators
+/// (so checkpointed timers are exercised too).
+const std::pair<const char*, const char*> kCatalogue[] = {
+    {"seq_ab", "(A ; B)"},
+    {"and_then", "((A ; B) and C)"},
+    {"and_then_commuted", "(C and (A ; B))"},
+    {"or_wrap", "((A ; B) or D)"},
+    {"pick2", "ANY(2, A, B, C)"},
+    {"pick2_commuted", "ANY(2, C, B, A)"},
+    {"guarded", "not(D)[A, B]"},
+    {"delayed", "(A + 3t)"},
+    {"probe", "P(A, 4t, B)"},
+};
+
+EventTypeRegistry MakeRegistry() {
+  EventTypeRegistry registry;
+  for (const char* name : kTypeNames) {
+    CHECK_OK(registry.Register(name, EventClass::kExplicit));
+  }
+  return registry;
+}
+
+std::vector<EventPtr> RandomHistory(Rng& rng, size_t len) {
+  std::vector<EventPtr> history;
+  history.reserve(len);
+  const StampSpace space{/*sites=*/3, /*global_range=*/8, /*ratio=*/10};
+  for (size_t i = 0; i < len; ++i) {
+    history.push_back(Event::MakePrimitive(
+        static_cast<EventTypeId>(rng.NextBounded(kNumTypes)),
+        RandomPrimitive(rng, space)));
+  }
+  std::stable_sort(history.begin(), history.end(),
+                   [](const EventPtr& a, const EventPtr& b) {
+                     return a->timestamp().stamps()[0].local <
+                            b->timestamp().stamps()[0].local;
+                   });
+  return history;
+}
+
+using Detections = std::map<std::string, std::vector<std::string>>;
+
+std::unique_ptr<DetectorEngine> MakeEngine(EventTypeRegistry& registry,
+                                           DetectorEngineKind kind,
+                                           ParamContext context,
+                                           Detections* detected,
+                                           bool reverse_rule_order = false,
+                                           bool canonicalize = false) {
+  Detector::Options options;
+  options.context = context;
+  options.engine = kind;
+  options.canonicalize_expressions = canonicalize;
+  std::unique_ptr<DetectorEngine> engine =
+      MakeDetectorEngine(&registry, options);
+  std::vector<std::pair<std::string, std::string>> rules(
+      std::begin(kCatalogue), std::end(kCatalogue));
+  if (reverse_rule_order) std::reverse(rules.begin(), rules.end());
+  for (const auto& [name, text] : rules) {
+    auto expr = ParseExpr(text, registry, {});
+    CHECK_OK(expr.status());
+    CHECK_OK(engine->AddRule(name, *expr,
+                             [detected, name = std::string(name)](
+                                 const EventPtr& event) {
+                               (*detected)[name].push_back(
+                                   OccurrenceSignature(event));
+                             }));
+    detected->try_emplace(name);
+  }
+  return engine;
+}
+
+/// Feeds `history` with interleaved clock advances (as the fuzzer and
+/// the runtime do), then drains past the last temporal deadline.
+void Drive(DetectorEngine& engine, const std::vector<EventPtr>& history) {
+  LocalTicks clock = engine.clock();
+  for (const EventPtr& event : history) {
+    const LocalTicks tick = event->timestamp().stamps()[0].local;
+    if (tick > clock) {
+      clock = tick;
+      engine.AdvanceClockTo(clock);
+    }
+    engine.Feed(event);
+  }
+  engine.AdvanceClockTo(clock + 64);
+  engine.Drain();
+}
+
+constexpr ParamContext kContexts[] = {
+    ParamContext::kUnrestricted, ParamContext::kRecent,
+    ParamContext::kChronicle, ParamContext::kContinuous,
+    ParamContext::kCumulative};
+
+/// True when `text` already reads in canonical spelling — i.e.
+/// CanonicalizeExpr is the identity on it, so a canonicalizing engine
+/// evaluates the very same node a plain one would.
+bool IsCanonicalSpelling(const char* text, EventTypeRegistry& registry) {
+  auto expr = ParseExpr(text, registry, {});
+  CHECK_OK(expr.status());
+  return CanonicalizeExpr(*expr, registry)->ToString(registry) ==
+         (*expr)->ToString(registry);
+}
+
+TEST(SharedDetector, MatchesSequentialDetectorInEveryContext) {
+  Rng rng(0x5eedDA6);
+  for (const ParamContext context : kContexts) {
+    for (int trial = 0; trial < 10; ++trial) {
+      EventTypeRegistry registry = MakeRegistry();
+      const auto history = RandomHistory(rng, 24 + rng.NextBounded(25));
+      Detections sequential, canonical_sequential, shared;
+      Drive(*MakeEngine(registry, DetectorEngineKind::kSequential, context,
+                        &sequential),
+            history);
+      Drive(*MakeEngine(registry, DetectorEngineKind::kSequential, context,
+                        &canonical_sequential, /*reverse_rule_order=*/false,
+                        /*canonicalize=*/true),
+            history);
+      Drive(*MakeEngine(registry, DetectorEngineKind::kShared, context,
+                        &shared),
+            history);
+      // Exact — the shared engine evaluates canonicalized expressions,
+      // so its detection STREAMS match the canonicalizing sequential
+      // detector event for event.
+      ASSERT_EQ(shared, canonical_sequential)
+          << "context " << ParamContextToString(context) << " trial "
+          << trial;
+      // Rules already in canonical spelling evaluate the identical
+      // node either way, so for them the PLAIN sequential engine is an
+      // exact reference too. The *_commuted spellings are excluded
+      // deliberately: canonicalization itself (not sharing) can change
+      // them — a commuted ANY with threshold < n may select different
+      // constituents when candidates tie on a stamp.
+      for (const auto& [name, text] : kCatalogue) {
+        if (!IsCanonicalSpelling(text, registry)) continue;
+        ASSERT_EQ(shared.at(name), sequential.at(name))
+            << "rule " << name << " context "
+            << ParamContextToString(context) << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(SharedDetector, MatchesDeclarativeOracleOnItsEnvelope) {
+  Rng rng(0x04ac1e);
+  for (int trial = 0; trial < 10; ++trial) {
+    EventTypeRegistry registry = MakeRegistry();
+    const auto history = RandomHistory(rng, 20 + rng.NextBounded(21));
+    Detections shared;
+    Drive(*MakeEngine(registry, DetectorEngineKind::kShared,
+                    ParamContext::kUnrestricted, &shared),
+        history);
+    ReferenceDetector oracle(&registry);
+    for (const auto& [name, text] : kCatalogue) {
+      // Temporal operators are outside the oracle's envelope; the
+      // non-occurrence guard and ANY/AND/OR/SEQ rules here are all
+      // primitive-argument, hence exact.
+      const std::string_view rule_text = text;
+      if (rule_text.find('+') != std::string_view::npos ||
+          rule_text.find('P') != std::string_view::npos) {
+        continue;
+      }
+      auto expr = ParseExpr(text, registry, {});
+      CHECK_OK(expr.status());
+      auto oracle_events = oracle.Evaluate(*expr, history);
+      ASSERT_TRUE(oracle_events.ok()) << text << ": "
+                                      << oracle_events.status();
+      std::vector<std::string> got = shared.at(name);
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, Signatures(*oracle_events))
+          << "trial " << trial << " rule " << name << " = " << text;
+    }
+  }
+}
+
+TEST(SharedDetector, NodeCountRealizesAnalyzerPrediction) {
+  EventTypeRegistry registry = MakeRegistry();
+  Detections ignored;
+  std::unique_ptr<DetectorEngine> engine =
+      MakeEngine(registry, DetectorEngineKind::kShared,
+                 ParamContext::kUnrestricted, &ignored);
+
+  CatalogueAnalyzer analyzer;
+  for (const auto& [name, text] : kCatalogue) {
+    auto expr = ParseExpr(text, registry, {});
+    CHECK_OK(expr.status());
+    CatalogueRuleRef ref;
+    ref.name = name;
+    analyzer.AddRule(ref, *expr, registry);
+  }
+  // The static prediction, realized at runtime: both sides intern over
+  // the same canonical hash (snoop/canonical.h), count primitives, and
+  // exclude temporal tick events.
+  EXPECT_EQ(engine->num_nodes(), analyzer.Sharing().predicted_dag_nodes);
+
+  const DetectorDagStats stats = engine->DagStats();
+  EXPECT_TRUE(stats.valid);
+  EXPECT_EQ(stats.dag_nodes, engine->num_nodes());
+  // Commuted AND, commuted ANY, and every re-used leaf / (A ; B)
+  // subtree must have hit the intern table rather than building anew.
+  EXPECT_GE(stats.sharing_hits, 8u);
+  // Sequential engines answer "no DAG": the stats stay invalid.
+  Detector::Options sequential_options;
+  Detector sequential(&registry, sequential_options);
+  EXPECT_FALSE(sequential.DagStats().valid);
+  EXPECT_TRUE(sequential.checkpointable());
+}
+
+TEST(SharedDetector, DispatchIndexRoutesAndDropsByEventName) {
+  EventTypeRegistry registry = MakeRegistry();
+  const Result<EventTypeId> unmatched =
+      registry.Register("Z", EventClass::kExplicit);
+  CHECK_OK(unmatched.status());
+  Detections ignored;
+  std::unique_ptr<DetectorEngine> engine =
+      MakeEngine(registry, DetectorEngineKind::kShared,
+                 ParamContext::kRecent, &ignored);
+
+  const StampSpace space;
+  Rng rng(7);
+  engine->Feed(Event::MakePrimitive(*unmatched, RandomPrimitive(rng, space)));
+  DetectorDagStats stats = engine->DagStats();
+  EXPECT_EQ(engine->events_dropped(), 1u);
+  EXPECT_EQ(stats.dispatch_probes, 0u);  // dropped before the index
+
+  const Result<EventTypeId> a = registry.Lookup("A");
+  CHECK_OK(a.status());
+  engine->Feed(Event::MakePrimitive(*a, RandomPrimitive(rng, space)));
+  stats = engine->DagStats();
+  EXPECT_EQ(stats.dispatch_probes, 1u);
+  // A's leaf fans out to every operator consuming A — at least the
+  // shared (A ; B), ANY, not-guard, +, and P parents.
+  EXPECT_GE(stats.dispatch_touched, 5u);
+  EXPECT_GT(stats.mean_dispatch_fanout(), 0.0);
+}
+
+/// Checkpoint keyed by canonical hash: save mid-stream, restore into a
+/// detector whose rules were added in REVERSE order, and the continued
+/// runs must agree exactly — including pending temporal timers.
+TEST(SharedDetector, CheckpointRestoresAcrossRuleOrderPermutation) {
+  Rng rng(0xc4ec9);
+  for (int trial = 0; trial < 8; ++trial) {
+    EventTypeRegistry registry = MakeRegistry();
+    const auto history = RandomHistory(rng, 40);
+    const auto mid = history.begin() + 20;
+    const std::vector<EventPtr> first(history.begin(), mid);
+    const std::vector<EventPtr> second(mid, history.end());
+
+    // Uninterrupted baseline.
+    Detections baseline;
+    Drive(*MakeEngine(registry, DetectorEngineKind::kShared,
+                    ParamContext::kRecent, &baseline),
+        history);
+
+    // First half, checkpoint, restore into a permuted-order detector,
+    // second half.
+    Detections resumed;
+    std::unique_ptr<DetectorEngine> before =
+        MakeEngine(registry, DetectorEngineKind::kShared,
+                   ParamContext::kRecent, &resumed);
+    LocalTicks clock = 0;
+    for (const EventPtr& event : first) {
+      const LocalTicks tick = event->timestamp().stamps()[0].local;
+      if (tick > clock) {
+        clock = tick;
+        before->AdvanceClockTo(clock);
+      }
+      before->Feed(event);
+    }
+    ASSERT_TRUE(before->checkpointable());
+    StateTape tape;
+    before->SaveState(tape);
+
+    std::unique_ptr<DetectorEngine> after =
+        MakeEngine(registry, DetectorEngineKind::kShared,
+                   ParamContext::kRecent, &resumed,
+                   /*reverse_rule_order=*/true);
+    after->LoadState(tape);
+    ASSERT_EQ(after->clock(), before->clock());
+    Drive(*after, second);
+    ASSERT_EQ(resumed, baseline) << "trial " << trial;
+  }
+}
+
+/// Save → restore (same rule order) → save is the identity on the
+/// serialized image, pending timers included.
+TEST(SharedDetector, SaveRestoreSaveImageIsIdentical) {
+  Rng rng(0x1d3a7);
+  for (int trial = 0; trial < 8; ++trial) {
+    EventTypeRegistry registry = MakeRegistry();
+    const auto history = RandomHistory(rng, 30);
+    Detections ignored;
+    std::unique_ptr<DetectorEngine> original =
+        MakeEngine(registry, DetectorEngineKind::kShared,
+                   ParamContext::kChronicle, &ignored);
+    LocalTicks clock = 0;
+    for (const EventPtr& event : history) {
+      const LocalTicks tick = event->timestamp().stamps()[0].local;
+      if (tick > clock) {
+        clock = tick;
+        original->AdvanceClockTo(clock);
+      }
+      original->Feed(event);
+    }
+    StateTape tape;
+    original->SaveState(tape);
+
+    std::unique_ptr<DetectorEngine> restored =
+        MakeEngine(registry, DetectorEngineKind::kShared,
+                   ParamContext::kChronicle, &ignored);
+    restored->LoadState(tape);
+    StateTape again;
+    restored->SaveState(again);
+    EXPECT_EQ(SerializeTape(again), SerializeTape(tape)) << "trial "
+                                                         << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sentineld
