@@ -1,0 +1,181 @@
+#include "daemon/config.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sentineld::daemon {
+namespace {
+
+template <typename T>
+bool ParseNumber(std::string_view text, T* out) {
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && end == text.data() + text.size();
+}
+
+bool ParseFloat(std::string_view text, double* out) {
+  const std::string owned(text);
+  char* end = nullptr;
+  *out = std::strtod(owned.c_str(), &end);
+  return end != nullptr && *end == '\0' && !owned.empty();
+}
+
+bool ParseBool(std::string_view text, bool* out) {
+  if (text == "true" || text == "on" || text == "1") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "off" || text == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status DaemonConfig::Validate() const {
+  if (rpc_listen.empty()) {
+    return Status::InvalidArgument("rpc_listen is required");
+  }
+  if (role == SiteRole::kInjector) {
+    if (site == detector_site) {
+      return Status::InvalidArgument(
+          "an injector's site must differ from detector_site");
+    }
+    if (!peers.contains(detector_site)) {
+      return Status::InvalidArgument(
+          "an injector needs a peer.<detector_site> transport endpoint");
+    }
+  } else if (site != detector_site) {
+    return Status::InvalidArgument("detector role requires site == "
+                                   "detector_site");
+  }
+  if (role == SiteRole::kDetector && listen.empty()) {
+    return Status::InvalidArgument("detector role requires a transport "
+                                   "listen endpoint");
+  }
+  if (drop_prob < 0.0 || drop_prob > 1.0) {
+    return Status::InvalidArgument("drop_prob must be in [0, 1]");
+  }
+  if (delay_ns < 0) return Status::InvalidArgument("delay_ns must be >= 0");
+  if (window_ticks < 0) {
+    return Status::InvalidArgument("window_ticks must be >= 0");
+  }
+  if (heartbeat_ms <= 0) {
+    return Status::InvalidArgument("heartbeat_ms must be positive");
+  }
+  if (fsync_every == 0) {
+    return Status::InvalidArgument("fsync_every must be >= 1");
+  }
+  RETURN_IF_ERROR(timebase.Validate());
+  RETURN_IF_ERROR(channel.Validate());
+  return Status::Ok();
+}
+
+Result<DaemonConfig> ParseDaemonConfig(std::string_view text) {
+  DaemonConfig config;
+  // Daemons run the reliable channel unless told otherwise: over real
+  // sockets there is no lossless default to fall back to.
+  config.channel.enabled = true;
+
+  std::istringstream lines{std::string(text)};
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(lines, raw)) {
+    ++line_no;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string_view line = StripWhitespace(raw);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": expected key = value, got '", line,
+                 "'"));
+    }
+    const std::string key{StripWhitespace(line.substr(0, eq))};
+    const std::string value{StripWhitespace(line.substr(eq + 1))};
+    auto fail = [&](std::string_view what) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": bad ", what, " value '", value, "'"));
+    };
+    bool ok = true;
+    if (key == "site") {
+      ok = ParseNumber(value, &config.site);
+    } else if (key == "role") {
+      if (value == "injector") {
+        config.role = SiteRole::kInjector;
+      } else if (value == "detector") {
+        config.role = SiteRole::kDetector;
+      } else {
+        ok = false;
+      }
+    } else if (key == "listen") {
+      config.listen = value;
+    } else if (key == "rpc_listen") {
+      config.rpc_listen = value;
+    } else if (key == "endpoints_file") {
+      config.endpoints_file = value;
+    } else if (key == "wal") {
+      config.wal = value;
+    } else if (key == "detector_site") {
+      ok = ParseNumber(value, &config.detector_site);
+    } else if (key == "local_granularity_ns") {
+      ok = ParseNumber(value, &config.timebase.local_granularity_ns);
+    } else if (key == "global_granularity_ns") {
+      ok = ParseNumber(value, &config.timebase.global_granularity_ns);
+    } else if (key == "precision_ns") {
+      ok = ParseNumber(value, &config.timebase.precision_ns);
+    } else if (key == "window_ticks") {
+      ok = ParseNumber(value, &config.window_ticks);
+    } else if (key == "arq") {
+      ok = ParseBool(value, &config.channel.enabled);
+    } else if (key == "initial_rto_ns") {
+      ok = ParseNumber(value, &config.channel.initial_rto_ns);
+    } else if (key == "backoff") {
+      ok = ParseFloat(value, &config.channel.backoff);
+    } else if (key == "max_retransmits") {
+      ok = ParseNumber(value, &config.channel.max_retransmits);
+    } else if (key == "drop_prob") {
+      ok = ParseFloat(value, &config.drop_prob);
+    } else if (key == "delay_ns") {
+      ok = ParseNumber(value, &config.delay_ns);
+    } else if (key == "seed") {
+      ok = ParseNumber(value, &config.seed);
+    } else if (key == "fsync_every") {
+      ok = ParseNumber(value, &config.fsync_every);
+    } else if (key == "heartbeat_ms") {
+      ok = ParseNumber(value, &config.heartbeat_ms);
+    } else if (StartsWith(key, "peer.")) {
+      SiteId peer = 0;
+      if (!ParseNumber(std::string_view(key).substr(5), &peer)) {
+        return Status::InvalidArgument(
+            StrCat("line ", line_no, ": bad peer site in '", key, "'"));
+      }
+      if (value.empty()) return fail(key);
+      config.peers[peer] = value;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": unknown key '", key, "'"));
+    }
+    if (!ok) return fail(key);
+  }
+  RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+Result<DaemonConfig> LoadDaemonConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open config ", path));
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseDaemonConfig(text.str());
+}
+
+}  // namespace sentineld::daemon

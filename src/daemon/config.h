@@ -1,0 +1,78 @@
+#ifndef SENTINELD_DAEMON_CONFIG_H_
+#define SENTINELD_DAEMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "dist/reliable_channel.h"
+#include "timebase/config.h"
+#include "timestamp/primitive_timestamp.h"
+#include "util/status.h"
+
+namespace sentineld::daemon {
+
+/// Which half of the deployment a sentineld process hosts: injector
+/// sites raise primitive occurrences and ship them over reliable links;
+/// the detector site fronts a Sequencer + detection engine and fires
+/// rules (the paper's single-detector deployment, mirroring
+/// dist/runtime.h).
+enum class SiteRole { kInjector, kDetector };
+
+/// One sentineld process's configuration, parsed from a flat
+/// `key = value` file (docs/deployment.md has the reference). Lines are
+/// independent; `#` starts a comment; unknown keys are errors (a typoed
+/// knob must not silently fall back to a default).
+struct DaemonConfig {
+  SiteId site = 0;
+  SiteRole role = SiteRole::kInjector;
+
+  /// Transport listener ("127.0.0.1:0" / "unix:/path"); empty runs
+  /// dial-only, which suffices for injectors (acks return on their own
+  /// outbound connections).
+  std::string listen;
+  /// RPC listener (required): the line-protocol control surface.
+  std::string rpc_listen;
+  /// Dialable transport endpoints by peer site (`peer.<site> = ...`).
+  std::map<SiteId, std::string> peers;
+
+  /// Written after every bind with the resolved endpoints (`rpc=`,
+  /// `transport=`, `pid=` lines) — how a harness learns kernel-assigned
+  /// ephemeral ports and that the daemon is ready. Empty disables.
+  std::string endpoints_file;
+
+  /// Write-ahead journal path for injected events (dist/journal.h wire
+  /// format). On restart the daemon replays every outbound record
+  /// (exactly-once end to end: the detector's link half dedups by
+  /// sequence number). Empty disables durability.
+  std::string wal;
+
+  SiteId detector_site = 0;
+  TimebaseConfig timebase;
+  /// Sequencer stability window in local ticks (detector role).
+  int64_t window_ticks = 256;
+  ReliableChannelConfig channel;
+
+  /// Lossy-loopback transport fault injection (see net/transport.h).
+  double drop_prob = 0.0;
+  int64_t delay_ns = 0;
+  uint64_t seed = 1;
+
+  /// Journal fsync batching (dist/journal.h).
+  uint32_t fsync_every = 1;
+  /// Cadence of the sequencer/detector heartbeat timer.
+  int64_t heartbeat_ms = 5;
+
+  Status Validate() const;
+};
+
+/// Parses config text; errors carry the 1-based line number.
+Result<DaemonConfig> ParseDaemonConfig(std::string_view text);
+
+/// Reads + parses + validates a config file.
+Result<DaemonConfig> LoadDaemonConfig(const std::string& path);
+
+}  // namespace sentineld::daemon
+
+#endif  // SENTINELD_DAEMON_CONFIG_H_

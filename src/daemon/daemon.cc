@@ -1,0 +1,475 @@
+#include "daemon/daemon.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "daemon/hex.h"
+#include "dist/codec.h"
+#include "dist/sequencer.h"
+#include "snoop/detector.h"
+#include "snoop/parallel_detector.h"
+#include "snoop/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld::daemon {
+namespace {
+
+constexpr int64_t kMsToNs = 1'000'000;
+
+/// Whitespace-splits, dropping empty tokens (collapsed runs of spaces).
+std::vector<std::string> Tokens(std::string_view text) {
+  std::vector<std::string> out;
+  for (std::string& token : Split(std::string(text), ' ')) {
+    if (!StripWhitespace(token).empty()) {
+      out.push_back(std::string(StripWhitespace(token)));
+    }
+  }
+  return out;
+}
+
+bool ParseI64(std::string_view text, int64_t* out) {
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && end == text.data() + text.size();
+}
+
+/// Typed RPC parameter values: int, then double, then bool, else string
+/// (mirrors how the config parser reads values).
+AttributeValue ParseAttribute(const std::string& text) {
+  int64_t as_int = 0;
+  if (ParseI64(text, &as_int)) return AttributeValue(as_int);
+  char* end = nullptr;
+  const double as_double = std::strtod(text.c_str(), &end);
+  if (!text.empty() && end != nullptr && *end == '\0') {
+    return AttributeValue(as_double);
+  }
+  if (text == "true") return AttributeValue(true);
+  if (text == "false") return AttributeValue(false);
+  return AttributeValue(text);
+}
+
+std::string Err(std::string_view message) { return StrCat("ERR ", message); }
+
+}  // namespace
+
+SiteDaemon::SiteDaemon(DaemonConfig config)
+    : config_(std::move(config)), rpc_(&loop_), journal_(config_.fsync_every) {}
+
+SiteDaemon::~SiteDaemon() {
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+}
+
+Status SiteDaemon::Start() {
+  CHECK(!started_);
+  RETURN_IF_ERROR(config_.Validate());
+  start_time_ = std::chrono::steady_clock::now();
+
+  net::TransportConfig tc;
+  tc.self = config_.site;
+  tc.listen = config_.listen;
+  tc.peers = config_.peers;
+  tc.drop_prob = config_.drop_prob;
+  tc.delay_ns = config_.delay_ns;
+  tc.seed = config_.seed;
+  transport_ =
+      std::make_unique<net::SocketTransport>(&sim_, &loop_, std::move(tc));
+  transport_->set_on_frame(
+      [this](SiteId peer, const Frame& frame) { OnFrame(peer, frame); });
+  RETURN_IF_ERROR(transport_->Start());
+  const std::string site_label = StrCat("site=", config_.site);
+  transport_->EnableObs(metrics_.GetCounter("net_bytes_sent", site_label),
+                        metrics_.GetCounter("net_accepted_conns", site_label),
+                        metrics_.GetCounter("net_reconnects", site_label),
+                        metrics_.GetCounter("net_lossy_drops", site_label));
+
+  rpc_.set_handler(
+      [this](const std::string& line) { return HandleLine(line); });
+  RETURN_IF_ERROR(rpc_.Listen(config_.rpc_listen));
+
+  if (config_.role == SiteRole::kDetector) {
+    Detector::Options options;
+    options.host_site = config_.site;
+    options.timebase = config_.timebase;
+    engine_ = MakeDetectorEngine(&registry_, options);
+    sequencer_ = std::make_unique<Sequencer>(
+        config_.window_ticks,
+        [this](const EventPtr& event) { OnReleased(event); });
+  }
+
+  RETURN_IF_ERROR(OpenWal());
+
+  sim_.After(config_.heartbeat_ms * kMsToNs, [this] { Heartbeat(); });
+  started_ = true;
+  return WriteEndpointsFile();
+}
+
+void SiteDaemon::Run(const std::atomic<bool>& external_stop) {
+  CHECK(started_);
+  while (!stop_ && !external_stop.load(std::memory_order_relaxed)) {
+    RunOnce(static_cast<int>(config_.heartbeat_ms));
+  }
+  GracefulShutdown();
+}
+
+void SiteDaemon::RunOnce(int max_wait_ms) {
+  const int64_t elapsed = ElapsedNs();
+  sim_.Run(elapsed);
+  sim_.AdvanceTo(elapsed);
+  int64_t wait_ns = static_cast<int64_t>(max_wait_ms) * kMsToNs;
+  const int64_t due = sim_.next_due();
+  if (due != INT64_MAX) {
+    wait_ns = std::clamp<int64_t>(due - elapsed, 0, wait_ns);
+  }
+  loop_.PollOnce(static_cast<int>(wait_ns / kMsToNs));
+}
+
+int64_t SiteDaemon::ElapsedNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
+}
+
+void SiteDaemon::Heartbeat() {
+  ++heartbeats_;
+  if (sequencer_ != nullptr && max_anchor_seen_ != INT64_MIN) {
+    sequencer_->AdvanceTo(max_anchor_seen_);
+  }
+  sim_.After(config_.heartbeat_ms * kMsToNs, [this] { Heartbeat(); });
+}
+
+ReliableLink* SiteDaemon::LinkFor(SiteId peer) {
+  auto it = links_.find(peer);
+  if (it != links_.end()) return it->second.get();
+  ReliableChannelConfig channel = config_.channel;
+  if (!channel.enabled) {
+    // "arq = off": a single transmission per payload, no retransmit
+    // clock — every socket-level drop is a permanent completeness loss.
+    channel.max_retransmits = 0;
+  }
+  channel.enabled = true;
+  ReliableLink::Deliver deliver;
+  SiteId sender = 0;
+  SiteId receiver = 0;
+  if (config_.role == SiteRole::kDetector) {
+    sender = peer;
+    receiver = config_.site;
+    deliver = [this](const EventPtr& event) { OnDelivered(event); };
+  } else {
+    sender = config_.site;
+    receiver = peer;
+    // The injector's receiver half never activates (the detector sends
+    // no DATA back); the link still needs a delivery sink.
+    deliver = [](const EventPtr&) {};
+  }
+  auto link = std::make_unique<ReliableLink>(&sim_, transport_.get(), sender,
+                                             receiver, channel,
+                                             std::move(deliver));
+  ReliableLink* raw = link.get();
+  links_.emplace(peer, std::move(link));
+  return raw;
+}
+
+void SiteDaemon::OnFrame(SiteId peer, const Frame& frame) {
+  LinkFor(peer)->HandleFrame(frame);
+}
+
+void SiteDaemon::OnDelivered(const EventPtr& event) {
+  max_anchor_seen_ =
+      std::max(max_anchor_seen_, MinAnchorTick(event->timestamp()));
+  sequencer_->Offer(event);
+}
+
+void SiteDaemon::OnReleased(const EventPtr& event) {
+  released_.push_back(event);
+  AdvanceDetectorTo(MinAnchorTick(event->timestamp()));
+  engine_->Feed(event);
+}
+
+void SiteDaemon::AdvanceDetectorTo(LocalTicks tick) {
+  if (tick > detector_clock_) {
+    detector_clock_ = tick;
+    engine_->AdvanceClockTo(tick);
+  }
+}
+
+Status SiteDaemon::OpenWal() {
+  if (config_.wal.empty()) return Status::Ok();
+  std::ifstream in(config_.wal, std::ios::binary);
+  if (in) {
+    std::ostringstream existing;
+    existing << in.rdbuf();
+    RETURN_IF_ERROR(ReplayWal(existing.str()));
+  }
+  wal_fd_ = ::open(config_.wal.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (wal_fd_ < 0) {
+    return Status::Internal(StrCat("open wal ", config_.wal));
+  }
+  return Status::Ok();
+}
+
+Status SiteDaemon::ReplayWal(std::string_view bytes) {
+  Result<ParsedJournal> parsed = ParseJournal(bytes);
+  RETURN_IF_ERROR(parsed.status());
+  for (const JournalRecord& record : parsed->records) {
+    if (record.type != JournalRecordType::kOutbound) continue;
+    // Re-send in journal order: a fresh sender half allocates the same
+    // seq numbers the originals carried, so the receiving link's
+    // surviving frontier dedups everything already delivered —
+    // exactly-once across the restart.
+    LinkFor(record.peer)->Send(record.event);
+    sent_.push_back(record.event);
+    last_inject_tick_ = std::max(
+        last_inject_tick_, MinAnchorTick(record.event->timestamp()));
+    ++wal_replayed_;
+  }
+  return Status::Ok();
+}
+
+void SiteDaemon::PersistWal(bool force) {
+  if (wal_fd_ < 0) return;
+  const std::string& bytes = journal_.bytes();
+  if (wal_persisted_ < bytes.size()) {
+    size_t off = wal_persisted_;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::write(wal_fd_, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    wal_persisted_ = off;
+    ++appends_since_fsync_;
+  }
+  if (force || appends_since_fsync_ >= config_.fsync_every) {
+    ::fsync(wal_fd_);
+    appends_since_fsync_ = 0;
+  }
+}
+
+Status SiteDaemon::WriteEndpointsFile() {
+  if (config_.endpoints_file.empty()) return Status::Ok();
+  const std::string tmp = StrCat(config_.endpoints_file, ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::Internal(StrCat("cannot write ", tmp));
+    }
+    out << "rpc=" << rpc_.bound_endpoint() << "\n";
+    out << "transport=" << transport_->bound_endpoint() << "\n";
+    out << "pid=" << ::getpid() << "\n";
+  }
+  // tmp + rename: a reader polling for this file never sees a partial
+  // write — its appearance doubles as the daemon's readiness signal.
+  if (::rename(tmp.c_str(), config_.endpoints_file.c_str()) != 0) {
+    return Status::Internal(StrCat("rename ", tmp));
+  }
+  return Status::Ok();
+}
+
+void SiteDaemon::GracefulShutdown() {
+  journal_.Sync();
+  PersistWal(/*force=*/true);
+  if (wal_fd_ >= 0) {
+    ::close(wal_fd_);
+    wal_fd_ = -1;
+  }
+  rpc_.FlushAll();
+  rpc_.Shutdown();
+  transport_->Shutdown();
+}
+
+std::string SiteDaemon::HandleLine(const std::string& line) {
+  const std::string_view stripped = StripWhitespace(line);
+  const size_t space = stripped.find(' ');
+  const std::string verb{stripped.substr(0, space)};
+  const std::string args{
+      space == std::string_view::npos
+          ? std::string_view{}
+          : StripWhitespace(stripped.substr(space + 1))};
+  if (verb == "PING") return "OK pong";
+  if (verb == "REGTYPE") return CmdRegType(args);
+  if (verb == "DEFRULE") return CmdDefRule(args);
+  if (verb == "INJECT") return CmdInject(args);
+  if (verb == "FLUSH") return CmdFlush();
+  if (verb == "SYNC" || verb == "CHECKPOINT") return CmdSync();
+  if (verb == "STATS") return CmdStats();
+  if (verb == "HISTORY") {
+    if (args == "sent") return StrCat("OK ", sent_.size(), HistoryBody(sent_));
+    return CmdHistory();
+  }
+  if (verb == "DETECTIONS") return CmdDetections();
+  if (verb == "SHUTDOWN") {
+    stop_ = true;
+    return "OK bye";
+  }
+  return Err(StrCat("unknown command '", verb, "'"));
+}
+
+std::string SiteDaemon::CmdRegType(const std::string& args) {
+  const std::vector<std::string> tokens = Tokens(args);
+  if (tokens.size() != 1) return Err("usage: REGTYPE <name>");
+  Result<EventTypeId> id =
+      registry_.GetOrRegister(tokens[0], EventClass::kExplicit);
+  if (!id.ok()) return Err(id.status().message());
+  return StrCat("OK ", *id);
+}
+
+std::string SiteDaemon::CmdDefRule(const std::string& args) {
+  if (engine_ == nullptr) return Err("DEFRULE requires the detector role");
+  const size_t space = args.find(' ');
+  if (space == std::string::npos) {
+    return Err("usage: DEFRULE <name> <expr>");
+  }
+  const std::string name = args.substr(0, space);
+  const std::string expr_text{StripWhitespace(args.substr(space + 1))};
+  ParserOptions options;
+  options.auto_register = true;
+  options.timebase = config_.timebase;
+  Result<ExprPtr> expr = ParseExpr(expr_text, registry_, options);
+  if (!expr.ok()) return Err(expr.status().message());
+  Result<EventTypeId> type = engine_->AddRule(
+      name, *expr, [this, name](const EventPtr& event) {
+        detections_.push_back(Detection{name, event->type(), event});
+      });
+  if (!type.ok()) return Err(type.status().message());
+  return StrCat("OK ", *type);
+}
+
+std::string SiteDaemon::CmdInject(const std::string& args) {
+  const std::vector<std::string> tokens = Tokens(args);
+  if (tokens.size() < 2) {
+    return Err("usage: INJECT <name> <tick> [k=v ...]");
+  }
+  Result<EventTypeId> type = registry_.Lookup(tokens[0]);
+  if (!type.ok()) {
+    return Err(StrCat("unknown event type '", tokens[0], "' (REGTYPE it)"));
+  }
+  int64_t tick = 0;
+  if (!ParseI64(tokens[1], &tick)) {
+    return Err(StrCat("bad tick '", tokens[1], "'"));
+  }
+  // Strictly increasing local ticks keep this site's stream a valid
+  // local history (paper Sec. 4.1: one event per local tick per site)
+  // and make replays and the differential oracle deterministic.
+  if (tick <= last_inject_tick_) {
+    return Err(StrCat("tick ", tick, " not above previous tick ",
+                      last_inject_tick_));
+  }
+  ParameterList params;
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Err(StrCat("bad parameter '", tokens[i], "' (want k=v)"));
+    }
+    params.push_back(Param(std::string_view(tokens[i]).substr(0, eq),
+                           ParseAttribute(tokens[i].substr(eq + 1))));
+  }
+  last_inject_tick_ = tick;
+  const PrimitiveTimestamp stamp{
+      config_.site, TruncToGlobal(tick, config_.timebase), tick};
+  EventPtr event = Event::MakePrimitive(*type, stamp, std::move(params));
+  sent_.push_back(event);
+  if (config_.role == SiteRole::kDetector) {
+    OnDelivered(event);
+  } else {
+    if (wal_fd_ >= 0) {
+      // Write-ahead: the journal record is durable before the payload
+      // can reach the wire, so a crashed injector replays everything it
+      // ever committed to sending.
+      journal_.AppendOutbound(config_.detector_site, event);
+      PersistWal(/*force=*/false);
+    }
+    LinkFor(config_.detector_site)->Send(event);
+  }
+  return StrCat("OK ", sent_.size());
+}
+
+std::string SiteDaemon::CmdFlush() {
+  if (sequencer_ == nullptr) return "OK released=0";
+  sequencer_->Flush();
+  engine_->Drain();
+  return StrCat("OK released=", sequencer_->released());
+}
+
+std::string SiteDaemon::CmdSync() {
+  journal_.Sync();
+  PersistWal(/*force=*/true);
+  return StrCat("OK wal_bytes=", journal_.byte_size());
+}
+
+std::string SiteDaemon::CmdStats() {
+  uint64_t payloads_sent = 0;
+  uint64_t retransmits = 0;
+  uint64_t gave_up = 0;
+  uint64_t unacked = 0;
+  uint64_t delivered = 0;
+  uint64_t duplicates = 0;
+  bool receive_gap = false;
+  for (const auto& [peer, link] : links_) {
+    payloads_sent += link->payloads_sent();
+    retransmits += link->retransmits();
+    gave_up += link->gave_up();
+    unacked += link->unacked();
+    delivered += link->delivered();
+    duplicates += link->duplicates_dropped();
+    receive_gap = receive_gap || link->has_receive_gap();
+  }
+  std::string out = StrCat(
+      "OK role=",
+      config_.role == SiteRole::kDetector ? "detector" : "injector",
+      " site=", config_.site, " injected=", sent_.size(),
+      " payloads_sent=", payloads_sent, " retransmits=", retransmits,
+      " gave_up=", gave_up, " unacked=", unacked,
+      " delivered=", delivered, " duplicates=", duplicates,
+      " receive_gap=", receive_gap ? 1 : 0,
+      " wal_records=", journal_.record_count(),
+      " wal_replayed=", wal_replayed_, " heartbeats=", heartbeats_);
+  if (sequencer_ != nullptr) {
+    out = StrCat(out, " released=", sequencer_->released(),
+                 " seq_pending=", sequencer_->pending(),
+                 " late_arrivals=", sequencer_->late_arrivals(),
+                 " events_fed=", engine_->events_fed(),
+                 " detections=", detections_.size());
+  }
+  out = StrCat(out, " net_bytes_sent=", transport_->bytes_sent(),
+               " net_bytes_received=", transport_->bytes_received(),
+               " net_frames_sent=", transport_->frames_sent(),
+               " net_frames_received=", transport_->frames_received(),
+               " net_accepted_conns=", transport_->accepted_conns(),
+               " net_dials=", transport_->dials(),
+               " net_reconnects=", transport_->reconnects(),
+               " net_lossy_drops=", transport_->lossy_drops(),
+               " net_decode_errors=", transport_->decode_errors());
+  return out;
+}
+
+std::string SiteDaemon::HistoryBody(const std::vector<EventPtr>& events) {
+  std::string out;
+  for (const EventPtr& event : events) {
+    out = StrCat(out, " ", HexEncode(EncodeEvent(event)));
+  }
+  return out;
+}
+
+std::string SiteDaemon::CmdHistory() {
+  const std::vector<EventPtr>& events =
+      config_.role == SiteRole::kDetector ? released_ : sent_;
+  return StrCat("OK ", events.size(), HistoryBody(events));
+}
+
+std::string SiteDaemon::CmdDetections() {
+  std::string out = StrCat("OK ", detections_.size());
+  for (const Detection& d : detections_) {
+    out = StrCat(out, " ", d.rule, ":", HexEncode(EncodeEvent(d.event)));
+  }
+  return out;
+}
+
+}  // namespace sentineld::daemon

@@ -1,0 +1,163 @@
+#ifndef SENTINELD_DAEMON_DAEMON_H_
+#define SENTINELD_DAEMON_DAEMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemon/config.h"
+#include "daemon/rpc.h"
+#include "dist/journal.h"
+#include "dist/reliable_channel.h"
+#include "dist/simulation.h"
+#include "event/registry.h"
+#include "net/event_loop.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "snoop/detector_engine.h"
+#include "timestamp/composite_timestamp.h"
+
+namespace sentineld {
+class Sequencer;
+}  // namespace sentineld
+
+namespace sentineld::daemon {
+
+/// One fired rule occurrence, retained for the DETECTIONS RPC reply.
+struct Detection {
+  std::string rule;
+  EventTypeId type = 0;
+  EventPtr event;
+};
+
+/// One site of the paper's deployment as a long-running process: the
+/// socket transport (net/), per-peer ReliableLinks over the conduit
+/// seam, the Sequencer + detection engine (detector role), a write-ahead
+/// journal for injected events, and the line-based RPC surface that a
+/// harness drives. Single-threaded: everything runs on the event-loop
+/// thread; Run() is the reactor.
+///
+/// Time model: the embedded Simulation is the daemon's timer wheel, its
+/// clock pumped to wall-clock nanoseconds since Start() each reactor
+/// turn (Simulation::AdvanceTo), so ReliableLink retransmit timers and
+/// the heartbeat fire at real elapsed time. Event *timestamps* are not
+/// wall-clock: INJECT carries an explicit, strictly increasing local
+/// tick, and the detector's clock advances from the min-anchors of
+/// delivered events — so a scripted scenario is deterministic and the
+/// differential harness can compare against the in-process oracle.
+///
+/// RPC protocol (one '\n'-terminated line per request; replies are one
+/// "OK ..." or "ERR <message>" line — docs/deployment.md):
+///   PING
+///   REGTYPE <name>                       -> OK <type-id>
+///   DEFRULE <name> <expr...>             -> OK <type-id>   (detector)
+///   INJECT <name> <tick> [k=v ...]       -> OK <seq>
+///   FLUSH                                -> OK released=<n> (detector)
+///   SYNC | CHECKPOINT                    -> OK wal_bytes=<n>
+///   STATS                                -> OK k=v k=v ...
+///   HISTORY                              -> OK <n> <hex-event> ...
+///   DETECTIONS                           -> OK <n> <rule>:<hex-event> ...
+///   SHUTDOWN                             -> OK bye (then graceful exit)
+class SiteDaemon {
+ public:
+  explicit SiteDaemon(DaemonConfig config);
+  ~SiteDaemon();
+
+  SiteDaemon(const SiteDaemon&) = delete;
+  SiteDaemon& operator=(const SiteDaemon&) = delete;
+
+  /// Binds the transport and RPC listeners, replays the WAL (re-sending
+  /// every journaled outbound event over fresh links — the receiving
+  /// link's sequence frontier dedups anything already delivered), arms
+  /// the heartbeat, and writes the endpoints file.
+  Status Start();
+
+  /// The reactor: poll + timer pump until SHUTDOWN arrives or
+  /// `external_stop` (the signal flag) becomes true. Finishes with a
+  /// graceful shutdown: journal synced to disk, pending RPC replies
+  /// flushed, sockets closed.
+  void Run(const std::atomic<bool>& external_stop);
+
+  /// One reactor turn (exposed for tests embedding a daemon).
+  void RunOnce(int max_wait_ms);
+
+  bool stop_requested() const { return stop_; }
+  const std::string& rpc_endpoint() const { return rpc_.bound_endpoint(); }
+  const std::string& transport_endpoint() const {
+    return transport_->bound_endpoint();
+  }
+  const DaemonConfig& config() const { return config_; }
+
+  /// The RPC dispatcher (exposed so tests can drive a daemon without
+  /// sockets).
+  std::string HandleLine(const std::string& line);
+
+ private:
+  ReliableLink* LinkFor(SiteId peer);
+  void OnFrame(SiteId peer, const Frame& frame);
+  /// Reliable-delivery callback (detector role): into the sequencer.
+  void OnDelivered(const EventPtr& event);
+  /// Sequencer release callback: clock the engine, then feed.
+  void OnReleased(const EventPtr& event);
+  void Heartbeat();
+  /// Monotone guard in front of DetectorEngine::AdvanceClockTo.
+  void AdvanceDetectorTo(LocalTicks tick);
+
+  Status OpenWal();
+  Status ReplayWal(std::string_view bytes);
+  /// Appends journal bytes not yet on disk; fsyncs per the
+  /// `fsync_every` policy (`force` fsyncs unconditionally).
+  void PersistWal(bool force);
+  Status WriteEndpointsFile();
+  void GracefulShutdown();
+  int64_t ElapsedNs() const;
+
+  // Command handlers (args = the line after the verb).
+  std::string CmdRegType(const std::string& args);
+  std::string CmdDefRule(const std::string& args);
+  std::string CmdInject(const std::string& args);
+  std::string CmdFlush();
+  std::string CmdSync();
+  std::string CmdStats();
+  std::string CmdHistory();
+  std::string CmdDetections();
+  static std::string HistoryBody(const std::vector<EventPtr>& events);
+
+  DaemonConfig config_;
+  net::EventLoop loop_;
+  Simulation sim_;
+  EventTypeRegistry registry_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<net::SocketTransport> transport_;
+  LineServer rpc_;
+  std::map<SiteId, std::unique_ptr<ReliableLink>> links_;
+  std::unique_ptr<DetectorEngine> engine_;   ///< detector role
+  std::unique_ptr<Sequencer> sequencer_;     ///< detector role
+
+  Journal journal_;
+  int wal_fd_ = -1;
+  size_t wal_persisted_ = 0;  ///< journal_.bytes() prefix already on disk
+  uint32_t appends_since_fsync_ = 0;
+  uint64_t wal_replayed_ = 0;
+
+  std::vector<EventPtr> sent_;      ///< injector HISTORY (incl. replays)
+  std::vector<EventPtr> released_;  ///< detector HISTORY (feed order)
+  std::vector<Detection> detections_;
+
+  LocalTicks last_inject_tick_ = INT64_MIN;
+  LocalTicks max_anchor_seen_ = INT64_MIN;
+  LocalTicks detector_clock_ = 0;
+  uint64_t heartbeats_ = 0;
+
+  std::chrono::steady_clock::time_point start_time_;
+  bool started_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace sentineld::daemon
+
+#endif  // SENTINELD_DAEMON_DAEMON_H_

@@ -1,0 +1,45 @@
+#include "daemon/hex.h"
+
+namespace sentineld::daemon {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int DigitValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out += kDigits[b >> 4];
+    out += kDigits[b & 0xF];
+  }
+  return out;
+}
+
+Result<std::string> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("odd-length hex string");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = DigitValue(hex[i]);
+    const int lo = DigitValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex digit");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+  }
+  return out;
+}
+
+}  // namespace sentineld::daemon

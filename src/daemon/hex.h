@@ -1,0 +1,20 @@
+#ifndef SENTINELD_DAEMON_HEX_H_
+#define SENTINELD_DAEMON_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace sentineld::daemon {
+
+/// Lowercase hex of `bytes` — how binary codec payloads ride the
+/// line-based RPC protocol (HISTORY / DETECTIONS replies).
+std::string HexEncode(std::string_view bytes);
+
+/// Inverse of HexEncode; InvalidArgument on odd length or non-hex digits.
+Result<std::string> HexDecode(std::string_view hex);
+
+}  // namespace sentineld::daemon
+
+#endif  // SENTINELD_DAEMON_HEX_H_

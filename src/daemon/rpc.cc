@@ -1,0 +1,152 @@
+#include "daemon/rpc.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "net/listener.h"
+#include "util/logging.h"
+
+namespace sentineld::daemon {
+
+LineServer::LineServer(net::EventLoop* loop) : loop_(loop) {
+  CHECK(loop != nullptr);
+}
+
+LineServer::~LineServer() { Shutdown(); }
+
+Status LineServer::Listen(const std::string& endpoint) {
+  Result<net::Listener> listener = net::ListenStream(endpoint);
+  RETURN_IF_ERROR(listener.status());
+  listen_fd_ = listener->fd;
+  bound_endpoint_ = listener->bound_endpoint;
+  unix_path_ = listener->unix_path;
+  loop_->Watch(listen_fd_, POLLIN, [this](short) { AcceptReady(); });
+  return Status::Ok();
+}
+
+void LineServer::FlushAll() {
+  for (auto& [fd, client] : clients_) {
+    if (client->wbuf_off >= client->wbuf.size()) continue;
+    // Briefly revert to blocking writes: shutdown is the one moment a
+    // reply must not be left in a userspace buffer.
+    const int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    while (client->wbuf_off < client->wbuf.size()) {
+      const ssize_t n =
+          ::send(fd, client->wbuf.data() + client->wbuf_off,
+                 client->wbuf.size() - client->wbuf_off, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      client->wbuf_off += static_cast<size_t>(n);
+    }
+  }
+}
+
+void LineServer::Shutdown() {
+  if (listen_fd_ >= 0) {
+    loop_->Unwatch(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+  }
+  for (auto& [fd, client] : clients_) {
+    loop_->Unwatch(fd);
+    ::close(fd);
+  }
+  clients_.clear();
+}
+
+void LineServer::AcceptReady() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: poll re-arms us
+    if (!net::SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    auto client = std::make_unique<Client>();
+    client->fd = fd;
+    clients_.emplace(fd, std::move(client));
+    loop_->Watch(fd, POLLIN,
+                 [this, fd](short revents) { ClientReady(fd, revents); });
+  }
+}
+
+void LineServer::ClientReady(int fd, short revents) {
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  Client& client = *it->second;
+  if ((revents & POLLOUT) != 0) {
+    FlushClient(client);
+    if (!clients_.contains(fd)) return;
+  }
+  if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+    ReadClient(client);
+    if (!clients_.contains(fd)) return;
+  }
+  UpdateWatch(client);
+}
+
+void LineServer::ReadClient(Client& client) {
+  const int fd = client.fd;
+  char buf[16384];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR)) {
+    CloseClient(client);
+    return;
+  }
+  if (n < 0) return;
+  client.rbuf.append(buf, static_cast<size_t>(n));
+  size_t start = 0;
+  while (true) {
+    const size_t nl = client.rbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = client.rbuf.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = nl + 1;
+    std::string reply =
+        handler_ ? handler_(line) : std::string("ERR no handler");
+    // The handler may have shut the server down (SHUTDOWN command), in
+    // which case `client` is gone — check by fd before touching it.
+    if (!clients_.contains(fd)) return;
+    client.wbuf += reply;
+    client.wbuf += '\n';
+  }
+  client.rbuf.erase(0, start);
+  FlushClient(client);
+}
+
+void LineServer::FlushClient(Client& client) {
+  while (client.wbuf_off < client.wbuf.size()) {
+    const ssize_t n =
+        ::send(client.fd, client.wbuf.data() + client.wbuf_off,
+               client.wbuf.size() - client.wbuf_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      CloseClient(client);
+      return;
+    }
+    client.wbuf_off += static_cast<size_t>(n);
+  }
+  client.wbuf.clear();
+  client.wbuf_off = 0;
+}
+
+void LineServer::UpdateWatch(Client& client) {
+  short events = POLLIN;
+  if (client.wbuf_off < client.wbuf.size()) events |= POLLOUT;
+  if (loop_->watching(client.fd)) loop_->SetEvents(client.fd, events);
+}
+
+void LineServer::CloseClient(Client& client) {
+  const int fd = client.fd;
+  loop_->Unwatch(fd);
+  ::close(fd);
+  clients_.erase(fd);  // destroys `client`
+}
+
+}  // namespace sentineld::daemon

@@ -1,0 +1,74 @@
+#ifndef SENTINELD_DAEMON_RPC_H_
+#define SENTINELD_DAEMON_RPC_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/event_loop.h"
+#include "util/status.h"
+
+namespace sentineld::daemon {
+
+/// The daemon's control surface: a line-based request/reply protocol
+/// over TCP or UDS. Each request is one '\n'-terminated line; each gets
+/// exactly one reply line ("OK ..." or "ERR <message>" by convention —
+/// the server itself is protocol-agnostic and just maps lines through
+/// the handler). Single-threaded on the event loop, like the transport.
+class LineServer {
+ public:
+  /// Maps one request line (terminator stripped) to one reply line (the
+  /// server appends the '\n').
+  using Handler = std::function<std::string(const std::string& line)>;
+
+  explicit LineServer(net::EventLoop* loop);
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Binds + listens; AlreadyExists when the endpoint is taken.
+  Status Listen(const std::string& endpoint);
+
+  /// The listening endpoint with the kernel-assigned port resolved.
+  const std::string& bound_endpoint() const { return bound_endpoint_; }
+
+  /// Blockingly drains every client's pending reply bytes. Called on
+  /// graceful shutdown so a SHUTDOWN reply reaches its client before
+  /// the process exits.
+  void FlushAll();
+
+  /// Closes the listener and every client connection.
+  void Shutdown();
+
+  size_t clients() const { return clients_.size(); }
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string rbuf;
+    std::string wbuf;
+    size_t wbuf_off = 0;
+  };
+
+  void AcceptReady();
+  void ClientReady(int fd, short revents);
+  void ReadClient(Client& client);
+  void FlushClient(Client& client);
+  void UpdateWatch(Client& client);
+  void CloseClient(Client& client);
+
+  net::EventLoop* loop_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::string bound_endpoint_;
+  std::string unix_path_;
+  std::map<int, std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace sentineld::daemon
+
+#endif  // SENTINELD_DAEMON_RPC_H_

@@ -1,0 +1,83 @@
+// sentineld — one site of the paper's distributed deployment as a
+// standalone process (docs/deployment.md).
+//
+//   sentineld --config <path>    run the configured site until SHUTDOWN
+//                                (RPC) or SIGTERM/SIGINT; exits 0 after a
+//                                graceful shutdown (journal synced, RPC
+//                                replies flushed)
+//   sentineld --config <path> --check
+//                                parse + validate only; exit 0/2
+//
+// Exit codes: 0 clean shutdown, 1 startup failure (e.g. double bind),
+// 2 bad usage or config error.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <atomic>
+#include <string>
+
+#include "daemon/config.h"
+#include "daemon/daemon.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int /*signo*/) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  bool check_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check_only = true;
+    } else {
+      std::fprintf(stderr, "usage: sentineld --config <path> [--check]\n");
+      return 2;
+    }
+  }
+  if (config_path.empty()) {
+    std::fprintf(stderr, "usage: sentineld --config <path> [--check]\n");
+    return 2;
+  }
+
+  auto config = sentineld::daemon::LoadDaemonConfig(config_path);
+  if (!config.ok()) {
+    std::fprintf(stderr, "sentineld: %s: %s\n", config_path.c_str(),
+                 config.status().ToString().c_str());
+    return 2;
+  }
+  if (check_only) {
+    std::printf("config ok: site %u (%s)\n", config->site,
+                config->role == sentineld::daemon::SiteRole::kDetector
+                    ? "detector"
+                    : "injector");
+    return 0;
+  }
+
+  // A peer vanishing mid-write must surface as a send error, not kill
+  // the process.
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa = {};
+  sa.sa_handler = OnSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  sentineld::daemon::SiteDaemon daemon(std::move(*config));
+  if (sentineld::Status st = daemon.Start(); !st.ok()) {
+    std::fprintf(stderr, "sentineld: start failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "sentineld: site %u up, rpc %s\n",
+               daemon.config().site, daemon.rpc_endpoint().c_str());
+  daemon.Run(g_stop);
+  std::fprintf(stderr, "sentineld: site %u shut down cleanly\n",
+               daemon.config().site);
+  return 0;
+}

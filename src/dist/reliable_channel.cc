@@ -53,6 +53,85 @@ ReliableLink::ReliableLink(Simulation* sim, Network* network, SiteId sender,
   CHECK_OK(config.Validate());
 }
 
+ReliableLink::ReliableLink(Simulation* sim, FrameConduit* conduit,
+                           SiteId sender, SiteId receiver,
+                           const ReliableChannelConfig& config,
+                           Deliver deliver)
+    : sim_(sim),
+      network_(nullptr),
+      conduit_(conduit),
+      sender_site_(sender),
+      receiver_site_(receiver),
+      config_(config),
+      deliver_(std::move(deliver)) {
+  CHECK(sim != nullptr);
+  CHECK(conduit != nullptr);
+  CHECK(deliver_ != nullptr);
+  CHECK_OK(config.Validate());
+}
+
+void ReliableLink::HandleFrame(const Frame& frame) {
+  switch (frame.kind) {
+    case Frame::Kind::kData:
+      OnData(frame.seq, frame.event);
+      return;
+    case Frame::Kind::kAck:
+      OnAck(frame.cum_ack, frame.seq);
+      return;
+    case Frame::Kind::kHello:
+      OnHello(frame.flags, frame.seq, frame.cum_ack);
+      return;
+  }
+}
+
+void ReliableLink::EmitData(uint64_t seq, const EventPtr& event) {
+  if (conduit_ != nullptr) {
+    Frame frame;
+    frame.kind = Frame::Kind::kData;
+    frame.sender = sender_site_;
+    frame.seq = seq;
+    frame.event = event;
+    conduit_->SendFrame(sender_site_, receiver_site_, frame);
+    return;
+  }
+  network_->Send(
+      sender_site_, receiver_site_,
+      [this, seq, event] { OnData(seq, event); }, DataFrameWireSize(event));
+}
+
+void ReliableLink::EmitAck(uint64_t cum_ack, uint64_t sacked_seq) {
+  if (conduit_ != nullptr) {
+    Frame frame;
+    frame.kind = Frame::Kind::kAck;
+    frame.seq = sacked_seq;
+    frame.cum_ack = cum_ack;
+    conduit_->SendFrame(receiver_site_, sender_site_, frame);
+    return;
+  }
+  network_->Send(
+      receiver_site_, sender_site_,
+      [this, cum_ack, sacked_seq] { OnAck(cum_ack, sacked_seq); },
+      kAckFrameWireSize);
+}
+
+void ReliableLink::EmitHello(SiteId from, SiteId to, uint8_t flags,
+                             uint64_t nonce, uint64_t cum_ack) {
+  if (conduit_ != nullptr) {
+    Frame frame;
+    frame.kind = Frame::Kind::kHello;
+    frame.sender = from;
+    frame.seq = nonce;
+    frame.cum_ack = cum_ack;
+    frame.flags = flags;
+    conduit_->SendFrame(from, to, frame);
+    return;
+  }
+  network_->Send(
+      from, to,
+      [this, flags, nonce, cum_ack] { OnHello(flags, nonce, cum_ack); },
+      kHelloFrameWireSize);
+}
+
 void ReliableLink::Send(const EventPtr& event) {
   CHECK(event != nullptr);
   const uint64_t seq = next_seq_++;
@@ -75,10 +154,7 @@ void ReliableLink::Transmit(uint64_t seq) {
   // timer abandons the payload before another attempt is possible.
   SENTINELD_ASSERT(entry.attempts <= config_.max_retransmits + 1);
   const EventPtr event = entry.event;
-  network_->Send(
-      sender_site_, receiver_site_,
-      [this, seq, event] { OnData(seq, event); },
-      DataFrameWireSize(event));
+  EmitData(seq, event);
   // Arm the retransmit timer. The attempt snapshot voids stale timers (a
   // timer only acts if no ack and no newer transmission superseded it);
   // the epoch snapshot voids timers armed before a crash, so a stale
@@ -131,10 +207,7 @@ void ReliableLink::OnData(uint64_t seq, const EventPtr& event) {
   // Always (re-)ack — the previous ack for this seq may have been lost,
   // and only an ack stops the sender's retransmit clock.
   ++acks_sent_;
-  const uint64_t cum = next_expected_;
-  network_->Send(
-      receiver_site_, sender_site_,
-      [this, cum, seq] { OnAck(cum, seq); }, kAckFrameWireSize);
+  EmitAck(next_expected_, seq);
 }
 
 void ReliableLink::OnAck(uint64_t cum_ack, uint64_t sacked_seq) {
@@ -289,10 +362,7 @@ void ReliableLink::SendHello(uint8_t flags, uint64_t cum_ack) {
       // A newer crash of the originating half supersedes this rejoin.
       if (epoch != (from_receiver ? receiver_epoch_ : sender_epoch_)) return;
       ++hellos_sent_;
-      network_->Send(
-          from, to,
-          [this, flags, nonce, cum_ack] { OnHello(flags, nonce, cum_ack); },
-          kHelloFrameWireSize);
+      EmitHello(from, to, flags, nonce, cum_ack);
     });
     delay += config_.initial_rto_ns;
   }

@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "dist/codec.h"
 #include "dist/network.h"
 #include "dist/simulation.h"
 #include "event/event.h"
@@ -16,6 +17,23 @@ namespace sentineld {
 
 class StateTape;
 class Tracer;
+
+/// Frame-granular transport seam. The simulated Network moves closures
+/// (which cannot leave the process); a real deployment moves encoded
+/// dist/codec Frames instead. A ReliableLink constructed over a conduit
+/// emits every DATA/ACK/HELLO as a Frame through SendFrame and receives
+/// its peer's frames via HandleFrame — src/net/transport.h implements
+/// this over TCP/UDS sockets, and loopback test doubles implement it
+/// in-process.
+class FrameConduit {
+ public:
+  virtual ~FrameConduit() = default;
+
+  /// Ships one frame from `from` toward `to`. Fire-and-forget: the
+  /// conduit may drop it (lossy transport, unreachable peer) — the
+  /// link's ARQ machinery is what makes delivery reliable.
+  virtual void SendFrame(SiteId from, SiteId to, const Frame& frame) = 0;
+};
 
 /// How a restarted link end re-handshakes its peer (docs/recovery.md):
 /// kResume restores the checkpointed seq/ack windows and continues the
@@ -75,8 +93,25 @@ class ReliableLink {
                SiteId receiver, const ReliableChannelConfig& config,
                Deliver deliver);
 
+  /// Conduit-backed construction (real transports): frames leave via
+  /// `conduit` and arrive via HandleFrame instead of riding simulation
+  /// closures. `sim` still provides the retransmit/HELLO timers — a
+  /// daemon pumps it against the wall clock (Simulation::AdvanceTo).
+  /// In a multi-process deployment each process constructs the same
+  /// (sender, receiver) link and uses only its locally-active half; the
+  /// other half's state simply stays empty.
+  ReliableLink(Simulation* sim, FrameConduit* conduit, SiteId sender,
+               SiteId receiver, const ReliableChannelConfig& config,
+               Deliver deliver);
+
   /// Sends `event` reliably (fire-and-forget for the caller).
   void Send(const EventPtr& event);
+
+  /// Conduit-mode ingress: dispatches a decoded peer frame to the
+  /// matching half (DATA -> receiver, ACK -> sender, HELLO -> the half
+  /// named by kHelloFromReceiver). Valid in simulation mode too, where
+  /// it simply bypasses the network model.
+  void HandleFrame(const Frame& frame);
 
   /// Attaches the execution tracer (obs/trace.h); the link then
   /// journals frame/retransmit/give-up/deliver phases per payload. The
@@ -195,6 +230,13 @@ class ReliableLink {
   void OnData(uint64_t seq, const EventPtr& event);
   void OnAck(uint64_t cum_ack, uint64_t sacked_seq);
 
+  // Egress points: closures over the simulated network, or Frames
+  // through the conduit — the only lines where the two modes differ.
+  void EmitData(uint64_t seq, const EventPtr& event);
+  void EmitAck(uint64_t cum_ack, uint64_t sacked_seq);
+  void EmitHello(SiteId from, SiteId to, uint8_t flags, uint64_t nonce,
+                 uint64_t cum_ack);
+
   /// Sends one HELLO redundantly (1 + max_retransmits copies spaced one
   /// initial RTO apart — HELLOs ride the same lossy network as data and
   /// there is no ack for them); copies carry the same nonce and the
@@ -212,7 +254,8 @@ class ReliableLink {
   void Enqueue(const EventPtr& event);
 
   Simulation* sim_;
-  Network* network_;
+  Network* network_;            ///< simulation mode; null under a conduit
+  FrameConduit* conduit_ = nullptr;  ///< transport mode; null in simulation
   SiteId sender_site_;
   SiteId receiver_site_;
   ReliableChannelConfig config_;

@@ -32,6 +32,21 @@ class Simulation {
   /// Executes at most one pending action (for step-debugging in tests).
   bool Step();
 
+  /// Advances the clock to `when` without running anything — the
+  /// real-time pump used by the daemon event loop (src/daemon/), which
+  /// runs due actions via Run(elapsed) and then bumps `now` to the wall
+  /// clock so After() delays anchor at real elapsed time. Monotone:
+  /// a `when` at or before now() is a no-op.
+  void AdvanceTo(TrueTimeNs when) {
+    if (when > now_) now_ = when;
+  }
+
+  /// Due time of the earliest pending action, or INT64_MAX when the
+  /// agenda is empty — what a reactor uses to bound its poll timeout.
+  TrueTimeNs next_due() const {
+    return agenda_.empty() ? INT64_MAX : agenda_.top().when;
+  }
+
   TrueTimeNs now() const { return now_; }
   bool empty() const { return agenda_.empty(); }
   size_t pending() const { return agenda_.size(); }

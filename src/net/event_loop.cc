@@ -1,0 +1,55 @@
+#include "net/event_loop.h"
+
+#include <cerrno>
+
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sentineld::net {
+
+void EventLoop::Watch(int fd, short events, Callback cb) {
+  CHECK_GE(fd, 0);
+  CHECK(cb != nullptr);
+  fds_[fd] = Entry{events, next_generation_++, std::move(cb)};
+}
+
+void EventLoop::SetEvents(int fd, short events) {
+  auto it = fds_.find(fd);
+  CHECK(it != fds_.end());
+  it->second.events = events;
+}
+
+void EventLoop::Unwatch(int fd) { fds_.erase(fd); }
+
+int EventLoop::PollOnce(int timeout_ms) {
+  std::vector<pollfd> pollfds;
+  std::vector<uint64_t> generations;
+  pollfds.reserve(fds_.size());
+  generations.reserve(fds_.size());
+  for (const auto& [fd, entry] : fds_) {
+    pollfds.push_back(pollfd{fd, entry.events, 0});
+    generations.push_back(entry.generation);
+  }
+  const int ready =
+      ::poll(pollfds.data(), static_cast<nfds_t>(pollfds.size()), timeout_ms);
+  if (ready < 0) return errno == EINTR ? 0 : -1;
+  int dispatched = 0;
+  for (size_t i = 0; i < pollfds.size(); ++i) {
+    if (pollfds[i].revents == 0) continue;
+    // Revalidate: an earlier callback this round may have unwatched or
+    // closed this fd (and the number may already name a new socket).
+    auto it = fds_.find(pollfds[i].fd);
+    if (it == fds_.end() || it->second.generation != generations[i]) {
+      continue;
+    }
+    // Copy: the callback may replace its own registration.
+    const Callback cb = it->second.cb;
+    cb(pollfds[i].revents);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace sentineld::net

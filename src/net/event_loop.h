@@ -1,0 +1,59 @@
+#ifndef SENTINELD_NET_EVENT_LOOP_H_
+#define SENTINELD_NET_EVENT_LOOP_H_
+
+#include <poll.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace sentineld::net {
+
+/// Minimal poll(2) reactor: a registry of file descriptors with the
+/// events each cares about, and one blocking dispatch step. The daemon
+/// (src/daemon/) alternates PollOnce with pumping the Simulation timer
+/// queue against the wall clock — sockets wake it early, the next due
+/// timer bounds the poll timeout.
+///
+/// Callbacks may freely Watch/Unwatch descriptors (including their own)
+/// and close fds during dispatch: dispatch works off a snapshot and
+/// revalidates each entry — by registration generation, not just fd
+/// number, since a closed fd's number can be reused within the same
+/// round — before invoking it.
+class EventLoop {
+ public:
+  /// `revents` is the poll(2) result mask for the descriptor.
+  using Callback = std::function<void(short revents)>;
+
+  /// Registers `fd` (or updates its registration) to dispatch `cb` on
+  /// any of `events` (POLLIN/POLLOUT/... mask).
+  void Watch(int fd, short events, Callback cb);
+
+  /// Updates only the event mask of an already-watched fd.
+  void SetEvents(int fd, short events);
+
+  /// Removes `fd` from the registry; no-op if absent.
+  void Unwatch(int fd);
+
+  bool watching(int fd) const { return fds_.contains(fd); }
+  size_t size() const { return fds_.size(); }
+
+  /// One poll + dispatch round. Blocks up to `timeout_ms` (-1 = forever,
+  /// 0 = nonblocking). Returns the number of callbacks dispatched, or -1
+  /// on a poll error other than EINTR.
+  int PollOnce(int timeout_ms);
+
+ private:
+  struct Entry {
+    short events = 0;
+    uint64_t generation = 0;
+    Callback cb;
+  };
+
+  std::map<int, Entry> fds_;
+  uint64_t next_generation_ = 0;
+};
+
+}  // namespace sentineld::net
+
+#endif  // SENTINELD_NET_EVENT_LOOP_H_

@@ -1,0 +1,45 @@
+#include "net/frame_stream.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace sentineld::net {
+
+std::string EncodeLengthPrefixed(std::string_view payload) {
+  std::string out;
+  out.reserve(4 + payload.size());
+  const auto len = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  std::memcpy(prefix, &len, sizeof(len));
+  out.append(prefix, sizeof(prefix));
+  out.append(payload);
+  return out;
+}
+
+Status FrameReassembler::Feed(std::string_view bytes,
+                              std::vector<std::string>& out) {
+  if (failed_) {
+    return Status::InvalidArgument("frame stream previously poisoned");
+  }
+  buffer_.append(bytes);
+  size_t pos = 0;
+  while (buffer_.size() - pos >= 4) {
+    uint32_t len = 0;
+    std::memcpy(&len, buffer_.data() + pos, sizeof(len));
+    if (len > max_payload_bytes_) {
+      failed_ = true;
+      buffer_.clear();
+      return Status::InvalidArgument(
+          StrCat("frame length ", len, " exceeds the ", max_payload_bytes_,
+                 "-byte ceiling"));
+    }
+    if (buffer_.size() - pos - 4 < len) break;  // payload still arriving
+    out.emplace_back(buffer_, pos + 4, len);
+    pos += 4 + len;
+  }
+  buffer_.erase(0, pos);
+  return Status::Ok();
+}
+
+}  // namespace sentineld::net

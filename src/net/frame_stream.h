@@ -1,0 +1,60 @@
+#ifndef SENTINELD_NET_FRAME_STREAM_H_
+#define SENTINELD_NET_FRAME_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sentineld::net {
+
+/// Stream framing for dist/codec payloads over a byte-stream socket:
+///
+///   Record := len:u32 (little-endian) | payload (len bytes)
+///
+/// where payload is one encoded Frame (dist/codec.h DecodeFrame). TCP
+/// and UDS deliver arbitrary byte chunks — a read can end mid-length,
+/// mid-payload, or span several records — so the receive side runs
+/// every chunk through a FrameReassembler, which is what the torn-frame
+/// fuzz in tests/frame_stream_test.cc hammers.
+
+/// Hard ceiling on one payload. Generous for event frames (a DATA frame
+/// is tens to hundreds of bytes); its real job is rejecting a corrupt
+/// or adversarial length prefix before it turns into a giant buffer.
+inline constexpr size_t kMaxFramePayloadBytes = 1 << 20;  // 1 MiB
+
+/// `payload` with its length prefix, ready for write(2).
+std::string EncodeLengthPrefixed(std::string_view payload);
+
+/// Incremental splitter of a length-prefixed byte stream back into
+/// payloads. Feed() accepts chunks of any size (including empty) and
+/// appends every payload completed so far to `out` in stream order.
+///
+/// A length prefix above `max_payload_bytes` poisons the stream: the
+/// byte position is unrecoverable (everything after a bad length is
+/// noise), so Feed() fails sticky and the connection must be dropped.
+class FrameReassembler {
+ public:
+  explicit FrameReassembler(size_t max_payload_bytes = kMaxFramePayloadBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  /// Buffers `bytes` and extracts completed payloads. InvalidArgument
+  /// (now and on every later call) once an oversized length arrives.
+  Status Feed(std::string_view bytes, std::vector<std::string>& out);
+
+  /// Bytes held waiting for the rest of their record.
+  size_t buffered() const { return buffer_.size(); }
+  bool failed() const { return failed_; }
+
+ private:
+  size_t max_payload_bytes_;
+  std::string buffer_;
+  bool failed_ = false;
+};
+
+}  // namespace sentineld::net
+
+#endif  // SENTINELD_NET_FRAME_STREAM_H_

@@ -1,0 +1,183 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace sentineld::net {
+namespace {
+
+struct ParsedEndpoint {
+  bool is_unix = false;
+  std::string path;     ///< unix
+  in_addr_t addr = 0;   ///< tcp, network byte order
+  uint16_t port = 0;    ///< tcp, host byte order
+};
+
+Result<ParsedEndpoint> ParseEndpoint(const std::string& endpoint) {
+  ParsedEndpoint out;
+  if (StartsWith(endpoint, "unix:")) {
+    out.is_unix = true;
+    out.path = endpoint.substr(5);
+    if (out.path.empty()) {
+      return Status::InvalidArgument("empty unix socket path");
+    }
+    if (out.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return Status::InvalidArgument(
+          StrCat("unix socket path too long: ", out.path));
+    }
+    return out;
+  }
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return Status::InvalidArgument(
+        StrCat("endpoint must be host:port or unix:/path, got '", endpoint,
+               "'"));
+  }
+  std::string host = endpoint.substr(0, colon);
+  if (host == "localhost") host = "127.0.0.1";
+  in_addr parsed_addr{};
+  if (inet_pton(AF_INET, host.c_str(), &parsed_addr) != 1) {
+    return Status::InvalidArgument(StrCat("bad IPv4 host '", host, "'"));
+  }
+  out.addr = parsed_addr.s_addr;
+  const std::string_view port_text =
+      std::string_view(endpoint).substr(colon + 1);
+  uint16_t port = 0;
+  const auto [end, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc{} || end != port_text.data() + port_text.size()) {
+    return Status::InvalidArgument(
+        StrCat("bad port '", std::string(port_text), "'"));
+  }
+  out.port = port;
+  return out;
+}
+
+}  // namespace
+
+Status ValidateEndpoint(const std::string& endpoint) {
+  return ParseEndpoint(endpoint).status();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(StrCat("fcntl: ", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Result<Listener> ListenStream(const std::string& endpoint) {
+  Result<ParsedEndpoint> parsed = ParseEndpoint(endpoint);
+  RETURN_IF_ERROR(parsed.status());
+  const int domain = parsed->is_unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrCat("socket: ", std::strerror(errno)));
+  }
+  int bind_rc = 0;
+  if (parsed->is_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, parsed->path.c_str(), parsed->path.size() + 1);
+    bind_rc =
+        ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = parsed->addr;
+    addr.sin_port = htons(parsed->port);
+    bind_rc =
+        ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+  if (bind_rc < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::AlreadyExists(
+        StrCat("bind ", endpoint, ": ", std::strerror(err)));
+  }
+  if (::listen(fd, SOMAXCONN) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(
+        StrCat("listen ", endpoint, ": ", std::strerror(err)));
+  }
+  if (Status st = SetNonBlocking(fd); !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  Listener out;
+  out.fd = fd;
+  if (parsed->is_unix) {
+    out.unix_path = parsed->path;
+    out.bound_endpoint = endpoint;
+  } else {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal(StrCat("getsockname: ", std::strerror(err)));
+    }
+    char host[INET_ADDRSTRLEN] = {0};
+    inet_ntop(AF_INET, &bound.sin_addr, host, sizeof(host));
+    out.bound_endpoint = StrCat(host, ":", ntohs(bound.sin_port));
+  }
+  return out;
+}
+
+Result<int> DialStream(const std::string& endpoint, bool* in_progress) {
+  *in_progress = false;
+  Result<ParsedEndpoint> parsed = ParseEndpoint(endpoint);
+  RETURN_IF_ERROR(parsed.status());
+  const int domain = parsed->is_unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrCat("socket: ", std::strerror(errno)));
+  }
+  if (Status st = SetNonBlocking(fd); !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  int rc = 0;
+  if (parsed->is_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, parsed->path.c_str(), parsed->path.size() + 1);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = parsed->addr;
+    addr.sin_port = htons(parsed->port);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc < 0) {
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal(
+          StrCat("connect ", endpoint, ": ", std::strerror(err)));
+    }
+    *in_progress = true;
+  }
+  return fd;
+}
+
+}  // namespace sentineld::net

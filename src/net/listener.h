@@ -1,0 +1,39 @@
+#ifndef SENTINELD_NET_LISTENER_H_
+#define SENTINELD_NET_LISTENER_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace sentineld::net {
+
+/// Checks the module's endpoint notation without touching the network:
+/// "host:port" (IPv4 literal or `localhost`; port 0 asks the kernel for
+/// an ephemeral port) or "unix:/path".
+Status ValidateEndpoint(const std::string& endpoint);
+
+/// A bound, listening, nonblocking stream socket.
+struct Listener {
+  int fd = -1;
+  /// The endpoint with the kernel-assigned port resolved (equals the
+  /// requested endpoint for unix sockets and fixed ports).
+  std::string bound_endpoint;
+  /// Set when we bound a unix socket: the owner unlinks it on close.
+  std::string unix_path;
+};
+
+/// socket + bind + listen + O_NONBLOCK. AlreadyExists when the endpoint
+/// is taken — deliberately no SO_REUSEADDR, so a second bind of a live
+/// endpoint fails fast (the double-bind error path tests rely on).
+Result<Listener> ListenStream(const std::string& endpoint);
+
+/// Starts a nonblocking stream connect toward `endpoint` and returns the
+/// socket. `*in_progress` is set when the connect is still completing
+/// (watch POLLOUT, then check SO_ERROR). TCP sockets get TCP_NODELAY.
+Result<int> DialStream(const std::string& endpoint, bool* in_progress);
+
+Status SetNonBlocking(int fd);
+
+}  // namespace sentineld::net
+
+#endif  // SENTINELD_NET_LISTENER_H_

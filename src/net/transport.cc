@@ -1,0 +1,344 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "net/listener.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld::net {
+namespace {
+
+/// First bytes on every outbound connection: magic then the dialer's
+/// site id, both little-endian u32. The accepting side reads them before
+/// treating anything as a frame, so replies can route by peer identity.
+constexpr uint32_t kIdentMagic = 0x534E544CU;  // "SNTL"
+constexpr size_t kIdentBytes = 8;
+
+std::string EncodePayload(const Frame& frame) {
+  switch (frame.kind) {
+    case Frame::Kind::kData:
+      return EncodeDataFrame(frame.sender, frame.seq, frame.event);
+    case Frame::Kind::kAck:
+      return EncodeAckFrame(frame.cum_ack, frame.seq);
+    case Frame::Kind::kHello:
+      return EncodeHelloFrame(frame.sender, frame.flags, frame.seq,
+                              frame.cum_ack);
+  }
+  return {};
+}
+
+}  // namespace
+
+Status TransportConfig::Validate() const {
+  if (drop_prob < 0.0 || drop_prob > 1.0) {
+    return Status::InvalidArgument("drop_prob must be in [0, 1]");
+  }
+  if (delay_ns < 0) return Status::InvalidArgument("delay_ns must be >= 0");
+  if (!listen.empty()) {
+    RETURN_IF_ERROR(ValidateEndpoint(listen));
+  }
+  for (const auto& [peer, endpoint] : peers) {
+    if (peer == self) {
+      return Status::InvalidArgument("peer endpoint for self");
+    }
+    RETURN_IF_ERROR(ValidateEndpoint(endpoint));
+  }
+  return Status::Ok();
+}
+
+/// One socket connection. `peer` is meaningful once `ident_known` (at
+/// dial time for outbound connections, after the preamble for inbound).
+struct SocketTransport::Conn {
+  int fd = -1;
+  SiteId peer = 0;
+  bool outbound = false;
+  bool connecting = false;   ///< nonblocking connect still in flight
+  bool ident_known = false;
+  std::string ident_buf;     ///< inbound preamble accumulator
+  std::string wbuf;          ///< unsent bytes (preamble first, outbound)
+  size_t wbuf_off = 0;
+  FrameReassembler reassembler;
+
+  explicit Conn(size_t max_payload) : reassembler(max_payload) {}
+};
+
+SocketTransport::SocketTransport(Simulation* sim, EventLoop* loop,
+                                 TransportConfig config)
+    : sim_(sim), loop_(loop), config_(std::move(config)), rng_(config_.seed) {
+  CHECK(sim != nullptr);
+  CHECK(loop != nullptr);
+  CHECK_OK(config_.Validate());
+}
+
+SocketTransport::~SocketTransport() { Shutdown(); }
+
+Status SocketTransport::Start() {
+  if (config_.listen.empty()) return Status::Ok();
+  Result<Listener> listener = ListenStream(config_.listen);
+  RETURN_IF_ERROR(listener.status());
+  listen_fd_ = listener->fd;
+  bound_endpoint_ = listener->bound_endpoint;
+  unix_path_ = listener->unix_path;
+  loop_->Watch(listen_fd_, POLLIN, [this](short) { AcceptReady(); });
+  return Status::Ok();
+}
+
+void SocketTransport::Shutdown() {
+  if (listen_fd_ >= 0) {
+    loop_->Unwatch(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+  }
+  for (auto& [fd, conn] : conns_) {
+    loop_->Unwatch(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+  conn_by_peer_.clear();
+}
+
+void SocketTransport::EnableObs(Counter* obs_bytes_sent,
+                                Counter* obs_accepted,
+                                Counter* obs_reconnects,
+                                Counter* obs_lossy_drops) {
+  obs_bytes_sent_ = obs_bytes_sent;
+  obs_accepted_ = obs_accepted;
+  obs_reconnects_ = obs_reconnects;
+  obs_lossy_drops_ = obs_lossy_drops;
+}
+
+void SocketTransport::SendFrame(SiteId from, SiteId to, const Frame& frame) {
+  CHECK(from == config_.self);
+  CHECK(to != config_.self);
+  if (config_.drop_prob > 0 && rng_.NextDouble() < config_.drop_prob) {
+    ++lossy_drops_;
+    if (obs_lossy_drops_ != nullptr) obs_lossy_drops_->Add(1);
+    return;
+  }
+  std::string payload = EncodePayload(frame);
+  if (config_.delay_ns > 0) {
+    sim_->After(config_.delay_ns,
+                [this, to, payload = std::move(payload)] {
+                  Ship(to, payload);
+                });
+    return;
+  }
+  Ship(to, payload);
+}
+
+void SocketTransport::Ship(SiteId to, const std::string& payload) {
+  Conn* conn = nullptr;
+  auto it = conn_by_peer_.find(to);
+  if (it != conn_by_peer_.end()) {
+    conn = conns_.at(it->second).get();
+  } else {
+    conn = DialPeer(to);
+  }
+  if (conn == nullptr) {
+    ++send_failures_;
+    return;
+  }
+  conn->wbuf += EncodeLengthPrefixed(payload);
+  ++frames_sent_;
+  if (!conn->connecting) FlushConn(*conn);
+  // FlushConn may have closed the connection on a write error; only
+  // adjust the poll mask if it is still registered.
+  auto still = conn_by_peer_.find(to);
+  if (still != conn_by_peer_.end()) {
+    UpdateWatch(*conns_.at(still->second));
+  }
+}
+
+SocketTransport::Conn* SocketTransport::DialPeer(SiteId peer) {
+  auto endpoint_it = config_.peers.find(peer);
+  if (endpoint_it == config_.peers.end()) return nullptr;
+  bool in_progress = false;
+  Result<int> dialed = DialStream(endpoint_it->second, &in_progress);
+  if (!dialed.ok()) return nullptr;
+  const int fd = *dialed;
+  ++dials_;
+  if (was_connected_[peer]) {
+    ++reconnects_;
+    if (obs_reconnects_ != nullptr) obs_reconnects_->Add(1);
+  }
+  auto conn = std::make_unique<Conn>(config_.max_payload_bytes);
+  conn->fd = fd;
+  conn->peer = peer;
+  conn->outbound = true;
+  conn->connecting = in_progress;
+  conn->ident_known = true;
+  // The preamble leads the write buffer; everything frames in behind it.
+  std::string preamble(kIdentBytes, '\0');
+  std::memcpy(preamble.data(), &kIdentMagic, 4);
+  std::memcpy(preamble.data() + 4, &config_.self, 4);
+  conn->wbuf = std::move(preamble);
+  Conn* raw = conn.get();
+  conns_.emplace(fd, std::move(conn));
+  conn_by_peer_[peer] = fd;
+  loop_->Watch(fd, POLLIN | POLLOUT,
+               [this, fd](short revents) { ConnReady(fd, revents); });
+  return raw;
+}
+
+void SocketTransport::AcceptReady() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: poll re-arms us
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ++accepted_conns_;
+    if (obs_accepted_ != nullptr) obs_accepted_->Add(1);
+    auto conn = std::make_unique<Conn>(config_.max_payload_bytes);
+    conn->fd = fd;
+    conns_.emplace(fd, std::move(conn));
+    loop_->Watch(fd, POLLIN,
+                 [this, fd](short revents) { ConnReady(fd, revents); });
+  }
+}
+
+void SocketTransport::ConnReady(int fd, short revents) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if (conn.connecting) {
+    if ((revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        // Dial failed (peer not up yet / unreachable). Queued frames
+        // die with the connection; retransmission re-dials later.
+        CloseConn(conn);
+        return;
+      }
+      conn.connecting = false;
+      was_connected_[conn.peer] = true;
+      FlushConn(conn);
+      if (!conns_.contains(fd)) return;
+    }
+    UpdateWatch(conn);
+    return;
+  }
+  if ((revents & POLLOUT) != 0) {
+    FlushConn(conn);
+    if (!conns_.contains(fd)) return;
+  }
+  if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+    ReadConn(conn);
+    if (!conns_.contains(fd)) return;
+  }
+  UpdateWatch(conn);
+}
+
+void SocketTransport::ReadConn(Conn& conn) {
+  char buf[65536];
+  const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+  if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR)) {
+    CloseConn(conn);
+    return;
+  }
+  if (n < 0) return;
+  bytes_received_ += static_cast<uint64_t>(n);
+  std::string_view bytes(buf, static_cast<size_t>(n));
+  if (!conn.ident_known) {
+    const size_t need = kIdentBytes - conn.ident_buf.size();
+    const size_t take = std::min(need, bytes.size());
+    conn.ident_buf.append(bytes.substr(0, take));
+    bytes.remove_prefix(take);
+    if (conn.ident_buf.size() < kIdentBytes) return;
+    uint32_t magic = 0;
+    uint32_t site = 0;
+    std::memcpy(&magic, conn.ident_buf.data(), 4);
+    std::memcpy(&site, conn.ident_buf.data() + 4, 4);
+    if (magic != kIdentMagic) {
+      ++decode_errors_;
+      CloseConn(conn);
+      return;
+    }
+    conn.peer = site;
+    conn.ident_known = true;
+    // Latest identified connection wins the routing slot for the peer;
+    // an older one stays readable until it closes.
+    conn_by_peer_[conn.peer] = conn.fd;
+    was_connected_[conn.peer] = true;
+  }
+  std::vector<std::string> payloads;
+  if (!conn.reassembler.Feed(bytes, payloads).ok()) {
+    ++decode_errors_;
+    CloseConn(conn);
+    return;
+  }
+  for (const std::string& payload : payloads) {
+    Result<Frame> frame = DecodeFrame(payload);
+    if (!frame.ok()) {
+      ++decode_errors_;
+      continue;
+    }
+    ++frames_received_;
+    if (on_frame_) on_frame_(conn.peer, *frame);
+    // The handler may close connections (even this one) via Shutdown.
+    if (!conns_.contains(conn.fd)) return;
+  }
+}
+
+void SocketTransport::FlushConn(Conn& conn) {
+  while (conn.wbuf_off < conn.wbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.wbuf.data() + conn.wbuf_off,
+               conn.wbuf.size() - conn.wbuf_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      CloseConn(conn);
+      return;
+    }
+    bytes_sent_ += static_cast<uint64_t>(n);
+    if (obs_bytes_sent_ != nullptr) {
+      obs_bytes_sent_->Add(static_cast<uint64_t>(n));
+    }
+    conn.wbuf_off += static_cast<size_t>(n);
+  }
+  conn.wbuf.clear();
+  conn.wbuf_off = 0;
+}
+
+void SocketTransport::UpdateWatch(Conn& conn) {
+  short events = POLLIN;
+  if (conn.connecting || conn.wbuf_off < conn.wbuf.size()) {
+    events |= POLLOUT;
+  }
+  if (loop_->watching(conn.fd)) loop_->SetEvents(conn.fd, events);
+}
+
+void SocketTransport::CloseConn(Conn& conn) {
+  const int fd = conn.fd;
+  const bool routed = conn.ident_known &&
+                      conn_by_peer_.contains(conn.peer) &&
+                      conn_by_peer_.at(conn.peer) == fd;
+  if (routed) conn_by_peer_.erase(conn.peer);
+  loop_->Unwatch(fd);
+  ::close(fd);
+  conns_.erase(fd);  // destroys `conn`
+}
+
+}  // namespace sentineld::net

@@ -1,0 +1,166 @@
+#ifndef SENTINELD_NET_TRANSPORT_H_
+#define SENTINELD_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dist/codec.h"
+#include "dist/reliable_channel.h"
+#include "dist/simulation.h"
+#include "net/event_loop.h"
+#include "net/frame_stream.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sentineld {
+class Counter;
+}  // namespace sentineld
+
+namespace sentineld::net {
+
+/// Endpoint notation accepted everywhere in this module:
+///   "127.0.0.1:4100"   TCP; port 0 binds an ephemeral port (the bound
+///                      endpoint reports the kernel-assigned one)
+///   "unix:/tmp/x.sock" Unix domain stream socket at that path
+struct TransportConfig {
+  /// The site this process hosts; every outgoing frame must originate
+  /// from it, and the identity announced to peers on connect.
+  SiteId self = 0;
+
+  /// Listening endpoint; empty runs dial-only (a pure injector needs no
+  /// listener — replies ride back on its own outbound connections).
+  std::string listen;
+
+  /// Dialable endpoints by peer site. A peer absent here can still talk
+  /// to us by dialing in; we just cannot initiate.
+  std::map<SiteId, std::string> peers;
+
+  /// Lossy-loopback fault injection (the PR-1 fault model applied at
+  /// the socket boundary): each outgoing frame is independently dropped
+  /// with `drop_prob`, and surviving frames are held `delay_ns` on the
+  /// timer queue before hitting the socket.
+  double drop_prob = 0.0;
+  int64_t delay_ns = 0;
+  uint64_t seed = 1;
+
+  size_t max_payload_bytes = kMaxFramePayloadBytes;
+
+  Status Validate() const;
+};
+
+/// FrameConduit over real sockets: encodes every outgoing Frame with
+/// dist/codec, length-prefixes it (frame_stream.h), and ships it over a
+/// per-peer TCP or UDS connection; incoming bytes are reassembled,
+/// decoded, and handed to the frame handler together with the peer's
+/// announced site id.
+///
+/// Connection model: the first bytes on every outbound connection are
+/// an 8-byte ident preamble (magic + our site id), so an accepting side
+/// knows who dialed in before any frame arrives. One established
+/// connection per peer is kept (either direction); replies reuse it, so
+/// a dial-only process is fully reachable. Dials are lazy — the first
+/// frame toward a peer triggers a nonblocking connect, frames queued
+/// behind a failed dial are dropped (the ReliableLink retransmit clock
+/// is the recovery mechanism, exactly as under simulated loss), and the
+/// next send after a lost established connection redials (counted in
+/// reconnects()).
+///
+/// Single-threaded: every method runs on the event-loop thread.
+class SocketTransport : public FrameConduit {
+ public:
+  using FrameHandler = std::function<void(SiteId peer, const Frame& frame)>;
+
+  SocketTransport(Simulation* sim, EventLoop* loop, TransportConfig config);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Binds + listens when `listen` is configured. AlreadyExists when the
+  /// endpoint is taken (the double-bind error path).
+  Status Start();
+
+  /// Closes every socket (listener included) and unregisters from the
+  /// loop. SendFrame afterwards counts send failures.
+  void Shutdown();
+
+  /// Receiver of every decoded incoming frame. Must be set before the
+  /// loop runs if any peer may dial in.
+  void set_on_frame(FrameHandler handler) { on_frame_ = std::move(handler); }
+
+  /// The listening endpoint with the kernel-assigned port resolved
+  /// (empty when dial-only).
+  const std::string& bound_endpoint() const { return bound_endpoint_; }
+
+  // FrameConduit:
+  void SendFrame(SiteId from, SiteId to, const Frame& frame) override;
+
+  // Counters (the daemon mirrors the starred ones into the obs
+  // catalogue: net_bytes_sent / net_accepted_conns / net_reconnects /
+  // net_lossy_drops).
+  uint64_t bytes_sent() const { return bytes_sent_; }          // *
+  uint64_t bytes_received() const { return bytes_received_; }
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t frames_received() const { return frames_received_; }
+  uint64_t accepted_conns() const { return accepted_conns_; }  // *
+  uint64_t dials() const { return dials_; }
+  uint64_t reconnects() const { return reconnects_; }          // *
+  uint64_t lossy_drops() const { return lossy_drops_; }        // *
+  uint64_t send_failures() const { return send_failures_; }
+  uint64_t decode_errors() const { return decode_errors_; }
+
+  /// Attaches obs catalogue instruments (all optional; see metrics.cc):
+  /// increments mirror the counters above from the moment of attach.
+  void EnableObs(Counter* obs_bytes_sent, Counter* obs_accepted,
+                 Counter* obs_reconnects, Counter* obs_lossy_drops);
+
+ private:
+  struct Conn;
+
+  /// Queues the encoded payload toward `to`, dialing if needed.
+  void Ship(SiteId to, const std::string& payload);
+  Conn* DialPeer(SiteId peer);
+  void AcceptReady();
+  void ConnReady(int fd, short revents);
+  void ReadConn(Conn& conn);
+  void FlushConn(Conn& conn);
+  void UpdateWatch(Conn& conn);
+  void CloseConn(Conn& conn);
+
+  Simulation* sim_;
+  EventLoop* loop_;
+  TransportConfig config_;
+  Rng rng_;
+  FrameHandler on_frame_;
+
+  int listen_fd_ = -1;
+  std::string bound_endpoint_;
+  std::string unix_path_;  ///< unlinked on Shutdown when we bound it
+
+  std::map<int, std::unique_ptr<Conn>> conns_;   ///< by fd
+  std::map<SiteId, int> conn_by_peer_;           ///< preferred conn per peer
+  std::map<SiteId, bool> was_connected_;         ///< redial => reconnect
+
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t frames_sent_ = 0;
+  uint64_t frames_received_ = 0;
+  uint64_t accepted_conns_ = 0;
+  uint64_t dials_ = 0;
+  uint64_t reconnects_ = 0;
+  uint64_t lossy_drops_ = 0;
+  uint64_t send_failures_ = 0;
+  uint64_t decode_errors_ = 0;
+
+  Counter* obs_bytes_sent_ = nullptr;
+  Counter* obs_accepted_ = nullptr;
+  Counter* obs_reconnects_ = nullptr;
+  Counter* obs_lossy_drops_ = nullptr;
+};
+
+}  // namespace sentineld::net
+
+#endif  // SENTINELD_NET_TRANSPORT_H_

@@ -17,7 +17,7 @@ namespace {
 /// docs/observability.md lists exactly these rows (enforced by
 /// tests/obs_test.cc's parity test), so adding a metric means adding it
 /// in both places.
-constexpr std::array<MetricInfo, 27> kCatalog = {{
+constexpr std::array<MetricInfo, 31> kCatalog = {{
     {"events_injected", MetricKind::kCounter, "events", "site",
      "primitive occurrences raised at each site"},
     {"detections", MetricKind::kCounter, "events", "rule,detector_shard?",
@@ -55,6 +55,14 @@ constexpr std::array<MetricInfo, 27> kCatalog = {{
      "wire-format bytes sent (dist/codec.h sizes)"},
     {"network_dropped", MetricKind::kCounter, "messages", "cause",
      "messages silently dropped, by fault cause"},
+    {"net_bytes_sent", MetricKind::kCounter, "bytes", "site",
+     "bytes written to peer sockets by the real transport"},
+    {"net_accepted_conns", MetricKind::kCounter, "connections", "site",
+     "inbound socket connections accepted by the transport listener"},
+    {"net_reconnects", MetricKind::kCounter, "connections", "site",
+     "re-dials of a peer after an established connection was lost"},
+    {"net_lossy_drops", MetricKind::kCounter, "frames", "site",
+     "frames dropped by the transport's lossy-loopback fault injection"},
     {"channel_retransmits", MetricKind::kCounter, "frames", "site",
      "DATA frames re-sent after a timeout, per sender site"},
     {"channel_gave_up", MetricKind::kCounter, "payloads", "site",

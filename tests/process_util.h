@@ -1,0 +1,268 @@
+// Helpers for the multi-process daemon tests: a fork/exec process
+// handle for `sentineld`, a blocking line-RPC client, endpoint-file
+// discovery, and deadline polling (no raw sleeps — every wait is a
+// bounded poll so the suite stays flake-free on slow machines).
+#ifndef SENTINELD_TESTS_PROCESS_UTIL_H_
+#define SENTINELD_TESTS_PROCESS_UTIL_H_
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sentineld::testing_util {
+
+/// Root for per-test scratch directories. TEST_TMPDIR (when set) wins
+/// so CI can pin daemon state somewhere it can upload as an artifact —
+/// not every gtest version honors it in ::testing::TempDir().
+inline std::string TestTempRoot() {
+  const char* env = std::getenv("TEST_TMPDIR");
+  std::string root = (env != nullptr && *env != '\0')
+                         ? std::string(env)
+                         : ::testing::TempDir();
+  if (!root.empty() && root.back() != '/') root += '/';
+  return root;
+}
+
+/// Polls `condition` every few ms until it holds or `timeout_ms`
+/// elapses. Returns whether the condition held.
+inline bool WaitUntil(const std::function<bool()>& condition,
+                      int timeout_ms = 10'000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (condition()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+inline std::string WriteFileOrDie(const std::string& path,
+                                  const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return path;
+}
+
+/// One spawned sentineld process. Kills (SIGKILL) on destruction if the
+/// test did not shut it down.
+class DaemonProcess {
+ public:
+  DaemonProcess() = default;
+  ~DaemonProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  DaemonProcess(const DaemonProcess&) = delete;
+  DaemonProcess& operator=(const DaemonProcess&) = delete;
+
+  /// fork/execs `binary --config <config> [--check]`, stderr appended to
+  /// `log_path`. Returns false if the fork failed.
+  bool Start(const std::string& binary, const std::string& config_path,
+             const std::string& log_path, bool check_only = false) {
+    const pid_t pid = ::fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+      const int log_fd =
+          ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log_fd >= 0) {
+        ::dup2(log_fd, 2);
+        ::close(log_fd);
+      }
+      std::vector<const char*> argv = {binary.c_str(), "--config",
+                                       config_path.c_str()};
+      if (check_only) argv.push_back("--check");
+      argv.push_back(nullptr);
+      ::execv(binary.c_str(), const_cast<char* const*>(argv.data()));
+      _exit(127);
+    }
+    pid_ = pid;
+    return true;
+  }
+
+  pid_t pid() const { return pid_; }
+
+  void Signal(int signo) const {
+    if (pid_ > 0) ::kill(pid_, signo);
+  }
+
+  bool Running() const {
+    if (pid_ <= 0) return false;
+    int status = 0;
+    return ::waitpid(pid_, &status, WNOHANG) == 0;
+  }
+
+  /// Waits for exit (bounded); returns the exit code, or -1 on timeout
+  /// or abnormal termination.
+  int Wait(int timeout_ms = 10'000) {
+    if (pid_ <= 0) return -1;
+    int status = 0;
+    pid_t done = 0;
+    const bool exited = WaitUntil(
+        [&] {
+          done = ::waitpid(pid_, &status, WNOHANG);
+          return done != 0;
+        },
+        timeout_ms);
+    if (!exited || done != pid_) return -1;
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+};
+
+/// Parses a daemon endpoints file ("key=value" lines).
+inline std::map<std::string, std::string> ParseEndpointsFile(
+    const std::string& path) {
+  std::map<std::string, std::string> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t eq = line.find('=');
+    if (eq != std::string::npos) {
+      out[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+/// Polls for the endpoints file a starting daemon writes after binding
+/// (its readiness signal); returns the parsed map, empty on timeout.
+inline std::map<std::string, std::string> WaitForEndpoints(
+    const std::string& path, int timeout_ms = 10'000) {
+  std::map<std::string, std::string> endpoints;
+  WaitUntil(
+      [&] {
+        endpoints = ParseEndpointsFile(path);
+        return endpoints.contains("rpc");
+      },
+      timeout_ms);
+  return endpoints;
+}
+
+/// Blocking line-RPC client for the daemon's control surface.
+class RpcClient {
+ public:
+  RpcClient() = default;
+  ~RpcClient() { Close(); }
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Connects to "host:port"; retries until the deadline (the daemon
+  /// may still be starting).
+  bool Connect(const std::string& endpoint, int timeout_ms = 10'000) {
+    const size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    if (inet_pton(AF_INET, endpoint.substr(0, colon).c_str(),
+                  &addr.sin_addr) != 1) {
+      return false;
+    }
+    addr.sin_port =
+        htons(static_cast<uint16_t>(std::stoi(endpoint.substr(colon + 1))));
+    return WaitUntil(
+        [&] {
+          const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+          if (fd < 0) return false;
+          if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)) == 0) {
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            fd_ = fd;
+            return true;
+          }
+          ::close(fd);
+          return false;
+        },
+        timeout_ms);
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// One request line out, one reply line back ("" on I/O error).
+  std::string Call(const std::string& line) {
+    if (fd_ < 0) return "";
+    std::string request = line;
+    request += '\n';
+    size_t off = 0;
+    while (off < request.size()) {
+      const ssize_t n = ::send(fd_, request.data() + off,
+                               request.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return "";
+      off += static_cast<size_t>(n);
+    }
+    while (true) {
+      const size_t nl = rbuf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string reply = rbuf_.substr(0, nl);
+        rbuf_.erase(0, nl + 1);
+        return reply;
+      }
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return "";
+      rbuf_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string rbuf_;
+};
+
+/// Pulls one "key=value" token out of a STATS reply; "" when absent.
+inline std::string StatsField(const std::string& stats,
+                              const std::string& key) {
+  std::istringstream tokens(stats);
+  std::string token;
+  const std::string prefix = key + "=";
+  while (tokens >> token) {
+    if (token.rfind(prefix, 0) == 0) return token.substr(prefix.size());
+  }
+  return "";
+}
+
+inline int64_t StatsInt(const std::string& stats, const std::string& key) {
+  const std::string value = StatsField(stats, key);
+  return value.empty() ? -1 : std::stoll(value);
+}
+
+}  // namespace sentineld::testing_util
+
+#endif  // SENTINELD_TESTS_PROCESS_UTIL_H_
