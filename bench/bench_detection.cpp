@@ -324,7 +324,7 @@ BENCHMARK(BM_EngineSeamThreads0);
 // from docs/memory.md plus the shared-engine rule-count sweep from
 // docs/catalogue-scale.md, measured with the counting allocator so CI
 // can gate allocs/event against the committed baseline
-// (bench/bench_baseline_7.json). The sweep additionally self-checks
+// (bench/bench_baseline_8.json). The sweep additionally self-checks
 // sub-linearity: 100x the rules must cost well under 25x per event.
 int RunJsonBench(const std::string& path) {
   EventTypeRegistry registry;

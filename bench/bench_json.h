@@ -61,14 +61,14 @@ Scenario Measure(std::string name, int warmup, int iters, Fn&& fn) {
 }
 
 /// Detects `--json` / `--json=PATH`. Returns true when present; `path`
-/// receives PATH or the default artifact name BENCH_7.json. (Each bench
+/// receives PATH or the default artifact name BENCH_8.json. (Each bench
 /// writes a complete single-bench document; CI gives the two harnesses
 /// distinct paths and merges them — see tools/check_bench_allocs.py.)
 inline bool ParseJsonFlag(int argc, char** argv, std::string* path) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
-      *path = "BENCH_7.json";
+      *path = "BENCH_8.json";
       return true;
     }
     if (arg.rfind("--json=", 0) == 0) {

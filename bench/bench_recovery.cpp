@@ -14,7 +14,7 @@
 // claims above and exits non-zero if any fails.
 //
 // --json mode (bench_json.h): the recovery hot-path scenarios for CI's
-// bench gate (tools/check_bench_allocs.py, bench/bench_baseline_7.json)
+// bench gate (tools/check_bench_allocs.py, bench/bench_baseline_8.json)
 // — above all that the journaling-OFF steady state stays 0 allocs/event.
 
 #include <iostream>

@@ -7,9 +7,11 @@
 
 #include "bench/bench_json.h"
 #include "dist/sequencer.h"
+#include "timebase/timebase.h"
 #include "timestamp/composite_timestamp.h"
 #include "timestamp/max_operator.h"
 #include "timestamp/schwiderski.h"
+#include "util/logging.h"
 #include "util/random.h"
 
 namespace sentineld {
@@ -144,6 +146,72 @@ void BM_MaxAll(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxAll)->Arg(4)->Arg(16)->Arg(64);
 
+/// Random stamp in the given backend representation (mirrors the
+/// property-test generators): model-consistent per rep, so the compare
+/// paths see realistic field mixes.
+PrimitiveTimestamp RandomStampRep(Rng& rng, StampRep rep, uint32_t sites,
+                                  GlobalTicks range) {
+  if (rep == StampRep::kApproxGlobal) return RandomStamp(rng, sites, range);
+  PrimitiveTimestamp t;
+  t.rep = rep;
+  t.site = static_cast<SiteId>(rng.NextBounded(sites));
+  t.local = rng.NextInt(0, range * 10 - 1);
+  if (rep == StampRep::kHlc) {
+    t.global = t.local + rng.NextInt(0, 2);
+    t.logical = static_cast<uint32_t>(rng.NextBounded(3));
+    return t;
+  }
+  t.vec_size = static_cast<uint8_t>(std::min<uint32_t>(sites,
+                                                       kMaxVectorSites));
+  for (uint8_t i = 0; i < t.vec_size; ++i) {
+    t.vec[i] = rng.NextInt(0, range * 10 - 1);
+  }
+  if (t.site < t.vec_size) t.vec[t.site] = t.local;
+  t.global = t.local;
+  return t;
+}
+
+/// Backend-compare sweep: the primitive happen-before dispatch under
+/// each stamp representation (Arg 0/1/2 = approx/hlc/vector). The
+/// vector compare touches up to 8 components per call — the price of
+/// exact causal order; approx and HLC stay a handful of integer
+/// compares.
+void BM_HappensBeforeBackend(benchmark::State& state) {
+  const auto rep = static_cast<StampRep>(state.range(0));
+  Rng rng(9);
+  std::vector<PrimitiveTimestamp> stamps;
+  for (int i = 0; i < 1024; ++i) {
+    stamps.push_back(RandomStampRep(rng, rep, 8, 20));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HappensBefore(stamps[i % stamps.size()],
+                                           stamps[(i + 7) % stamps.size()]));
+    ++i;
+  }
+  state.SetLabel(StampRepToString(rep));
+}
+BENCHMARK(BM_HappensBeforeBackend)->Arg(0)->Arg(1)->Arg(2);
+
+/// Per-backend stamping throughput through the Timebase strategy
+/// (timebase/timebase.h): what each backend adds per locally-raised
+/// occurrence.
+void BM_TimebaseStampLocal(benchmark::State& state) {
+  const auto kind = static_cast<TimebaseKind>(state.range(0));
+  TimebaseConfig config;
+  auto tb = MakeTimebase(kind, 8, config);
+  CHECK_OK(tb.status());
+  LocalTicks tick = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*tb)->StampLocal(static_cast<SiteId>(i % 8), ++tick));
+    ++i;
+  }
+  state.SetLabel(TimebaseKindToString(kind));
+}
+BENCHMARK(BM_TimebaseStampLocal)->Arg(0)->Arg(1)->Arg(2);
+
 /// Baseline comparison: Schwiderski's unfiltered join grows with history;
 /// this measures the join cost after `n` accumulated constituents vs the
 /// paper's bounded Max (BM_MaxOperator above).
@@ -184,8 +252,11 @@ BENCHMARK(BM_SequencerPipeline)->Arg(10)->Arg(100)->Arg(1000);
 
 // --json mode (bench_json.h): the timestamp-layer hot operations that
 // the inline stamp storage (SmallVector<PrimitiveTimestamp, 2>) makes
-// allocation-free for the common singleton/pair shapes. Gated by CI's
-// bench-smoke job against bench/bench_baseline_7.json.
+// allocation-free for the common singleton/pair shapes, plus the
+// per-backend compare/stamp sweep (every backend's hot path must stay
+// at zero allocations — the inline vec[] carrier exists for exactly
+// this). Gated by CI's bench-smoke job against
+// bench/bench_baseline_8.json.
 int RunJsonBench(const std::string& path) {
   Rng rng(3);
   const auto stamps = RandomStamps(rng, 1024, 8, 6);
@@ -228,6 +299,45 @@ int RunJsonBench(const std::string& path) {
           ++i;
         }
       }));
+  // Backend-compare sweep: happen-before dispatch and Timebase stamping
+  // under each representation (docs/timebase.md's cost table).
+  for (const StampRep rep : {StampRep::kApproxGlobal, StampRep::kHlc,
+                             StampRep::kVector}) {
+    Rng rep_rng(9 + static_cast<uint64_t>(rep));
+    std::vector<PrimitiveTimestamp> rep_stamps;
+    for (int i = 0; i < 1024; ++i) {
+      rep_stamps.push_back(RandomStampRep(rep_rng, rep, 8, 20));
+    }
+    scenarios.push_back(benchjson::Measure(
+        std::string("happens_before_") + StampRepToString(rep), 4096,
+        1 << 18, [&](int iters) {
+          size_t i = 0;
+          for (int k = 0; k < iters; ++k) {
+            benchmark::DoNotOptimize(
+                HappensBefore(rep_stamps[i % rep_stamps.size()],
+                              rep_stamps[(i + 7) % rep_stamps.size()]));
+            ++i;
+          }
+        }));
+  }
+  for (const TimebaseKind kind :
+       {TimebaseKind::kApproxGlobal, TimebaseKind::kHlc,
+        TimebaseKind::kVector}) {
+    TimebaseConfig config;
+    auto tb = MakeTimebase(kind, 8, config);
+    CHECK_OK(tb.status());
+    LocalTicks tick = 0;
+    scenarios.push_back(benchjson::Measure(
+        std::string("stamp_local_") + TimebaseKindToString(kind), 4096,
+        1 << 17, [&](int iters) {
+          size_t i = 0;
+          for (int k = 0; k < iters; ++k) {
+            benchmark::DoNotOptimize(
+                (*tb)->StampLocal(static_cast<SiteId>(i % 8), ++tick));
+            ++i;
+          }
+        }));
+  }
   return benchjson::WriteJson(path, "bench_timestamp", scenarios) ? 0 : 1;
 }
 

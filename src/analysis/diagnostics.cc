@@ -48,6 +48,8 @@ const char* LintIdToString(LintId id) {
       return "SL014";
     case LintId::kUnboundedState:
       return "SL015";
+    case LintId::kConcurrentUnderLogicalClock:
+      return "SL016";
   }
   return "SL???";
 }

@@ -44,6 +44,10 @@ enum class LintId {
   kSubsumedRule,             // SL013
   kUnknownEventName,         // SL014
   kUnboundedState,           // SL015
+  // Per-rule again (LintExpr), but deployment-dependent: only emitted
+  // when LintOptions::timebase names a backend whose ordering degrades
+  // the flagged operator (docs/timebase.md).
+  kConcurrentUnderLogicalClock, // SL016
 };
 
 /// The "SLnnn" code of a diagnostic kind.

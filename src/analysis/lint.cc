@@ -206,6 +206,7 @@ class Linter {
       case OpKind::kPlus:
         break;
     }
+    CheckTimebaseOrder(node, path);
     for (size_t i = 0; i < node->children.size(); ++i) {
       path.push_back(i);
       Visit(node->children[i], path);
@@ -339,6 +340,38 @@ class Linter {
            "\"B ; (A ; C)\" anomaly); consider "
            "IntervalPolicy::kIntervalBased",
            "snoop/context.h (IntervalPolicy); bench/interval_anomaly");
+  }
+
+  /// SL016: order-sensitive operators under a vector-clock deployment.
+  /// The vector backend orders exactly the causal relation, so two
+  /// cross-site occurrences with no message chain between them are
+  /// Concurrent — a sequence (or an interval window) spanning sites then
+  /// silently never matches, where the approximated-global backend would
+  /// have ordered the same pair by synchronized time. Advisory: the rule
+  /// is fine when its constituents are same-site or causally coupled.
+  void CheckTimebaseOrder(const ExprPtr& node,
+                          const std::vector<size_t>& path) {
+    if (options_.timebase != TimebaseKind::kVector) return;
+    switch (node->kind) {
+      case OpKind::kSeq:
+      case OpKind::kNot:
+      case OpKind::kAperiodic:
+      case OpKind::kAperiodicStar:
+      case OpKind::kPeriodic:
+      case OpKind::kPeriodicStar:
+        break;
+      default:
+        return;
+    }
+    Report(LintId::kConcurrentUnderLogicalClock, LintSeverity::kWarning,
+           node, path,
+           StrCat("operator `", OpKindToString(node->kind),
+                  "` relies on cross-site Before/interval ordering, which "
+                  "the vector-clock backend resolves as concurrent for "
+                  "causally-unrelated occurrences; cross-site matches "
+                  "will silently not fire unless the constituents are "
+                  "message-ordered (consider timebase approx or hlc)"),
+           "docs/timebase.md (ordering degradation)");
   }
 
   void Filter() {

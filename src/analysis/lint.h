@@ -7,6 +7,7 @@
 #include "event/registry.h"
 #include "snoop/ast.h"
 #include "snoop/context.h"
+#include "timebase/timebase.h"
 
 namespace sentineld {
 
@@ -18,6 +19,11 @@ struct LintOptions {
   ParamContext context = ParamContext::kUnrestricted;
   /// Eligibility policy of the hosting detector (snoop/context.h).
   IntervalPolicy interval_policy = IntervalPolicy::kPointBased;
+  /// Ordering backend the deployment runs on (docs/timebase.md). Under
+  /// kVector, causally-unrelated cross-site occurrences are concurrent,
+  /// so order-sensitive operators silently never fire across sites —
+  /// SL016 flags rules exposed to that degradation.
+  TimebaseKind timebase = TimebaseKind::kApproxGlobal;
   /// Diagnostic ids ("SL005", ...) to drop from the result — the
   /// programmatic form of a rule-file inline suppression.
   std::vector<std::string> suppressed;

@@ -9,6 +9,10 @@
 //       RuleSpec default).
 //   --interval-policy=<point|interval>
 //       Detector eligibility policy (default point).
+//   --timebase=<approx|hlc|vector>
+//       Ordering backend the deployment runs on (default approx). Under
+//       vector, SL016 flags order-sensitive operators whose cross-site
+//       matches degrade to concurrency (docs/timebase.md).
 //   --werror      Warnings fail the run (notes never do).
 //   --quiet       Print nothing on success.
 //   --catalogue   Whole-catalogue analysis across ALL input files: per-rule
@@ -46,7 +50,8 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: sentinel-lint [--context=<ctx>] "
-               "[--interval-policy=<point|interval>] [--werror] [--quiet] "
+               "[--interval-policy=<point|interval>] "
+               "[--timebase=<approx|hlc|vector>] [--werror] [--quiet] "
                "[--catalogue] [--report-json[=<path>]] [--top-k=<n>] "
                "(<file.rules>... | --expr '<expression>')\n";
   return 2;
@@ -87,6 +92,10 @@ int Run(int argc, char** argv) {
       } else {
         return Usage();
       }
+    } else if (arg.rfind("--timebase=", 0) == 0) {
+      Result<TimebaseKind> kind = ParseTimebaseKind(arg.substr(11));
+      if (!kind.ok()) return Usage();
+      options.timebase = *kind;
     } else if (arg == "--werror") {
       werror = true;
     } else if (arg == "--catalogue") {

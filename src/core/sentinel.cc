@@ -53,6 +53,7 @@ DetectorEngine& SentinelService::DetectorFor(ParamContext context) {
     options.context = context;
     options.host_site = options_.host_site;
     options.timebase = options_.timebase;
+    options.timebase_kind = options_.timebase_kind;
     options.detector_threads = options_.detector_threads;
     options.engine = options_.detector_engine;
     it = detectors_
@@ -153,9 +154,9 @@ Status SentinelService::Raise(const std::string& event_name,
                clock_));
   }
   AdvanceClockTo(at_tick);
-  const PrimitiveTimestamp stamp{
-      options_.host_site, TruncToGlobal(at_tick, options_.timebase),
-      at_tick};
+  const PrimitiveTimestamp stamp = MakeTimerStamp(
+      options_.timebase_kind, options_.host_site, at_tick,
+      options_.timebase);
   const EventPtr event =
       Event::MakePrimitive(*type, stamp, std::move(params));
   SENTINELD_TRACE_EVENT(

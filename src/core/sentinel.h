@@ -33,6 +33,12 @@ class SentinelService {
   struct Options {
     SiteId host_site = 0;
     TimebaseConfig timebase;
+    /// Ordering backend (docs/timebase.md). Centralized time is totally
+    /// ordered under every backend (one site, monotone ticks), so this
+    /// only selects the stamp representation raised/timer occurrences
+    /// carry — useful when a centralized service feeds a distributed
+    /// deployment running a logical clock.
+    TimebaseKind timebase_kind = TimebaseKind::kApproxGlobal;
     /// Auto-register event names first seen in rule expressions (as
     /// kExplicit types).
     bool auto_register_in_rules = true;

@@ -1,5 +1,6 @@
 #include "daemon/config.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 #include <fstream>
@@ -39,6 +40,15 @@ bool ParseBool(std::string_view text, bool* out) {
 
 }  // namespace
 
+uint32_t DaemonConfig::EffectiveNumSites() const {
+  if (num_sites > 0) return num_sites;
+  SiteId max_site = std::max(site, detector_site);
+  for (const auto& [peer, endpoint] : peers) {
+    max_site = std::max(max_site, peer);
+  }
+  return max_site + 1;
+}
+
 Status DaemonConfig::Validate() const {
   if (rpc_listen.empty()) {
     return Status::InvalidArgument("rpc_listen is required");
@@ -74,6 +84,17 @@ Status DaemonConfig::Validate() const {
     return Status::InvalidArgument("fsync_every must be >= 1");
   }
   RETURN_IF_ERROR(timebase.Validate());
+  if (num_sites > 0 &&
+      (site >= num_sites || detector_site >= num_sites)) {
+    return Status::InvalidArgument("num_sites must cover site and "
+                                   "detector_site");
+  }
+  if (timebase_kind == TimebaseKind::kVector &&
+      EffectiveNumSites() > kMaxVectorSites) {
+    return Status::InvalidArgument(
+        StrCat("timebase = vector supports at most ", kMaxVectorSites,
+               " sites"));
+  }
   RETURN_IF_ERROR(channel.Validate());
   return Status::Ok();
 }
@@ -132,6 +153,15 @@ Result<DaemonConfig> ParseDaemonConfig(std::string_view text) {
       ok = ParseNumber(value, &config.timebase.global_granularity_ns);
     } else if (key == "precision_ns") {
       ok = ParseNumber(value, &config.timebase.precision_ns);
+    } else if (key == "timebase") {
+      Result<TimebaseKind> kind = ParseTimebaseKind(value);
+      if (kind.ok()) {
+        config.timebase_kind = *kind;
+      } else {
+        ok = false;
+      }
+    } else if (key == "num_sites") {
+      ok = ParseNumber(value, &config.num_sites);
     } else if (key == "window_ticks") {
       ok = ParseNumber(value, &config.window_ticks);
     } else if (key == "arq") {

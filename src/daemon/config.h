@@ -8,6 +8,7 @@
 
 #include "dist/reliable_channel.h"
 #include "timebase/config.h"
+#include "timebase/timebase.h"
 #include "timestamp/primitive_timestamp.h"
 #include "util/status.h"
 
@@ -50,6 +51,18 @@ struct DaemonConfig {
 
   SiteId detector_site = 0;
   TimebaseConfig timebase;
+  /// Ordering backend (`timebase = approx|hlc|vector`, docs/timebase.md).
+  /// `approx` requires externally synchronized clocks (the paper's model);
+  /// the logical backends need no synchronization — `hlc`/`vector` stamp
+  /// through a hybrid-logical or vector clock seeded from each site's own
+  /// tick source. All daemons of one deployment must agree on the value.
+  TimebaseKind timebase_kind = TimebaseKind::kApproxGlobal;
+  /// Number of sites in the deployment, for the vector backend's frontier
+  /// width; 0 (default) derives max(site, detector_site, peers) + 1.
+  uint32_t num_sites = 0;
+
+  /// The frontier width actually used (see num_sites).
+  uint32_t EffectiveNumSites() const;
   /// Sequencer stability window in local ticks (detector role).
   int64_t window_ticks = 256;
   ReliableChannelConfig channel;

@@ -70,6 +70,10 @@ SiteDaemon::~SiteDaemon() {
 Status SiteDaemon::Start() {
   CHECK(!started_);
   RETURN_IF_ERROR(config_.Validate());
+  Result<std::unique_ptr<Timebase>> timebase = MakeTimebase(
+      config_.timebase_kind, config_.EffectiveNumSites(), config_.timebase);
+  if (!timebase.ok()) return timebase.status();
+  timebase_ = std::move(*timebase);
   start_time_ = std::chrono::steady_clock::now();
 
   net::TransportConfig tc;
@@ -98,6 +102,7 @@ Status SiteDaemon::Start() {
     Detector::Options options;
     options.host_site = config_.site;
     options.timebase = config_.timebase;
+    options.timebase_kind = config_.timebase_kind;
     engine_ = MakeDetectorEngine(&registry_, options);
     sequencer_ = std::make_unique<Sequencer>(
         config_.window_ticks,
@@ -184,6 +189,15 @@ void SiteDaemon::OnFrame(SiteId peer, const Frame& frame) {
 void SiteDaemon::OnDelivered(const EventPtr& event) {
   max_anchor_seen_ =
       std::max(max_anchor_seen_, MinAnchorTick(event->timestamp()));
+  if (config_.timebase_kind != TimebaseKind::kApproxGlobal) {
+    // HLC/vector receive rule: the detector's clock state absorbs the
+    // sender's, so its own subsequent stamps (and restart-time rebuilds)
+    // never order behind what it has already seen.
+    const LocalTicks local_now = std::max(detector_clock_, max_anchor_seen_);
+    for (const PrimitiveTimestamp& stamp : event->timestamp().stamps()) {
+      timebase_->Observe(config_.site, stamp, local_now);
+    }
+  }
   sequencer_->Offer(event);
 }
 
@@ -228,6 +242,14 @@ Status SiteDaemon::ReplayWal(std::string_view bytes) {
     sent_.push_back(record.event);
     last_inject_tick_ = std::max(
         last_inject_tick_, MinAnchorTick(record.event->timestamp()));
+    // Rebuild logical-clock state from the replayed stamps so stamps
+    // issued after the restart never order behind journaled ones.
+    if (config_.timebase_kind != TimebaseKind::kApproxGlobal) {
+      for (const PrimitiveTimestamp& stamp :
+           record.event->timestamp().stamps()) {
+        timebase_->Observe(config_.site, stamp, last_inject_tick_);
+      }
+    }
     ++wal_replayed_;
   }
   return Status::Ok();
@@ -372,8 +394,8 @@ std::string SiteDaemon::CmdInject(const std::string& args) {
                            ParseAttribute(tokens[i].substr(eq + 1))));
   }
   last_inject_tick_ = tick;
-  const PrimitiveTimestamp stamp{
-      config_.site, TruncToGlobal(tick, config_.timebase), tick};
+  const PrimitiveTimestamp stamp =
+      timebase_->StampLocal(config_.site, tick);
   EventPtr event = Event::MakePrimitive(*type, stamp, std::move(params));
   sent_.push_back(event);
   if (config_.role == SiteRole::kDetector) {

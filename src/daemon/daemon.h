@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "daemon/config.h"
+#include "timebase/timebase.h"
 #include "daemon/rpc.h"
 #include "dist/journal.h"
 #include "dist/reliable_channel.h"
@@ -137,6 +138,11 @@ class SiteDaemon {
   std::map<SiteId, std::unique_ptr<ReliableLink>> links_;
   std::unique_ptr<DetectorEngine> engine_;   ///< detector role
   std::unique_ptr<Sequencer> sequencer_;     ///< detector role
+  /// Ordering backend (config key `timebase`). Injectors stamp INJECTed
+  /// occurrences through it; the detector folds delivered stamps into it
+  /// (Observe). One instance per process — each daemon only touches its
+  /// own site's entry, as in a real deployment.
+  std::unique_ptr<Timebase> timebase_;
 
   Journal journal_;
   int wal_fd_ = -1;

@@ -13,6 +13,12 @@ constexpr uint8_t kComposite = 1;
 constexpr uint8_t kFrameData = 2;
 constexpr uint8_t kFrameAck = 3;
 constexpr uint8_t kFrameHello = 4;
+// Primitive event whose stamp carries a tagged timebase payload
+// (StampRep + backend fields). Approx-global stamps keep emitting the
+// legacy kind-0 layout, so v2 appears on the wire only when a logical
+// backend is actually deployed and old decoders never see it by
+// accident; new decoders accept both.
+constexpr uint8_t kPrimitiveV2 = 5;
 constexpr uint8_t kTagInt = 0;
 constexpr uint8_t kTagDouble = 1;
 constexpr uint8_t kTagBool = 2;
@@ -103,12 +109,28 @@ void EncodeParam(std::string& out, const Param& param) {
 
 void EncodeInto(std::string& out, const EventPtr& event) {
   if (event->is_primitive()) {
-    PutU8(out, kPrimitive);
-    PutU32(out, event->type());
     const PrimitiveTimestamp& stamp = event->timestamp().stamps().front();
-    PutU32(out, stamp.site);
-    PutI64(out, stamp.global);
-    PutI64(out, stamp.local);
+    if (stamp.rep == StampRep::kApproxGlobal) {
+      // Legacy layout, byte-identical to the pre-timebase format.
+      PutU8(out, kPrimitive);
+      PutU32(out, event->type());
+      PutU32(out, stamp.site);
+      PutI64(out, stamp.global);
+      PutI64(out, stamp.local);
+    } else {
+      PutU8(out, kPrimitiveV2);
+      PutU32(out, event->type());
+      PutU8(out, static_cast<uint8_t>(stamp.rep));
+      PutU32(out, stamp.site);
+      PutI64(out, stamp.global);
+      PutI64(out, stamp.local);
+      if (stamp.rep == StampRep::kHlc) {
+        PutU32(out, stamp.logical);
+      } else {  // kVector
+        PutU8(out, stamp.vec_size);
+        for (uint8_t i = 0; i < stamp.vec_size; ++i) PutI64(out, stamp.vec[i]);
+      }
+    }
     PutU32(out, static_cast<uint32_t>(event->params().size()));
     for (const Param& param : event->params()) EncodeParam(out, param);
     return;
@@ -128,11 +150,44 @@ Result<EventPtr> DecodeOne(Reader& reader, int depth) {
   if (!reader.ReadU8(kind) || !reader.ReadU32(type)) {
     return Status::InvalidArgument("truncated event header");
   }
-  if (kind == kPrimitive) {
+  if (kind == kPrimitive || kind == kPrimitiveV2) {
     PrimitiveTimestamp stamp;
     uint32_t site = 0, nparams = 0;
+    if (kind == kPrimitiveV2) {
+      uint8_t rep = 0;
+      if (!reader.ReadU8(rep)) {
+        return Status::InvalidArgument("truncated stamp tag");
+      }
+      if (rep != static_cast<uint8_t>(StampRep::kHlc) &&
+          rep != static_cast<uint8_t>(StampRep::kVector)) {
+        // kApproxGlobal travels as the legacy kind-0 layout; a v2 frame
+        // claiming it (or an unknown rep) is malformed.
+        return Status::InvalidArgument(
+            StrCat("unknown stamp rep ", static_cast<int>(rep)));
+      }
+      stamp.rep = static_cast<StampRep>(rep);
+    }
     if (!reader.ReadU32(site) || !reader.ReadI64(stamp.global) ||
-        !reader.ReadI64(stamp.local) || !reader.ReadU32(nparams)) {
+        !reader.ReadI64(stamp.local)) {
+      return Status::InvalidArgument("truncated primitive event");
+    }
+    if (stamp.rep == StampRep::kHlc) {
+      if (!reader.ReadU32(stamp.logical)) {
+        return Status::InvalidArgument("truncated hlc stamp");
+      }
+    } else if (stamp.rep == StampRep::kVector) {
+      uint8_t vec_size = 0;
+      if (!reader.ReadU8(vec_size) || vec_size > kMaxVectorSites) {
+        return Status::InvalidArgument("bad vector stamp size");
+      }
+      stamp.vec_size = vec_size;
+      for (uint8_t i = 0; i < vec_size; ++i) {
+        if (!reader.ReadI64(stamp.vec[i])) {
+          return Status::InvalidArgument("truncated vector stamp");
+        }
+      }
+    }
+    if (!reader.ReadU32(nparams)) {
       return Status::InvalidArgument("truncated primitive event");
     }
     stamp.site = site;
@@ -247,6 +302,12 @@ size_t WireSize(const EventPtr& event) {
   CHECK(event != nullptr);
   if (event->is_primitive()) {
     size_t n = 1 + 4 + (4 + 8 + 8) + 4;
+    const PrimitiveTimestamp& stamp = event->timestamp().stamps().front();
+    if (stamp.rep == StampRep::kHlc) {
+      n += 1 + 4;  // rep tag + logical
+    } else if (stamp.rep == StampRep::kVector) {
+      n += 1 + 1 + 8 * static_cast<size_t>(stamp.vec_size);
+    }
     for (const Param& param : event->params()) n += ParamWireSize(param);
     return n;
   }

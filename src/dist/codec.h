@@ -15,15 +15,25 @@ namespace sentineld {
 /// bench/bench_distributed), and round-trip tests pin the format.
 ///
 /// Layout (little-endian, fixed-width):
-///   Event      := kind:u8 (0 = primitive, 1 = composite) | type:u32 | body
+///   Event      := kind:u8 (0 = primitive, 1 = composite,
+///                          5 = primitive-v2) | type:u32 | body
 ///   body(prim) := stamp | nparams:u32 | Param*
+///   body(v2)   := rep:u8 | stamp | rep-extra | nparams:u32 | Param*
 ///   body(comp) := nconstituents:u32 | Event*      (timestamp recomputed
 ///                                                  via Max on decode, as
 ///                                                  Def 5.2 defines it)
 ///   Stamp      := site:u32 | global:i64 | local:i64
+///   rep-extra  := logical:u32                (rep = hlc)
+///               | vec_size:u8 | entry:i64*   (rep = vector)
 ///   Param      := keylen:u32 | key bytes | tag:u8 | payload
 ///     tag 0 = int (i64), 1 = double (f64), 2 = bool (u8),
 ///     tag 3 = string (len:u32 | bytes)
+///
+/// Approximated-global stamps always travel as the legacy kind-0 layout
+/// (byte-identical to pre-timebase deployments); the tagged kind-5
+/// layout appears on the wire only for the logical-clock backends, and
+/// a v2 event claiming rep approx (or any unknown rep) is rejected —
+/// see docs/timebase.md (wire format).
 std::string EncodeEvent(const EventPtr& event);
 
 /// Decodes one event; InvalidArgument on malformed or truncated input.

@@ -40,17 +40,22 @@ Result<std::unique_ptr<HierarchicalRuntime>> HierarchicalRuntime::Create(
   Result<ClockFleet> fleet = ClockFleet::Create(
       config.num_sites, config.timebase, config.sync, fleet_rng);
   if (!fleet.ok()) return fleet.status();
-  return std::unique_ptr<HierarchicalRuntime>(
-      new HierarchicalRuntime(effective, registry, std::move(*fleet)));
+  Result<std::unique_ptr<Timebase>> timebase = MakeTimebase(
+      config.timebase_kind, config.num_sites, config.timebase);
+  if (!timebase.ok()) return timebase.status();
+  return std::unique_ptr<HierarchicalRuntime>(new HierarchicalRuntime(
+      effective, registry, std::move(*fleet), std::move(*timebase)));
 }
 
 HierarchicalRuntime::HierarchicalRuntime(const RuntimeConfig& config,
                                          EventTypeRegistry* registry,
-                                         ClockFleet fleet)
+                                         ClockFleet fleet,
+                                         std::unique_ptr<Timebase> timebase)
     : config_(config),
       registry_(registry),
       rng_(config.seed),
       fleet_(std::move(fleet)),
+      timebase_(std::move(timebase)),
       network_(&sim_, config.network, &rng_) {
   if (config_.obs != nullptr) {
     Tracer& tracer = config_.obs->tracer();
@@ -113,6 +118,7 @@ HierarchicalRuntime::Station& HierarchicalRuntime::StationAt(SiteId site) {
   options.interval_policy = config_.interval_policy;
   options.host_site = site;
   options.timebase = config_.timebase;
+  options.timebase_kind = config_.timebase_kind;
   station.detector = std::make_unique<Detector>(registry_, options);
   Detector* detector = station.detector.get();
   station.sequencer = std::make_unique<Sequencer>(
@@ -183,6 +189,15 @@ void HierarchicalRuntime::SendPayload(SiteId from, SiteId to,
 
 void HierarchicalRuntime::Deliver(SiteId to, const EventPtr& event) {
   SENTINELD_TRACE_EVENT(TraceSink(), TracePhase::kOffer, to, event);
+  if (timebase_->kind() != TimebaseKind::kApproxGlobal) {
+    // Fold the sender's clock knowledge into the receiving station's
+    // state (guarded so the approx path keeps its rng draw order).
+    fleet_.AdvanceTo(sim_.now(), rng_);
+    const LocalTicks local_now = fleet_.clock(to).ReadLocalTicks(sim_.now());
+    for (const PrimitiveTimestamp& stamp : event->timestamp().stamps()) {
+      timebase_->Observe(to, stamp, local_now);
+    }
+  }
   Station& station = stations_.at(to);
   station.max_delivered_anchor = std::max(
       station.max_delivered_anchor, MinAnchorTick(event->timestamp()));
@@ -326,8 +341,10 @@ Status HierarchicalRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
         ++stats_.recovery_skipped_injections;
         return;
       }
-      const PrimitiveTimestamp stamp =
-          fleet_.Stamp(planned.site, sim_.now(), rng_);
+      PrimitiveTimestamp stamp = fleet_.Stamp(planned.site, sim_.now(), rng_);
+      if (timebase_->kind() != TimebaseKind::kApproxGlobal) {
+        stamp = timebase_->StampLocal(planned.site, stamp.local);
+      }
       const EventPtr event =
           Event::MakePrimitive(planned.type, stamp, planned.params);
       ++stats_.events_injected;

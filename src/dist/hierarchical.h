@@ -21,6 +21,7 @@
 #include "event/registry.h"
 #include "snoop/detector.h"
 #include "timebase/clock_fleet.h"
+#include "timebase/timebase.h"
 #include "util/histogram.h"
 #include "util/status.h"
 
@@ -126,7 +127,8 @@ class HierarchicalRuntime {
   };
 
   HierarchicalRuntime(const RuntimeConfig& config,
-                      EventTypeRegistry* registry, ClockFleet fleet);
+                      EventTypeRegistry* registry, ClockFleet fleet,
+                      std::unique_ptr<Timebase> timebase);
 
   /// Returns (creating on demand) the station at `site`; the root site
   /// always gets the larger RootWindowTicks() window.
@@ -176,6 +178,9 @@ class HierarchicalRuntime {
   Rng rng_;
   Simulation sim_;
   ClockFleet fleet_;
+  /// Ordering backend: stations Observe() received stamps on delivery;
+  /// no-op under kApproxGlobal (see dist/runtime.h).
+  std::unique_ptr<Timebase> timebase_;
   Network network_;
   std::map<SiteId, Station> stations_;
   /// Reliable links keyed by (from << 32) | to; empty when the channel

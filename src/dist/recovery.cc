@@ -55,6 +55,17 @@ std::string SerializeTape(const StateTape& tape) {
           wire::PutU32(out, p.site);
           wire::PutI64(out, p.global);
           wire::PutI64(out, p.local);
+          // Backend extension fields (a plain rep tag: the tape format
+          // is process-internal, so no legacy-layout special case).
+          wire::PutU8(out, static_cast<uint8_t>(p.rep));
+          if (p.rep == StampRep::kHlc) {
+            wire::PutU32(out, p.logical);
+          } else if (p.rep == StampRep::kVector) {
+            wire::PutU8(out, p.vec_size);
+            for (uint8_t v = 0; v < p.vec_size; ++v) {
+              wire::PutI64(out, p.vec[v]);
+            }
+          }
         }
         break;
       }
@@ -103,6 +114,20 @@ Result<StateTape> DeserializeTape(std::string_view bytes) {
           p.site = reader.U32();
           p.global = reader.I64();
           p.local = reader.I64();
+          const uint8_t rep = reader.U8();
+          if (rep > static_cast<uint8_t>(StampRep::kVector)) {
+            return Status::InvalidArgument("tape: unknown stamp rep");
+          }
+          p.rep = static_cast<StampRep>(rep);
+          if (p.rep == StampRep::kHlc) {
+            p.logical = reader.U32();
+          } else if (p.rep == StampRep::kVector) {
+            p.vec_size = reader.U8();
+            if (p.vec_size > kMaxVectorSites) {
+              return Status::InvalidArgument("tape: bad vector stamp size");
+            }
+            for (uint8_t v = 0; v < p.vec_size; ++v) p.vec[v] = reader.I64();
+          }
           stamps.push_back(p);
         }
         if (!reader.ok()) {

@@ -83,23 +83,29 @@ Result<std::unique_ptr<DistributedRuntime>> DistributedRuntime::Create(
   Result<ClockFleet> fleet = ClockFleet::Create(
       config.num_sites, config.timebase, config.sync, fleet_rng);
   if (!fleet.ok()) return fleet.status();
-  return std::unique_ptr<DistributedRuntime>(
-      new DistributedRuntime(effective, registry, std::move(*fleet)));
+  Result<std::unique_ptr<Timebase>> timebase = MakeTimebase(
+      config.timebase_kind, config.num_sites, config.timebase);
+  if (!timebase.ok()) return timebase.status();
+  return std::unique_ptr<DistributedRuntime>(new DistributedRuntime(
+      effective, registry, std::move(*fleet), std::move(*timebase)));
 }
 
 DistributedRuntime::DistributedRuntime(const RuntimeConfig& config,
                                        EventTypeRegistry* registry,
-                                       ClockFleet fleet)
+                                       ClockFleet fleet,
+                                       std::unique_ptr<Timebase> timebase)
     : config_(config),
       registry_(registry),
       rng_(config.seed),
       fleet_(std::move(fleet)),
+      timebase_(std::move(timebase)),
       network_(&sim_, config.network, &rng_) {
   Detector::Options options;
   options.context = config.context;
   options.interval_policy = config.interval_policy;
   options.host_site = config.detector_site;
   options.timebase = config.timebase;
+  options.timebase_kind = config.timebase_kind;
   options.detector_threads = config.detector_threads;
   options.engine = config.detector_engine;
   detector_ = MakeDetectorEngine(registry_, options);
@@ -254,9 +260,13 @@ Status DistributedRuntime::InjectPlan(std::span<const PlannedEvent> plan) {
         return;
       }
       // The site stamps the occurrence with its own (drifting, synced)
-      // local clock — the only clock it can observe.
-      const PrimitiveTimestamp stamp =
-          fleet_.Stamp(planned.site, sim_.now(), rng_);
+      // local clock — the only clock it can observe. Logical backends
+      // re-derive the stamp from that physical local reading (the clock
+      // still drifts; the backend just stops depending on Pi).
+      PrimitiveTimestamp stamp = fleet_.Stamp(planned.site, sim_.now(), rng_);
+      if (timebase_->kind() != TimebaseKind::kApproxGlobal) {
+        stamp = timebase_->StampLocal(planned.site, stamp.local);
+      }
       const EventPtr event =
           Event::MakePrimitive(planned.type, stamp, planned.params);
       ++stats_.events_injected;
@@ -311,6 +321,15 @@ void DistributedRuntime::DeliverToDetector(SiteId from,
                                            const EventPtr& event) {
   max_delivered_anchor_[from] = std::max(
       max_delivered_anchor_[from], MinAnchorTick(event->timestamp()));
+  if (timebase_->kind() != TimebaseKind::kApproxGlobal) {
+    // Receive rule: fold the sender's clock knowledge into the detector
+    // site's state (guarded so the approx path keeps its exact rng draw
+    // order — DetectorLocalNow advances fleet synchronization).
+    const LocalTicks local_now = DetectorLocalNow();
+    for (const PrimitiveTimestamp& stamp : event->timestamp().stamps()) {
+      timebase_->Observe(config_.detector_site, stamp, local_now);
+    }
+  }
   sequencer_->Offer(event);
 }
 

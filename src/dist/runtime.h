@@ -22,6 +22,7 @@
 #include "snoop/parallel_detector.h"
 #include "snoop/parser.h"
 #include "timebase/clock_fleet.h"
+#include "timebase/timebase.h"
 #include "util/histogram.h"
 #include "util/status.h"
 
@@ -36,6 +37,12 @@ class Tracer;
 struct RuntimeConfig {
   uint32_t num_sites = 4;
   TimebaseConfig timebase;
+  /// Ordering backend for the whole deployment (docs/timebase.md):
+  /// kApproxGlobal stamps with the paper's synchronized-clock triples;
+  /// kHlc / kVector run hybrid-logical or vector clocks over the same
+  /// drifting physical clocks (no synchronization assumption — the
+  /// ClockFleet still drifts, but correctness no longer depends on Pi).
+  TimebaseKind timebase_kind = TimebaseKind::kApproxGlobal;
   SyncPolicy sync;
   NetworkConfig network;
   /// Ack/retransmit channel between every site and the detector site.
@@ -214,7 +221,8 @@ class DistributedRuntime {
 
  private:
   DistributedRuntime(const RuntimeConfig& config,
-                     EventTypeRegistry* registry, ClockFleet fleet);
+                     EventTypeRegistry* registry, ClockFleet fleet,
+                     std::unique_ptr<Timebase> timebase);
 
   void DeliverToDetector(SiteId from, const EventPtr& event);
   void Heartbeat();
@@ -258,6 +266,11 @@ class DistributedRuntime {
   Rng rng_;
   Simulation sim_;
   ClockFleet fleet_;
+  /// The ordering backend. Sites stamp through it at injection time and
+  /// the detector site folds received stamps into it on delivery
+  /// (Observe) — a no-op under kApproxGlobal, where the synchronizer
+  /// carries time instead of the messages.
+  std::unique_ptr<Timebase> timebase_;
   Network network_;
   std::unique_ptr<DetectorEngine> detector_;
   std::unique_ptr<Sequencer> sequencer_;

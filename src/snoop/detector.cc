@@ -47,19 +47,6 @@ class SerialGuard {
 #endif
 };
 
-GlobalTicks TruncToGlobal(LocalTicks local, const TimebaseConfig& config) {
-  const int64_t ratio = config.TicksPerGlobal();
-  switch (config.trunc) {
-    case TruncPolicy::kFloor:
-      return local / ratio;
-    case TruncPolicy::kRound:
-      return (local + ratio / 2) / ratio;
-    case TruncPolicy::kCeil:
-      return (local + ratio - 1) / ratio;
-  }
-  return local / ratio;
-}
-
 Detector::Detector(EventTypeRegistry* registry, Options options)
     : registry_(registry), options_(options) {
   CHECK(registry != nullptr);
@@ -245,9 +232,9 @@ void Detector::AdvanceClockTo(LocalTicks now) {
     const TimerEntry entry = timers_.top();
     timers_.pop();
     ++timers_fired_;
-    const PrimitiveTimestamp stamp{
-        options_.host_site, TruncToGlobal(entry.tick, options_.timebase),
-        entry.tick};
+    const PrimitiveTimestamp stamp = MakeTimerStamp(
+        options_.timebase_kind, options_.host_site, entry.tick,
+        options_.timebase);
     entry.node->OnTimer(stamp, entry.payload);
   }
 }

@@ -19,6 +19,7 @@
 #include "snoop/detector_engine.h"
 #include "snoop/node.h"
 #include "timebase/config.h"
+#include "timebase/timebase.h"
 #include "util/status.h"
 
 namespace sentineld {
@@ -64,6 +65,10 @@ class Detector final : public DetectorEngine, public TimerService {
     SiteId host_site = 0;
     /// Time base used to derive global ticks for temporal occurrences.
     TimebaseConfig timebase;
+    /// Ordering backend the deployment runs on (docs/timebase.md): timer
+    /// stamps are synthesized in this backend's representation via
+    /// MakeTimerStamp so they order correctly against fed occurrences.
+    TimebaseKind timebase_kind = TimebaseKind::kApproxGlobal;
     /// Share structurally identical sub-expressions between rules.
     bool share_subexpressions = true;
     /// Eligibility policy for order-sensitive operators (see

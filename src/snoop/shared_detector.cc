@@ -253,9 +253,9 @@ void SharedDetector::AdvanceClockTo(LocalTicks now) {
     const TimerEntry entry = timers_.top();
     timers_.pop();
     ++timers_fired_;
-    const PrimitiveTimestamp stamp{
-        options_.host_site, TruncToGlobal(entry.tick, options_.timebase),
-        entry.tick};
+    const PrimitiveTimestamp stamp = MakeTimerStamp(
+        options_.timebase_kind, options_.host_site, entry.tick,
+        options_.timebase);
     entry.node->OnTimer(stamp, entry.payload);
   }
 }

@@ -29,6 +29,19 @@ Status TimebaseConfig::Validate() const {
   return Status::Ok();
 }
 
+GlobalTicks TruncToGlobal(LocalTicks local, const TimebaseConfig& config) {
+  const int64_t ratio = config.TicksPerGlobal();
+  switch (config.trunc) {
+    case TruncPolicy::kFloor:
+      return local / ratio;
+    case TruncPolicy::kRound:
+      return (local + ratio / 2) / ratio;
+    case TruncPolicy::kCeil:
+      return (local + ratio - 1) / ratio;
+  }
+  return local / ratio;
+}
+
 std::string TimebaseConfig::ToString() const {
   return StrCat("TimebaseConfig{g=", local_granularity_ns,
                 "ns, g_g=", global_granularity_ns, "ns, Pi=", precision_ns,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "timestamp/primitive_timestamp.h"
 #include "util/status.h"
 
 namespace sentineld {
@@ -51,6 +52,12 @@ struct TimebaseConfig {
 
   std::string ToString() const;
 };
+
+/// Truncates a local-tick reading to its global tick under the config's
+/// TRUNC policy (Def 4.3) — the same conversion LocalClock applies.
+/// Lives here (not snoop/) so every layer below the detector can derive
+/// approximated-global stamps from local ticks.
+GlobalTicks TruncToGlobal(LocalTicks local, const TimebaseConfig& config);
 
 }  // namespace sentineld
 

@@ -1,0 +1,232 @@
+#include "timebase/timebase.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+/// The paper's backend: stamps are a pure function of the local reading
+/// (Def 4.3/4.6), and message receipt carries no clock information — the
+/// external synchronizer (ClockFleet) keeps sites within Pi.
+class ApproxGlobalTimebase : public Timebase {
+ public:
+  ApproxGlobalTimebase(uint32_t num_sites, const TimebaseConfig& config)
+      : num_sites_(num_sites), config_(config) {}
+
+  TimebaseKind kind() const override { return TimebaseKind::kApproxGlobal; }
+  uint32_t num_sites() const override { return num_sites_; }
+
+  PrimitiveTimestamp StampLocal(SiteId site, LocalTicks local_now) override {
+    CHECK(site < num_sites_);
+    return PrimitiveTimestamp{site, TruncToGlobal(local_now, config_),
+                              local_now};
+  }
+
+  void Observe(SiteId, const PrimitiveTimestamp&, LocalTicks) override {}
+
+ private:
+  uint32_t num_sites_;
+  TimebaseConfig config_;
+};
+
+/// Hybrid logical clock: each site keeps (pt, c) with pt never lagging
+/// its physical reading. Send/local events tick via StampLocal, receives
+/// merge via Observe — the standard HLC update rules, with the physical
+/// component measured in local ticks.
+class HlcTimebase : public Timebase {
+ public:
+  HlcTimebase(uint32_t num_sites, const TimebaseConfig& config)
+      : config_(config), state_(num_sites) {}
+
+  TimebaseKind kind() const override { return TimebaseKind::kHlc; }
+  uint32_t num_sites() const override {
+    return static_cast<uint32_t>(state_.size());
+  }
+
+  PrimitiveTimestamp StampLocal(SiteId site, LocalTicks local_now) override {
+    CHECK(site < state_.size());
+    SiteState& st = state_[site];
+    if (local_now > st.pt) {
+      st.pt = local_now;
+      st.c = 0;
+    } else {
+      ++st.c;
+    }
+    PrimitiveTimestamp stamp;
+    stamp.site = site;
+    stamp.global = st.pt;
+    stamp.local = local_now;
+    stamp.logical = st.c;
+    stamp.rep = StampRep::kHlc;
+    return stamp;
+  }
+
+  void Observe(SiteId site, const PrimitiveTimestamp& remote,
+               LocalTicks local_now) override {
+    CHECK(site < state_.size());
+    SiteState& st = state_[site];
+    // Foreign-rep stamps degrade to their physical reading at logical 0.
+    const int64_t rpt =
+        remote.rep == StampRep::kHlc ? remote.global : remote.local;
+    const uint32_t rc = remote.rep == StampRep::kHlc ? remote.logical : 0;
+    const int64_t m = std::max({st.pt, rpt, local_now});
+    if (m == st.pt && m == rpt) {
+      st.c = std::max(st.c, rc) + 1;
+    } else if (m == st.pt) {
+      ++st.c;
+    } else if (m == rpt) {
+      st.c = rc + 1;
+    } else {
+      st.c = 0;
+    }
+    st.pt = m;
+  }
+
+ private:
+  struct SiteState {
+    int64_t pt = 0;   ///< HLC physical component, in local ticks
+    uint32_t c = 0;   ///< HLC logical component
+  };
+  TimebaseConfig config_;
+  std::vector<SiteState> state_;
+};
+
+/// Vector clock with local-tick components: each site keeps the latest
+/// local tick it knows (directly or transitively) of every site. Order
+/// is exact causality — Mattern's theorem, with the per-site counter
+/// instantiated as the physical local tick (any strictly monotone
+/// per-site counter works).
+class VectorTimebase : public Timebase {
+ public:
+  VectorTimebase(uint32_t num_sites, const TimebaseConfig& config)
+      : config_(config), frontier_(num_sites) {
+    for (auto& f : frontier_) f.assign(num_sites, 0);
+  }
+
+  TimebaseKind kind() const override { return TimebaseKind::kVector; }
+  uint32_t num_sites() const override {
+    return static_cast<uint32_t>(frontier_.size());
+  }
+
+  PrimitiveTimestamp StampLocal(SiteId site, LocalTicks local_now) override {
+    CHECK(site < frontier_.size());
+    std::vector<int64_t>& f = frontier_[site];
+    f[site] = std::max(f[site], local_now);
+    PrimitiveTimestamp stamp;
+    stamp.site = site;
+    stamp.local = local_now;
+    stamp.rep = StampRep::kVector;
+    stamp.vec_size = static_cast<uint8_t>(f.size());
+    for (size_t i = 0; i < f.size(); ++i) stamp.vec[i] = f[i];
+    stamp.global = f[site];
+    return stamp;
+  }
+
+  void Observe(SiteId site, const PrimitiveTimestamp& remote,
+               LocalTicks) override {
+    CHECK(site < frontier_.size());
+    std::vector<int64_t>& f = frontier_[site];
+    for (uint32_t i = 0; i < remote.vec_size && i < f.size(); ++i) {
+      f[i] = std::max(f[i], remote.vec[i]);
+    }
+    // Foreign-rep stamps still pin the sender's own physical reading.
+    if (remote.site < f.size()) {
+      f[remote.site] = std::max(f[remote.site], remote.local);
+    }
+  }
+
+ private:
+  TimebaseConfig config_;
+  /// frontier_[site][i]: latest tick of site i known at `site`.
+  std::vector<std::vector<int64_t>> frontier_;
+};
+
+}  // namespace
+
+const char* TimebaseKindToString(TimebaseKind kind) {
+  switch (kind) {
+    case TimebaseKind::kApproxGlobal:
+      return "approx";
+    case TimebaseKind::kHlc:
+      return "hlc";
+    case TimebaseKind::kVector:
+      return "vector";
+  }
+  return "?";
+}
+
+Result<TimebaseKind> ParseTimebaseKind(std::string_view text) {
+  if (text == "approx") return TimebaseKind::kApproxGlobal;
+  if (text == "hlc") return TimebaseKind::kHlc;
+  if (text == "vector") return TimebaseKind::kVector;
+  return Status::InvalidArgument(
+      StrCat("unknown timebase '", std::string(text),
+             "' (want approx|hlc|vector)"));
+}
+
+StampRep StampRepFor(TimebaseKind kind) {
+  switch (kind) {
+    case TimebaseKind::kApproxGlobal:
+      return StampRep::kApproxGlobal;
+    case TimebaseKind::kHlc:
+      return StampRep::kHlc;
+    case TimebaseKind::kVector:
+      return StampRep::kVector;
+  }
+  return StampRep::kApproxGlobal;
+}
+
+PrimitiveTimestamp MakeTimerStamp(TimebaseKind kind, SiteId site,
+                                  LocalTicks tick,
+                                  const TimebaseConfig& config) {
+  PrimitiveTimestamp stamp;
+  stamp.site = site;
+  stamp.local = tick;
+  switch (kind) {
+    case TimebaseKind::kApproxGlobal:
+      stamp.global = TruncToGlobal(tick, config);
+      break;
+    case TimebaseKind::kHlc:
+      stamp.global = tick;
+      stamp.rep = StampRep::kHlc;
+      break;
+    case TimebaseKind::kVector:
+      stamp.rep = StampRep::kVector;
+      stamp.global = tick;
+      stamp.vec_size = static_cast<uint8_t>(
+          std::min<uint32_t>(site + 1, kMaxVectorSites));
+      if (site < kMaxVectorSites) stamp.vec[site] = tick;
+      break;
+  }
+  return stamp;
+}
+
+Result<std::unique_ptr<Timebase>> MakeTimebase(TimebaseKind kind,
+                                               uint32_t num_sites,
+                                               const TimebaseConfig& config) {
+  if (num_sites == 0) {
+    return Status::InvalidArgument("timebase needs at least one site");
+  }
+  switch (kind) {
+    case TimebaseKind::kApproxGlobal:
+      RETURN_IF_ERROR(config.Validate());
+      return std::unique_ptr<Timebase>(
+          new ApproxGlobalTimebase(num_sites, config));
+    case TimebaseKind::kHlc:
+      return std::unique_ptr<Timebase>(new HlcTimebase(num_sites, config));
+    case TimebaseKind::kVector:
+      if (num_sites > kMaxVectorSites) {
+        return Status::InvalidArgument(
+            StrCat("vector timebase supports at most ", kMaxVectorSites,
+                   " sites (stamps carry the frontier inline); got ",
+                   num_sites));
+      }
+      return std::unique_ptr<Timebase>(new VectorTimebase(num_sites, config));
+  }
+  return Status::InvalidArgument("unknown timebase kind");
+}
+
+}  // namespace sentineld

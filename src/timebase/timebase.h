@@ -1,0 +1,108 @@
+#ifndef SENTINELD_TIMEBASE_TIMEBASE_H_
+#define SENTINELD_TIMEBASE_TIMEBASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "timebase/config.h"
+#include "timestamp/primitive_timestamp.h"
+#include "util/status.h"
+
+namespace sentineld {
+
+/// Which ordering backend a deployment runs on (docs/timebase.md). The
+/// paper's approximated-global-time model (Defs 4.3–4.7) is one point in
+/// a design space; the logical-clock backends serve the same
+/// happens-before contract without synchronized clocks, at the price of
+/// coarser (vector) or finer-but-arbitrary (HLC) concurrency resolution.
+enum class TimebaseKind : uint8_t {
+  kApproxGlobal = 0,  ///< paper triple over Pi-synchronized clocks
+  kHlc = 1,           ///< hybrid logical clock: no sync needed
+  kVector = 2,        ///< vector clock: exact causal order, no sync
+};
+
+const char* TimebaseKindToString(TimebaseKind kind);
+
+/// Parses "approx" / "hlc" / "vector" (the daemon-config and CLI
+/// spellings); InvalidArgument otherwise.
+Result<TimebaseKind> ParseTimebaseKind(std::string_view text);
+
+/// The stamp representation a backend produces.
+StampRep StampRepFor(TimebaseKind kind);
+
+/// Stamp for a temporal (timer) occurrence synthesized at `site` when the
+/// host clock reads `tick`. Pure — detectors call this from any thread —
+/// and deliberately state-free:
+///  * kApproxGlobal: the Def 4.6 triple (site, TRUNC(tick), tick).
+///  * kHlc: physical component = tick, logical = 0. An HLC physical
+///    component never lags the physical clock, so the timer stamp is a
+///    lower bound: events stamped at or after the timer's tick sort
+///    after it.
+///  * kVector: a frontier knowing only the host's own tick. Events that
+///    causally learned the host passed `tick` sort after it; everything
+///    else is concurrent — the degraded temporal resolution SL016 warns
+///    about (docs/timebase.md).
+PrimitiveTimestamp MakeTimerStamp(TimebaseKind kind, SiteId site,
+                                  LocalTicks tick,
+                                  const TimebaseConfig& config);
+
+/// Strategy seam over the ordering stack: turns physical local-clock
+/// readings into stamps and folds received remote stamps into per-site
+/// clock state. One Timebase instance models the whole fleet's clock
+/// state (one entry per site); in a real multi-process deployment each
+/// sentineld owns an instance and only ever touches its own site's entry.
+///
+/// Stability watermark: every backend stores the originating site's
+/// physical local-tick reading in `PrimitiveTimestamp::local`, and
+/// ReleaseAnchor() exposes it. The Sequencer's stability window releases
+/// against this anchor (dist/sequencer.h MinAnchorTick) under every
+/// backend: for kApproxGlobal the window soundly bounds reordering (the
+/// paper's Pi + delay argument); for the logical backends it bounds
+/// buffering latency — HLC order then agrees with anchor order up to
+/// clock skew, and vector order is causal, so any release order of
+/// concurrent events is a valid linear extension.
+///
+/// Not thread-safe: callers serialize (the simulation and the daemon
+/// event loop are single-threaded; detectors never touch a Timebase —
+/// their timer stamps come from the pure MakeTimerStamp above).
+class Timebase {
+ public:
+  virtual ~Timebase() = default;
+
+  virtual TimebaseKind kind() const = 0;
+  virtual uint32_t num_sites() const = 0;
+
+  /// Stamps a locally-raised occurrence at `site` whose physical local
+  /// clock reads `local_now` ticks. Advances the site's clock state
+  /// (logical backends); successive calls per site with non-decreasing
+  /// `local_now` produce strictly ordered stamps whenever `local_now`
+  /// strictly increases.
+  virtual PrimitiveTimestamp StampLocal(SiteId site, LocalTicks local_now) = 0;
+
+  /// Folds knowledge from a received remote stamp into `site`'s clock
+  /// state (the HLC receive rule / vector-frontier merge); `local_now` is
+  /// the receiving site's current physical reading. No-op for
+  /// kApproxGlobal (the synchronizer, not the messages, carries time).
+  /// Stamps of a foreign rep degrade to their physical reading.
+  virtual void Observe(SiteId site, const PrimitiveTimestamp& remote,
+                       LocalTicks local_now) = 0;
+
+  /// The stability anchor of `stamp` — the physical local tick the
+  /// Sequencer's watermark releases against (identical across backends by
+  /// the carrier invariant; see class docs).
+  LocalTicks ReleaseAnchor(const PrimitiveTimestamp& stamp) const {
+    return stamp.local;
+  }
+};
+
+/// Builds a backend. kVector fails when `num_sites` exceeds
+/// kMaxVectorSites (the inline-vector capacity of the stamp carrier).
+Result<std::unique_ptr<Timebase>> MakeTimebase(TimebaseKind kind,
+                                               uint32_t num_sites,
+                                               const TimebaseConfig& config);
+
+}  // namespace sentineld
+
+#endif  // SENTINELD_TIMEBASE_TIMEBASE_H_

@@ -1,13 +1,78 @@
 #include "timestamp/primitive_timestamp.h"
 
+#include <algorithm>
 #include <tuple>
+#include <vector>
 
 #include "util/string_util.h"
 
 namespace sentineld {
+namespace {
+
+/// Lexicographic compare of the HLC (physical, logical) pair.
+int HlcCompare(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  if (a.global != b.global) return a.global < b.global ? -1 : 1;
+  if (a.logical != b.logical) return a.logical < b.logical ? -1 : 1;
+  return 0;
+}
+
+/// Componentwise dominance over the vector frontier: -1 if a < b, 1 if
+/// b < a, 0 if equal or incomparable (both are "not before" outcomes).
+int VectorCompare(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  const uint32_t n = std::max<uint32_t>(a.vec_size, b.vec_size);
+  bool a_below = false;  // some component of a strictly below b's
+  bool b_below = false;
+  for (uint32_t i = 0; i < n; ++i) {
+    const int64_t va = a.VecAt(i);
+    const int64_t vb = b.VecAt(i);
+    if (va < vb) a_below = true;
+    if (vb < va) b_below = true;
+  }
+  if (a_below && !b_below) return -1;
+  if (b_below && !a_below) return 1;
+  return 0;
+}
+
+bool VectorEqual(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
+  const uint32_t n = std::max<uint32_t>(a.vec_size, b.vec_size);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (a.VecAt(i) != b.VecAt(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* StampRepToString(StampRep rep) {
+  switch (rep) {
+    case StampRep::kApproxGlobal:
+      return "approx";
+    case StampRep::kHlc:
+      return "hlc";
+    case StampRep::kVector:
+      return "vector";
+  }
+  return "?";
+}
 
 std::string PrimitiveTimestamp::ToString() const {
-  return StrCat("(", site, ", ", global, ", ", local, ")");
+  switch (rep) {
+    case StampRep::kApproxGlobal:
+      return StrCat("(", site, ", ", global, ", ", local, ")");
+    case StampRep::kHlc:
+      return StrCat("(", site, ", hlc:", global, ".", logical, ", ", local,
+                    ")");
+    case StampRep::kVector: {
+      std::vector<std::string> parts;
+      parts.reserve(vec_size);
+      for (uint8_t i = 0; i < vec_size; ++i) {
+        parts.push_back(StrCat(vec[i]));
+      }
+      return StrCat("(", site, ", vec:[", Join(parts, ","), "], ", local,
+                    ")");
+    }
+  }
+  return "(?)";
 }
 
 std::ostream& operator<<(std::ostream& os, const PrimitiveTimestamp& t) {
@@ -15,8 +80,21 @@ std::ostream& operator<<(std::ostream& os, const PrimitiveTimestamp& t) {
 }
 
 bool CanonicalLess(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
-  return std::tie(a.site, a.global, a.local) <
-         std::tie(b.site, b.global, b.local);
+  // A strict total order whose equivalence is structural equality: the
+  // legacy (site, global, local) key first (so approx-global sorting is
+  // unchanged), then the backend extension fields as tiebreaks.
+  if (std::tie(a.site, a.global, a.local) !=
+      std::tie(b.site, b.global, b.local)) {
+    return std::tie(a.site, a.global, a.local) <
+           std::tie(b.site, b.global, b.local);
+  }
+  if (std::tie(a.rep, a.logical, a.vec_size) !=
+      std::tie(b.rep, b.logical, b.vec_size)) {
+    return std::tie(a.rep, a.logical, a.vec_size) <
+           std::tie(b.rep, b.logical, b.vec_size);
+  }
+  return std::lexicographical_compare(a.vec, a.vec + a.vec_size, b.vec,
+                                      b.vec + b.vec_size);
 }
 
 const char* PrimitiveRelationToString(PrimitiveRelation r) {
@@ -34,12 +112,35 @@ const char* PrimitiveRelationToString(PrimitiveRelation r) {
 }
 
 bool HappensBefore(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
-  if (a.site == b.site) return a.local < b.local;
-  return a.global < b.global - 1;
+  if (a.rep != b.rep) {
+    // Mixed backends share no cross-site scale; only the same-site
+    // physical order survives (see header).
+    return a.site == b.site && a.local < b.local;
+  }
+  switch (a.rep) {
+    case StampRep::kApproxGlobal:
+      if (a.site == b.site) return a.local < b.local;
+      return a.global < b.global - 1;
+    case StampRep::kHlc:
+      return HlcCompare(a, b) < 0;
+    case StampRep::kVector:
+      return VectorCompare(a, b) < 0;
+  }
+  return false;
 }
 
 bool Simultaneous(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {
-  return a.site == b.site && a.local == b.local;
+  if (a.site != b.site) return false;
+  if (a.rep != b.rep) return a.local == b.local;
+  switch (a.rep) {
+    case StampRep::kApproxGlobal:
+      return a.local == b.local;
+    case StampRep::kHlc:
+      return HlcCompare(a, b) == 0;
+    case StampRep::kVector:
+      return VectorEqual(a, b);
+  }
+  return false;
 }
 
 bool Concurrent(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b) {

@@ -25,19 +25,76 @@ using LocalTicks = int64_t;
 /// order (Def 4.4) sound.
 using GlobalTicks = int64_t;
 
-/// Timestamp of a global primitive event (paper Def 4.6): the triple
-/// `(site, global, local)`.
+/// Which time-base backend produced a stamp — the discriminator of the
+/// pluggable ordering stack (timebase/timebase.h, docs/timebase.md). The
+/// numeric values are pinned: they travel on the wire (dist/codec.h
+/// primitive-v2 payload) and in checkpoints.
+enum class StampRep : uint8_t {
+  /// The paper's approximated-global-time triple (Def 4.6): `global` is
+  /// the TRUNC_gg projection of `local`, and cross-site order is the
+  /// `2g_g`-restricted order (Def 4.4). Requires clocks synchronized to
+  /// precision Pi < g_g.
+  kApproxGlobal = 0,
+  /// Hybrid logical clock (Kulkarni et al. style): `global` carries the
+  /// HLC physical component (in local ticks), `logical` the logical
+  /// counter. Order is lexicographic on (physical, logical) — a total
+  /// preorder consistent with causality, needing no clock sync.
+  kHlc = 1,
+  /// Vector clock (Mattern style, with local-tick components): `vec`
+  /// carries the site's known local-tick frontier per site. Order is
+  /// componentwise dominance — exactly causal order; causally unrelated
+  /// cross-site events are concurrent.
+  kVector = 2,
+};
+
+const char* StampRepToString(StampRep rep);
+
+/// Vector-clock stamps carry one component per site inline (keeping the
+/// stamp trivially copyable and the hot path allocation-free); the
+/// kVector backend therefore supports at most this many sites.
+inline constexpr uint32_t kMaxVectorSites = 8;
+
+/// Timestamp of a global primitive event. Under the paper's
+/// approximated-global-time backend this is exactly the Def 4.6 triple
+/// `(site, global, local)`; the pluggable timebase backends
+/// (docs/timebase.md) reuse the same carrier with `rep` discriminating
+/// how the ordering relations below read it:
 ///
-/// This is a plain value type; all temporal relations over it are free
-/// functions below. `operator==` is structural triple equality and is NOT
-/// the paper's "simultaneous" relation `=` (Def 4.7(2)), which only
-/// compares `site` and `local` — use Simultaneous() for the latter.
+///   rep            site     global               local          extra
+///   kApproxGlobal  origin   TRUNC_gg(local)      physical tick  —
+///   kHlc           origin   HLC physical (ticks) physical tick  logical
+///   kVector        origin   own vec component    physical tick  vec[]
+///
+/// `local` is ALWAYS the originating site's physical local-clock reading:
+/// it is the Sequencer's stability/release anchor (dist/sequencer.h) and
+/// the same-site total order, whatever the backend.
+///
+/// This is a plain (trivially copyable) value type; all temporal
+/// relations over it are free functions below. `operator==` is structural
+/// equality and is NOT the backend's "simultaneous"/indistinguishable
+/// relation — use Simultaneous() for the latter.
 struct PrimitiveTimestamp {
   SiteId site = 0;
   GlobalTicks global = 0;
   LocalTicks local = 0;
+  /// HLC logical component (kHlc only; 0 otherwise).
+  uint32_t logical = 0;
+  StampRep rep = StampRep::kApproxGlobal;
+  /// Number of valid `vec` entries (kVector only; 0 otherwise). Entries
+  /// at or beyond vec_size compare as 0 ("nothing known of that site").
+  uint8_t vec_size = 0;
+  /// kVector: known local-tick frontier per site (vec[site] == local for
+  /// stamps produced by the vector backend).
+  int64_t vec[kMaxVectorSites] = {};
 
-  /// Renders "(site, global, local)", matching the paper's notation.
+  /// The i-th vector component, with unknown sites reading as 0.
+  int64_t VecAt(uint32_t i) const {
+    return i < vec_size ? vec[i] : 0;
+  }
+
+  /// Renders "(site, global, local)" for approx-global stamps (the
+  /// paper's notation, unchanged), "(site, hlc:pt.c, local)" for HLC and
+  /// "(site, vec:[..], local)" for vector stamps.
   std::string ToString() const;
 
   friend bool operator==(const PrimitiveTimestamp&,
@@ -63,19 +120,43 @@ enum class PrimitiveRelation {
 
 const char* PrimitiveRelationToString(PrimitiveRelation r);
 
-/// Happen-before `<` (paper Def 4.7(1), with the evident `site !=` typo in
-/// the first disjunct corrected to `site ==` per Def 4.4):
+/// Happen-before `<`, dispatched on the operands' backend rep
+/// (docs/timebase.md has the full matrix):
 ///
-///   T(a) < T(b)  iff  (a.site == b.site && a.local < b.local)
-///                 ||  (a.site != b.site && a.global < b.global - 1)
+///  * kApproxGlobal (paper Def 4.7(1), with the evident `site !=` typo in
+///    the first disjunct corrected to `site ==` per Def 4.4):
 ///
-/// The cross-site case is the `2g_g`-restricted temporal order: a full
-/// global tick of slack absorbs the synchronization error `Pi < g_g`.
-/// Irreflexive and transitive (Theorem 4.1), hence a strict partial order.
+///      T(a) < T(b)  iff  (a.site == b.site && a.local < b.local)
+///                    ||  (a.site != b.site && a.global < b.global - 1)
+///
+///    The cross-site case is the `2g_g`-restricted temporal order: a full
+///    global tick of slack absorbs the synchronization error `Pi < g_g`.
+///
+///  * kHlc: lexicographic (global, logical) — the HLC order, a linear
+///    extension of causality. Same-site stamps agree with `local` order
+///    for model-consistent stamps (per-site HLC is strictly monotone).
+///
+///  * kVector: componentwise dominance — `a < b` iff every component of
+///    a's vector is <= b's and some component is strictly smaller. This
+///    is EXACTLY causal order: causally unrelated events are concurrent,
+///    however far apart their wall-clock times (the `<_p1`-style
+///    precision caveat SL016 lints for).
+///
+/// Mixed-rep pairs (a misconfigured deployment, or legacy frames decoded
+/// into a logical-clock deployment) degrade soundly: same-site pairs
+/// compare by `local`, cross-site pairs are concurrent (no shared scale
+/// exists to order them).
+///
+/// Irreflexive and transitive under every rep (Theorem 4.1 for
+/// kApproxGlobal; lexicographic / product order for the logical reps),
+/// hence a strict partial order — property-tested per backend in
+/// tests/ordering_laws_test.cc.
 bool HappensBefore(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
 
-/// Simultaneity `=` (Def 4.7(2)): same site and same local tick. An
-/// equivalence relation.
+/// Simultaneity `=`: the backend's "indistinguishable" relation — an
+/// equivalence, and a sub-relation of Concurrent. kApproxGlobal: same
+/// site and same local tick (Def 4.7(2)). kHlc: same site and same
+/// (physical, logical). kVector: same site and equal vectors.
 bool Simultaneous(const PrimitiveTimestamp& a, const PrimitiveTimestamp& b);
 
 /// Concurrency `~` (Def 4.7(3)): neither happens before the other. NOT
@@ -95,7 +176,7 @@ PrimitiveRelation Classify(const PrimitiveTimestamp& a,
 /// Hash functor so primitive timestamps can key unordered containers.
 struct PrimitiveTimestampHash {
   size_t operator()(const PrimitiveTimestamp& t) const {
-    // Mix the three fields with distinct odd multipliers (64-bit FNV-ish).
+    // Mix the fields with distinct odd multipliers (64-bit FNV-ish).
     uint64_t h = 0xcbf29ce484222325ULL;
     auto mix = [&h](uint64_t v) {
       h ^= v;
@@ -104,6 +185,10 @@ struct PrimitiveTimestampHash {
     mix(t.site);
     mix(static_cast<uint64_t>(t.global));
     mix(static_cast<uint64_t>(t.local));
+    mix((static_cast<uint64_t>(t.rep) << 32) | t.logical);
+    for (uint8_t i = 0; i < t.vec_size; ++i) {
+      mix(static_cast<uint64_t>(t.vec[i]));
+    }
     return static_cast<size_t>(h);
   }
 };

@@ -161,6 +161,57 @@ TEST(Lint, Sl011CollapsibleAny) {
   EXPECT_TRUE(Lint("ANY(2, a, b, c)").empty());
 }
 
+TEST(Lint, Sl016OrderSensitiveOperatorsUnderVectorClock) {
+  EventTypeRegistry registry;
+  ParserOptions parser_options;
+  parser_options.auto_register = true;
+  LintOptions options;
+  options.timebase = TimebaseKind::kVector;
+
+  // A sequence relies on cross-site Before, which the vector backend
+  // resolves as concurrent for causally-unrelated occurrences.
+  Result<ExprPtr> seq = ParseExpr("a ; b", registry, parser_options);
+  ASSERT_TRUE(seq.ok());
+  const Diagnostic d = Only(LintExpr(*seq, registry, options),
+                            LintId::kConcurrentUnderLogicalClock);
+  EXPECT_EQ(d.severity, LintSeverity::kWarning);
+  EXPECT_NE(d.message.find("vector-clock"), std::string::npos);
+  EXPECT_NE(d.citation.find("docs/timebase.md"), std::string::npos);
+
+  // The interval operators are order-sensitive too.
+  Result<ExprPtr> guarded = ParseExpr("not(c)[a, b]", registry,
+                                      parser_options);
+  ASSERT_TRUE(guarded.ok());
+  Only(LintExpr(*guarded, registry, options),
+       LintId::kConcurrentUnderLogicalClock);
+
+  // Order-insensitive rules are fine under any backend, and the other
+  // backends order cross-site pairs — no finding either way.
+  Result<ExprPtr> conj = ParseExpr("a and b", registry, parser_options);
+  ASSERT_TRUE(conj.ok());
+  EXPECT_TRUE(LintExpr(*conj, registry, options).empty());
+  options.timebase = TimebaseKind::kHlc;
+  EXPECT_TRUE(LintExpr(*seq, registry, options).empty());
+}
+
+TEST(RuleFile, Sl016SurfacesInCatalogueLint) {
+  LintOptions options;
+  options.timebase = TimebaseKind::kVector;
+  const RuleFileReport report = LintRuleSource(
+      "escalate : a ; b\n"
+      "pair     : a and b\n",
+      options);
+  ASSERT_EQ(report.rules.size(), 2u);
+  EXPECT_EQ(report.warnings, 1u);
+  ASSERT_EQ(report.rules[0].diagnostics.size(), 1u);
+  EXPECT_EQ(report.rules[0].diagnostics[0].id,
+            LintId::kConcurrentUnderLogicalClock);
+  EXPECT_TRUE(report.rules[1].diagnostics.empty());
+  // Advisory, so the gate still passes without -Werror.
+  EXPECT_TRUE(report.Passes(/*werror=*/false));
+  EXPECT_FALSE(report.Passes(/*werror=*/true));
+}
+
 TEST(Lint, SuppressionDropsListedIds) {
   EventTypeRegistry registry;
   ParserOptions parser_options;

@@ -119,6 +119,115 @@ TEST(Codec, CompositeWireSizeReflectsConstituents) {
   EXPECT_EQ(WireSize(pair), 9 + WireSize(a) + WireSize(b));
 }
 
+// ---------------------------------------------------------------------
+// Versioned timebase payloads (kPrimitiveV2). Approx-global stamps must
+// keep the legacy layout byte for byte; logical-backend stamps round
+// trip through the tagged v2 layout.
+
+EventPtr SampleHlcPrimitive() {
+  PrimitiveTimestamp stamp;
+  stamp.rep = StampRep::kHlc;
+  stamp.site = 2;
+  stamp.global = 130;  // HLC physical component leads the reading
+  stamp.local = 125;
+  stamp.logical = 3;
+  return Event::MakePrimitive(7, stamp,
+                              {{"note", AttributeValue(std::string("v2"))}});
+}
+
+EventPtr SampleVectorPrimitive() {
+  PrimitiveTimestamp stamp;
+  stamp.rep = StampRep::kVector;
+  stamp.site = 1;
+  stamp.local = 90;
+  stamp.global = 90;
+  stamp.vec_size = 3;
+  stamp.vec[0] = 40;
+  stamp.vec[1] = 90;
+  stamp.vec[2] = 7;
+  return Event::MakePrimitive(5, stamp);
+}
+
+TEST(CodecV2, ApproxStampsKeepTheLegacyLayout) {
+  // Pin the exact legacy bytes: kind 0, type, site, global, local, and
+  // an empty parameter list — what every pre-v2 decoder expects.
+  const auto event =
+      Event::MakePrimitive(7, PrimitiveTimestamp{3, 12, 125});
+  const std::string bytes = EncodeEvent(event);
+  ASSERT_EQ(bytes.size(), 1u + 4 + 4 + 8 + 8 + 4);
+  EXPECT_EQ(bytes[0], 0);  // legacy kPrimitive, never kPrimitiveV2
+}
+
+TEST(CodecV2, HlcRoundTrip) {
+  const auto original = SampleHlcPrimitive();
+  const std::string bytes = EncodeEvent(original);
+  EXPECT_EQ(bytes.size(), WireSize(original));
+  EXPECT_EQ(bytes[0], 5);  // kPrimitiveV2
+  auto decoded = DecodeEvent(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  const PrimitiveTimestamp& stamp = (*decoded)->timestamp().stamps()[0];
+  EXPECT_EQ(stamp.rep, StampRep::kHlc);
+  EXPECT_EQ(stamp.logical, 3u);
+  EXPECT_EQ((*decoded)->timestamp(), original->timestamp());
+  EXPECT_EQ((*decoded)->params(), original->params());
+}
+
+TEST(CodecV2, VectorRoundTrip) {
+  const auto original = SampleVectorPrimitive();
+  const std::string bytes = EncodeEvent(original);
+  EXPECT_EQ(bytes.size(), WireSize(original));
+  auto decoded = DecodeEvent(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  const PrimitiveTimestamp& stamp = (*decoded)->timestamp().stamps()[0];
+  EXPECT_EQ(stamp.rep, StampRep::kVector);
+  EXPECT_EQ(stamp.vec_size, 3u);
+  EXPECT_EQ(stamp.VecAt(0), 40);
+  EXPECT_EQ(stamp.VecAt(2), 7);
+  EXPECT_EQ((*decoded)->timestamp(), original->timestamp());
+}
+
+TEST(CodecV2, CompositeMixesRepsAndFramesCarryV2) {
+  const auto composite = Event::MakeComposite(
+      10, {SampleHlcPrimitive(), SampleVectorPrimitive()});
+  const std::string bytes = EncodeEvent(composite);
+  EXPECT_EQ(bytes.size(), WireSize(composite));
+  auto decoded = DecodeEvent(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(OccurrenceSignature(*decoded), OccurrenceSignature(composite));
+
+  auto frame = DecodeFrame(EncodeDataFrame(2, 7, composite));
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(OccurrenceSignature(frame->event),
+            OccurrenceSignature(composite));
+}
+
+TEST(CodecV2, RejectsTruncatedV2Input) {
+  for (const auto& event : {SampleHlcPrimitive(), SampleVectorPrimitive()}) {
+    const std::string bytes = EncodeEvent(event);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      EXPECT_FALSE(DecodeEvent(std::string_view(bytes).substr(0, cut)).ok())
+          << "cut at " << cut;
+    }
+  }
+}
+
+TEST(CodecV2, RejectsBadRepAndOversizedVector) {
+  // A v2 payload claiming the approx rep is malformed (approx travels
+  // as legacy kind 0), as is any unknown rep value.
+  std::string bytes = EncodeEvent(SampleHlcPrimitive());
+  const size_t rep_at = 5;  // kind + type
+  for (uint8_t bad_rep : {uint8_t{0}, uint8_t{3}, uint8_t{255}}) {
+    std::string mutated = bytes;
+    mutated[rep_at] = static_cast<char>(bad_rep);
+    EXPECT_FALSE(DecodeEvent(mutated).ok()) << "rep " << int{bad_rep};
+  }
+  // A vector stamp claiming more components than the inline capacity.
+  std::string vec_bytes = EncodeEvent(SampleVectorPrimitive());
+  const size_t vec_size_at = rep_at + 1 + 4 + 8 + 8;
+  vec_bytes[vec_size_at] = static_cast<char>(kMaxVectorSites + 1);
+  EXPECT_FALSE(DecodeEvent(vec_bytes).ok());
+}
+
 TEST(FrameCodec, DataFrameRoundTrip) {
   const auto payload = SamplePrimitive();
   const std::string bytes = EncodeDataFrame(/*sender=*/6, /*seq=*/12345,

@@ -120,6 +120,57 @@ TEST(DaemonConfigTest, DetectorNeedsTransportListener) {
   EXPECT_NE(config.status().message().find("listen"), std::string::npos);
 }
 
+TEST(DaemonConfigTest, ParsesTimebaseKey) {
+  const auto config = ParseDaemonConfig(
+      "site = 1\nrole = injector\ndetector_site = 0\n"
+      "rpc_listen = 127.0.0.1:0\npeer.0 = 127.0.0.1:4100\n"
+      "timebase = hlc\nnum_sites = 3\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->timebase_kind, TimebaseKind::kHlc);
+  EXPECT_EQ(config->num_sites, 3u);
+  EXPECT_EQ(config->EffectiveNumSites(), 3u);
+}
+
+TEST(DaemonConfigTest, TimebaseDefaultsToApproxAndDerivesNumSites) {
+  const auto config = ParseDaemonConfig(
+      "site = 1\nrole = injector\ndetector_site = 0\n"
+      "rpc_listen = 127.0.0.1:0\npeer.0 = 127.0.0.1:4100\n"
+      "peer.5 = 127.0.0.1:4101\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->timebase_kind, TimebaseKind::kApproxGlobal);
+  // Derived from max(site, detector_site, peers) + 1.
+  EXPECT_EQ(config->EffectiveNumSites(), 6u);
+}
+
+TEST(DaemonConfigTest, BadTimebaseValueIsALineNumberedError) {
+  const auto config = ParseDaemonConfig(
+      "site = 1\nrole = injector\ndetector_site = 0\n"
+      "rpc_listen = 127.0.0.1:0\npeer.0 = 127.0.0.1:4100\n"
+      "timebase = lamport\n");
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("line 6"), std::string::npos)
+      << config.status().ToString();
+  EXPECT_NE(config.status().message().find("timebase"), std::string::npos);
+}
+
+TEST(DaemonConfigTest, VectorTimebaseRejectsTooManySites) {
+  const auto config = ParseDaemonConfig(
+      StrCat("site = 1\nrole = injector\ndetector_site = 0\n"
+             "rpc_listen = 127.0.0.1:0\npeer.0 = 127.0.0.1:4100\n"
+             "timebase = vector\nnum_sites = ", kMaxVectorSites + 1, "\n"));
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("vector"), std::string::npos)
+      << config.status().ToString();
+  // num_sites must also cover the configured site ids.
+  const auto uncovered = ParseDaemonConfig(
+      "site = 4\nrole = injector\ndetector_site = 0\n"
+      "rpc_listen = 127.0.0.1:0\npeer.0 = 127.0.0.1:4100\n"
+      "num_sites = 3\n");
+  ASSERT_FALSE(uncovered.ok());
+  EXPECT_NE(uncovered.status().message().find("num_sites"),
+            std::string::npos);
+}
+
 TEST(DaemonConfigTest, DropProbOutsideUnitIntervalIsRejected) {
   const auto config = ParseDaemonConfig(
       "site = 0\nrole = detector\nlisten = 127.0.0.1:0\n"
@@ -193,6 +244,25 @@ TEST_F(DaemonLifecycleTest, CheckFlagValidatesConfigs) {
                                   dir_ + "check_missing.log",
                                   /*check_only=*/true));
   EXPECT_EQ(check_missing.Wait(), 2);
+
+  // --check also vets the timebase selection: hlc is a valid deployment,
+  // a vector fleet wider than the inline stamp capacity is not.
+  const std::string hlc = InjectorConfig("127.0.0.1:4100", "timebase = hlc\n");
+  DaemonProcess check_hlc;
+  ASSERT_TRUE(check_hlc.Start(SENTINELD_BIN, hlc, dir_ + "check_hlc.log",
+                              /*check_only=*/true));
+  EXPECT_EQ(check_hlc.Wait(), 0);
+
+  const std::string wide_vector = WriteFileOrDie(
+      dir_ + "wide_vector.conf",
+      StrCat("site = 1\nrole = injector\ndetector_site = 0\n",
+             "rpc_listen = 127.0.0.1:0\npeer.0 = 127.0.0.1:4100\n",
+             "timebase = vector\nnum_sites = ", kMaxVectorSites + 1, "\n"));
+  DaemonProcess check_vector;
+  ASSERT_TRUE(check_vector.Start(SENTINELD_BIN, wide_vector,
+                                 dir_ + "check_vector.log",
+                                 /*check_only=*/true));
+  EXPECT_EQ(check_vector.Wait(), 2);
 }
 
 TEST_F(DaemonLifecycleTest, DoubleBindFailsFast) {

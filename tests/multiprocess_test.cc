@@ -123,12 +123,12 @@ class MultiprocessTest : public ::testing::Test {
     ASSERT_TRUE(site.rpc.Connect(site.endpoints.at("rpc")));
   }
 
-  void StartDetector(Site& site, const std::string& listen = "127.0.0.1:0") {
+  void StartDetector(Site& site, const std::string& extra = "") {
     StartSite(site, "detector",
               StrCat("site = 0\nrole = detector\ndetector_site = 0\n",
-                     "listen = ", listen, "\nrpc_listen = 127.0.0.1:0\n",
+                     "listen = 127.0.0.1:0\nrpc_listen = 127.0.0.1:0\n",
                      "endpoints_file = ", dir_, "detector.endpoints\n",
-                     "window_ticks = 1000000\n"));
+                     "window_ticks = 1000000\n", extra));
   }
 
   void StartInjector(Site& site, uint32_t site_id,
@@ -157,9 +157,11 @@ class MultiprocessTest : public ::testing::Test {
   /// on ticks 20, 40, 60... — distinct global ticks throughout, so the
   /// scenario is order-deterministic.
   void RunScenario(const std::string& injector_extra, int events_per_site,
-                   bool expect_loss_possible) {
+                   bool expect_loss_possible,
+                   const std::string& detector_extra = "",
+                   int64_t site2_tick_offset = 0) {
     Site detector;
-    StartDetector(detector);
+    StartDetector(detector, detector_extra);
     RegisterTypes(detector);
     const std::string r1 = detector.rpc.Call(StrCat("DEFRULE r1 ", kRule1));
     ASSERT_EQ(r1.substr(0, 3), "OK ") << r1;
@@ -184,7 +186,8 @@ class MultiprocessTest : public ::testing::Test {
                     .substr(0, 3),
                 "OK ");
       ASSERT_EQ(injector2.rpc
-                    .Call(StrCat("INJECT ", type2, " ", 20 + 20 * i,
+                    .Call(StrCat("INJECT ", type2, " ",
+                                 site2_tick_offset + 20 + 20 * i,
                                  " idx=", i))
                     .substr(0, 3),
                 "OK ");
@@ -304,6 +307,24 @@ TEST_F(MultiprocessTest, LossyArqRecoversInsideEnvelope) {
   // ever does happen.
   RunScenario("drop_prob = 0.25\nmax_retransmits = 12\n",
               /*events_per_site=*/15, /*expect_loss_possible=*/true);
+}
+
+TEST_F(MultiprocessTest, HlcBackendMatchesOracleWithUnsynchronizedClocks) {
+  // The same three-daemon deployment on the HLC timebase, with clock
+  // synchronization effectively disabled: injector 2's tick source runs
+  // ~10^6 ticks ahead of injector 1's, a skew the approx backend's
+  // Pi < g_g contract forbids. HLC needs no synchronization — the
+  // daemons stamp through their hybrid logical clocks, v2 payloads cross
+  // the sockets, and the detections must still match the declarative
+  // oracle occurrence for occurrence (the oracle orders by the same HLC
+  // stamps fetched back from the injectors' histories). The stability
+  // window is widened past the skew: with unsynchronized tick sources
+  // the anchor watermark would otherwise stale out the slow site's
+  // events mid-run (docs/timebase.md discusses the window/skew coupling).
+  RunScenario("timebase = hlc\n", /*events_per_site=*/20,
+              /*expect_loss_possible=*/false,
+              /*detector_extra=*/"timebase = hlc\nwindow_ticks = 100000000\n",
+              /*site2_tick_offset=*/1'000'000);
 }
 
 TEST_F(MultiprocessTest, CappedRetransmitsStayInsideLossEnvelope) {

@@ -313,5 +313,181 @@ TEST(OrderingLawsTest, SchwiderskiBaselineLosesIrreflexivityAndTransitivity) {
       << " draws (seed=" << kSeed << ")";
 }
 
+// ---------------------------------------------------------------------
+// Backend-parameterized laws: every ordering law the detection stack
+// leans on must hold in every stamp representation, not just the paper's
+// approximated-global triples (docs/timebase.md). Running these in a
+// SENTINELD_CHECKED build additionally exercises the irreflexivity /
+// antisymmetry assertions inside orderings.cc and composite_timestamp.cc
+// under each backend — the checked-build invariants are parameterized
+// for free because they sit below the dispatch.
+
+class OrderingLawsPerBackendTest
+    : public ::testing::TestWithParam<StampRep> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, OrderingLawsPerBackendTest,
+    ::testing::Values(StampRep::kApproxGlobal, StampRep::kHlc,
+                      StampRep::kVector),
+    [](const ::testing::TestParamInfo<StampRep>& info) {
+      return std::string(StampRepToString(info.param));
+    });
+
+TEST_P(OrderingLawsPerBackendTest, TrichotomyIsExhaustiveAndExclusive) {
+  const StampRep rep = GetParam();
+  Rng rng(kSeed);
+  for (int i = 0; i < kDraws; ++i) {
+    const PrimitiveTimestamp a = RandomPrimitive(rng, kSpace, rep);
+    const PrimitiveTimestamp b = RandomPrimitive(rng, kSpace, rep);
+    const int holds = (HappensBefore(a, b) ? 1 : 0) +
+                      (HappensBefore(b, a) ? 1 : 0) +
+                      (Concurrent(a, b) ? 1 : 0);
+    ASSERT_EQ(holds, 1) << "trichotomy violated (draw " << i
+                        << ", rep=" << StampRepToString(rep) << "): " << a
+                        << " vs " << b;
+    if (Simultaneous(a, b)) {
+      EXPECT_TRUE(Concurrent(a, b));
+      EXPECT_EQ(a.site, b.site);
+      EXPECT_EQ(Classify(a, b), PrimitiveRelation::kSimultaneous);
+    }
+    EXPECT_TRUE(WeakPrecedes(a, b) || WeakPrecedes(b, a))
+        << "⪯ totality violated (draw " << i << "): " << a << " vs " << b;
+    EXPECT_EQ(WeakPrecedes(a, b), HappensBefore(a, b) || Concurrent(a, b));
+  }
+}
+
+TEST_P(OrderingLawsPerBackendTest, HappensBeforeIsStrictPartialOrder) {
+  const StampRep rep = GetParam();
+  Rng rng(kSeed);
+  for (int i = 0; i < kDraws; ++i) {
+    const PrimitiveTimestamp a = RandomPrimitive(rng, kSpace, rep);
+    const PrimitiveTimestamp b = RandomPrimitive(rng, kSpace, rep);
+    const PrimitiveTimestamp c = RandomPrimitive(rng, kSpace, rep);
+    EXPECT_FALSE(HappensBefore(a, a))
+        << "irreflexivity violated (draw " << i << "): " << a;
+    EXPECT_FALSE(HappensBefore(a, b) && HappensBefore(b, a))
+        << "antisymmetry violated (draw " << i << "): " << a << " vs "
+        << b;
+    EXPECT_FALSE(HappensBefore(a, b) && HappensBefore(b, c) &&
+                 !HappensBefore(a, c))
+        << "transitivity violated (draw " << i << "): " << a << ", " << b
+        << ", " << c;
+  }
+}
+
+TEST_P(OrderingLawsPerBackendTest, MaximaArePairwiseConcurrent) {
+  const StampRep rep = GetParam();
+  Rng rng(kSeed);
+  for (int i = 0; i < kDraws; ++i) {
+    const CompositeTimestamp t = RandomComposite(rng, kSpace, rep);
+    ASSERT_TRUE(t.IsValid()) << "draw " << i << ": " << t.ToString();
+    const std::span<const PrimitiveTimestamp> stamps = t.stamps();
+    for (size_t x = 0; x < stamps.size(); ++x) {
+      for (size_t y = x + 1; y < stamps.size(); ++y) {
+        EXPECT_TRUE(Concurrent(stamps[x], stamps[y]))
+            << "Thm 5.1 violated (draw " << i << "): " << stamps[x]
+            << " vs " << stamps[y] << " in " << t.ToString();
+      }
+    }
+    EXPECT_EQ(CompositeTimestamp::MaxOf(stamps), t);
+  }
+}
+
+TEST_P(OrderingLawsPerBackendTest, CompositeBeforeIsStrictPartialOrder) {
+  const StampRep rep = GetParam();
+  Rng rng(kSeed);
+  const auto draw = [&] { return RandomComposite(rng, kSpace, rep); };
+  for (int i = 0; i < kDraws; ++i) {
+    const CompositeTimestamp a = draw();
+    const CompositeTimestamp b = draw();
+    const CompositeTimestamp c = draw();
+    EXPECT_FALSE(Before(a, a)) << "draw " << i << ": " << a.ToString();
+    EXPECT_FALSE(Before(a, b) && Before(b, a))
+        << "draw " << i << ": " << a.ToString() << " vs " << b.ToString();
+    EXPECT_FALSE(Before(a, b) && Before(b, c) && !Before(a, c))
+        << "draw " << i << ": " << a.ToString() << ", " << b.ToString()
+        << ", " << c.ToString();
+    EXPECT_FALSE(BeforeExistsExists(a, a))
+        << "<_p1 irreflexivity, draw " << i << ": " << a.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Backend-specific precision caveats (docs/timebase.md). The paper's
+// `~` is genuinely non-transitive (Prop 4.2(6)); the vector backend
+// keeps that shape (concurrency = causal incomparability), while HLC
+// collapses concurrency to stamp-key equality — which IS transitive, so
+// the <_p1-style caveat disappears there at the price of fabricated
+// cross-site order.
+
+TEST(OrderingLawsVectorTest, ConcurrencyIsNotTransitive) {
+  Rng rng(kSeed);
+  bool cex = false;
+  for (int i = 0; i < kDraws && !cex; ++i) {
+    const PrimitiveTimestamp a =
+        RandomPrimitive(rng, kSpace, StampRep::kVector);
+    const PrimitiveTimestamp b =
+        RandomPrimitive(rng, kSpace, StampRep::kVector);
+    const PrimitiveTimestamp c =
+        RandomPrimitive(rng, kSpace, StampRep::kVector);
+    if (Concurrent(a, b) && Concurrent(b, c) && !Concurrent(a, c)) {
+      cex = true;
+    }
+  }
+  EXPECT_TRUE(cex) << "no vector ~ transitivity counterexample in "
+                   << kDraws << " draws (seed=" << kSeed << ")";
+}
+
+TEST(OrderingLawsHlcTest, ConcurrencyCollapsesToKeyEqualityAndIsTransitive) {
+  Rng rng(kSeed);
+  for (int i = 0; i < kDraws; ++i) {
+    const PrimitiveTimestamp a = RandomPrimitive(rng, kSpace, StampRep::kHlc);
+    // Construct concurrent partners directly: HLC order is total on the
+    // (physical, logical) key, so concurrency is exactly key equality.
+    PrimitiveTimestamp b = RandomPrimitive(rng, kSpace, StampRep::kHlc);
+    b.global = a.global;
+    b.logical = a.logical;
+    PrimitiveTimestamp c = RandomPrimitive(rng, kSpace, StampRep::kHlc);
+    c.global = a.global;
+    c.logical = a.logical;
+    ASSERT_TRUE(Concurrent(a, b) && Concurrent(b, c));
+    EXPECT_TRUE(Concurrent(a, c))
+        << "HLC ~ must be transitive (draw " << i << "): " << a << ", "
+        << b << ", " << c;
+    // And ⪯ is a total preorder: WeakPrecedes chains always compose.
+    const PrimitiveTimestamp d = RandomPrimitive(rng, kSpace, StampRep::kHlc);
+    const PrimitiveTimestamp e = RandomPrimitive(rng, kSpace, StampRep::kHlc);
+    if (WeakPrecedes(a, d) && WeakPrecedes(d, e)) {
+      EXPECT_TRUE(WeakPrecedes(a, e))
+          << "HLC ⪯ must be transitive (draw " << i << "): " << a << ", "
+          << d << ", " << e;
+    }
+  }
+}
+
+TEST(OrderingLawsMixedRepTest, MixedRepsDegradeToSameSiteOrder) {
+  Rng rng(kSeed);
+  const StampRep reps[] = {StampRep::kApproxGlobal, StampRep::kHlc,
+                           StampRep::kVector};
+  for (int i = 0; i < kDraws; ++i) {
+    PrimitiveTimestamp a =
+        RandomPrimitive(rng, kSpace, reps[rng.NextBounded(3)]);
+    PrimitiveTimestamp b =
+        RandomPrimitive(rng, kSpace, reps[rng.NextBounded(3)]);
+    if (a.rep == b.rep) continue;
+    if (a.site != b.site) {
+      // Cross-site stamps of different reps carry no comparable
+      // information: conservatively concurrent.
+      EXPECT_FALSE(HappensBefore(a, b)) << a << " vs " << b;
+      EXPECT_FALSE(HappensBefore(b, a)) << a << " vs " << b;
+      EXPECT_TRUE(Concurrent(a, b)) << a << " vs " << b;
+    } else {
+      // Same-site stamps always order by the physical local reading.
+      EXPECT_EQ(HappensBefore(a, b), a.local < b.local) << a << " vs " << b;
+      EXPECT_EQ(Simultaneous(a, b), a.local == b.local) << a << " vs " << b;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sentineld

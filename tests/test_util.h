@@ -1,6 +1,7 @@
 #ifndef SENTINELD_TESTS_TEST_UTIL_H_
 #define SENTINELD_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "timestamp/composite_timestamp.h"
@@ -29,6 +30,39 @@ inline PrimitiveTimestamp RandomPrimitive(Rng& rng, const StampSpace& space) {
   return t;
 }
 
+/// Random stamp in the given backend representation, model-consistent
+/// for that backend:
+///  * kApproxGlobal — the Def 4.6 triple (see RandomPrimitive above).
+///  * kHlc — physical component never lags the local reading
+///    (pt = local + skew) with a small logical component, as the HLC
+///    update rules guarantee.
+///  * kVector — own frontier component equals the local reading;
+///    foreign components are arbitrary non-negative ticks (whatever the
+///    site happened to have learned).
+/// In every rep, `local` is the physical local-tick reading — the
+/// backend-independent stability anchor (Timebase::ReleaseAnchor).
+inline PrimitiveTimestamp RandomPrimitive(Rng& rng, const StampSpace& space,
+                                          StampRep rep) {
+  if (rep == StampRep::kApproxGlobal) return RandomPrimitive(rng, space);
+  PrimitiveTimestamp t;
+  t.rep = rep;
+  t.site = static_cast<SiteId>(rng.NextBounded(space.sites));
+  t.local = rng.NextInt(0, space.global_range * space.ratio - 1);
+  if (rep == StampRep::kHlc) {
+    t.global = t.local + rng.NextInt(0, 2);  // pt >= physical reading
+    t.logical = static_cast<uint32_t>(rng.NextBounded(3));
+    return t;
+  }
+  t.vec_size = static_cast<uint8_t>(
+      std::min<uint32_t>(space.sites, kMaxVectorSites));
+  for (uint8_t i = 0; i < t.vec_size; ++i) {
+    t.vec[i] = rng.NextInt(0, space.global_range * space.ratio - 1);
+  }
+  if (t.site < t.vec_size) t.vec[t.site] = t.local;
+  t.global = t.local;
+  return t;
+}
+
 /// A valid composite timestamp built as max(ST) of 1..max_constituents
 /// random primitive stamps (Def 5.2's construction).
 inline CompositeTimestamp RandomComposite(Rng& rng, const StampSpace& space,
@@ -37,6 +71,19 @@ inline CompositeTimestamp RandomComposite(Rng& rng, const StampSpace& space,
   std::vector<PrimitiveTimestamp> set;
   set.reserve(n);
   for (int i = 0; i < n; ++i) set.push_back(RandomPrimitive(rng, space));
+  return CompositeTimestamp::MaxOf(set);
+}
+
+/// RandomComposite over stamps of the given backend representation.
+inline CompositeTimestamp RandomComposite(Rng& rng, const StampSpace& space,
+                                          StampRep rep,
+                                          int max_constituents = 5) {
+  const int n = static_cast<int>(rng.NextBounded(max_constituents)) + 1;
+  std::vector<PrimitiveTimestamp> set;
+  set.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    set.push_back(RandomPrimitive(rng, space, rep));
+  }
   return CompositeTimestamp::MaxOf(set);
 }
 

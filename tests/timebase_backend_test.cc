@@ -1,0 +1,299 @@
+// Differential coverage for the pluggable timebase backends
+// (timebase/timebase.h, docs/timebase.md):
+//
+//  1. Oracle envelope per backend: the streaming Detector must match
+//     the declarative ReferenceDetector under approx-global, HLC and
+//     vector stamps alike, provided events arrive in a linear extension
+//     of that backend's happen-before order (the delivery contract the
+//     Sequencer implements). The linear-extension sort key differs per
+//     backend — ascending local tick is one only for the approx model.
+//
+//  2. Cross-backend agreement: one shared schedule of (site, tick, type)
+//     occurrences is stamped by each backend and driven through
+//     identical detectors. Wherever two backends order the same pairs,
+//     their detections must agree occurrence for occurrence (keyed by
+//     the backend-independent (type, site, local) constituents); where
+//     the vector backend resolves cross-site pairs as concurrent — the
+//     degradation SL016 lints for — its detections must be exactly the
+//     causally-ordered subset.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "snoop/detector.h"
+#include "snoop/parser.h"
+#include "snoop/reference_detector.h"
+#include "tests/test_util.h"
+#include "timebase/timebase.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace sentineld {
+namespace {
+
+using ::sentineld::testing::RandomPrimitive;
+using ::sentineld::testing::StampSpace;
+
+/// `a` strictly precedes `b` in the per-rep linear-extension sort:
+///  * kApproxGlobal — ascending local tick (model-consistent stamps:
+///    local order refines global order).
+///  * kHlc — the HLC order itself, lexicographic (physical, logical);
+///    equal keys are concurrent, so any tie order is a valid extension.
+///  * kVector — ascending component sum: dominance strictly increases
+///    the sum, and equal sums are never causally ordered.
+bool LinearExtensionLess(const PrimitiveTimestamp& a,
+                         const PrimitiveTimestamp& b) {
+  switch (a.rep) {
+    case StampRep::kApproxGlobal:
+      return a.local < b.local;
+    case StampRep::kHlc:
+      return a.global != b.global ? a.global < b.global
+                                  : a.logical < b.logical;
+    case StampRep::kVector: {
+      int64_t sa = 0, sb = 0;
+      for (uint32_t i = 0; i < kMaxVectorSites; ++i) {
+        sa += a.VecAt(i);
+        sb += b.VecAt(i);
+      }
+      return sa < sb;
+    }
+  }
+  return false;
+}
+
+/// Backend-independent identity of a detected occurrence: the sorted
+/// multiset of its primitive constituents' (type, site, local) — the
+/// fields every backend carries unchanged.
+void CollectLeafKeys(const EventPtr& event, std::vector<std::string>& out) {
+  if (event->is_primitive()) {
+    const PrimitiveTimestamp& s = event->timestamp().stamps()[0];
+    out.push_back(StrCat(event->type(), "@", s.site, ":", s.local));
+    return;
+  }
+  for (const EventPtr& c : event->constituents()) CollectLeafKeys(c, out);
+}
+
+std::string OccurrenceKey(const EventPtr& event) {
+  std::vector<std::string> leaves;
+  CollectLeafKeys(event, leaves);
+  std::sort(leaves.begin(), leaves.end());
+  std::string key;
+  for (const std::string& leaf : leaves) {
+    key += leaf;
+    key += '|';
+  }
+  return key;
+}
+
+std::vector<std::string> OccurrenceKeys(const std::vector<EventPtr>& events) {
+  std::vector<std::string> keys;
+  keys.reserve(events.size());
+  for (const EventPtr& e : events) keys.push_back(OccurrenceKey(e));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// ---------------------------------------------------------------------
+// 1. Oracle envelope per backend.
+
+struct EnvelopeCase {
+  const char* name;
+  const char* expr;
+};
+
+class TimebaseOracleEnvelopeTest
+    : public ::testing::TestWithParam<std::tuple<StampRep, EnvelopeCase>> {
+ protected:
+  TimebaseOracleEnvelopeTest() {
+    for (const char* name : {"A", "B", "C", "D"}) {
+      CHECK_OK(registry_.Register(name, EventClass::kExplicit));
+    }
+  }
+
+  EventTypeRegistry registry_;
+  Rng rng_{0x11c0ffeeULL};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TimebaseOracleEnvelopeTest,
+    ::testing::Combine(
+        ::testing::Values(StampRep::kApproxGlobal, StampRep::kHlc,
+                          StampRep::kVector),
+        ::testing::Values(EnvelopeCase{"seq", "A ; B"},
+                          EnvelopeCase{"and", "A and B"},
+                          EnvelopeCase{"or", "A or B"},
+                          EnvelopeCase{"not", "not(B)[A, C]"},
+                          EnvelopeCase{"aperiodic", "A(A, B, C)"},
+                          EnvelopeCase{"nested", "(A ; B) and C"},
+                          EnvelopeCase{"any", "ANY(2, A, B, C)"})),
+    [](const auto& info) {
+      return StrCat(StampRepToString(std::get<0>(info.param)), "_",
+                    std::get<1>(info.param).name);
+    });
+
+TEST_P(TimebaseOracleEnvelopeTest, StreamingMatchesOracle) {
+  const auto [rep, test_case] = GetParam();
+  auto expr = ParseExpr(test_case.expr, registry_, {});
+  ASSERT_TRUE(expr.ok()) << expr.status();
+
+  const StampSpace space{/*sites=*/3, /*global_range=*/8, /*ratio=*/10};
+  for (int h = 0; h < 200; ++h) {
+    std::vector<EventPtr> history;
+    for (size_t i = 0; i < 10; ++i) {
+      history.push_back(Event::MakePrimitive(
+          static_cast<EventTypeId>(rng_.NextBounded(4)),
+          RandomPrimitive(rng_, space, rep)));
+    }
+    std::stable_sort(history.begin(), history.end(),
+                     [](const EventPtr& a, const EventPtr& b) {
+                       return LinearExtensionLess(
+                           a->timestamp().stamps()[0],
+                           b->timestamp().stamps()[0]);
+                     });
+
+    Detector::Options options;
+    options.context = ParamContext::kUnrestricted;
+    Detector detector(&registry_, options);
+    std::vector<EventPtr> streamed;
+    ASSERT_TRUE(detector
+                    .AddRule("rule", *expr,
+                             [&](const EventPtr& e) { streamed.push_back(e); })
+                    .ok());
+    for (const EventPtr& e : history) detector.Feed(e);
+
+    ReferenceDetector oracle(&registry_);
+    auto expected = oracle.Evaluate(*expr, history);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    ASSERT_EQ(Signatures(streamed), Signatures(*expected))
+        << "history " << h << " of " << test_case.expr << " under "
+        << StampRepToString(rep);
+  }
+}
+
+// ---------------------------------------------------------------------
+// 2. Cross-backend differential over a shared schedule.
+
+struct ScheduledOccurrence {
+  SiteId site;
+  LocalTicks tick;
+  EventTypeId type;  // 0=A 1=B 2=C
+};
+
+class CrossBackendTest : public ::testing::Test {
+ protected:
+  CrossBackendTest() {
+    for (const char* name : {"A", "B", "C"}) {
+      CHECK_OK(registry_.Register(name, EventClass::kExplicit));
+    }
+  }
+
+  /// Random schedule with strictly increasing, well-separated ticks:
+  /// consecutive occurrences are >= 3 global granules apart, so the
+  /// approx backend's 2g_g-restricted order ranks every cross-site pair
+  /// (no gray zone) and agreement with HLC's tick order is exact.
+  std::vector<ScheduledOccurrence> RandomSchedule(Rng& rng, size_t len,
+                                                  uint32_t sites) {
+    std::vector<ScheduledOccurrence> schedule;
+    LocalTicks tick = 0;
+    for (size_t i = 0; i < len; ++i) {
+      tick += 30 + static_cast<LocalTicks>(rng.NextBounded(40));
+      schedule.push_back({static_cast<SiteId>(rng.NextBounded(sites)), tick,
+                          static_cast<EventTypeId>(rng.NextBounded(3))});
+    }
+    return schedule;
+  }
+
+  /// Stamps the schedule through `kind`'s backend and runs both rules,
+  /// returning per-rule occurrence keys. Schedule order is ascending
+  /// tick, which is a linear extension under every backend (per-site
+  /// monotone stamping, no cross-site Observe coupling).
+  struct Detections {
+    std::vector<std::string> seq;  // "A ; B"
+    std::vector<std::string> conj;  // "A and C"
+  };
+  Detections Run(TimebaseKind kind,
+                 const std::vector<ScheduledOccurrence>& schedule) {
+    TimebaseConfig config;
+    auto tb = MakeTimebase(kind, /*num_sites=*/3, config);
+    CHECK_OK(tb.status());
+
+    Detector::Options options;
+    options.context = ParamContext::kUnrestricted;
+    options.timebase_kind = kind;
+    Detector detector(&registry_, options);
+    std::vector<EventPtr> seq_hits, conj_hits;
+    auto seq_expr = ParseExpr("A ; B", registry_, {});
+    auto conj_expr = ParseExpr("A and C", registry_, {});
+    CHECK_OK(seq_expr.status());
+    CHECK_OK(conj_expr.status());
+    CHECK_OK(detector.AddRule("seq", *seq_expr, [&](const EventPtr& e) {
+      seq_hits.push_back(e);
+    }));
+    CHECK_OK(detector.AddRule("conj", *conj_expr, [&](const EventPtr& e) {
+      conj_hits.push_back(e);
+    }));
+
+    for (const ScheduledOccurrence& occ : schedule) {
+      detector.Feed(Event::MakePrimitive(
+          occ.type, (*tb)->StampLocal(occ.site, occ.tick)));
+    }
+    return {OccurrenceKeys(seq_hits), OccurrenceKeys(conj_hits)};
+  }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(CrossBackendTest, AgreementWhereOrderingsAgree) {
+  Rng rng(0xdeca1ULL);
+  for (int round = 0; round < 60; ++round) {
+    const auto schedule = RandomSchedule(rng, /*len=*/12, /*sites=*/3);
+    const Detections approx = Run(TimebaseKind::kApproxGlobal, schedule);
+    const Detections hlc = Run(TimebaseKind::kHlc, schedule);
+    const Detections vector = Run(TimebaseKind::kVector, schedule);
+
+    // Conjunction never consults the order: every backend agrees.
+    EXPECT_EQ(approx.conj, hlc.conj) << "round " << round;
+    EXPECT_EQ(approx.conj, vector.conj) << "round " << round;
+
+    // With well-separated ticks the approx and HLC orders coincide on
+    // every pair, so sequence detections agree exactly.
+    EXPECT_EQ(approx.seq, hlc.seq) << "round " << round;
+
+    // The vector backend orders only causally-related pairs — here, the
+    // same-site ones — so its sequences are exactly the same-site subset
+    // of the approx detections (the SL016 degradation, made precise).
+    EXPECT_TRUE(std::includes(approx.seq.begin(), approx.seq.end(),
+                              vector.seq.begin(), vector.seq.end()))
+        << "round " << round;
+    std::vector<std::string> same_site;
+    for (const std::string& key : approx.seq) {
+      // Both constituents from one site iff both leaf keys name it.
+      const size_t at1 = key.find('@');
+      const size_t at2 = key.find('@', at1 + 1);
+      if (key[at1 + 1] == key[at2 + 1]) same_site.push_back(key);
+    }
+    EXPECT_EQ(vector.seq, same_site) << "round " << round;
+  }
+}
+
+TEST_F(CrossBackendTest, SingleSiteSchedulesAgreeEverywhere) {
+  // On one site every backend reduces to the same total local-tick
+  // order, so all detections — sequences included — are identical.
+  Rng rng(0x5011e7ULL);
+  for (int round = 0; round < 40; ++round) {
+    const auto schedule = RandomSchedule(rng, /*len=*/14, /*sites=*/1);
+    const Detections approx = Run(TimebaseKind::kApproxGlobal, schedule);
+    const Detections hlc = Run(TimebaseKind::kHlc, schedule);
+    const Detections vector = Run(TimebaseKind::kVector, schedule);
+    EXPECT_EQ(approx.seq, hlc.seq) << "round " << round;
+    EXPECT_EQ(approx.seq, vector.seq) << "round " << round;
+    EXPECT_EQ(approx.conj, vector.conj) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace sentineld

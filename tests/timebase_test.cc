@@ -8,6 +8,7 @@
 #include "timebase/clock_fleet.h"
 #include "timebase/config.h"
 #include "timebase/local_clock.h"
+#include "timebase/timebase.h"
 #include "timestamp/primitive_timestamp.h"
 #include "util/random.h"
 
@@ -175,6 +176,134 @@ TEST(ClockFleet, StampsSatisfyLocalGlobalCoupling) {
       if (a.local == b.local) { EXPECT_EQ(a.global, b.global); }
       if (Concurrent(a, b)) { EXPECT_LE(std::abs(a.global - b.global), 1); }
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The pluggable Timebase strategy (timebase/timebase.h): kind parsing,
+// the factory, per-backend stamping rules, and timer stamps.
+
+TEST(TimebaseKindTest, ParseAndToStringRoundTrip) {
+  for (TimebaseKind kind : {TimebaseKind::kApproxGlobal, TimebaseKind::kHlc,
+                            TimebaseKind::kVector}) {
+    const auto parsed = ParseTimebaseKind(TimebaseKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  const auto bad = ParseTimebaseKind("lamport");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("approx|hlc|vector"),
+            std::string::npos);
+}
+
+TEST(MakeTimebaseTest, VectorRejectsMoreSitesThanInlineCapacity) {
+  TimebaseConfig config;
+  EXPECT_TRUE(MakeTimebase(TimebaseKind::kVector, kMaxVectorSites, config)
+                  .ok());
+  const auto too_many =
+      MakeTimebase(TimebaseKind::kVector, kMaxVectorSites + 1, config);
+  EXPECT_FALSE(too_many.ok());
+  // The unbounded backends take the same fleet size in stride.
+  EXPECT_TRUE(MakeTimebase(TimebaseKind::kHlc, kMaxVectorSites + 1, config)
+                  .ok());
+  EXPECT_FALSE(MakeTimebase(TimebaseKind::kHlc, 0, config).ok());
+}
+
+TEST(MakeTimebaseTest, ApproxValidatesClockModelConfig) {
+  TimebaseConfig config;
+  config.precision_ns = config.global_granularity_ns;  // Pi == g_g: unsound
+  EXPECT_FALSE(MakeTimebase(TimebaseKind::kApproxGlobal, 2, config).ok());
+  // The logical backends do not depend on the synchronization model.
+  EXPECT_TRUE(MakeTimebase(TimebaseKind::kHlc, 2, config).ok());
+}
+
+TEST(ApproxTimebaseTest, StampLocalIsTheDef46Triple) {
+  TimebaseConfig config;
+  auto tb = MakeTimebase(TimebaseKind::kApproxGlobal, 2, config);
+  ASSERT_TRUE(tb.ok());
+  const PrimitiveTimestamp stamp = (*tb)->StampLocal(1, 123);
+  EXPECT_EQ(stamp.rep, StampRep::kApproxGlobal);
+  EXPECT_EQ(stamp.site, 1u);
+  EXPECT_EQ(stamp.local, 123);
+  EXPECT_EQ(stamp.global, TruncToGlobal(123, config));
+  EXPECT_EQ((*tb)->ReleaseAnchor(stamp), 123);
+}
+
+TEST(HlcTimebaseTest, PhysicalAdvancesAndLogicalBreaksTies) {
+  TimebaseConfig config;
+  auto tb = MakeTimebase(TimebaseKind::kHlc, 2, config);
+  ASSERT_TRUE(tb.ok());
+  const auto a = (*tb)->StampLocal(0, 10);
+  EXPECT_EQ(a.rep, StampRep::kHlc);
+  EXPECT_EQ(a.global, 10);
+  EXPECT_EQ(a.logical, 0u);
+  // A stalled physical clock ticks the logical component instead.
+  const auto b = (*tb)->StampLocal(0, 10);
+  EXPECT_EQ(b.global, 10);
+  EXPECT_EQ(b.logical, 1u);
+  EXPECT_TRUE(HappensBefore(a, b));
+  // The anchor stays the physical reading even when pt leads it.
+  EXPECT_EQ((*tb)->ReleaseAnchor(b), 10);
+}
+
+TEST(HlcTimebaseTest, ObserveMergesRemoteClock) {
+  TimebaseConfig config;
+  auto tb = MakeTimebase(TimebaseKind::kHlc, 2, config);
+  ASSERT_TRUE(tb.ok());
+  // Site 1's clock is far ahead: after site 0 receives one of its
+  // stamps, site 0's next stamp must order after the received one even
+  // though site 0's own physical clock still lags — the HLC receive
+  // rule, and the reason no clock sync is needed.
+  const auto remote = (*tb)->StampLocal(1, 1000);
+  (*tb)->Observe(0, remote, /*local_now=*/5);
+  const auto next = (*tb)->StampLocal(0, 6);
+  EXPECT_TRUE(HappensBefore(remote, next)) << remote << " " << next;
+  EXPECT_EQ(next.global, 1000);  // pt carried over from the remote
+  EXPECT_EQ(next.local, 6);     // anchor remains the physical reading
+}
+
+TEST(VectorTimebaseTest, StampCarriesTheKnownFrontier) {
+  TimebaseConfig config;
+  auto tb = MakeTimebase(TimebaseKind::kVector, 3, config);
+  ASSERT_TRUE(tb.ok());
+  const auto a = (*tb)->StampLocal(0, 10);
+  EXPECT_EQ(a.rep, StampRep::kVector);
+  EXPECT_EQ(a.vec_size, 3u);
+  EXPECT_EQ(a.VecAt(0), 10);
+  EXPECT_EQ(a.VecAt(1), 0);
+
+  // Without message flow the two sites are concurrent...
+  const auto b = (*tb)->StampLocal(1, 500);
+  EXPECT_TRUE(Concurrent(a, b));
+  // ...and after site 1's stamp reaches site 0, causality orders site
+  // 0's subsequent stamps after BOTH.
+  (*tb)->Observe(0, b, /*local_now=*/11);
+  const auto c = (*tb)->StampLocal(0, 12);
+  EXPECT_TRUE(HappensBefore(a, c));
+  EXPECT_TRUE(HappensBefore(b, c)) << b << " " << c;
+  EXPECT_EQ(c.VecAt(1), 500);
+}
+
+TEST(MakeTimerStampTest, PerBackendTimerStamps) {
+  TimebaseConfig config;
+  const auto approx =
+      MakeTimerStamp(TimebaseKind::kApproxGlobal, 1, 123, config);
+  EXPECT_EQ(approx.rep, StampRep::kApproxGlobal);
+  EXPECT_EQ(approx.global, TruncToGlobal(123, config));
+
+  const auto hlc = MakeTimerStamp(TimebaseKind::kHlc, 1, 123, config);
+  EXPECT_EQ(hlc.rep, StampRep::kHlc);
+  EXPECT_EQ(hlc.global, 123);
+  EXPECT_EQ(hlc.logical, 0u);
+
+  const auto vec = MakeTimerStamp(TimebaseKind::kVector, 1, 123, config);
+  EXPECT_EQ(vec.rep, StampRep::kVector);
+  EXPECT_EQ(vec.VecAt(1), 123);
+  EXPECT_EQ(vec.VecAt(0), 0);
+  // In every rep the timer's anchor is its host-clock tick.
+  for (const auto& stamp : {approx, hlc, vec}) {
+    EXPECT_EQ(stamp.local, 123);
+    EXPECT_EQ(stamp.site, 1u);
   }
 }
 

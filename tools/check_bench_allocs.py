@@ -5,10 +5,10 @@ The bench harnesses (``bench_detection --json=...``,
 ``bench_timestamp --json=...``) each write a single-bench document
 (schema ``sentineld-bench-v1``, see bench/bench_json.h). This script:
 
-1. merges the input reports into one artifact (``--out``, BENCH_7.json
+1. merges the input reports into one artifact (``--out``, BENCH_8.json
    in CI) keyed by bench name;
 2. compares each scenario's ``allocs_per_event`` against the committed
-   baseline (``--baseline``, bench/bench_baseline_7.json) and fails if
+   baseline (``--baseline``, bench/bench_baseline_8.json) and fails if
    any scenario regresses past ``baseline * 1.25 + 0.5``.
 
 Only allocation counts gate: ``ns_per_event`` is wall-clock and too
@@ -18,8 +18,8 @@ counting allocator out) are merged but skipped by the gate. Stdlib
 only, so CI runs it with a bare python3.
 
 Usage:
-    check_bench_allocs.py --baseline bench/bench_baseline_7.json \
-        --out BENCH_7.json report1.json [report2.json ...]
+    check_bench_allocs.py --baseline bench/bench_baseline_8.json \
+        --out BENCH_8.json report1.json [report2.json ...]
 """
 
 import argparse
